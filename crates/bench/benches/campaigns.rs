@@ -1,0 +1,75 @@
+//! Campaign-level benchmarks: the per-figure regeneration cost at a small
+//! scale — one criterion target per paper artefact (Fig. 3, Fig. 4, the
+//! efficiency table, the vulnerability table, the ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hfl::baselines::CascadeFuzzer;
+use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl_bench::ablation::{run_ablation, AblationConfig};
+use hfl_bench::efficiency::{run_efficiency, EfficiencyConfig};
+use hfl_bench::fig3::{run_fig3, Fig3Config};
+use hfl_bench::vulns::{run_vuln_table, VulnConfig};
+use hfl_dut::CoreKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = Fig3Config {
+        cases: 60,
+        max_epochs: 2,
+        patience: 1,
+        hidden: 16,
+        ..Fig3Config::quick()
+    };
+    c.bench_function("experiment/fig3_predictor_small", |b| {
+        b.iter(|| black_box(run_fig3(&cfg)));
+    });
+}
+
+fn bench_fig4_panels(c: &mut Criterion) {
+    let campaign = CampaignConfig { cases: 25, sample_every: 5, max_steps: 20_000 };
+    c.bench_function("experiment/fig4_hfl_rocket_small", |b| {
+        b.iter(|| {
+            let mut cfg = HflConfig::small().with_seed(1);
+            cfg.generator.hidden = 16;
+            cfg.predictor.hidden = 16;
+            let mut hfl = HflFuzzer::new(cfg);
+            black_box(run_campaign(&mut hfl, CoreKind::Rocket, &campaign));
+        });
+    });
+    c.bench_function("experiment/fig4_cascade_rocket_small", |b| {
+        b.iter(|| {
+            let mut cascade = CascadeFuzzer::new(1, 60);
+            black_box(run_campaign(&mut cascade, CoreKind::Rocket, &campaign));
+        });
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("experiment/tab_efficiency_small", |b| {
+        b.iter(|| {
+            black_box(run_efficiency(&EfficiencyConfig {
+                baseline_cases: 25,
+                hfl_cases: 25,
+                hidden: 16,
+                seed: 2,
+            }));
+        });
+    });
+    c.bench_function("experiment/tab_vulnerabilities_small", |b| {
+        b.iter(|| {
+            black_box(run_vuln_table(&VulnConfig { fuzz_cases: 5, hidden: 16, seed: 3 }));
+        });
+    });
+    c.bench_function("experiment/ablation_small", |b| {
+        b.iter(|| {
+            black_box(run_ablation(&AblationConfig { cases: 10, hidden: 16, seeds: vec![4] }));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4_panels, bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the substrate: ISA encode/decode, golden-model and
+//! DUT simulation throughput, and program assembly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hfl_dut::{CoreKind, Dut};
+use hfl_grm::{Cpu, Program};
+use hfl_riscv::{decode, Instruction, Opcode, Reg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let instructions: Vec<Instruction> =
+        (0..256).map(|_| hfl::baselines::random_instruction(&mut rng)).collect();
+    let words: Vec<u32> = instructions.iter().map(Instruction::encode).collect();
+    c.bench_function("riscv/encode_256", |b| {
+        b.iter(|| {
+            for inst in &instructions {
+                black_box(inst.encode());
+            }
+        });
+    });
+    c.bench_function("riscv/decode_256", |b| {
+        b.iter(|| {
+            for &w in &words {
+                let _ = black_box(decode(w));
+            }
+        });
+    });
+}
+
+fn workload() -> Program {
+    let mut body = Vec::new();
+    for i in 0..48 {
+        body.push(Instruction::i(Opcode::Addi, Reg::X10, Reg::X10, 1));
+        body.push(Instruction::r(Opcode::Mul, Reg::X11, Reg::X10, Reg::X10));
+        body.push(Instruction::s(Opcode::Sd, Reg::X11, (i % 16) * 8, Reg::X5));
+        body.push(Instruction::i(Opcode::Ld, Reg::X12, Reg::X5, (i % 16) * 8));
+    }
+    Program::assemble(&body)
+}
+
+fn bench_grm(c: &mut Criterion) {
+    let program = workload();
+    c.bench_function("grm/run_200_instr_program", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new();
+            cpu.load_program(&program);
+            black_box(cpu.run(10_000));
+        });
+    });
+}
+
+fn bench_dut(c: &mut Criterion) {
+    let program = workload();
+    for kind in CoreKind::ALL {
+        let mut dut = Dut::new(kind);
+        c.bench_function(&format!("dut/{kind}/run_200_instr_program"), |b| {
+            b.iter(|| black_box(dut.run_program(&program, 10_000)));
+        });
+    }
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let body: Vec<Instruction> =
+        (0..64).map(|_| hfl::baselines::random_instruction(&mut rng)).collect();
+    c.bench_function("grm/assemble_64_instr", |b| {
+        b.iter(|| black_box(Program::assemble(&body)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode_decode, bench_grm, bench_dut, bench_assembly
+}
+criterion_main!(benches);

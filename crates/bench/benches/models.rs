@@ -1,0 +1,83 @@
+//! Model-layer benchmarks: LSTM forward/backward, generator sampling +
+//! PPO updates, predictor training — the per-iteration ML cost of the
+//! fuzzing loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hfl::generator::{EpisodeStep, GeneratorConfig, InstructionGenerator};
+use hfl::predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
+use hfl::Tokens;
+use hfl_nn::{Adam, Lstm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for hidden in [64usize, 256] {
+        let lstm = Lstm::new(80, hidden, 2, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..24).map(|t| vec![0.01 * t as f32; 80]).collect();
+        c.bench_function(&format!("nn/lstm_{hidden}/forward_seq24"), |b| {
+            b.iter(|| black_box(lstm.forward_seq(&xs)));
+        });
+        let mut lstm_mut = lstm.clone();
+        c.bench_function(&format!("nn/lstm_{hidden}/forward_backward_seq24"), |b| {
+            b.iter(|| {
+                let trace = lstm_mut.forward_seq(&xs);
+                let d: Vec<Vec<f32>> = trace.outputs.clone();
+                black_box(lstm_mut.backward_seq(&trace, &d));
+            });
+        });
+    }
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for hidden in [64usize, 256] {
+        let cfg = GeneratorConfig { hidden, ..GeneratorConfig::small() };
+        let generator = InstructionGenerator::new(cfg, &mut rng);
+        c.bench_function(&format!("hfl/generator_{hidden}/sample_24"), |b| {
+            b.iter(|| {
+                let mut session = generator.start_session();
+                for _ in 0..24 {
+                    black_box(generator.next_instruction(&mut session, &mut rng));
+                }
+            });
+        });
+        // One PPO episode update over 24 steps.
+        let mut gen_mut = generator.clone();
+        let mut adam = Adam::new(1e-4);
+        let mut session = gen_mut.start_session();
+        let steps: Vec<EpisodeStep> = (0..24)
+            .map(|_| {
+                let input = session.next_input;
+                let (c, action) = gen_mut.next_instruction(&mut session, &mut rng);
+                EpisodeStep { input, action, mask: c.mask.as_array(), advantage: 0.3 }
+            })
+            .collect();
+        c.bench_function(&format!("hfl/generator_{hidden}/ppo_update_ep24"), |b| {
+            b.iter(|| black_box(gen_mut.ppo_update(&steps, 0.2, &mut adam)));
+        });
+    }
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = PredictorConfig { hidden: 64, ..PredictorConfig::small() };
+    let vp = ValuePredictor::new(cfg, &mut rng);
+    let seq = vec![Tokens::bos(); 24];
+    c.bench_function("hfl/value_predictor_64/value_of_seq24", |b| {
+        b.iter(|| black_box(vp.value_of(&seq)));
+    });
+    let mut cp = CoveragePredictor::new(cfg, 300, &mut rng);
+    let labels = vec![0.5f32; 300];
+    let mut adam = Adam::new(1e-3);
+    c.bench_function("hfl/coverage_predictor_64/train_case_seq24", |b| {
+        b.iter(|| black_box(cp.train_case(&seq, &labels, &mut adam)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lstm, bench_generator, bench_predictors
+}
+criterion_main!(benches);

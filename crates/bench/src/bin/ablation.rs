@@ -1,0 +1,48 @@
+//! Ablates the loop's §IV-B design mechanisms — instruction mask, reset
+//! module, value baseline and reward normalisation — under an identical
+//! RocketChip budget.
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin ablation -- \
+//!     [--cases N] [--hidden N] [--seed N]
+//! ```
+
+use hfl_bench::ablation::{run_ablation, AblationConfig};
+use hfl_bench::arg_num;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = AblationConfig::quick();
+    cfg.cases = arg_num(&args, "--cases", cfg.cases);
+    cfg.hidden = arg_num(&args, "--hidden", cfg.hidden);
+    if let Some(seed) = hfl_bench::arg_value(&args, "--seed") {
+        cfg.seeds = vec![seed.parse().unwrap_or(21)];
+    }
+
+    println!(
+        "ablation: {} cases per variant on RocketChip, hidden {}, {} seeds averaged",
+        cfg.cases,
+        cfg.hidden,
+        cfg.seeds.len()
+    );
+    let rows = run_ablation(&cfg);
+
+    println!("{:-<80}", "");
+    println!(
+        "{:<26} {:>10} {:>8} {:>8} {:>8} {:>12}",
+        "variant", "condition", "line", "fsm", "resets", "signatures"
+    );
+    println!("{:-<80}", "");
+    for row in &rows {
+        println!(
+            "{:<26} {:>10.1} {:>8.1} {:>8.1} {:>8} {:>12.1}",
+            row.variant, row.condition, row.line, row.fsm, row.resets, row.unique_signatures
+        );
+    }
+    println!("{:-<80}", "");
+    println!(
+        "the paper motivates the mask and reset module as the cure for the \
+         'curse of exploitation' (§IV-B); the full configuration should \
+         match or beat every ablated variant on coverage."
+    );
+}

@@ -1,0 +1,52 @@
+//! Diagnostic: runs HFL and Cascade under the same budget and prints the
+//! coverage points each reached that the other did not — the tool used to
+//! tune the graded coverage space during bring-up.
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin diag_gap -- [--cases N] [--core rocket|boom|cva6]
+//! ```
+
+use hfl::baselines::CascadeFuzzer;
+use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl_bench::{arg_num, arg_value};
+use hfl_dut::{CoreKind, Dut, PointId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cases: u64 = arg_num(&args, "--cases", 2000);
+    let core = match arg_value(&args, "--core").as_deref() {
+        Some("boom") => CoreKind::Boom,
+        Some("cva6") => CoreKind::Cva6,
+        _ => CoreKind::Rocket,
+    };
+    let campaign = CampaignConfig::quick(cases);
+
+    let mut hfl_cfg = HflConfig::small().with_seed(7);
+    hfl_cfg.generator.lr = 1e-3;
+    hfl_cfg.predictor.lr = 1e-3;
+    hfl_cfg.test_len = 32;
+    let mut hfl = HflFuzzer::new(hfl_cfg);
+    let hfl_result = run_campaign(&mut hfl, core, &campaign);
+
+    let mut cascade = CascadeFuzzer::new(7, 120);
+    let cascade_result = run_campaign(&mut cascade, core, &campaign);
+
+    let dut = Dut::new(core);
+    let map = dut.coverage_map();
+    println!("{core} after {cases} cases each:");
+    println!("  points only Cascade reached:");
+    for i in 0..map.len() {
+        let id = PointId::from_index(i);
+        if cascade_result.cumulative.is_hit(id) && !hfl_result.cumulative.is_hit(id) {
+            println!("    {}", map.name(id));
+        }
+    }
+    println!("  points only HFL reached:");
+    for i in 0..map.len() {
+        let id = PointId::from_index(i);
+        if hfl_result.cumulative.is_hit(id) && !cascade_result.cumulative.is_hit(id) {
+            println!("    {}", map.name(id));
+        }
+    }
+}

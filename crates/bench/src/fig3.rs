@@ -1,0 +1,228 @@
+//! Fig. 3 reproduction: validation accuracy of the LSTM hardware-coverage
+//! predictor per coverage point (condition, line, FSM) on RocketChip.
+//!
+//! The paper trains on 830 000 test cases for up to 200 epochs with early
+//! stopping (patience 10) and a 90/10 split, removes dead points (>70 % of
+//! the space), and reports mean validation accuracies of 94 % / 94 % / 97 %
+//! for condition / line / FSM coverage.
+
+use hfl::baselines::random_instruction;
+use hfl::predictor::{CoveragePredictor, PredictorConfig};
+use hfl::Tokens;
+use hfl_dut::{CoreKind, CoverageKind, Dut, PointId};
+use hfl_grm::Program;
+use hfl_nn::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of the Fig. 3 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Core to collect coverage on (the paper uses RocketChip).
+    pub core: CoreKind,
+    /// Corpus size (the paper: 830 000).
+    pub cases: usize,
+    /// Instructions per random test case.
+    pub body_len: usize,
+    /// Maximum training epochs (the paper: 200).
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs (the paper: 10).
+    pub patience: usize,
+    /// Predictor LSTM hidden size (the paper: 256).
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Fig3Config {
+    /// A configuration that finishes in about a minute on a laptop while
+    /// preserving the experiment's structure.
+    #[must_use]
+    pub fn quick() -> Fig3Config {
+        Fig3Config {
+            core: CoreKind::Rocket,
+            cases: 600,
+            body_len: 12,
+            max_epochs: 15,
+            patience: 4,
+            hidden: 48,
+            lr: 2e-3,
+            seed: 1,
+        }
+    }
+
+    /// The paper-scale configuration (hours of CPU time).
+    #[must_use]
+    pub fn paper() -> Fig3Config {
+        Fig3Config {
+            core: CoreKind::Rocket,
+            cases: 830_000,
+            body_len: 24,
+            max_epochs: 200,
+            patience: 10,
+            hidden: 256,
+            lr: 1e-4,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-live-point validation accuracy, tagged by metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointAccuracy {
+    /// The metric the point belongs to.
+    pub kind: CoverageKind,
+    /// Validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// The experiment's outputs.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Fraction of coverage points that were dead (always/never covered).
+    pub dead_fraction: f64,
+    /// Number of live points the predictor was trained on.
+    pub live_points: usize,
+    /// Epochs actually trained (early stopping may cut `max_epochs`).
+    pub epochs_ran: usize,
+    /// Validation accuracy per live point, in registration order — the
+    /// series plotted in Fig. 3.
+    pub per_point: Vec<PointAccuracy>,
+    /// Mean validation accuracy per metric.
+    pub mean: Vec<(CoverageKind, f64)>,
+}
+
+impl Fig3Result {
+    /// Mean accuracy for one metric, if any live point belongs to it.
+    #[must_use]
+    pub fn mean_of(&self, kind: CoverageKind) -> Option<f64> {
+        self.mean.iter().find(|(k, _)| *k == kind).map(|(_, a)| *a)
+    }
+}
+
+/// Runs the Fig. 3 experiment.
+#[must_use]
+pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut dut = Dut::new(cfg.core);
+
+    // Corpus generation: random test cases with their coverage bit-strings.
+    let mut dataset: Vec<(Vec<Tokens>, Vec<u8>)> = Vec::with_capacity(cfg.cases);
+    for _ in 0..cfg.cases {
+        let body: Vec<_> = (0..cfg.body_len).map(|_| random_instruction(&mut rng)).collect();
+        let result = dut.run_program(&Program::assemble(&body), 20_000);
+        dataset.push((Tokens::sequence_with_bos(&body), result.coverage.to_bit_labels()));
+    }
+
+    // Dead-point removal (§IV-C).
+    let n_points = dataset[0].1.len();
+    let alive: Vec<usize> = (0..n_points)
+        .filter(|&p| {
+            let hits: usize = dataset.iter().map(|(_, l)| usize::from(l[p])).sum();
+            hits != 0 && hits != dataset.len()
+        })
+        .collect();
+    let dead_fraction = 1.0 - alive.len() as f64 / n_points as f64;
+    let project = |labels: &[u8]| -> Vec<f32> {
+        alive.iter().map(|&p| f32::from(labels[p])).collect()
+    };
+
+    // 90/10 split.
+    let split = dataset.len() * 9 / 10;
+    let (train, valid) = dataset.split_at(split);
+
+    let pred_cfg = PredictorConfig { hidden: cfg.hidden, lr: cfg.lr, ..PredictorConfig::small() };
+    let mut predictor = CoveragePredictor::new(pred_cfg, alive.len(), &mut rng);
+    let mut adam = Adam::new(cfg.lr);
+
+    let eval = |p: &CoveragePredictor| -> (f64, Vec<usize>) {
+        let mut correct = vec![0usize; alive.len()];
+        for (seq, labels) in valid {
+            let probs = p.predict(seq);
+            let labels = project(labels);
+            for (i, (&prob, &l)) in probs.iter().zip(&labels).enumerate() {
+                if (prob >= 0.5) == (l >= 0.5) {
+                    correct[i] += 1;
+                }
+            }
+        }
+        let total: usize = correct.iter().sum();
+        (total as f64 / (valid.len() * alive.len()) as f64, correct)
+    };
+
+    // Train with early stopping on validation accuracy (§IV-C).
+    let mut best_acc = 0.0f64;
+    let mut best_correct = vec![0usize; alive.len()];
+    let mut since_best = 0usize;
+    let mut epochs_ran = 0usize;
+    for _ in 0..cfg.max_epochs {
+        for (seq, labels) in train {
+            predictor.train_case(seq, &project(labels), &mut adam);
+        }
+        epochs_ran += 1;
+        let (acc, correct) = eval(&predictor);
+        if acc > best_acc {
+            best_acc = acc;
+            best_correct = correct;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+
+    // Per-point accuracy series and per-metric means.
+    let map = dut.coverage_map();
+    let per_point: Vec<PointAccuracy> = alive
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| PointAccuracy {
+            kind: map.kind(PointId::from_index(p)),
+            accuracy: best_correct[i] as f64 / valid.len() as f64,
+        })
+        .collect();
+    let mean = CoverageKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let accs: Vec<f64> = per_point
+                .iter()
+                .filter(|p| p.kind == kind)
+                .map(|p| p.accuracy)
+                .collect();
+            (!accs.is_empty())
+                .then(|| (kind, accs.iter().sum::<f64>() / accs.len() as f64))
+        })
+        .collect();
+
+    Fig3Result { dead_fraction, live_points: alive.len(), epochs_ran, per_point, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_matches_the_papers_shape() {
+        let mut cfg = Fig3Config::quick();
+        cfg.cases = 150;
+        cfg.max_epochs = 4;
+        cfg.patience = 2;
+        cfg.hidden = 24;
+        let result = run_fig3(&cfg);
+        assert!(result.dead_fraction > 0.4, "dead {:.2}", result.dead_fraction);
+        assert!(result.live_points > 20);
+        assert!(result.epochs_ran >= 1 && result.epochs_ran <= 4);
+        assert_eq!(result.per_point.len(), result.live_points);
+        for (kind, acc) in &result.mean {
+            assert!(
+                (0.5..=1.0).contains(acc),
+                "{kind}: accuracy {acc} outside plausible range"
+            );
+        }
+        assert!(result.mean_of(CoverageKind::Line).is_some());
+    }
+}

@@ -1,0 +1,54 @@
+//! Benchmark and experiment harnesses for the HFL reproduction.
+//!
+//! One module per paper artefact (see `DESIGN.md`'s per-experiment index):
+//!
+//! | module | artefact | binary |
+//! |---|---|---|
+//! | [`fig3`] | Fig. 3 — coverage-predictor validation accuracy | `fig3_predictor_accuracy` |
+//! | [`fig4`] | Fig. 4 — HFL vs Cascade coverage curves | `fig4_coverage_benchmark` |
+//! | [`efficiency`] | §VI — test-case efficiency vs four fuzzers | `tab_efficiency` |
+//! | [`vulns`] | §VII — vulnerability detection table | `tab_vulnerabilities` |
+//! | [`ablation`] | design-choice ablations | `ablation` |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+pub mod ablation;
+pub mod efficiency;
+pub mod fig3;
+pub mod fig4;
+pub mod parallel;
+pub mod vulns;
+
+/// Parses `--key value` style overrides from a binary's argument list,
+/// returning the value for `key` if present.
+#[must_use]
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a numeric `--key value` override with a default.
+#[must_use]
+pub fn arg_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    arg_value(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--cases", "500", "--hidden", "128"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(arg_value(&args, "--cases").as_deref(), Some("500"));
+        assert_eq!(arg_num(&args, "--cases", 10u64), 500);
+        assert_eq!(arg_num(&args, "--hidden", 64usize), 128);
+        assert_eq!(arg_num(&args, "--missing", 7i32), 7);
+        assert_eq!(arg_value(&args, "--hidden").as_deref(), Some("128"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Parallel campaign execution: each (fuzzer, core, seed) job owns its own
+//! DUT/GRM pair, so campaigns parallelise embarrassingly across threads.
+
+use crossbeam::thread;
+use hfl::CampaignResult;
+
+/// Runs campaign jobs on one thread each, returning results in job order.
+///
+/// # Panics
+///
+/// Propagates a panic from any job.
+pub fn run_parallel<F>(jobs: Vec<F>) -> Vec<CampaignResult>
+where
+    F: FnOnce() -> CampaignResult + Send,
+{
+    thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("campaign job panicked")).collect()
+    })
+    .expect("thread scope")
+}
+
+/// Averages the final per-metric counts of several campaign results
+/// (multi-seed aggregation). Returns `(condition, line, fsm)` means.
+#[must_use]
+pub fn mean_final_counts(results: &[CampaignResult]) -> (f64, f64, f64) {
+    let n = results.len().max(1) as f64;
+    let mut acc = (0.0, 0.0, 0.0);
+    for r in results {
+        let (c, l, f) = r.final_counts();
+        acc.0 += c as f64;
+        acc.1 += l as f64;
+        acc.2 += f as f64;
+    }
+    (acc.0 / n, acc.1 / n, acc.2 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl::baselines::DifuzzRtlFuzzer;
+    use hfl::campaign::{run_campaign, CampaignConfig};
+    use hfl_dut::CoreKind;
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let job = |seed: u64| {
+            move || {
+                let mut fuzzer = DifuzzRtlFuzzer::new(seed, 10);
+                run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(15))
+            }
+        };
+        let parallel = run_parallel(vec![job(1), job(2)]);
+        let mut fuzzer = DifuzzRtlFuzzer::new(1, 10);
+        let sequential = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(15));
+        assert_eq!(parallel[0].curve, sequential.curve);
+        assert_eq!(parallel.len(), 2);
+        let (c, l, f) = mean_final_counts(&parallel);
+        assert!(c > 0.0 && l > 0.0 && f > 0.0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Re-implementations of the baseline fuzzers HFL is benchmarked against
+//! (§VI): DifuzzRTL, TheHuzz, Cascade and ChatFuzz.
+//!
+//! Each baseline reproduces the *generation strategy* of its namesake —
+//! coverage-guided random mutation, binary-level mutation, feedback-free
+//! long-program construction, and binary-level RL respectively — which is
+//! what determines the saturation behaviour Fig. 4 and §VI compare.
+
+use hfl_nn::ops::{sample_categorical, softmax};
+use hfl_riscv::{Instruction, Opcode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::correction::{correct, HeadOutputs};
+use crate::tokens::head_sizes;
+
+/// A generated test-case body: assembly-level or raw words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestBody {
+    /// Assembly-level instructions (DifuzzRTL/Cascade-style generators).
+    Asm(Vec<Instruction>),
+    /// Raw instruction words (TheHuzz/ChatFuzz binary-level generators).
+    Words(Vec<u32>),
+}
+
+impl TestBody {
+    /// Number of body entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            TestBody::Asm(v) => v.len(),
+            TestBody::Words(v) => v.len(),
+        }
+    }
+
+    /// Whether the body is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Coverage feedback handed back to a fuzzer after each case.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Feedback {
+    /// Whether the case increased cumulative coverage.
+    pub gained_coverage: bool,
+    /// Coverage fraction (hit points / total points) of this case.
+    pub coverage: f32,
+    /// Per-point 0/1 coverage labels of this case, when the harness
+    /// provides them (HFL trains its coverage predictor on these; the
+    /// baseline fuzzers ignore them).
+    pub case_bits: Option<std::sync::Arc<Vec<u8>>>,
+    /// Whether the case ran to completion (false = the step budget was
+    /// exhausted, e.g. an accidental infinite loop). HFL's incremental
+    /// test constructor drops non-terminating extensions (§IV-A's scheme
+    /// requires every test case to be executable to completion).
+    pub terminated: bool,
+}
+
+impl Feedback {
+    /// Feedback carrying only the scalar signals (terminated = true).
+    #[must_use]
+    pub fn scalar(gained_coverage: bool, coverage: f32) -> Feedback {
+        Feedback { gained_coverage, coverage, case_bits: None, terminated: true }
+    }
+}
+
+/// A baseline fuzzing strategy.
+pub trait Fuzzer {
+    /// The fuzzer's display name (matching the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Produces the next test case.
+    fn next_case(&mut self) -> TestBody;
+
+    /// Receives coverage feedback for the case just produced. Feedback-free
+    /// fuzzers (Cascade) ignore it.
+    fn feedback(&mut self, body: &TestBody, feedback: Feedback);
+}
+
+/// Draws one uniformly random (but valid) instruction by sampling raw head
+/// outputs and funnelling them through the correction module.
+pub fn random_instruction(rng: &mut StdRng) -> Instruction {
+    let sizes = head_sizes();
+    let mut indices = [0usize; 7];
+    for (i, s) in sizes.iter().enumerate() {
+        indices[i] = rng.gen_range(0..*s);
+    }
+    correct(&HeadOutputs { indices }).instruction
+}
+
+fn random_body(rng: &mut StdRng, len: usize) -> Vec<Instruction> {
+    (0..len).map(|_| random_instruction(rng)).collect()
+}
+
+/// **DifuzzRTL-like**: coverage-guided random generation with corpus
+/// mutation. Cases that grow register/control coverage seed later
+/// mutations.
+#[derive(Debug)]
+pub struct DifuzzRtlFuzzer {
+    rng: StdRng,
+    corpus: Vec<Vec<Instruction>>,
+    case_len: usize,
+    max_corpus: usize,
+}
+
+impl DifuzzRtlFuzzer {
+    /// Creates the fuzzer with a seed and a target case length.
+    #[must_use]
+    pub fn new(seed: u64, case_len: usize) -> DifuzzRtlFuzzer {
+        DifuzzRtlFuzzer {
+            rng: StdRng::seed_from_u64(seed),
+            corpus: Vec::new(),
+            case_len,
+            max_corpus: 64,
+        }
+    }
+
+    fn mutate(&mut self, seed_case: &[Instruction]) -> Vec<Instruction> {
+        let mut out = seed_case.to_vec();
+        let edits = self.rng.gen_range(1..=3);
+        for _ in 0..edits {
+            match self.rng.gen_range(0..3u8) {
+                0 if !out.is_empty() => {
+                    // Replace an instruction.
+                    let i = self.rng.gen_range(0..out.len());
+                    out[i] = random_instruction(&mut self.rng);
+                }
+                1 => {
+                    // Insert an instruction.
+                    let i = self.rng.gen_range(0..=out.len());
+                    out.insert(i, random_instruction(&mut self.rng));
+                }
+                _ if out.len() > 1 => {
+                    // Delete an instruction.
+                    let i = self.rng.gen_range(0..out.len());
+                    out.remove(i);
+                }
+                _ => {}
+            }
+        }
+        out.truncate(self.case_len * 2);
+        out
+    }
+}
+
+impl Fuzzer for DifuzzRtlFuzzer {
+    fn name(&self) -> &'static str {
+        "DifuzzRTL"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        if self.corpus.is_empty() || self.rng.gen_bool(0.5) {
+            let len = self.rng.gen_range(self.case_len / 2..=self.case_len);
+            TestBody::Asm(random_body(&mut self.rng, len))
+        } else {
+            let idx = self.rng.gen_range(0..self.corpus.len());
+            let seed_case = self.corpus[idx].clone();
+            TestBody::Asm(self.mutate(&seed_case))
+        }
+    }
+
+    fn feedback(&mut self, body: &TestBody, feedback: Feedback) {
+        if feedback.gained_coverage {
+            if let TestBody::Asm(instructions) = body {
+                if self.corpus.len() >= self.max_corpus {
+                    self.corpus.remove(0);
+                }
+                self.corpus.push(instructions.clone());
+            }
+        }
+    }
+}
+
+/// **TheHuzz-like**: binary-level mutation of encoded seeds with
+/// coverage-guided seed scheduling (the paper's §III description: opcode
+/// and operand mutation over instruction binaries).
+#[derive(Debug)]
+pub struct TheHuzzFuzzer {
+    rng: StdRng,
+    corpus: Vec<Vec<u32>>,
+    case_len: usize,
+    max_corpus: usize,
+}
+
+impl TheHuzzFuzzer {
+    /// Creates the fuzzer with a seed and a target case length.
+    #[must_use]
+    pub fn new(seed: u64, case_len: usize) -> TheHuzzFuzzer {
+        TheHuzzFuzzer {
+            rng: StdRng::seed_from_u64(seed),
+            corpus: Vec::new(),
+            case_len,
+            max_corpus: 64,
+        }
+    }
+
+    fn fresh(&mut self) -> Vec<u32> {
+        let len = self.rng.gen_range(self.case_len / 2..=self.case_len);
+        (0..len)
+            .map(|_| random_instruction(&mut self.rng).encode())
+            .collect()
+    }
+}
+
+impl Fuzzer for TheHuzzFuzzer {
+    fn name(&self) -> &'static str {
+        "TheHuzz"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        if self.corpus.is_empty() || self.rng.gen_bool(0.4) {
+            return TestBody::Words(self.fresh());
+        }
+        let idx = self.rng.gen_range(0..self.corpus.len());
+        let mut words = self.corpus[idx].clone();
+        // AFL-style bit flips on a few words.
+        let flips = self.rng.gen_range(1..=4);
+        for _ in 0..flips {
+            if words.is_empty() {
+                break;
+            }
+            let w = self.rng.gen_range(0..words.len());
+            let bit = self.rng.gen_range(0..32);
+            words[w] ^= 1 << bit;
+        }
+        TestBody::Words(words)
+    }
+
+    fn feedback(&mut self, body: &TestBody, feedback: Feedback) {
+        if feedback.gained_coverage {
+            if let TestBody::Words(words) = body {
+                if self.corpus.len() >= self.max_corpus {
+                    self.corpus.remove(0);
+                }
+                self.corpus.push(words.clone());
+            }
+        }
+    }
+}
+
+/// **Cascade-like**: long, fully-valid programs with flattened control
+/// flow and no feedback loop (§III: "conducts the fuzzing process at the
+/// program level without relying on mutation strategies for guidance").
+#[derive(Debug)]
+pub struct CascadeFuzzer {
+    rng: StdRng,
+    program_len: usize,
+}
+
+impl CascadeFuzzer {
+    /// Creates the fuzzer; Cascade's programs are long by design.
+    #[must_use]
+    pub fn new(seed: u64, program_len: usize) -> CascadeFuzzer {
+        CascadeFuzzer { rng: StdRng::seed_from_u64(seed), program_len }
+    }
+}
+
+impl Fuzzer for CascadeFuzzer {
+    fn name(&self) -> &'static str {
+        "Cascade"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        let mut body = Vec::with_capacity(self.program_len);
+        while body.len() < self.program_len {
+            let inst = random_instruction(&mut self.rng);
+            // Flatten control flow: drop backward targets and long jumps so
+            // execution sweeps the whole program once.
+            if inst.opcode.is_control_flow() {
+                if self.rng.gen_bool(0.85) {
+                    continue; // mostly data-flow instructions
+                }
+                if matches!(inst.opcode, Opcode::Jalr | Opcode::Jr | Opcode::Ret | Opcode::Mret | Opcode::Sret | Opcode::Ecall | Opcode::Ebreak) {
+                    continue;
+                }
+                let mut fwd = inst;
+                fwd.imm = i64::from(self.rng.gen_range(1..=4i32)) * 4;
+                body.push(fwd);
+                continue;
+            }
+            body.push(inst);
+        }
+        TestBody::Asm(body)
+    }
+
+    fn feedback(&mut self, _body: &TestBody, _feedback: Feedback) {
+        // Cascade is feedback-free by design.
+    }
+}
+
+/// **ChatFuzz-like**: reinforcement learning over raw *bytes* — positional
+/// byte-preference tables updated by REINFORCE. The binary representation
+/// carries weaker inter-instruction semantics than assembly, the
+/// limitation §III attributes to ChatFuzz.
+#[derive(Debug)]
+pub struct ChatFuzzFuzzer {
+    rng: StdRng,
+    /// Preference logits for each of the four byte positions in a word.
+    prefs: [[f32; 256]; 4],
+    case_len: usize,
+    baseline: f32,
+    /// REINFORCE learning rate (public so experiments can anneal it).
+    pub lr: f32,
+    /// Byte choices of the last emitted case (for the REINFORCE update).
+    last_choices: Vec<[usize; 4]>,
+}
+
+impl ChatFuzzFuzzer {
+    /// Creates the fuzzer with a seed and a target case length.
+    #[must_use]
+    pub fn new(seed: u64, case_len: usize) -> ChatFuzzFuzzer {
+        ChatFuzzFuzzer {
+            rng: StdRng::seed_from_u64(seed),
+            prefs: [[0.0; 256]; 4],
+            case_len,
+            baseline: 0.0,
+            lr: 0.05,
+            last_choices: Vec::new(),
+        }
+    }
+}
+
+impl Fuzzer for ChatFuzzFuzzer {
+    fn name(&self) -> &'static str {
+        "ChatFuzz"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        self.last_choices.clear();
+        let mut words = Vec::with_capacity(self.case_len);
+        for _ in 0..self.case_len {
+            let mut choice = [0usize; 4];
+            let mut word = 0u32;
+            for (pos, c) in choice.iter_mut().enumerate() {
+                let probs = softmax(&self.prefs[pos]);
+                *c = sample_categorical(&probs, &mut self.rng);
+                word |= (*c as u32) << (8 * pos);
+            }
+            self.last_choices.push(choice);
+            words.push(word);
+        }
+        TestBody::Words(words)
+    }
+
+    fn feedback(&mut self, _body: &TestBody, feedback: Feedback) {
+        // REINFORCE with a running baseline.
+        let advantage = feedback.coverage - self.baseline;
+        self.baseline = 0.95 * self.baseline + 0.05 * feedback.coverage;
+        for choice in &self.last_choices {
+            for (pos, &byte) in choice.iter().enumerate() {
+                let probs = softmax(&self.prefs[pos]);
+                for (b, p) in probs.iter().enumerate() {
+                    let indicator = f32::from(u8::from(b == byte));
+                    self.prefs[pos][b] += self.lr * advantage * (indicator - p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<F: Fuzzer>(f: &mut F, n: usize) -> Vec<TestBody> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let body = f.next_case();
+            assert!(!body.is_empty(), "{} produced an empty case", f.name());
+            f.feedback(
+                &body,
+                Feedback::scalar(i % 3 == 0, 0.1 + 0.01 * i as f32),
+            );
+            out.push(body);
+        }
+        out
+    }
+
+    #[test]
+    fn all_fuzzers_produce_cases_and_accept_feedback() {
+        drive(&mut DifuzzRtlFuzzer::new(1, 20), 10);
+        drive(&mut TheHuzzFuzzer::new(1, 20), 10);
+        drive(&mut CascadeFuzzer::new(1, 100), 5);
+        drive(&mut ChatFuzzFuzzer::new(1, 16), 10);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(DifuzzRtlFuzzer::new(0, 8).name(), "DifuzzRTL");
+        assert_eq!(TheHuzzFuzzer::new(0, 8).name(), "TheHuzz");
+        assert_eq!(CascadeFuzzer::new(0, 8).name(), "Cascade");
+        assert_eq!(ChatFuzzFuzzer::new(0, 8).name(), "ChatFuzz");
+    }
+
+    #[test]
+    fn random_instructions_are_valid_and_diverse() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut opcodes = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let inst = random_instruction(&mut rng);
+            let _ = inst.encode();
+            opcodes.insert(inst.opcode);
+        }
+        assert!(opcodes.len() > 60, "{} opcodes", opcodes.len());
+    }
+
+    #[test]
+    fn difuzz_mutation_uses_the_corpus() {
+        let mut f = DifuzzRtlFuzzer::new(2, 10);
+        for _ in 0..20 {
+            let body = f.next_case();
+            f.feedback(&body, Feedback::scalar(true, 0.5));
+        }
+        assert!(!f.corpus.is_empty());
+        assert!(f.corpus.len() <= f.max_corpus);
+    }
+
+    #[test]
+    fn cascade_programs_are_long_and_mostly_straight_line() {
+        let mut f = CascadeFuzzer::new(3, 150);
+        let TestBody::Asm(body) = f.next_case() else {
+            panic!("cascade emits asm")
+        };
+        assert_eq!(body.len(), 150);
+        let cf = body.iter().filter(|i| i.opcode.is_control_flow()).count();
+        assert!(cf < body.len() / 4, "{cf} control-flow instructions");
+        for inst in &body {
+            if inst.opcode.is_control_flow() {
+                assert!(inst.imm > 0, "forward targets only");
+            }
+        }
+    }
+
+    #[test]
+    fn chatfuzz_learns_byte_preferences() {
+        let mut f = ChatFuzzFuzzer::new(4, 32);
+        f.lr = 0.5;
+        // Reward cases by how many words carry 0x13 (the addi opcode byte)
+        // in their low byte.
+        for _ in 0..1500 {
+            let body = f.next_case();
+            let TestBody::Words(words) = &body else { unreachable!() };
+            let hits = words.iter().filter(|w| *w & 0xFF == 0x13).count();
+            let coverage = hits as f32 / words.len() as f32;
+            f.feedback(&body, Feedback::scalar(false, coverage));
+        }
+        let probs = softmax(&f.prefs[0]);
+        let p13 = probs[0x13];
+        let uniform = 1.0 / 256.0;
+        assert!(p13 > 2.0 * uniform, "byte 0x13 preference {p13} vs {uniform}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DifuzzRtlFuzzer::new(42, 10);
+        let mut b = DifuzzRtlFuzzer::new(42, 10);
+        for _ in 0..5 {
+            assert_eq!(a.next_case(), b.next_case());
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The campaign runner: drives any [`Fuzzer`] against a core for a test
+//! budget, tracking cumulative coverage curves and mismatch signatures.
+//!
+//! Every figure/table harness in `hfl-bench` is built on this runner, so
+//! HFL and the baselines are always measured identically.
+
+use hfl_dut::{CoreKind, CoverageKind, CoverageSnapshot};
+
+use crate::baselines::{Feedback, Fuzzer, TestBody};
+use crate::corpus::Corpus;
+use crate::difftest::{Signature, SignatureSet};
+use crate::harness::{CaseResult, Executor};
+
+/// Budget and sampling parameters of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Number of test cases to run.
+    pub cases: u64,
+    /// Record a coverage-curve sample every this many cases.
+    pub sample_every: u64,
+    /// Per-test-case step budget.
+    pub max_steps: u64,
+}
+
+impl CampaignConfig {
+    /// A quick campaign (used by tests and the default bench settings).
+    #[must_use]
+    pub fn quick(cases: u64) -> CampaignConfig {
+        // The step budget bounds the cost of accidental loops (backward
+        // branches in generated code); legitimate straight-line cases stay
+        // far below it.
+        CampaignConfig { cases, sample_every: (cases / 50).max(1), max_steps: 3_000 }
+    }
+}
+
+/// One sample of the cumulative coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageSample {
+    /// Test cases executed so far.
+    pub cases: u64,
+    /// Cumulative condition-coverage points hit.
+    pub condition: usize,
+    /// Cumulative line-coverage points hit.
+    pub line: usize,
+    /// Cumulative FSM-coverage points hit.
+    pub fsm: usize,
+}
+
+/// The outcome of one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The fuzzer's name.
+    pub fuzzer: String,
+    /// The core fuzzed.
+    pub core: CoreKind,
+    /// Coverage curve samples (always includes the final state).
+    pub curve: Vec<CoverageSample>,
+    /// Total registered points per metric `(condition, line, fsm)`.
+    pub totals: (usize, usize, usize),
+    /// Unique mismatch signatures found.
+    pub unique_signatures: usize,
+    /// Total mismatches observed (before dedup).
+    pub total_mismatches: u64,
+    /// The deduped signatures, sorted.
+    pub signatures: Vec<Signature>,
+    /// Cumulative coverage at the end of the run.
+    pub cumulative: CoverageSnapshot,
+    /// First case index at which each signature appeared.
+    pub first_detection: Vec<(Signature, u64)>,
+    /// Total instructions the DUT retired across the campaign — the cost
+    /// axis behind the paper's "<1 % of the test cases" efficiency claim
+    /// (test cases differ enormously in size across fuzzers).
+    pub instructions_executed: u64,
+    /// The test case that first triggered each signature, keyed by the
+    /// signature's display form. Word-level cases are stored as their
+    /// decodable instructions.
+    pub trigger_corpus: Corpus,
+}
+
+impl CampaignResult {
+    /// Final cumulative counts per metric.
+    #[must_use]
+    pub fn final_counts(&self) -> (usize, usize, usize) {
+        self.curve.last().map_or((0, 0, 0), |s| (s.condition, s.line, s.fsm))
+    }
+
+    /// Final coverage fraction for one metric.
+    #[must_use]
+    pub fn final_fraction(&self, kind: CoverageKind) -> f64 {
+        let (c, l, f) = self.final_counts();
+        let (tc, tl, tf) = self.totals;
+        match kind {
+            CoverageKind::Condition => c as f64 / tc as f64,
+            CoverageKind::Line => l as f64 / tl as f64,
+            CoverageKind::Fsm => f as f64 / tf as f64,
+        }
+    }
+
+    /// The earliest case index at which cumulative condition coverage
+    /// reached `target` points, if it ever did.
+    #[must_use]
+    pub fn cases_to_reach_condition(&self, target: usize) -> Option<u64> {
+        self.curve.iter().find(|s| s.condition >= target).map(|s| s.cases)
+    }
+}
+
+/// Runs one fuzzing campaign.
+///
+/// The same runner serves HFL (which implements [`Fuzzer`]) and the four
+/// baselines, guaranteeing identical measurement: per-case coverage
+/// fraction feeds Eq. (1), cumulative-growth feeds the fuzzers' corpus
+/// scheduling and HFL's reset module, and every case is differentially
+/// tested.
+pub fn run_campaign(
+    fuzzer: &mut dyn Fuzzer,
+    core: CoreKind,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let executor = Executor::new(core).with_max_steps(cfg.max_steps);
+    run_campaign_with_executor(fuzzer, executor, cfg)
+}
+
+/// [`run_campaign`] with a caller-supplied executor — e.g. one built with
+/// [`Executor::with_quirks`] for the per-bug detection experiments.
+pub fn run_campaign_with_executor(
+    fuzzer: &mut dyn Fuzzer,
+    mut executor: Executor,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let core = executor.core();
+    let map_len = executor.coverage_map().len();
+    let totals = {
+        let map = executor.coverage_map();
+        (
+            map.len_of(CoverageKind::Condition),
+            map.len_of(CoverageKind::Line),
+            map.len_of(CoverageKind::Fsm),
+        )
+    };
+    let mut cumulative = CoverageSnapshot::empty(map_len);
+    let mut signatures = SignatureSet::new();
+    let mut first_detection: Vec<(Signature, u64)> = Vec::new();
+    let mut curve = Vec::new();
+    let mut instructions_executed: u64 = 0;
+    let mut trigger_corpus = Corpus::new();
+
+    for case_idx in 0..cfg.cases {
+        let body = fuzzer.next_case();
+        let result: CaseResult = match &body {
+            TestBody::Asm(instructions) => executor.run_case(instructions),
+            TestBody::Words(words) => executor.run_words(words),
+        };
+        instructions_executed += result.dut.steps;
+        let gained = cumulative.would_grow(&result.dut.coverage);
+        cumulative.union_with(&result.dut.coverage);
+        let coverage = result.dut.coverage.count() as f32 / map_len as f32;
+        for mismatch in &result.mismatches {
+            if signatures.insert(mismatch) {
+                first_detection.push((mismatch.signature(), case_idx + 1));
+                let instructions = match &body {
+                    TestBody::Asm(v) => v.clone(),
+                    TestBody::Words(words) => words
+                        .iter()
+                        .filter_map(|&w| hfl_riscv::decode(w).ok())
+                        .collect(),
+                };
+                trigger_corpus.push(mismatch.signature().to_string(), instructions);
+            }
+        }
+        let case_bits = std::sync::Arc::new(result.dut.coverage.to_bit_labels());
+        let terminated = result.dut.halt != hfl_grm::HaltReason::StepBudget;
+        fuzzer.feedback(
+            &body,
+            Feedback {
+                gained_coverage: gained,
+                coverage,
+                case_bits: Some(case_bits),
+                terminated,
+            },
+        );
+        if (case_idx + 1) % cfg.sample_every == 0 || case_idx + 1 == cfg.cases {
+            let map = executor.coverage_map();
+            curve.push(CoverageSample {
+                cases: case_idx + 1,
+                condition: cumulative.count_of(map, CoverageKind::Condition),
+                line: cumulative.count_of(map, CoverageKind::Line),
+                fsm: cumulative.count_of(map, CoverageKind::Fsm),
+            });
+        }
+    }
+
+    let mut sigs: Vec<Signature> = first_detection.iter().map(|(s, _)| *s).collect();
+    sigs.sort_unstable();
+    CampaignResult {
+        fuzzer: fuzzer.name().to_owned(),
+        core,
+        curve,
+        totals,
+        unique_signatures: signatures.unique(),
+        total_mismatches: signatures.total_mismatches,
+        signatures: sigs,
+        cumulative,
+        first_detection,
+        instructions_executed,
+        trigger_corpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{CascadeFuzzer, DifuzzRtlFuzzer};
+    use crate::fuzzer::{HflConfig, HflFuzzer};
+
+    #[test]
+    fn campaign_produces_monotone_curves() {
+        let mut fuzzer = DifuzzRtlFuzzer::new(5, 12);
+        let result = run_campaign(
+            &mut fuzzer,
+            CoreKind::Rocket,
+            &CampaignConfig { cases: 40, sample_every: 10, max_steps: 20_000 },
+        );
+        assert_eq!(result.fuzzer, "DifuzzRTL");
+        assert_eq!(result.curve.len(), 4);
+        for pair in result.curve.windows(2) {
+            assert!(pair[1].condition >= pair[0].condition);
+            assert!(pair[1].line >= pair[0].line);
+            assert!(pair[1].fsm >= pair[0].fsm);
+        }
+        let (c, l, f) = result.final_counts();
+        assert!(c > 0 && l > 0 && f > 0);
+        assert!(result.final_fraction(CoverageKind::Line) > 0.0);
+        assert!(result.final_fraction(CoverageKind::Line) <= 1.0);
+    }
+
+    #[test]
+    fn campaign_finds_rocket_bugs_with_random_fuzzing() {
+        // Rocket carries K2 (sc succeeds without reservation) and K3
+        // (unimplemented CSR nop); random fuzzing over a few hundred cases
+        // reliably trips at least one.
+        let mut fuzzer = DifuzzRtlFuzzer::new(11, 16);
+        let result = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(150));
+        assert!(
+            result.unique_signatures > 0,
+            "expected at least one injected-bug signature"
+        );
+        assert!(result.total_mismatches >= result.unique_signatures as u64);
+        assert!(!result.first_detection.is_empty());
+    }
+
+    #[test]
+    fn hfl_runs_through_the_same_campaign_harness() {
+        let mut cfg = HflConfig::small();
+        cfg.generator.hidden = 16;
+        cfg.predictor.hidden = 16;
+        cfg.test_len = 6;
+        let mut hfl = HflFuzzer::new(cfg);
+        let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(30));
+        assert_eq!(result.fuzzer, "HFL");
+        assert!(result.final_counts().0 > 0);
+        assert_eq!(hfl.stats().cases, 30);
+    }
+
+    #[test]
+    fn cascade_is_feedback_free_but_still_measured() {
+        let mut fuzzer = CascadeFuzzer::new(2, 60);
+        let result = run_campaign(&mut fuzzer, CoreKind::Boom, &CampaignConfig::quick(10));
+        assert!(result.final_counts().1 > 0);
+        assert_eq!(result.core, CoreKind::Boom);
+    }
+}
+
+#[cfg(test)]
+mod trigger_tests {
+    use super::*;
+    use crate::baselines::DifuzzRtlFuzzer;
+    use crate::corpus::Corpus;
+
+    #[test]
+    fn trigger_corpus_replays_to_the_same_signatures() {
+        // Run a campaign, then re-execute each saved trigger case: every
+        // one must reproduce its signature — the corpus is a regression
+        // suite for the injected defects.
+        let mut fuzzer = DifuzzRtlFuzzer::new(12, 16);
+        let result = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(150));
+        assert!(!result.trigger_corpus.entries().is_empty(), "need triggers");
+        let mut executor = Executor::new(CoreKind::Rocket);
+        for entry in result.trigger_corpus.entries() {
+            let replay = executor.run_case(&entry.body);
+            let reproduced = replay
+                .mismatches
+                .iter()
+                .any(|m| m.signature().to_string() == entry.name);
+            assert!(reproduced, "{} did not reproduce", entry.name);
+        }
+        // And the corpus survives text round-tripping.
+        let text = result.trigger_corpus.to_text();
+        assert_eq!(Corpus::from_text(&text).unwrap(), result.trigger_corpus);
+    }
+}

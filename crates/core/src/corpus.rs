@@ -1,0 +1,195 @@
+//! Corpus management: saving and replaying test cases as assembly text.
+//!
+//! Campaign artefacts — the cases that first triggered each mismatch
+//! signature — are worth keeping: they are regression tests for the DUT
+//! and the inputs to triage. A [`Corpus`] collects named test cases and
+//! round-trips through a plain-text format (one `== name` header per case,
+//! one instruction per line) built on [`hfl_riscv::asm`].
+
+use std::fmt::Write as _;
+
+use hfl_riscv::asm::{format_program, parse_program, ParseAsmError};
+use hfl_riscv::Instruction;
+
+/// A named test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Identifier (e.g. `"sig:00ab… first trigger"`).
+    pub name: String,
+    /// The case body.
+    pub body: Vec<Instruction>,
+}
+
+/// An ordered collection of named test cases.
+///
+/// # Examples
+///
+/// ```
+/// use hfl::corpus::Corpus;
+/// use hfl_riscv::{Instruction, Opcode, Reg};
+///
+/// let mut corpus = Corpus::new();
+/// corpus.push("smoke", vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1)]);
+/// let text = corpus.to_text();
+/// let back = Corpus::from_text(&text)?;
+/// assert_eq!(back.entries().len(), 1);
+/// # Ok::<(), hfl_riscv::asm::ParseAsmError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    #[must_use]
+    pub fn new() -> Corpus {
+        Corpus::default()
+    }
+
+    /// The entries, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Appends a named case.
+    pub fn push(&mut self, name: impl Into<String>, body: Vec<Instruction>) {
+        self.entries.push(CorpusEntry { name: name.into(), body });
+    }
+
+    /// Looks an entry up by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&CorpusEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Renders the corpus as text (`== name` headers, asm bodies).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let _ = writeln!(out, "== {}", entry.name);
+            out.push_str(&format_program(&entry.body));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a corpus from [`Corpus::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first assembly parse error, with its line number within
+    /// the whole file.
+    pub fn from_text(text: &str) -> Result<Corpus, ParseAsmError> {
+        let mut corpus = Corpus::new();
+        let mut name: Option<String> = None;
+        let mut chunk = String::new();
+        let mut chunk_start = 0usize;
+        let flush = |name: &mut Option<String>,
+                         chunk: &mut String,
+                         chunk_start: usize,
+                         corpus: &mut Corpus|
+         -> Result<(), ParseAsmError> {
+            if let Some(n) = name.take() {
+                let body = parse_program(chunk).map_err(|mut e| {
+                    e.line += chunk_start;
+                    e
+                })?;
+                corpus.entries.push(CorpusEntry { name: n, body });
+            }
+            chunk.clear();
+            Ok(())
+        };
+        for (idx, line) in text.lines().enumerate() {
+            if let Some(header) = line.strip_prefix("== ") {
+                flush(&mut name, &mut chunk, chunk_start, &mut corpus)?;
+                name = Some(header.trim().to_owned());
+                chunk_start = idx + 1;
+            } else if name.is_some() {
+                chunk.push_str(line);
+                chunk.push('\n');
+            }
+        }
+        flush(&mut name, &mut chunk, chunk_start, &mut corpus)?;
+        Ok(corpus)
+    }
+}
+
+impl FromIterator<CorpusEntry> for Corpus {
+    fn from_iter<T: IntoIterator<Item = CorpusEntry>>(iter: T) -> Self {
+        Corpus { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<CorpusEntry> for Corpus {
+    fn extend<T: IntoIterator<Item = CorpusEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poc::poc_for;
+    use hfl_riscv::{Opcode, Reg};
+
+    #[test]
+    fn round_trip_multiple_entries() {
+        let mut corpus = Corpus::new();
+        corpus.push("first", vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1)]);
+        corpus.push(
+            "second",
+            vec![
+                Instruction::r(Opcode::Add, Reg::X1, Reg::X2, Reg::X3),
+                Instruction::nullary(Opcode::Ecall),
+            ],
+        );
+        let text = corpus.to_text();
+        let back = Corpus::from_text(&text).unwrap();
+        assert_eq!(back, corpus);
+        assert_eq!(back.find("second").unwrap().body.len(), 2);
+        assert!(back.find("missing").is_none());
+    }
+
+    #[test]
+    fn the_poc_catalogue_round_trips_through_text() {
+        // Every directed vulnerability trigger survives text serialisation
+        // — the paper's listings are distributable as plain assembly.
+        let mut corpus = Corpus::new();
+        for bug in hfl_dut::CATALOG {
+            corpus.push(bug.id, poc_for(bug.id));
+        }
+        let text = corpus.to_text();
+        let back = Corpus::from_text(&text).unwrap();
+        assert_eq!(back, corpus);
+    }
+
+    #[test]
+    fn parse_errors_carry_file_line_numbers() {
+        let text = "== broken\nnop\nbogus instruction\n";
+        let e = Corpus::from_text(text).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+    }
+
+    #[test]
+    fn empty_and_headerless_text() {
+        assert_eq!(Corpus::from_text("").unwrap().entries().len(), 0);
+        // Text before any header is ignored (comments/preamble).
+        let c = Corpus::from_text("# preamble\n== a\nnop\n").unwrap();
+        assert_eq!(c.entries().len(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let entries = vec![
+            CorpusEntry { name: "a".into(), body: vec![Instruction::NOP] },
+            CorpusEntry { name: "b".into(), body: vec![] },
+        ];
+        let mut c: Corpus = entries.clone().into_iter().collect();
+        assert_eq!(c.entries().len(), 2);
+        c.extend(entries);
+        assert_eq!(c.entries().len(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! The instruction-correction module (§IV-A).
+//!
+//! The generator's seven heads emit raw indices. This module identifies the
+//! opcode, selects the outputs that opcode actually needs, legalises the
+//! immediate, resolves the address-head output to a CSR or control-flow
+//! offset, and produces (1) a valid [`Instruction`] and (2) the
+//! *instruction mask* recording which heads were used — the mask later
+//! gates the per-head PPO update (§IV-B).
+
+use hfl_riscv::imm::imm_from_index;
+use hfl_riscv::vocab::{addr_csr_for_index, addr_offset_for_index};
+use hfl_riscv::{legalize_imm, AddrKind, Csr, ImmKind, Instruction, Opcode, OperandMask};
+
+/// Raw head outputs, in head order `[opcode, rd, rs1, rs2, rs3, imm, addr]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadOutputs {
+    /// Sampled index per head.
+    pub indices: [usize; 7],
+}
+
+/// A corrected instruction plus the mask of heads that contributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corrected {
+    /// The valid instruction.
+    pub instruction: Instruction,
+    /// Which heads were used (the §IV-B instruction mask).
+    pub mask: OperandMask,
+}
+
+/// Corrects raw head outputs into a valid instruction (§IV-A).
+///
+/// Never fails: every combination of head outputs maps to a legal
+/// instruction, which is what lets the generator explore freely while the
+/// paper's "instruction generation scheme ensures the correctness of
+/// generated instructions".
+///
+/// # Examples
+///
+/// ```
+/// use hfl::correction::{correct, HeadOutputs};
+///
+/// let out = HeadOutputs { indices: [0, 10, 0, 0, 0, 3, 0] }; // lui x10, ...
+/// let c = correct(&out);
+/// assert!(c.mask.opcode && c.mask.rd && c.mask.imm);
+/// assert!(!c.mask.rs2 && !c.mask.addr);
+/// let _word = c.instruction.encode();
+/// ```
+#[must_use]
+pub fn correct(outputs: &HeadOutputs) -> Corrected {
+    let [op_idx, rd_idx, rs1_idx, rs2_idx, rs3_idx, imm_idx, addr_idx] = outputs.indices;
+    let opcode = Opcode::from_index(op_idx);
+    let spec = opcode.spec();
+    let mask = spec.mask();
+
+    let rd = if spec.rd.is_some() { (rd_idx % 32) as u8 } else { 0 };
+    let rs1 = if spec.rs1.is_some() { (rs1_idx % 32) as u8 } else { 0 };
+    let rs2 = if spec.rs2.is_some() { (rs2_idx % 32) as u8 } else { 0 };
+    let rs3 = if spec.rs3.is_some() { (rs3_idx % 32) as u8 } else { 0 };
+
+    let mut imm: i64 = 0;
+    if spec.imm != ImmKind::None {
+        imm = legalize_imm(opcode, imm_from_index(imm_idx));
+    }
+    let mut csr = Csr::FFLAGS;
+    match spec.addr {
+        AddrKind::None => {}
+        AddrKind::Csr => csr = addr_csr_for_index(addr_idx),
+        AddrKind::Branch | AddrKind::Jump => {
+            // Control-flow targets come from the address head; legalise to
+            // the encoding range of the branch/jump format.
+            let kind = if spec.addr == AddrKind::Branch { ImmKind::B13 } else { ImmKind::J21 };
+            imm = hfl_riscv::imm::legalize_kind(kind, addr_offset_for_index(addr_idx));
+        }
+    }
+
+    Corrected {
+        instruction: Instruction::new(opcode, rd, rs1, rs2, rs3, imm, csr),
+        mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn opcode_index_wraps() {
+        let a = correct(&HeadOutputs { indices: [0, 0, 0, 0, 0, 0, 0] });
+        let b = correct(&HeadOutputs { indices: [Opcode::COUNT, 0, 0, 0, 0, 0, 0] });
+        assert_eq!(a.instruction.opcode, b.instruction.opcode);
+    }
+
+    #[test]
+    fn mask_matches_opcode_spec() {
+        // add: rd, rs1, rs2, no imm/addr.
+        let add_idx = Opcode::Add.index();
+        let c = correct(&HeadOutputs { indices: [add_idx, 1, 2, 3, 4, 5, 6] });
+        assert_eq!(c.instruction.opcode, Opcode::Add);
+        assert!(c.mask.rd && c.mask.rs1 && c.mask.rs2);
+        assert!(!c.mask.rs3 && !c.mask.imm && !c.mask.addr);
+        assert_eq!(c.instruction.rs3, 0, "unused slots are zeroed");
+        assert_eq!(c.instruction.imm, 0);
+    }
+
+    #[test]
+    fn csr_instructions_use_the_address_head() {
+        let idx = Opcode::Csrrw.index();
+        let c = correct(&HeadOutputs { indices: [idx, 1, 2, 0, 0, 0, 8] });
+        assert!(c.mask.addr);
+        assert_eq!(c.instruction.csr, Csr::GENERATOR_VOCAB[8]);
+    }
+
+    #[test]
+    fn branches_get_legal_even_offsets() {
+        let idx = Opcode::Beq.index();
+        for addr_idx in 0..60 {
+            let c = correct(&HeadOutputs { indices: [idx, 0, 1, 2, 0, 0, addr_idx] });
+            assert_eq!(c.instruction.imm % 2, 0);
+            assert!(ImmKind::B13.accepts(c.instruction.imm));
+        }
+    }
+
+    #[test]
+    fn paper_example_fnmsub() {
+        // fnmsub.d uses all four register heads.
+        let idx = Opcode::FnmsubD.index();
+        let c = correct(&HeadOutputs { indices: [idx, 20, 25, 5, 25, 9, 9] });
+        assert_eq!(c.instruction.to_string(), "fnmsub.d fs4, fs9, ft5, fs9");
+        assert_eq!(c.mask.active_count(), 5);
+    }
+
+    proptest! {
+        /// Every possible head-output combination corrects to an
+        /// instruction that encodes and (for non-pseudo forms) decodes.
+        #[test]
+        fn correction_always_yields_encodable_instructions(
+            op in 0usize..Opcode::COUNT * 2,
+            rd in 0usize..64, rs1 in 0usize..64, rs2 in 0usize..64,
+            rs3 in 0usize..64, imm in 0usize..256, addr in 0usize..256,
+        ) {
+            let c = correct(&HeadOutputs { indices: [op, rd, rs1, rs2, rs3, imm, addr] });
+            let word = c.instruction.encode();
+            let real = c.instruction.expand_pseudo();
+            let back = hfl_riscv::decode(word);
+            prop_assert!(back.is_ok(), "{} failed to decode", c.instruction);
+            prop_assert_eq!(back.unwrap().opcode, real.opcode);
+        }
+
+        /// The mask marks exactly the heads the spec says are consumed.
+        #[test]
+        fn mask_is_consistent_with_spec(op in 0usize..Opcode::COUNT) {
+            let c = correct(&HeadOutputs { indices: [op, 0, 0, 0, 0, 0, 0] });
+            let spec = c.instruction.opcode.spec();
+            prop_assert_eq!(c.mask, spec.mask());
+            prop_assert!(c.mask.opcode);
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! The Hardware Fuzzing Loop (§IV, Fig. 1): generator → correction → test
+//! construction → DUT → reward → PPO update, with the instruction mask and
+//! reset module keeping exploration alive.
+
+use hfl_nn::Adam;
+use hfl_rl::{advantage, PpoConfig, RewardConfig, RewardNormalizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{Feedback, Fuzzer, TestBody};
+use crate::generator::{EpisodeStep, GenSession, GeneratorConfig, InstructionGenerator};
+use crate::predictor::{CoveragePredictor, CoverageSession, PredictorConfig, ValuePredictor, ValueSession};
+use crate::tokens::Tokens;
+use hfl_riscv::Instruction;
+
+/// Configuration of the full loop, §V defaults throughout. The boolean
+/// switches exist for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HflConfig {
+    /// Generator hyper-parameters (§V-A).
+    pub generator: GeneratorConfig,
+    /// Predictor hyper-parameters (§V-A).
+    pub predictor: PredictorConfig,
+    /// Reward shape (Eq. 1; §V-B: α = 0.2, r_bonus = 0.4).
+    pub reward: RewardConfig,
+    /// PPO hyper-parameters (§V-B: γ = 0.1, ε = 0.2).
+    pub ppo: PpoConfig,
+    /// PPO window: the number of most-recent steps each update trains on
+    /// (truncated-BPTT over the growing test sequence).
+    pub test_len: usize,
+    /// Maximum accumulated test-case length. §IV-A grows each test case
+    /// from the previous one by a single instruction for as long as
+    /// possible; the cap (bounded by the code region) restarts the
+    /// sequence, like the reset module but keeping the learned policy.
+    pub body_cap: usize,
+    /// Iterations without cumulative-coverage growth before the reset
+    /// module re-initialises both models (§IV-B).
+    pub reset_patience: u64,
+    /// Enable the §IV-B instruction mask (ablation switch).
+    pub use_instruction_mask: bool,
+    /// Enable the §IV-B reset module (ablation switch).
+    pub use_reset: bool,
+    /// Use the predictor's value estimate in the advantage (Eq. 2); off
+    /// replaces `V` with zero (ablation switch).
+    pub use_value_baseline: bool,
+    /// Normalise rewards (§V-B; ablation switch).
+    pub normalize_rewards: bool,
+    /// Candidate instructions sampled per step and screened by the
+    /// coverage predictor (contribution 3: "the predictor evaluates the
+    /// quality of these instructions" so that not every candidate needs
+    /// hardware simulation). `1` disables screening (ablation switch).
+    pub screen_candidates: usize,
+    /// Per-head ε-exploration floor: the probability that a head output is
+    /// drawn uniformly instead of from the policy, so rare instructions
+    /// never disappear from the stream (the §IV-B curse-of-exploitation
+    /// guard alongside the mask and reset module).
+    pub exploration_epsilon: f32,
+    /// RNG seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl HflConfig {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper_default() -> HflConfig {
+        HflConfig {
+            generator: GeneratorConfig::paper_default(),
+            predictor: PredictorConfig::paper_default(),
+            reward: RewardConfig::paper_default(),
+            ppo: PpoConfig::paper_default(),
+            test_len: 24,
+            body_cap: 256,
+            reset_patience: 300,
+            use_instruction_mask: true,
+            use_reset: true,
+            use_value_baseline: true,
+            normalize_rewards: true,
+            screen_candidates: 4,
+            exploration_epsilon: 0.02,
+            seed: 0,
+        }
+    }
+
+    /// A smaller, faster configuration (same loop, narrower networks) for
+    /// the default benchmark harnesses and tests.
+    #[must_use]
+    pub fn small() -> HflConfig {
+        HflConfig {
+            generator: GeneratorConfig::small(),
+            predictor: PredictorConfig::small(),
+            test_len: 24,
+            body_cap: 192,
+            reset_patience: 150,
+            ..HflConfig::paper_default()
+        }
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> HflConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for HflConfig {
+    fn default() -> Self {
+        HflConfig::paper_default()
+    }
+}
+
+/// A step awaiting its reward (emitted by `next_case`, completed by
+/// `feedback`).
+#[derive(Debug, Clone)]
+struct PendingStep {
+    input: Tokens,
+    action: crate::generator::SampledAction,
+    mask: [bool; 7],
+    v_t: f32,
+    v_next: f32,
+    /// Session snapshots from before this instruction was appended, so a
+    /// non-terminating extension can be rolled back.
+    undo_gen: GenSession,
+    undo_value: ValueSession,
+    undo_coverage: Option<CoverageSession>,
+}
+
+/// Counters the loop exposes for monitoring and the benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HflStats {
+    /// Completed PPO updates (episodes).
+    pub episodes: u64,
+    /// Test cases emitted.
+    pub cases: u64,
+    /// Reset-module activations.
+    pub resets: u64,
+    /// Best per-case coverage fraction observed.
+    pub best_coverage: f32,
+    /// Mean probability ratio of the last update.
+    pub last_mean_ratio: f32,
+    /// Mean TD error of the last predictor update.
+    pub last_td_error: f32,
+}
+
+/// The hardware fuzzing loop.
+///
+/// Implements [`Fuzzer`], so it drops into the same campaign harness as
+/// the baselines: `next_case` extends the incremental test case by one
+/// generated instruction (§IV-A test construction) and `feedback` performs
+/// reward assignment, the PPO update (episode end) and reset-module
+/// bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hfl::baselines::{Feedback, Fuzzer};
+/// use hfl::fuzzer::{HflConfig, HflFuzzer};
+///
+/// let mut cfg = HflConfig::small();
+/// cfg.generator.hidden = 16;
+/// cfg.predictor.hidden = 16;
+/// let mut hfl = HflFuzzer::new(cfg);
+/// let case = hfl.next_case();
+/// hfl.feedback(&case, Feedback::scalar(true, 0.3));
+/// ```
+#[derive(Debug)]
+pub struct HflFuzzer {
+    cfg: HflConfig,
+    rng: StdRng,
+    generator: InstructionGenerator,
+    predictor: ValuePredictor,
+    gen_adam: Adam,
+    pred_adam: Adam,
+    normalizer: RewardNormalizer,
+    session: GenSession,
+    value_session: ValueSession,
+    coverage_predictor: Option<CoveragePredictor>,
+    coverage_session: Option<CoverageSession>,
+    cov_adam: Adam,
+    cumulative_bits: Vec<f32>,
+    body: Vec<Instruction>,
+    pending: Option<PendingStep>,
+    episode: Vec<EpisodeStep>,
+    td_inputs: Vec<Tokens>,
+    td_targets: Vec<f32>,
+    stagnation: u64,
+    consecutive_rollbacks: u32,
+    stats: HflStats,
+}
+
+impl HflFuzzer {
+    /// Creates the loop with freshly initialised models.
+    #[must_use]
+    pub fn new(cfg: HflConfig) -> HflFuzzer {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let generator = InstructionGenerator::new(cfg.generator, &mut rng);
+        let predictor = ValuePredictor::new(cfg.predictor, &mut rng);
+        let session = generator.start_session();
+        let value_session = predictor.start_session();
+        HflFuzzer {
+            gen_adam: Adam::new(cfg.generator.lr),
+            pred_adam: Adam::new(cfg.predictor.lr),
+            normalizer: RewardNormalizer::new(),
+            cfg,
+            rng,
+            generator,
+            predictor,
+            session,
+            value_session,
+            coverage_predictor: None,
+            coverage_session: None,
+            cov_adam: Adam::new(cfg.predictor.lr),
+            cumulative_bits: Vec::new(),
+            body: Vec::new(),
+            pending: None,
+            episode: Vec::new(),
+            td_inputs: Vec::new(),
+            td_targets: Vec::new(),
+            stagnation: 0,
+            consecutive_rollbacks: 0,
+            stats: HflStats::default(),
+        }
+    }
+
+    /// Loop statistics.
+    #[must_use]
+    pub fn stats(&self) -> HflStats {
+        self.stats
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &HflConfig {
+        &self.cfg
+    }
+
+    /// Read access to the generator (e.g. for persistence).
+    #[must_use]
+    pub fn generator(&self) -> &InstructionGenerator {
+        &self.generator
+    }
+
+    /// Samples up to `screen_candidates` instructions from the policy and
+    /// commits the one the coverage predictor scores highest on *expected
+    /// new coverage* — the paper's fast predictor-in-the-loop feedback.
+    /// Falls back to plain sampling until the predictor has data.
+    fn generate_screened(&mut self) -> (crate::correction::Corrected, crate::generator::SampledAction) {
+        let hidden = self.generator.advance(&mut self.session);
+        let k = self.cfg.screen_candidates.max(1);
+        let screening_ready =
+            k > 1 && self.coverage_predictor.is_some() && self.stats.cases >= 32;
+        if !screening_ready {
+            let (corrected, action) = self.generator.sample_with_exploration(
+                &hidden,
+                self.cfg.exploration_epsilon,
+                &mut self.rng,
+            );
+            self.generator.commit(&mut self.session, &corrected);
+            if let (Some(cp), Some(cs)) = (&self.coverage_predictor, &mut self.coverage_session) {
+                cp.step(cs, &Tokens::from_instruction(&corrected.instruction));
+            }
+            return (corrected, action);
+        }
+        let predictor = self.coverage_predictor.as_ref().expect("checked above");
+        let session = self.coverage_session.as_ref().expect("paired with predictor");
+        let mut best: Option<(f32, crate::correction::Corrected, crate::generator::SampledAction)> =
+            None;
+        for _ in 0..k {
+            let (corrected, action) = self.generator.sample_with_exploration(
+                &hidden,
+                self.cfg.exploration_epsilon,
+                &mut self.rng,
+            );
+            let token = Tokens::from_instruction(&corrected.instruction);
+            let probs = predictor.peek(session, &token);
+            // Expected number of *new* points this candidate unlocks.
+            let score: f32 = probs
+                .iter()
+                .zip(&self.cumulative_bits)
+                .map(|(p, cum)| p * (1.0 - cum))
+                .sum();
+            if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
+                best = Some((score, corrected, action));
+            }
+        }
+        let (_, corrected, action) = best.expect("k >= 1");
+        self.generator.commit(&mut self.session, &corrected);
+        let token = Tokens::from_instruction(&corrected.instruction);
+        let (cp, cs) = (
+            self.coverage_predictor.as_ref().expect("checked"),
+            self.coverage_session.as_mut().expect("checked"),
+        );
+        cp.step(cs, &token);
+        (corrected, action)
+    }
+
+    /// Online training of the coverage predictor on the executed case's
+    /// per-point labels (lazy-initialised on the first labelled feedback).
+    fn train_coverage_predictor(&mut self, bits: &[u8]) {
+        if self.coverage_predictor.is_none() {
+            self.coverage_predictor = Some(CoveragePredictor::new(
+                self.cfg.predictor,
+                bits.len(),
+                &mut self.rng,
+            ));
+            self.coverage_session =
+                Some(self.coverage_predictor.as_ref().expect("just set").start_session());
+            self.cumulative_bits = vec![0.0; bits.len()];
+        }
+        for (cum, &b) in self.cumulative_bits.iter_mut().zip(bits) {
+            if b != 0 {
+                *cum = 1.0;
+            }
+        }
+        let labels: Vec<f32> = bits.iter().map(|&b| f32::from(b)).collect();
+        // Train on the recent suffix: the growing test sequence would make
+        // whole-body training quadratic in campaign length.
+        let window = self.cfg.test_len.max(8);
+        let start = self.body.len().saturating_sub(window);
+        let sequence = Tokens::sequence_with_bos(&self.body[start..]);
+        if let Some(cp) = &mut self.coverage_predictor {
+            cp.train_case(&sequence, &labels, &mut self.cov_adam);
+        }
+    }
+
+    fn finish_episode(&mut self) {
+        if !self.episode.is_empty() {
+            let stats = self.generator.ppo_update(
+                &self.episode,
+                self.cfg.ppo.epsilon,
+                &mut self.gen_adam,
+            );
+            self.stats.last_mean_ratio = stats.mean_ratio;
+            self.stats.last_td_error = self.predictor.train_episode(
+                &self.td_inputs,
+                &self.td_targets,
+                &mut self.pred_adam,
+            );
+            self.stats.episodes += 1;
+        }
+        self.episode.clear();
+        self.td_inputs.clear();
+        self.td_targets.clear();
+        self.body.clear();
+        self.session = self.generator.start_session();
+        self.value_session = self.predictor.start_session();
+        self.coverage_session = self.coverage_predictor.as_ref().map(CoveragePredictor::start_session);
+        self.pending = None;
+    }
+
+    fn activate_reset_module(&mut self) {
+        self.generator.reset(&mut self.rng);
+        self.predictor.reset(&mut self.rng);
+        self.gen_adam = Adam::new(self.cfg.generator.lr);
+        self.pred_adam = Adam::new(self.cfg.predictor.lr);
+        self.normalizer.reset();
+        self.stagnation = 0;
+        self.stats.resets += 1;
+        self.finish_only_state();
+    }
+
+    /// Clears episode state without a model update (post-reset). The
+    /// coverage predictor is re-initialised with the rest of φ.
+    fn finish_only_state(&mut self) {
+        self.episode.clear();
+        self.td_inputs.clear();
+        self.td_targets.clear();
+        self.body.clear();
+        self.session = self.generator.start_session();
+        self.value_session = self.predictor.start_session();
+        self.coverage_predictor = None;
+        self.coverage_session = None;
+        self.cov_adam = Adam::new(self.cfg.predictor.lr);
+        self.pending = None;
+    }
+}
+
+impl Fuzzer for HflFuzzer {
+    fn name(&self) -> &'static str {
+        "HFL"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        // V(S_t): the critic's estimate before the new instruction.
+        let v_t = if self.cfg.use_value_baseline {
+            if self.body.is_empty() {
+                // Prime the critic with the BOS token at episode start.
+                self.predictor.step(&mut self.value_session, &Tokens::bos())
+            } else {
+                self.value_session.value()
+            }
+        } else {
+            0.0
+        };
+        let input = self.session.next_input;
+        let undo_gen = self.session.clone();
+        let undo_value = self.value_session.clone();
+        let undo_coverage = self.coverage_session.clone();
+        let (corrected, action) = self.generate_screened();
+        let v_next = if self.cfg.use_value_baseline {
+            self.predictor.step(
+                &mut self.value_session,
+                &Tokens::from_instruction(&corrected.instruction),
+            )
+        } else {
+            0.0
+        };
+        let mask = if self.cfg.use_instruction_mask {
+            corrected.mask.as_array()
+        } else {
+            [true; 7]
+        };
+        self.pending = Some(PendingStep {
+            input,
+            action,
+            mask,
+            v_t,
+            v_next,
+            undo_gen,
+            undo_value,
+            undo_coverage,
+        });
+        self.body.push(corrected.instruction);
+        self.stats.cases += 1;
+        TestBody::Asm(self.body.clone())
+    }
+
+    fn feedback(&mut self, _body: &TestBody, feedback: Feedback) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        if !feedback.terminated {
+            // §IV-A's constructor keeps every test case executable: a
+            // non-terminating extension is rolled back, and the action that
+            // caused it is penalised so the policy avoids runaway loops.
+            self.body.pop();
+            self.session = pending.undo_gen;
+            self.value_session = pending.undo_value;
+            self.coverage_session = pending.undo_coverage;
+            let penalty = if self.cfg.normalize_rewards {
+                self.normalizer.normalize(0.0)
+            } else {
+                0.0
+            };
+            let adv = advantage(penalty - 0.5, pending.v_next, pending.v_t, self.cfg.ppo.gamma);
+            self.episode.push(EpisodeStep {
+                input: pending.input,
+                action: pending.action,
+                mask: pending.mask,
+                advantage: adv,
+            });
+            self.td_inputs.push(pending.input);
+            self.td_targets.push(penalty - 0.5);
+            self.stagnation += 1;
+            self.consecutive_rollbacks += 1;
+            if self.consecutive_rollbacks >= 8 {
+                // The sequence's runtime sits at the step budget: no
+                // extension can terminate any more. Restart the test
+                // sequence (policy intact) instead of stalling until the
+                // reset module fires.
+                self.consecutive_rollbacks = 0;
+                self.finish_episode();
+            }
+            return;
+        }
+        self.consecutive_rollbacks = 0;
+        if let Some(bits) = feedback.case_bits.clone() {
+            self.train_coverage_predictor(&bits);
+        }
+        // Eq. (1): reward assignment. The r_bonus is granted when the test
+        // case "achieves the highest hardware coverage observed so far" —
+        // read cumulatively: a case that grows cumulative coverage sets a
+        // new high-water mark and earns the bonus. This is the discovery
+        // signal that drives the generator toward untouched hardware
+        // states.
+        if feedback.coverage > self.stats.best_coverage {
+            self.stats.best_coverage = feedback.coverage;
+        }
+        let raw = self.cfg.reward.reward(feedback.coverage, feedback.gained_coverage);
+        let reward = if self.cfg.normalize_rewards {
+            self.normalizer.normalize(raw)
+        } else {
+            raw
+        };
+        // Eq. (2): advantage against the critic baseline.
+        let adv = advantage(reward, pending.v_next, pending.v_t, self.cfg.ppo.gamma);
+        self.episode.push(EpisodeStep {
+            input: pending.input,
+            action: pending.action,
+            mask: pending.mask,
+            advantage: adv,
+        });
+        // Eq. (3) target for the critic.
+        self.td_inputs.push(pending.input);
+        self.td_targets.push(reward + self.cfg.ppo.gamma * pending.v_next);
+
+        // Reset-module bookkeeping (cumulative coverage stagnation).
+        if feedback.gained_coverage {
+            self.stagnation = 0;
+        } else {
+            self.stagnation += 1;
+        }
+        if self.cfg.use_reset && self.stagnation >= self.cfg.reset_patience {
+            self.activate_reset_module();
+            return;
+        }
+        // Keep the PPO window to the most recent steps (truncated BPTT
+        // over the ever-growing test sequence).
+        while self.episode.len() > self.cfg.test_len {
+            self.episode.remove(0);
+            self.td_inputs.remove(0);
+            self.td_targets.remove(0);
+        }
+        if self.body.len() >= self.cfg.body_cap.min(max_body()) {
+            // The code region is full: close the episode and start a fresh
+            // test sequence with the learned policy intact.
+            self.finish_episode();
+        } else {
+            // Real-time fine-tuning (§IV-B: the framework "fine-tunes the
+            // instruction generator in real time"): every iteration updates
+            // both models over the recent window. Re-visited steps keep
+            // their sampling-time log-probabilities, so the PPO
+            // ratio/clipping provides the trust region exactly as Eq. (4)
+            // intends.
+            let stats = self.generator.ppo_update(
+                &self.episode,
+                self.cfg.ppo.epsilon,
+                &mut self.gen_adam,
+            );
+            self.stats.last_mean_ratio = stats.mean_ratio;
+            self.stats.last_td_error = self.predictor.train_episode(
+                &self.td_inputs,
+                &self.td_targets,
+                &mut self.pred_adam,
+            );
+        }
+    }
+}
+
+/// The largest body the code region can hold.
+fn max_body() -> usize {
+    use std::sync::OnceLock;
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(hfl_grm::Program::max_body_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HflConfig {
+        let mut cfg = HflConfig::small();
+        cfg.generator.hidden = 16;
+        cfg.predictor.hidden = 16;
+        cfg.test_len = 4;
+        cfg.body_cap = 4;
+        cfg.reset_patience = 10;
+        cfg
+    }
+
+    fn drive(hfl: &mut HflFuzzer, n: usize, coverage: impl Fn(u64) -> f32) {
+        for i in 0..n {
+            let body = hfl.next_case();
+            assert!(!body.is_empty());
+            let c = coverage(i as u64);
+            hfl.feedback(&body, Feedback::scalar(c > 0.5, c));
+        }
+    }
+
+    #[test]
+    fn paper_default_config() {
+        let cfg = HflConfig::paper_default();
+        assert_eq!(cfg.generator.hidden, 256);
+        assert!((cfg.reward.alpha - 0.2).abs() < 1e-9);
+        assert!((cfg.ppo.gamma - 0.1).abs() < 1e-9);
+        assert!(cfg.use_instruction_mask && cfg.use_reset);
+    }
+
+    #[test]
+    fn incremental_test_construction() {
+        let mut hfl = HflFuzzer::new(tiny());
+        let a = hfl.next_case();
+        hfl.feedback(&a, Feedback::scalar(true, 0.1));
+        let b = hfl.next_case();
+        assert_eq!(a.len() + 1, b.len(), "each case adds one instruction");
+        // The previous prefix is preserved.
+        let (TestBody::Asm(a), TestBody::Asm(b)) = (&a, &b) else { unreachable!() };
+        assert_eq!(&b[..a.len()], &a[..]);
+    }
+
+    #[test]
+    fn episodes_trigger_ppo_updates() {
+        let mut hfl = HflFuzzer::new(tiny());
+        drive(&mut hfl, 12, |i| 0.6 + 0.01 * (i % 5) as f32);
+        let stats = hfl.stats();
+        assert_eq!(stats.cases, 12);
+        assert_eq!(stats.episodes, 3, "body_cap=4 -> a sequence restart every 4 cases");
+        assert!(stats.best_coverage > 0.6);
+    }
+
+    #[test]
+    fn reset_module_fires_on_stagnation() {
+        let mut hfl = HflFuzzer::new(tiny());
+        drive(&mut hfl, 30, |_| 0.1); // never gains coverage
+        assert!(hfl.stats().resets >= 1, "stagnation must trigger a reset");
+    }
+
+    #[test]
+    fn reset_module_can_be_disabled() {
+        let mut cfg = tiny();
+        cfg.use_reset = false;
+        let mut hfl = HflFuzzer::new(cfg);
+        drive(&mut hfl, 30, |_| 0.1);
+        assert_eq!(hfl.stats().resets, 0);
+    }
+
+    #[test]
+    fn new_episode_restarts_the_body() {
+        let mut hfl = HflFuzzer::new(tiny());
+        drive(&mut hfl, 4, |_| 0.9); // exactly one episode
+        let body = hfl.next_case();
+        assert_eq!(body.len(), 1, "fresh episode starts from scratch");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut hfl = HflFuzzer::new(tiny().with_seed(99));
+            let mut cases = Vec::new();
+            for i in 0..8 {
+                let b = hfl.next_case();
+                cases.push(b.clone());
+                hfl.feedback(&b, Feedback::scalar(i % 2 == 0, 0.2));
+            }
+            cases
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn feedback_without_pending_case_is_ignored() {
+        let mut hfl = HflFuzzer::new(tiny());
+        hfl.feedback(&TestBody::Asm(vec![]), Feedback::scalar(false, 0.0));
+        assert_eq!(hfl.stats().cases, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The execution harness: runs a test case on both the DUT and the GRM
+//! and performs differential testing.
+
+use hfl_dut::{CoreKind, Dut, DutResult};
+use hfl_grm::cpu::HaltReason;
+use hfl_grm::{ArchSnapshot, Cpu, Program, Trace};
+use hfl_riscv::Instruction;
+
+use crate::difftest::{compare, Mismatch};
+
+/// Default per-test step budget (generated tests are short; the budget
+/// exists to bound accidental loops).
+pub const DEFAULT_MAX_STEPS: u64 = 20_000;
+
+/// The outcome of running one test case through the harness.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The DUT execution (trace, coverage, cycles, crash state).
+    pub dut: DutResult,
+    /// The golden model's trace.
+    pub grm_trace: Trace,
+    /// The golden model's halt reason.
+    pub grm_halt: HaltReason,
+    /// The golden model's final architectural state.
+    pub grm_arch: ArchSnapshot,
+    /// Differential-testing mismatches (at most one trace divergence plus
+    /// final-state differences).
+    pub mismatches: Vec<Mismatch>,
+}
+
+/// Runs programs on a `(DUT, GRM)` pair for one core.
+///
+/// # Examples
+///
+/// ```
+/// use hfl::harness::Executor;
+/// use hfl_dut::CoreKind;
+/// use hfl_riscv::{Instruction, Opcode, Reg};
+///
+/// let mut executor = Executor::new(CoreKind::Rocket);
+/// let result = executor.run_case(&[
+///     Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1),
+/// ]);
+/// assert_eq!(result.grm_arch.x[10], 1);
+/// ```
+#[derive(Debug)]
+pub struct Executor {
+    dut: Dut,
+    max_steps: u64,
+    quirks: Option<hfl_grm::cpu::Quirks>,
+}
+
+impl Executor {
+    /// Creates a harness for one core with its full defect catalogue.
+    #[must_use]
+    pub fn new(kind: CoreKind) -> Executor {
+        Executor { dut: Dut::new(kind), max_steps: DEFAULT_MAX_STEPS, quirks: None }
+    }
+
+    /// Creates a harness whose DUT carries an explicit defect
+    /// configuration instead of the core's full catalogue (used by the
+    /// per-bug detection experiments).
+    #[must_use]
+    pub fn with_quirks(kind: CoreKind, quirks: hfl_grm::cpu::Quirks) -> Executor {
+        Executor { dut: Dut::new(kind), max_steps: DEFAULT_MAX_STEPS, quirks: Some(quirks) }
+    }
+
+    /// Overrides the per-test step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Executor {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The core under test.
+    #[must_use]
+    pub fn core(&self) -> CoreKind {
+        self.dut.kind()
+    }
+
+    /// The DUT's coverage-point database.
+    #[must_use]
+    pub fn coverage_map(&self) -> &hfl_dut::CoverageMap {
+        self.dut.coverage_map()
+    }
+
+    /// Runs a test-case body given as instructions.
+    pub fn run_case(&mut self, body: &[Instruction]) -> CaseResult {
+        self.run_program(&Program::assemble(body))
+    }
+
+    /// Runs a test-case body given as raw instruction words (for the
+    /// binary-level baseline fuzzers).
+    pub fn run_words(&mut self, body_words: &[u32]) -> CaseResult {
+        self.run_program(&Program::assemble_raw(body_words))
+    }
+
+    /// Runs an assembled program on both sides and diffs the executions.
+    pub fn run_program(&mut self, program: &Program) -> CaseResult {
+        let dut = match &self.quirks {
+            Some(q) => self.dut.run_program_with_quirks(program, self.max_steps, q.clone()),
+            None => self.dut.run_program(program, self.max_steps),
+        };
+        let mut grm = Cpu::new();
+        grm.load_program(program);
+        let grm_run = grm.run(self.max_steps);
+        let grm_arch = grm.arch_snapshot();
+        let grm_trace = std::mem::take(&mut grm.trace);
+        let mismatches = compare(
+            &grm_trace,
+            grm_run.reason,
+            &grm_arch,
+            &dut.trace,
+            dut.halt,
+            &dut.arch,
+        );
+        CaseResult { dut, grm_trace, grm_halt: grm_run.reason, grm_arch, mismatches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_riscv::vocab::mem_map;
+    use hfl_riscv::{Csr, Opcode, Reg};
+
+    #[test]
+    fn clean_program_produces_no_mismatch_on_rocket() {
+        let mut ex = Executor::new(CoreKind::Rocket);
+        let result = ex.run_case(&[
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 7),
+            Instruction::r(Opcode::Add, Reg::X11, Reg::X10, Reg::X10),
+            Instruction::s(Opcode::Sd, Reg::X11, 0, Reg::X5),
+        ]);
+        assert!(result.mismatches.is_empty(), "{:?}", result.mismatches);
+        assert_eq!(result.dut.arch.x[11], 14);
+        assert_eq!(result.grm_arch.x[11], 14);
+    }
+
+    #[test]
+    fn rocket_k2_sc_bug_is_detected() {
+        let mut ex = Executor::new(CoreKind::Rocket);
+        let result = ex.run_case(&[
+            Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS),
+        ]);
+        assert!(!result.mismatches.is_empty(), "sc divergence must surface");
+    }
+
+    #[test]
+    fn cva6_v1_crash_is_detected_as_crash_mismatch() {
+        let mut ex = Executor::new(CoreKind::Cva6);
+        let program = Program::assemble(&[Instruction::NOP]);
+        let body_off = (program.body_pc() - mem_map::CODE_BASE) as i64;
+        let result = ex.run_case(&[
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 0x13),
+            Instruction::s(Opcode::Sw, Reg::X10, body_off, Reg::X6),
+        ]);
+        assert!(result
+            .mismatches
+            .iter()
+            .any(|m| m.kind == crate::difftest::MismatchKind::Crash));
+    }
+
+    #[test]
+    fn raw_words_run_and_illegal_words_trap_identically() {
+        let mut ex = Executor::new(CoreKind::Boom);
+        // A valid addi plus garbage; both sides trap on the garbage the
+        // same way, so no mismatch arises from it.
+        let addi = Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 3).encode();
+        let result = ex.run_words(&[addi, 0xFFFF_FFFF]);
+        assert_eq!(result.grm_arch.x[10], 3);
+        assert!(result
+            .grm_trace
+            .iter()
+            .any(|e| e.trap.map_or(false, |t| t.cause == 2)));
+    }
+
+    #[test]
+    fn coverage_accumulates_across_cases() {
+        let mut ex = Executor::new(CoreKind::Rocket);
+        let a = ex.run_case(&[Instruction::NOP]);
+        let b = ex.run_case(&[Instruction::r(Opcode::Div, Reg::X1, Reg::X2, Reg::X3)]);
+        let mut cumulative = a.dut.coverage.clone();
+        assert!(cumulative.would_grow(&b.dut.coverage));
+        cumulative.union_with(&b.dut.coverage);
+        assert!(cumulative.count() > a.dut.coverage.count());
+    }
+}

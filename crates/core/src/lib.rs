@@ -1,0 +1,67 @@
+//! **HFL — Hardware Fuzzing Loop with Reinforcement Learning** (paper
+//! reproduction).
+//!
+//! This crate implements the paper's contribution on top of the substrate
+//! crates:
+//!
+//! - [`generator`]: the multi-head LSTM instruction generator (§IV-A,
+//!   §V-A) — seven heads (opcode, four registers, immediate, address)
+//!   over a shared two-layer LSTM,
+//! - [`correction`]: the instruction-correction module producing valid
+//!   instructions and the per-head *instruction mask* (§IV-B),
+//! - [`predictor`]: the LSTM critic `V(S)` (Eqs. 2–3) and the §IV-C
+//!   hardware-coverage predictor (one sigmoid per coverage point),
+//! - [`fuzzer`]: the hardware fuzzing loop itself — incremental test
+//!   construction, reward assignment (Eq. 1), PPO updates (Eq. 4), the
+//!   instruction mask and the reset module,
+//! - [`difftest`]: differential testing against the golden model with the
+//!   §V-B register-independent signature extraction,
+//! - [`baselines`]: DifuzzRTL/TheHuzz/Cascade/ChatFuzz analogues for the
+//!   §VI comparisons,
+//! - [`campaign`]: the shared measurement harness behind every figure,
+//! - [`corpus`]/[`triage`]/[`persist`]: trigger-case capture, test-case
+//!   minimisation and model checkpoints — the operational tooling around
+//!   a fuzzing campaign.
+//!
+//! # Examples
+//!
+//! Run a miniature fuzzing campaign end to end:
+//!
+//! ```
+//! use hfl::campaign::{run_campaign, CampaignConfig};
+//! use hfl::fuzzer::{HflConfig, HflFuzzer};
+//! use hfl_dut::CoreKind;
+//!
+//! let mut cfg = HflConfig::small();
+//! cfg.generator.hidden = 16;
+//! cfg.predictor.hidden = 16;
+//! let mut hfl = HflFuzzer::new(cfg);
+//! let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(10));
+//! assert!(result.final_counts().0 > 0);
+//! ```
+
+pub mod baselines;
+pub mod campaign;
+pub mod corpus;
+pub mod correction;
+pub mod difftest;
+pub mod encoder;
+pub mod fuzzer;
+pub mod generator;
+pub mod harness;
+pub mod persist;
+pub mod poc;
+pub mod predictor;
+pub mod tokens;
+pub mod triage;
+
+pub use baselines::{Feedback, Fuzzer, TestBody};
+pub use corpus::Corpus;
+pub use campaign::{run_campaign, run_campaign_with_executor, CampaignConfig, CampaignResult, CoverageSample};
+pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
+pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
+pub use generator::{GeneratorConfig, InstructionGenerator};
+pub use harness::{CaseResult, Executor};
+pub use predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
+pub use tokens::Tokens;
+pub use triage::{minimize, Minimized};

@@ -1,0 +1,226 @@
+//! Checkpointing for the fuzzing loop's models, built on the
+//! [`hfl_nn::persist`] codec.
+//!
+//! A trained generator is a real artefact of an HFL campaign — it encodes
+//! what the loop learned about the core. These functions write/read
+//! complete model checkpoints (config + parameters), so campaigns can be
+//! suspended, resumed or transplanted across cores.
+
+use std::io::{self, Read, Write};
+
+use hfl_nn::persist::{
+    read_f32, read_header, read_u64, write_f32, write_header, write_u64, Persist,
+};
+use hfl_nn::{Embedding, Linear, Lstm};
+
+use crate::encoder::{EncoderConfig, TokenEncoder};
+use crate::generator::{GeneratorConfig, InstructionGenerator};
+use crate::predictor::{PredictorConfig, ValuePredictor};
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn read_usize<R: Read>(r: &mut R) -> io::Result<usize> {
+    usize::try_from(read_u64(r)?).map_err(|_| invalid("size overflow"))
+}
+
+impl Persist for EncoderConfig {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_u64(w, self.opcode as u64)?;
+        write_u64(w, self.reg as u64)?;
+        write_u64(w, self.imm as u64)?;
+        write_u64(w, self.addr as u64)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        Ok(EncoderConfig {
+            opcode: read_usize(r)?,
+            reg: read_usize(r)?,
+            imm: read_usize(r)?,
+            addr: read_usize(r)?,
+        })
+    }
+}
+
+impl Persist for TokenEncoder {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.config().save(w)?;
+        for table in self.tables() {
+            table.save(w)?;
+        }
+        Ok(())
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        let cfg = EncoderConfig::load(r)?;
+        let op = Embedding::load(r)?;
+        let reg = Embedding::load(r)?;
+        let imm = Embedding::load(r)?;
+        let addr = Embedding::load(r)?;
+        TokenEncoder::from_parts(cfg, op, reg, imm, addr)
+            .ok_or_else(|| invalid("encoder shape mismatch"))
+    }
+}
+
+impl Persist for GeneratorConfig {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_u64(w, self.hidden as u64)?;
+        write_u64(w, self.layers as u64)?;
+        write_u64(w, self.head_hidden as u64)?;
+        self.encoder.save(w)?;
+        write_f32(w, self.temperature)?;
+        write_f32(w, self.lr)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        Ok(GeneratorConfig {
+            hidden: read_usize(r)?,
+            layers: read_usize(r)?,
+            head_hidden: read_usize(r)?,
+            encoder: EncoderConfig::load(r)?,
+            temperature: read_f32(r)?,
+            lr: read_f32(r)?,
+        })
+    }
+}
+
+impl Persist for InstructionGenerator {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w)?;
+        self.config().save(w)?;
+        self.encoder_ref().save(w)?;
+        self.lstm_ref().save(w)?;
+        let heads = self.heads_ref();
+        write_u64(w, heads.len() as u64)?;
+        for (l1, l2) in heads {
+            l1.save(w)?;
+            l2.save(w)?;
+        }
+        Ok(())
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        read_header(r)?;
+        let cfg = GeneratorConfig::load(r)?;
+        let encoder = TokenEncoder::load(r)?;
+        let lstm = Lstm::load(r)?;
+        let n = read_usize(r)?;
+        if n != 7 {
+            return Err(invalid("generator must have seven heads"));
+        }
+        let mut heads = Vec::with_capacity(n);
+        for _ in 0..n {
+            heads.push((Linear::load(r)?, Linear::load(r)?));
+        }
+        InstructionGenerator::from_parts(cfg, encoder, lstm, heads)
+            .ok_or_else(|| invalid("generator shape mismatch"))
+    }
+}
+
+impl Persist for PredictorConfig {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_u64(w, self.hidden as u64)?;
+        write_u64(w, self.layers as u64)?;
+        self.encoder.save(w)?;
+        write_f32(w, self.lr)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        Ok(PredictorConfig {
+            hidden: read_usize(r)?,
+            layers: read_usize(r)?,
+            encoder: EncoderConfig::load(r)?,
+            lr: read_f32(r)?,
+        })
+    }
+}
+
+impl Persist for ValuePredictor {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w)?;
+        self.config().save(w)?;
+        self.encoder_ref().save(w)?;
+        self.lstm_ref().save(w)?;
+        self.out_ref().save(w)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        read_header(r)?;
+        let cfg = PredictorConfig::load(r)?;
+        let encoder = TokenEncoder::load(r)?;
+        let lstm = Lstm::load(r)?;
+        let out = Linear::load(r)?;
+        ValuePredictor::from_parts(cfg, encoder, lstm, out)
+            .ok_or_else(|| invalid("predictor shape mismatch"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::Tokens;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generator_checkpoint_preserves_behaviour() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GeneratorConfig { hidden: 16, ..GeneratorConfig::small() };
+        let generator = InstructionGenerator::new(cfg, &mut rng);
+        let mut buf = Vec::new();
+        generator.save(&mut buf).unwrap();
+        let restored = InstructionGenerator::load(&mut &buf[..]).unwrap();
+        // Same seed, same samples on both models.
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let mut sa = generator.start_session();
+        let mut sb = restored.start_session();
+        for _ in 0..10 {
+            let (ia, _) = generator.next_instruction(&mut sa, &mut rng_a);
+            let (ib, _) = restored.next_instruction(&mut sb, &mut rng_b);
+            assert_eq!(ia.instruction, ib.instruction);
+        }
+    }
+
+    #[test]
+    fn value_predictor_checkpoint_preserves_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PredictorConfig { hidden: 16, ..PredictorConfig::small() };
+        let vp = ValuePredictor::new(cfg, &mut rng);
+        let mut buf = Vec::new();
+        vp.save(&mut buf).unwrap();
+        let restored = ValuePredictor::load(&mut &buf[..]).unwrap();
+        let seq = vec![Tokens::bos(); 5];
+        assert_eq!(vp.value_of(&seq), restored.value_of(&seq));
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = GeneratorConfig { hidden: 16, ..GeneratorConfig::small() };
+        let generator = InstructionGenerator::new(cfg, &mut rng);
+        let mut buf = Vec::new();
+        generator.save(&mut buf).unwrap();
+        // Flip the magic.
+        buf[0] ^= 0xFF;
+        assert!(InstructionGenerator::load(&mut &buf[..]).is_err());
+        // Truncate.
+        let mut buf2 = Vec::new();
+        generator.save(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() / 2);
+        assert!(InstructionGenerator::load(&mut &buf2[..]).is_err());
+    }
+
+    #[test]
+    fn configs_round_trip() {
+        let g = GeneratorConfig::paper_default();
+        let mut buf = Vec::new();
+        g.save(&mut buf).unwrap();
+        assert_eq!(GeneratorConfig::load(&mut &buf[..]).unwrap(), g);
+        let p = PredictorConfig::small();
+        let mut buf = Vec::new();
+        p.save(&mut buf).unwrap();
+        assert_eq!(PredictorConfig::load(&mut &buf[..]).unwrap(), p);
+    }
+}

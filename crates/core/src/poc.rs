@@ -1,0 +1,176 @@
+//! Proof-of-concept test cases for every catalogued defect (§VII).
+//!
+//! These reproduce the paper's listings: Listing 1 (V1, cache-line
+//! self-modification) and Listing 2 (V2, delayed PMP enforcement), plus
+//! directed triggers for V3/V4 and the known-bug catalogue. They serve the
+//! vulnerability-detection experiments and double as regression tests for
+//! the injected defects.
+
+use hfl_grm::program::emit_li64;
+use hfl_grm::Program;
+use hfl_riscv::vocab::mem_map;
+use hfl_riscv::{Csr, Instruction, Opcode, Reg};
+
+/// The directed proof-of-concept body for a catalogued bug id
+/// (`"V1"`–`"V4"`, `"K1"`–`"K8"`).
+///
+/// Each PoC, run through differential testing on the bug's core, produces
+/// at least one mismatch; on a defect-free model it produces none.
+///
+/// # Panics
+///
+/// Panics on an unknown bug id.
+#[must_use]
+pub fn poc_for(bug_id: &str) -> Vec<Instruction> {
+    match bug_id {
+        // Listing 1: store into the cache line holding the executing
+        // instruction. t1 (x6) holds CODE_BASE; the store targets its own
+        // address.
+        "V1" => {
+            let prologue_words = Program::assemble(&[]).body_start;
+            let store_offset = (prologue_words as i64 + 1) * 4;
+            vec![
+                Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 0x13),
+                Instruction::s(Opcode::Sw, Reg::X10, store_offset, Reg::X6),
+            ]
+        }
+        // Listing 2: configure a locked no-access PMP region, then read
+        // inside its first 16 bytes. t2 (x7) holds PROTECTED_BASE.
+        "V2" => {
+            let napot = (mem_map::PROTECTED_BASE >> 2) | ((mem_map::PROTECTED_SIZE >> 3) - 1);
+            let mut body = emit_li64(Reg::X10, napot);
+            body.push(Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::PMPADDR0, Reg::X10));
+            body.extend(emit_li64(Reg::X11, 0x98)); // L | NAPOT, no permissions
+            body.push(Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::PMPCFG0, Reg::X11));
+            body.push(Instruction::i(Opcode::Ld, Reg::X12, Reg::X7, 8));
+            body.push(Instruction::csr_reg(Opcode::Csrrs, Reg::X13, Csr::MCAUSE, Reg::X0));
+            body
+        }
+        // Jump to a misaligned address: spec demands a misaligned-fetch
+        // exception.
+        "V3" => vec![
+            Instruction::i(Opcode::Jalr, Reg::X1, Reg::X6, 0x102),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 7),
+        ],
+        // feq.s with a properly boxed signalling NaN against an improperly
+        // boxed input: NV must be raised.
+        "V4" => vec![
+            Instruction::u(Opcode::Lui, Reg::X10, 0x7F800),
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X10, 1), // sNaN bits
+            Instruction::new(Opcode::FmvWX, 10, 10, 0, 0, 0, Csr::FFLAGS), // boxed
+            Instruction::new(Opcode::FmvDX, 11, 10, 0, 0, 0, Csr::FFLAGS), // unboxed
+            Instruction::new(Opcode::FeqS, 12, 10, 11, 0, 0, Csr::FFLAGS),
+            Instruction::csr_reg(Opcode::Csrrs, Reg::X13, Csr::FFLAGS, Reg::X0),
+        ],
+        // fdiv.s by +0 must raise DZ.
+        "K1" => vec![
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1),
+            Instruction::new(Opcode::FcvtSW, 1, 10, 0, 0, 0, Csr::FFLAGS),
+            Instruction::new(Opcode::FmvWX, 2, 0, 0, 0, 0, Csr::FFLAGS),
+            Instruction::new(Opcode::FdivS, 3, 1, 2, 0, 0, Csr::FFLAGS),
+            Instruction::csr_reg(Opcode::Csrrs, Reg::X13, Csr::FFLAGS, Reg::X0),
+        ],
+        // sc.w without a reservation must fail (rd = 1).
+        "K2" => vec![Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS)],
+        // Accessing an unimplemented CSR must raise illegal-instruction.
+        "K3" => vec![
+            Instruction::csr_reg(Opcode::Csrrs, Reg::X10, Csr::new(0x453), Reg::X0),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 9),
+        ],
+        // fmin.s with one NaN operand must return the other operand.
+        "K4" => vec![
+            Instruction::u(Opcode::Lui, Reg::X10, 0x7FC00), // canonical qNaN
+            Instruction::new(Opcode::FmvWX, 1, 10, 0, 0, 0, Csr::FFLAGS),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 1),
+            Instruction::new(Opcode::FcvtSW, 2, 11, 0, 0, 0, Csr::FFLAGS),
+            Instruction::new(Opcode::FminS, 3, 1, 2, 0, 0, Csr::FFLAGS),
+            Instruction::new(Opcode::FmvXW, 12, 3, 0, 0, 0, Csr::FFLAGS),
+        ],
+        // mulhsu must treat rs2 as unsigned.
+        "K5" => vec![
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, -1),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, -1),
+            Instruction::r(Opcode::Mulhsu, Reg::X12, Reg::X10, Reg::X11),
+        ],
+        // minstret must count each divide exactly once.
+        "K6" => vec![
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 12),
+            Instruction::r(Opcode::Div, Reg::X11, Reg::X10, Reg::X10),
+            Instruction::csr_reg(Opcode::Csrrs, Reg::X12, Csr::MINSTRET, Reg::X0),
+        ],
+        // mtval must carry the faulting address after a misaligned store.
+        "K7" => vec![
+            Instruction::s(Opcode::Sw, Reg::X10, 1, Reg::X5),
+            Instruction::csr_reg(Opcode::Csrrs, Reg::X13, Csr::MTVAL, Reg::X0),
+        ],
+        // Writing a read-only CSR must raise illegal-instruction.
+        "K8" => vec![
+            Instruction::csr_reg(Opcode::Csrrw, Reg::X10, Csr::MHARTID, Reg::X5),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 2),
+        ],
+        other => panic!("unknown bug id {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Executor;
+    use hfl_dut::bugs;
+
+    #[test]
+    fn every_catalogued_bug_has_a_triggering_poc() {
+        for bug in bugs::CATALOG {
+            let body = poc_for(bug.id);
+            assert!(!body.is_empty());
+            for &core in bug.cores {
+                let mut ex = Executor::new(core);
+                let result = ex.run_case(&body);
+                assert!(
+                    !result.mismatches.is_empty(),
+                    "{} PoC found no mismatch on {core}",
+                    bug.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pocs_are_clean_on_a_defect_free_model() {
+        use hfl_grm::{Cpu, Program};
+        // Run each PoC on two identical golden models: no divergence.
+        for bug in bugs::CATALOG {
+            let program = Program::assemble(&poc_for(bug.id));
+            let mut a = Cpu::new();
+            a.load_program(&program);
+            let ra = a.run(50_000);
+            let mut b = Cpu::new();
+            b.load_program(&program);
+            let rb = b.run(50_000);
+            assert_eq!(ra, rb);
+            let m = crate::difftest::compare(
+                &a.trace,
+                ra.reason,
+                &a.arch_snapshot(),
+                &b.trace,
+                rb.reason,
+                &b.arch_snapshot(),
+            );
+            assert!(m.is_empty(), "{}: golden model diverged from itself", bug.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bug id")]
+    fn unknown_id_panics() {
+        let _ = poc_for("Z1");
+    }
+
+    #[test]
+    fn v1_poc_matches_listing_one_shape() {
+        // Listing 1: li + sw triggering the same-cache-line store.
+        let body = poc_for("V1");
+        assert_eq!(body.len(), 2);
+        assert_eq!(body[1].opcode, Opcode::Sw);
+    }
+}

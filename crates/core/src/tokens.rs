@@ -1,0 +1,194 @@
+//! Tokenisation of instructions for the LSTM models.
+//!
+//! Each instruction becomes a 7-tuple of token indices mirroring the seven
+//! generator heads: opcode, four register slots, immediate bucket and
+//! address bucket. Both the generator (autoregressive input) and the
+//! predictors (sequence encoders) consume this representation — the paper's
+//! "tokenize and encode the instruction sequence" step (§IV-C).
+
+use hfl_riscv::imm::{IMM_VOCAB, IMM_VOCAB_LEN};
+use hfl_riscv::vocab::{ADDR_VOCAB_LEN, OFFSET_VOCAB};
+use hfl_riscv::{AddrKind, Csr, Instruction, Opcode};
+
+/// Token indices for one instruction, in head order
+/// `[opcode, rd, rs1, rs2, rs3, imm, addr]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tokens {
+    /// The seven head indices.
+    pub indices: [usize; 7],
+}
+
+/// Output size of each head, in head order.
+#[must_use]
+pub fn head_sizes() -> [usize; 7] {
+    [Opcode::COUNT, 32, 32, 32, 32, IMM_VOCAB_LEN, ADDR_VOCAB_LEN]
+}
+
+impl Tokens {
+    /// The beginning-of-sequence token (a canonical `nop`).
+    #[must_use]
+    pub fn bos() -> Tokens {
+        Tokens::from_instruction(&Instruction::NOP)
+    }
+
+    /// Tokenises an instruction.
+    ///
+    /// Immediates and addresses quantise onto the generator vocabularies
+    /// (nearest immediate bucket; CSR/offset index for the address head),
+    /// so any instruction — including ones produced by the baseline
+    /// fuzzers — maps into the models' input space.
+    #[must_use]
+    pub fn from_instruction(inst: &Instruction) -> Tokens {
+        let spec = inst.opcode.spec();
+        let imm_index = if spec.imm == hfl_riscv::ImmKind::None {
+            0
+        } else {
+            nearest_imm_index(inst.imm)
+        };
+        let addr_index = match spec.addr {
+            AddrKind::None => 0,
+            AddrKind::Csr => csr_addr_index(inst.csr),
+            AddrKind::Branch | AddrKind::Jump => offset_addr_index(inst.imm),
+        };
+        Tokens {
+            indices: [
+                inst.opcode.index(),
+                usize::from(inst.rd),
+                usize::from(inst.rs1),
+                usize::from(inst.rs2),
+                usize::from(inst.rs3),
+                imm_index,
+                addr_index,
+            ],
+        }
+    }
+
+    /// Tokenises a whole test case, prepending the BOS token — exactly the
+    /// input shape the generator sees when extending the sequence.
+    #[must_use]
+    pub fn sequence_with_bos(instructions: &[Instruction]) -> Vec<Tokens> {
+        let mut out = Vec::with_capacity(instructions.len() + 1);
+        out.push(Tokens::bos());
+        out.extend(instructions.iter().map(Tokens::from_instruction));
+        out
+    }
+}
+
+/// Index of the closest immediate-vocabulary value.
+#[must_use]
+pub fn nearest_imm_index(value: i64) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = u64::MAX;
+    for (i, &v) in IMM_VOCAB.iter().enumerate() {
+        let dist = value.abs_diff(v);
+        if dist < best_dist {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Address-head index of a CSR (falls back to 0 for CSRs outside the
+/// generator vocabulary).
+#[must_use]
+pub fn csr_addr_index(csr: Csr) -> usize {
+    Csr::GENERATOR_VOCAB
+        .iter()
+        .position(|&c| c == csr)
+        .unwrap_or(0)
+}
+
+/// Address-head index of a control-flow offset (closest vocabulary
+/// offset).
+#[must_use]
+pub fn offset_addr_index(offset: i64) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = u64::MAX;
+    for (i, &v) in OFFSET_VOCAB.iter().enumerate() {
+        let dist = offset.abs_diff(v);
+        if dist < best_dist {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    Csr::GENERATOR_VOCAB.len() + best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_riscv::Reg;
+
+    #[test]
+    fn head_sizes_match_the_paper_scale() {
+        let sizes = head_sizes();
+        assert!(sizes[0] > 170, "opcode head ≈ the paper's 241 opcodes");
+        assert_eq!(sizes[1], 32, "32 registers per the paper");
+        assert_eq!(sizes[5], IMM_VOCAB_LEN);
+        assert_eq!(sizes[6], ADDR_VOCAB_LEN);
+    }
+
+    #[test]
+    fn tokenise_simple_instruction() {
+        let inst = Instruction::i(Opcode::Addi, Reg::X10, Reg::X2, -84);
+        let t = Tokens::from_instruction(&inst);
+        assert_eq!(t.indices[0], Opcode::Addi.index());
+        assert_eq!(t.indices[1], 10);
+        assert_eq!(t.indices[2], 2);
+        assert_eq!(IMM_VOCAB[t.indices[5]], -84, "exact vocab value");
+    }
+
+    #[test]
+    fn imm_quantisation_picks_nearest() {
+        assert_eq!(IMM_VOCAB[nearest_imm_index(0)], 0);
+        assert_eq!(IMM_VOCAB[nearest_imm_index(-83)], -84);
+        // Far values land on the closest bucket without panicking.
+        let idx = nearest_imm_index(1_000_000);
+        assert!(idx < IMM_VOCAB_LEN);
+        assert_eq!(IMM_VOCAB[idx], 2047);
+    }
+
+    #[test]
+    fn csr_tokens_round_trip() {
+        let inst = Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::MSTATUS, Reg::X1);
+        let t = Tokens::from_instruction(&inst);
+        assert_eq!(
+            Csr::GENERATOR_VOCAB[t.indices[6]],
+            Csr::MSTATUS,
+            "address head carries the CSR"
+        );
+        // Unknown CSRs degrade to index 0 rather than panicking.
+        let weird = Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::new(0x7C0), Reg::X1);
+        assert_eq!(Tokens::from_instruction(&weird).indices[6], 0);
+    }
+
+    #[test]
+    fn branch_offsets_use_the_offset_half_of_the_vocab() {
+        let inst = Instruction::b(Opcode::Beq, Reg::X1, Reg::X2, 16);
+        let t = Tokens::from_instruction(&inst);
+        assert!(t.indices[6] >= Csr::GENERATOR_VOCAB.len());
+        let off = OFFSET_VOCAB[t.indices[6] - Csr::GENERATOR_VOCAB.len()];
+        assert_eq!(off, 16);
+    }
+
+    #[test]
+    fn sequence_prepends_bos() {
+        let body = [Instruction::NOP, Instruction::NOP];
+        let seq = Tokens::sequence_with_bos(&body);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], Tokens::bos());
+    }
+
+    #[test]
+    fn all_indices_stay_in_range() {
+        let sizes = head_sizes();
+        for op in Opcode::ALL {
+            let inst = Instruction::new(op, 31, 30, 29, 28, 2047, Csr::MSTATUS);
+            let t = Tokens::from_instruction(&inst);
+            for (i, (&idx, &size)) in t.indices.iter().zip(&sizes).enumerate() {
+                assert!(idx < size, "{op}: head {i} index {idx} >= {size}");
+            }
+        }
+    }
+}

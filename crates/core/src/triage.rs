@@ -1,0 +1,157 @@
+//! Test-case minimisation for triage.
+//!
+//! Fuzzing campaigns produce long trigger cases; §V-B's signature
+//! extraction dedups reports, and this module shrinks each surviving case
+//! to a minimal reproducer — greedy delta debugging over the instruction
+//! list, re-checking the signature through differential testing after
+//! every candidate reduction.
+
+use hfl_riscv::Instruction;
+
+use crate::difftest::Signature;
+use crate::harness::Executor;
+
+/// Outcome of a minimisation run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced body (still reproduces the signature).
+    pub body: Vec<Instruction>,
+    /// Original body length.
+    pub original_len: usize,
+    /// Differential-test executions spent.
+    pub executions: u64,
+}
+
+impl Minimized {
+    /// Fraction of the original case removed.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.original_len == 0 {
+            return 0.0;
+        }
+        1.0 - self.body.len() as f64 / self.original_len as f64
+    }
+}
+
+fn reproduces(executor: &mut Executor, body: &[Instruction], signature: Signature) -> bool {
+    executor
+        .run_case(body)
+        .mismatches
+        .iter()
+        .any(|m| m.signature() == signature)
+}
+
+/// Shrinks `body` while it still reproduces `signature` on `executor`'s
+/// core.
+///
+/// Strategy: repeated passes of chunk removal with halving chunk sizes
+/// (ddmin-style), then a final single-instruction sweep. Deterministic;
+/// worst case `O(n²)` executions for an `n`-instruction case, in practice
+/// far fewer.
+///
+/// Returns `None` if the original body does not reproduce the signature
+/// (nothing to minimise).
+#[must_use]
+pub fn minimize(
+    executor: &mut Executor,
+    body: &[Instruction],
+    signature: Signature,
+) -> Option<Minimized> {
+    let mut executions = 0u64;
+    let mut check = |executor: &mut Executor, candidate: &[Instruction]| {
+        executions += 1;
+        reproduces(executor, candidate, signature)
+    };
+    if !check(executor, body) {
+        return None;
+    }
+    let original_len = body.len();
+    let mut current = body.to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < current.len() && current.len() > 1 {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && check(executor, &candidate) {
+                current = candidate; // keep the reduction, retry same start
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    Some(Minimized { body: current, original_len, executions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::random_instruction;
+    use crate::poc::poc_for;
+    use hfl_dut::CoreKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minimizes_a_padded_poc_back_to_its_core() {
+        // Pad the K2 PoC (a single sc.w) with noise; minimisation must
+        // strip the noise and keep the trigger.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trigger = poc_for("K2");
+        let mut padded: Vec<Instruction> = Vec::new();
+        for _ in 0..6 {
+            let inst = random_instruction(&mut rng);
+            // Keep the padding benign: no memory/control flow so the noise
+            // cannot mask or duplicate the trigger.
+            if inst.opcode.is_memory_access() || inst.opcode.is_control_flow() {
+                continue;
+            }
+            padded.push(inst);
+        }
+        padded.extend(trigger.clone());
+
+        let mut executor = Executor::new(CoreKind::Rocket);
+        let signature = executor.run_case(&padded).mismatches[0].signature();
+        let minimized = minimize(&mut executor, &padded, signature).expect("reproduces");
+        assert!(minimized.body.len() <= trigger.len() + 1, "{:?}", minimized.body);
+        assert!(minimized.reduction() > 0.0);
+        assert!(minimized.executions > 0);
+        // The minimised case still reproduces.
+        let replay = executor.run_case(&minimized.body);
+        assert!(replay.mismatches.iter().any(|m| m.signature() == signature));
+    }
+
+    #[test]
+    fn non_reproducing_case_returns_none() {
+        let mut executor = Executor::new(CoreKind::Rocket);
+        let body = vec![Instruction::NOP];
+        assert!(minimize(&mut executor, &body, Signature(0xDEAD)).is_none());
+    }
+
+    #[test]
+    fn minimizing_every_poc_keeps_it_reproducing() {
+        for bug in hfl_dut::CATALOG {
+            let core = bug.cores[0];
+            let mut executor = Executor::new(core);
+            let body = poc_for(bug.id);
+            let result = executor.run_case(&body);
+            let signature = result.mismatches[0].signature();
+            let minimized =
+                minimize(&mut executor, &body, signature).unwrap_or_else(|| panic!("{}", bug.id));
+            assert!(!minimized.body.is_empty());
+            assert!(minimized.body.len() <= body.len());
+            let replay = executor.run_case(&minimized.body);
+            assert!(
+                replay.mismatches.iter().any(|m| m.signature() == signature),
+                "{}: minimised case lost the bug",
+                bug.id
+            );
+        }
+    }
+}

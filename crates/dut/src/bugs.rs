@@ -1,0 +1,263 @@
+//! The injected-defect catalogue: the paper's four novel CVA6
+//! vulnerabilities (V1–V4, §VII) plus the previously-known bugs the paper
+//! says HFL re-detects on all three cores (§I, contribution 4).
+//!
+//! Each catalogue entry maps to a [`Quirks`] flag in the golden-model
+//! executor; [`quirks_for`] assembles the per-core defect configuration the
+//! DUT runs with.
+
+use hfl_grm::cpu::Quirks;
+
+use crate::CoreKind;
+
+/// One injected hardware defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedBug {
+    /// Short identifier (`"V1"`–`"V4"` for the paper's novel findings,
+    /// `"K1"`… for previously-known bugs).
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The CWE class the paper assigns (novel bugs) or the closest match.
+    pub cwe: &'static str,
+    /// Cores carrying the defect.
+    pub cores: &'static [CoreKind],
+    /// Whether the paper reports this as a novel discovery.
+    pub novel: bool,
+    /// What goes wrong.
+    pub description: &'static str,
+}
+
+/// The full defect catalogue.
+pub const CATALOG: &[InjectedBug] = &[
+    InjectedBug {
+        id: "V1",
+        name: "cache-line self-modification crash",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Cva6],
+        novel: true,
+        description: "a store targeting the cache line holding the currently \
+                      executing instruction disrupts write-back coherency and \
+                      crashes the core (denial of service)",
+    },
+    InjectedBug {
+        id: "V2",
+        name: "delayed PMP enforcement",
+        cwe: "CWE-1220",
+        cores: &[CoreKind::Cva6],
+        novel: true,
+        description: "after configuring a locked PMP rule, the first 128 bits \
+                      (16 bytes) of the protected region remain accessible",
+    },
+    InjectedBug {
+        id: "V3",
+        name: "misaligned jump misses exception",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Cva6],
+        novel: true,
+        description: "jumps to misaligned addresses do not raise the \
+                      misaligned-fetch exception; execution silently continues \
+                      at a truncated target",
+    },
+    InjectedBug {
+        id: "V4",
+        name: "FEQ.S NaN-boxing NV flag missing",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Cva6],
+        novel: true,
+        description: "feq.s with an improperly NaN-boxed input fails to set \
+                      the invalid-operation flag for signalling NaNs",
+    },
+    InjectedBug {
+        id: "K1",
+        name: "fdiv divide-by-zero flag missing",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Rocket],
+        novel: false,
+        description: "floating-point division by zero does not raise the DZ \
+                      exception flag",
+    },
+    InjectedBug {
+        id: "K2",
+        name: "sc ignores reservation",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Rocket],
+        novel: false,
+        description: "store-conditional succeeds without a valid load \
+                      reservation, breaking atomic sequences",
+    },
+    InjectedBug {
+        id: "K3",
+        name: "unimplemented CSR accesses silently succeed",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Rocket],
+        novel: false,
+        description: "accesses to unimplemented CSRs complete as no-ops \
+                      instead of raising an illegal-instruction exception",
+    },
+    InjectedBug {
+        id: "K4",
+        name: "fmin/fmax NaN propagation wrong",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Boom],
+        novel: false,
+        description: "fmin/fmax with exactly one NaN operand return NaN \
+                      instead of the other operand",
+    },
+    InjectedBug {
+        id: "K5",
+        name: "mulhsu sign handling wrong",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Boom],
+        novel: false,
+        description: "mulhsu treats its unsigned operand as signed, \
+                      corrupting the upper product word",
+    },
+    InjectedBug {
+        id: "K6",
+        name: "minstret double-counts divides",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Boom],
+        novel: false,
+        description: "the retired-instruction counter advances twice for \
+                      integer divide instructions",
+    },
+    InjectedBug {
+        id: "K7",
+        name: "mtval cleared on misaligned store",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Cva6],
+        novel: false,
+        description: "misaligned-store traps report mtval = 0 instead of the \
+                      faulting address",
+    },
+    InjectedBug {
+        id: "K8",
+        name: "read-only CSR writes silently ignored",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Cva6],
+        novel: false,
+        description: "writes to read-only CSRs are dropped instead of raising \
+                      an illegal-instruction exception",
+    },
+];
+
+/// Looks up a catalogue entry by id.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static InjectedBug> {
+    CATALOG.iter().find(|b| b.id == id)
+}
+
+/// All bugs injected into one core.
+#[must_use]
+pub fn bugs_for(core: CoreKind) -> Vec<&'static InjectedBug> {
+    CATALOG.iter().filter(|b| b.cores.contains(&core)).collect()
+}
+
+/// The architectural quirk configuration for one core (all of its injected
+/// defects enabled).
+#[must_use]
+pub fn quirks_for(core: CoreKind) -> Quirks {
+    let mut q = Quirks::default();
+    for bug in bugs_for(core) {
+        enable(&mut q, bug.id, core);
+    }
+    q
+}
+
+/// Enables a single catalogue defect on a quirk set (used by the ablation
+/// and per-bug detection experiments).
+pub fn enable(q: &mut Quirks, id: &str, core: CoreKind) {
+    match id {
+        "V1" => q.crash_on_store_to_fetch_line = Some(icache_line_size(core)),
+        "V2" => q.pmp_grace_window = true,
+        "V3" => q.skip_misaligned_jump_check = true,
+        "V4" => q.feq_nv_flag_missing_on_unboxed = true,
+        "K1" => q.fdiv_dz_flag_missing = true,
+        "K2" => q.sc_ignores_reservation = true,
+        "K3" => q.unimplemented_csr_nop = true,
+        "K4" => q.fmin_nan_propagation_wrong = true,
+        "K5" => q.mulhsu_sign_bug = true,
+        "K6" => q.minstret_double_counts_div = true,
+        "K7" => q.mtval_zero_on_misaligned_store = true,
+        "K8" => q.readonly_csr_write_ignored = true,
+        other => panic!("unknown bug id {other}"),
+    }
+}
+
+/// I-cache line size per core (bytes).
+#[must_use]
+pub fn icache_line_size(core: CoreKind) -> u64 {
+    match core {
+        CoreKind::Rocket | CoreKind::Boom => 64,
+        CoreKind::Cva6 => 16, // CVA6's narrower fetch lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_four_novel_cva6_bugs() {
+        let novel: Vec<_> = CATALOG.iter().filter(|b| b.novel).collect();
+        assert_eq!(novel.len(), 4);
+        assert!(novel.iter().all(|b| b.cores == [CoreKind::Cva6]));
+        assert!(novel.iter().all(|b| b.id.starts_with('V')));
+    }
+
+    #[test]
+    fn every_core_carries_known_bugs() {
+        for core in CoreKind::ALL {
+            let known = bugs_for(core).iter().filter(|b| !b.novel).count();
+            assert!(known >= 2, "{core:?} needs known bugs for §VII");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = CATALOG.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), CATALOG.len());
+    }
+
+    #[test]
+    fn find_and_quirks_roundtrip() {
+        assert!(find("V1").is_some());
+        assert!(find("nope").is_none());
+        let q = quirks_for(CoreKind::Cva6);
+        assert!(q.pmp_grace_window);
+        assert!(q.skip_misaligned_jump_check);
+        assert!(q.feq_nv_flag_missing_on_unboxed);
+        assert_eq!(q.crash_on_store_to_fetch_line, Some(16));
+        assert!(q.mtval_zero_on_misaligned_store);
+        assert!(!q.fdiv_dz_flag_missing, "K1 is Rocket-only");
+
+        let q = quirks_for(CoreKind::Rocket);
+        assert!(q.fdiv_dz_flag_missing && q.sc_ignores_reservation);
+        assert!(!q.pmp_grace_window);
+
+        let q = quirks_for(CoreKind::Boom);
+        assert!(q.fmin_nan_propagation_wrong && q.mulhsu_sign_bug);
+        assert!(q.minstret_double_counts_div);
+    }
+
+    #[test]
+    fn enable_single_bug() {
+        let mut q = Quirks::default();
+        enable(&mut q, "V2", CoreKind::Cva6);
+        assert!(q.pmp_grace_window);
+        assert_eq!(q, {
+            let mut e = Quirks::default();
+            e.pmp_grace_window = true;
+            e
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bug id")]
+    fn enable_rejects_unknown_ids() {
+        enable(&mut Quirks::default(), "Z9", CoreKind::Rocket);
+    }
+}

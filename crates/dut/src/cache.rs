@@ -1,0 +1,274 @@
+//! Set-associative cache models with write-back FSMs.
+//!
+//! Each access returns a [`CacheEvent`] describing the path the cache
+//! controller took; the core model maps events to coverage points. The
+//! write-back FSM is the micro-architectural mechanism behind the paper's
+//! V1 vulnerability (cache-coherency violation on a store into the
+//! currently-executing line).
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// Tag match; data served immediately.
+    Hit,
+    /// Miss into an empty way: plain refill, no victim.
+    MissCold,
+    /// Miss evicting a clean line (set conflict).
+    MissEvictClean,
+    /// Miss evicting a dirty line: write-back then refill.
+    MissWriteBack,
+}
+
+impl CacheEvent {
+    /// Extra cycles this event costs over a hit.
+    #[must_use]
+    pub fn penalty(self) -> u64 {
+        match self {
+            CacheEvent::Hit => 0,
+            CacheEvent::MissCold => 10,
+            CacheEvent::MissEvictClean => 12,
+            CacheEvent::MissWriteBack => 18,
+        }
+    }
+
+    /// Whether the access missed.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        self != CacheEvent::Hit
+    }
+
+    /// Whether the miss displaced a resident line (set conflict).
+    #[must_use]
+    pub fn evicted(self) -> bool {
+        matches!(self, CacheEvent::MissEvictClean | CacheEvent::MissWriteBack)
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache model.
+///
+/// Only tags are modelled (data lives in the functional memory); that is
+/// all the coverage and timing models need.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_dut::cache::{Cache, CacheEvent};
+///
+/// let mut dcache = Cache::new(64, 4, 64);
+/// assert_eq!(dcache.access(0x8000_1000, false), CacheEvent::MissCold);
+/// assert_eq!(dcache.access(0x8000_1008, false), CacheEvent::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line: u64,
+    /// `tags[set][way]`: the cached line address (addr / line).
+    tags: Vec<Vec<Option<u64>>>,
+    dirty: Vec<Vec<bool>>,
+    /// Round-robin replacement pointers (deterministic).
+    next_victim: Vec<usize>,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets, `ways` ways and `line`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` and `line` are powers of two and `ways >= 1`.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize, line: u64) -> Cache {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "at least one way");
+        Cache {
+            sets,
+            ways,
+            line,
+            tags: vec![vec![None; ways]; sets],
+            dirty: vec![vec![false; ways]; sets],
+            next_victim: vec![0; sets],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_size(&self) -> u64 {
+        self.line
+    }
+
+    /// The line address (`addr / line_size`) of a byte address.
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr as usize) & (self.sets - 1)
+    }
+
+    /// Performs an access; `is_store` marks the line dirty on completion.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> CacheEvent {
+        let line_addr = self.line_of(addr);
+        let set = self.set_of(line_addr);
+        // Lookup.
+        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(line_addr)) {
+            self.hits += 1;
+            if is_store {
+                self.dirty[set][way] = true;
+            }
+            return CacheEvent::Hit;
+        }
+        self.misses += 1;
+        // Prefer an empty way; otherwise evict round-robin.
+        let empty = self.tags[set].iter().position(Option::is_none);
+        let way = empty.unwrap_or_else(|| {
+            let v = self.next_victim[set];
+            self.next_victim[set] = (v + 1) % self.ways;
+            v
+        });
+        let had_victim = self.tags[set][way].is_some();
+        let evicted_dirty = had_victim && self.dirty[set][way];
+        self.tags[set][way] = Some(line_addr);
+        self.dirty[set][way] = is_store;
+        if evicted_dirty {
+            self.writebacks += 1;
+            CacheEvent::MissWriteBack
+        } else if had_victim {
+            CacheEvent::MissEvictClean
+        } else {
+            CacheEvent::MissCold
+        }
+    }
+
+    /// Whether the line containing `addr` is resident.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let line_addr = self.line_of(addr);
+        let set = self.set_of(line_addr);
+        self.tags[set].iter().any(|&t| t == Some(line_addr))
+    }
+
+    /// Invalidates the line containing `addr`, returning whether it was
+    /// resident (the I-cache snoop path used by the V1 mechanism).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line_addr = self.line_of(addr);
+        let set = self.set_of(line_addr);
+        match self.tags[set].iter().position(|&t| t == Some(line_addr)) {
+            Some(way) => {
+                self.tags[set][way] = None;
+                self.dirty[set][way] = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flushes the whole cache (e.g. on `fence.i`), returning the number of
+    /// dirty lines written back.
+    pub fn flush(&mut self) -> usize {
+        let mut wb = 0;
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                if self.tags[set][way].is_some() && self.dirty[set][way] {
+                    wb += 1;
+                }
+                self.tags[set][way] = None;
+                self.dirty[set][way] = false;
+            }
+        }
+        self.writebacks += wb as u64;
+        wb
+    }
+
+    /// Lifetime statistics: `(hits, misses, writebacks)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.writebacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_refill() {
+        let mut c = Cache::new(16, 2, 64);
+        assert_eq!(c.access(0x1000, false), CacheEvent::MissCold);
+        assert_eq!(c.access(0x1004, false), CacheEvent::Hit);
+        assert_eq!(c.access(0x103F, false), CacheEvent::Hit);
+        assert_eq!(c.access(0x1040, false), CacheEvent::MissCold, "next line");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        // Direct-mapped, 1 set: every distinct line conflicts.
+        let mut c = Cache::new(1, 1, 64);
+        assert_eq!(c.access(0x0, true), CacheEvent::MissCold);
+        assert_eq!(c.access(0x40, false), CacheEvent::MissWriteBack);
+        assert_eq!(c.access(0x80, false), CacheEvent::MissEvictClean, "clean victim");
+        let (_, _, wb) = c.stats();
+        assert_eq!(wb, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = Cache::new(1, 1, 64);
+        c.access(0x0, false);
+        c.access(0x8, true); // hit, marks dirty
+        assert_eq!(c.access(0x40, false), CacheEvent::MissWriteBack);
+    }
+
+    #[test]
+    fn associativity_avoids_conflicts() {
+        let mut c = Cache::new(1, 2, 64);
+        c.access(0x0, false);
+        c.access(0x40, false);
+        assert_eq!(c.access(0x0, false), CacheEvent::Hit);
+        assert_eq!(c.access(0x40, false), CacheEvent::Hit);
+        // Third line evicts round-robin.
+        assert_eq!(c.access(0x80, false), CacheEvent::MissEvictClean);
+        assert!(c.contains(0x80));
+    }
+
+    #[test]
+    fn invalidate_and_contains() {
+        let mut c = Cache::new(16, 2, 64);
+        c.access(0x2000, false);
+        assert!(c.contains(0x2010));
+        assert!(c.invalidate(0x2000));
+        assert!(!c.contains(0x2000));
+        assert!(!c.invalidate(0x2000), "already gone");
+    }
+
+    #[test]
+    fn flush_counts_dirty_lines() {
+        let mut c = Cache::new(16, 2, 64);
+        c.access(0x0, true); // set 0
+        c.access(0x1040, true); // set 1
+        c.access(0x2080, false); // set 2, clean
+        assert_eq!(c.flush(), 2);
+        assert!(!c.contains(0x0));
+        assert_eq!(c.access(0x0, false), CacheEvent::MissCold);
+    }
+
+    #[test]
+    fn deterministic_replacement() {
+        let run = || {
+            let mut c = Cache::new(4, 2, 64);
+            let mut events = Vec::new();
+            for i in 0..64u64 {
+                events.push(c.access((i * 0x140) % 0x2000, i % 3 == 0));
+            }
+            events
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,1218 @@
+//! The device-under-test core model: an instrumented micro-architectural
+//! simulation of one RISC-V core configuration.
+//!
+//! A [`Dut`] embeds the architectural executor from `hfl-grm` configured
+//! with the core's injected defects ([`crate::bugs`]), and layers on top of
+//! it the structures an RTL implementation would have — instruction/data
+//! caches with write-back FSMs, a branch predictor, a hazard scoreboard and
+//! multi-cycle functional units — each instrumented with line/condition/FSM
+//! coverage points ([`crate::coverage`]).
+//!
+//! The coverage space is deliberately *graded*: a shallow stratum any
+//! random stimulus reaches quickly (decode lines, simple conditions), a
+//! middle stratum needing specific operand/address choices (region
+//! targeting, misalignment, predictor training), and a deep stratum
+//! needing correlated instruction *sequences* (dirty-line write-backs,
+//! `lr`/`sc` pairs, self-modifying-code refetches, divide-overflow
+//! set-ups, FP flag chains). That structure — shallow saturates, deep
+//! needs guidance — is what makes the paper's coverage results
+//! reproducible.
+
+use std::collections::HashSet;
+
+use hfl_grm::cpu::{Cpu, HaltReason, StepInfo, StepOutcome};
+use hfl_grm::pmp::AccessKind;
+use hfl_grm::program::Program;
+use hfl_grm::trace::{ArchSnapshot, Trace};
+use hfl_riscv::vocab::mem_map;
+use hfl_riscv::{Format, Opcode, RegClass};
+
+use crate::bugs;
+use crate::cache::{Cache, CacheEvent};
+use crate::coverage::{CoverageKind, CoverageMap, CoverageSnapshot, PointId};
+use crate::pipeline::{div_latency, BranchPredictor, IssueEvent, MultiCycleUnit, Scoreboard};
+use crate::CoreKind;
+
+/// Static configuration of one core model.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Core family.
+    pub kind: CoreKind,
+    /// I-cache geometry: `(sets, ways, line bytes)`.
+    pub icache: (usize, usize, u64),
+    /// D-cache geometry: `(sets, ways, line bytes)`.
+    pub dcache: (usize, usize, u64),
+    /// Branch-predictor entries.
+    pub bp_entries: usize,
+    /// Whether the predictor hashes in global history (Boom-style).
+    pub bp_history: bool,
+    /// Pipeline-flush penalty on a mispredict, in cycles.
+    pub mispredict_penalty: u64,
+    /// Base latency of the FP divide/sqrt unit.
+    pub fdiv_latency: u64,
+    /// Whether the model exposes out-of-order structures (ROB/MSHR points).
+    pub out_of_order: bool,
+    /// Whether the model exposes a PMP checker unit (CVA6).
+    pub pmp_unit: bool,
+}
+
+impl CoreConfig {
+    /// The configuration for a core family, mirroring the real cores'
+    /// relative complexity (Boom > CVA6 > Rocket). Cache geometries are
+    /// scaled down with the memory map so that set conflicts are reachable
+    /// within short test cases, as they are on the real cores under long
+    /// fuzzing campaigns.
+    #[must_use]
+    pub fn for_kind(kind: CoreKind) -> CoreConfig {
+        match kind {
+            CoreKind::Rocket => CoreConfig {
+                kind,
+                icache: (16, 2, 64),
+                dcache: (8, 2, 64),
+                bp_entries: 64,
+                bp_history: false,
+                mispredict_penalty: 3,
+                fdiv_latency: 18,
+                out_of_order: false,
+                pmp_unit: false,
+            },
+            CoreKind::Boom => CoreConfig {
+                kind,
+                icache: (32, 4, 64),
+                dcache: (16, 4, 64),
+                bp_entries: 256,
+                bp_history: true,
+                mispredict_penalty: 8,
+                fdiv_latency: 14,
+                out_of_order: true,
+                pmp_unit: false,
+            },
+            CoreKind::Cva6 => CoreConfig {
+                kind,
+                icache: (16, 4, 16),
+                dcache: (8, 2, 16),
+                bp_entries: 128,
+                bp_history: false,
+                mispredict_penalty: 5,
+                fdiv_latency: 20,
+                out_of_order: false,
+                pmp_unit: true,
+            },
+        }
+    }
+}
+
+/// Precomputed coverage-point handles.
+#[derive(Debug, Clone)]
+struct Points {
+    // ---- Lines ----
+    fetch_req: PointId,
+    decode_op: Vec<PointId>, // indexed by Opcode::index(); pseudo slots unused
+    trap_cause: Vec<PointId>,
+    trap_return: PointId,
+    trap_back_to_back: PointId,
+    mret_then_trap: PointId,
+    flush_fencei: PointId,
+    wb_int: PointId,
+    wb_fp: PointId,
+    lsu_load: PointId,
+    lsu_store: PointId,
+    lsu_amo: PointId,
+    lsu_region: [PointId; 6], // code, data, protected, stack, scratch, unmapped
+    lr_then_sc: PointId,
+    csr_access: PointId,
+    csr_group: [PointId; 4], // fp, counter, trap-setup, pmp
+    icache_invalidate: PointId,
+    modified_refetch: PointId,
+    fpu_s_after_d: PointId,
+    ras_push: PointId,
+    ras_pop: PointId,
+    ras_underflow: PointId,
+    // ---- Conditions (true/false pairs) ----
+    c_raw1: (PointId, PointId),
+    c_raw2: (PointId, PointId),
+    c_load_use: (PointId, PointId),
+    c_waw: (PointId, PointId),
+    c_result_zero: (PointId, PointId),
+    c_result_neg: (PointId, PointId),
+    c_bp_taken: (PointId, PointId),
+    c_bp_correct: (PointId, PointId),
+    c_btb_hit: (PointId, PointId),
+    c_mem_misaligned: (PointId, PointId),
+    c_mem_line_cross: (PointId, PointId),
+    c_dcache_hit: (PointId, PointId),
+    c_dcache_conflict: (PointId, PointId),
+    c_dirty_victim: (PointId, PointId),
+    c_store_to_code: (PointId, PointId),
+    c_store_own_line: (PointId, PointId),
+    c_sc_success: (PointId, PointId),
+    c_div_by_zero: (PointId, PointId),
+    c_div_overflow: (PointId, PointId),
+    c_div_long: (PointId, PointId),
+    c_mul_high_nonzero: (PointId, PointId),
+    c_shift_ge32: (PointId, PointId),
+    c_word_sign_flip: (PointId, PointId),
+    c_fflag_nv: (PointId, PointId),
+    c_fflag_dz: (PointId, PointId),
+    c_fflag_of: (PointId, PointId),
+    c_fp_unboxed: (PointId, PointId),
+    c_trap_taken: (PointId, PointId),
+    c_loop_backedge: (PointId, PointId),
+    c_compressed: (PointId, PointId), // true side is unreachable (dead)
+    c_csr_readonly: (PointId, PointId),
+    c_pmp_match: Option<(PointId, PointId)>,
+    c_pmp_grant: Option<(PointId, PointId)>,
+    // ---- FSM states ----
+    f_icache: [PointId; 4],  // idle, lookup, refill, invalidate
+    f_dcache: [PointId; 6],  // idle, lookup, refill, writeback, store, amo
+    f_div: [PointId; 3],     // idle, busy, drain
+    f_fpu: [PointId; 5],     // idle, addpipe, mulpipe, divsqrt, cmp
+    f_trap: [PointId; 4],    // idle, save, redirect, return
+    f_bp: [PointId; 4],      // strong_nt, weak_nt, weak_t, strong_t
+    f_ras: [PointId; 3],     // empty, shallow, deep
+    f_rob: Option<[PointId; 4]>,  // Boom: empty, fill, full, flush
+    f_mshr: Option<[PointId; 3]>, // Boom: idle, pending, refill
+    // Deliberately-unreachable units: registered so the coverage space has
+    // the dead points the paper's §IV-C filtering step removes, never hit.
+    #[allow(dead_code)]
+    f_ptw: [PointId; 4], // page-table walker (no virtual memory in tests)
+    #[allow(dead_code)]
+    f_debug: [PointId; 3], // debug module
+}
+
+fn cond_pair(map: &mut CoverageMap, name: &str) -> (PointId, PointId) {
+    (
+        map.register(CoverageKind::Condition, &format!("cond:{name}:T")),
+        map.register(CoverageKind::Condition, &format!("cond:{name}:F")),
+    )
+}
+
+fn fsm_states<const N: usize>(
+    map: &mut CoverageMap,
+    fsm: &str,
+    states: [&str; N],
+) -> [PointId; N] {
+    states.map(|s| map.register(CoverageKind::Fsm, &format!("fsm:{fsm}:{s}")))
+}
+
+impl Points {
+    #[allow(clippy::too_many_lines)]
+    fn register(map: &mut CoverageMap, config: &CoreConfig) -> Points {
+        let line = |map: &mut CoverageMap, name: &str| {
+            map.register(CoverageKind::Line, &format!("line:{name}"))
+        };
+        let decode_op = Opcode::ALL
+            .iter()
+            .map(|op| {
+                if op.is_pseudo() {
+                    // Placeholder: pseudo ops never retire. Reuse a common
+                    // dead line so indexing stays simple.
+                    map.register(CoverageKind::Line, "line:decode:pseudo_slot")
+                } else {
+                    map.register(
+                        CoverageKind::Line,
+                        &format!("line:decode:op_{}", op.mnemonic()),
+                    )
+                }
+            })
+            .collect();
+        let trap_cause = (0..16)
+            .map(|c| map.register(CoverageKind::Line, &format!("line:trap:cause_{c}")))
+            .collect();
+        Points {
+            fetch_req: line(map, "fetch:req"),
+            decode_op,
+            trap_cause,
+            trap_return: line(map, "trap:mret"),
+            trap_back_to_back: line(map, "trap:back_to_back"),
+            mret_then_trap: line(map, "trap:mret_then_trap"),
+            flush_fencei: line(map, "frontend:fencei_flush"),
+            wb_int: line(map, "wb:int"),
+            wb_fp: line(map, "wb:fp"),
+            lsu_load: line(map, "lsu:load"),
+            lsu_store: line(map, "lsu:store"),
+            lsu_amo: line(map, "lsu:amo"),
+            lsu_region: [
+                line(map, "lsu:region_code"),
+                line(map, "lsu:region_data"),
+                line(map, "lsu:region_protected"),
+                line(map, "lsu:region_stack"),
+                line(map, "lsu:region_scratch"),
+                line(map, "lsu:region_unmapped"),
+            ],
+            lr_then_sc: line(map, "lsu:lr_then_sc_success"),
+            csr_access: line(map, "csr:access"),
+            csr_group: [
+                line(map, "csr:group_fp"),
+                line(map, "csr:group_counter"),
+                line(map, "csr:group_trap_setup"),
+                line(map, "csr:group_pmp"),
+            ],
+            icache_invalidate: line(map, "icache:store_snoop_invalidate"),
+            modified_refetch: line(map, "icache:modified_line_refetch"),
+            fpu_s_after_d: line(map, "fpu:single_after_double"),
+            ras_push: line(map, "frontend:ras_push"),
+            ras_pop: line(map, "frontend:ras_pop"),
+            ras_underflow: line(map, "frontend:ras_underflow"),
+            c_raw1: cond_pair(map, "ex:raw_dist1"),
+            c_raw2: cond_pair(map, "ex:raw_dist2"),
+            c_load_use: cond_pair(map, "ex:load_use_stall"),
+            c_waw: cond_pair(map, "ex:waw"),
+            c_result_zero: cond_pair(map, "ex:result_zero"),
+            c_result_neg: cond_pair(map, "ex:result_negative"),
+            c_bp_taken: cond_pair(map, "bp:predicted_taken"),
+            c_bp_correct: cond_pair(map, "bp:correct"),
+            c_btb_hit: cond_pair(map, "bp:btb_hit"),
+            c_mem_misaligned: cond_pair(map, "lsu:misaligned"),
+            c_mem_line_cross: cond_pair(map, "lsu:line_cross"),
+            c_dcache_hit: cond_pair(map, "dcache:hit"),
+            c_dcache_conflict: cond_pair(map, "dcache:set_conflict"),
+            c_dirty_victim: cond_pair(map, "dcache:dirty_victim"),
+            c_store_to_code: cond_pair(map, "lsu:store_to_code"),
+            c_store_own_line: cond_pair(map, "lsu:store_same_line_as_pc"),
+            c_sc_success: cond_pair(map, "lsu:sc_success"),
+            c_div_by_zero: cond_pair(map, "div:by_zero"),
+            c_div_overflow: cond_pair(map, "div:overflow"),
+            c_div_long: cond_pair(map, "div:long_operand"),
+            c_mul_high_nonzero: cond_pair(map, "mul:high_bits_nonzero"),
+            c_shift_ge32: cond_pair(map, "ex:shift_ge_32"),
+            c_word_sign_flip: cond_pair(map, "ex:word_result_negative"),
+            c_fflag_nv: cond_pair(map, "fpu:flag_nv"),
+            c_fflag_dz: cond_pair(map, "fpu:flag_dz"),
+            c_fflag_of: cond_pair(map, "fpu:flag_of"),
+            c_fp_unboxed: cond_pair(map, "fpu:unboxed_input"),
+            c_trap_taken: cond_pair(map, "trap:taken"),
+            c_loop_backedge: cond_pair(map, "bp:loop_backedge"),
+            c_compressed: cond_pair(map, "decode:is_compressed"),
+            c_csr_readonly: cond_pair(map, "csr:addr_readonly"),
+            c_pmp_match: config.pmp_unit.then(|| cond_pair(map, "pmp:match")),
+            c_pmp_grant: config.pmp_unit.then(|| cond_pair(map, "pmp:grant")),
+            f_icache: fsm_states(map, "icache", ["idle", "lookup", "refill", "invalidate"]),
+            f_dcache: fsm_states(
+                map,
+                "dcache",
+                ["idle", "lookup", "refill", "writeback", "store_buf", "amo_lock"],
+            ),
+            f_div: fsm_states(map, "div", ["idle", "busy", "drain"]),
+            f_fpu: fsm_states(map, "fpu", ["idle", "add_pipe", "mul_pipe", "div_sqrt", "cmp"]),
+            f_trap: fsm_states(map, "trap", ["idle", "save", "redirect", "mret"]),
+            f_bp: fsm_states(map, "bp", ["strong_nt", "weak_nt", "weak_t", "strong_t"]),
+            f_ras: fsm_states(map, "ras", ["empty", "shallow", "deep"]),
+            f_rob: config
+                .out_of_order
+                .then(|| fsm_states(map, "rob", ["empty", "fill", "full", "flush"])),
+            f_mshr: config
+                .out_of_order
+                .then(|| fsm_states(map, "mshr", ["idle", "pending", "refill"])),
+            f_ptw: fsm_states(map, "ptw", ["idle", "l1", "l2", "fault"]),
+            f_debug: fsm_states(map, "debug", ["idle", "halted", "resume"]),
+        }
+    }
+}
+
+/// Registers the coverage points of units the test environment can never
+/// exercise — interrupt delivery, supervisor/user mode, virtual memory,
+/// debug, ECC and bus-error paths. Real RTL coverage spaces are dominated
+/// by such points; the paper reports that more than 70% of RocketChip's
+/// points were dead and filtered before training the predictor (§IV-C).
+fn register_dead_banks(map: &mut CoverageMap, config: &CoreConfig) {
+    let scale = if config.out_of_order { 3 } else { 2 };
+    let units: &[(&str, usize)] = &[
+        ("plic", 12 * scale),
+        ("clint", 6 * scale),
+        ("smode_trap", 10 * scale),
+        ("vm_tlb", 12 * scale),
+        ("bus_err", 8 * scale),
+        ("ecc", 6 * scale),
+        ("perf_overflow", 6 * scale),
+        ("dbg_abstract", 8 * scale),
+    ];
+    for (unit, lines) in units {
+        for i in 0..*lines {
+            map.register(CoverageKind::Line, &format!("line:{unit}:u{i}"));
+        }
+        for i in 0..(*lines / 2) {
+            map.register(CoverageKind::Condition, &format!("cond:{unit}:c{i}:T"));
+            map.register(CoverageKind::Condition, &format!("cond:{unit}:c{i}:F"));
+        }
+        for i in 0..(*lines / 4) {
+            map.register(CoverageKind::Fsm, &format!("fsm:{unit}:s{i}"));
+        }
+    }
+}
+
+/// Per-run micro-architectural state (reset with the core on every test
+/// case, like an RTL simulation restarted per stimulus).
+#[derive(Debug)]
+struct MicroState {
+    icache: Cache,
+    dcache: Cache,
+    bp: BranchPredictor,
+    scoreboard: Scoreboard,
+    div_unit: MultiCycleUnit,
+    fpu_unit: MultiCycleUnit,
+    /// Code lines invalidated by stores (self-modifying-code tracking).
+    invalidated_lines: HashSet<u64>,
+    last_fp_was_double: bool,
+    steps_since_trap: u64,
+    steps_since_mret: u64,
+    lr_outstanding: bool,
+    ras_depth: u32,
+    rob_occupancy: u64,
+}
+
+impl MicroState {
+    fn new(config: &CoreConfig) -> MicroState {
+        MicroState {
+            icache: Cache::new(config.icache.0, config.icache.1, config.icache.2),
+            dcache: Cache::new(config.dcache.0, config.dcache.1, config.dcache.2),
+            bp: BranchPredictor::new(config.bp_entries, config.bp_history),
+            scoreboard: Scoreboard::new(),
+            div_unit: MultiCycleUnit::new(),
+            fpu_unit: MultiCycleUnit::new(),
+            invalidated_lines: HashSet::new(),
+            last_fp_was_double: false,
+            steps_since_trap: u64::MAX,
+            steps_since_mret: u64::MAX,
+            lr_outstanding: false,
+            ras_depth: 0,
+            rob_occupancy: 0,
+        }
+    }
+}
+
+/// Result of running one test case on the DUT.
+#[derive(Debug, Clone)]
+pub struct DutResult {
+    /// Why the run ended.
+    pub halt: HaltReason,
+    /// Retired/trapped instruction count.
+    pub steps: u64,
+    /// Modelled cycle count (with cache/branch/unit penalties).
+    pub cycles: u64,
+    /// The architectural trace.
+    pub trace: Trace,
+    /// Final architectural state.
+    pub arch: ArchSnapshot,
+    /// Coverage points hit by this test case.
+    pub coverage: CoverageSnapshot,
+}
+
+/// An instrumented core model (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hfl_dut::{CoreKind, Dut};
+/// use hfl_grm::Program;
+/// use hfl_riscv::{Instruction, Opcode, Reg};
+///
+/// let mut dut = Dut::new(CoreKind::Rocket);
+/// let program = Program::assemble(&[
+///     Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 42),
+/// ]);
+/// let result = dut.run_program(&program, 10_000);
+/// assert_eq!(result.arch.x[10], 42);
+/// assert!(result.coverage.count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dut {
+    config: CoreConfig,
+    coverage: CoverageMap,
+    points: Points,
+}
+
+impl Dut {
+    /// Creates the instrumented model for one core family with its full
+    /// defect catalogue injected.
+    #[must_use]
+    pub fn new(kind: CoreKind) -> Dut {
+        let config = CoreConfig::for_kind(kind);
+        let mut coverage = CoverageMap::new();
+        let points = Points::register(&mut coverage, &config);
+        register_dead_banks(&mut coverage, &config);
+        Dut { config, coverage, points }
+    }
+
+    /// The core family.
+    #[must_use]
+    pub fn kind(&self) -> CoreKind {
+        self.config.kind
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The coverage-point database (points persist across runs).
+    #[must_use]
+    pub fn coverage_map(&self) -> &CoverageMap {
+        &self.coverage
+    }
+
+    /// Runs one test case from reset, returning trace + coverage.
+    ///
+    /// Every run starts from a cold core (fresh caches, predictor, CSRs),
+    /// matching an RTL simulation that resets the DUT per stimulus.
+    pub fn run_program(&mut self, program: &Program, max_steps: u64) -> DutResult {
+        let quirks = bugs::quirks_for(self.config.kind);
+        self.run_program_with_quirks(program, max_steps, quirks)
+    }
+
+    /// Runs one test case with an explicit defect configuration (used by
+    /// the per-bug detection experiments).
+    pub fn run_program_with_quirks(
+        &mut self,
+        program: &Program,
+        max_steps: u64,
+        quirks: hfl_grm::cpu::Quirks,
+    ) -> DutResult {
+        let mut cpu = Cpu::with_quirks(quirks);
+        cpu.load_program(program);
+        let mut micro = MicroState::new(&self.config);
+        self.coverage.clear_hits();
+
+        let mut cycles: u64 = 0;
+        let mut steps: u64 = 0;
+        let halt;
+        loop {
+            if steps >= max_steps {
+                halt = HaltReason::StepBudget;
+                break;
+            }
+            let info = cpu.step();
+            if let StepOutcome::Halted(reason) = info.outcome {
+                halt = reason;
+                break;
+            }
+            steps += 1;
+            cycles += 1;
+            cycles += self.observe(&info, &cpu, &mut micro, cycles);
+        }
+        DutResult {
+            halt,
+            steps,
+            cycles,
+            arch: cpu.arch_snapshot(),
+            trace: std::mem::take(&mut cpu.trace),
+            coverage: self.coverage.take_snapshot(),
+        }
+    }
+
+    /// Feeds one architectural step through the micro-architectural models,
+    /// hitting coverage points; returns the extra cycles the step cost.
+    #[allow(clippy::too_many_lines)]
+    fn observe(&mut self, info: &StepInfo, cpu: &Cpu, micro: &mut MicroState, now: u64) -> u64 {
+        let p = &self.points;
+        let cov = &mut self.coverage;
+        let mut extra: u64 = 0;
+        micro.steps_since_trap = micro.steps_since_trap.saturating_add(1);
+        micro.steps_since_mret = micro.steps_since_mret.saturating_add(1);
+
+        // ---- Frontend: every step issues a fetch. ----
+        cov.hit(p.fetch_req);
+        cov.hit(p.f_icache[0]);
+        cov.hit(p.f_icache[1]);
+        let fetch_event = micro.icache.access(info.pc, false);
+        if fetch_event.is_miss() {
+            cov.hit(p.f_icache[2]);
+            extra += fetch_event.penalty();
+            // Refetching a line a store previously invalidated: the
+            // self-modifying-code path (deep, sequence-dependent).
+            let line = micro.icache.line_of(info.pc);
+            if micro.invalidated_lines.remove(&line) {
+                cov.hit(p.modified_refetch);
+            }
+        }
+        // No compressed instructions exist in the vocabulary: the true
+        // polarity is a permanently-dead condition point, like the unused
+        // RTL paths the paper's dead-point filtering removes.
+        cov.hit(p.c_compressed.1);
+
+        let Some(inst) = info.inst else {
+            // Fetch/decode fault: only the trap path fires.
+            if let StepOutcome::Trapped(trap) = info.outcome {
+                self.observe_trap(trap.cause, micro);
+            }
+            return extra;
+        };
+        let op = inst.opcode;
+
+        // ---- Decode ----
+        cov.hit(p.decode_op[op.index()]);
+
+        // ---- Hazards / scoreboard ----
+        let spec = op.spec();
+        let mut reads: Vec<(u8, bool)> = Vec::with_capacity(3);
+        if let Some(class) = spec.rs1 {
+            reads.push((inst.rs1, class == RegClass::Fp));
+        }
+        if let Some(class) = spec.rs2 {
+            reads.push((inst.rs2, class == RegClass::Fp));
+        }
+        if let Some(class) = spec.rs3 {
+            reads.push((inst.rs3, class == RegClass::Fp));
+        }
+        let write = spec.rd.map(|class| (inst.rd, class == RegClass::Fp));
+        let is_load = info.mem.is_some_and(|m| !m.is_store);
+        let hz = micro.scoreboard.step(&reads, write, is_load);
+        cov.hit_cond(hz.raw_dist1, p.c_raw1.0, p.c_raw1.1);
+        cov.hit_cond(hz.raw_dist2, p.c_raw2.0, p.c_raw2.1);
+        cov.hit_cond(hz.load_use, p.c_load_use.0, p.c_load_use.1);
+        cov.hit_cond(hz.waw, p.c_waw.0, p.c_waw.1);
+        if hz.load_use {
+            extra += 1;
+        }
+
+        // ---- Execute / writeback ----
+        if let Some((is_fp, _, value)) = info.rd_write {
+            cov.hit(if is_fp { p.wb_fp } else { p.wb_int });
+            cov.hit_cond(value == 0, p.c_result_zero.0, p.c_result_zero.1);
+            cov.hit_cond((value as i64) < 0, p.c_result_neg.0, p.c_result_neg.1);
+        }
+        // ALU corner conditions.
+        if matches!(op, Opcode::Slli | Opcode::Srli | Opcode::Srai) {
+            cov.hit_cond(inst.imm >= 32, p.c_shift_ge32.0, p.c_shift_ge32.1);
+        }
+        if matches!(
+            op,
+            Opcode::Addw | Opcode::Subw | Opcode::Sllw | Opcode::Srlw | Opcode::Sraw
+                | Opcode::Addiw | Opcode::Slliw | Opcode::Srliw | Opcode::Sraiw | Opcode::Mulw
+        ) {
+            if let Some((_, _, value)) = info.rd_write {
+                cov.hit_cond(
+                    value as u32 & 0x8000_0000 != 0,
+                    p.c_word_sign_flip.0,
+                    p.c_word_sign_flip.1,
+                );
+            }
+        }
+        if matches!(op, Opcode::Mulh | Opcode::Mulhu | Opcode::Mulhsu) {
+            if let Some((_, _, value)) = info.rd_write {
+                cov.hit_cond(
+                    value != 0 && value != u64::MAX,
+                    p.c_mul_high_nonzero.0,
+                    p.c_mul_high_nonzero.1,
+                );
+            }
+        }
+
+        // ---- Branch prediction and the return-address stack ----
+        if let Some((taken, target)) = info.branch {
+            if op.is_control_flow() && op != Opcode::Mret {
+                let pred = micro.bp.resolve(info.pc, taken, target);
+                cov.hit_cond(pred.predicted_taken, p.c_bp_taken.0, p.c_bp_taken.1);
+                cov.hit_cond(pred.correct, p.c_bp_correct.0, p.c_bp_correct.1);
+                cov.hit_cond(pred.btb_hit, p.c_btb_hit.0, p.c_btb_hit.1);
+                cov.hit(p.f_bp[usize::from(pred.counter_after.min(3))]);
+                cov.hit_cond(
+                    taken && target < info.pc,
+                    p.c_loop_backedge.0,
+                    p.c_loop_backedge.1,
+                );
+                if !pred.correct {
+                    extra += self.config.mispredict_penalty;
+                    if let Some(rob) = &p.f_rob {
+                        cov.hit(rob[3]); // flush
+                    }
+                }
+            }
+            // Return-address stack: calls (link register writes) push,
+            // `ret`-shaped jumps pop. Cascade-style generators that strip
+            // control flow never touch this unit.
+            let is_call =
+                matches!(op, Opcode::Jal | Opcode::Jalr) && inst.rd == 1;
+            let is_return = op == Opcode::Jalr && inst.rd == 0 && inst.rs1 == 1;
+            if is_call {
+                cov.hit(p.ras_push);
+                micro.ras_depth = micro.ras_depth.saturating_add(1);
+            } else if is_return {
+                if micro.ras_depth == 0 {
+                    cov.hit(p.ras_underflow);
+                } else {
+                    cov.hit(p.ras_pop);
+                    micro.ras_depth -= 1;
+                }
+            }
+            cov.hit(p.f_ras[match micro.ras_depth {
+                0 => 0,
+                1 => 1,
+                _ => 2,
+            }]);
+        }
+
+        // ---- Integer divider ----
+        if matches!(
+            op,
+            Opcode::Div | Opcode::Divu | Opcode::Rem | Opcode::Remu | Opcode::Divw
+                | Opcode::Divuw | Opcode::Remw | Opcode::Remuw
+        ) {
+            cov.hit(p.f_div[0]);
+            cov.hit(p.f_div[1]);
+            let dividend = info.rd_write.map_or(0, |(_, _, v)| v);
+            let latency = div_latency(dividend);
+            cov.hit_cond(latency > 8, p.c_div_long.0, p.c_div_long.1);
+            let (event, _) = micro.div_unit.issue(now, latency);
+            if event == IssueEvent::StalledThenAccepted {
+                cov.hit(p.f_div[2]);
+                extra += 2;
+            }
+            extra += latency / 2; // overlapped with independent work
+            let by_zero = info.rd_write.is_some_and(|(_, _, v)| v == u64::MAX);
+            cov.hit_cond(by_zero, p.c_div_by_zero.0, p.c_div_by_zero.1);
+            let overflow = info.rd_write.is_some_and(|(_, _, v)| v == i64::MIN as u64);
+            cov.hit_cond(overflow, p.c_div_overflow.0, p.c_div_overflow.1);
+        }
+
+        // ---- Floating-point unit ----
+        if op.is_fp() {
+            cov.hit(p.f_fpu[0]);
+            let (state, latency): (usize, u64) = match op {
+                Opcode::FaddS | Opcode::FsubS | Opcode::FaddD | Opcode::FsubD
+                | Opcode::FmaddS | Opcode::FmsubS | Opcode::FnmsubS | Opcode::FnmaddS
+                | Opcode::FmaddD | Opcode::FmsubD | Opcode::FnmsubD | Opcode::FnmaddD => (1, 3),
+                Opcode::FmulS | Opcode::FmulD => (2, 4),
+                Opcode::FdivS | Opcode::FdivD | Opcode::FsqrtS | Opcode::FsqrtD => {
+                    (3, self.config.fdiv_latency)
+                }
+                Opcode::FeqS | Opcode::FltS | Opcode::FleS | Opcode::FeqD | Opcode::FltD
+                | Opcode::FleD | Opcode::FminS | Opcode::FmaxS | Opcode::FminD
+                | Opcode::FmaxD | Opcode::FclassS | Opcode::FclassD => (4, 1),
+                _ => (0, 1), // moves, conversions, loads/stores
+            };
+            if state != 0 {
+                cov.hit(p.f_fpu[state]);
+            }
+            let (event, _) = micro.fpu_unit.issue(now, latency);
+            if event == IssueEvent::StalledThenAccepted {
+                extra += 2;
+            }
+            if latency > 4 {
+                extra += latency / 2;
+            }
+            cov.hit_cond(info.fp_flags & 0x10 != 0, p.c_fflag_nv.0, p.c_fflag_nv.1);
+            cov.hit_cond(info.fp_flags & 0x08 != 0, p.c_fflag_dz.0, p.c_fflag_dz.1);
+            cov.hit_cond(info.fp_flags & 0x04 != 0, p.c_fflag_of.0, p.c_fflag_of.1);
+            // NaN-boxing path: single-precision ops with unboxed inputs,
+            // and precision interleaving.
+            let is_single = op.mnemonic().ends_with(".s") || op == Opcode::Flw || op == Opcode::Fsw;
+            if is_single && !matches!(op, Opcode::Flw | Opcode::Fsw) {
+                cov.hit_cond(info.fp_unboxed_input, p.c_fp_unboxed.0, p.c_fp_unboxed.1);
+                if micro.last_fp_was_double {
+                    cov.hit(p.fpu_s_after_d);
+                }
+            }
+            micro.last_fp_was_double = op.mnemonic().ends_with(".d") || op == Opcode::Fld;
+        }
+
+        // ---- Load/store unit and D-cache ----
+        if let Some(mem) = info.mem {
+            cov.hit(p.f_dcache[0]);
+            cov.hit(p.f_dcache[1]);
+            let is_amo = matches!(op.format(), Format::Amo | Format::AmoLr);
+            if is_amo {
+                cov.hit(p.lsu_amo);
+                cov.hit(p.f_dcache[5]);
+            } else if mem.is_store {
+                cov.hit(p.lsu_store);
+                cov.hit(p.f_dcache[4]);
+            } else {
+                cov.hit(p.lsu_load);
+            }
+            // Region classification.
+            cov.hit(p.lsu_region[region_of(mem.addr)]);
+            // lr/sc tracking.
+            if matches!(op, Opcode::LrW | Opcode::LrD) {
+                micro.lr_outstanding = true;
+            }
+            if matches!(op, Opcode::ScW | Opcode::ScD) {
+                let success = info.rd_write.is_some_and(|(_, _, v)| v == 0);
+                cov.hit_cond(success, p.c_sc_success.0, p.c_sc_success.1);
+                if success && micro.lr_outstanding {
+                    cov.hit(p.lr_then_sc);
+                }
+                micro.lr_outstanding = false;
+            }
+            cov.hit_cond(
+                mem.addr % u64::from(mem.size) != 0,
+                p.c_mem_misaligned.0,
+                p.c_mem_misaligned.1,
+            );
+            let line = micro.dcache.line_size();
+            let crosses = (mem.addr % line) + u64::from(mem.size) > line;
+            cov.hit_cond(crosses, p.c_mem_line_cross.0, p.c_mem_line_cross.1);
+            let event = micro.dcache.access(mem.addr, mem.is_store);
+            cov.hit_cond(event == CacheEvent::Hit, p.c_dcache_hit.0, p.c_dcache_hit.1);
+            cov.hit_cond(event.evicted(), p.c_dcache_conflict.0, p.c_dcache_conflict.1);
+            cov.hit_cond(
+                event == CacheEvent::MissWriteBack,
+                p.c_dirty_victim.0,
+                p.c_dirty_victim.1,
+            );
+            match event {
+                CacheEvent::Hit => {}
+                CacheEvent::MissCold | CacheEvent::MissEvictClean => {
+                    cov.hit(p.f_dcache[2]);
+                    if let Some(mshr) = &p.f_mshr {
+                        cov.hit(mshr[0]);
+                        cov.hit(mshr[1]);
+                    }
+                }
+                CacheEvent::MissWriteBack => {
+                    cov.hit(p.f_dcache[2]);
+                    cov.hit(p.f_dcache[3]);
+                    if let Some(mshr) = &p.f_mshr {
+                        cov.hit(mshr[2]);
+                    }
+                }
+            }
+            extra += event.penalty();
+            if mem.is_store {
+                // Store snoop into the I-cache (the V1 mechanism).
+                let to_code = mem.addr >= mem_map::CODE_BASE && mem.addr < mem_map::DATA_BASE;
+                cov.hit_cond(to_code, p.c_store_to_code.0, p.c_store_to_code.1);
+                cov.hit_cond(
+                    micro.icache.line_of(mem.addr) == micro.icache.line_of(info.pc),
+                    p.c_store_own_line.0,
+                    p.c_store_own_line.1,
+                );
+                if micro.icache.invalidate(mem.addr) {
+                    cov.hit(p.icache_invalidate);
+                    cov.hit(p.f_icache[3]);
+                    micro.invalidated_lines.insert(micro.icache.line_of(mem.addr));
+                    extra += 2;
+                }
+            }
+            // PMP checker activity (CVA6).
+            if let (Some(m), Some(g)) = (p.c_pmp_match, p.c_pmp_grant) {
+                let matched = cpu.csrs.pmp.matching_entry(mem.addr).is_some();
+                cov.hit_cond(matched, m.0, m.1);
+                if matched {
+                    let kind = if mem.is_store { AccessKind::Store } else { AccessKind::Load };
+                    let granted = cpu.csrs.pmp.allows(mem.addr, kind);
+                    cov.hit_cond(granted, g.0, g.1);
+                }
+            }
+        }
+
+        // ---- CSR unit ----
+        if matches!(op.format(), Format::Csr | Format::CsrImm) {
+            cov.hit(p.csr_access);
+            let addr = inst.csr.addr();
+            let group = match addr {
+                0x001..=0x003 => Some(0),
+                0xB00..=0xB9F | 0xC00..=0xC9F => Some(1),
+                0x300..=0x344 => Some(2),
+                0x3A0..=0x3BF => Some(3),
+                _ => None,
+            };
+            if let Some(g) = group {
+                cov.hit(p.csr_group[g]);
+            }
+            cov.hit_cond(
+                inst.csr.is_read_only(),
+                p.c_csr_readonly.0,
+                p.c_csr_readonly.1,
+            );
+            extra += 1; // CSR ops serialise the pipeline
+        }
+
+        // ---- Fences ----
+        if op == Opcode::FenceI {
+            cov.hit(p.flush_fencei);
+            let wb = micro.dcache.flush() as u64;
+            micro.icache.flush();
+            micro.invalidated_lines.clear();
+            extra += 4 + wb;
+        }
+
+        // ---- Traps and returns ----
+        match info.outcome {
+            StepOutcome::Trapped(trap) => {
+                cov.hit_cond(true, p.c_trap_taken.0, p.c_trap_taken.1);
+                // Misaligned accesses trap before the cache sees them; the
+                // alignment predicate still evaluated true in the LSU.
+                if trap.cause == 4 || trap.cause == 6 {
+                    cov.hit(p.c_mem_misaligned.0);
+                    cov.hit(p.f_dcache[0]);
+                }
+                // "Back to back": the instruction right after the
+                // handler's mret traps again (the handler itself is four
+                // instructions long).
+                if micro.steps_since_trap <= 6 {
+                    cov.hit(p.trap_back_to_back);
+                }
+                if micro.steps_since_mret <= 2 {
+                    cov.hit(p.mret_then_trap);
+                }
+                self.observe_trap(trap.cause, micro);
+                extra += 4;
+            }
+            _ => {
+                cov.hit_cond(false, p.c_trap_taken.0, p.c_trap_taken.1);
+            }
+        }
+        if op == Opcode::Mret {
+            self.coverage.hit(self.points.trap_return);
+            self.coverage.hit(self.points.f_trap[3]);
+            micro.steps_since_mret = 0;
+        }
+
+        // ---- ROB occupancy (Boom) ----
+        if let Some(rob) = &self.points.f_rob {
+            micro.rob_occupancy = (micro.rob_occupancy + 1).min(32);
+            self.coverage.hit(rob[0]);
+            if micro.rob_occupancy > 4 {
+                self.coverage.hit(rob[1]);
+            }
+            if micro.rob_occupancy >= 32 {
+                self.coverage.hit(rob[2]);
+            }
+            if extra > 8 {
+                micro.rob_occupancy = 0; // long stall drains the window
+            }
+        }
+
+        extra
+    }
+
+    fn observe_trap(&mut self, cause: u64, micro: &mut MicroState) {
+        let p = &self.points;
+        self.coverage.hit(p.f_trap[0]);
+        self.coverage.hit(p.f_trap[1]);
+        self.coverage.hit(p.f_trap[2]);
+        if let Some(point) = p.trap_cause.get(cause as usize) {
+            self.coverage.hit(*point);
+        }
+        micro.steps_since_trap = 0;
+    }
+}
+
+/// Classifies an address into the test-bench memory regions.
+fn region_of(addr: u64) -> usize {
+    use mem_map::*;
+    if (CODE_BASE..DATA_BASE).contains(&addr) {
+        0
+    } else if (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr) {
+        1
+    } else if (PROTECTED_BASE..PROTECTED_BASE + PROTECTED_SIZE).contains(&addr) {
+        2
+    } else if (DATA_BASE + DATA_SIZE..STACK_TOP).contains(&addr) {
+        3
+    } else if (SCRATCH_BASE..RAM_END).contains(&addr) {
+        4
+    } else {
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_riscv::{Csr, Instruction, Reg};
+
+    fn nop_program(n: usize) -> Program {
+        Program::assemble(&vec![Instruction::NOP; n])
+    }
+
+    #[test]
+    fn runs_and_reports_coverage() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let result = dut.run_program(&nop_program(4), 10_000);
+        assert_eq!(result.halt, HaltReason::ReachedHaltPc);
+        assert!(result.coverage.count() > 5);
+        assert!(result.cycles >= result.steps);
+        assert!(result.steps > 4, "prologue + body");
+    }
+
+    #[test]
+    fn coverage_map_scale_matches_the_paper() {
+        for kind in CoreKind::ALL {
+            let dut = Dut::new(kind);
+            let map = dut.coverage_map();
+            assert!(map.len() >= 400, "{kind:?}: {} points", map.len());
+            assert!(map.len_of(CoverageKind::Line) >= 200);
+            assert!(map.len_of(CoverageKind::Condition) >= 80);
+            assert!(map.len_of(CoverageKind::Fsm) >= 40);
+        }
+    }
+
+    #[test]
+    fn boom_has_more_points_than_rocket() {
+        let rocket = Dut::new(CoreKind::Rocket).coverage_map().len();
+        let boom = Dut::new(CoreKind::Boom).coverage_map().len();
+        let cva6 = Dut::new(CoreKind::Cva6).coverage_map().len();
+        assert!(boom > rocket);
+        assert!(cva6 > rocket, "cva6 adds the PMP unit points");
+    }
+
+    #[test]
+    fn distinct_programs_hit_distinct_coverage() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let simple = dut.run_program(&nop_program(2), 10_000);
+        let body = vec![
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 3),
+            Instruction::r(Opcode::Div, Reg::X11, Reg::X10, Reg::X10),
+            Instruction::s(Opcode::Sd, Reg::X11, 0, Reg::X5),
+            Instruction::i(Opcode::Ld, Reg::X12, Reg::X5, 0),
+            Instruction::b(Opcode::Bne, Reg::X12, Reg::X0, 8),
+        ];
+        let rich = dut.run_program(&Program::assemble(&body), 10_000);
+        assert!(rich.coverage.count() > simple.coverage.count());
+        assert!(simple.coverage.would_grow(&rich.coverage));
+    }
+
+    #[test]
+    fn dead_points_exist() {
+        // The compressed-instruction true polarity, the PTW and the debug
+        // module must never fire.
+        let mut dut = Dut::new(CoreKind::Boom);
+        let result = dut.run_program(&nop_program(8), 10_000);
+        let map = dut.coverage_map();
+        let dead = [
+            "cond:decode:is_compressed:T",
+            "fsm:ptw:idle",
+            "fsm:ptw:l1",
+            "fsm:debug:halted",
+            "line:plic:u0",
+        ];
+        for name in dead {
+            let id = map.find(name).expect(name);
+            assert!(!result.coverage.is_hit(id), "{name} must be dead");
+        }
+        // And the always-on points fire for any program.
+        for name in ["line:fetch:req", "fsm:icache:idle", "cond:decode:is_compressed:F"] {
+            let id = map.find(name).expect(name);
+            assert!(result.coverage.is_hit(id), "{name} must always fire");
+        }
+    }
+
+    #[test]
+    fn trap_coverage_fires_on_ecall() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let program = Program::assemble(&[Instruction::nullary(Opcode::Ecall)]);
+        let result = dut.run_program(&program, 10_000);
+        let map = dut.coverage_map();
+        let cause11 = map.find("line:trap:cause_11").unwrap();
+        assert!(result.coverage.is_hit(cause11));
+        let mret = map.find("line:trap:mret").unwrap();
+        assert!(result.coverage.is_hit(mret), "handler returned via mret");
+    }
+
+    #[test]
+    fn misaligned_access_condition_fires_despite_the_trap() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let program = Program::assemble(&[
+            Instruction::i(Opcode::Lw, Reg::X10, Reg::X5, 1),
+        ]);
+        let result = dut.run_program(&program, 10_000);
+        let map = dut.coverage_map();
+        let misaligned = map.find("cond:lsu:misaligned:T").unwrap();
+        assert!(result.coverage.is_hit(misaligned));
+    }
+
+    #[test]
+    fn dirty_writeback_reachable_with_conflicting_stores() {
+        // Rocket d-cache: 8 sets x 2 ways, 64B lines -> addresses 0x200
+        // apart share a set.
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let body = vec![
+            Instruction::s(Opcode::Sd, Reg::X10, 0, Reg::X5),
+            Instruction::s(Opcode::Sd, Reg::X10, 0x200, Reg::X5),
+            Instruction::s(Opcode::Sd, Reg::X10, 0x400, Reg::X5),
+            Instruction::s(Opcode::Sd, Reg::X10, 0x600, Reg::X5),
+        ];
+        let result = dut.run_program(&Program::assemble(&body), 10_000);
+        let map = dut.coverage_map();
+        let wb = map.find("fsm:dcache:writeback").unwrap();
+        assert!(result.coverage.is_hit(wb), "conflicting dirty stores write back");
+        let conflict = map.find("cond:dcache:set_conflict:T").unwrap();
+        assert!(result.coverage.is_hit(conflict));
+    }
+
+    #[test]
+    fn lr_sc_pair_line_requires_the_sequence() {
+        let mut dut = Dut::new(CoreKind::Boom);
+        let pair = vec![
+            Instruction::new(Opcode::LrW, 10, 5, 0, 0, 0, Csr::FFLAGS),
+            Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS),
+        ];
+        let result = dut.run_program(&Program::assemble(&pair), 10_000);
+        let map = dut.coverage_map();
+        let point = map.find("line:lsu:lr_then_sc_success").unwrap();
+        assert!(result.coverage.is_hit(point));
+        // sc without lr leaves the line unhit.
+        let solo = vec![Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS)];
+        let result = dut.run_program(&Program::assemble(&solo), 10_000);
+        assert!(!result.coverage.is_hit(point));
+    }
+
+    #[test]
+    fn self_modifying_code_refetch_is_deep_coverage() {
+        // Overwrite an already-fetched code line with an identical word,
+        // then loop back into it: store-snoop invalidate followed by a
+        // refetch of the modified line. This needs a store into the code
+        // region *and* re-execution — a genuinely sequence-dependent
+        // coverage point.
+        let probe = Program::assemble(&[Instruction::NOP]);
+        let body_off = (probe.body_pc() - mem_map::CODE_BASE) as i64;
+        let nop_word = i64::from(Instruction::NOP.encode());
+        // i0 @body: x11 += 1
+        // i1: x12 = 1
+        // i2: if x12 < x11 goto end (second pass)
+        // i3: x10 = nop word (0x...13 fits in two steps)
+        // i4: sw x10, body_off(t1)  -- invalidates i0's fetched line
+        // i5: j -20                  -- re-fetch the modified line
+        // i6: end
+        // The store overwrites i6 (a NOP) with an identical NOP word, so
+        // the loop logic survives while the i-cache sees a genuine
+        // modification of a fetched line.
+        let body = vec![
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X11, 1),
+            Instruction::i(Opcode::Addi, Reg::X12, Reg::X0, 1),
+            Instruction::b(Opcode::Blt, Reg::X12, Reg::X11, 16),
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, nop_word & 0x7FF),
+            Instruction::s(Opcode::Sw, Reg::X10, body_off + 24, Reg::X6),
+            Instruction::j(Opcode::Jal, Reg::X0, -20),
+            Instruction::NOP,
+        ];
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let result = dut.run_program(&Program::assemble(&body), 10_000);
+        assert_eq!(result.halt, HaltReason::ReachedHaltPc);
+        let map = dut.coverage_map();
+        let refetch = map.find("line:icache:modified_line_refetch").unwrap();
+        assert!(result.coverage.is_hit(refetch), "modified-line refetch");
+        let invalidate = map.find("line:icache:store_snoop_invalidate").unwrap();
+        assert!(result.coverage.is_hit(invalidate));
+    }
+
+    #[test]
+    fn injected_bugs_change_architectural_results() {
+        // The Rocket model carries K2 (sc ignores reservation); the same
+        // program on the GRM and the DUT must diverge.
+        let program = Program::assemble(&[
+            Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS),
+        ]);
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let dut_result = dut.run_program(&program, 10_000);
+        let mut grm = Cpu::new();
+        grm.load_program(&program);
+        grm.run(10_000);
+        assert_eq!(grm.x[11], 1, "golden: sc fails");
+        assert_eq!(dut_result.arch.x[11], 0, "DUT: buggy sc succeeds");
+    }
+
+    #[test]
+    fn cva6_v1_crash_reaches_the_result() {
+        let program = Program::assemble(&[Instruction::NOP]);
+        let body_off = (program.body_pc() - 0x8000_0000) as i64;
+        let program = Program::assemble(&[
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 0x13),
+            Instruction::s(Opcode::Sw, Reg::X10, body_off, Reg::X6),
+        ]);
+        let mut dut = Dut::new(CoreKind::Cva6);
+        let result = dut.run_program(&program, 10_000);
+        assert!(matches!(result.halt, HaltReason::Crash(_)));
+        // Rocket (no V1) survives the same program.
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let result = dut.run_program(&program, 10_000);
+        assert_eq!(result.halt, HaltReason::ReachedHaltPc);
+    }
+
+    #[test]
+    fn per_run_isolation() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let a = dut.run_program(&nop_program(3), 10_000);
+        let b = dut.run_program(&nop_program(3), 10_000);
+        assert_eq!(a.coverage, b.coverage, "cold start every run");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.arch, b.arch);
+    }
+
+    #[test]
+    fn cycles_exceed_steps_under_misses() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        // Strided loads thrash the D-cache.
+        let mut body = Vec::new();
+        for i in 0..8 {
+            body.push(Instruction::i(Opcode::Ld, Reg::X10, Reg::X5, i * 256));
+        }
+        let result = dut.run_program(&Program::assemble(&body), 10_000);
+        assert!(result.cycles > result.steps + 8, "misses cost cycles");
+    }
+
+    #[test]
+    fn region_classification() {
+        use mem_map::*;
+        assert_eq!(region_of(CODE_BASE), 0);
+        assert_eq!(region_of(DATA_BASE + 0x1FF), 1);
+        assert_eq!(region_of(PROTECTED_BASE + 8), 2);
+        assert_eq!(region_of(STACK_TOP - 8), 3);
+        assert_eq!(region_of(SCRATCH_BASE), 4);
+        assert_eq!(region_of(0x1000), 5);
+        assert_eq!(region_of(RAM_END), 5);
+    }
+}
+
+#[cfg(test)]
+mod frontend_tests {
+    use super::*;
+    use hfl_riscv::{Instruction, Reg};
+
+    #[test]
+    fn ras_tracks_calls_and_returns() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        // jal ra, +8 (call); then ret (jalr x0, 0(ra)).
+        let body = vec![
+            Instruction::j(Opcode::Jal, Reg::X1, 8),
+            Instruction::NOP, // skipped by the call
+            Instruction::i(Opcode::Jalr, Reg::X0, Reg::X1, 4),
+        ];
+        // The return target is ra+4 = the instruction after the jal's
+        // link point... ra holds pc_of_jal + 4; jalr 4(ra) lands at +8
+        // from the jal: the jalr itself -> loop guard via halt. Use a
+        // simpler shape: call forward, return exactly past the end.
+        let result = dut.run_program(&Program::assemble(&body), 2_000);
+        let map = dut.coverage_map();
+        assert!(result.coverage.is_hit(map.find("line:frontend:ras_push").unwrap()));
+        assert!(result.coverage.is_hit(map.find("line:frontend:ras_pop").unwrap()));
+        assert!(result.coverage.is_hit(map.find("fsm:ras:shallow").unwrap()));
+    }
+
+    #[test]
+    fn ras_underflow_on_bare_return() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        let body = vec![Instruction::i(Opcode::Jalr, Reg::X0, Reg::X1, 0)];
+        let result = dut.run_program(&Program::assemble(&body), 2_000);
+        let map = dut.coverage_map();
+        assert!(result.coverage.is_hit(map.find("line:frontend:ras_underflow").unwrap()));
+        assert!(!result.coverage.is_hit(map.find("line:frontend:ras_pop").unwrap()));
+    }
+
+    #[test]
+    fn loop_backedge_condition() {
+        let mut dut = Dut::new(CoreKind::Rocket);
+        // A two-pass countdown loop: x11 = 1; loop: bne x11, x0, back.
+        let body = vec![
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 1),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X11, -1),
+            Instruction::b(Opcode::Bne, Reg::X11, Reg::X0, -4),
+        ];
+        let result = dut.run_program(&Program::assemble(&body), 2_000);
+        let f_point = dut.coverage_map().find("cond:bp:loop_backedge:F").unwrap();
+        let t_point = dut.coverage_map().find("cond:bp:loop_backedge:T").unwrap();
+        // x11 hits zero immediately, so the backedge is NOT taken here;
+        // the false polarity fires.
+        assert!(result.coverage.is_hit(f_point));
+        // Now an actually-looping variant.
+        let body = vec![
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 3),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X11, -1),
+            Instruction::b(Opcode::Bne, Reg::X11, Reg::X0, -4),
+        ];
+        let result = dut.run_program(&Program::assemble(&body), 2_000);
+        assert!(result.coverage.is_hit(t_point));
+    }
+}

@@ -1,0 +1,371 @@
+//! Coverage instrumentation: line, condition and FSM coverage points.
+//!
+//! This module plays the role of an RTL simulator's coverage database
+//! (Synopsys VCS coverage metrics in the paper, §III/§VI). Core models
+//! register named points at construction; execution calls
+//! [`CoverageMap::hit`]; a [`CoverageSnapshot`] captures which points a
+//! single test case reached, and snapshots union into cumulative coverage.
+
+use std::collections::HashMap;
+
+/// The three coverage metrics the paper evaluates (§IV-C, §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageKind {
+    /// Line coverage: a statement/event in the model executed.
+    Line,
+    /// Condition coverage: a boolean predicate evaluated to a polarity.
+    Condition,
+    /// FSM coverage: a state machine visited a state.
+    Fsm,
+}
+
+impl CoverageKind {
+    /// All metrics, in display order.
+    pub const ALL: [CoverageKind; 3] =
+        [CoverageKind::Condition, CoverageKind::Line, CoverageKind::Fsm];
+
+    /// Human-readable metric name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CoverageKind::Line => "line",
+            CoverageKind::Condition => "condition",
+            CoverageKind::Fsm => "fsm",
+        }
+    }
+}
+
+impl std::fmt::Display for CoverageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of a registered coverage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub(crate) u32);
+
+impl PointId {
+    /// Builds a point id from a raw snapshot index. The caller must ensure
+    /// the index is within the registering map's range.
+    #[must_use]
+    pub fn from_index(index: usize) -> PointId {
+        PointId(u32::try_from(index).expect("point index fits u32"))
+    }
+
+    /// The point's index into snapshot bit vectors.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata for one registered point.
+#[derive(Debug, Clone)]
+struct PointInfo {
+    name: String,
+    kind: CoverageKind,
+}
+
+/// The coverage-point database plus the per-test hit state.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_dut::coverage::{CoverageKind, CoverageMap};
+///
+/// let mut map = CoverageMap::new();
+/// let p = map.register(CoverageKind::Line, "execute:alu");
+/// map.hit(p);
+/// let snap = map.take_snapshot();
+/// assert!(snap.is_hit(p));
+/// assert_eq!(snap.count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    points: Vec<PointInfo>,
+    by_name: HashMap<String, PointId>,
+    hits: Vec<bool>,
+}
+
+impl CoverageMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Registers a coverage point; re-registering a name returns the
+    /// existing id.
+    pub fn register(&mut self, kind: CoverageKind, name: &str) -> PointId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = PointId(u32::try_from(self.points.len()).expect("point count fits u32"));
+        self.points.push(PointInfo { name: name.to_owned(), kind });
+        self.by_name.insert(name.to_owned(), id);
+        self.hits.push(false);
+        id
+    }
+
+    /// Marks a point as hit for the current test case.
+    pub fn hit(&mut self, id: PointId) {
+        self.hits[id.index()] = true;
+    }
+
+    /// Marks a point hit when `condition` holds; otherwise marks `other`.
+    ///
+    /// Convenience for two-polarity condition points.
+    pub fn hit_cond(&mut self, condition: bool, if_true: PointId, if_false: PointId) {
+        self.hit(if condition { if_true } else { if_false });
+    }
+
+    /// Total number of registered points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the map has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of points of one metric.
+    #[must_use]
+    pub fn len_of(&self, kind: CoverageKind) -> usize {
+        self.points.iter().filter(|p| p.kind == kind).count()
+    }
+
+    /// The name of a point.
+    #[must_use]
+    pub fn name(&self, id: PointId) -> &str {
+        &self.points[id.index()].name
+    }
+
+    /// The metric a point belongs to.
+    #[must_use]
+    pub fn kind(&self, id: PointId) -> CoverageKind {
+        self.points[id.index()].kind
+    }
+
+    /// Looks a point up by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<PointId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Every point id of one metric, in registration order.
+    #[must_use]
+    pub fn ids_of(&self, kind: CoverageKind) -> Vec<PointId> {
+        (0..self.points.len())
+            .filter(|&i| self.points[i].kind == kind)
+            .map(|i| PointId(i as u32))
+            .collect()
+    }
+
+    /// Captures the current hit set and clears it for the next test case.
+    pub fn take_snapshot(&mut self) -> CoverageSnapshot {
+        let mut snap = CoverageSnapshot::empty(self.points.len());
+        for (i, hit) in self.hits.iter_mut().enumerate() {
+            if *hit {
+                snap.set(PointId(i as u32));
+                *hit = false;
+            }
+        }
+        snap
+    }
+
+    /// Clears the hit set without taking a snapshot.
+    pub fn clear_hits(&mut self) {
+        self.hits.iter_mut().for_each(|h| *h = false);
+    }
+}
+
+/// An immutable bit set of coverage points hit by one or more test cases.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoverageSnapshot {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl CoverageSnapshot {
+    /// An all-zero snapshot sized for `len` points.
+    #[must_use]
+    pub fn empty(len: usize) -> CoverageSnapshot {
+        CoverageSnapshot { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of points the snapshot covers (hit or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the snapshot tracks zero points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn set(&mut self, id: PointId) {
+        self.bits[id.index() / 64] |= 1 << (id.index() % 64);
+    }
+
+    /// Whether a point is hit.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this snapshot.
+    #[must_use]
+    pub fn is_hit(&self, id: PointId) -> bool {
+        self.bits[id.index() / 64] & (1 << (id.index() % 64)) != 0
+    }
+
+    /// Number of hit points.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of hit points of one metric (needs the registering map).
+    #[must_use]
+    pub fn count_of(&self, map: &CoverageMap, kind: CoverageKind) -> usize {
+        map.ids_of(kind).into_iter().filter(|&id| self.is_hit(id)).count()
+    }
+
+    /// Unions another snapshot into this one.
+    ///
+    /// # Panics
+    /// Panics if the two snapshots track different point counts.
+    pub fn union_with(&mut self, other: &CoverageSnapshot) {
+        assert_eq!(self.len, other.len, "snapshot size mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `other` hits any point this snapshot does not.
+    #[must_use]
+    pub fn would_grow(&self, other: &CoverageSnapshot) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(a, b)| b & !a != 0)
+    }
+
+    /// Iterates over hit point ids.
+    pub fn iter_hits(&self) -> impl Iterator<Item = PointId> + '_ {
+        (0..self.len).map(|i| PointId(i as u32)).filter(|&id| self.is_hit(id))
+    }
+
+    /// The hit bits as a `0`/`1` vector, one entry per point — the bit-string
+    /// labels the paper's coverage predictor trains on (§IV-C).
+    #[must_use]
+    pub fn to_bit_labels(&self) -> Vec<u8> {
+        (0..self.len)
+            .map(|i| u8::from(self.is_hit(PointId(i as u32))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_hit_snapshot_cycle() {
+        let mut map = CoverageMap::new();
+        let a = map.register(CoverageKind::Line, "a");
+        let b = map.register(CoverageKind::Condition, "b");
+        let c = map.register(CoverageKind::Fsm, "c");
+        assert_eq!(map.len(), 3);
+        map.hit(a);
+        map.hit(c);
+        let snap = map.take_snapshot();
+        assert!(snap.is_hit(a) && snap.is_hit(c) && !snap.is_hit(b));
+        // Snapshot cleared the per-test state.
+        let snap2 = map.take_snapshot();
+        assert_eq!(snap2.count(), 0);
+    }
+
+    #[test]
+    fn duplicate_registration_returns_same_id() {
+        let mut map = CoverageMap::new();
+        let a = map.register(CoverageKind::Line, "x");
+        let b = map.register(CoverageKind::Line, "x");
+        assert_eq!(a, b);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.find("x"), Some(a));
+        assert_eq!(map.find("y"), None);
+    }
+
+    #[test]
+    fn per_kind_accounting() {
+        let mut map = CoverageMap::new();
+        for i in 0..5 {
+            map.register(CoverageKind::Line, &format!("l{i}"));
+        }
+        for i in 0..3 {
+            map.register(CoverageKind::Fsm, &format!("f{i}"));
+        }
+        assert_eq!(map.len_of(CoverageKind::Line), 5);
+        assert_eq!(map.len_of(CoverageKind::Fsm), 3);
+        assert_eq!(map.len_of(CoverageKind::Condition), 0);
+        let ids = map.ids_of(CoverageKind::Fsm);
+        assert_eq!(ids.len(), 3);
+        map.hit(ids[1]);
+        let snap = map.take_snapshot();
+        assert_eq!(snap.count_of(&map, CoverageKind::Fsm), 1);
+        assert_eq!(snap.count_of(&map, CoverageKind::Line), 0);
+    }
+
+    #[test]
+    fn union_and_growth() {
+        let mut map = CoverageMap::new();
+        let a = map.register(CoverageKind::Line, "a");
+        let b = map.register(CoverageKind::Line, "b");
+        map.hit(a);
+        let s1 = map.take_snapshot();
+        map.hit(b);
+        let s2 = map.take_snapshot();
+        assert!(s1.would_grow(&s2));
+        let mut acc = s1.clone();
+        acc.union_with(&s2);
+        assert_eq!(acc.count(), 2);
+        assert!(!acc.would_grow(&s2));
+        assert_eq!(acc.iter_hits().count(), 2);
+    }
+
+    #[test]
+    fn bit_labels_match_hits() {
+        let mut map = CoverageMap::new();
+        let _a = map.register(CoverageKind::Line, "a");
+        let b = map.register(CoverageKind::Line, "b");
+        map.hit(b);
+        let snap = map.take_snapshot();
+        assert_eq!(snap.to_bit_labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn hit_cond_polarity() {
+        let mut map = CoverageMap::new();
+        let t = map.register(CoverageKind::Condition, "p:true");
+        let f = map.register(CoverageKind::Condition, "p:false");
+        map.hit_cond(true, t, f);
+        let snap = map.take_snapshot();
+        assert!(snap.is_hit(t) && !snap.is_hit(f));
+    }
+
+    #[test]
+    fn large_map_crosses_word_boundaries() {
+        let mut map = CoverageMap::new();
+        let ids: Vec<_> = (0..200)
+            .map(|i| map.register(CoverageKind::Line, &format!("p{i}")))
+            .collect();
+        map.hit(ids[0]);
+        map.hit(ids[63]);
+        map.hit(ids[64]);
+        map.hit(ids[199]);
+        let snap = map.take_snapshot();
+        assert_eq!(snap.count(), 4);
+        assert!(snap.is_hit(ids[64]) && snap.is_hit(ids[199]));
+    }
+}

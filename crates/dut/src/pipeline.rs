@@ -1,0 +1,321 @@
+//! Pipeline-level micro-architecture models: hazard tracking, branch
+//! prediction and multi-cycle functional units.
+
+/// A 2-bit-saturating-counter branch predictor with a small branch target
+/// buffer; the Boom configuration adds global history hashing.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    btb: Vec<Option<u64>>,
+    ghr: u64,
+    use_history: bool,
+}
+
+/// Outcome of consulting the predictor for one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The direction the predictor guessed.
+    pub predicted_taken: bool,
+    /// Whether the guess matched reality (no flush needed).
+    pub correct: bool,
+    /// Whether the target buffer held the (correct) target.
+    pub btb_hit: bool,
+    /// The 2-bit counter state after the update (0 = strongly not-taken …
+    /// 3 = strongly taken) — an FSM whose states are coverage points.
+    pub counter_after: u8,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `entries` counters (must be a power of two).
+    ///
+    /// # Panics
+    /// Panics unless `entries` is a power of two.
+    #[must_use]
+    pub fn new(entries: usize, use_history: bool) -> BranchPredictor {
+        assert!(entries.is_power_of_two());
+        BranchPredictor {
+            counters: vec![1; entries], // weakly not-taken
+            btb: vec![None; entries],
+            ghr: 0,
+            use_history: use_history,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let base = (pc >> 2) as usize;
+        let idx = if self.use_history {
+            base ^ (self.ghr as usize)
+        } else {
+            base
+        };
+        idx & (self.counters.len() - 1)
+    }
+
+    /// Consults and updates the predictor for a resolved branch.
+    pub fn resolve(&mut self, pc: u64, taken: bool, target: u64) -> Prediction {
+        let idx = self.index(pc);
+        let predicted_taken = self.counters[idx] >= 2;
+        let btb_hit = self.btb[idx] == Some(target);
+        let correct = predicted_taken == taken && (!taken || btb_hit);
+        // Update state.
+        if taken {
+            self.counters[idx] = (self.counters[idx] + 1).min(3);
+            self.btb[idx] = Some(target);
+        } else {
+            self.counters[idx] = self.counters[idx].saturating_sub(1);
+        }
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+        Prediction { predicted_taken, correct, btb_hit, counter_after: self.counters[idx] }
+    }
+}
+
+/// Scoreboard entry for hazard detection.
+#[derive(Debug, Clone, Copy, Default)]
+struct WriterSlot {
+    reg: u8,
+    is_fp: bool,
+    is_load: bool,
+    valid: bool,
+}
+
+/// Data hazards detected between an instruction and its predecessors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hazards {
+    /// Read-after-write against the immediately preceding instruction
+    /// (EX→EX forwarding path).
+    pub raw_dist1: bool,
+    /// Read-after-write at distance two (MEM→EX forwarding path).
+    pub raw_dist2: bool,
+    /// The producer at distance one was a load (load-use stall).
+    pub load_use: bool,
+    /// Write-after-write against an in-flight producer.
+    pub waw: bool,
+}
+
+/// Tracks recent register writers to classify hazards — the forwarding /
+/// interlock conditions that dominate RTL condition coverage in the
+/// execute stage.
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    slots: [WriterSlot; 2],
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard.
+    #[must_use]
+    pub fn new() -> Scoreboard {
+        Scoreboard::default()
+    }
+
+    /// Classifies hazards for an instruction reading `reads` (register,
+    /// `is_fp`) and writing `write`, then retires it into the scoreboard.
+    pub fn step(
+        &mut self,
+        reads: &[(u8, bool)],
+        write: Option<(u8, bool)>,
+        is_load: bool,
+    ) -> Hazards {
+        let mut hz = Hazards::default();
+        for &(reg, fp) in reads {
+            if reg == 0 && !fp {
+                continue; // x0 never hazards
+            }
+            let s1 = self.slots[0];
+            if s1.valid && s1.reg == reg && s1.is_fp == fp {
+                hz.raw_dist1 = true;
+                if s1.is_load {
+                    hz.load_use = true;
+                }
+            }
+            let s2 = self.slots[1];
+            if s2.valid && s2.reg == reg && s2.is_fp == fp {
+                hz.raw_dist2 = true;
+            }
+        }
+        if let Some((reg, fp)) = write {
+            if reg != 0 || fp {
+                for s in &self.slots {
+                    if s.valid && s.reg == reg && s.is_fp == fp {
+                        hz.waw = true;
+                    }
+                }
+            }
+        }
+        // Shift the pipeline window.
+        self.slots[1] = self.slots[0];
+        self.slots[0] = match write {
+            Some((reg, fp)) if reg != 0 || fp => {
+                WriterSlot { reg, is_fp: fp, is_load: is_load, valid: true }
+            }
+            _ => WriterSlot::default(),
+        };
+        hz
+    }
+}
+
+/// A multi-cycle functional unit (divider, FP pipes) with an occupancy FSM.
+#[derive(Debug, Clone, Default)]
+pub struct MultiCycleUnit {
+    busy_until: u64,
+    /// Number of times an issue found the unit busy (structural hazard).
+    pub structural_stalls: u64,
+}
+
+/// What happened when an operation was issued to a [`MultiCycleUnit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueEvent {
+    /// The unit was idle and accepted the operation.
+    Accepted,
+    /// The unit was busy; the pipeline stalled until it drained.
+    StalledThenAccepted,
+}
+
+impl MultiCycleUnit {
+    /// Creates an idle unit.
+    #[must_use]
+    pub fn new() -> MultiCycleUnit {
+        MultiCycleUnit::default()
+    }
+
+    /// Issues an operation at time `now` lasting `latency` cycles; returns
+    /// the issue event and the completion time.
+    pub fn issue(&mut self, now: u64, latency: u64) -> (IssueEvent, u64) {
+        if now < self.busy_until {
+            self.structural_stalls += 1;
+            let start = self.busy_until;
+            self.busy_until = start + latency;
+            (IssueEvent::StalledThenAccepted, self.busy_until)
+        } else {
+            self.busy_until = now + latency;
+            (IssueEvent::Accepted, self.busy_until)
+        }
+    }
+
+    /// Whether the unit is busy at time `now`.
+    #[must_use]
+    pub fn is_busy(&self, now: u64) -> bool {
+        now < self.busy_until
+    }
+}
+
+/// Operand-dependent latency of an integer divide (early-out divider, like
+/// Rocket's): proportional to the magnitude of the dividend.
+#[must_use]
+pub fn div_latency(dividend: u64) -> u64 {
+    4 + u64::from(64 - dividend.leading_zeros()) / 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_learns_a_loop() {
+        let mut bp = BranchPredictor::new(64, false);
+        let pc = 0x8000_0100;
+        // First resolutions are wrong (cold counters + empty BTB)...
+        let p = bp.resolve(pc, true, 0x8000_0080);
+        assert!(!p.correct);
+        bp.resolve(pc, true, 0x8000_0080);
+        // ...then the predictor locks on.
+        let p = bp.resolve(pc, true, 0x8000_0080);
+        assert!(p.correct && p.btb_hit && p.predicted_taken);
+    }
+
+    #[test]
+    fn predictor_tracks_not_taken() {
+        let mut bp = BranchPredictor::new(64, false);
+        let pc = 0x8000_0200;
+        bp.resolve(pc, false, 0);
+        let p = bp.resolve(pc, false, 0);
+        assert!(p.correct && !p.predicted_taken);
+    }
+
+    #[test]
+    fn btb_miss_counts_as_mispredict_when_taken() {
+        let mut bp = BranchPredictor::new(64, false);
+        let pc = 0x8000_0300;
+        bp.resolve(pc, true, 0x8000_0000);
+        bp.resolve(pc, true, 0x8000_0000);
+        // Direction predicted taken, but the target changed: BTB miss.
+        let p = bp.resolve(pc, true, 0x8000_0040);
+        assert!(p.predicted_taken && !p.btb_hit && !p.correct);
+    }
+
+    #[test]
+    fn history_changes_indexing() {
+        let mut a = BranchPredictor::new(64, true);
+        let mut b = BranchPredictor::new(64, true);
+        // Different histories, same pc: predictions may diverge after
+        // different warm-ups (the property we need is just that ghr is used).
+        for _ in 0..8 {
+            a.resolve(0x8000_0400, true, 0x8000_0000);
+            b.resolve(0x8000_0500, false, 0);
+        }
+        let pa = a.resolve(0x8000_0600, true, 0x8000_0000);
+        let pb = b.resolve(0x8000_0600, true, 0x8000_0000);
+        // Both were cold at that slot in their own index space; at minimum
+        // the calls must be well-formed and deterministic.
+        assert!(!pa.correct || !pb.correct || pa == pb);
+    }
+
+    #[test]
+    fn scoreboard_detects_raw_and_load_use() {
+        let mut sb = Scoreboard::new();
+        // i0: ld x5 <- ...
+        let h = sb.step(&[(6, false)], Some((5, false)), true);
+        assert_eq!(h, Hazards::default());
+        // i1: add x7 <- x5, x1  (load-use at distance 1)
+        let h = sb.step(&[(5, false), (1, false)], Some((7, false)), false);
+        assert!(h.raw_dist1 && h.load_use && !h.raw_dist2);
+        // i2: add x8 <- x5, x7 (x5 now at distance 2, x7 at distance 1)
+        let h = sb.step(&[(5, false), (7, false)], Some((8, false)), false);
+        assert!(h.raw_dist1 && h.raw_dist2 && !h.load_use);
+    }
+
+    #[test]
+    fn scoreboard_ignores_x0_and_separates_banks() {
+        let mut sb = Scoreboard::new();
+        sb.step(&[], Some((0, false)), false); // write to x0: not tracked
+        let h = sb.step(&[(0, false)], Some((1, false)), false);
+        assert!(!h.raw_dist1);
+        // f0 is a real register (unlike x0).
+        sb.step(&[], Some((0, true)), false);
+        let h = sb.step(&[(0, true)], None, false);
+        assert!(h.raw_dist1, "f0 hazards are real");
+        // Integer x3 does not alias fp f3.
+        let mut sb = Scoreboard::new();
+        sb.step(&[], Some((3, false)), false);
+        let h = sb.step(&[(3, true)], None, false);
+        assert!(!h.raw_dist1);
+    }
+
+    #[test]
+    fn waw_detection() {
+        let mut sb = Scoreboard::new();
+        sb.step(&[], Some((9, false)), false);
+        let h = sb.step(&[], Some((9, false)), false);
+        assert!(h.waw);
+    }
+
+    #[test]
+    fn multicycle_unit_stalls_when_busy() {
+        let mut div = MultiCycleUnit::new();
+        let (e1, done1) = div.issue(10, 8);
+        assert_eq!(e1, IssueEvent::Accepted);
+        assert_eq!(done1, 18);
+        assert!(div.is_busy(17));
+        assert!(!div.is_busy(18));
+        let (e2, done2) = div.issue(12, 8);
+        assert_eq!(e2, IssueEvent::StalledThenAccepted);
+        assert_eq!(done2, 26);
+        assert_eq!(div.structural_stalls, 1);
+    }
+
+    #[test]
+    fn div_latency_scales_with_magnitude() {
+        assert!(div_latency(0) < div_latency(u64::MAX));
+        assert_eq!(div_latency(0), 4);
+        assert_eq!(div_latency(u64::MAX), 12);
+    }
+}

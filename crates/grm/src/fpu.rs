@@ -1,0 +1,722 @@
+//! Floating-point unit: IEEE-754 operations with RISC-V semantics.
+//!
+//! Covers the F/D subset in the opcode vocabulary, including:
+//!
+//! - **NaN boxing**: single-precision values live in the low 32 bits of an
+//!   `f` register with the high 32 bits all-ones; improperly boxed inputs
+//!   are treated as the canonical quiet NaN (this is the semantics behind
+//!   the paper's V4 vulnerability),
+//! - canonical-NaN results for invalid operations,
+//! - the `fflags` exception bits the vocabulary's operations can raise
+//!   (NV, DZ, OF approximated as described in `DESIGN.md`; rounding is
+//!   fixed to round-to-nearest-even, matching the encodings the generator
+//!   emits).
+
+/// `fflags` bit: inexact (not modelled; reserved for completeness).
+pub const NX: u64 = 1;
+/// `fflags` bit: underflow (not modelled; reserved for completeness).
+pub const UF: u64 = 2;
+/// `fflags` bit: overflow.
+pub const OF: u64 = 4;
+/// `fflags` bit: divide by zero.
+pub const DZ: u64 = 8;
+/// `fflags` bit: invalid operation.
+pub const NV: u64 = 16;
+
+/// Canonical single-precision quiet NaN.
+pub const CANONICAL_NAN_F32: u32 = 0x7FC0_0000;
+/// Canonical double-precision quiet NaN.
+pub const CANONICAL_NAN_F64: u64 = 0x7FF8_0000_0000_0000;
+
+/// Whether a raw 64-bit register value is a properly NaN-boxed f32.
+#[must_use]
+pub fn is_boxed_f32(raw: u64) -> bool {
+    raw >> 32 == 0xFFFF_FFFF
+}
+
+/// Unboxes a single-precision value: improperly boxed inputs become the
+/// canonical quiet NaN, per the RISC-V spec.
+#[must_use]
+pub fn unbox_f32(raw: u64) -> u32 {
+    if is_boxed_f32(raw) {
+        raw as u32
+    } else {
+        CANONICAL_NAN_F32
+    }
+}
+
+/// NaN-boxes a single-precision result for storage in an `f` register.
+#[must_use]
+pub fn box_f32(bits: u32) -> u64 {
+    0xFFFF_FFFF_0000_0000 | u64::from(bits)
+}
+
+/// Whether the f32 bit pattern is a signalling NaN.
+#[must_use]
+pub fn is_snan_f32(bits: u32) -> bool {
+    let exp_all_ones = bits & 0x7F80_0000 == 0x7F80_0000;
+    let mantissa = bits & 0x007F_FFFF;
+    exp_all_ones && mantissa != 0 && bits & 0x0040_0000 == 0
+}
+
+/// Whether the f64 bit pattern is a signalling NaN.
+#[must_use]
+pub fn is_snan_f64(bits: u64) -> bool {
+    let exp_all_ones = bits & 0x7FF0_0000_0000_0000 == 0x7FF0_0000_0000_0000;
+    let mantissa = bits & 0x000F_FFFF_FFFF_FFFF;
+    exp_all_ones && mantissa != 0 && bits & 0x0008_0000_0000_0000 == 0
+}
+
+fn canon_f32(v: f32) -> u32 {
+    if v.is_nan() {
+        CANONICAL_NAN_F32
+    } else {
+        v.to_bits()
+    }
+}
+
+fn canon_f64(v: f64) -> u64 {
+    if v.is_nan() {
+        CANONICAL_NAN_F64
+    } else {
+        v.to_bits()
+    }
+}
+
+fn nv_if_snan_f32(a: u32, b: u32) -> u64 {
+    if is_snan_f32(a) || is_snan_f32(b) {
+        NV
+    } else {
+        0
+    }
+}
+
+fn nv_if_snan_f64(a: u64, b: u64) -> u64 {
+    if is_snan_f64(a) || is_snan_f64(b) {
+        NV
+    } else {
+        0
+    }
+}
+
+/// Result of an FP operation: the raw result bits plus raised `fflags`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpResult {
+    /// Raw result (boxed for single precision, integer for compares/moves).
+    pub bits: u64,
+    /// `fflags` bits raised by the operation.
+    pub flags: u64,
+}
+
+/// Binary single-precision arithmetic kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arith {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Single-precision arithmetic on raw (boxed) register values.
+#[must_use]
+pub fn arith_s(kind: Arith, ra: u64, rb: u64) -> FpResult {
+    let (a_bits, b_bits) = (unbox_f32(ra), unbox_f32(rb));
+    let (a, b) = (f32::from_bits(a_bits), f32::from_bits(b_bits));
+    let mut flags = nv_if_snan_f32(a_bits, b_bits);
+    let r = match kind {
+        Arith::Add => a + b,
+        Arith::Sub => a - b,
+        Arith::Mul => a * b,
+        Arith::Div => {
+            if b == 0.0 && !a.is_nan() && a != 0.0 && a.is_finite() {
+                flags |= DZ;
+            }
+            a / b
+        }
+    };
+    if r.is_nan() && !a.is_nan() && !b.is_nan() {
+        flags |= NV; // e.g. inf - inf, 0 * inf, 0/0
+    }
+    if r.is_infinite() && a.is_finite() && b.is_finite() && !(kind == Arith::Div && b == 0.0) {
+        flags |= OF;
+    }
+    FpResult { bits: box_f32(canon_f32(r)), flags }
+}
+
+/// Double-precision arithmetic on raw register values.
+#[must_use]
+pub fn arith_d(kind: Arith, ra: u64, rb: u64) -> FpResult {
+    let (a, b) = (f64::from_bits(ra), f64::from_bits(rb));
+    let mut flags = nv_if_snan_f64(ra, rb);
+    let r = match kind {
+        Arith::Add => a + b,
+        Arith::Sub => a - b,
+        Arith::Mul => a * b,
+        Arith::Div => {
+            if b == 0.0 && !a.is_nan() && a != 0.0 && a.is_finite() {
+                flags |= DZ;
+            }
+            a / b
+        }
+    };
+    if r.is_nan() && !a.is_nan() && !b.is_nan() {
+        flags |= NV;
+    }
+    if r.is_infinite() && a.is_finite() && b.is_finite() && !(kind == Arith::Div && b == 0.0) {
+        flags |= OF;
+    }
+    FpResult { bits: canon_f64(r), flags }
+}
+
+/// `fsqrt.s`.
+#[must_use]
+pub fn sqrt_s(ra: u64) -> FpResult {
+    let bits = unbox_f32(ra);
+    let a = f32::from_bits(bits);
+    let mut flags = nv_if_snan_f32(bits, 0);
+    if a < 0.0 {
+        flags |= NV;
+    }
+    FpResult { bits: box_f32(canon_f32(a.sqrt())), flags }
+}
+
+/// `fsqrt.d`.
+#[must_use]
+pub fn sqrt_d(ra: u64) -> FpResult {
+    let a = f64::from_bits(ra);
+    let mut flags = nv_if_snan_f64(ra, 0);
+    if a < 0.0 {
+        flags |= NV;
+    }
+    FpResult { bits: canon_f64(a.sqrt()), flags }
+}
+
+/// Sign-injection kind for `fsgnj`/`fsgnjn`/`fsgnjx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignOp {
+    /// Copy the sign of the second operand.
+    Inject,
+    /// Copy the negated sign of the second operand.
+    Negate,
+    /// XOR the signs.
+    Xor,
+}
+
+/// `fsgnj*.s` on raw register values (operates after unboxing; no flags).
+#[must_use]
+pub fn sgnj_s(kind: SignOp, ra: u64, rb: u64) -> FpResult {
+    let (a, b) = (unbox_f32(ra), unbox_f32(rb));
+    let sign = match kind {
+        SignOp::Inject => b & 0x8000_0000,
+        SignOp::Negate => !b & 0x8000_0000,
+        SignOp::Xor => (a ^ b) & 0x8000_0000,
+    };
+    FpResult { bits: box_f32((a & 0x7FFF_FFFF) | sign), flags: 0 }
+}
+
+/// `fsgnj*.d` on raw register values (no flags).
+#[must_use]
+pub fn sgnj_d(kind: SignOp, ra: u64, rb: u64) -> FpResult {
+    let sign = match kind {
+        SignOp::Inject => rb & 0x8000_0000_0000_0000,
+        SignOp::Negate => !rb & 0x8000_0000_0000_0000,
+        SignOp::Xor => (ra ^ rb) & 0x8000_0000_0000_0000,
+    };
+    FpResult { bits: (ra & 0x7FFF_FFFF_FFFF_FFFF) | sign, flags: 0 }
+}
+
+/// `fmin.s`/`fmax.s` with RISC-V NaN semantics.
+#[must_use]
+pub fn minmax_s(max: bool, ra: u64, rb: u64) -> FpResult {
+    let (a_bits, b_bits) = (unbox_f32(ra), unbox_f32(rb));
+    let flags = nv_if_snan_f32(a_bits, b_bits);
+    let (a, b) = (f32::from_bits(a_bits), f32::from_bits(b_bits));
+    let bits = match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN_F32,
+        (true, false) => b_bits,
+        (false, true) => a_bits,
+        (false, false) => {
+            // fmin(-0, +0) = -0 and fmax(-0, +0) = +0.
+            if a == b {
+                let neg = a_bits | b_bits; // the one with the sign bit
+                let pos = a_bits & b_bits;
+                if max { pos } else { neg }
+            } else if (a < b) != max {
+                a_bits
+            } else {
+                b_bits
+            }
+        }
+    };
+    FpResult { bits: box_f32(bits), flags }
+}
+
+/// `fmin.d`/`fmax.d` with RISC-V NaN semantics.
+#[must_use]
+pub fn minmax_d(max: bool, ra: u64, rb: u64) -> FpResult {
+    let flags = nv_if_snan_f64(ra, rb);
+    let (a, b) = (f64::from_bits(ra), f64::from_bits(rb));
+    let bits = match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN_F64,
+        (true, false) => rb,
+        (false, true) => ra,
+        (false, false) => {
+            if a == b {
+                let neg = ra | rb;
+                let pos = ra & rb;
+                if max { pos } else { neg }
+            } else if (a < b) != max {
+                ra
+            } else {
+                rb
+            }
+        }
+    };
+    FpResult { bits, flags }
+}
+
+/// Comparison kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `feq`: quiet equality.
+    Eq,
+    /// `flt`: signalling less-than.
+    Lt,
+    /// `fle`: signalling less-or-equal.
+    Le,
+}
+
+/// Single-precision comparison; result is 0/1 for `rd` (an x register).
+///
+/// `feq` is a *quiet* comparison: NV is raised only for signalling NaNs.
+/// `flt`/`fle` are signalling: any NaN raises NV. This is the behaviour the
+/// paper's V4 vulnerability violates in CVA6.
+#[must_use]
+pub fn cmp_s(kind: Cmp, ra: u64, rb: u64) -> FpResult {
+    let (a_bits, b_bits) = (unbox_f32(ra), unbox_f32(rb));
+    let (a, b) = (f32::from_bits(a_bits), f32::from_bits(b_bits));
+    let flags = match kind {
+        Cmp::Eq => nv_if_snan_f32(a_bits, b_bits),
+        Cmp::Lt | Cmp::Le => {
+            if a.is_nan() || b.is_nan() {
+                NV
+            } else {
+                0
+            }
+        }
+    };
+    let res = match kind {
+        Cmp::Eq => a == b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+    };
+    FpResult { bits: u64::from(res), flags }
+}
+
+/// Double-precision comparison; result is 0/1 for `rd`.
+#[must_use]
+pub fn cmp_d(kind: Cmp, ra: u64, rb: u64) -> FpResult {
+    let (a, b) = (f64::from_bits(ra), f64::from_bits(rb));
+    let flags = match kind {
+        Cmp::Eq => nv_if_snan_f64(ra, rb),
+        Cmp::Lt | Cmp::Le => {
+            if a.is_nan() || b.is_nan() {
+                NV
+            } else {
+                0
+            }
+        }
+    };
+    let res = match kind {
+        Cmp::Eq => a == b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+    };
+    FpResult { bits: u64::from(res), flags }
+}
+
+/// `fclass.s` category bitmask.
+#[must_use]
+pub fn class_s(ra: u64) -> u64 {
+    class_bits(f64::from(f32::from_bits(unbox_f32(ra))), {
+        let bits = unbox_f32(ra);
+        let sub = bits & 0x7F80_0000 == 0 && bits & 0x007F_FFFF != 0;
+        let snan = is_snan_f32(bits);
+        (sub, snan)
+    })
+}
+
+/// `fclass.d` category bitmask.
+#[must_use]
+pub fn class_d(ra: u64) -> u64 {
+    let sub = ra & 0x7FF0_0000_0000_0000 == 0 && ra & 0x000F_FFFF_FFFF_FFFF != 0;
+    class_bits(f64::from_bits(ra), (sub, is_snan_f64(ra)))
+}
+
+fn class_bits(v: f64, (subnormal, snan): (bool, bool)) -> u64 {
+    let neg = v.is_sign_negative();
+    if v.is_nan() {
+        if snan { 1 << 8 } else { 1 << 9 }
+    } else if v.is_infinite() {
+        if neg { 1 << 0 } else { 1 << 7 }
+    } else if v == 0.0 {
+        if neg { 1 << 3 } else { 1 << 4 }
+    } else if subnormal {
+        if neg { 1 << 2 } else { 1 << 5 }
+    } else if neg {
+        1 << 1
+    } else {
+        1 << 6
+    }
+}
+
+/// Integer target of a float→int conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntKind {
+    /// `fcvt.w.*`: signed 32-bit.
+    W,
+    /// `fcvt.wu.*`: unsigned 32-bit.
+    Wu,
+    /// `fcvt.l.*`: signed 64-bit.
+    L,
+    /// `fcvt.lu.*`: unsigned 64-bit.
+    Lu,
+}
+
+fn cvt_to_int(v: f64, kind: IntKind, input_nan: bool) -> FpResult {
+    let (bits, invalid) = match kind {
+        IntKind::W => {
+            if input_nan || v >= 2_147_483_648.0 {
+                (i64::from(i32::MAX) as u64, true)
+            } else if v <= -2_147_483_649.0 {
+                (i64::from(i32::MIN) as u64, true)
+            } else {
+                ((v.trunc() as i32) as i64 as u64, false)
+            }
+        }
+        IntKind::Wu => {
+            if input_nan || v >= 4_294_967_296.0 {
+                ((u32::MAX as i32) as i64 as u64, true)
+            } else if v <= -1.0 {
+                (0, true)
+            } else {
+                // Result is sign-extended from 32 bits per the spec.
+                ((v.trunc() as u32) as i32 as i64 as u64, false)
+            }
+        }
+        IntKind::L => {
+            if input_nan || v >= 9_223_372_036_854_775_808.0 {
+                (i64::MAX as u64, true)
+            } else if v < -9_223_372_036_854_775_808.0 {
+                (i64::MIN as u64, true)
+            } else {
+                (v.trunc() as i64 as u64, false)
+            }
+        }
+        IntKind::Lu => {
+            if input_nan || v >= 18_446_744_073_709_551_616.0 {
+                (u64::MAX, true)
+            } else if v <= -1.0 {
+                (0, true)
+            } else {
+                (v.trunc() as u64, false)
+            }
+        }
+    };
+    FpResult { bits, flags: if invalid { NV } else { 0 } }
+}
+
+/// `fcvt.{w,wu,l,lu}.s`.
+#[must_use]
+pub fn cvt_s_to_int(kind: IntKind, ra: u64) -> FpResult {
+    let a = f32::from_bits(unbox_f32(ra));
+    cvt_to_int(f64::from(a), kind, a.is_nan())
+}
+
+/// `fcvt.{w,wu,l,lu}.d`.
+#[must_use]
+pub fn cvt_d_to_int(kind: IntKind, ra: u64) -> FpResult {
+    let a = f64::from_bits(ra);
+    cvt_to_int(a, kind, a.is_nan())
+}
+
+/// `fcvt.s.{w,wu,l,lu}`: integer to single.
+#[must_use]
+pub fn cvt_int_to_s(kind: IntKind, x: u64) -> FpResult {
+    let v = match kind {
+        IntKind::W => (x as i32) as f32,
+        IntKind::Wu => (x as u32) as f32,
+        IntKind::L => (x as i64) as f32,
+        IntKind::Lu => x as f32,
+    };
+    FpResult { bits: box_f32(canon_f32(v)), flags: 0 }
+}
+
+/// `fcvt.d.{w,wu,l,lu}`: integer to double.
+#[must_use]
+pub fn cvt_int_to_d(kind: IntKind, x: u64) -> FpResult {
+    let v = match kind {
+        IntKind::W => f64::from(x as i32),
+        IntKind::Wu => f64::from(x as u32),
+        IntKind::L => (x as i64) as f64,
+        IntKind::Lu => x as f64,
+    };
+    FpResult { bits: canon_f64(v), flags: 0 }
+}
+
+/// `fcvt.s.d`: double to single (may overflow to infinity).
+#[must_use]
+pub fn cvt_d_to_s(ra: u64) -> FpResult {
+    let a = f64::from_bits(ra);
+    let mut flags = if is_snan_f64(ra) { NV } else { 0 };
+    let r = a as f32;
+    if r.is_infinite() && a.is_finite() {
+        flags |= OF;
+    }
+    FpResult { bits: box_f32(canon_f32(r)), flags }
+}
+
+/// `fcvt.d.s`: single to double (exact).
+#[must_use]
+pub fn cvt_s_to_d(ra: u64) -> FpResult {
+    let bits = unbox_f32(ra);
+    let flags = if is_snan_f32(bits) { NV } else { 0 };
+    FpResult { bits: canon_f64(f64::from(f32::from_bits(bits))), flags }
+}
+
+/// Fused multiply-add kind, mapping the four `f[n]m{add,sub}` opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmaKind {
+    /// `fmadd`: `(a * b) + c`.
+    Madd,
+    /// `fmsub`: `(a * b) - c`.
+    Msub,
+    /// `fnmsub`: `-(a * b) + c`.
+    Nmsub,
+    /// `fnmadd`: `-(a * b) - c`.
+    Nmadd,
+}
+
+/// Single-precision fused multiply-add family.
+#[must_use]
+pub fn fma_s(kind: FmaKind, ra: u64, rb: u64, rc: u64) -> FpResult {
+    let (a_bits, b_bits, c_bits) = (unbox_f32(ra), unbox_f32(rb), unbox_f32(rc));
+    let (a, b, c) = (
+        f32::from_bits(a_bits),
+        f32::from_bits(b_bits),
+        f32::from_bits(c_bits),
+    );
+    let mut flags = nv_if_snan_f32(a_bits, b_bits) | nv_if_snan_f32(c_bits, 0);
+    // inf * 0 is invalid regardless of the addend.
+    if (a.is_infinite() && b == 0.0) || (b.is_infinite() && a == 0.0) {
+        flags |= NV;
+    }
+    let r = match kind {
+        FmaKind::Madd => a.mul_add(b, c),
+        FmaKind::Msub => a.mul_add(b, -c),
+        FmaKind::Nmsub => (-a).mul_add(b, c),
+        FmaKind::Nmadd => (-a).mul_add(b, -c),
+    };
+    if r.is_nan() && !a.is_nan() && !b.is_nan() && !c.is_nan() && flags & NV == 0 {
+        flags |= NV;
+    }
+    FpResult { bits: box_f32(canon_f32(r)), flags }
+}
+
+/// Double-precision fused multiply-add family.
+#[must_use]
+pub fn fma_d(kind: FmaKind, ra: u64, rb: u64, rc: u64) -> FpResult {
+    let (a, b, c) = (f64::from_bits(ra), f64::from_bits(rb), f64::from_bits(rc));
+    let mut flags = nv_if_snan_f64(ra, rb) | nv_if_snan_f64(rc, 0);
+    if (a.is_infinite() && b == 0.0) || (b.is_infinite() && a == 0.0) {
+        flags |= NV;
+    }
+    let r = match kind {
+        FmaKind::Madd => a.mul_add(b, c),
+        FmaKind::Msub => a.mul_add(b, -c),
+        FmaKind::Nmsub => (-a).mul_add(b, c),
+        FmaKind::Nmadd => (-a).mul_add(b, -c),
+    };
+    if r.is_nan() && !a.is_nan() && !b.is_nan() && !c.is_nan() && flags & NV == 0 {
+        flags |= NV;
+    }
+    FpResult { bits: canon_f64(r), flags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE_S: u64 = 0xFFFF_FFFF_0000_0000 | 0x3F80_0000; // boxed 1.0f32
+    const TWO_S: u64 = 0xFFFF_FFFF_0000_0000 | 0x4000_0000; // boxed 2.0f32
+    const SNAN_S: u64 = 0xFFFF_FFFF_0000_0000 | 0x7F80_0001; // boxed sNaN
+
+    #[test]
+    fn boxing_round_trip() {
+        assert!(is_boxed_f32(box_f32(0x3F80_0000)));
+        assert_eq!(unbox_f32(box_f32(0x1234_5678)), 0x1234_5678);
+        // Improper boxing collapses to canonical NaN.
+        assert_eq!(unbox_f32(0x0000_0000_3F80_0000), CANONICAL_NAN_F32);
+    }
+
+    #[test]
+    fn snan_detection() {
+        assert!(is_snan_f32(0x7F80_0001));
+        assert!(!is_snan_f32(CANONICAL_NAN_F32));
+        assert!(!is_snan_f32(0x7F80_0000)); // +inf
+        assert!(is_snan_f64(0x7FF0_0000_0000_0001));
+        assert!(!is_snan_f64(CANONICAL_NAN_F64));
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let r = arith_s(Arith::Add, ONE_S, TWO_S);
+        assert_eq!(unbox_f32(r.bits), 3.0f32.to_bits());
+        assert_eq!(r.flags, 0);
+        let r = arith_d(Arith::Mul, 2.5f64.to_bits(), 4.0f64.to_bits());
+        assert_eq!(f64::from_bits(r.bits), 10.0);
+    }
+
+    #[test]
+    fn divide_by_zero_raises_dz() {
+        let r = arith_s(Arith::Div, ONE_S, box_f32(0));
+        assert_eq!(r.flags & DZ, DZ);
+        assert!(f32::from_bits(unbox_f32(r.bits)).is_infinite());
+        // 0/0 is NV, not DZ.
+        let r = arith_d(Arith::Div, 0f64.to_bits(), 0f64.to_bits());
+        assert_eq!(r.flags & NV, NV);
+        assert_eq!(r.flags & DZ, 0);
+        assert_eq!(r.bits, CANONICAL_NAN_F64);
+    }
+
+    #[test]
+    fn snan_input_raises_nv() {
+        let r = arith_s(Arith::Add, SNAN_S, ONE_S);
+        assert_eq!(r.flags & NV, NV);
+        assert_eq!(unbox_f32(r.bits), CANONICAL_NAN_F32);
+    }
+
+    #[test]
+    fn improperly_boxed_input_becomes_quiet_nan() {
+        // Invalid boxing of an sNaN pattern: the unboxed value is the
+        // canonical *quiet* NaN, so a quiet compare raises nothing.
+        let invalid = 0x0000_0000_7F80_0001u64;
+        let r = cmp_s(Cmp::Eq, invalid, ONE_S);
+        assert_eq!(r.bits, 0);
+        assert_eq!(r.flags, 0, "quiet compare of qNaN raises no NV");
+    }
+
+    #[test]
+    fn feq_quiet_vs_flt_signalling() {
+        let qnan = box_f32(CANONICAL_NAN_F32);
+        assert_eq!(cmp_s(Cmp::Eq, qnan, ONE_S).flags, 0);
+        assert_eq!(cmp_s(Cmp::Lt, qnan, ONE_S).flags, NV);
+        assert_eq!(cmp_s(Cmp::Le, qnan, ONE_S).flags, NV);
+        // sNaN raises NV even on the quiet compare — this is the flag the
+        // paper's V4 CVA6 bug fails to set.
+        assert_eq!(cmp_s(Cmp::Eq, SNAN_S, ONE_S).flags, NV);
+    }
+
+    #[test]
+    fn compare_results() {
+        assert_eq!(cmp_s(Cmp::Lt, ONE_S, TWO_S).bits, 1);
+        assert_eq!(cmp_s(Cmp::Le, TWO_S, TWO_S).bits, 1);
+        assert_eq!(cmp_s(Cmp::Eq, ONE_S, TWO_S).bits, 0);
+        assert_eq!(cmp_d(Cmp::Lt, 1.5f64.to_bits(), 1.0f64.to_bits()).bits, 0);
+    }
+
+    #[test]
+    fn minmax_nan_and_zero_semantics() {
+        let qnan = box_f32(CANONICAL_NAN_F32);
+        assert_eq!(unbox_f32(minmax_s(false, qnan, ONE_S).bits), 0x3F80_0000);
+        assert_eq!(minmax_s(true, qnan, qnan).bits, box_f32(CANONICAL_NAN_F32));
+        let pz = box_f32(0x0000_0000);
+        let nz = box_f32(0x8000_0000);
+        assert_eq!(unbox_f32(minmax_s(false, pz, nz).bits), 0x8000_0000);
+        assert_eq!(unbox_f32(minmax_s(true, pz, nz).bits), 0x0000_0000);
+        assert_eq!(minmax_s(false, SNAN_S, ONE_S).flags, NV);
+    }
+
+    #[test]
+    fn sign_injection() {
+        let neg_one = box_f32(0xBF80_0000);
+        assert_eq!(unbox_f32(sgnj_s(SignOp::Inject, ONE_S, neg_one).bits), 0xBF80_0000);
+        assert_eq!(unbox_f32(sgnj_s(SignOp::Negate, ONE_S, neg_one).bits), 0x3F80_0000);
+        assert_eq!(unbox_f32(sgnj_s(SignOp::Xor, neg_one, neg_one).bits), 0x3F80_0000);
+        let d = sgnj_d(SignOp::Negate, 1.0f64.to_bits(), 1.0f64.to_bits());
+        assert_eq!(f64::from_bits(d.bits), -1.0);
+    }
+
+    #[test]
+    fn fclass_categories() {
+        assert_eq!(class_s(box_f32(0x7F80_0000)), 1 << 7); // +inf
+        assert_eq!(class_s(box_f32(0xFF80_0000)), 1 << 0); // -inf
+        assert_eq!(class_s(box_f32(0)), 1 << 4); // +0
+        assert_eq!(class_s(box_f32(0x8000_0000)), 1 << 3); // -0
+        assert_eq!(class_s(box_f32(0x0000_0001)), 1 << 5); // +subnormal
+        assert_eq!(class_s(box_f32(0x3F80_0000)), 1 << 6); // +normal
+        assert_eq!(class_s(box_f32(0xBF80_0000)), 1 << 1); // -normal
+        assert_eq!(class_s(SNAN_S), 1 << 8); // sNaN
+        assert_eq!(class_s(box_f32(CANONICAL_NAN_F32)), 1 << 9); // qNaN
+        // Improper boxing classifies as quiet NaN.
+        assert_eq!(class_s(0x1234_5678), 1 << 9);
+        assert_eq!(class_d((-0.0f64).to_bits()), 1 << 3);
+        assert_eq!(class_d(1.0f64.to_bits()), 1 << 6);
+    }
+
+    #[test]
+    fn conversions_saturate_and_flag() {
+        // NaN converts to the maximum value with NV.
+        let r = cvt_s_to_int(IntKind::W, box_f32(CANONICAL_NAN_F32));
+        assert_eq!(r.bits as i64, i64::from(i32::MAX));
+        assert_eq!(r.flags, NV);
+        // Negative to unsigned saturates at zero.
+        let r = cvt_d_to_int(IntKind::Lu, (-3.5f64).to_bits());
+        assert_eq!(r.bits, 0);
+        assert_eq!(r.flags, NV);
+        // In-range conversions truncate toward zero.
+        let r = cvt_d_to_int(IntKind::W, (-3.7f64).to_bits());
+        assert_eq!(r.bits as i64, -3);
+        assert_eq!(r.flags, 0);
+        // fcvt.wu sign-extends its 32-bit result.
+        let r = cvt_d_to_int(IntKind::Wu, 4_000_000_000.0f64.to_bits());
+        assert_eq!(r.bits, 4_000_000_000u32 as i32 as i64 as u64);
+    }
+
+    #[test]
+    fn int_to_float_and_width_conversions() {
+        let r = cvt_int_to_s(IntKind::W, (-42i64) as u64);
+        assert_eq!(f32::from_bits(unbox_f32(r.bits)), -42.0);
+        let r = cvt_int_to_d(IntKind::Lu, u64::MAX);
+        assert!(f64::from_bits(r.bits) > 1.8e19);
+        let r = cvt_s_to_d(box_f32(0x3F80_0000));
+        assert_eq!(f64::from_bits(r.bits), 1.0);
+        // Double too large for single overflows to infinity.
+        let r = cvt_d_to_s(1e300f64.to_bits());
+        assert!(f32::from_bits(unbox_f32(r.bits)).is_infinite());
+        assert_eq!(r.flags & OF, OF);
+    }
+
+    #[test]
+    fn fma_family() {
+        let r = fma_s(FmaKind::Madd, TWO_S, TWO_S, ONE_S);
+        assert_eq!(f32::from_bits(unbox_f32(r.bits)), 5.0);
+        let r = fma_s(FmaKind::Nmsub, TWO_S, TWO_S, ONE_S);
+        assert_eq!(f32::from_bits(unbox_f32(r.bits)), -3.0);
+        let r = fma_d(
+            FmaKind::Nmadd,
+            2.0f64.to_bits(),
+            3.0f64.to_bits(),
+            1.0f64.to_bits(),
+        );
+        assert_eq!(f64::from_bits(r.bits), -7.0);
+        // inf * 0 + c is invalid.
+        let inf = box_f32(0x7F80_0000);
+        let r = fma_s(FmaKind::Madd, inf, box_f32(0), ONE_S);
+        assert_eq!(r.flags & NV, NV);
+    }
+}

@@ -1,0 +1,237 @@
+//! Sparse, paged physical memory.
+
+use std::collections::HashMap;
+
+use hfl_riscv::vocab::mem_map;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable RAM backed by 4 KiB pages.
+///
+/// Accesses outside the simulated RAM window
+/// ([`mem_map::RAM_BASE`]`..`[`mem_map::RAM_END`]) are rejected; the CPU
+/// turns the rejection into an access fault. Untouched bytes read as a
+/// deterministic address-derived pattern so that loads from uninitialised
+/// data are reproducible across the GRM and the DUT.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_grm::Memory;
+/// use hfl_riscv::vocab::mem_map;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u32(mem_map::DATA_BASE, 0xDEAD_BEEF).expect("in RAM");
+/// assert_eq!(mem.read_u32(mem_map::DATA_BASE), Ok(0xDEAD_BEEF));
+/// assert!(mem.read_u8(0x0).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+/// Error for an access outside the simulated RAM window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessFault {
+    /// The faulting physical address.
+    pub addr: u64,
+}
+
+impl core::fmt::Display for AccessFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "access fault at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for AccessFault {}
+
+/// Deterministic background pattern for untouched bytes.
+fn background_byte(addr: u64) -> u8 {
+    // A cheap address hash: distinct per byte, stable across runs.
+    let x = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((x >> 56) ^ (x >> 32) ^ x) as u8
+}
+
+impl Memory {
+    /// Creates empty (background-patterned) RAM.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn in_ram(addr: u64, len: u64) -> Result<(), AccessFault> {
+        if addr >= mem_map::RAM_BASE && addr.saturating_add(len) <= mem_map::RAM_END {
+            Ok(())
+        } else {
+            Err(AccessFault { addr })
+        }
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        let page_no = addr >> PAGE_SHIFT;
+        self.pages.entry(page_no).or_insert_with(|| {
+            let base = page_no << PAGE_SHIFT;
+            let mut page = Box::new([0u8; PAGE_SIZE as usize]);
+            for (i, byte) in page.iter_mut().enumerate() {
+                *byte = background_byte(base + i as u64);
+            }
+            page
+        })
+    }
+
+    fn peek(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & (PAGE_SIZE - 1)) as usize],
+            None => background_byte(addr),
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, AccessFault> {
+        Self::in_ram(addr, 1)?;
+        Ok(self.peek(addr))
+    }
+
+    /// Reads a little-endian halfword.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn read_u16(&self, addr: u64) -> Result<u16, AccessFault> {
+        Self::in_ram(addr, 2)?;
+        Ok(u16::from_le_bytes([self.peek(addr), self.peek(addr + 1)]))
+    }
+
+    /// Reads a little-endian word.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, AccessFault> {
+        Self::in_ram(addr, 4)?;
+        let b = [self.peek(addr), self.peek(addr + 1), self.peek(addr + 2), self.peek(addr + 3)];
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian doubleword.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, AccessFault> {
+        Self::in_ram(addr, 8)?;
+        let mut b = [0u8; 8];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.peek(addr + i as u64);
+        }
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), AccessFault> {
+        Self::in_ram(addr, 1)?;
+        self.page_mut(addr)[(addr & (PAGE_SIZE - 1)) as usize] = value;
+        Ok(())
+    }
+
+    /// Writes a little-endian halfword.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn write_u16(&mut self, addr: u64, value: u16) -> Result<(), AccessFault> {
+        Self::in_ram(addr, 2)?;
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a & (PAGE_SIZE - 1)) as usize] = byte;
+        }
+        Ok(())
+    }
+
+    /// Writes a little-endian word.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), AccessFault> {
+        Self::in_ram(addr, 4)?;
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a & (PAGE_SIZE - 1)) as usize] = byte;
+        }
+        Ok(())
+    }
+
+    /// Writes a little-endian doubleword.
+    ///
+    /// # Errors
+    /// Returns [`AccessFault`] outside the RAM window.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), AccessFault> {
+        Self::in_ram(addr, 8)?;
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a & (PAGE_SIZE - 1)) as usize] = byte;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut m = Memory::new();
+        let base = mem_map::DATA_BASE;
+        m.write_u8(base, 0xAB).unwrap();
+        m.write_u16(base + 2, 0xBEEF).unwrap();
+        m.write_u32(base + 4, 0xDEAD_BEEF).unwrap();
+        m.write_u64(base + 8, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.read_u8(base).unwrap(), 0xAB);
+        assert_eq!(m.read_u16(base + 2).unwrap(), 0xBEEF);
+        assert_eq!(m.read_u32(base + 4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(base + 8).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn out_of_window_faults() {
+        let mut m = Memory::new();
+        assert!(m.read_u8(0).is_err());
+        assert!(m.write_u32(mem_map::RAM_END, 1).is_err());
+        assert!(m.read_u64(mem_map::RAM_END - 4).is_err(), "straddles end");
+        assert!(m.read_u8(mem_map::RAM_END - 1).is_ok());
+    }
+
+    #[test]
+    fn background_pattern_is_deterministic_and_nonuniform() {
+        let m1 = Memory::new();
+        let m2 = Memory::new();
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..256 {
+            let a = mem_map::DATA_BASE + i;
+            assert_eq!(m1.read_u8(a).unwrap(), m2.read_u8(a).unwrap());
+            distinct.insert(m1.read_u8(a).unwrap());
+        }
+        assert!(distinct.len() > 32, "pattern should vary across bytes");
+    }
+
+    #[test]
+    fn writes_touch_only_their_bytes() {
+        let mut m = Memory::new();
+        let base = mem_map::DATA_BASE + 64;
+        let before = m.read_u8(base + 4).unwrap();
+        m.write_u32(base, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.read_u8(base + 4).unwrap(), before);
+    }
+
+    #[test]
+    fn cross_page_access_round_trips() {
+        let mut m = Memory::new();
+        let addr = mem_map::DATA_BASE + 0xFFC; // straddles a page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read_u64(addr).unwrap(), 0x1122_3344_5566_7788);
+    }
+}

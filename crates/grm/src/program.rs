@@ -1,0 +1,224 @@
+//! Test-case assembly: prologue, body, trap handler and memory image.
+
+use hfl_riscv::vocab::{mem_map, BASE_REG_SETUP};
+use hfl_riscv::{Csr, Instruction, Opcode, Reg};
+
+/// Emits instructions that materialise the 64-bit constant `value` into
+/// integer register `rd` (the classic `li` expansion: `lui`/`addiw` for
+/// 32-bit values, shift-and-add chains beyond).
+///
+/// # Examples
+///
+/// ```
+/// use hfl_grm::program::emit_li64;
+/// use hfl_riscv::Reg;
+///
+/// let seq = emit_li64(Reg::X5, 0x8000_1000);
+/// assert!(!seq.is_empty());
+/// ```
+#[must_use]
+pub fn emit_li64(rd: Reg, value: u64) -> Vec<Instruction> {
+    let mut out = Vec::new();
+    emit_li64_rec(rd, value as i64, &mut out);
+    out
+}
+
+fn emit_li64_rec(rd: Reg, value: i64, out: &mut Vec<Instruction>) {
+    if (-2048..=2047).contains(&value) {
+        out.push(Instruction::i(Opcode::Addi, rd, Reg::X0, value));
+        return;
+    }
+    if value >= i64::from(i32::MIN) && value <= i64::from(i32::MAX) {
+        // lui + addiw covers the sign-extended 32-bit range.
+        let low12 = ((value << 52) >> 52) as i64; // sign-extended low 12
+        let upper = (value - low12) >> 12;
+        out.push(Instruction::u(Opcode::Lui, rd, upper & 0xF_FFFF));
+        if low12 != 0 {
+            out.push(Instruction::i(Opcode::Addiw, rd, rd, low12));
+        } else {
+            // Ensure a 32-bit sign-extended result even when low12 is 0.
+            out.push(Instruction::i(Opcode::Addiw, rd, rd, 0));
+        }
+        return;
+    }
+    // General case: build the upper bits, shift left 12, add the low 12.
+    let low12 = ((value << 52) >> 52) as i64;
+    let upper = (value - low12) >> 12;
+    emit_li64_rec(rd, upper, out);
+    out.push(Instruction::i(Opcode::Slli, rd, rd, 12));
+    if low12 != 0 {
+        out.push(Instruction::i(Opcode::Addi, rd, rd, low12));
+    }
+}
+
+/// The skip-and-resume trap handler placed at
+/// [`mem_map::HANDLER_BASE`]: advances `mepc` past the trapping
+/// instruction and returns. Uses `t6` as scratch (the test constructor
+/// reserves it).
+#[must_use]
+pub fn trap_handler() -> Vec<Instruction> {
+    vec![
+        Instruction::csr_reg(Opcode::Csrrs, Reg::X31, Csr::MEPC, Reg::X0),
+        Instruction::i(Opcode::Addi, Reg::X31, Reg::X31, 4),
+        Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::MEPC, Reg::X31),
+        Instruction::nullary(Opcode::Mret),
+    ]
+}
+
+/// An assembled test case: encoded words, the prologue/body split, and the
+/// halt address.
+///
+/// Both the GRM and the DUT load the same `Program`, guaranteeing aligned
+/// boot state — the paper's §V-B notes this alignment (consistent device
+/// tree and boot ROM between RTL and Spike) is what keeps differential
+/// testing false-positive-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Encoded instruction words, placed at [`mem_map::CODE_BASE`].
+    pub words: Vec<u32>,
+    /// Index of the first *body* word (after the prologue).
+    pub body_start: usize,
+    /// The body instructions as supplied (pseudo-ops not yet expanded).
+    pub body: Vec<Instruction>,
+    /// Execution halts when the pc reaches this address.
+    pub halt_pc: u64,
+    /// Encoded trap-handler words, placed at [`mem_map::HANDLER_BASE`].
+    pub handler_words: Vec<u32>,
+}
+
+impl Program {
+    /// Assembles a test-case body into a runnable program.
+    ///
+    /// The prologue installs the trap handler in `mtvec`, points the stack
+    /// and the base registers at their regions
+    /// ([`BASE_REG_SETUP`]), and is followed by the body. Execution
+    /// halts when the pc falls past the last body instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled program exceeds the code region
+    /// ([`mem_map::CODE_SIZE`]).
+    #[must_use]
+    pub fn assemble(body: &[Instruction]) -> Program {
+        let mut prologue: Vec<Instruction> = Vec::new();
+        // mtvec <- handler (via t6/x31 scratch).
+        prologue.extend(emit_li64(Reg::X31, mem_map::HANDLER_BASE));
+        prologue.push(Instruction::csr_reg(
+            Opcode::Csrrw,
+            Reg::X0,
+            Csr::MTVEC,
+            Reg::X31,
+        ));
+        for (reg, addr) in BASE_REG_SETUP {
+            prologue.extend(emit_li64(Reg::from_index(reg), addr));
+        }
+        let body_start = prologue.len();
+        let mut words: Vec<u32> = prologue.iter().map(Instruction::encode).collect();
+        words.extend(body.iter().map(Instruction::encode));
+        let code_bytes = words.len() * 4;
+        assert!(
+            (code_bytes as u64) <= mem_map::CODE_SIZE,
+            "program too large: {code_bytes} bytes"
+        );
+        let halt_pc = mem_map::CODE_BASE + code_bytes as u64;
+        Program {
+            words,
+            body_start,
+            body: body.to_vec(),
+            halt_pc,
+            handler_words: trap_handler().iter().map(Instruction::encode).collect(),
+        }
+    }
+
+    /// Assembles a test case given as raw instruction words (used by the
+    /// binary-level baseline fuzzers, whose outputs need not decode). The
+    /// prologue and halt semantics match [`Program::assemble`]; `body` is
+    /// left empty since the words may not correspond to vocabulary
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled program exceeds the code region.
+    #[must_use]
+    pub fn assemble_raw(body_words: &[u32]) -> Program {
+        let mut p = Program::assemble(&[]);
+        p.words.extend_from_slice(body_words);
+        let code_bytes = p.words.len() * 4;
+        assert!(
+            (code_bytes as u64) <= mem_map::CODE_SIZE,
+            "program too large: {code_bytes} bytes"
+        );
+        p.halt_pc = mem_map::CODE_BASE + code_bytes as u64;
+        p
+    }
+
+    /// Address of the first body instruction.
+    #[must_use]
+    pub fn body_pc(&self) -> u64 {
+        mem_map::CODE_BASE + (self.body_start as u64) * 4
+    }
+
+    /// Total number of encoded words (prologue + body).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the program has no instructions at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Maximum number of body instructions that fit in the code region.
+    #[must_use]
+    pub fn max_body_len() -> usize {
+        let prologue_len = Program::assemble(&[]).body_start;
+        (mem_map::CODE_SIZE as usize / 4) - prologue_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li64_small_values_are_one_addi() {
+        assert_eq!(emit_li64(Reg::X5, 42).len(), 1);
+        assert_eq!(emit_li64(Reg::X5, (-84i64) as u64).len(), 1);
+        assert_eq!(emit_li64(Reg::X5, 2047).len(), 1);
+    }
+
+    #[test]
+    fn li64_32bit_values_are_lui_addiw() {
+        let seq = emit_li64(Reg::X5, 0x1234_5678);
+        assert!(seq.len() <= 2);
+        assert_eq!(seq[0].opcode, Opcode::Lui);
+    }
+
+    #[test]
+    fn assemble_layout() {
+        let body = vec![Instruction::NOP, Instruction::NOP];
+        let p = Program::assemble(&body);
+        assert!(p.body_start > 0, "prologue exists");
+        assert_eq!(p.len(), p.body_start + 2);
+        assert_eq!(p.halt_pc, mem_map::CODE_BASE + (p.len() as u64) * 4);
+        assert_eq!(p.body_pc(), mem_map::CODE_BASE + (p.body_start as u64) * 4);
+        assert_eq!(p.handler_words.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn max_body_len_is_substantial() {
+        // The incremental test constructor needs room for a few hundred
+        // instructions per test case.
+        assert!(Program::max_body_len() >= 500, "{}", Program::max_body_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "program too large")]
+    fn oversized_body_panics() {
+        let body = vec![Instruction::NOP; mem_map::CODE_SIZE as usize / 4];
+        let _ = Program::assemble(&body);
+    }
+}

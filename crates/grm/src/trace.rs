@@ -1,0 +1,173 @@
+//! Architectural execution traces for differential testing.
+
+use core::fmt;
+
+/// A trap taken by the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Trap {
+    /// The `mcause` value.
+    pub cause: u64,
+    /// The `mtval` value.
+    pub tval: u64,
+}
+
+/// A data-memory operation performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOp {
+    /// Effective address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// `true` for stores/AMOs, `false` for loads.
+    pub is_store: bool,
+    /// Value stored (stores only; zero for loads).
+    pub value: u64,
+}
+
+/// One retired (or trapped) instruction in the architectural trace.
+///
+/// Differential testing compares these entries between the GRM and the DUT;
+/// the signature-extraction algorithm (in the `hfl` crate) derives mismatch
+/// signatures from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Raw instruction word.
+    pub word: u32,
+    /// Destination write, as `(is_fp, reg index, value)`.
+    pub rd_write: Option<(bool, u8, u64)>,
+    /// Data-memory operation, if any.
+    pub mem: Option<MemOp>,
+    /// Trap raised by this instruction, if any.
+    pub trap: Option<Trap>,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: {:#010x}", self.pc, self.word)?;
+        if let Some((fp, rd, value)) = self.rd_write {
+            let bank = if fp { "f" } else { "x" };
+            write!(f, " {bank}{rd}={value:#x}")?;
+        }
+        if let Some(mem) = self.mem {
+            let dir = if mem.is_store { "W" } else { "R" };
+            write!(f, " [{dir}{} @{:#x}]", mem.size, mem.addr)?;
+        }
+        if let Some(trap) = self.trap {
+            write!(f, " trap(cause={}, tval={:#x})", trap.cause, trap.tval)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full trace of one test-case execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Per-instruction entries in retirement order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Number of retired instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::slice::Iter<'a, TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
+        Trace { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceEntry> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_all_fields() {
+        let entry = TraceEntry {
+            pc: 0x8000_0000,
+            word: 0x0031_0093,
+            rd_write: Some((false, 1, 42)),
+            mem: Some(MemOp { addr: 0x8000_1000, size: 8, is_store: true, value: 7 }),
+            trap: Some(Trap { cause: 2, tval: 0 }),
+        };
+        let s = entry.to_string();
+        assert!(s.contains("0x80000000"));
+        assert!(s.contains("x1=0x2a"));
+        assert!(s.contains("[W8 @0x80001000]"));
+        assert!(s.contains("trap(cause=2"));
+    }
+
+    #[test]
+    fn trace_collects_and_extends() {
+        let e = TraceEntry {
+            pc: 0,
+            word: 0x13,
+            rd_write: None,
+            mem: None,
+            trap: None,
+        };
+        let mut t: Trace = std::iter::repeat(e).take(3).collect();
+        assert_eq!(t.len(), 3);
+        t.extend(std::iter::once(e));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 4);
+    }
+}
+
+/// A compact summary of final architectural state, compared between the
+/// GRM and the DUT at the end of differential testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Integer register file.
+    pub x: [u64; 32],
+    /// Floating-point register file (raw bits).
+    pub f: [u64; 32],
+    /// Final `fcsr` (exception flags + rounding mode).
+    pub fcsr: u64,
+    /// Final `mcause`.
+    pub mcause: u64,
+    /// Final `mtval`.
+    pub mtval: u64,
+    /// Final `mepc`.
+    pub mepc: u64,
+    /// Retired instructions.
+    pub instret: u64,
+}

@@ -1,0 +1,302 @@
+//! Checkpointing: a small self-contained binary codec for model
+//! parameters.
+//!
+//! The approved dependency set has no serialisation *format* crate (serde
+//! provides the data model only), so checkpoints use a simple explicit
+//! little-endian layout: a magic tag, a format version, then each tensor
+//! as `rows:u64, cols:u64, data:[f32]`. Optimiser moments and gradients
+//! are not persisted — a loaded model resumes with fresh Adam state,
+//! which is standard for inference/fine-tune checkpoints.
+
+use std::io::{self, Read, Write};
+
+use crate::embedding::Embedding;
+use crate::linear::Linear;
+use crate::lstm::{Lstm, LstmCell};
+use crate::tensor::Tensor;
+
+/// Magic bytes every checkpoint starts with.
+pub const MAGIC: &[u8; 4] = b"HFLN";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Types that can round-trip through the checkpoint codec.
+pub trait Persist: Sized {
+    /// Writes the value.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the writer.
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()>;
+
+    /// Reads a value written by [`Persist::save`].
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on malformed input, plus any I/O error.
+    fn load<R: Read>(r: &mut R) -> io::Result<Self>;
+}
+
+/// Writes the checkpoint header.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_header<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())
+}
+
+/// Reads and validates the checkpoint header.
+///
+/// # Errors
+/// Returns `InvalidData` if the magic or version does not match.
+pub fn read_header<R: Read>(r: &mut R) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an HFL checkpoint"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Writes a `u64` (little endian).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_u64<W: Write>(w: &mut W, value: u64) -> io::Result<()> {
+    w.write_all(&value.to_le_bytes())
+}
+
+/// Reads a `u64` (little endian).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a `u32` (little endian).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_u32<W: Write>(w: &mut W, value: u32) -> io::Result<()> {
+    w.write_all(&value.to_le_bytes())
+}
+
+/// Reads a `u32` (little endian).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes an `f32` (little endian).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_f32<W: Write>(w: &mut W, value: f32) -> io::Result<()> {
+    w.write_all(&value.to_le_bytes())
+}
+
+/// Reads an `f32` (little endian).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+impl Persist for Tensor {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_u64(w, self.rows as u64)?;
+        write_u64(w, self.cols as u64)?;
+        let mut bytes = Vec::with_capacity(self.data.len() * 4);
+        for v in &self.data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&bytes)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        let rows = usize::try_from(read_u64(r)?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "tensor rows overflow"))?;
+        let cols = usize::try_from(read_u64(r)?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "tensor cols overflow"))?;
+        let n = rows.checked_mul(cols).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "tensor size overflow")
+        })?;
+        if n > 1 << 28 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+        }
+        let mut bytes = vec![0u8; n * 4];
+        r.read_exact(&mut bytes)?;
+        let mut t = Tensor::zeros(rows, cols);
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            t.data[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Ok(t)
+    }
+}
+
+impl Persist for Linear {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.w.save(w)?;
+        self.b.save(w)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        let weight = Tensor::load(r)?;
+        let bias = Tensor::load(r)?;
+        if bias.rows != weight.rows || bias.cols != 1 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "linear shape mismatch"));
+        }
+        Ok(Linear { w: weight, b: bias })
+    }
+}
+
+impl Persist for Embedding {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.table.save(w)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        Ok(Embedding { table: Tensor::load(r)? })
+    }
+}
+
+impl Persist for LstmCell {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_u64(w, self.hidden() as u64)?;
+        self.wx.save(w)?;
+        self.wh.save(w)?;
+        self.b.save(w)
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        let hidden = usize::try_from(read_u64(r)?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "hidden overflow"))?;
+        let wx = Tensor::load(r)?;
+        let wh = Tensor::load(r)?;
+        let b = Tensor::load(r)?;
+        if wx.rows != 4 * hidden || wh.rows != 4 * hidden || wh.cols != hidden || b.rows != 4 * hidden
+        {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "lstm cell shape mismatch"));
+        }
+        LstmCell::from_parts(wx, wh, b, hidden)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "lstm cell rebuild failed"))
+    }
+}
+
+impl Persist for Lstm {
+    fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_u64(w, self.cells.len() as u64)?;
+        for cell in &self.cells {
+            cell.save(w)?;
+        }
+        Ok(())
+    }
+
+    fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        let layers = usize::try_from(read_u64(r)?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "layer count overflow"))?;
+        if layers == 0 || layers > 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer count"));
+        }
+        let mut cells = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            cells.push(LstmCell::load(r)?);
+        }
+        Ok(Lstm { cells })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn header_round_trip_and_rejection() {
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        read_header(&mut &buf[..]).unwrap();
+        assert!(read_header(&mut &b"XXXX\x01\x00\x00\x00"[..]).is_err());
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(MAGIC);
+        bad_version.extend_from_slice(&99u32.to_le_bytes());
+        assert!(read_header(&mut &bad_version[..]).is_err());
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::xavier(7, 5, &mut rng);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = Tensor::load(&mut &buf[..]).unwrap();
+        assert_eq!(back.rows, 7);
+        assert_eq!(back.cols, 5);
+        assert_eq!(back.data, t.data);
+        assert_eq!(back.grad.len(), t.data.len(), "buffers rebuilt");
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::xavier(4, 4, &mut rng);
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(Tensor::load(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn linear_and_embedding_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Linear::new(3, 4, &mut rng);
+        let mut buf = Vec::new();
+        l.save(&mut buf).unwrap();
+        let back = Linear::load(&mut &buf[..]).unwrap();
+        assert_eq!(back.forward(&[0.1, 0.2, 0.3, 0.4]), l.forward(&[0.1, 0.2, 0.3, 0.4]));
+
+        let e = Embedding::new(11, 6, &mut rng);
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        let back = Embedding::load(&mut &buf[..]).unwrap();
+        assert_eq!(back.forward(7), e.forward(7));
+    }
+
+    #[test]
+    fn lstm_round_trip_preserves_behaviour() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lstm = Lstm::new(5, 8, 2, &mut rng);
+        let mut buf = Vec::new();
+        lstm.save(&mut buf).unwrap();
+        let back = Lstm::load(&mut &buf[..]).unwrap();
+        let xs = vec![vec![0.3; 5]; 4];
+        assert_eq!(back.forward_seq(&xs).outputs, lstm.forward_seq(&xs).outputs);
+    }
+
+    #[test]
+    fn shape_mismatch_is_invalid_data() {
+        // A Linear whose bias disagrees with its weight must not load.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = Vec::new();
+        Tensor::xavier(3, 4, &mut rng).save(&mut buf).unwrap();
+        Tensor::zeros(2, 1).save(&mut buf).unwrap();
+        assert!(Linear::load(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,531 @@
+//! Assembly-text parsing: the inverse of [`Instruction`]'s `Display`.
+//!
+//! Accepts exactly the syntax this crate prints — ABI register names (or
+//! raw `x7`/`f19`), decimal and `0x` immediates, named or hex CSRs,
+//! `offset(base)` memory operands and the pseudo-instruction forms — so
+//! test cases round-trip through text files (corpus snapshots, PoC
+//! listings, bug reports).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::csr::Csr;
+use crate::format::{Format, RegClass};
+use crate::instruction::Instruction;
+use crate::opcode::Opcode;
+use crate::reg::{ABI_NAMES, FP_ABI_NAMES};
+
+/// Error from [`parse_instruction`] / [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// The offending line (1-based; 1 for single-instruction parses).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line: 1, message: message.into() }
+}
+
+fn mnemonic_table() -> &'static HashMap<&'static str, Opcode> {
+    static TABLE: OnceLock<HashMap<&'static str, Opcode>> = OnceLock::new();
+    TABLE.get_or_init(|| Opcode::ALL.iter().map(|op| (op.mnemonic(), *op)).collect())
+}
+
+fn parse_int_reg(token: &str) -> Result<u8, ParseAsmError> {
+    if let Some(i) = ABI_NAMES.iter().position(|&n| n == token) {
+        return Ok(i as u8);
+    }
+    if let Some(n) = token.strip_prefix('x') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(i);
+            }
+        }
+    }
+    Err(err(format!("unknown integer register `{token}`")))
+}
+
+fn parse_fp_reg(token: &str) -> Result<u8, ParseAsmError> {
+    if let Some(i) = FP_ABI_NAMES.iter().position(|&n| n == token) {
+        return Ok(i as u8);
+    }
+    if let Some(n) = token.strip_prefix('f') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(i);
+            }
+        }
+    }
+    Err(err(format!("unknown floating-point register `{token}`")))
+}
+
+fn parse_reg(token: &str, class: RegClass) -> Result<u8, ParseAsmError> {
+    match class {
+        RegClass::Int => parse_int_reg(token),
+        RegClass::Fp => parse_fp_reg(token),
+    }
+}
+
+fn parse_imm(token: &str) -> Result<i64, ParseAsmError> {
+    let (neg, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(format!("bad immediate `{token}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_csr(token: &str) -> Result<Csr, ParseAsmError> {
+    // Named CSRs first, then hex/decimal addresses.
+    static NAMES: OnceLock<HashMap<String, Csr>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        let mut map = HashMap::new();
+        for addr in 0..0x1000u16 {
+            let csr = Csr::new(addr);
+            if let Some(name) = csr.name() {
+                map.insert(name.to_owned(), csr);
+            }
+        }
+        map
+    });
+    if let Some(&csr) = names.get(token) {
+        return Ok(csr);
+    }
+    let value = parse_imm(token)?;
+    if (0..0x1000).contains(&value) {
+        Ok(Csr::new(value as u16))
+    } else {
+        Err(err(format!("CSR address `{token}` out of range")))
+    }
+}
+
+/// Splits `offset(base)` into its parts.
+fn parse_mem_operand(token: &str) -> Result<(i64, &str), ParseAsmError> {
+    let open = token.find('(').ok_or_else(|| err(format!("expected offset(base), got `{token}`")))?;
+    let close = token.rfind(')').ok_or_else(|| err(format!("unclosed paren in `{token}`")))?;
+    let offset = if open == 0 { 0 } else { parse_imm(&token[..open])? };
+    Ok((offset, &token[open + 1..close]))
+}
+
+/// Parses one instruction in this crate's `Display` syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] for unknown mnemonics, malformed operands or
+/// operand-count mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_riscv::asm::parse_instruction;
+///
+/// let inst = parse_instruction("addi t5, zero, -84")?;
+/// assert_eq!(inst.to_string(), "addi t5, zero, -84");
+/// let lw = parse_instruction("lw a0, 16(sp)")?;
+/// assert_eq!(lw.to_string(), "lw a0, 16(sp)");
+/// # Ok::<(), hfl_riscv::asm::ParseAsmError>(())
+/// ```
+pub fn parse_instruction(text: &str) -> Result<Instruction, ParseAsmError> {
+    let text = text.trim();
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let op = *mnemonic_table()
+        .get(mnemonic)
+        .ok_or_else(|| err(format!("unknown mnemonic `{mnemonic}`")))?;
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), ParseAsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "{mnemonic}: expected {n} operands, got {}",
+                operands.len()
+            )))
+        }
+    };
+    let spec = op.spec();
+    let rd_class = spec.rd.unwrap_or(RegClass::Int);
+    let rs1_class = spec.rs1.unwrap_or(RegClass::Int);
+    let rs2_class = spec.rs2.unwrap_or(RegClass::Int);
+
+    // Pseudo-instructions have bespoke operand layouts (mirroring Display).
+    if op.is_pseudo() {
+        use Opcode::*;
+        return match op {
+            Nop | Ret => {
+                want(0)?;
+                Ok(Instruction::nullary(op))
+            }
+            Li => {
+                want(2)?;
+                Ok(Instruction::new(op, parse_reg(operands[0], rd_class)?, 0, 0, 0, parse_imm(operands[1])?, Csr::FFLAGS))
+            }
+            J => {
+                want(1)?;
+                Ok(Instruction::new(op, 0, 0, 0, 0, parse_imm(operands[0])?, Csr::FFLAGS))
+            }
+            Jr => {
+                want(1)?;
+                Ok(Instruction::new(op, 0, parse_int_reg(operands[0])?, 0, 0, 0, Csr::FFLAGS))
+            }
+            Beqz | Bnez | Blez | Bgez | Bltz | Bgtz => {
+                want(2)?;
+                Ok(Instruction::new(op, 0, parse_int_reg(operands[0])?, 0, 0, parse_imm(operands[1])?, Csr::FFLAGS))
+            }
+            Csrr => {
+                want(2)?;
+                Ok(Instruction::new(op, parse_int_reg(operands[0])?, 0, 0, 0, 0, parse_csr(operands[1])?))
+            }
+            Csrw | Csrs | Csrc => {
+                want(2)?;
+                Ok(Instruction::new(op, 0, parse_int_reg(operands[1])?, 0, 0, 0, parse_csr(operands[0])?))
+            }
+            Rdcycle | Rdinstret => {
+                want(1)?;
+                Ok(Instruction::new(op, parse_int_reg(operands[0])?, 0, 0, 0, 0, Csr::FFLAGS))
+            }
+            _ => {
+                // Two-register pseudo forms (mv, not, fmv.s, …).
+                want(2)?;
+                Ok(Instruction::new(
+                    op,
+                    parse_reg(operands[0], rd_class)?,
+                    parse_reg(operands[1], rs1_class)?,
+                    0,
+                    0,
+                    0,
+                    Csr::FFLAGS,
+                ))
+            }
+        };
+    }
+
+    match op.format() {
+        Format::R | Format::RFrm | Format::Amo if op.format() != Format::Amo => {
+            want(3)?;
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_reg(operands[1], rs1_class)?,
+                parse_reg(operands[2], rs2_class)?,
+                0,
+                0,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::Amo => {
+            // amoadd.w rd, rs2, (rs1)
+            want(3)?;
+            let (_, base) = parse_mem_operand(operands[2])?;
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_int_reg(base)?,
+                parse_reg(operands[1], rs2_class)?,
+                0,
+                0,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::AmoLr => {
+            want(2)?;
+            let (_, base) = parse_mem_operand(operands[1])?;
+            Ok(Instruction::new(op, parse_reg(operands[0], rd_class)?, parse_int_reg(base)?, 0, 0, 0, Csr::FFLAGS))
+        }
+        Format::R2 | Format::R2Frm => {
+            want(2)?;
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_reg(operands[1], rs1_class)?,
+                0,
+                0,
+                0,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::R4 => {
+            want(4)?;
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_reg(operands[1], rs1_class)?,
+                parse_reg(operands[2], rs2_class)?,
+                parse_reg(operands[3], spec.rs3.unwrap_or(RegClass::Fp))?,
+                0,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::I if op.is_memory_access() || op == Opcode::Jalr => {
+            // lw rd, off(rs1)
+            want(2)?;
+            let (offset, base) = parse_mem_operand(operands[1])?;
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_int_reg(base)?,
+                0,
+                0,
+                offset,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::I | Format::IShift64 | Format::IShift32 => {
+            want(3)?;
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_reg(operands[1], rs1_class)?,
+                0,
+                0,
+                parse_imm(operands[2])?,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::S => {
+            // sw rs2, off(rs1)
+            want(2)?;
+            let (offset, base) = parse_mem_operand(operands[1])?;
+            Ok(Instruction::new(
+                op,
+                0,
+                parse_int_reg(base)?,
+                parse_reg(operands[0], rs2_class)?,
+                0,
+                offset,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::B => {
+            want(3)?;
+            Ok(Instruction::new(
+                op,
+                0,
+                parse_int_reg(operands[0])?,
+                parse_int_reg(operands[1])?,
+                0,
+                parse_imm(operands[2])?,
+                Csr::FFLAGS,
+            ))
+        }
+        Format::U | Format::J => {
+            want(2)?;
+            Ok(Instruction::new(op, parse_int_reg(operands[0])?, 0, 0, 0, parse_imm(operands[1])?, Csr::FFLAGS))
+        }
+        Format::Csr => {
+            want(3)?;
+            Ok(Instruction::new(
+                op,
+                parse_int_reg(operands[0])?,
+                parse_int_reg(operands[2])?,
+                0,
+                0,
+                0,
+                parse_csr(operands[1])?,
+            ))
+        }
+        Format::CsrImm => {
+            want(3)?;
+            Ok(Instruction::new(
+                op,
+                parse_int_reg(operands[0])?,
+                0,
+                0,
+                0,
+                parse_imm(operands[2])?,
+                parse_csr(operands[1])?,
+            ))
+        }
+        Format::None | Format::R | Format::RFrm => {
+            want(0)?;
+            Ok(Instruction::nullary(op))
+        }
+    }
+}
+
+/// Parses a whole program: one instruction per line, `#` comments, blank
+/// lines skipped.
+///
+/// # Errors
+///
+/// Returns the first [`ParseAsmError`] with its 1-based line number.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_riscv::asm::parse_program;
+///
+/// let body = parse_program(
+///     "# the paper's Listing 1 core\n\
+///      li t1, 0x13\n\
+///      sw t0, 0x1FF(t1)\n",
+/// )?;
+/// assert_eq!(body.len(), 2);
+/// # Ok::<(), hfl_riscv::asm::ParseAsmError>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Vec<Instruction>, ParseAsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let inst = parse_instruction(line).map_err(|mut e| {
+            e.line = idx + 1;
+            e
+        })?;
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+/// Renders a program as parseable text, one instruction per line.
+#[must_use]
+pub fn format_program(body: &[Instruction]) -> String {
+    let mut out = String::new();
+    for inst in body {
+        out.push_str(&inst.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{AddrKind, ImmKind};
+    use crate::reg::Reg;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_basic_forms() {
+        assert_eq!(
+            parse_instruction("add ra, sp, gp").unwrap(),
+            Instruction::r(Opcode::Add, Reg::X1, Reg::X2, Reg::X3)
+        );
+        assert_eq!(
+            parse_instruction("addi t5, zero, -84").unwrap(),
+            Instruction::i(Opcode::Addi, Reg::X30, Reg::X0, -84)
+        );
+        assert_eq!(
+            parse_instruction("lw a0, 16(sp)").unwrap(),
+            Instruction::i(Opcode::Lw, Reg::X10, Reg::X2, 16)
+        );
+        assert_eq!(
+            parse_instruction("sd a0, -8(sp)").unwrap(),
+            Instruction::s(Opcode::Sd, Reg::X10, -8, Reg::X2)
+        );
+        assert_eq!(
+            parse_instruction("lui a0, 0x12345").unwrap(),
+            Instruction::u(Opcode::Lui, Reg::X10, 0x12345)
+        );
+        assert_eq!(parse_instruction("ecall").unwrap(), Instruction::nullary(Opcode::Ecall));
+    }
+
+    #[test]
+    fn parse_raw_register_names() {
+        assert_eq!(
+            parse_instruction("add x1, x2, x3").unwrap(),
+            Instruction::r(Opcode::Add, Reg::X1, Reg::X2, Reg::X3)
+        );
+        assert_eq!(parse_instruction("fadd.s f0, f1, f2").unwrap().rd, 0);
+    }
+
+    #[test]
+    fn parse_csr_forms() {
+        let i = parse_instruction("csrrw a0, mstatus, a1").unwrap();
+        assert_eq!(i.csr, Csr::MSTATUS);
+        let i = parse_instruction("csrw 0x453, ra").unwrap();
+        assert_eq!(i.csr, Csr::new(0x453));
+        assert_eq!(i.rs1, 1);
+        let i = parse_instruction("csrrwi a0, fcsr, 5").unwrap();
+        assert_eq!(i.imm, 5);
+    }
+
+    #[test]
+    fn parse_amo_forms() {
+        let i = parse_instruction("amoadd.w a0, a2, (a1)").unwrap();
+        assert_eq!((i.rd, i.rs1, i.rs2), (10, 11, 12));
+        let i = parse_instruction("lr.w a0, (a1)").unwrap();
+        assert_eq!((i.rd, i.rs1), (10, 11));
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse_instruction("frobnicate x1").is_err());
+        assert!(parse_instruction("add x1, x2").is_err(), "operand count");
+        assert!(parse_instruction("add x1, x2, x99").is_err(), "bad register");
+        assert!(parse_instruction("lw a0, zz(sp)").is_err(), "bad offset");
+        let e = parse_program("nop\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn program_round_trip_with_comments() {
+        let text = "# prologue\naddi a0, zero, 1\n\n  add a1, a0, a0 # double\n";
+        let body = parse_program(text).unwrap();
+        assert_eq!(body.len(), 2);
+        let rendered = format_program(&body);
+        assert_eq!(parse_program(&rendered).unwrap(), body);
+    }
+
+    fn legal_imm_for(op: Opcode, raw: i64) -> i64 {
+        crate::imm::legalize_kind(op.spec().imm, raw)
+    }
+
+    proptest! {
+        /// Display → parse is the identity for every opcode and operand mix.
+        #[test]
+        fn display_parse_round_trip(
+            op_idx in 0..Opcode::COUNT,
+            rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32, rs3 in 0u8..32,
+            raw_imm in any::<i64>(),
+            csr_pick in 0usize..Csr::GENERATOR_VOCAB.len(),
+            branch_off in -2048i64..2048,
+        ) {
+            let op = Opcode::ALL[op_idx];
+            let spec = op.spec();
+            let imm = match spec.addr {
+                AddrKind::Branch | AddrKind::Jump => branch_off & !1,
+                _ => legal_imm_for(op, raw_imm),
+            };
+            let csr = Csr::GENERATOR_VOCAB[csr_pick];
+            let mut inst = Instruction::new(op, rd, rs1, rs2, rs3, imm, csr);
+            // Zero the slots the opcode does not consume, as Display
+            // cannot represent them.
+            if spec.rd.is_none() { inst.rd = 0; }
+            if spec.rs1.is_none() { inst.rs1 = 0; }
+            if spec.rs2.is_none() { inst.rs2 = 0; }
+            if spec.rs3.is_none() { inst.rs3 = 0; }
+            if spec.imm == ImmKind::None && spec.addr == AddrKind::None { inst.imm = 0; }
+            if spec.addr != AddrKind::Csr { inst.csr = Csr::FFLAGS; }
+            let text = inst.to_string();
+            let parsed = parse_instruction(&text)
+                .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            prop_assert_eq!(parsed, inst, "`{}`", text);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Table-driven decoding of 32-bit instruction words.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::csr::Csr;
+use crate::format::Format;
+use crate::instruction::Instruction;
+use crate::opcode::Opcode;
+
+/// Error returned when a word does not decode to any vocabulary opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word {:#010x} is not a known instruction", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Lookup tables grouped by operand-bit mask: for each distinct mask, a map
+/// from base word to opcode.
+fn tables() -> &'static Vec<(u32, HashMap<u32, Opcode>)> {
+    static TABLES: OnceLock<Vec<(u32, HashMap<u32, Opcode>)>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut groups: HashMap<u32, HashMap<u32, Opcode>> = HashMap::new();
+        for op in Opcode::ALL {
+            if op.is_pseudo() {
+                continue;
+            }
+            let mask = op.format().operand_bits();
+            let prev = groups.entry(mask).or_default().insert(op.base_word(), op);
+            assert!(prev.is_none(), "duplicate base word for {op}");
+        }
+        // Deterministic order: most-restrictive (smallest operand mask)
+        // groups first, so fixed-word instructions win over field matches.
+        let mut out: Vec<_> = groups.into_iter().collect();
+        out.sort_by_key(|(mask, _)| mask.count_ones());
+        out
+    })
+}
+
+fn sign_extend(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((i64::from(value)) << shift) >> shift
+}
+
+/// Decodes a 32-bit word into an [`Instruction`].
+///
+/// Round-trips with [`Instruction::encode`] for every non-pseudo opcode in
+/// the vocabulary. Rounding-mode fields on floating-point instructions are
+/// accepted with any value but re-encode as round-to-nearest-even.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word matches no vocabulary opcode (e.g.
+/// compressed instructions or reserved encodings).
+///
+/// # Examples
+///
+/// ```
+/// let add = hfl_riscv::decode(0x0052_01B3)?;
+/// assert_eq!(add.to_string(), "add gp, tp, t0");
+/// # Ok::<(), hfl_riscv::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    for (mask, map) in tables() {
+        let key = word & !mask;
+        if let Some(&op) = map.get(&key) {
+            return Ok(extract(op, word));
+        }
+    }
+    Err(DecodeError { word })
+}
+
+fn extract(op: Opcode, word: u32) -> Instruction {
+    let rd = ((word >> 7) & 0x1F) as u8;
+    let rs1 = ((word >> 15) & 0x1F) as u8;
+    let rs2 = ((word >> 20) & 0x1F) as u8;
+    let rs3 = ((word >> 27) & 0x1F) as u8;
+    let mut out = Instruction::nullary(op);
+    match op.format() {
+        Format::R | Format::RFrm | Format::Amo => {
+            out.rd = rd;
+            out.rs1 = rs1;
+            out.rs2 = rs2;
+        }
+        Format::R2 | Format::R2Frm | Format::AmoLr => {
+            out.rd = rd;
+            out.rs1 = rs1;
+        }
+        Format::R4 => {
+            out.rd = rd;
+            out.rs1 = rs1;
+            out.rs2 = rs2;
+            out.rs3 = rs3;
+        }
+        Format::I => {
+            out.rd = rd;
+            out.rs1 = rs1;
+            out.imm = sign_extend(word >> 20, 12);
+        }
+        Format::IShift64 => {
+            out.rd = rd;
+            out.rs1 = rs1;
+            out.imm = i64::from((word >> 20) & 0x3F);
+        }
+        Format::IShift32 => {
+            out.rd = rd;
+            out.rs1 = rs1;
+            out.imm = i64::from((word >> 20) & 0x1F);
+        }
+        Format::S => {
+            out.rs1 = rs1;
+            out.rs2 = rs2;
+            let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F);
+            out.imm = sign_extend(imm, 12);
+        }
+        Format::B => {
+            out.rs1 = rs1;
+            out.rs2 = rs2;
+            let imm = (((word >> 31) & 1) << 12)
+                | (((word >> 7) & 1) << 11)
+                | (((word >> 25) & 0x3F) << 5)
+                | (((word >> 8) & 0xF) << 1);
+            out.imm = sign_extend(imm, 13);
+        }
+        Format::U => {
+            out.rd = rd;
+            out.imm = i64::from((word >> 12) & 0xF_FFFF);
+        }
+        Format::J => {
+            out.rd = rd;
+            let imm = (((word >> 31) & 1) << 20)
+                | (((word >> 12) & 0xFF) << 12)
+                | (((word >> 20) & 1) << 11)
+                | (((word >> 21) & 0x3FF) << 1);
+            out.imm = sign_extend(imm, 21);
+        }
+        Format::Csr => {
+            out.rd = rd;
+            out.rs1 = rs1;
+            out.csr = Csr::new((word >> 20) as u16);
+        }
+        Format::CsrImm => {
+            out.rd = rd;
+            out.imm = i64::from(rs1);
+            out.csr = Csr::new((word >> 20) as u16);
+        }
+        Format::None => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ImmKind;
+    use crate::reg::Reg;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(decode(0x73).unwrap().opcode, Opcode::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap().opcode, Opcode::Ebreak);
+        assert_eq!(decode(0x3020_0073).unwrap().opcode, Opcode::Mret);
+        let addi = decode(0x0031_0093).unwrap();
+        assert_eq!(addi.opcode, Opcode::Addi);
+        assert_eq!(addi.rd, 1);
+        assert_eq!(addi.rs1, 2);
+        assert_eq!(addi.imm, 3);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xFFFF_FFFF).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi t5, zero, -84
+        let w = Instruction::i(Opcode::Addi, Reg::X30, Reg::X0, -84).encode();
+        assert_eq!(decode(w).unwrap().imm, -84);
+        // sd with negative offset
+        let w = Instruction::s(Opcode::Sd, Reg::X10, -8, Reg::X2).encode();
+        assert_eq!(decode(w).unwrap().imm, -8);
+        // branch backward
+        let w = Instruction::b(Opcode::Bne, Reg::X1, Reg::X2, -4096).encode();
+        assert_eq!(decode(w).unwrap().imm, -4096);
+    }
+
+    #[test]
+    fn every_real_opcode_round_trips_with_zero_operands() {
+        for op in Opcode::ALL {
+            if op.is_pseudo() {
+                continue;
+            }
+            let inst = Instruction::nullary(op);
+            let back = decode(inst.encode())
+                .unwrap_or_else(|e| panic!("{op}: {e}"));
+            assert_eq!(back.opcode, op, "{op} decoded as {}", back.opcode);
+        }
+    }
+
+    fn legal_imm_for(op: Opcode, raw: i64) -> i64 {
+        let kind = op.spec().imm;
+        let (lo, hi) = kind.range();
+        let span = (hi - lo + 1) as i64;
+        let mut v = lo + (raw.rem_euclid(span));
+        if matches!(kind, ImmKind::B13 | ImmKind::J21) {
+            v &= !1;
+        }
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random_operands(
+            op_idx in 0..Opcode::COUNT,
+            rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32, rs3 in 0u8..32,
+            raw_imm in any::<i64>(),
+            csr in 0u16..0x1000,
+        ) {
+            let op = Opcode::ALL[op_idx];
+            prop_assume!(!op.is_pseudo());
+            let imm = legal_imm_for(op, raw_imm);
+            let inst = Instruction::new(op, rd, rs1, rs2, rs3, imm, Csr::new(csr));
+            // Zero out fields the format does not encode, mirroring what a
+            // decode can possibly recover.
+            let expected = {
+                let spec = op.spec();
+                let mut e = Instruction::nullary(op);
+                if spec.rd.is_some() { e.rd = rd % 32; }
+                if spec.rs1.is_some() { e.rs1 = rs1 % 32; }
+                if spec.rs2.is_some() { e.rs2 = rs2 % 32; }
+                if spec.rs3.is_some() { e.rs3 = rs3 % 32; }
+                if spec.imm != ImmKind::None { e.imm = imm; }
+                if op.format() == Format::Csr || op.format() == Format::CsrImm {
+                    e.csr = Csr::new(csr);
+                }
+                // B/J offsets live in the imm field even though the imm head
+                // is not the source.
+                if matches!(op.format(), Format::B | Format::J) {
+                    e.imm = imm;
+                }
+                e
+            };
+            let got = decode(inst.encode()).unwrap();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decode_then_encode_is_stable(word in any::<u32>()) {
+            if let Ok(inst) = decode(word) {
+                // Re-encoding may canonicalise (e.g. rounding mode), but the
+                // canonical form must decode to itself.
+                let w2 = inst.encode();
+                let inst2 = decode(w2).unwrap();
+                prop_assert_eq!(inst, inst2);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_jump_imm_via_b_j_format() {
+        // B-format offsets flow through `imm` on construct/encode/decode.
+        let b = Instruction::b(Opcode::Blt, Reg::X5, Reg::X6, 128);
+        assert_eq!(decode(b.encode()).unwrap().imm, 128);
+        let j = Instruction::j(Opcode::Jal, Reg::X1, -2048);
+        assert_eq!(decode(j.encode()).unwrap().imm, -2048);
+    }
+}

@@ -1,0 +1,325 @@
+//! Instruction formats, operand specifications and the instruction mask.
+
+use core::fmt;
+
+/// Machine-level encoding format of an instruction.
+///
+/// Each format fixes which bit fields of the 32-bit word carry operands; all
+/// remaining bits belong to the opcode's base word. [`Format::operand_bits`]
+/// returns the operand-field mask, which is what makes table-driven
+/// encode/decode possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Register-register: `rd, rs1, rs2`.
+    R,
+    /// Register-register with a rounding-mode field (FP arithmetic):
+    /// `rd, rs1, rs2` plus `rm` in the funct3 slot.
+    RFrm,
+    /// Two-operand FP/conversion shapes: `rd, rs1` with `rs2` fixed in the
+    /// base word and `rm` in the funct3 slot (e.g. `fsqrt.s`, `fcvt.w.d`).
+    R2Frm,
+    /// Two-operand with fixed funct3 (e.g. `fclass.s`, `fmv.x.d`).
+    R2,
+    /// Fused multiply-add: `rd, rs1, rs2, rs3` plus `rm`.
+    R4,
+    /// Immediate: `rd, rs1, imm[11:0]`.
+    I,
+    /// 64-bit shift-immediate: `rd, rs1, shamt[5:0]`.
+    IShift64,
+    /// 32-bit shift-immediate: `rd, rs1, shamt[4:0]`.
+    IShift32,
+    /// Store: `rs2, imm(rs1)`.
+    S,
+    /// Branch: `rs1, rs2, ±offset`.
+    B,
+    /// Upper immediate: `rd, imm[31:12]`.
+    U,
+    /// Jump: `rd, ±offset[20:1]`.
+    J,
+    /// CSR with register source: `rd, csr, rs1`.
+    Csr,
+    /// CSR with 5-bit immediate source: `rd, csr, zimm`.
+    CsrImm,
+    /// Atomic (AMO/LR/SC): R-shape with acquire/release bits fixed to zero.
+    Amo,
+    /// LR: `rd, (rs1)` with the rs2 field fixed to zero.
+    AmoLr,
+    /// No operand fields (e.g. `ecall`, `mret`, `fence`).
+    None,
+}
+
+impl Format {
+    const RD: u32 = 0x0000_0F80;
+    const RS1: u32 = 0x000F_8000;
+    const RS2: u32 = 0x01F0_0000;
+    const RS3: u32 = 0xF800_0000;
+    const RM: u32 = 0x0000_7000;
+    const IMM_I: u32 = 0xFFF0_0000;
+    const IMM_S: u32 = 0xFE00_0F80;
+    const SHAMT6: u32 = 0x03F0_0000;
+    const SHAMT5: u32 = 0x01F0_0000;
+    const IMM_U: u32 = 0xFFFF_F000;
+
+    /// The bits of the instruction word that carry operands for this format.
+    ///
+    /// Everything *outside* this mask must match the opcode's base word for a
+    /// word to decode as that opcode.
+    #[must_use]
+    pub fn operand_bits(self) -> u32 {
+        match self {
+            Format::R => Self::RD | Self::RS1 | Self::RS2,
+            Format::RFrm => Self::RD | Self::RS1 | Self::RS2 | Self::RM,
+            Format::R2Frm => Self::RD | Self::RS1 | Self::RM,
+            Format::R2 => Self::RD | Self::RS1,
+            Format::R4 => Self::RD | Self::RS1 | Self::RS2 | Self::RS3 | Self::RM,
+            Format::I => Self::RD | Self::RS1 | Self::IMM_I,
+            Format::IShift64 => Self::RD | Self::RS1 | Self::SHAMT6,
+            Format::IShift32 => Self::RD | Self::RS1 | Self::SHAMT5,
+            Format::S | Format::B => Self::RS1 | Self::RS2 | Self::IMM_S,
+            Format::U | Format::J => Self::RD | Self::IMM_U,
+            Format::Csr => Self::RD | Self::RS1 | Self::IMM_I,
+            Format::CsrImm => Self::RD | Self::RS1 | Self::IMM_I,
+            Format::Amo => Self::RD | Self::RS1 | Self::RS2,
+            Format::AmoLr => Self::RD | Self::RS1,
+            Format::None => 0,
+        }
+    }
+}
+
+/// Register-file class of an operand slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Integer register file (`x0`–`x31`).
+    Int,
+    /// Floating-point register file (`f0`–`f31`).
+    Fp,
+}
+
+/// Kind (and legal range) of the immediate an opcode consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmKind {
+    /// No immediate.
+    None,
+    /// 12-bit signed (I-format arithmetic, loads, `jalr`).
+    I12,
+    /// 12-bit signed store offset.
+    S12,
+    /// 13-bit signed branch offset, bit 0 zero.
+    B13,
+    /// 21-bit signed jump offset, bit 0 zero.
+    J21,
+    /// 20-bit upper immediate.
+    U20,
+    /// 6-bit shift amount.
+    Shamt6,
+    /// 5-bit shift amount.
+    Shamt5,
+    /// 5-bit zero-extended CSR immediate.
+    Zimm5,
+}
+
+impl ImmKind {
+    /// Inclusive legal range of the immediate value.
+    #[must_use]
+    pub fn range(self) -> (i64, i64) {
+        match self {
+            ImmKind::None => (0, 0),
+            ImmKind::I12 | ImmKind::S12 => (-2048, 2047),
+            ImmKind::B13 => (-4096, 4094),
+            ImmKind::J21 => (-(1 << 20), (1 << 20) - 2),
+            ImmKind::U20 => (0, (1 << 20) - 1),
+            ImmKind::Shamt6 => (0, 63),
+            ImmKind::Shamt5 => (0, 31),
+            ImmKind::Zimm5 => (0, 31),
+        }
+    }
+
+    /// Whether `value` is a legal immediate of this kind.
+    #[must_use]
+    pub fn accepts(self, value: i64) -> bool {
+        let (lo, hi) = self.range();
+        if value < lo || value > hi {
+            return false;
+        }
+        match self {
+            ImmKind::B13 | ImmKind::J21 => value % 2 == 0,
+            _ => true,
+        }
+    }
+}
+
+/// What the generator's *address head* supplies for an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrKind {
+    /// The address head is unused.
+    None,
+    /// A CSR address (`csrw 0x453, ra`).
+    Csr,
+    /// A branch target (±B-format offset resolved by the test constructor).
+    Branch,
+    /// A jump target (±J-format offset resolved by the test constructor).
+    Jump,
+}
+
+/// Which operands an opcode actually consumes, and from which register file.
+///
+/// This is the ground truth the instruction-correction module uses to build
+/// the *instruction mask* (the paper's §IV-B device for balancing per-head
+/// generator updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandSpec {
+    /// Destination register class, if the opcode writes a register.
+    pub rd: Option<RegClass>,
+    /// First source register class.
+    pub rs1: Option<RegClass>,
+    /// Second source register class.
+    pub rs2: Option<RegClass>,
+    /// Third source register class (fused multiply-add family only).
+    pub rs3: Option<RegClass>,
+    /// What the immediate head supplies (legal range included).
+    pub imm: ImmKind,
+    /// What the address head supplies.
+    pub addr: AddrKind,
+}
+
+impl OperandSpec {
+    /// A spec with no operands at all.
+    pub const NONE: OperandSpec = OperandSpec {
+        rd: None,
+        rs1: None,
+        rs2: None,
+        rs3: None,
+        imm: ImmKind::None,
+        addr: AddrKind::None,
+    };
+
+    /// The instruction mask for this spec: which generator heads are active.
+    #[must_use]
+    pub fn mask(&self) -> OperandMask {
+        OperandMask {
+            opcode: true,
+            rd: self.rd.is_some(),
+            rs1: self.rs1.is_some(),
+            rs2: self.rs2.is_some(),
+            rs3: self.rs3.is_some(),
+            imm: self.imm != ImmKind::None,
+            addr: self.addr != AddrKind::None,
+        }
+    }
+}
+
+/// The paper's *instruction mask*: one flag per generator head, true when the
+/// head's output was used to build the emitted instruction.
+///
+/// Only active heads receive gradient during the PPO update (§IV-B,
+/// "Instruction Mask").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OperandMask {
+    /// Opcode head (always active for an emitted instruction).
+    pub opcode: bool,
+    /// Destination-register head.
+    pub rd: bool,
+    /// First source-register head.
+    pub rs1: bool,
+    /// Second source-register head.
+    pub rs2: bool,
+    /// Third source-register head.
+    pub rs3: bool,
+    /// Immediate head.
+    pub imm: bool,
+    /// Address head.
+    pub addr: bool,
+}
+
+impl OperandMask {
+    /// Number of generator heads.
+    pub const HEADS: usize = 7;
+
+    /// The mask as an array in head order
+    /// `[opcode, rd, rs1, rs2, rs3, imm, addr]`.
+    #[must_use]
+    pub fn as_array(&self) -> [bool; Self::HEADS] {
+        [
+            self.opcode, self.rd, self.rs1, self.rs2, self.rs3, self.imm,
+            self.addr,
+        ]
+    }
+
+    /// Number of active heads.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.as_array().iter().filter(|&&b| b).count()
+    }
+}
+
+impl fmt::Display for OperandMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["op", "rd", "rs1", "rs2", "rs3", "imm", "addr"];
+        let mut first = true;
+        for (name, on) in names.iter().zip(self.as_array()) {
+            if on {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_bits_are_disjoint_from_expected_base_fields() {
+        // The I-format immediate occupies the top 12 bits.
+        assert_eq!(Format::I.operand_bits() & 0x7F, 0, "opcode bits are base");
+        // R-format leaves funct3 and funct7 to the base word.
+        assert_eq!(Format::R.operand_bits() & 0x7000, 0);
+        assert_eq!(Format::R.operand_bits() & 0xFE00_0000, 0);
+        // RFrm consumes the funct3 slot as the rounding mode.
+        assert_eq!(Format::RFrm.operand_bits() & 0x7000, 0x7000);
+    }
+
+    #[test]
+    fn imm_ranges() {
+        assert!(ImmKind::I12.accepts(-2048));
+        assert!(ImmKind::I12.accepts(2047));
+        assert!(!ImmKind::I12.accepts(2048));
+        assert!(ImmKind::B13.accepts(4094));
+        assert!(!ImmKind::B13.accepts(4095), "branch offsets are even");
+        assert!(!ImmKind::B13.accepts(3));
+        assert!(ImmKind::Shamt6.accepts(63));
+        assert!(!ImmKind::Shamt6.accepts(64));
+        assert!(ImmKind::U20.accepts(0xFFFFF));
+        assert!(!ImmKind::U20.accepts(-1));
+    }
+
+    #[test]
+    fn mask_reflects_spec() {
+        let spec = OperandSpec {
+            rd: Some(RegClass::Int),
+            rs1: Some(RegClass::Int),
+            rs2: None,
+            rs3: None,
+            imm: ImmKind::I12,
+            addr: AddrKind::None,
+        };
+        let mask = spec.mask();
+        assert!(mask.opcode && mask.rd && mask.rs1 && mask.imm);
+        assert!(!mask.rs2 && !mask.rs3 && !mask.addr);
+        assert_eq!(mask.active_count(), 4);
+        assert_eq!(mask.to_string(), "op+rd+rs1+imm");
+    }
+
+    #[test]
+    fn empty_mask_displays_none() {
+        assert_eq!(OperandMask::default().to_string(), "(none)");
+    }
+}

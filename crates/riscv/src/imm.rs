@@ -1,0 +1,115 @@
+//! Immediate legalisation: mapping arbitrary values onto the legal range of
+//! an opcode's immediate field.
+
+use crate::format::ImmKind;
+use crate::opcode::Opcode;
+
+/// Legalises `raw` into a valid immediate for `op`.
+///
+/// The instruction-correction module funnels every immediate-head output
+/// through this function so that generated instructions always assemble.
+/// Values already in range are preserved (modulo the evenness requirement of
+/// branch/jump offsets); out-of-range values wrap into range rather than
+/// saturating, so the whole i64 space maps onto legal immediates without
+/// collapsing onto the boundary values.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_riscv::{legalize_imm, Opcode};
+/// assert_eq!(legalize_imm(Opcode::Addi, -84), -84);
+/// assert_eq!(legalize_imm(Opcode::Slli, 64), 0); // wraps into 0..=63
+/// ```
+#[must_use]
+pub fn legalize_imm(op: Opcode, raw: i64) -> i64 {
+    legalize_kind(op.spec().imm, raw)
+}
+
+/// Legalises `raw` for a specific [`ImmKind`] (see [`legalize_imm`]).
+#[must_use]
+pub fn legalize_kind(kind: ImmKind, raw: i64) -> i64 {
+    if kind == ImmKind::None {
+        return 0;
+    }
+    let (lo, hi) = kind.range();
+    let span = hi - lo + 1;
+    let mut v = lo + (raw - lo).rem_euclid(span);
+    if matches!(kind, ImmKind::B13 | ImmKind::J21) {
+        v &= !1;
+    }
+    debug_assert!(kind.accepts(v), "{kind:?} rejected {v}");
+    v
+}
+
+/// Immediate values the generator's immediate head chooses from.
+///
+/// The vocabulary mixes boundary values, small constants, powers of two and
+/// page/cache-line-grained offsets — the values hardware corner cases hinge
+/// on. Head outputs index into this table; [`legalize_imm`] then clamps the
+/// chosen value into the target field.
+pub const IMM_VOCAB: [i64; 64] = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 31, 32, 48, 63,
+    64, 100, 127, 128, 255, 256, 511, 512, 1023, 1024, 2047, -1, -2, -3, -4, -8,
+    -16, -32, -64, -84, -128, -256, -512, -1024, -2048, 10, 20, 40, 80, 160,
+    320, 640, 0x7F, 0xFF, 0x100, 0x1FF, 0x200, 0x3F8, 0x400, 0x7F8,
+    0x7FF, -0x7FF, 0x555, -0x556, 0x333, 0x111, 15, -15,
+];
+
+/// Number of entries in [`IMM_VOCAB`]; the immediate head's output size.
+pub const IMM_VOCAB_LEN: usize = IMM_VOCAB.len();
+
+/// Maps an immediate-head output index to its vocabulary value.
+#[must_use]
+pub fn imm_from_index(index: usize) -> i64 {
+    IMM_VOCAB[index % IMM_VOCAB_LEN]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_range_values_are_preserved() {
+        assert_eq!(legalize_imm(Opcode::Addi, 2047), 2047);
+        assert_eq!(legalize_imm(Opcode::Addi, -2048), -2048);
+        assert_eq!(legalize_imm(Opcode::Lui, 0xFFFFF), 0xFFFFF);
+        assert_eq!(legalize_imm(Opcode::Slli, 63), 63);
+    }
+
+    #[test]
+    fn out_of_range_wraps() {
+        assert_eq!(legalize_imm(Opcode::Addi, 2048), -2048);
+        assert_eq!(legalize_imm(Opcode::Slliw, 32), 0);
+        assert_eq!(legalize_imm(Opcode::Csrrwi, 33), 1);
+    }
+
+    #[test]
+    fn no_imm_kind_yields_zero() {
+        assert_eq!(legalize_imm(Opcode::Add, 12345), 0);
+    }
+
+    #[test]
+    fn vocab_indexing_wraps() {
+        assert_eq!(imm_from_index(0), 0);
+        assert_eq!(imm_from_index(IMM_VOCAB_LEN), 0);
+        assert_eq!(imm_from_index(35), -84, "the paper's `li t5, -84`");
+    }
+
+    proptest! {
+        #[test]
+        fn legalized_value_is_always_accepted(
+            op_idx in 0..Opcode::COUNT,
+            raw in any::<i64>(),
+        ) {
+            let op = Opcode::ALL[op_idx];
+            let kind = op.spec().imm;
+            let v = legalize_imm(op, raw);
+            if kind != ImmKind::None {
+                prop_assert!(kind.accepts(v), "{:?} rejected {}", kind, v);
+            } else {
+                prop_assert_eq!(v, 0);
+            }
+        }
+    }
+}

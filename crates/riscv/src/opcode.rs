@@ -1,0 +1,515 @@
+//! The opcode vocabulary: every mnemonic the generator's opcode head can
+//! emit, with its format, extension, base encoding word and operand spec.
+//!
+//! Real (encodable) opcodes cover RV64IMAFD + Zicsr + privileged; common
+//! pseudo-instructions are also part of the vocabulary (the paper's examples
+//! include `li t5, -84` and `csrw 0x453, ra`) and are expanded to real
+//! instructions by [`crate::instruction::Instruction::expand_pseudo`].
+
+use crate::format::{AddrKind, Format, ImmKind, OperandSpec, RegClass};
+
+/// ISA extension an opcode belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Extension {
+    /// RV64I base integer ISA.
+    Base,
+    /// M: integer multiply/divide.
+    M,
+    /// A: atomics.
+    A,
+    /// F: single-precision floating point.
+    F,
+    /// D: double-precision floating point.
+    D,
+    /// Zba: address-generation bit manipulation.
+    Zba,
+    /// Zbb: basic bit manipulation.
+    Zbb,
+    /// Zicsr: CSR access.
+    Zicsr,
+    /// Privileged-architecture instructions.
+    Priv,
+    /// Assembler pseudo-instruction (expanded before execution).
+    Pseudo,
+}
+
+macro_rules! regclass {
+    (N) => { None };
+    (I) => { Some(RegClass::Int) };
+    (F) => { Some(RegClass::Fp) };
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident $mnem:literal $fmt:ident $ext:ident $base:literal
+        $rd:ident $rs1:ident $rs2:ident $rs3:ident $imm:ident $addr:ident ; )*) => {
+        /// An opcode mnemonic in the generator's vocabulary.
+        ///
+        /// `Opcode::COUNT` is the opcode-head output size. Use
+        /// [`Opcode::from_index`] to map a head output onto an opcode.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u16)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $($variant,)*
+        }
+
+        impl Opcode {
+            /// Number of opcodes in the vocabulary (opcode-head output size).
+            pub const COUNT: usize = [$(Opcode::$variant),*].len();
+
+            /// Every opcode, in vocabulary order.
+            pub const ALL: [Opcode; Opcode::COUNT] = [$(Opcode::$variant),*];
+
+            /// The assembly mnemonic.
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Opcode::$variant => $mnem,)* }
+            }
+
+            /// The machine encoding format ([`Format::None`] for pseudos).
+            #[must_use]
+            pub fn format(self) -> Format {
+                match self { $(Opcode::$variant => Format::$fmt,)* }
+            }
+
+            /// The ISA extension this opcode belongs to.
+            #[must_use]
+            pub fn extension(self) -> Extension {
+                match self { $(Opcode::$variant => Extension::$ext,)* }
+            }
+
+            /// The 32-bit base word: the instruction encoding with every
+            /// operand field zeroed. Zero for pseudo-instructions.
+            #[must_use]
+            pub fn base_word(self) -> u32 {
+                match self { $(Opcode::$variant => $base,)* }
+            }
+
+            /// Which operands the opcode consumes (drives the instruction
+            /// mask and the correction module).
+            #[must_use]
+            pub fn spec(self) -> OperandSpec {
+                match self {
+                    $(Opcode::$variant => OperandSpec {
+                        rd: regclass!($rd),
+                        rs1: regclass!($rs1),
+                        rs2: regclass!($rs2),
+                        rs3: regclass!($rs3),
+                        imm: ImmKind::$imm,
+                        addr: AddrKind::$addr,
+                    },)*
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // ---- RV64I base: upper immediates and control flow ----
+    Lui    "lui"    U Base 0x0000_0037 I N N N U20 None;
+    Auipc  "auipc"  U Base 0x0000_0017 I N N N U20 None;
+    Jal    "jal"    J Base 0x0000_006F I N N N None Jump;
+    Jalr   "jalr"   I Base 0x0000_0067 I I N N I12 None;
+    Beq    "beq"    B Base 0x0000_0063 N I I N None Branch;
+    Bne    "bne"    B Base 0x0000_1063 N I I N None Branch;
+    Blt    "blt"    B Base 0x0000_4063 N I I N None Branch;
+    Bge    "bge"    B Base 0x0000_5063 N I I N None Branch;
+    Bltu   "bltu"   B Base 0x0000_6063 N I I N None Branch;
+    Bgeu   "bgeu"   B Base 0x0000_7063 N I I N None Branch;
+    // ---- Loads and stores ----
+    Lb     "lb"     I Base 0x0000_0003 I I N N I12 None;
+    Lh     "lh"     I Base 0x0000_1003 I I N N I12 None;
+    Lw     "lw"     I Base 0x0000_2003 I I N N I12 None;
+    Ld     "ld"     I Base 0x0000_3003 I I N N I12 None;
+    Lbu    "lbu"    I Base 0x0000_4003 I I N N I12 None;
+    Lhu    "lhu"    I Base 0x0000_5003 I I N N I12 None;
+    Lwu    "lwu"    I Base 0x0000_6003 I I N N I12 None;
+    Sb     "sb"     S Base 0x0000_0023 N I I N S12 None;
+    Sh     "sh"     S Base 0x0000_1023 N I I N S12 None;
+    Sw     "sw"     S Base 0x0000_2023 N I I N S12 None;
+    Sd     "sd"     S Base 0x0000_3023 N I I N S12 None;
+    // ---- Integer register-immediate ----
+    Addi   "addi"   I Base 0x0000_0013 I I N N I12 None;
+    Slti   "slti"   I Base 0x0000_2013 I I N N I12 None;
+    Sltiu  "sltiu"  I Base 0x0000_3013 I I N N I12 None;
+    Xori   "xori"   I Base 0x0000_4013 I I N N I12 None;
+    Ori    "ori"    I Base 0x0000_6013 I I N N I12 None;
+    Andi   "andi"   I Base 0x0000_7013 I I N N I12 None;
+    Slli   "slli"   IShift64 Base 0x0000_1013 I I N N Shamt6 None;
+    Srli   "srli"   IShift64 Base 0x0000_5013 I I N N Shamt6 None;
+    Srai   "srai"   IShift64 Base 0x4000_5013 I I N N Shamt6 None;
+    Addiw  "addiw"  I Base 0x0000_001B I I N N I12 None;
+    Slliw  "slliw"  IShift32 Base 0x0000_101B I I N N Shamt5 None;
+    Srliw  "srliw"  IShift32 Base 0x0000_501B I I N N Shamt5 None;
+    Sraiw  "sraiw"  IShift32 Base 0x4000_501B I I N N Shamt5 None;
+    // ---- Integer register-register ----
+    Add    "add"    R Base 0x0000_0033 I I I N None None;
+    Sub    "sub"    R Base 0x4000_0033 I I I N None None;
+    Sll    "sll"    R Base 0x0000_1033 I I I N None None;
+    Slt    "slt"    R Base 0x0000_2033 I I I N None None;
+    Sltu   "sltu"   R Base 0x0000_3033 I I I N None None;
+    Xor    "xor"    R Base 0x0000_4033 I I I N None None;
+    Srl    "srl"    R Base 0x0000_5033 I I I N None None;
+    Sra    "sra"    R Base 0x4000_5033 I I I N None None;
+    Or     "or"     R Base 0x0000_6033 I I I N None None;
+    And    "and"    R Base 0x0000_7033 I I I N None None;
+    Addw   "addw"   R Base 0x0000_003B I I I N None None;
+    Subw   "subw"   R Base 0x4000_003B I I I N None None;
+    Sllw   "sllw"   R Base 0x0000_103B I I I N None None;
+    Srlw   "srlw"   R Base 0x0000_503B I I I N None None;
+    Sraw   "sraw"   R Base 0x4000_503B I I I N None None;
+    // ---- Fences and environment ----
+    Fence  "fence"  None Base 0x0FF0_000F N N N N None None;
+    FenceI "fence.i" None Base 0x0000_100F N N N N None None;
+    Ecall  "ecall"  None Base 0x0000_0073 N N N N None None;
+    Ebreak "ebreak" None Base 0x0010_0073 N N N N None None;
+    // ---- Privileged ----
+    Mret   "mret"   None Priv 0x3020_0073 N N N N None None;
+    Sret   "sret"   None Priv 0x1020_0073 N N N N None None;
+    Wfi    "wfi"    None Priv 0x1050_0073 N N N N None None;
+    // ---- Zicsr ----
+    Csrrw  "csrrw"  Csr Zicsr 0x0000_1073 I I N N None Csr;
+    Csrrs  "csrrs"  Csr Zicsr 0x0000_2073 I I N N None Csr;
+    Csrrc  "csrrc"  Csr Zicsr 0x0000_3073 I I N N None Csr;
+    Csrrwi "csrrwi" CsrImm Zicsr 0x0000_5073 I N N N Zimm5 Csr;
+    Csrrsi "csrrsi" CsrImm Zicsr 0x0000_6073 I N N N Zimm5 Csr;
+    Csrrci "csrrci" CsrImm Zicsr 0x0000_7073 I N N N Zimm5 Csr;
+    // ---- M extension ----
+    Mul    "mul"    R M 0x0200_0033 I I I N None None;
+    Mulh   "mulh"   R M 0x0200_1033 I I I N None None;
+    Mulhsu "mulhsu" R M 0x0200_2033 I I I N None None;
+    Mulhu  "mulhu"  R M 0x0200_3033 I I I N None None;
+    Div    "div"    R M 0x0200_4033 I I I N None None;
+    Divu   "divu"   R M 0x0200_5033 I I I N None None;
+    Rem    "rem"    R M 0x0200_6033 I I I N None None;
+    Remu   "remu"   R M 0x0200_7033 I I I N None None;
+    Mulw   "mulw"   R M 0x0200_003B I I I N None None;
+    Divw   "divw"   R M 0x0200_403B I I I N None None;
+    Divuw  "divuw"  R M 0x0200_503B I I I N None None;
+    Remw   "remw"   R M 0x0200_603B I I I N None None;
+    Remuw  "remuw"  R M 0x0200_703B I I I N None None;
+    // ---- A extension (aq/rl fixed to zero) ----
+    LrW      "lr.w"      AmoLr A 0x1000_202F I I N N None None;
+    ScW      "sc.w"      Amo A 0x1800_202F I I I N None None;
+    AmoswapW "amoswap.w" Amo A 0x0800_202F I I I N None None;
+    AmoaddW  "amoadd.w"  Amo A 0x0000_202F I I I N None None;
+    AmoxorW  "amoxor.w"  Amo A 0x2000_202F I I I N None None;
+    AmoandW  "amoand.w"  Amo A 0x6000_202F I I I N None None;
+    AmoorW   "amoor.w"   Amo A 0x4000_202F I I I N None None;
+    AmominW  "amomin.w"  Amo A 0x8000_202F I I I N None None;
+    AmomaxW  "amomax.w"  Amo A 0xA000_202F I I I N None None;
+    AmominuW "amominu.w" Amo A 0xC000_202F I I I N None None;
+    AmomaxuW "amomaxu.w" Amo A 0xE000_202F I I I N None None;
+    LrD      "lr.d"      AmoLr A 0x1000_302F I I N N None None;
+    ScD      "sc.d"      Amo A 0x1800_302F I I I N None None;
+    AmoswapD "amoswap.d" Amo A 0x0800_302F I I I N None None;
+    AmoaddD  "amoadd.d"  Amo A 0x0000_302F I I I N None None;
+    AmoxorD  "amoxor.d"  Amo A 0x2000_302F I I I N None None;
+    AmoandD  "amoand.d"  Amo A 0x6000_302F I I I N None None;
+    AmoorD   "amoor.d"   Amo A 0x4000_302F I I I N None None;
+    AmominD  "amomin.d"  Amo A 0x8000_302F I I I N None None;
+    AmomaxD  "amomax.d"  Amo A 0xA000_302F I I I N None None;
+    AmominuD "amominu.d" Amo A 0xC000_302F I I I N None None;
+    AmomaxuD "amomaxu.d" Amo A 0xE000_302F I I I N None None;
+    // ---- F extension ----
+    Flw     "flw"      I F 0x0000_2007 F I N N I12 None;
+    Fsw     "fsw"      S F 0x0000_2027 N I F N S12 None;
+    FaddS   "fadd.s"   RFrm F 0x0000_0053 F F F N None None;
+    FsubS   "fsub.s"   RFrm F 0x0800_0053 F F F N None None;
+    FmulS   "fmul.s"   RFrm F 0x1000_0053 F F F N None None;
+    FdivS   "fdiv.s"   RFrm F 0x1800_0053 F F F N None None;
+    FsqrtS  "fsqrt.s"  R2Frm F 0x5800_0053 F F N N None None;
+    FsgnjS  "fsgnj.s"  R F 0x2000_0053 F F F N None None;
+    FsgnjnS "fsgnjn.s" R F 0x2000_1053 F F F N None None;
+    FsgnjxS "fsgnjx.s" R F 0x2000_2053 F F F N None None;
+    FminS   "fmin.s"   R F 0x2800_0053 F F F N None None;
+    FmaxS   "fmax.s"   R F 0x2800_1053 F F F N None None;
+    FcvtWS  "fcvt.w.s" R2Frm F 0xC000_0053 I F N N None None;
+    FcvtWuS "fcvt.wu.s" R2Frm F 0xC010_0053 I F N N None None;
+    FcvtLS  "fcvt.l.s" R2Frm F 0xC020_0053 I F N N None None;
+    FcvtLuS "fcvt.lu.s" R2Frm F 0xC030_0053 I F N N None None;
+    FmvXW   "fmv.x.w"  R2 F 0xE000_0053 I F N N None None;
+    FeqS    "feq.s"    R F 0xA000_2053 I F F N None None;
+    FltS    "flt.s"    R F 0xA000_1053 I F F N None None;
+    FleS    "fle.s"    R F 0xA000_0053 I F F N None None;
+    FclassS "fclass.s" R2 F 0xE000_1053 I F N N None None;
+    FcvtSW  "fcvt.s.w" R2Frm F 0xD000_0053 F I N N None None;
+    FcvtSWu "fcvt.s.wu" R2Frm F 0xD010_0053 F I N N None None;
+    FcvtSL  "fcvt.s.l" R2Frm F 0xD020_0053 F I N N None None;
+    FcvtSLu "fcvt.s.lu" R2Frm F 0xD030_0053 F I N N None None;
+    FmvWX   "fmv.w.x"  R2 F 0xF000_0053 F I N N None None;
+    FmaddS  "fmadd.s"  R4 F 0x0000_0043 F F F F None None;
+    FmsubS  "fmsub.s"  R4 F 0x0000_0047 F F F F None None;
+    FnmsubS "fnmsub.s" R4 F 0x0000_004B F F F F None None;
+    FnmaddS "fnmadd.s" R4 F 0x0000_004F F F F F None None;
+    // ---- D extension ----
+    Fld     "fld"      I D 0x0000_3007 F I N N I12 None;
+    Fsd     "fsd"      S D 0x0000_3027 N I F N S12 None;
+    FaddD   "fadd.d"   RFrm D 0x0200_0053 F F F N None None;
+    FsubD   "fsub.d"   RFrm D 0x0A00_0053 F F F N None None;
+    FmulD   "fmul.d"   RFrm D 0x1200_0053 F F F N None None;
+    FdivD   "fdiv.d"   RFrm D 0x1A00_0053 F F F N None None;
+    FsqrtD  "fsqrt.d"  R2Frm D 0x5A00_0053 F F N N None None;
+    FsgnjD  "fsgnj.d"  R D 0x2200_0053 F F F N None None;
+    FsgnjnD "fsgnjn.d" R D 0x2200_1053 F F F N None None;
+    FsgnjxD "fsgnjx.d" R D 0x2200_2053 F F F N None None;
+    FminD   "fmin.d"   R D 0x2A00_0053 F F F N None None;
+    FmaxD   "fmax.d"   R D 0x2A00_1053 F F F N None None;
+    FcvtSD  "fcvt.s.d" R2Frm D 0x4010_0053 F F N N None None;
+    FcvtDS  "fcvt.d.s" R2Frm D 0x4200_0053 F F N N None None;
+    FeqD    "feq.d"    R D 0xA200_2053 I F F N None None;
+    FltD    "flt.d"    R D 0xA200_1053 I F F N None None;
+    FleD    "fle.d"    R D 0xA200_0053 I F F N None None;
+    FclassD "fclass.d" R2 D 0xE200_1053 I F N N None None;
+    FcvtWD  "fcvt.w.d" R2Frm D 0xC200_0053 I F N N None None;
+    FcvtWuD "fcvt.wu.d" R2Frm D 0xC210_0053 I F N N None None;
+    FcvtLD  "fcvt.l.d" R2Frm D 0xC220_0053 I F N N None None;
+    FcvtLuD "fcvt.lu.d" R2Frm D 0xC230_0053 I F N N None None;
+    FcvtDW  "fcvt.d.w" R2Frm D 0xD200_0053 F I N N None None;
+    FcvtDWu "fcvt.d.wu" R2Frm D 0xD210_0053 F I N N None None;
+    FcvtDL  "fcvt.d.l" R2Frm D 0xD220_0053 F I N N None None;
+    FcvtDLu "fcvt.d.lu" R2Frm D 0xD230_0053 F I N N None None;
+    FmvXD   "fmv.x.d"  R2 D 0xE200_0053 I F N N None None;
+    FmvDX   "fmv.d.x"  R2 D 0xF200_0053 F I N N None None;
+    FmaddD  "fmadd.d"  R4 D 0x0200_0043 F F F F None None;
+    FmsubD  "fmsub.d"  R4 D 0x0200_0047 F F F F None None;
+    FnmsubD "fnmsub.d" R4 D 0x0200_004B F F F F None None;
+    FnmaddD "fnmadd.d" R4 D 0x0200_004F F F F F None None;
+    // ---- Zba: address generation ----
+    Sh1add   "sh1add"    R Zba 0x2000_2033 I I I N None None;
+    Sh2add   "sh2add"    R Zba 0x2000_4033 I I I N None None;
+    Sh3add   "sh3add"    R Zba 0x2000_6033 I I I N None None;
+    AddUw    "add.uw"    R Zba 0x0800_003B I I I N None None;
+    Sh1addUw "sh1add.uw" R Zba 0x2000_203B I I I N None None;
+    Sh2addUw "sh2add.uw" R Zba 0x2000_403B I I I N None None;
+    Sh3addUw "sh3add.uw" R Zba 0x2000_603B I I I N None None;
+    SlliUw   "slli.uw"   IShift64 Zba 0x0800_101B I I N N Shamt6 None;
+    // ---- Zbb: basic bit manipulation ----
+    Andn  "andn"   R Zbb 0x4000_7033 I I I N None None;
+    Orn   "orn"    R Zbb 0x4000_6033 I I I N None None;
+    Xnor  "xnor"   R Zbb 0x4000_4033 I I I N None None;
+    Clz   "clz"    R2 Zbb 0x6000_1013 I I N N None None;
+    Ctz   "ctz"    R2 Zbb 0x6010_1013 I I N N None None;
+    Cpop  "cpop"   R2 Zbb 0x6020_1013 I I N N None None;
+    Clzw  "clzw"   R2 Zbb 0x6000_101B I I N N None None;
+    Ctzw  "ctzw"   R2 Zbb 0x6010_101B I I N N None None;
+    Cpopw "cpopw"  R2 Zbb 0x6020_101B I I N N None None;
+    Max   "max"    R Zbb 0x0A00_6033 I I I N None None;
+    Maxu  "maxu"   R Zbb 0x0A00_7033 I I I N None None;
+    Min   "min"    R Zbb 0x0A00_4033 I I I N None None;
+    Minu  "minu"   R Zbb 0x0A00_5033 I I I N None None;
+    SextB "sext.b" R2 Zbb 0x6040_1013 I I N N None None;
+    SextH "sext.h" R2 Zbb 0x6050_1013 I I N N None None;
+    ZextH "zext.h" R2 Zbb 0x0800_403B I I N N None None;
+    Rol   "rol"    R Zbb 0x6000_1033 I I I N None None;
+    Ror   "ror"    R Zbb 0x6000_5033 I I I N None None;
+    Rori  "rori"   IShift64 Zbb 0x6000_5013 I I N N Shamt6 None;
+    Rolw  "rolw"   R Zbb 0x6000_103B I I I N None None;
+    Rorw  "rorw"   R Zbb 0x6000_503B I I I N None None;
+    Roriw "roriw"  IShift32 Zbb 0x6000_501B I I N N Shamt5 None;
+    OrcB  "orc.b"  R2 Zbb 0x2870_5013 I I N N None None;
+    Rev8  "rev8"   R2 Zbb 0x6B80_5013 I I N N None None;
+    // ---- Pseudo-instructions (expanded before execution) ----
+    Nop    "nop"    None Pseudo 0 N N N N None None;
+    Li     "li"     None Pseudo 0 I N N N I12 None;
+    Mv     "mv"     None Pseudo 0 I I N N None None;
+    Not    "not"    None Pseudo 0 I I N N None None;
+    Neg    "neg"    None Pseudo 0 I I N N None None;
+    Negw   "negw"   None Pseudo 0 I I N N None None;
+    SextW  "sext.w" None Pseudo 0 I I N N None None;
+    Seqz   "seqz"   None Pseudo 0 I I N N None None;
+    Snez   "snez"   None Pseudo 0 I I N N None None;
+    Sltz   "sltz"   None Pseudo 0 I I N N None None;
+    Sgtz   "sgtz"   None Pseudo 0 I I N N None None;
+    Beqz   "beqz"   None Pseudo 0 N I N N None Branch;
+    Bnez   "bnez"   None Pseudo 0 N I N N None Branch;
+    Blez   "blez"   None Pseudo 0 N I N N None Branch;
+    Bgez   "bgez"   None Pseudo 0 N I N N None Branch;
+    Bltz   "bltz"   None Pseudo 0 N I N N None Branch;
+    Bgtz   "bgtz"   None Pseudo 0 N I N N None Branch;
+    J      "j"      None Pseudo 0 N N N N None Jump;
+    Jr     "jr"     None Pseudo 0 N I N N None None;
+    Ret    "ret"    None Pseudo 0 N N N N None None;
+    Csrr   "csrr"   None Pseudo 0 I N N N None Csr;
+    Csrw   "csrw"   None Pseudo 0 N I N N None Csr;
+    Csrs   "csrs"   None Pseudo 0 N I N N None Csr;
+    Csrc   "csrc"   None Pseudo 0 N I N N None Csr;
+    Rdcycle "rdcycle" None Pseudo 0 I N N N None None;
+    Rdinstret "rdinstret" None Pseudo 0 I N N N None None;
+    FmvS   "fmv.s"  None Pseudo 0 F F N N None None;
+    FabsS  "fabs.s" None Pseudo 0 F F N N None None;
+    FnegS  "fneg.s" None Pseudo 0 F F N N None None;
+    FmvD   "fmv.d"  None Pseudo 0 F F N N None None;
+    FabsD  "fabs.d" None Pseudo 0 F F N N None None;
+    FnegD  "fneg.d" None Pseudo 0 F F N N None None;
+}
+
+impl Opcode {
+    /// Maps an opcode-head output index onto an opcode (modulo the
+    /// vocabulary size, so any head output is valid).
+    #[must_use]
+    pub fn from_index(index: usize) -> Opcode {
+        Opcode::ALL[index % Opcode::COUNT]
+    }
+
+    /// The vocabulary index of this opcode.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this is an assembler pseudo-instruction.
+    #[must_use]
+    pub fn is_pseudo(self) -> bool {
+        self.extension() == Extension::Pseudo
+    }
+
+    /// Whether this opcode performs a data-memory access.
+    #[must_use]
+    pub fn is_memory_access(self) -> bool {
+        matches!(
+            self.format(),
+            Format::S | Format::Amo | Format::AmoLr
+        ) || matches!(
+            self,
+            Opcode::Lb | Opcode::Lh | Opcode::Lw | Opcode::Ld | Opcode::Lbu
+                | Opcode::Lhu | Opcode::Lwu | Opcode::Flw | Opcode::Fld
+        )
+    }
+
+    /// Whether this opcode is a control-flow transfer.
+    #[must_use]
+    pub fn is_control_flow(self) -> bool {
+        matches!(self.format(), Format::B | Format::J)
+            || matches!(
+                self,
+                Opcode::Jalr
+                    | Opcode::Mret
+                    | Opcode::Sret
+                    | Opcode::Beqz
+                    | Opcode::Bnez
+                    | Opcode::Blez
+                    | Opcode::Bgez
+                    | Opcode::Bltz
+                    | Opcode::Bgtz
+                    | Opcode::J
+                    | Opcode::Jr
+                    | Opcode::Ret
+                    | Opcode::Ecall
+                    | Opcode::Ebreak
+            )
+    }
+
+    /// Whether this opcode touches the floating-point unit.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        let spec = self.spec();
+        [spec.rd, spec.rs1, spec.rs2, spec.rs3]
+            .iter()
+            .any(|slot| *slot == Some(RegClass::Fp))
+    }
+}
+
+impl core::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vocabulary_is_large_enough_for_the_paper() {
+        // The paper quotes 241 opcodes including extensions and pseudos; our
+        // vocabulary covers RV64IMAFD+Zicsr+privileged+pseudos and must stay
+        // in the same order of magnitude.
+        assert!(Opcode::COUNT >= 170, "vocab too small: {}", Opcode::COUNT);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: HashSet<&str> = Opcode::ALL.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), Opcode::COUNT);
+    }
+
+    #[test]
+    fn base_words_have_no_operand_bits_set() {
+        for op in Opcode::ALL {
+            if op.is_pseudo() {
+                continue;
+            }
+            let stray = op.base_word() & op.format().operand_bits();
+            assert_eq!(stray, 0, "{}: base word leaks into operand fields", op);
+        }
+    }
+
+    #[test]
+    fn real_opcodes_have_distinct_base_words_within_format() {
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for op in Opcode::ALL {
+            if op.is_pseudo() {
+                continue;
+            }
+            let key = (op.format().operand_bits(), op.base_word());
+            assert!(seen.insert(key), "{}: duplicate base word", op);
+        }
+    }
+
+    #[test]
+    fn from_index_wraps_modulo_count() {
+        assert_eq!(Opcode::from_index(0), Opcode::Lui);
+        assert_eq!(Opcode::from_index(Opcode::COUNT), Opcode::Lui);
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Opcode::from_index(i), *op);
+        }
+    }
+
+    #[test]
+    fn known_base_words_match_the_spec() {
+        assert_eq!(Opcode::Addi.base_word(), 0x13);
+        assert_eq!(Opcode::Add.base_word(), 0x33);
+        assert_eq!(Opcode::Sub.base_word(), 0x4000_0033);
+        assert_eq!(Opcode::Ecall.base_word(), 0x73);
+        assert_eq!(Opcode::Mret.base_word(), 0x3020_0073);
+        assert_eq!(Opcode::FeqS.base_word(), 0xA000_2053);
+        assert_eq!(Opcode::FnmsubD.base_word(), 0x0200_004B);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Opcode::Ld.is_memory_access());
+        assert!(Opcode::Sd.is_memory_access());
+        assert!(Opcode::AmoaddW.is_memory_access());
+        assert!(!Opcode::Add.is_memory_access());
+        assert!(Opcode::Beq.is_control_flow());
+        assert!(Opcode::Jal.is_control_flow());
+        assert!(Opcode::Jalr.is_control_flow());
+        assert!(!Opcode::Lw.is_control_flow());
+        assert!(Opcode::FaddD.is_fp());
+        assert!(Opcode::FcvtWS.is_fp());
+        assert!(!Opcode::Mul.is_fp());
+        assert!(Opcode::Li.is_pseudo());
+        assert!(!Opcode::Addi.is_pseudo());
+    }
+
+    #[test]
+    fn fp_compare_writes_integer_register() {
+        let spec = Opcode::FeqS.spec();
+        assert_eq!(spec.rd, Some(RegClass::Int));
+        assert_eq!(spec.rs1, Some(RegClass::Fp));
+        assert_eq!(spec.rs2, Some(RegClass::Fp));
+    }
+
+    #[test]
+    fn fnmsub_uses_four_registers() {
+        // The paper's example: fnmsub.d fs4, fs9, ft5, fs9.
+        let spec = Opcode::FnmsubD.spec();
+        assert!(spec.rd.is_some() && spec.rs1.is_some());
+        assert!(spec.rs2.is_some() && spec.rs3.is_some());
+        assert_eq!(spec.mask().active_count(), 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! Integer and floating-point architectural registers.
+
+use core::fmt;
+
+/// An integer (x) register, `x0`–`x31`.
+///
+/// Displays using the standard ABI mnemonics (`zero`, `ra`, `sp`, …).
+///
+/// # Examples
+///
+/// ```
+/// use hfl_riscv::Reg;
+/// assert_eq!(Reg::X2.to_string(), "sp");
+/// assert_eq!(Reg::from_index(10), Reg::X10);
+/// assert_eq!(Reg::X10.index(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+    X16, X17, X18, X19, X20, X21, X22, X23,
+    X24, X25, X26, X27, X28, X29, X30, X31,
+}
+
+/// ABI names for the integer registers, indexed by register number.
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1",
+    "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+];
+
+impl Reg {
+    /// All 32 integer registers in index order.
+    pub const ALL: [Reg; 32] = {
+        let mut out = [Reg::X0; 32];
+        let mut i = 0u8;
+        while i < 32 {
+            out[i as usize] = Reg::from_index_const(i);
+            i += 1;
+        }
+        out
+    };
+
+    const fn from_index_const(i: u8) -> Reg {
+        // SAFETY-free table: exhaustive match keeps this const-evaluable.
+        match i {
+            0 => Reg::X0, 1 => Reg::X1, 2 => Reg::X2, 3 => Reg::X3,
+            4 => Reg::X4, 5 => Reg::X5, 6 => Reg::X6, 7 => Reg::X7,
+            8 => Reg::X8, 9 => Reg::X9, 10 => Reg::X10, 11 => Reg::X11,
+            12 => Reg::X12, 13 => Reg::X13, 14 => Reg::X14, 15 => Reg::X15,
+            16 => Reg::X16, 17 => Reg::X17, 18 => Reg::X18, 19 => Reg::X19,
+            20 => Reg::X20, 21 => Reg::X21, 22 => Reg::X22, 23 => Reg::X23,
+            24 => Reg::X24, 25 => Reg::X25, 26 => Reg::X26, 27 => Reg::X27,
+            28 => Reg::X28, 29 => Reg::X29, 30 => Reg::X30, _ => Reg::X31,
+        }
+    }
+
+    /// Builds a register from its index.
+    ///
+    /// The index is taken modulo 32, so any head output maps to a valid
+    /// register (this is what the instruction-correction module relies on).
+    #[must_use]
+    pub fn from_index(i: u8) -> Reg {
+        Reg::from_index_const(i % 32)
+    }
+
+    /// The register number, 0–31.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// The ABI mnemonic, e.g. `"sp"` for [`Reg::X2`].
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index() as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::X0
+    }
+}
+
+/// A floating-point (f) register, `f0`–`f31`.
+///
+/// Displays using the standard ABI mnemonics (`ft0`, `fa0`, `fs0`, …).
+///
+/// # Examples
+///
+/// ```
+/// use hfl_riscv::FReg;
+/// assert_eq!(FReg::F10.to_string(), "fa0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+/// ABI names for the floating-point registers, indexed by register number.
+pub const FP_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1",
+    "fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3",
+    "fs4", "fs5", "fs6", "fs7", "fs8", "fs9", "fs10", "fs11", "ft8", "ft9",
+    "ft10", "ft11",
+];
+
+#[allow(missing_docs)]
+impl FReg {
+    pub const F0: FReg = FReg(0);
+    pub const F1: FReg = FReg(1);
+    pub const F2: FReg = FReg(2);
+    pub const F3: FReg = FReg(3);
+    pub const F4: FReg = FReg(4);
+    pub const F5: FReg = FReg(5);
+    pub const F10: FReg = FReg(10);
+    pub const F11: FReg = FReg(11);
+
+    /// Builds a floating-point register from its index (taken modulo 32).
+    #[must_use]
+    pub fn from_index(i: u8) -> FReg {
+        FReg(i % 32)
+    }
+
+    /// The register number, 0–31.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The ABI mnemonic, e.g. `"fa0"`.
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        FP_ABI_NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl Default for FReg {
+    fn default() -> Self {
+        FReg(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_round_trip() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn reg_from_index_wraps() {
+        assert_eq!(Reg::from_index(33), Reg::X1);
+        assert_eq!(Reg::from_index(255), Reg::X31);
+    }
+
+    #[test]
+    fn abi_names_are_standard() {
+        assert_eq!(Reg::X0.abi_name(), "zero");
+        assert_eq!(Reg::X1.abi_name(), "ra");
+        assert_eq!(Reg::X8.abi_name(), "s0");
+        assert_eq!(Reg::X31.abi_name(), "t6");
+    }
+
+    #[test]
+    fn freg_round_trip_and_names() {
+        for i in 0..32u8 {
+            assert_eq!(FReg::from_index(i).index(), i);
+        }
+        assert_eq!(FReg::from_index(9).abi_name(), "fs1");
+        assert_eq!(FReg::from_index(31).abi_name(), "ft11");
+    }
+
+    #[test]
+    fn all_lists_every_register_once() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Reinforcement-learning substrate: the PPO machinery of the hardware
+//! fuzzing loop.
+//!
+//! Implements the paper's equations directly:
+//!
+//! - Eq. (1): reward `R = α · hardware_coverage + r_bonus`
+//!   ([`RewardConfig`]),
+//! - Eq. (2): advantage `Â_t = R_t + γ·V(S_{t+1}) − V(S_t)`
+//!   ([`advantage`]),
+//! - Eq. (3): predictor value loss (mean squared TD error,
+//!   [`value_loss`]),
+//! - Eq. (4): the clipped surrogate objective and its gradient with
+//!   respect to the policy logits ([`ppo_logit_grad`]),
+//!
+//! plus the reward normalisation §V-B describes ([`RewardNormalizer`]).
+
+pub mod ppo;
+pub mod reward;
+
+pub use ppo::{advantage, ppo_logit_grad, value_loss, PpoConfig};
+pub use reward::{RewardConfig, RewardNormalizer};

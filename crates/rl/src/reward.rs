@@ -1,0 +1,162 @@
+//! Reward assignment (Eq. 1) and normalisation (§V-B).
+
+/// The reward shape of Eq. (1): `R = α · hardware_coverage + r_bonus`,
+/// with the bonus granted only when the test case sets a new coverage
+/// record.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_rl::RewardConfig;
+///
+/// let cfg = RewardConfig::paper_default();
+/// assert!(cfg.reward(0.5, true) > cfg.reward(0.5, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RewardConfig {
+    /// Coverage weight α.
+    pub alpha: f32,
+    /// Bonus for achieving the highest coverage observed so far.
+    pub r_bonus: f32,
+}
+
+impl RewardConfig {
+    /// The paper's §V-B settings: α = 0.2, r_bonus = 0.4.
+    #[must_use]
+    pub fn paper_default() -> RewardConfig {
+        RewardConfig { alpha: 0.2, r_bonus: 0.4 }
+    }
+
+    /// Computes Eq. (1). `coverage` is the hardware-coverage fraction in
+    /// `[0, 1]`; `new_best` grants the bonus.
+    #[must_use]
+    pub fn reward(&self, coverage: f32, new_best: bool) -> f32 {
+        self.alpha * coverage + if new_best { self.r_bonus } else { 0.0 }
+    }
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig::paper_default()
+    }
+}
+
+/// Running reward normaliser (Welford mean/variance).
+///
+/// §V-B: "we normalize the rewards: this adjustment sharpens gradients for
+/// positive rewards and softens them for negative ones".
+#[derive(Debug, Clone, Default)]
+pub struct RewardNormalizer {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RewardNormalizer {
+    /// Creates an empty normaliser.
+    #[must_use]
+    pub fn new() -> RewardNormalizer {
+        RewardNormalizer::default()
+    }
+
+    /// Number of rewards observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Running standard deviation (zero until two samples exist).
+    #[must_use]
+    pub fn std(&self) -> f32 {
+        if self.count < 2 {
+            0.0
+        } else {
+            ((self.m2 / (self.count - 1) as f64).sqrt()) as f32
+        }
+    }
+
+    /// Observes a raw reward and returns its normalised value
+    /// `(r − mean) / (std + ε)`.
+    pub fn normalize(&mut self, reward: f32) -> f32 {
+        self.count += 1;
+        let delta = f64::from(reward) - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = f64::from(reward) - self.mean;
+        self.m2 += delta * delta2;
+        let std = self.std();
+        if std < 1e-6 {
+            0.0
+        } else {
+            (reward - self.mean()) / (std + 1e-6)
+        }
+    }
+
+    /// Resets the statistics (used by the reset module alongside the model
+    /// re-initialisation).
+    pub fn reset(&mut self) {
+        *self = RewardNormalizer::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_shape() {
+        let cfg = RewardConfig::paper_default();
+        assert!((cfg.alpha - 0.2).abs() < 1e-9);
+        assert!((cfg.r_bonus - 0.4).abs() < 1e-9);
+        assert!((cfg.reward(1.0, false) - 0.2).abs() < 1e-6);
+        assert!((cfg.reward(1.0, true) - 0.6).abs() < 1e-6);
+        assert_eq!(cfg.reward(0.0, false), 0.0);
+    }
+
+    #[test]
+    fn higher_coverage_earns_more() {
+        let cfg = RewardConfig::default();
+        assert!(cfg.reward(0.8, false) > cfg.reward(0.3, false));
+    }
+
+    #[test]
+    fn normalizer_converges_to_zero_mean_unit_scale() {
+        let mut n = RewardNormalizer::new();
+        let rewards: Vec<f32> = (0..1000).map(|i| ((i % 10) as f32) / 10.0).collect();
+        let mut normed = Vec::new();
+        for r in rewards {
+            normed.push(n.normalize(r));
+        }
+        let tail = &normed[500..];
+        let mean: f32 = tail.iter().sum::<f32>() / tail.len() as f32;
+        assert!(mean.abs() < 0.2, "tail mean {mean}");
+        assert!(tail.iter().any(|v| *v > 0.5));
+        assert!(tail.iter().any(|v| *v < -0.5));
+        assert_eq!(n.count(), 1000);
+    }
+
+    #[test]
+    fn constant_rewards_normalize_to_zero() {
+        let mut n = RewardNormalizer::new();
+        for _ in 0..10 {
+            let v = n.normalize(0.42);
+            assert_eq!(v, 0.0, "no variance, no gradient sharpening");
+        }
+        assert!(n.std() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut n = RewardNormalizer::new();
+        n.normalize(1.0);
+        n.normalize(2.0);
+        n.reset();
+        assert_eq!(n.count(), 0);
+        assert_eq!(n.mean(), 0.0);
+    }
+}

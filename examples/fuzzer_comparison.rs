@@ -1,0 +1,57 @@
+//! A quick head-to-head: HFL against the four baseline fuzzers on
+//! RocketChip condition coverage (a miniature of the paper's §VI
+//! comparison; the full sweep lives in the `hfl-bench` harnesses).
+//!
+//! ```text
+//! cargo run --release --example fuzzer_comparison [cases]
+//! ```
+
+use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl_dut::CoreKind;
+
+fn main() {
+    let cases: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(250);
+    let campaign = CampaignConfig { cases, sample_every: (cases / 8).max(1), max_steps: 20_000 };
+
+    let mut hfl = HflFuzzer::new(HflConfig::small().with_seed(3));
+    let mut fuzzers: Vec<Box<dyn Fuzzer>> = vec![
+        Box::new(DifuzzRtlFuzzer::new(3, 16)),
+        Box::new(TheHuzzFuzzer::new(3, 16)),
+        Box::new(ChatFuzzFuzzer::new(3, 16)),
+        Box::new(CascadeFuzzer::new(3, 120)),
+    ];
+
+    println!(
+        "{} test cases per fuzzer on {} (condition coverage)",
+        cases,
+        CoreKind::Rocket
+    );
+    println!("{:-<72}", "");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "fuzzer", "cond", "line", "fsm", "mismatches", "unique"
+    );
+    println!("{:-<72}", "");
+
+    let result = run_campaign(&mut hfl, CoreKind::Rocket, &campaign);
+    let (c, l, f) = result.final_counts();
+    println!(
+        "{:<10} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>12} {:>10}",
+        result.fuzzer, c, result.totals.0, l, result.totals.1, f, result.totals.2,
+        result.total_mismatches, result.unique_signatures
+    );
+
+    for fuzzer in &mut fuzzers {
+        let result = run_campaign(fuzzer.as_mut(), CoreKind::Rocket, &campaign);
+        let (c, l, f) = result.final_counts();
+        println!(
+            "{:<10} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>12} {:>10}",
+            result.fuzzer, c, result.totals.0, l, result.totals.1, f, result.totals.2,
+            result.total_mismatches, result.unique_signatures
+        );
+    }
+    println!("{:-<72}", "");
+    println!("full sweeps: cargo run -p hfl-bench --bin fig4_coverage_benchmark");
+}

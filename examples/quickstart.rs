@@ -1,0 +1,57 @@
+//! Quickstart: run a small HFL campaign on RocketChip and watch coverage
+//! and mismatch signatures accumulate.
+//!
+//! ```text
+//! cargo run --release --example quickstart [cases]
+//! ```
+
+use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl_dut::CoreKind;
+
+fn main() {
+    let cases: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+
+    // The paper's configuration uses a 2x256 LSTM; the quickstart keeps the
+    // same loop with narrower layers so it finishes in seconds. Swap in
+    // `HflConfig::paper_default()` for the full model.
+    let config = HflConfig::small().with_seed(7);
+    println!(
+        "HFL quickstart: {} cases on {}, hidden={} layers={}",
+        cases,
+        CoreKind::Rocket,
+        config.generator.hidden,
+        config.generator.layers
+    );
+
+    let mut hfl = HflFuzzer::new(config);
+    let campaign = CampaignConfig { cases, sample_every: (cases / 10).max(1), max_steps: 20_000 };
+    let result = run_campaign(&mut hfl, CoreKind::Rocket, &campaign);
+
+    println!("\n  cases | condition |   line |   fsm");
+    for sample in &result.curve {
+        println!(
+            "  {:>5} | {:>6}/{:<3} | {:>3}/{:<3} | {:>2}/{:<3}",
+            sample.cases,
+            sample.condition,
+            result.totals.0,
+            sample.line,
+            result.totals.1,
+            sample.fsm,
+            result.totals.2,
+        );
+    }
+
+    let stats = hfl.stats();
+    println!("\nloop stats: {stats:?}");
+    println!(
+        "mismatches: {} observed, {} unique signatures",
+        result.total_mismatches, result.unique_signatures
+    );
+    for (sig, case) in &result.first_detection {
+        println!("  {sig} first seen at case {case}");
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end triage: fuzz a core until a mismatch signature appears,
+//! then minimise the triggering test case to a compact reproducer and
+//! print it as assembly — the workflow behind the paper's §VII listings.
+//!
+//! ```text
+//! cargo run --release --example triage_bug [cases]
+//! ```
+
+use hfl::baselines::DifuzzRtlFuzzer;
+use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::harness::Executor;
+use hfl::triage::minimize;
+use hfl_dut::CoreKind;
+use hfl_riscv::asm::format_program;
+
+fn main() {
+    let cases: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let core = CoreKind::Cva6;
+
+    println!("fuzzing {core} for up to {cases} cases...");
+    let mut fuzzer = DifuzzRtlFuzzer::new(29, 16);
+    let result = run_campaign(&mut fuzzer, core, &CampaignConfig::quick(cases));
+    println!(
+        "{} mismatches, {} unique signatures",
+        result.total_mismatches, result.unique_signatures
+    );
+    if result.trigger_corpus.entries().is_empty() {
+        println!("no mismatch found in the budget; try more cases");
+        return;
+    }
+
+    let mut executor = Executor::new(core);
+    for entry in result.trigger_corpus.entries() {
+        // Recover the signature from a replay (entry names carry its hash).
+        let replay = executor.run_case(&entry.body);
+        let Some(signature) = replay
+            .mismatches
+            .iter()
+            .map(hfl::Mismatch::signature)
+            .find(|s| s.to_string() == entry.name)
+        else {
+            continue;
+        };
+        let Some(minimized) = minimize(&mut executor, &entry.body, signature) else {
+            continue;
+        };
+        println!(
+            "\n{}: {} -> {} instructions ({:.0}% reduction, {} executions)",
+            entry.name,
+            minimized.original_len,
+            minimized.body.len(),
+            100.0 * minimized.reduction(),
+            minimized.executions
+        );
+        print!("{}", format_program(&minimized.body));
+        let detail = executor.run_case(&minimized.body);
+        if let Some(m) = detail.mismatches.first() {
+            println!("  -> {m}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based architecture tests for the golden reference model:
+//! algebraic identities the RISC-V spec guarantees, checked over random
+//! operands via in-register programs.
+
+use hfl_grm::{Cpu, HaltReason, Program};
+use hfl_riscv::{Instruction, Opcode, Reg};
+use proptest::prelude::*;
+
+/// Runs a body and returns the final CPU state.
+fn run(body: &[Instruction]) -> Cpu {
+    let program = Program::assemble(body);
+    let mut cpu = Cpu::new();
+    cpu.load_program(&program);
+    let result = cpu.run(50_000);
+    assert_ne!(result.reason, HaltReason::StepBudget);
+    cpu
+}
+
+/// Materialises two operands into x10/x11 followed by `body`.
+fn with_operands(a: u64, b: u64, tail: &[Instruction]) -> Vec<Instruction> {
+    let mut body = hfl_grm::program::emit_li64(Reg::X10, a);
+    body.extend(hfl_grm::program::emit_li64(Reg::X11, b));
+    body.extend_from_slice(tail);
+    body
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The division identity: `a == div(a,b)*b + rem(a,b)` for b != 0
+    /// (including the overflow case, where div = MIN and rem = 0).
+    #[test]
+    fn signed_division_identity(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let cpu = run(&with_operands(a as u64, b as u64, &[
+            Instruction::r(Opcode::Div, Reg::X12, Reg::X10, Reg::X11),
+            Instruction::r(Opcode::Rem, Reg::X13, Reg::X10, Reg::X11),
+        ]));
+        let q = cpu.x[12] as i64;
+        let r = cpu.x[13] as i64;
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+        if a != i64::MIN || b != -1 {
+            prop_assert!(r.unsigned_abs() < b.unsigned_abs());
+        }
+    }
+
+    /// Unsigned division identity.
+    #[test]
+    fn unsigned_division_identity(a in any::<u64>(), b in 1u64..) {
+        let cpu = run(&with_operands(a, b, &[
+            Instruction::r(Opcode::Divu, Reg::X12, Reg::X10, Reg::X11),
+            Instruction::r(Opcode::Remu, Reg::X13, Reg::X10, Reg::X11),
+        ]));
+        prop_assert_eq!(cpu.x[12].wrapping_mul(b).wrapping_add(cpu.x[13]), a);
+        prop_assert!(cpu.x[13] < b);
+    }
+
+    /// mulh/mul reconstruct the full 128-bit signed product.
+    #[test]
+    fn full_signed_product(a in any::<i64>(), b in any::<i64>()) {
+        let cpu = run(&with_operands(a as u64, b as u64, &[
+            Instruction::r(Opcode::Mul, Reg::X12, Reg::X10, Reg::X11),
+            Instruction::r(Opcode::Mulh, Reg::X13, Reg::X10, Reg::X11),
+        ]));
+        let expected = i128::from(a) * i128::from(b);
+        let got = (i128::from(cpu.x[13] as i64) << 64) | i128::from(cpu.x[12]);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Aligned store/load round-trips for every access width.
+    #[test]
+    fn store_load_round_trip(value in any::<u64>(), slot in 0u8..32) {
+        // t0 (x5) holds DATA_BASE from the prologue; use 8-byte slots.
+        let offset = i64::from(slot) * 8;
+        let cpu = run(&with_operands(value, 0, &[
+            Instruction::s(Opcode::Sd, Reg::X10, offset, Reg::X5),
+            Instruction::i(Opcode::Ld, Reg::X12, Reg::X5, offset),
+            Instruction::i(Opcode::Lwu, Reg::X13, Reg::X5, offset),
+            Instruction::i(Opcode::Lhu, Reg::X14, Reg::X5, offset),
+            Instruction::i(Opcode::Lbu, Reg::X15, Reg::X5, offset),
+        ]));
+        prop_assert_eq!(cpu.x[12], value);
+        prop_assert_eq!(cpu.x[13], u64::from(value as u32));
+        prop_assert_eq!(cpu.x[14], u64::from(value as u16));
+        prop_assert_eq!(cpu.x[15], u64::from(value as u8));
+    }
+
+    /// Branch direction agrees with the host comparison for every branch
+    /// opcode.
+    #[test]
+    fn branch_semantics(a in any::<u64>(), b in any::<u64>(), which in 0usize..6) {
+        let (op, expected) = match which {
+            0 => (Opcode::Beq, a == b),
+            1 => (Opcode::Bne, a != b),
+            2 => (Opcode::Blt, (a as i64) < (b as i64)),
+            3 => (Opcode::Bge, (a as i64) >= (b as i64)),
+            4 => (Opcode::Bltu, a < b),
+            _ => (Opcode::Bgeu, a >= b),
+        };
+        // Taken branch skips the marker write.
+        let cpu = run(&with_operands(a, b, &[
+            Instruction::b(op, Reg::X10, Reg::X11, 8),
+            Instruction::i(Opcode::Addi, Reg::X20, Reg::X0, 1),
+            Instruction::NOP,
+        ]));
+        prop_assert_eq!(cpu.x[20] == 0, expected, "{} {:#x} {:#x}", op, a, b);
+    }
+
+    /// Executing a pseudo-instruction and its expansion yields identical
+    /// architectural state.
+    #[test]
+    fn pseudo_expansion_equivalence(
+        a in any::<u64>(),
+        op_idx in 0..Opcode::COUNT,
+    ) {
+        let op = Opcode::ALL[op_idx];
+        prop_assume!(op.is_pseudo());
+        let spec = op.spec();
+        // Only data-flow pseudos are compared (control flow changes the pc
+        // stream by construction).
+        prop_assume!(spec.addr == hfl_riscv::AddrKind::None);
+        prop_assume!(!op.is_control_flow());
+        let pseudo = Instruction::new(op, 12, 10, 0, 0, -84, hfl_riscv::Csr::FFLAGS);
+        let real = pseudo.expand_pseudo();
+        let run_with = |inst: Instruction| {
+            let mut body = hfl_grm::program::emit_li64(Reg::X10, a);
+            body.push(inst);
+            run(&body)
+        };
+        let with_pseudo = run_with(pseudo);
+        let with_real = run_with(real);
+        prop_assert_eq!(with_pseudo.x, with_real.x);
+        prop_assert_eq!(with_pseudo.f, with_real.f);
+    }
+
+    /// Shift pairs: `sll` then `srl` by the same in-range amount masks to
+    /// the shifted-out-free value.
+    #[test]
+    fn shift_round_trip(a in any::<u64>(), sh in 0i64..64) {
+        let cpu = run(&with_operands(a, 0, &[
+            Instruction::i(Opcode::Slli, Reg::X12, Reg::X10, sh),
+            Instruction::i(Opcode::Srli, Reg::X13, Reg::X12, sh),
+        ]));
+        prop_assert_eq!(cpu.x[13], (a << sh) >> sh);
+    }
+
+    /// Zbb rotate pairs are inverses.
+    #[test]
+    fn rotate_inverse(a in any::<u64>(), sh in 0i64..64) {
+        let cpu = run(&with_operands(a, 0, &[
+            Instruction::i(Opcode::Rori, Reg::X12, Reg::X10, sh),
+        ]));
+        prop_assert_eq!(cpu.x[12].rotate_left(sh as u32), a);
+    }
+}

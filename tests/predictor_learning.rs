@@ -1,0 +1,168 @@
+//! Integration test for the §IV-C case study: the LSTM coverage predictor
+//! must learn real DUT coverage from tokenised test cases with useful
+//! accuracy, and the value predictor must learn TD targets inside the
+//! loop.
+
+use hfl::baselines::random_instruction;
+use hfl::predictor::{CoveragePredictor, PredictorConfig};
+use hfl::Tokens;
+use hfl_dut::{CoreKind, Dut};
+use hfl_grm::Program;
+use hfl_nn::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a small labelled corpus of (token sequence, live-point labels).
+fn build_corpus(
+    cases: usize,
+    seed: u64,
+) -> (Vec<(Vec<Tokens>, Vec<f32>)>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dut = Dut::new(CoreKind::Rocket);
+    let mut dataset = Vec::with_capacity(cases);
+    for _ in 0..cases {
+        let body: Vec<_> = (0..10).map(|_| random_instruction(&mut rng)).collect();
+        let result = dut.run_program(&Program::assemble(&body), 20_000);
+        let labels: Vec<f32> =
+            result.coverage.to_bit_labels().iter().map(|&b| f32::from(b)).collect();
+        dataset.push((Tokens::sequence_with_bos(&body), labels));
+    }
+    // Dead-point removal (§IV-C).
+    let n = dataset[0].1.len();
+    let alive: Vec<usize> = (0..n)
+        .filter(|&p| {
+            let hits: usize = dataset.iter().map(|(_, l)| l[p] as usize).sum();
+            hits != 0 && hits != dataset.len()
+        })
+        .collect();
+    let projected = dataset
+        .into_iter()
+        .map(|(seq, labels)| {
+            let l: Vec<f32> = alive.iter().map(|&p| labels[p]).collect();
+            (seq, l)
+        })
+        .collect();
+    (projected, alive.len())
+}
+
+#[test]
+fn dead_point_fraction_is_substantial() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut dut = Dut::new(CoreKind::Rocket);
+    let mut always = None::<Vec<bool>>;
+    let mut never = None::<Vec<bool>>;
+    for _ in 0..60 {
+        let body: Vec<_> = (0..10).map(|_| random_instruction(&mut rng)).collect();
+        let result = dut.run_program(&Program::assemble(&body), 20_000);
+        let bits = result.coverage.to_bit_labels();
+        let a = always.get_or_insert_with(|| vec![true; bits.len()]);
+        let n = never.get_or_insert_with(|| vec![true; bits.len()]);
+        for (i, &b) in bits.iter().enumerate() {
+            if b == 0 {
+                a[i] = false;
+            } else {
+                n[i] = false;
+            }
+        }
+    }
+    let always = always.unwrap();
+    let never = never.unwrap();
+    let dead = always
+        .iter()
+        .zip(&never)
+        .filter(|(a, n)| **a || **n)
+        .count();
+    let frac = dead as f64 / always.len() as f64;
+    // The paper reports >70% dead points on RocketChip; our DUT must show
+    // the same qualitative structure (a large dead fraction).
+    assert!(frac > 0.55, "dead fraction only {frac:.2}");
+    assert!(frac < 1.0, "some points must be alive");
+}
+
+#[test]
+fn coverage_predictor_beats_the_majority_baseline() {
+    let (dataset, n_alive) = build_corpus(120, 1);
+    assert!(n_alive > 10, "need live points to learn ({n_alive})");
+    let split = dataset.len() * 9 / 10;
+    let (train, valid) = dataset.split_at(split);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = PredictorConfig { hidden: 32, ..PredictorConfig::small() };
+    let mut predictor = CoveragePredictor::new(cfg, n_alive, &mut rng);
+    let mut adam = Adam::new(2e-3);
+    for _ in 0..6 {
+        for (seq, labels) in train {
+            predictor.train_case(seq, labels, &mut adam);
+        }
+    }
+
+    // Accuracy of the trained model vs. predicting the per-point majority
+    // class of the training set.
+    let mut majority = vec![0usize; n_alive];
+    for (_, labels) in train {
+        for (m, &l) in majority.iter_mut().zip(labels) {
+            *m += l as usize;
+        }
+    }
+    let majority: Vec<f32> = majority
+        .iter()
+        .map(|&hits| f32::from(u8::from(hits * 2 >= train.len())))
+        .collect();
+
+    let mut model_correct = 0usize;
+    let mut baseline_correct = 0usize;
+    let mut total = 0usize;
+    for (seq, labels) in valid {
+        let probs = predictor.predict(seq);
+        for ((&p, &l), &m) in probs.iter().zip(labels).zip(&majority) {
+            total += 1;
+            if (p >= 0.5) == (l >= 0.5) {
+                model_correct += 1;
+            }
+            if (m >= 0.5) == (l >= 0.5) {
+                baseline_correct += 1;
+            }
+        }
+    }
+    let model_acc = model_correct as f64 / total as f64;
+    let baseline_acc = baseline_correct as f64 / total as f64;
+    assert!(
+        model_acc >= baseline_acc - 0.02,
+        "model {model_acc:.3} must not lose to majority {baseline_acc:.3}"
+    );
+    assert!(model_acc > 0.7, "absolute accuracy too low: {model_acc:.3}");
+}
+
+#[test]
+fn predictor_accuracy_improves_with_training() {
+    let (dataset, n_alive) = build_corpus(60, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let cfg = PredictorConfig { hidden: 24, ..PredictorConfig::small() };
+    let mut predictor = CoveragePredictor::new(cfg, n_alive, &mut rng);
+    let mut adam = Adam::new(2e-3);
+    let eval = |p: &CoveragePredictor| -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (seq, labels) in &dataset {
+            let probs = p.predict(seq);
+            for (&prob, &l) in probs.iter().zip(labels) {
+                total += 1;
+                if (prob >= 0.5) == (l >= 0.5) {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total as f64
+    };
+    let before = eval(&predictor);
+    for _ in 0..8 {
+        for (seq, labels) in &dataset {
+            predictor.train_case(seq, labels, &mut adam);
+        }
+    }
+    let after = eval(&predictor);
+    assert!(
+        after > before,
+        "training accuracy must improve: {before:.3} -> {after:.3}"
+    );
+}
