@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hfl::baselines::CascadeFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_bench::ablation::{run_ablation, AblationConfig};
 use hfl_bench::efficiency::{run_efficiency, EfficiencyConfig};
@@ -26,20 +26,26 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 fn bench_fig4_panels(c: &mut Criterion) {
-    let campaign = CampaignConfig { cases: 25, sample_every: 5, max_steps: 20_000 };
+    let campaign = CampaignConfig {
+        cases: 25,
+        sample_every: 5,
+        max_steps: 20_000,
+        batch: 1,
+    };
+    let spec = CampaignSpec::new(CoreKind::Rocket, campaign);
     c.bench_function("experiment/fig4_hfl_rocket_small", |b| {
         b.iter(|| {
             let mut cfg = HflConfig::small().with_seed(1);
             cfg.generator.hidden = 16;
             cfg.predictor.hidden = 16;
             let mut hfl = HflFuzzer::new(cfg);
-            black_box(run_campaign(&mut hfl, CoreKind::Rocket, &campaign));
+            black_box(run_campaign(&mut hfl, &spec));
         });
     });
     c.bench_function("experiment/fig4_cascade_rocket_small", |b| {
         b.iter(|| {
             let mut cascade = CascadeFuzzer::new(1, 60);
-            black_box(run_campaign(&mut cascade, CoreKind::Rocket, &campaign));
+            black_box(run_campaign(&mut cascade, &spec));
         });
     });
 }
@@ -52,17 +58,26 @@ fn bench_tables(c: &mut Criterion) {
                 hfl_cases: 25,
                 hidden: 16,
                 seed: 2,
+                threads: 1,
             }));
         });
     });
     c.bench_function("experiment/tab_vulnerabilities_small", |b| {
         b.iter(|| {
-            black_box(run_vuln_table(&VulnConfig { fuzz_cases: 5, hidden: 16, seed: 3 }));
+            black_box(run_vuln_table(&VulnConfig {
+                fuzz_cases: 5,
+                hidden: 16,
+                seed: 3,
+            }));
         });
     });
     c.bench_function("experiment/ablation_small", |b| {
         b.iter(|| {
-            black_box(run_ablation(&AblationConfig { cases: 10, hidden: 16, seeds: vec![4] }));
+            black_box(run_ablation(&AblationConfig {
+                cases: 10,
+                hidden: 16,
+                seeds: vec![4],
+            }));
         });
     });
 }

@@ -10,8 +10,9 @@ use rand::SeedableRng;
 
 fn bench_encode_decode(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let instructions: Vec<Instruction> =
-        (0..256).map(|_| hfl::baselines::random_instruction(&mut rng)).collect();
+    let instructions: Vec<Instruction> = (0..256)
+        .map(|_| hfl::baselines::random_instruction(&mut rng))
+        .collect();
     let words: Vec<u32> = instructions.iter().map(Instruction::encode).collect();
     c.bench_function("riscv/encode_256", |b| {
         b.iter(|| {
@@ -63,8 +64,9 @@ fn bench_dut(c: &mut Criterion) {
 
 fn bench_assembly(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let body: Vec<Instruction> =
-        (0..64).map(|_| hfl::baselines::random_instruction(&mut rng)).collect();
+    let body: Vec<Instruction> = (0..64)
+        .map(|_| hfl::baselines::random_instruction(&mut rng))
+        .collect();
     c.bench_function("grm/assemble_64_instr", |b| {
         b.iter(|| black_box(Program::assemble(&body)));
     });

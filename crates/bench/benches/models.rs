@@ -32,7 +32,10 @@ fn bench_lstm(c: &mut Criterion) {
 fn bench_generator(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     for hidden in [64usize, 256] {
-        let cfg = GeneratorConfig { hidden, ..GeneratorConfig::small() };
+        let cfg = GeneratorConfig {
+            hidden,
+            ..GeneratorConfig::small()
+        };
         let generator = InstructionGenerator::new(cfg, &mut rng);
         c.bench_function(&format!("hfl/generator_{hidden}/sample_24"), |b| {
             b.iter(|| {
@@ -50,7 +53,12 @@ fn bench_generator(c: &mut Criterion) {
             .map(|_| {
                 let input = session.next_input;
                 let (c, action) = gen_mut.next_instruction(&mut session, &mut rng);
-                EpisodeStep { input, action, mask: c.mask.as_array(), advantage: 0.3 }
+                EpisodeStep {
+                    input,
+                    action,
+                    mask: c.mask.as_array(),
+                    advantage: 0.3,
+                }
             })
             .collect();
         c.bench_function(&format!("hfl/generator_{hidden}/ppo_update_ep24"), |b| {
@@ -61,7 +69,10 @@ fn bench_generator(c: &mut Criterion) {
 
 fn bench_predictors(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let cfg = PredictorConfig { hidden: 64, ..PredictorConfig::small() };
+    let cfg = PredictorConfig {
+        hidden: 64,
+        ..PredictorConfig::small()
+    };
     let vp = ValuePredictor::new(cfg, &mut rng);
     let seq = vec![Tokens::bos(); 24];
     c.bench_function("hfl/value_predictor_64/value_of_seq24", |b| {

@@ -3,9 +3,11 @@
 //! out): instruction mask, reset module, value baseline and reward
 //! normalisation.
 
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
+
+use crate::parallel::run_parallel;
 
 /// Parameters of the ablation sweep.
 #[derive(Debug, Clone)]
@@ -22,7 +24,11 @@ impl AblationConfig {
     /// A sweep that finishes in a few minutes.
     #[must_use]
     pub fn quick() -> AblationConfig {
-        AblationConfig { cases: 600, hidden: 48, seeds: vec![21, 22, 23] }
+        AblationConfig {
+            cases: 600,
+            hidden: 48,
+            seeds: vec![21, 22, 23],
+        }
     }
 }
 
@@ -43,9 +49,12 @@ pub struct AblationRow {
     pub unique_signatures: f64,
 }
 
+/// One ablation variant: a label and the config tweak it applies.
+pub type Variant = (&'static str, fn(&mut HflConfig));
+
 /// The ablation variants, as `(label, configure)` pairs.
 #[must_use]
-pub fn variants() -> Vec<(&'static str, fn(&mut HflConfig))> {
+pub fn variants() -> Vec<Variant> {
     vec![
         ("full", |_| {}),
         ("no-instruction-mask", |c| c.use_instruction_mask = false),
@@ -72,21 +81,13 @@ pub fn run_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
                 hfl_cfg.predictor.hidden = hidden;
                 configure(&mut hfl_cfg);
                 let mut hfl = HflFuzzer::new(hfl_cfg);
-                let result =
-                    run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(cases));
+                let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(cases));
+                let result = run_campaign(&mut hfl, &spec);
                 (hfl.stats().resets, result)
             }));
         }
     }
-    let results = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> =
-            jobs.into_iter().map(|job| scope.spawn(move |_| job())).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("ablation job panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("thread scope");
+    let results = run_parallel(jobs);
 
     let n_seeds = cfg.seeds.len();
     vars.iter()
@@ -121,14 +122,21 @@ mod tests {
 
     #[test]
     fn all_variants_run() {
-        let rows = run_ablation(&AblationConfig { cases: 30, hidden: 16, seeds: vec![1, 2] });
+        let rows = run_ablation(&AblationConfig {
+            cases: 30,
+            hidden: 16,
+            seeds: vec![1, 2],
+        });
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].variant, "full");
         for row in &rows {
             assert!(row.condition > 0.0, "{}: no coverage", row.variant);
         }
         // The no-reset variant must never reset.
-        let no_reset = rows.iter().find(|r| r.variant == "no-reset-module").unwrap();
+        let no_reset = rows
+            .iter()
+            .find(|r| r.variant == "no-reset-module")
+            .unwrap();
         assert_eq!(no_reset.resets, 0);
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use hfl::baselines::CascadeFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_bench::{arg_num, arg_value};
 use hfl_dut::{CoreKind, Dut, PointId};
@@ -20,17 +20,17 @@ fn main() {
         Some("cva6") => CoreKind::Cva6,
         _ => CoreKind::Rocket,
     };
-    let campaign = CampaignConfig::quick(cases);
+    let spec = CampaignSpec::new(core, CampaignConfig::quick(cases));
 
     let mut hfl_cfg = HflConfig::small().with_seed(7);
     hfl_cfg.generator.lr = 1e-3;
     hfl_cfg.predictor.lr = 1e-3;
     hfl_cfg.test_len = 32;
     let mut hfl = HflFuzzer::new(hfl_cfg);
-    let hfl_result = run_campaign(&mut hfl, core, &campaign);
+    let hfl_result = run_campaign(&mut hfl, &spec);
 
     let mut cascade = CascadeFuzzer::new(7, 120);
-    let cascade_result = run_campaign(&mut cascade, core, &campaign);
+    let cascade_result = run_campaign(&mut cascade, &spec);
 
     let dut = Dut::new(core);
     let map = dut.coverage_map();

@@ -20,6 +20,8 @@ fn main() {
     cfg.test_len = arg_num(&args, "--test-len", cfg.test_len);
     cfg.lr = arg_num(&args, "--lr", cfg.lr);
     cfg.seed = arg_num(&args, "--seed", cfg.seed);
+    cfg.threads = arg_num(&args, "--threads", cfg.threads);
+    cfg.batch = arg_num(&args, "--batch", cfg.batch);
     if let Some(core) = hfl_bench::arg_value(&args, "--core") {
         cfg.cores = match core.as_str() {
             "rocket" => vec![hfl_dut::CoreKind::Rocket],

@@ -18,6 +18,7 @@ fn main() {
     cfg.hfl_cases = arg_num(&args, "--hfl-cases", cfg.hfl_cases);
     cfg.hidden = arg_num(&args, "--hidden", cfg.hidden);
     cfg.seed = arg_num(&args, "--seed", cfg.seed);
+    cfg.threads = arg_num(&args, "--threads", cfg.threads);
 
     println!(
         "efficiency: baselines {} cases each, HFL {} cases, RocketChip condition coverage",

@@ -26,8 +26,8 @@ fn main() {
 
     println!("{:-<98}", "");
     println!(
-        "{:<4} {:<42} {:<9} {:<6} {:<5} {:<5} {}",
-        "id", "name", "core", "cwe", "novel", "PoC", "fuzz cases to detect"
+        "{:<4} {:<42} {:<9} {:<6} {:<5} {:<5} fuzz cases to detect",
+        "id", "name", "core", "cwe", "novel", "PoC"
     );
     println!("{:-<98}", "");
     let mut poc_hits = 0usize;

@@ -1,0 +1,96 @@
+//! Execution-pool throughput demonstration: runs the same campaign at
+//! several worker counts and reports cases/s, retired instructions/s and
+//! pool occupancy from `CampaignResult::throughput`, plus the speedup over
+//! one worker. The curves, signatures and first-detection indices are
+//! asserted bit-identical across worker counts — only the wall clock moves.
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin throughput -- \
+//!     [--cases N] [--batch N] [--threads N] [--fuzzer cascade|thehuzz|hfl]
+//! ```
+
+use hfl::baselines::{CascadeFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl_bench::{arg_num, arg_value};
+use hfl_dut::CoreKind;
+
+fn make_fuzzer(name: &str) -> Box<dyn Fuzzer> {
+    match name {
+        "thehuzz" => Box::new(TheHuzzFuzzer::new(9, 24)),
+        "hfl" => {
+            let mut cfg = HflConfig::small().with_seed(9);
+            cfg.generator.hidden = 32;
+            cfg.predictor.hidden = 32;
+            Box::new(HflFuzzer::new(cfg))
+        }
+        _ => Box::new(CascadeFuzzer::new(9, 100)),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cases: u64 = arg_num(&args, "--cases", 1000);
+    let max_threads: usize = arg_num(&args, "--threads", 4).max(1);
+    let batch: usize = arg_num(&args, "--batch", 4 * max_threads).max(1);
+    let fuzzer_name = arg_value(&args, "--fuzzer").unwrap_or_else(|| "cascade".to_owned());
+
+    let config = CampaignConfig {
+        cases,
+        sample_every: (cases / 10).max(1),
+        max_steps: 3_000,
+        batch,
+    };
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "throughput: {fuzzer_name}, {cases} cases on RocketChip, batch {batch}, \
+         1..={max_threads} workers ({available} hardware threads available)"
+    );
+    if available < max_threads {
+        println!(
+            "note: only {available} hardware threads — speedup is bounded by the host, \
+             not the pool"
+        );
+    }
+    println!("{:-<74}", "");
+    println!(
+        "{:>8} {:>12} {:>16} {:>11} {:>10} {:>10}",
+        "threads", "cases/s", "instr/s", "occupancy", "wall s", "speedup"
+    );
+    println!("{:-<74}", "");
+
+    let mut reference: Option<hfl::CampaignResult> = None;
+    let mut base_rate = 0.0f64;
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let mut fuzzer = make_fuzzer(&fuzzer_name);
+        let spec = CampaignSpec::new(CoreKind::Rocket, config).with_threads(threads);
+        let result = run_campaign(fuzzer.as_mut(), &spec);
+        let t = result.throughput;
+        if let Some(reference) = &reference {
+            assert_eq!(
+                reference.curve, result.curve,
+                "curve changed with thread count"
+            );
+            assert_eq!(
+                reference.first_detection, result.first_detection,
+                "first-detection indices changed with thread count"
+            );
+        } else {
+            base_rate = t.cases_per_second;
+            reference = Some(result.clone());
+        }
+        println!(
+            "{:>8} {:>12.1} {:>16.0} {:>10.0}% {:>10.2} {:>9.2}x",
+            t.threads,
+            t.cases_per_second,
+            t.instructions_per_second,
+            100.0 * t.pool_occupancy,
+            t.wall_seconds,
+            t.cases_per_second / base_rate,
+        );
+        threads *= 2;
+    }
+    println!("{:-<74}", "");
+    println!("results identical at every worker count; only the wall clock moved.");
+}

@@ -3,10 +3,8 @@
 //! paper reports <1 % against 100 k-case baseline runs on RocketChip
 //! condition coverage).
 
-use hfl::baselines::{
-    CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer,
-};
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -21,13 +19,21 @@ pub struct EfficiencyConfig {
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Execution-pool workers per campaign (never changes the results).
+    pub threads: usize,
 }
 
 impl EfficiencyConfig {
     /// A comparison that finishes in a few minutes.
     #[must_use]
     pub fn quick() -> EfficiencyConfig {
-        EfficiencyConfig { baseline_cases: 800, hfl_cases: 400, hidden: 64, seed: 11 }
+        EfficiencyConfig {
+            baseline_cases: 800,
+            hfl_cases: 400,
+            hidden: 64,
+            seed: 11,
+            threads: 1,
+        }
     }
 }
 
@@ -57,14 +63,23 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
     let mut hfl = HflFuzzer::new(hfl_cfg);
     let hfl_result = run_campaign(
         &mut hfl,
-        core,
-        &CampaignConfig { cases: cfg.hfl_cases, sample_every: 1, max_steps: 3_000 },
+        &CampaignSpec::new(
+            core,
+            CampaignConfig {
+                cases: cfg.hfl_cases,
+                sample_every: 1,
+                max_steps: 3_000,
+                batch: 1,
+            },
+        )
+        .with_threads(cfg.threads),
     );
 
     let campaign = CampaignConfig {
         cases: cfg.baseline_cases,
         sample_every: (cfg.baseline_cases / 100).max(1),
         max_steps: 3_000,
+        batch: 1,
     };
     let mut baselines: Vec<Box<dyn Fuzzer>> = vec![
         Box::new(DifuzzRtlFuzzer::new(cfg.seed, 20)),
@@ -75,7 +90,10 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
     let rows = baselines
         .iter_mut()
         .map(|fuzzer| {
-            let result = run_campaign(fuzzer.as_mut(), core, &campaign);
+            let result = run_campaign(
+                fuzzer.as_mut(),
+                &CampaignSpec::new(core, campaign).with_threads(cfg.threads),
+            );
             let final_condition = result.final_counts().0;
             let hfl_cases_to_match = hfl_result.cases_to_reach_condition(final_condition);
             EfficiencyRow {
@@ -96,7 +114,13 @@ mod tests {
 
     #[test]
     fn efficiency_rows_cover_all_baselines() {
-        let cfg = EfficiencyConfig { baseline_cases: 60, hfl_cases: 60, hidden: 16, seed: 2 };
+        let cfg = EfficiencyConfig {
+            baseline_cases: 60,
+            hfl_cases: 60,
+            hidden: 16,
+            seed: 2,
+            threads: 2,
+        };
         let (rows, hfl) = run_efficiency(&cfg);
         assert_eq!(rows.len(), 4);
         let names: Vec<&str> = rows.iter().map(|r| r.fuzzer.as_str()).collect();

@@ -111,9 +111,14 @@ pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
     // Corpus generation: random test cases with their coverage bit-strings.
     let mut dataset: Vec<(Vec<Tokens>, Vec<u8>)> = Vec::with_capacity(cfg.cases);
     for _ in 0..cfg.cases {
-        let body: Vec<_> = (0..cfg.body_len).map(|_| random_instruction(&mut rng)).collect();
+        let body: Vec<_> = (0..cfg.body_len)
+            .map(|_| random_instruction(&mut rng))
+            .collect();
         let result = dut.run_program(&Program::assemble(&body), 20_000);
-        dataset.push((Tokens::sequence_with_bos(&body), result.coverage.to_bit_labels()));
+        dataset.push((
+            Tokens::sequence_with_bos(&body),
+            result.coverage.to_bit_labels(),
+        ));
     }
 
     // Dead-point removal (§IV-C).
@@ -125,15 +130,18 @@ pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
         })
         .collect();
     let dead_fraction = 1.0 - alive.len() as f64 / n_points as f64;
-    let project = |labels: &[u8]| -> Vec<f32> {
-        alive.iter().map(|&p| f32::from(labels[p])).collect()
-    };
+    let project =
+        |labels: &[u8]| -> Vec<f32> { alive.iter().map(|&p| f32::from(labels[p])).collect() };
 
     // 90/10 split.
     let split = dataset.len() * 9 / 10;
     let (train, valid) = dataset.split_at(split);
 
-    let pred_cfg = PredictorConfig { hidden: cfg.hidden, lr: cfg.lr, ..PredictorConfig::small() };
+    let pred_cfg = PredictorConfig {
+        hidden: cfg.hidden,
+        lr: cfg.lr,
+        ..PredictorConfig::small()
+    };
     let mut predictor = CoveragePredictor::new(pred_cfg, alive.len(), &mut rng);
     let mut adam = Adam::new(cfg.lr);
 
@@ -193,12 +201,17 @@ pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
                 .filter(|p| p.kind == kind)
                 .map(|p| p.accuracy)
                 .collect();
-            (!accs.is_empty())
-                .then(|| (kind, accs.iter().sum::<f64>() / accs.len() as f64))
+            (!accs.is_empty()).then(|| (kind, accs.iter().sum::<f64>() / accs.len() as f64))
         })
         .collect();
 
-    Fig3Result { dead_fraction, live_points: alive.len(), epochs_ran, per_point, mean }
+    Fig3Result {
+        dead_fraction,
+        live_points: alive.len(),
+        epochs_ran,
+        per_point,
+        mean,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +226,11 @@ mod tests {
         cfg.patience = 2;
         cfg.hidden = 24;
         let result = run_fig3(&cfg);
-        assert!(result.dead_fraction > 0.4, "dead {:.2}", result.dead_fraction);
+        assert!(
+            result.dead_fraction > 0.4,
+            "dead {:.2}",
+            result.dead_fraction
+        );
         assert!(result.live_points > 20);
         assert!(result.epochs_ran >= 1 && result.epochs_ran <= 4);
         assert_eq!(result.per_point.len(), result.live_points);

@@ -6,7 +6,7 @@
 //! Cascade plateauing early while HFL keeps climbing.
 
 use hfl::baselines::CascadeFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -29,6 +29,10 @@ pub struct Fig4Config {
     pub seed: u64,
     /// Cores to sweep.
     pub cores: Vec<CoreKind>,
+    /// Execution-pool workers per campaign (never changes the curves).
+    pub threads: usize,
+    /// Cases per execution batch (part of the campaign semantics).
+    pub batch: usize,
 }
 
 impl Fig4Config {
@@ -44,6 +48,8 @@ impl Fig4Config {
             cascade_len: 120,
             seed: 7,
             cores: CoreKind::ALL.to_vec(),
+            threads: 1,
+            batch: 1,
         }
     }
 }
@@ -59,7 +65,9 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
         cases: cfg.cases,
         sample_every: cfg.sample_every,
         max_steps: 3_000,
+        batch: cfg.batch.max(1),
     };
+    let threads = cfg.threads.max(1);
     let mut jobs: Vec<Box<dyn FnOnce() -> CampaignResult + Send>> = Vec::new();
     for &core in &cfg.cores {
         let cfg = cfg.clone();
@@ -72,13 +80,16 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
             hfl_cfg.predictor.lr = cfg.lr;
             hfl_cfg.test_len = cfg.test_len;
             let mut hfl = HflFuzzer::new(hfl_cfg);
-            run_campaign(&mut hfl, core, &c)
+            run_campaign(&mut hfl, &CampaignSpec::new(core, c).with_threads(threads))
         }));
         let seed = cfg.seed;
         let cascade_len = cfg.cascade_len;
         jobs.push(Box::new(move || {
             let mut cascade = CascadeFuzzer::new(seed, cascade_len);
-            run_campaign(&mut cascade, core, &c)
+            run_campaign(
+                &mut cascade,
+                &CampaignSpec::new(core, c).with_threads(threads),
+            )
         }));
     }
     crate::parallel::run_parallel(jobs)
@@ -100,6 +111,8 @@ mod tests {
             cascade_len: 60,
             seed: 5,
             cores: vec![CoreKind::Rocket],
+            threads: 2,
+            batch: 1,
         };
         let series = run_fig4(&cfg);
         assert_eq!(series.len(), 2);

@@ -43,8 +43,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--cases", "500", "--hidden", "128"].iter().map(|s| (*s).to_owned()).collect();
+        let args: Vec<String> = ["--cases", "500", "--hidden", "128"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
         assert_eq!(arg_value(&args, "--cases").as_deref(), Some("500"));
         assert_eq!(arg_num(&args, "--cases", 10u64), 500);
         assert_eq!(arg_num(&args, "--hidden", 64usize), 128);

@@ -1,26 +1,28 @@
 //! Parallel campaign execution: each (fuzzer, core, seed) job owns its own
 //! DUT/GRM pair, so campaigns parallelise embarrassingly across threads.
+//!
+//! This is campaign-level parallelism (one thread per whole campaign). For
+//! case-level parallelism inside a single campaign, see `hfl::exec`.
 
-use crossbeam::thread;
 use hfl::CampaignResult;
 
-/// Runs campaign jobs on one thread each, returning results in job order.
+/// Runs jobs on one thread each, returning results in job order.
 ///
 /// # Panics
 ///
 /// Propagates a panic from any job.
-pub fn run_parallel<F>(jobs: Vec<F>) -> Vec<CampaignResult>
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
 where
-    F: FnOnce() -> CampaignResult + Send,
+    T: Send,
+    F: FnOnce() -> T + Send,
 {
-    thread::scope(|scope| {
-        let handles: Vec<_> = jobs
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
+        handles
             .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("campaign job panicked")).collect()
+            .map(|h| h.join().expect("parallel job panicked"))
+            .collect()
     })
-    .expect("thread scope")
 }
 
 /// Averages the final per-metric counts of several campaign results
@@ -42,7 +44,7 @@ pub fn mean_final_counts(results: &[CampaignResult]) -> (f64, f64, f64) {
 mod tests {
     use super::*;
     use hfl::baselines::DifuzzRtlFuzzer;
-    use hfl::campaign::{run_campaign, CampaignConfig};
+    use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
     use hfl_dut::CoreKind;
 
     #[test]
@@ -50,12 +52,18 @@ mod tests {
         let job = |seed: u64| {
             move || {
                 let mut fuzzer = DifuzzRtlFuzzer::new(seed, 10);
-                run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(15))
+                run_campaign(
+                    &mut fuzzer,
+                    &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(15)),
+                )
             }
         };
         let parallel = run_parallel(vec![job(1), job(2)]);
         let mut fuzzer = DifuzzRtlFuzzer::new(1, 10);
-        let sequential = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(15));
+        let sequential = run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(15)),
+        );
         assert_eq!(parallel[0].curve, sequential.curve);
         assert_eq!(parallel.len(), 2);
         let (c, l, f) = mean_final_counts(&parallel);

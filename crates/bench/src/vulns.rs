@@ -7,7 +7,7 @@
 //!    defect, recording how many test cases the loop needed to first
 //!    produce a mismatch.
 
-use hfl::campaign::{run_campaign_with_executor, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::harness::Executor;
 use hfl::poc::poc_for;
@@ -29,7 +29,11 @@ impl VulnConfig {
     /// A configuration that finishes in a few minutes.
     #[must_use]
     pub fn quick() -> VulnConfig {
-        VulnConfig { fuzz_cases: 250, hidden: 48, seed: 13 }
+        VulnConfig {
+            fuzz_cases: 250,
+            hidden: 48,
+            seed: 13,
+        }
     }
 }
 
@@ -55,7 +59,7 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
         .map(|bug| {
             let core = bug.cores[0];
             // Directed detection via the PoC.
-            let mut executor = Executor::new(core);
+            let mut executor = Executor::builder(core).build();
             let result = executor.run_case(&poc_for(bug.id));
             let poc_detected = !result.mismatches.is_empty();
             let poc_mismatch = result.mismatches.first().map(ToString::to_string);
@@ -63,20 +67,29 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
             // Fuzzing detection against a single-defect DUT.
             let mut quirks = Quirks::default();
             enable(&mut quirks, bug.id, core);
-            let single_bug_executor = Executor::with_quirks(core, quirks);
             let mut hfl_cfg = HflConfig::small().with_seed(cfg.seed);
             hfl_cfg.generator.hidden = cfg.hidden;
             hfl_cfg.predictor.hidden = cfg.hidden;
             let mut hfl = HflFuzzer::new(hfl_cfg);
-            let campaign = run_campaign_with_executor(
-                &mut hfl,
-                single_bug_executor,
-                &CampaignConfig { cases: cfg.fuzz_cases, sample_every: cfg.fuzz_cases, max_steps: 3_000 },
-            );
-            let fuzz_cases_to_detect =
-                campaign.first_detection.iter().map(|(_, case)| *case).min();
+            let spec = CampaignSpec::new(
+                core,
+                CampaignConfig {
+                    cases: cfg.fuzz_cases,
+                    sample_every: cfg.fuzz_cases,
+                    max_steps: 3_000,
+                    batch: 1,
+                },
+            )
+            .with_quirks(quirks);
+            let campaign = run_campaign(&mut hfl, &spec);
+            let fuzz_cases_to_detect = campaign.first_detection.iter().map(|(_, case)| *case).min();
 
-            VulnRow { bug, poc_detected, poc_mismatch, fuzz_cases_to_detect }
+            VulnRow {
+                bug,
+                poc_detected,
+                poc_mismatch,
+                fuzz_cases_to_detect,
+            }
         })
         .collect()
 }
@@ -87,7 +100,11 @@ mod tests {
 
     #[test]
     fn every_poc_detects_its_bug() {
-        let cfg = VulnConfig { fuzz_cases: 10, hidden: 16, seed: 3 };
+        let cfg = VulnConfig {
+            fuzz_cases: 10,
+            hidden: 16,
+            seed: 3,
+        };
         let rows = run_vuln_table(&cfg);
         assert_eq!(rows.len(), CATALOG.len());
         for row in &rows {

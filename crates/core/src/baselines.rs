@@ -62,7 +62,12 @@ impl Feedback {
     /// Feedback carrying only the scalar signals (terminated = true).
     #[must_use]
     pub fn scalar(gained_coverage: bool, coverage: f32) -> Feedback {
-        Feedback { gained_coverage, coverage, case_bits: None, terminated: true }
+        Feedback {
+            gained_coverage,
+            coverage,
+            case_bits: None,
+            terminated: true,
+        }
     }
 }
 
@@ -74,8 +79,20 @@ pub trait Fuzzer {
     /// Produces the next test case.
     fn next_case(&mut self) -> TestBody;
 
-    /// Receives coverage feedback for the case just produced. Feedback-free
-    /// fuzzers (Cascade) ignore it.
+    /// Produces up to `n` cases for one execution round (the campaign
+    /// runner evaluates a whole round on the pool before any feedback
+    /// arrives, in generation order). The default simply draws `n`
+    /// consecutive cases — correct for every generator whose sampling does
+    /// not depend on the pending feedback. Implementations may return
+    /// fewer than `n` cases (never zero) when a generation boundary, such
+    /// as HFL's episode end, falls inside the round.
+    fn next_round(&mut self, n: usize) -> Vec<TestBody> {
+        (0..n.max(1)).map(|_| self.next_case()).collect()
+    }
+
+    /// Receives coverage feedback for the oldest case that has not had
+    /// feedback yet (the campaign runner applies feedback in generation
+    /// order). Feedback-free fuzzers (Cascade) ignore it.
     fn feedback(&mut self, body: &TestBody, feedback: Feedback);
 }
 
@@ -222,7 +239,7 @@ impl Fuzzer for TheHuzzFuzzer {
                 break;
             }
             let w = self.rng.gen_range(0..words.len());
-            let bit = self.rng.gen_range(0..32);
+            let bit = self.rng.gen_range(0..32u32);
             words[w] ^= 1 << bit;
         }
         TestBody::Words(words)
@@ -253,7 +270,10 @@ impl CascadeFuzzer {
     /// Creates the fuzzer; Cascade's programs are long by design.
     #[must_use]
     pub fn new(seed: u64, program_len: usize) -> CascadeFuzzer {
-        CascadeFuzzer { rng: StdRng::seed_from_u64(seed), program_len }
+        CascadeFuzzer {
+            rng: StdRng::seed_from_u64(seed),
+            program_len,
+        }
     }
 }
 
@@ -272,7 +292,16 @@ impl Fuzzer for CascadeFuzzer {
                 if self.rng.gen_bool(0.85) {
                     continue; // mostly data-flow instructions
                 }
-                if matches!(inst.opcode, Opcode::Jalr | Opcode::Jr | Opcode::Ret | Opcode::Mret | Opcode::Sret | Opcode::Ecall | Opcode::Ebreak) {
+                if matches!(
+                    inst.opcode,
+                    Opcode::Jalr
+                        | Opcode::Jr
+                        | Opcode::Ret
+                        | Opcode::Mret
+                        | Opcode::Sret
+                        | Opcode::Ecall
+                        | Opcode::Ebreak
+                ) {
                     continue;
                 }
                 let mut fwd = inst;
@@ -303,8 +332,9 @@ pub struct ChatFuzzFuzzer {
     baseline: f32,
     /// REINFORCE learning rate (public so experiments can anneal it).
     pub lr: f32,
-    /// Byte choices of the last emitted case (for the REINFORCE update).
-    last_choices: Vec<[usize; 4]>,
+    /// Byte choices of emitted cases awaiting feedback, oldest first
+    /// (batched rounds defer feedback by up to a whole round).
+    pending_choices: std::collections::VecDeque<Vec<[usize; 4]>>,
 }
 
 impl ChatFuzzFuzzer {
@@ -317,7 +347,7 @@ impl ChatFuzzFuzzer {
             case_len,
             baseline: 0.0,
             lr: 0.05,
-            last_choices: Vec::new(),
+            pending_choices: std::collections::VecDeque::new(),
         }
     }
 }
@@ -328,7 +358,7 @@ impl Fuzzer for ChatFuzzFuzzer {
     }
 
     fn next_case(&mut self) -> TestBody {
-        self.last_choices.clear();
+        let mut choices = Vec::with_capacity(self.case_len);
         let mut words = Vec::with_capacity(self.case_len);
         for _ in 0..self.case_len {
             let mut choice = [0usize; 4];
@@ -338,17 +368,22 @@ impl Fuzzer for ChatFuzzFuzzer {
                 *c = sample_categorical(&probs, &mut self.rng);
                 word |= (*c as u32) << (8 * pos);
             }
-            self.last_choices.push(choice);
+            choices.push(choice);
             words.push(word);
         }
+        self.pending_choices.push_back(choices);
         TestBody::Words(words)
     }
 
     fn feedback(&mut self, _body: &TestBody, feedback: Feedback) {
-        // REINFORCE with a running baseline.
+        // REINFORCE with a running baseline, applied to the oldest case
+        // still awaiting its reward.
+        let Some(choices) = self.pending_choices.pop_front() else {
+            return;
+        };
         let advantage = feedback.coverage - self.baseline;
         self.baseline = 0.95 * self.baseline + 0.05 * feedback.coverage;
-        for choice in &self.last_choices {
+        for choice in &choices {
             for (pos, &byte) in choice.iter().enumerate() {
                 let probs = softmax(&self.prefs[pos]);
                 for (b, p) in probs.iter().enumerate() {
@@ -369,10 +404,7 @@ mod tests {
         for i in 0..n {
             let body = f.next_case();
             assert!(!body.is_empty(), "{} produced an empty case", f.name());
-            f.feedback(
-                &body,
-                Feedback::scalar(i % 3 == 0, 0.1 + 0.01 * i as f32),
-            );
+            f.feedback(&body, Feedback::scalar(i % 3 == 0, 0.1 + 0.01 * i as f32));
             out.push(body);
         }
         out
@@ -441,7 +473,9 @@ mod tests {
         // in their low byte.
         for _ in 0..1500 {
             let body = f.next_case();
-            let TestBody::Words(words) = &body else { unreachable!() };
+            let TestBody::Words(words) = &body else {
+                unreachable!()
+            };
             let hits = words.iter().filter(|w| *w & 0xFF == 0x13).count();
             let coverage = hits as f32 / words.len() as f32;
             f.feedback(&body, Feedback::scalar(false, coverage));
@@ -449,7 +483,10 @@ mod tests {
         let probs = softmax(&f.prefs[0]);
         let p13 = probs[0x13];
         let uniform = 1.0 / 256.0;
-        assert!(p13 > 2.0 * uniform, "byte 0x13 preference {p13} vs {uniform}");
+        assert!(
+            p13 > 2.0 * uniform,
+            "byte 0x13 preference {p13} vs {uniform}"
+        );
     }
 
     #[test]
@@ -459,5 +496,43 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(a.next_case(), b.next_case());
         }
+    }
+
+    #[test]
+    fn next_round_matches_consecutive_cases() {
+        // The default round implementation is definitionally n consecutive
+        // draws: a fuzzer that receives no feedback in between must emit
+        // the identical stream either way.
+        let mut rounds = TheHuzzFuzzer::new(8, 12);
+        let mut singles = TheHuzzFuzzer::new(8, 12);
+        let round = rounds.next_round(6);
+        let expect: Vec<TestBody> = (0..6).map(|_| singles.next_case()).collect();
+        assert_eq!(round, expect);
+    }
+
+    #[test]
+    fn chatfuzz_applies_deferred_feedback_in_order() {
+        // A batched round defers feedback by a whole round; the REINFORCE
+        // update must still pair each reward with its own case's choices.
+        let mut batched = ChatFuzzFuzzer::new(4, 8);
+        let mut sequential = ChatFuzzFuzzer::new(4, 8);
+        let round = batched.next_round(3);
+        for (i, body) in round.iter().enumerate() {
+            batched.feedback(body, Feedback::scalar(false, 0.1 * i as f32));
+        }
+        // The sequential twin sees the same bodies and rewards because the
+        // generation round happened before any update in both schedules.
+        for expected in &round {
+            let body = sequential.next_case();
+            assert_eq!(&body, expected);
+        }
+        for (i, body) in round.iter().enumerate() {
+            sequential.feedback(body, Feedback::scalar(false, 0.1 * i as f32));
+        }
+        assert_eq!(batched.prefs[0], sequential.prefs[0]);
+        assert!(batched.pending_choices.is_empty());
+        // Feedback without a pending case is ignored.
+        batched.feedback(&TestBody::Words(vec![0]), Feedback::scalar(true, 1.0));
+        assert!(batched.pending_choices.is_empty());
     }
 }

@@ -3,13 +3,29 @@
 //!
 //! Every figure/table harness in `hfl-bench` is built on this runner, so
 //! HFL and the baselines are always measured identically.
+//!
+//! # Parallel execution model
+//!
+//! The runner works in rounds: the fuzzer generates a batch of up to
+//! [`CampaignConfig::batch`] candidate bodies, an [`ExecPool`] evaluates
+//! them on `threads` cloned `(DUT, GRM)` workers, and coverage accounting
+//! plus fuzzer feedback are applied to the results **in submission
+//! order**. Because generation happens before execution and merging is
+//! ordered, the campaign's outputs (curve, signatures, first-detection
+//! indices) depend only on the batch size, never on the thread count:
+//! `threads = 8` is bit-identical to `threads = 1`. With `batch = 1` the
+//! round loop degenerates to the classic generate → run → feedback
+//! sequential loop.
+
+use std::time::Instant;
 
 use hfl_dut::{CoreKind, CoverageKind, CoverageSnapshot};
 
 use crate::baselines::{Feedback, Fuzzer, TestBody};
 use crate::corpus::Corpus;
 use crate::difftest::{Signature, SignatureSet};
-use crate::harness::{CaseResult, Executor};
+use crate::exec::{ExecPool, Throughput};
+use crate::harness::Executor;
 
 /// Budget and sampling parameters of one campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +36,12 @@ pub struct CampaignConfig {
     pub sample_every: u64,
     /// Per-test-case step budget.
     pub max_steps: u64,
+    /// Cases generated per round and evaluated as one pool batch. The
+    /// batch size is part of the campaign's semantics (feedback for a
+    /// round arrives only after the whole round executed), so results are
+    /// comparable only across equal batch sizes; the thread count never
+    /// changes them.
+    pub batch: usize,
 }
 
 impl CampaignConfig {
@@ -29,7 +51,73 @@ impl CampaignConfig {
         // The step budget bounds the cost of accidental loops (backward
         // branches in generated code); legitimate straight-line cases stay
         // far below it.
-        CampaignConfig { cases, sample_every: (cases / 50).max(1), max_steps: 3_000 }
+        CampaignConfig {
+            cases,
+            sample_every: (cases / 50).max(1),
+            max_steps: 3_000,
+            batch: 1,
+        }
+    }
+
+    /// Sets the per-round batch size (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> CampaignConfig {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// Everything that defines one campaign run: the core, the budget and the
+/// execution environment.
+///
+/// # Examples
+///
+/// ```
+/// use hfl::campaign::{CampaignConfig, CampaignSpec};
+/// use hfl_dut::CoreKind;
+///
+/// let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(100))
+///     .with_threads(4);
+/// assert_eq!(spec.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The core fuzzed.
+    pub core: CoreKind,
+    /// Budget and sampling parameters.
+    pub config: CampaignConfig,
+    /// Explicit defect configuration for the DUT; `None` uses the core's
+    /// full catalogue (per-bug detection experiments set this).
+    pub quirks: Option<hfl_grm::cpu::Quirks>,
+    /// Worker threads in the execution pool (clamped to at least 1). Does
+    /// not affect results, only wall-clock time.
+    pub threads: usize,
+}
+
+impl CampaignSpec {
+    /// A single-threaded spec with the core's full defect catalogue.
+    #[must_use]
+    pub fn new(core: CoreKind, config: CampaignConfig) -> CampaignSpec {
+        CampaignSpec {
+            core,
+            config,
+            quirks: None,
+            threads: 1,
+        }
+    }
+
+    /// Sets an explicit defect configuration (builder style).
+    #[must_use]
+    pub fn with_quirks(mut self, quirks: hfl_grm::cpu::Quirks) -> CampaignSpec {
+        self.quirks = Some(quirks);
+        self
+    }
+
+    /// Sets the pool's worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> CampaignSpec {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -75,13 +163,18 @@ pub struct CampaignResult {
     /// signature's display form. Word-level cases are stored as their
     /// decodable instructions.
     pub trigger_corpus: Corpus,
+    /// Wall-clock throughput counters (never part of determinism
+    /// comparisons).
+    pub throughput: Throughput,
 }
 
 impl CampaignResult {
     /// Final cumulative counts per metric.
     #[must_use]
     pub fn final_counts(&self) -> (usize, usize, usize) {
-        self.curve.last().map_or((0, 0, 0), |s| (s.condition, s.line, s.fsm))
+        self.curve
+            .last()
+            .map_or((0, 0, 0), |s| (s.condition, s.line, s.fsm))
     }
 
     /// Final coverage fraction for one metric.
@@ -100,7 +193,10 @@ impl CampaignResult {
     /// reached `target` points, if it ever did.
     #[must_use]
     pub fn cases_to_reach_condition(&self, target: usize) -> Option<u64> {
-        self.curve.iter().find(|s| s.condition >= target).map(|s| s.cases)
+        self.curve
+            .iter()
+            .find(|s| s.condition >= target)
+            .map(|s| s.cases)
     }
 }
 
@@ -110,27 +206,18 @@ impl CampaignResult {
 /// baselines, guaranteeing identical measurement: per-case coverage
 /// fraction feeds Eq. (1), cumulative-growth feeds the fuzzers' corpus
 /// scheduling and HFL's reset module, and every case is differentially
-/// tested.
-pub fn run_campaign(
-    fuzzer: &mut dyn Fuzzer,
-    core: CoreKind,
-    cfg: &CampaignConfig,
-) -> CampaignResult {
-    let executor = Executor::new(core).with_max_steps(cfg.max_steps);
-    run_campaign_with_executor(fuzzer, executor, cfg)
-}
-
-/// [`run_campaign`] with a caller-supplied executor — e.g. one built with
-/// [`Executor::with_quirks`] for the per-bug detection experiments.
-pub fn run_campaign_with_executor(
-    fuzzer: &mut dyn Fuzzer,
-    mut executor: Executor,
-    cfg: &CampaignConfig,
-) -> CampaignResult {
-    let core = executor.core();
-    let map_len = executor.coverage_map().len();
+/// tested. See the module docs for the round/batch execution model.
+pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignResult {
+    let started = Instant::now();
+    let cfg = &spec.config;
+    let mut builder = Executor::builder(spec.core).max_steps(cfg.max_steps);
+    if let Some(quirks) = &spec.quirks {
+        builder = builder.quirks(quirks.clone());
+    }
+    let mut pool = ExecPool::new(builder.build(), spec.threads);
+    let map_len = pool.coverage_map().len();
     let totals = {
-        let map = executor.coverage_map();
+        let map = pool.coverage_map();
         (
             map.len_of(CoverageKind::Condition),
             map.len_of(CoverageKind::Line),
@@ -144,56 +231,64 @@ pub fn run_campaign_with_executor(
     let mut instructions_executed: u64 = 0;
     let mut trigger_corpus = Corpus::new();
 
-    for case_idx in 0..cfg.cases {
-        let body = fuzzer.next_case();
-        let result: CaseResult = match &body {
-            TestBody::Asm(instructions) => executor.run_case(instructions),
-            TestBody::Words(words) => executor.run_words(words),
-        };
-        instructions_executed += result.dut.steps;
-        let gained = cumulative.would_grow(&result.dut.coverage);
-        cumulative.union_with(&result.dut.coverage);
-        let coverage = result.dut.coverage.count() as f32 / map_len as f32;
-        for mismatch in &result.mismatches {
-            if signatures.insert(mismatch) {
-                first_detection.push((mismatch.signature(), case_idx + 1));
-                let instructions = match &body {
-                    TestBody::Asm(v) => v.clone(),
-                    TestBody::Words(words) => words
-                        .iter()
-                        .filter_map(|&w| hfl_riscv::decode(w).ok())
-                        .collect(),
-                };
-                trigger_corpus.push(mismatch.signature().to_string(), instructions);
-            }
-        }
-        let case_bits = std::sync::Arc::new(result.dut.coverage.to_bit_labels());
-        let terminated = result.dut.halt != hfl_grm::HaltReason::StepBudget;
-        fuzzer.feedback(
-            &body,
-            Feedback {
-                gained_coverage: gained,
-                coverage,
-                case_bits: Some(case_bits),
-                terminated,
-            },
+    let mut executed: u64 = 0;
+    while executed < cfg.cases {
+        let want = (cfg.cases - executed).min(cfg.batch.max(1) as u64) as usize;
+        let mut round = fuzzer.next_round(want);
+        assert!(
+            !round.is_empty(),
+            "next_round must produce at least one case"
         );
-        if (case_idx + 1) % cfg.sample_every == 0 || case_idx + 1 == cfg.cases {
-            let map = executor.coverage_map();
-            curve.push(CoverageSample {
-                cases: case_idx + 1,
-                condition: cumulative.count_of(map, CoverageKind::Condition),
-                line: cumulative.count_of(map, CoverageKind::Line),
-                fsm: cumulative.count_of(map, CoverageKind::Fsm),
-            });
+        round.truncate(want);
+        let results = pool.run_batch(&round);
+        for (body, result) in round.iter().zip(results) {
+            executed += 1;
+            instructions_executed += result.dut.steps;
+            let gained = cumulative.would_grow(&result.dut.coverage);
+            cumulative.union_with(&result.dut.coverage);
+            let coverage = result.dut.coverage.count() as f32 / map_len as f32;
+            for mismatch in &result.mismatches {
+                if signatures.insert(mismatch) {
+                    first_detection.push((mismatch.signature(), executed));
+                    let instructions = match body {
+                        TestBody::Asm(v) => v.clone(),
+                        TestBody::Words(words) => words
+                            .iter()
+                            .filter_map(|&w| hfl_riscv::decode(w).ok())
+                            .collect(),
+                    };
+                    trigger_corpus.push(mismatch.signature().to_string(), instructions);
+                }
+            }
+            let case_bits = std::sync::Arc::new(result.dut.coverage.to_bit_labels());
+            let terminated = result.dut.halt != hfl_grm::HaltReason::StepBudget;
+            fuzzer.feedback(
+                body,
+                Feedback {
+                    gained_coverage: gained,
+                    coverage,
+                    case_bits: Some(case_bits),
+                    terminated,
+                },
+            );
+            if executed.is_multiple_of(cfg.sample_every) || executed == cfg.cases {
+                let map = pool.coverage_map();
+                curve.push(CoverageSample {
+                    cases: executed,
+                    condition: cumulative.count_of(map, CoverageKind::Condition),
+                    line: cumulative.count_of(map, CoverageKind::Line),
+                    fsm: cumulative.count_of(map, CoverageKind::Fsm),
+                });
+            }
         }
     }
 
     let mut sigs: Vec<Signature> = first_detection.iter().map(|(s, _)| *s).collect();
     sigs.sort_unstable();
+    let throughput = pool.throughput(started.elapsed(), instructions_executed);
     CampaignResult {
         fuzzer: fuzzer.name().to_owned(),
-        core,
+        core: spec.core,
         curve,
         totals,
         unique_signatures: signatures.unique(),
@@ -203,6 +298,7 @@ pub fn run_campaign_with_executor(
         first_detection,
         instructions_executed,
         trigger_corpus,
+        throughput,
     }
 }
 
@@ -217,8 +313,15 @@ mod tests {
         let mut fuzzer = DifuzzRtlFuzzer::new(5, 12);
         let result = run_campaign(
             &mut fuzzer,
-            CoreKind::Rocket,
-            &CampaignConfig { cases: 40, sample_every: 10, max_steps: 20_000 },
+            &CampaignSpec::new(
+                CoreKind::Rocket,
+                CampaignConfig {
+                    cases: 40,
+                    sample_every: 10,
+                    max_steps: 20_000,
+                    batch: 1,
+                },
+            ),
         );
         assert_eq!(result.fuzzer, "DifuzzRTL");
         assert_eq!(result.curve.len(), 4);
@@ -239,7 +342,10 @@ mod tests {
         // (unimplemented CSR nop); random fuzzing over a few hundred cases
         // reliably trips at least one.
         let mut fuzzer = DifuzzRtlFuzzer::new(11, 16);
-        let result = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(150));
+        let result = run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(150)),
+        );
         assert!(
             result.unique_signatures > 0,
             "expected at least one injected-bug signature"
@@ -255,7 +361,10 @@ mod tests {
         cfg.predictor.hidden = 16;
         cfg.test_len = 6;
         let mut hfl = HflFuzzer::new(cfg);
-        let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(30));
+        let result = run_campaign(
+            &mut hfl,
+            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(30)),
+        );
         assert_eq!(result.fuzzer, "HFL");
         assert!(result.final_counts().0 > 0);
         assert_eq!(hfl.stats().cases, 30);
@@ -264,9 +373,48 @@ mod tests {
     #[test]
     fn cascade_is_feedback_free_but_still_measured() {
         let mut fuzzer = CascadeFuzzer::new(2, 60);
-        let result = run_campaign(&mut fuzzer, CoreKind::Boom, &CampaignConfig::quick(10));
+        let result = run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::new(CoreKind::Boom, CampaignConfig::quick(10)),
+        );
         assert!(result.final_counts().1 > 0);
         assert_eq!(result.core, CoreKind::Boom);
+    }
+
+    #[test]
+    fn batch_one_equals_the_sequential_loop_and_throughput_is_reported() {
+        // batch = 1 is the definitional sequential campaign; any thread
+        // count must reproduce it bit for bit since every round holds a
+        // single case.
+        let run = |threads| {
+            let mut fuzzer = DifuzzRtlFuzzer::new(7, 10);
+            run_campaign(
+                &mut fuzzer,
+                &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(25))
+                    .with_threads(threads),
+            )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.curve, b.curve);
+        assert_eq!(a.signatures, b.signatures);
+        assert_eq!(a.first_detection, b.first_detection);
+        assert_eq!(a.throughput.cases, 25);
+        assert!(a.throughput.cases_per_second > 0.0);
+        assert_eq!(b.throughput.threads, 4);
+    }
+
+    #[test]
+    fn quirks_spec_restricts_the_defect_catalogue() {
+        // An empty defect configuration means DUT == GRM: a campaign can
+        // never observe a mismatch.
+        let mut fuzzer = DifuzzRtlFuzzer::new(11, 16);
+        let result = run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(60))
+                .with_quirks(hfl_grm::cpu::Quirks::default()),
+        );
+        assert_eq!(result.unique_signatures, 0, "defect-free DUT");
     }
 }
 
@@ -282,9 +430,12 @@ mod trigger_tests {
         // one must reproduce its signature — the corpus is a regression
         // suite for the injected defects.
         let mut fuzzer = DifuzzRtlFuzzer::new(12, 16);
-        let result = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(150));
+        let result = run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(150)),
+        );
         assert!(!result.trigger_corpus.entries().is_empty(), "need triggers");
-        let mut executor = Executor::new(CoreKind::Rocket);
+        let mut executor = Executor::builder(CoreKind::Rocket).build();
         for entry in result.trigger_corpus.entries() {
             let replay = executor.run_case(&entry.body);
             let reproduced = replay

@@ -55,7 +55,10 @@ impl Corpus {
 
     /// Appends a named case.
     pub fn push(&mut self, name: impl Into<String>, body: Vec<Instruction>) {
-        self.entries.push(CorpusEntry { name: name.into(), body });
+        self.entries.push(CorpusEntry {
+            name: name.into(),
+            body,
+        });
     }
 
     /// Looks an entry up by name.
@@ -88,9 +91,9 @@ impl Corpus {
         let mut chunk = String::new();
         let mut chunk_start = 0usize;
         let flush = |name: &mut Option<String>,
-                         chunk: &mut String,
-                         chunk_start: usize,
-                         corpus: &mut Corpus|
+                     chunk: &mut String,
+                     chunk_start: usize,
+                     corpus: &mut Corpus|
          -> Result<(), ParseAsmError> {
             if let Some(n) = name.take() {
                 let body = parse_program(chunk).map_err(|mut e| {
@@ -119,7 +122,9 @@ impl Corpus {
 
 impl FromIterator<CorpusEntry> for Corpus {
     fn from_iter<T: IntoIterator<Item = CorpusEntry>>(iter: T) -> Self {
-        Corpus { entries: iter.into_iter().collect() }
+        Corpus {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -138,7 +143,10 @@ mod tests {
     #[test]
     fn round_trip_multiple_entries() {
         let mut corpus = Corpus::new();
-        corpus.push("first", vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1)]);
+        corpus.push(
+            "first",
+            vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1)],
+        );
         corpus.push(
             "second",
             vec![
@@ -184,8 +192,14 @@ mod tests {
     #[test]
     fn collects_from_iterator() {
         let entries = vec![
-            CorpusEntry { name: "a".into(), body: vec![Instruction::NOP] },
-            CorpusEntry { name: "b".into(), body: vec![] },
+            CorpusEntry {
+                name: "a".into(),
+                body: vec![Instruction::NOP],
+            },
+            CorpusEntry {
+                name: "b".into(),
+                body: vec![],
+            },
         ];
         let mut c: Corpus = entries.clone().into_iter().collect();
         assert_eq!(c.entries().len(), 2);

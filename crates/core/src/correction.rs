@@ -52,10 +52,26 @@ pub fn correct(outputs: &HeadOutputs) -> Corrected {
     let spec = opcode.spec();
     let mask = spec.mask();
 
-    let rd = if spec.rd.is_some() { (rd_idx % 32) as u8 } else { 0 };
-    let rs1 = if spec.rs1.is_some() { (rs1_idx % 32) as u8 } else { 0 };
-    let rs2 = if spec.rs2.is_some() { (rs2_idx % 32) as u8 } else { 0 };
-    let rs3 = if spec.rs3.is_some() { (rs3_idx % 32) as u8 } else { 0 };
+    let rd = if spec.rd.is_some() {
+        (rd_idx % 32) as u8
+    } else {
+        0
+    };
+    let rs1 = if spec.rs1.is_some() {
+        (rs1_idx % 32) as u8
+    } else {
+        0
+    };
+    let rs2 = if spec.rs2.is_some() {
+        (rs2_idx % 32) as u8
+    } else {
+        0
+    };
+    let rs3 = if spec.rs3.is_some() {
+        (rs3_idx % 32) as u8
+    } else {
+        0
+    };
 
     let mut imm: i64 = 0;
     if spec.imm != ImmKind::None {
@@ -68,7 +84,11 @@ pub fn correct(outputs: &HeadOutputs) -> Corrected {
         AddrKind::Branch | AddrKind::Jump => {
             // Control-flow targets come from the address head; legalise to
             // the encoding range of the branch/jump format.
-            let kind = if spec.addr == AddrKind::Branch { ImmKind::B13 } else { ImmKind::J21 };
+            let kind = if spec.addr == AddrKind::Branch {
+                ImmKind::B13
+            } else {
+                ImmKind::J21
+            };
             imm = hfl_riscv::imm::legalize_kind(kind, addr_offset_for_index(addr_idx));
         }
     }
@@ -86,8 +106,12 @@ mod tests {
 
     #[test]
     fn opcode_index_wraps() {
-        let a = correct(&HeadOutputs { indices: [0, 0, 0, 0, 0, 0, 0] });
-        let b = correct(&HeadOutputs { indices: [Opcode::COUNT, 0, 0, 0, 0, 0, 0] });
+        let a = correct(&HeadOutputs {
+            indices: [0, 0, 0, 0, 0, 0, 0],
+        });
+        let b = correct(&HeadOutputs {
+            indices: [Opcode::COUNT, 0, 0, 0, 0, 0, 0],
+        });
         assert_eq!(a.instruction.opcode, b.instruction.opcode);
     }
 
@@ -95,7 +119,9 @@ mod tests {
     fn mask_matches_opcode_spec() {
         // add: rd, rs1, rs2, no imm/addr.
         let add_idx = Opcode::Add.index();
-        let c = correct(&HeadOutputs { indices: [add_idx, 1, 2, 3, 4, 5, 6] });
+        let c = correct(&HeadOutputs {
+            indices: [add_idx, 1, 2, 3, 4, 5, 6],
+        });
         assert_eq!(c.instruction.opcode, Opcode::Add);
         assert!(c.mask.rd && c.mask.rs1 && c.mask.rs2);
         assert!(!c.mask.rs3 && !c.mask.imm && !c.mask.addr);
@@ -106,7 +132,9 @@ mod tests {
     #[test]
     fn csr_instructions_use_the_address_head() {
         let idx = Opcode::Csrrw.index();
-        let c = correct(&HeadOutputs { indices: [idx, 1, 2, 0, 0, 0, 8] });
+        let c = correct(&HeadOutputs {
+            indices: [idx, 1, 2, 0, 0, 0, 8],
+        });
         assert!(c.mask.addr);
         assert_eq!(c.instruction.csr, Csr::GENERATOR_VOCAB[8]);
     }
@@ -115,7 +143,9 @@ mod tests {
     fn branches_get_legal_even_offsets() {
         let idx = Opcode::Beq.index();
         for addr_idx in 0..60 {
-            let c = correct(&HeadOutputs { indices: [idx, 0, 1, 2, 0, 0, addr_idx] });
+            let c = correct(&HeadOutputs {
+                indices: [idx, 0, 1, 2, 0, 0, addr_idx],
+            });
             assert_eq!(c.instruction.imm % 2, 0);
             assert!(ImmKind::B13.accepts(c.instruction.imm));
         }
@@ -125,7 +155,9 @@ mod tests {
     fn paper_example_fnmsub() {
         // fnmsub.d uses all four register heads.
         let idx = Opcode::FnmsubD.index();
-        let c = correct(&HeadOutputs { indices: [idx, 20, 25, 5, 25, 9, 9] });
+        let c = correct(&HeadOutputs {
+            indices: [idx, 20, 25, 5, 25, 9, 9],
+        });
         assert_eq!(c.instruction.to_string(), "fnmsub.d fs4, fs9, ft5, fs9");
         assert_eq!(c.mask.active_count(), 5);
     }

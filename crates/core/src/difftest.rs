@@ -160,7 +160,10 @@ pub fn compare(
         let d_cause = d.trap.map(|t| t.cause);
         if g.trap != d.trap {
             out.push(Mismatch {
-                kind: MismatchKind::Trap { grm_cause: g_cause, dut_cause: d_cause },
+                kind: MismatchKind::Trap {
+                    grm_cause: g_cause,
+                    dut_cause: d_cause,
+                },
                 pc: g.pc,
                 word: g.word,
                 opcode,
@@ -239,24 +242,39 @@ fn compare_final_state(grm: &ArchSnapshot, dut: &ArchSnapshot, out: &mut Vec<Mis
     };
     for i in 0..32 {
         if grm.x[i] != dut.x[i] {
-            push("x", format!("x{i}: grm {:#x}, dut {:#x}", grm.x[i], dut.x[i]));
+            push(
+                "x",
+                format!("x{i}: grm {:#x}, dut {:#x}", grm.x[i], dut.x[i]),
+            );
             break;
         }
     }
     for i in 0..32 {
         if grm.f[i] != dut.f[i] {
-            push("f", format!("f{i}: grm {:#x}, dut {:#x}", grm.f[i], dut.f[i]));
+            push(
+                "f",
+                format!("f{i}: grm {:#x}, dut {:#x}", grm.f[i], dut.f[i]),
+            );
             break;
         }
     }
     if grm.fcsr != dut.fcsr {
-        push("fcsr", format!("fcsr: grm {:#x}, dut {:#x}", grm.fcsr, dut.fcsr));
+        push(
+            "fcsr",
+            format!("fcsr: grm {:#x}, dut {:#x}", grm.fcsr, dut.fcsr),
+        );
     }
     if grm.mcause != dut.mcause {
-        push("mcause", format!("mcause: grm {}, dut {}", grm.mcause, dut.mcause));
+        push(
+            "mcause",
+            format!("mcause: grm {}, dut {}", grm.mcause, dut.mcause),
+        );
     }
     if grm.mtval != dut.mtval {
-        push("mtval", format!("mtval: grm {:#x}, dut {:#x}", grm.mtval, dut.mtval));
+        push(
+            "mtval",
+            format!("mtval: grm {:#x}, dut {:#x}", grm.mtval, dut.mtval),
+        );
     }
     if grm.instret != dut.instret {
         push(
@@ -272,7 +290,13 @@ mod tests {
     use hfl_grm::{TraceEntry, Trap};
 
     fn entry(pc: u64, word: u32) -> TraceEntry {
-        TraceEntry { pc, word, rd_write: None, mem: None, trap: None }
+        TraceEntry {
+            pc,
+            word,
+            rd_write: None,
+            mem: None,
+            trap: None,
+        }
     }
 
     fn arch() -> ArchSnapshot {
@@ -311,7 +335,14 @@ mod tests {
         let mut d = g.clone();
         g.entries[0].rd_write = Some((false, 6, 1));
         d.entries[0].rd_write = Some((false, 6, 2));
-        let m = compare(&g, HaltReason::ReachedHaltPc, &arch(), &d, HaltReason::ReachedHaltPc, &arch());
+        let m = compare(
+            &g,
+            HaltReason::ReachedHaltPc,
+            &arch(),
+            &d,
+            HaltReason::ReachedHaltPc,
+            &arch(),
+        );
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].kind, MismatchKind::RegWrite);
         assert_eq!(m[0].opcode, Some(Opcode::Add));
@@ -320,15 +351,28 @@ mod tests {
     #[test]
     fn trap_divergence_detected() {
         let g = trace(vec![TraceEntry {
-            trap: Some(Trap { cause: 0, tval: 0x8000_0002 }),
+            trap: Some(Trap {
+                cause: 0,
+                tval: 0x8000_0002,
+            }),
             ..entry(0x8000_0000, 0x67)
         }]);
         let d = trace(vec![entry(0x8000_0000, 0x67)]);
-        let m = compare(&g, HaltReason::ReachedHaltPc, &arch(), &d, HaltReason::ReachedHaltPc, &arch());
+        let m = compare(
+            &g,
+            HaltReason::ReachedHaltPc,
+            &arch(),
+            &d,
+            HaltReason::ReachedHaltPc,
+            &arch(),
+        );
         assert_eq!(m.len(), 1);
         assert!(matches!(
             m[0].kind,
-            MismatchKind::Trap { grm_cause: Some(0), dut_cause: None }
+            MismatchKind::Trap {
+                grm_cause: Some(0),
+                dut_cause: None
+            }
         ));
     }
 
@@ -355,7 +399,14 @@ mod tests {
         dut_arch.fcsr = 0; // DUT missed the NV flag
         let mut grm_arch = arch();
         grm_arch.fcsr = 0x10;
-        let m = compare(&t, HaltReason::ReachedHaltPc, &grm_arch, &t, HaltReason::ReachedHaltPc, &dut_arch);
+        let m = compare(
+            &t,
+            HaltReason::ReachedHaltPc,
+            &grm_arch,
+            &t,
+            HaltReason::ReachedHaltPc,
+            &dut_arch,
+        );
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].kind, MismatchKind::FinalState { field: "fcsr" });
     }
@@ -400,7 +451,14 @@ mod tests {
     fn control_flow_divergence_detected() {
         let g = trace(vec![entry(0x8000_0000, 0x13), entry(0x8000_0004, 0x13)]);
         let d = trace(vec![entry(0x8000_0000, 0x13), entry(0x8000_0010, 0x13)]);
-        let m = compare(&g, HaltReason::ReachedHaltPc, &arch(), &d, HaltReason::ReachedHaltPc, &arch());
+        let m = compare(
+            &g,
+            HaltReason::ReachedHaltPc,
+            &arch(),
+            &d,
+            HaltReason::ReachedHaltPc,
+            &arch(),
+        );
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].kind, MismatchKind::ControlFlow);
     }

@@ -3,12 +3,11 @@
 
 use hfl_nn::{Embedding, Tensor};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::tokens::{head_sizes, Tokens};
 
 /// Embedding dimensions per instruction component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncoderConfig {
     /// Opcode embedding width.
     pub opcode: usize,
@@ -25,7 +24,12 @@ impl EncoderConfig {
     /// 80-dimensional LSTM input).
     #[must_use]
     pub fn default_dims() -> EncoderConfig {
-        EncoderConfig { opcode: 32, reg: 8, imm: 8, addr: 8 }
+        EncoderConfig {
+            opcode: 32,
+            reg: 8,
+            imm: 8,
+            addr: 8,
+        }
     }
 
     /// Total input width.
@@ -43,7 +47,7 @@ impl Default for EncoderConfig {
 
 /// Embeds [`Tokens`] into a dense vector: `[opcode | rd | rs1 | rs2 | rs3 |
 /// imm | addr]`. The register table is shared across the four slots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TokenEncoder {
     cfg: EncoderConfig,
     emb_op: Embedding,
@@ -98,7 +102,13 @@ impl TokenEncoder {
             && emb_imm.dim() == cfg.imm
             && emb_addr.vocab() == sizes[6]
             && emb_addr.dim() == cfg.addr;
-        ok.then_some(TokenEncoder { cfg, emb_op, emb_reg, emb_imm, emb_addr })
+        ok.then_some(TokenEncoder {
+            cfg,
+            emb_op,
+            emb_reg,
+            emb_imm,
+            emb_addr,
+        })
     }
 
     /// Width of the produced vectors.
@@ -133,15 +143,19 @@ impl TokenEncoder {
     pub fn backward(&mut self, t: &Tokens, dvec: &[f32]) {
         assert_eq!(dvec.len(), self.dim());
         let mut off = 0;
-        self.emb_op.backward(t.indices[0], &dvec[off..off + self.cfg.opcode]);
+        self.emb_op
+            .backward(t.indices[0], &dvec[off..off + self.cfg.opcode]);
         off += self.cfg.opcode;
         for slot in 1..=4 {
-            self.emb_reg.backward(t.indices[slot], &dvec[off..off + self.cfg.reg]);
+            self.emb_reg
+                .backward(t.indices[slot], &dvec[off..off + self.cfg.reg]);
             off += self.cfg.reg;
         }
-        self.emb_imm.backward(t.indices[5], &dvec[off..off + self.cfg.imm]);
+        self.emb_imm
+            .backward(t.indices[5], &dvec[off..off + self.cfg.imm]);
         off += self.cfg.imm;
-        self.emb_addr.backward(t.indices[6], &dvec[off..off + self.cfg.addr]);
+        self.emb_addr
+            .backward(t.indices[6], &dvec[off..off + self.cfg.addr]);
     }
 
     /// All parameter tensors (for the optimiser).
@@ -205,10 +219,7 @@ mod tests {
         enc.backward(&t, &dvec);
         // The opcode row for `add` received gradient.
         let op_row = Opcode::Add.index();
-        assert!(enc
-            .emb_op
-            .table
-            .grad[op_row * 32..(op_row + 1) * 32]
+        assert!(enc.emb_op.table.grad[op_row * 32..(op_row + 1) * 32]
             .iter()
             .all(|&g| g == 1.0));
         // The shared register table accumulated from multiple slots

@@ -1,0 +1,307 @@
+//! Batched parallel execution: a pool of `(DUT, GRM)` worker pairs that
+//! evaluates a round of test bodies and returns results **in submission
+//! order**.
+//!
+//! Ordered merging is what keeps campaigns deterministic: coverage curves,
+//! mismatch signatures and first-detection indices depend only on the
+//! sequence of submitted bodies, never on which worker ran a case or how
+//! the OS scheduled the threads. A pool with one worker degenerates to a
+//! plain sequential loop over the same code path, so `threads = 1`
+//! reproduces the single-threaded harness bit for bit.
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::baselines::TestBody;
+use crate::harness::{CaseResult, Executor};
+
+/// Runs `f` over `items` on the given workers, merging the outputs back
+/// into item order.
+///
+/// Work is distributed by an atomic cursor (work stealing), so slow items
+/// don't serialise behind a static partition; the index travelling with
+/// each output makes the merge deterministic regardless of which worker
+/// picked up which item. With one worker (or one item) no threads are
+/// spawned at all.
+///
+/// # Panics
+///
+/// Panics if `workers` is empty, and propagates the original payload if a
+/// worker panics while processing an item.
+pub fn run_ordered<W, I, T, F>(workers: &mut [W], items: &[I], f: F) -> Vec<T>
+where
+    W: Send,
+    I: Sync,
+    T: Send,
+    F: Fn(&mut W, &I) -> T + Sync,
+{
+    assert!(!workers.is_empty(), "run_ordered needs at least one worker");
+    if workers.len() <= 1 || items.len() <= 1 {
+        let worker = &mut workers[0];
+        return items.iter().map(|item| f(worker, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .map(|worker| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(worker, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = items.iter().map(|_| None).collect();
+    for (i, result) in indexed {
+        slots[i] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item was processed exactly once"))
+        .collect()
+}
+
+/// Throughput counters of a pooled run (filled in per batch).
+///
+/// Timing fields are wall-clock measurements and naturally vary between
+/// runs; they are excluded from any determinism comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    /// Worker threads the pool was created with.
+    pub threads: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Cases executed.
+    pub cases: u64,
+    /// Wall-clock seconds spent inside batch execution.
+    pub exec_seconds: f64,
+    /// Summed per-case execution seconds across all workers.
+    pub busy_seconds: f64,
+    /// Wall-clock seconds of the whole campaign (set by the campaign
+    /// runner; includes generation and feedback).
+    pub wall_seconds: f64,
+    /// Cases per wall-clock second.
+    pub cases_per_second: f64,
+    /// DUT instructions retired per wall-clock second.
+    pub instructions_per_second: f64,
+    /// Fraction of the pool's thread-seconds spent executing cases
+    /// (`busy / (exec_wall * threads)`); 1.0 means no worker ever idled
+    /// during a batch.
+    pub pool_occupancy: f64,
+}
+
+/// A pool of cloned [`Executor`]s evaluating batches of test bodies.
+///
+/// # Examples
+///
+/// ```
+/// use hfl::baselines::TestBody;
+/// use hfl::exec::ExecPool;
+/// use hfl::harness::Executor;
+/// use hfl_dut::CoreKind;
+/// use hfl_riscv::{Instruction, Opcode, Reg};
+///
+/// let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+/// let batch = vec![
+///     TestBody::Asm(vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1)]),
+///     TestBody::Asm(vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 2)]),
+/// ];
+/// let results = pool.run_batch(&batch);
+/// assert_eq!(results[0].grm_arch.x[10], 1);
+/// assert_eq!(results[1].grm_arch.x[10], 2);
+/// ```
+#[derive(Debug)]
+pub struct ExecPool {
+    workers: Vec<Executor>,
+    batches: u64,
+    cases: u64,
+    exec_time: Duration,
+    busy_time: Duration,
+}
+
+impl ExecPool {
+    /// Creates a pool of `threads` workers cloned from one prototype
+    /// (`threads` is clamped to at least 1).
+    #[must_use]
+    pub fn new(prototype: Executor, threads: usize) -> ExecPool {
+        let threads = threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 1..threads {
+            workers.push(prototype.clone());
+        }
+        workers.push(prototype);
+        ExecPool {
+            workers,
+            batches: 0,
+            cases: 0,
+            exec_time: Duration::ZERO,
+            busy_time: Duration::ZERO,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The core under test.
+    #[must_use]
+    pub fn core(&self) -> hfl_dut::CoreKind {
+        self.workers[0].core()
+    }
+
+    /// The coverage-point database (identical across workers).
+    #[must_use]
+    pub fn coverage_map(&self) -> &hfl_dut::CoverageMap {
+        self.workers[0].coverage_map()
+    }
+
+    /// Executes one batch, returning results in submission order.
+    pub fn run_batch(&mut self, bodies: &[TestBody]) -> Vec<CaseResult> {
+        let started = Instant::now();
+        let timed = run_ordered(&mut self.workers, bodies, |worker, body| {
+            let case_started = Instant::now();
+            let result = worker.run(body);
+            (result, case_started.elapsed())
+        });
+        self.exec_time += started.elapsed();
+        self.batches += 1;
+        self.cases += bodies.len() as u64;
+        timed
+            .into_iter()
+            .map(|(result, spent)| {
+                self.busy_time += spent;
+                result
+            })
+            .collect()
+    }
+
+    /// Throughput counters so far. `wall_seconds` is taken from the
+    /// caller's clock (the campaign measures generation + feedback too);
+    /// `instructions` is the total the DUT retired.
+    #[must_use]
+    pub fn throughput(&self, wall: Duration, instructions: u64) -> Throughput {
+        let wall_seconds = wall.as_secs_f64();
+        let exec_seconds = self.exec_time.as_secs_f64();
+        let threads = self.workers.len();
+        Throughput {
+            threads,
+            batches: self.batches,
+            cases: self.cases,
+            exec_seconds,
+            busy_seconds: self.busy_time.as_secs_f64(),
+            wall_seconds,
+            cases_per_second: if wall_seconds > 0.0 {
+                self.cases as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            instructions_per_second: if wall_seconds > 0.0 {
+                instructions as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            pool_occupancy: if exec_seconds > 0.0 {
+                self.busy_time.as_secs_f64() / (exec_seconds * threads as f64)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_dut::CoreKind;
+    use hfl_riscv::{Instruction, Opcode, Reg};
+
+    fn addi_body(imm: i64) -> TestBody {
+        TestBody::Asm(vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, imm)])
+    }
+
+    #[test]
+    fn run_ordered_merges_in_submission_order() {
+        // Workers carry distinct identities; results must follow item
+        // order regardless of which worker processed what.
+        let mut workers = vec![10usize, 20, 30];
+        let items: Vec<usize> = (0..40).collect();
+        let results = run_ordered(&mut workers, &items, |_, &i| i * 2);
+        assert_eq!(results, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_ordered_single_worker_stays_on_the_calling_thread() {
+        let calling = std::thread::current().id();
+        let mut workers = vec![()];
+        let items = [1, 2, 3];
+        let results = run_ordered(&mut workers, &items, |(), &i| {
+            assert_eq!(std::thread::current().id(), calling);
+            i + 1
+        });
+        assert_eq!(results, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded on item 3")]
+    fn run_ordered_propagates_worker_panics() {
+        let mut workers = vec![0u8, 0];
+        let items: Vec<usize> = (0..8).collect();
+        run_ordered(&mut workers, &items, |_, &i| {
+            assert!(i != 3, "worker exploded on item {i}");
+            i
+        });
+    }
+
+    #[test]
+    fn pool_results_match_sequential_execution_for_any_thread_count() {
+        let batch: Vec<TestBody> = (0..12).map(|i| addi_body(i + 1)).collect();
+        let mut sequential = Executor::builder(CoreKind::Rocket).build();
+        let expected: Vec<_> = batch.iter().map(|b| sequential.run(b)).collect();
+        for threads in [1, 2, 8] {
+            let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), threads);
+            let results = pool.run_batch(&batch);
+            assert_eq!(results.len(), expected.len());
+            for (got, want) in results.iter().zip(&expected) {
+                assert_eq!(got.dut.coverage, want.dut.coverage, "threads={threads}");
+                assert_eq!(got.dut.arch, want.dut.arch, "threads={threads}");
+                assert_eq!(got.mismatches.len(), want.mismatches.len());
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_counters_accumulate() {
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        let batch: Vec<TestBody> = (0..4).map(|i| addi_body(i + 1)).collect();
+        pool.run_batch(&batch);
+        pool.run_batch(&batch);
+        let t = pool.throughput(Duration::from_secs(1), 1_000);
+        assert_eq!(t.threads, 2);
+        assert_eq!(t.batches, 2);
+        assert_eq!(t.cases, 8);
+        assert!(t.busy_seconds > 0.0);
+        assert!((t.cases_per_second - 8.0).abs() < 1e-9);
+        assert!((t.instructions_per_second - 1_000.0).abs() < 1e-9);
+        // Busy time is a subset of exec wall-time per worker, so occupancy
+        // sits in (0, 1] up to timer granularity.
+        assert!(t.pool_occupancy > 0.0 && t.pool_occupancy <= 1.05);
+    }
+}

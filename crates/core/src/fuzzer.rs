@@ -2,21 +2,24 @@
 //! construction → DUT → reward → PPO update, with the instruction mask and
 //! reset module keeping exploration alive.
 
+use std::collections::VecDeque;
+
 use hfl_nn::Adam;
 use hfl_rl::{advantage, PpoConfig, RewardConfig, RewardNormalizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::baselines::{Feedback, Fuzzer, TestBody};
 use crate::generator::{EpisodeStep, GenSession, GeneratorConfig, InstructionGenerator};
-use crate::predictor::{CoveragePredictor, CoverageSession, PredictorConfig, ValuePredictor, ValueSession};
+use crate::predictor::{
+    CoveragePredictor, CoverageSession, PredictorConfig, ValuePredictor, ValueSession,
+};
 use crate::tokens::Tokens;
 use hfl_riscv::Instruction;
 
 /// Configuration of the full loop, §V defaults throughout. The boolean
 /// switches exist for the ablation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HflConfig {
     /// Generator hyper-parameters (§V-A).
     pub generator: GeneratorConfig,
@@ -111,7 +114,8 @@ impl Default for HflConfig {
 }
 
 /// A step awaiting its reward (emitted by `next_case`, completed by
-/// `feedback`).
+/// `feedback`). Batched rounds speculatively chain several steps before
+/// any feedback arrives, so these queue up in generation order.
 #[derive(Debug, Clone)]
 struct PendingStep {
     input: Tokens,
@@ -124,6 +128,10 @@ struct PendingStep {
     undo_gen: GenSession,
     undo_value: ValueSession,
     undo_coverage: Option<CoverageSession>,
+    /// Body length before this step's instruction was appended. Rolling a
+    /// mid-round step back truncates to here, discarding the later steps
+    /// of the speculative chain along with it.
+    undo_body_len: usize,
 }
 
 /// Counters the loop exposes for monitoring and the benches.
@@ -180,7 +188,7 @@ pub struct HflFuzzer {
     cov_adam: Adam,
     cumulative_bits: Vec<f32>,
     body: Vec<Instruction>,
-    pending: Option<PendingStep>,
+    pending: VecDeque<PendingStep>,
     episode: Vec<EpisodeStep>,
     td_inputs: Vec<Tokens>,
     td_targets: Vec<f32>,
@@ -213,7 +221,7 @@ impl HflFuzzer {
             cov_adam: Adam::new(cfg.predictor.lr),
             cumulative_bits: Vec::new(),
             body: Vec::new(),
-            pending: None,
+            pending: VecDeque::new(),
             episode: Vec::new(),
             td_inputs: Vec::new(),
             td_targets: Vec::new(),
@@ -245,11 +253,15 @@ impl HflFuzzer {
     /// commits the one the coverage predictor scores highest on *expected
     /// new coverage* — the paper's fast predictor-in-the-loop feedback.
     /// Falls back to plain sampling until the predictor has data.
-    fn generate_screened(&mut self) -> (crate::correction::Corrected, crate::generator::SampledAction) {
+    fn generate_screened(
+        &mut self,
+    ) -> (
+        crate::correction::Corrected,
+        crate::generator::SampledAction,
+    ) {
         let hidden = self.generator.advance(&mut self.session);
         let k = self.cfg.screen_candidates.max(1);
-        let screening_ready =
-            k > 1 && self.coverage_predictor.is_some() && self.stats.cases >= 32;
+        let screening_ready = k > 1 && self.coverage_predictor.is_some() && self.stats.cases >= 32;
         if !screening_ready {
             let (corrected, action) = self.generator.sample_with_exploration(
                 &hidden,
@@ -263,9 +275,15 @@ impl HflFuzzer {
             return (corrected, action);
         }
         let predictor = self.coverage_predictor.as_ref().expect("checked above");
-        let session = self.coverage_session.as_ref().expect("paired with predictor");
-        let mut best: Option<(f32, crate::correction::Corrected, crate::generator::SampledAction)> =
-            None;
+        let session = self
+            .coverage_session
+            .as_ref()
+            .expect("paired with predictor");
+        let mut best: Option<(
+            f32,
+            crate::correction::Corrected,
+            crate::generator::SampledAction,
+        )> = None;
         for _ in 0..k {
             let (corrected, action) = self.generator.sample_with_exploration(
                 &hidden,
@@ -297,15 +315,21 @@ impl HflFuzzer {
 
     /// Online training of the coverage predictor on the executed case's
     /// per-point labels (lazy-initialised on the first labelled feedback).
-    fn train_coverage_predictor(&mut self, bits: &[u8]) {
+    /// `case_len` is the executed case's body length — during a batched
+    /// round `self.body` already carries later speculative extensions.
+    fn train_coverage_predictor(&mut self, bits: &[u8], case_len: usize) {
         if self.coverage_predictor.is_none() {
             self.coverage_predictor = Some(CoveragePredictor::new(
                 self.cfg.predictor,
                 bits.len(),
                 &mut self.rng,
             ));
-            self.coverage_session =
-                Some(self.coverage_predictor.as_ref().expect("just set").start_session());
+            self.coverage_session = Some(
+                self.coverage_predictor
+                    .as_ref()
+                    .expect("just set")
+                    .start_session(),
+            );
             self.cumulative_bits = vec![0.0; bits.len()];
         }
         for (cum, &b) in self.cumulative_bits.iter_mut().zip(bits) {
@@ -317,8 +341,9 @@ impl HflFuzzer {
         // Train on the recent suffix: the growing test sequence would make
         // whole-body training quadratic in campaign length.
         let window = self.cfg.test_len.max(8);
-        let start = self.body.len().saturating_sub(window);
-        let sequence = Tokens::sequence_with_bos(&self.body[start..]);
+        let case = &self.body[..case_len.min(self.body.len())];
+        let start = case.len().saturating_sub(window);
+        let sequence = Tokens::sequence_with_bos(&case[start..]);
         if let Some(cp) = &mut self.coverage_predictor {
             cp.train_case(&sequence, &labels, &mut self.cov_adam);
         }
@@ -326,11 +351,9 @@ impl HflFuzzer {
 
     fn finish_episode(&mut self) {
         if !self.episode.is_empty() {
-            let stats = self.generator.ppo_update(
-                &self.episode,
-                self.cfg.ppo.epsilon,
-                &mut self.gen_adam,
-            );
+            let stats =
+                self.generator
+                    .ppo_update(&self.episode, self.cfg.ppo.epsilon, &mut self.gen_adam);
             self.stats.last_mean_ratio = stats.mean_ratio;
             self.stats.last_td_error = self.predictor.train_episode(
                 &self.td_inputs,
@@ -345,8 +368,13 @@ impl HflFuzzer {
         self.body.clear();
         self.session = self.generator.start_session();
         self.value_session = self.predictor.start_session();
-        self.coverage_session = self.coverage_predictor.as_ref().map(CoveragePredictor::start_session);
-        self.pending = None;
+        self.coverage_session = self
+            .coverage_predictor
+            .as_ref()
+            .map(CoveragePredictor::start_session);
+        // Pending steps extended the body this call just cleared; their
+        // feedbacks (if any are still in flight) must be ignored.
+        self.pending.clear();
     }
 
     fn activate_reset_module(&mut self) {
@@ -372,7 +400,7 @@ impl HflFuzzer {
         self.coverage_predictor = None;
         self.coverage_session = None;
         self.cov_adam = Adam::new(self.cfg.predictor.lr);
-        self.pending = None;
+        self.pending.clear();
     }
 }
 
@@ -411,7 +439,7 @@ impl Fuzzer for HflFuzzer {
         } else {
             [true; 7]
         };
-        self.pending = Some(PendingStep {
+        self.pending.push_back(PendingStep {
             input,
             action,
             mask,
@@ -420,21 +448,44 @@ impl Fuzzer for HflFuzzer {
             undo_gen,
             undo_value,
             undo_coverage,
+            undo_body_len: self.body.len(),
         });
         self.body.push(corrected.instruction);
         self.stats.cases += 1;
         TestBody::Asm(self.body.clone())
     }
 
+    /// Speculatively chains up to `n` incremental extensions for one
+    /// execution round — case `i+1` assumes case `i` terminates. A
+    /// rollback or episode boundary in the feedback phase invalidates the
+    /// rest of the chain (their queued steps are dropped, and the
+    /// campaign's remaining feedbacks for the round are ignored). The
+    /// round stops early at the body cap, where feedback closes the
+    /// episode. With `n = 1` this is exactly the sequential loop.
+    fn next_round(&mut self, n: usize) -> Vec<TestBody> {
+        let cap = self.cfg.body_cap.min(max_body());
+        let mut round = Vec::with_capacity(n.max(1));
+        for _ in 0..n.max(1) {
+            round.push(self.next_case());
+            if self.body.len() >= cap {
+                break;
+            }
+        }
+        round
+    }
+
     fn feedback(&mut self, _body: &TestBody, feedback: Feedback) {
-        let Some(pending) = self.pending.take() else {
+        let Some(pending) = self.pending.pop_front() else {
             return;
         };
         if !feedback.terminated {
             // §IV-A's constructor keeps every test case executable: a
             // non-terminating extension is rolled back, and the action that
             // caused it is penalised so the policy avoids runaway loops.
-            self.body.pop();
+            // Later steps of a speculative chain extended the rolled-back
+            // body, so they are discarded with it.
+            self.body.truncate(pending.undo_body_len);
+            self.pending.clear();
             self.session = pending.undo_gen;
             self.value_session = pending.undo_value;
             self.coverage_session = pending.undo_coverage;
@@ -443,7 +494,12 @@ impl Fuzzer for HflFuzzer {
             } else {
                 0.0
             };
-            let adv = advantage(penalty - 0.5, pending.v_next, pending.v_t, self.cfg.ppo.gamma);
+            let adv = advantage(
+                penalty - 0.5,
+                pending.v_next,
+                pending.v_t,
+                self.cfg.ppo.gamma,
+            );
             self.episode.push(EpisodeStep {
                 input: pending.input,
                 action: pending.action,
@@ -465,8 +521,9 @@ impl Fuzzer for HflFuzzer {
             return;
         }
         self.consecutive_rollbacks = 0;
+        let case_len = pending.undo_body_len + 1;
         if let Some(bits) = feedback.case_bits.clone() {
-            self.train_coverage_predictor(&bits);
+            self.train_coverage_predictor(&bits, case_len);
         }
         // Eq. (1): reward assignment. The r_bonus is granted when the test
         // case "achieves the highest hardware coverage observed so far" —
@@ -477,7 +534,10 @@ impl Fuzzer for HflFuzzer {
         if feedback.coverage > self.stats.best_coverage {
             self.stats.best_coverage = feedback.coverage;
         }
-        let raw = self.cfg.reward.reward(feedback.coverage, feedback.gained_coverage);
+        let raw = self
+            .cfg
+            .reward
+            .reward(feedback.coverage, feedback.gained_coverage);
         let reward = if self.cfg.normalize_rewards {
             self.normalizer.normalize(raw)
         } else {
@@ -493,7 +553,8 @@ impl Fuzzer for HflFuzzer {
         });
         // Eq. (3) target for the critic.
         self.td_inputs.push(pending.input);
-        self.td_targets.push(reward + self.cfg.ppo.gamma * pending.v_next);
+        self.td_targets
+            .push(reward + self.cfg.ppo.gamma * pending.v_next);
 
         // Reset-module bookkeeping (cumulative coverage stagnation).
         if feedback.gained_coverage {
@@ -512,9 +573,11 @@ impl Fuzzer for HflFuzzer {
             self.td_inputs.remove(0);
             self.td_targets.remove(0);
         }
-        if self.body.len() >= self.cfg.body_cap.min(max_body()) {
+        if case_len >= self.cfg.body_cap.min(max_body()) {
             // The code region is full: close the episode and start a fresh
-            // test sequence with the learned policy intact.
+            // test sequence with the learned policy intact. (`case_len`,
+            // not `self.body.len()`: a batched round may already have
+            // chained speculative extensions past this case.)
             self.finish_episode();
         } else {
             // Real-time fine-tuning (§IV-B: the framework "fine-tunes the
@@ -523,11 +586,9 @@ impl Fuzzer for HflFuzzer {
             // their sampling-time log-probabilities, so the PPO
             // ratio/clipping provides the trust region exactly as Eq. (4)
             // intends.
-            let stats = self.generator.ppo_update(
-                &self.episode,
-                self.cfg.ppo.epsilon,
-                &mut self.gen_adam,
-            );
+            let stats =
+                self.generator
+                    .ppo_update(&self.episode, self.cfg.ppo.epsilon, &mut self.gen_adam);
             self.stats.last_mean_ratio = stats.mean_ratio;
             self.stats.last_td_error = self.predictor.train_episode(
                 &self.td_inputs,
@@ -585,7 +646,9 @@ mod tests {
         let b = hfl.next_case();
         assert_eq!(a.len() + 1, b.len(), "each case adds one instruction");
         // The previous prefix is preserved.
-        let (TestBody::Asm(a), TestBody::Asm(b)) = (&a, &b) else { unreachable!() };
+        let (TestBody::Asm(a), TestBody::Asm(b)) = (&a, &b) else {
+            unreachable!()
+        };
         assert_eq!(&b[..a.len()], &a[..]);
     }
 
@@ -595,7 +658,10 @@ mod tests {
         drive(&mut hfl, 12, |i| 0.6 + 0.01 * (i % 5) as f32);
         let stats = hfl.stats();
         assert_eq!(stats.cases, 12);
-        assert_eq!(stats.episodes, 3, "body_cap=4 -> a sequence restart every 4 cases");
+        assert_eq!(
+            stats.episodes, 3,
+            "body_cap=4 -> a sequence restart every 4 cases"
+        );
         assert!(stats.best_coverage > 0.6);
     }
 
@@ -643,5 +709,72 @@ mod tests {
         let mut hfl = HflFuzzer::new(tiny());
         hfl.feedback(&TestBody::Asm(vec![]), Feedback::scalar(false, 0.0));
         assert_eq!(hfl.stats().cases, 0);
+    }
+
+    #[test]
+    fn round_of_one_matches_the_sequential_loop() {
+        let mk = |batched: bool| {
+            let mut hfl = HflFuzzer::new(tiny().with_seed(5));
+            let mut cases = Vec::new();
+            for i in 0..8 {
+                let round = if batched {
+                    hfl.next_round(1)
+                } else {
+                    vec![hfl.next_case()]
+                };
+                for b in round {
+                    hfl.feedback(&b, Feedback::scalar(i % 2 == 0, 0.2));
+                    cases.push(b);
+                }
+            }
+            cases
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn batched_round_chains_incrementally_and_stops_at_the_cap() {
+        let mut hfl = HflFuzzer::new(tiny()); // body_cap = 4
+        let round = hfl.next_round(8);
+        assert_eq!(round.len(), 4, "the cap bounds the chain");
+        for (i, body) in round.iter().enumerate() {
+            assert_eq!(body.len(), i + 1, "case {i} extends its predecessor by one");
+        }
+    }
+
+    #[test]
+    fn rollback_mid_round_invalidates_the_rest_of_the_chain() {
+        let mut cfg = tiny();
+        cfg.body_cap = 16;
+        let mut hfl = HflFuzzer::new(cfg);
+        let round = hfl.next_round(4);
+        assert_eq!(round.len(), 4);
+        // The first case terminates; the second does not and is rolled
+        // back, which invalidates the speculative extensions behind it.
+        hfl.feedback(&round[0], Feedback::scalar(true, 0.4));
+        hfl.feedback(
+            &round[1],
+            Feedback {
+                terminated: false,
+                ..Feedback::scalar(false, 0.0)
+            },
+        );
+        hfl.feedback(&round[2], Feedback::scalar(true, 0.9));
+        hfl.feedback(&round[3], Feedback::scalar(true, 0.9));
+        assert!(
+            hfl.stats().best_coverage < 0.5,
+            "stale feedbacks for the dropped chain must be ignored"
+        );
+        // The next case re-extends the surviving one-instruction prefix.
+        let next = hfl.next_case();
+        assert_eq!(
+            next.len(),
+            2,
+            "body truncated back to the terminated prefix"
+        );
+        let (TestBody::Asm(prev), TestBody::Asm(next_b)) = (&round[0], &next) else {
+            unreachable!()
+        };
+        assert_eq!(&next_b[..1], &prev[..]);
     }
 }

@@ -11,14 +11,13 @@ use hfl_nn::ops::{log_prob, sample_categorical, softmax_with_temperature};
 use hfl_nn::{Adam, Linear, Lstm, LstmState, Tensor};
 use hfl_rl::ppo_logit_grad;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::correction::{correct, Corrected, HeadOutputs};
 use crate::encoder::{EncoderConfig, TokenEncoder};
 use crate::tokens::{head_sizes, Tokens};
 
 /// Generator hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorConfig {
     /// LSTM hidden size (paper: 256).
     pub hidden: usize,
@@ -52,7 +51,12 @@ impl GeneratorConfig {
     /// architecture, narrower layers).
     #[must_use]
     pub fn small() -> GeneratorConfig {
-        GeneratorConfig { hidden: 64, layers: 2, lr: 3e-4, ..GeneratorConfig::paper_default() }
+        GeneratorConfig {
+            hidden: 64,
+            layers: 2,
+            lr: 3e-4,
+            ..GeneratorConfig::paper_default()
+        }
     }
 }
 
@@ -64,7 +68,7 @@ impl Default for GeneratorConfig {
 
 /// One output head: `tanh(W1 h + b1)` into a projection over the head's
 /// vocabulary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Head {
     l1: Linear,
     l2: Linear,
@@ -72,7 +76,10 @@ struct Head {
 
 impl Head {
     fn new<R: Rng>(hidden: usize, head_hidden: usize, out: usize, rng: &mut R) -> Head {
-        Head { l1: Linear::new(head_hidden, hidden, rng), l2: Linear::new(out, head_hidden, rng) }
+        Head {
+            l1: Linear::new(head_hidden, hidden, rng),
+            l2: Linear::new(out, head_hidden, rng),
+        }
     }
 
     /// Forward pass; returns `(logits, hidden activation)`.
@@ -148,7 +155,7 @@ pub struct UpdateStats {
 /// let (corrected, _action) = generator.next_instruction(&mut session, &mut rng);
 /// let _word = corrected.instruction.encode();
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InstructionGenerator {
     cfg: GeneratorConfig,
     encoder: TokenEncoder,
@@ -176,7 +183,12 @@ impl InstructionGenerator {
             .iter()
             .map(|&out| Head::new(cfg.hidden, cfg.head_hidden, out, rng))
             .collect();
-        InstructionGenerator { cfg, encoder, lstm, heads }
+        InstructionGenerator {
+            cfg,
+            encoder,
+            lstm,
+            heads,
+        }
     }
 
     /// The configuration.
@@ -194,7 +206,10 @@ impl InstructionGenerator {
     /// Starts a fresh generation session (state at BOS).
     #[must_use]
     pub fn start_session(&self) -> GenSession {
-        GenSession { state: self.lstm.zero_state(), next_input: Tokens::bos() }
+        GenSession {
+            state: self.lstm.zero_state(),
+            next_input: Tokens::bos(),
+        }
     }
 
     /// Advances the session's LSTM by the pending input token, returning
@@ -232,12 +247,15 @@ impl InstructionGenerator {
         let mut log_probs = [0f32; 7];
         for (k, head) in self.heads.iter().enumerate() {
             let (logits, _) = head.forward(hidden);
-            let scaled: Vec<f32> =
-                logits.iter().map(|&l| l / self.cfg.temperature).collect();
+            let scaled: Vec<f32> = logits.iter().map(|&l| l / self.cfg.temperature).collect();
             // The opcode head has by far the largest vocabulary and is the
             // head the exploitation curse empties first (§IV-B's example:
             // `sub` crowds out `fcvt.d.lu`), so its floor is stronger.
-            let head_eps = if k == 0 { (3.0 * epsilon).min(0.25) } else { epsilon };
+            let head_eps = if k == 0 {
+                (3.0 * epsilon).min(0.25)
+            } else {
+                epsilon
+            };
             let idx = if head_eps > 0.0 && rng.gen::<f32>() < head_eps {
                 rng.gen_range(0..sizes[k])
             } else {
@@ -284,11 +302,12 @@ impl InstructionGenerator {
         if steps.is_empty() {
             return UpdateStats::default();
         }
-        let inputs: Vec<Vec<f32>> =
-            steps.iter().map(|s| self.encoder.encode(&s.input)).collect();
+        let inputs: Vec<Vec<f32>> = steps
+            .iter()
+            .map(|s| self.encoder.encode(&s.input))
+            .collect();
         let trace = self.lstm.forward_seq(&inputs);
-        let mut d_out: Vec<Vec<f32>> =
-            trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
+        let mut d_out: Vec<Vec<f32>> = trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
         let mut ratio_sum = 0.0f32;
         let mut clipped = 0usize;
         let mut updated = 0usize;
@@ -299,8 +318,7 @@ impl InstructionGenerator {
                     continue;
                 }
                 let (logits, act) = head.forward(h);
-                let scaled: Vec<f32> =
-                    logits.iter().map(|&l| l / self.cfg.temperature).collect();
+                let scaled: Vec<f32> = logits.iter().map(|&l| l / self.cfg.temperature).collect();
                 let (ratio, mut dscaled) = ppo_logit_grad(
                     &scaled,
                     step.action.outputs.indices[k],
@@ -329,8 +347,16 @@ impl InstructionGenerator {
         }
         adam.step(&mut self.params_mut());
         UpdateStats {
-            mean_ratio: if updated > 0 { ratio_sum / updated as f32 } else { 0.0 },
-            clipped_fraction: if updated > 0 { clipped as f32 / updated as f32 } else { 0.0 },
+            mean_ratio: if updated > 0 {
+                ratio_sum / updated as f32
+            } else {
+                0.0
+            },
+            clipped_fraction: if updated > 0 {
+                clipped as f32 / updated as f32
+            } else {
+                0.0
+            },
         }
     }
 
@@ -390,7 +416,12 @@ impl InstructionGenerator {
             }
         }
         let heads = heads.into_iter().map(|(l1, l2)| Head { l1, l2 }).collect();
-        Some(InstructionGenerator { cfg, encoder, lstm, heads })
+        Some(InstructionGenerator {
+            cfg,
+            encoder,
+            lstm,
+            heads,
+        })
     }
 
     /// Restores optimiser buffers after deserialisation.
@@ -412,7 +443,11 @@ mod tests {
 
     fn small_gen(seed: u64) -> (InstructionGenerator, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = GeneratorConfig { hidden: 16, layers: 2, ..GeneratorConfig::small() };
+        let cfg = GeneratorConfig {
+            hidden: 16,
+            layers: 2,
+            ..GeneratorConfig::small()
+        };
         let g = InstructionGenerator::new(cfg, &mut rng);
         (g, rng)
     }
@@ -460,7 +495,11 @@ mod tests {
             let (c, _) = g.next_instruction(&mut session, &mut rng);
             opcodes.insert(c.instruction.opcode);
         }
-        assert!(opcodes.len() > 30, "only {} distinct opcodes", opcodes.len());
+        assert!(
+            opcodes.len() > 30,
+            "only {} distinct opcodes",
+            opcodes.len()
+        );
     }
 
     #[test]
@@ -525,7 +564,12 @@ mod tests {
         // Only the opcode head is active.
         let mut mask = [false; 7];
         mask[0] = true;
-        let step = EpisodeStep { input: Tokens::bos(), action, mask, advantage: 1.0 };
+        let step = EpisodeStep {
+            input: Tokens::bos(),
+            action,
+            mask,
+            advantage: 1.0,
+        };
         let addr_head_before = g.heads[6].l2.w.data.clone();
         g.ppo_update(&[step], 0.2, &mut adam);
         assert_eq!(

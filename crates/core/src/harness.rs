@@ -6,6 +6,7 @@ use hfl_grm::cpu::HaltReason;
 use hfl_grm::{ArchSnapshot, Cpu, Program, Trace};
 use hfl_riscv::Instruction;
 
+use crate::baselines::TestBody;
 use crate::difftest::{compare, Mismatch};
 
 /// Default per-test step budget (generated tests are short; the budget
@@ -28,7 +29,59 @@ pub struct CaseResult {
     pub mismatches: Vec<Mismatch>,
 }
 
+/// Configures and builds an [`Executor`].
+///
+/// # Examples
+///
+/// ```
+/// use hfl::harness::Executor;
+/// use hfl_dut::CoreKind;
+///
+/// let executor = Executor::builder(CoreKind::Rocket)
+///     .max_steps(5_000)
+///     .build();
+/// assert_eq!(executor.core(), CoreKind::Rocket);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutorBuilder {
+    kind: CoreKind,
+    max_steps: u64,
+    quirks: Option<hfl_grm::cpu::Quirks>,
+}
+
+impl ExecutorBuilder {
+    /// Overrides the per-test step budget (default
+    /// [`DEFAULT_MAX_STEPS`]).
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> ExecutorBuilder {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Gives the DUT an explicit defect configuration instead of the
+    /// core's full catalogue (used by the per-bug detection experiments).
+    #[must_use]
+    pub fn quirks(mut self, quirks: hfl_grm::cpu::Quirks) -> ExecutorBuilder {
+        self.quirks = Some(quirks);
+        self
+    }
+
+    /// Builds the executor.
+    #[must_use]
+    pub fn build(self) -> Executor {
+        Executor {
+            dut: Dut::new(self.kind),
+            max_steps: self.max_steps,
+            quirks: self.quirks,
+        }
+    }
+}
+
 /// Runs programs on a `(DUT, GRM)` pair for one core.
+///
+/// Executors are `Clone`: `hfl::exec::ExecPool` clones one prototype per
+/// worker thread. Every run starts the DUT from reset, so clones are
+/// behaviourally identical to the prototype.
 ///
 /// # Examples
 ///
@@ -37,13 +90,13 @@ pub struct CaseResult {
 /// use hfl_dut::CoreKind;
 /// use hfl_riscv::{Instruction, Opcode, Reg};
 ///
-/// let mut executor = Executor::new(CoreKind::Rocket);
+/// let mut executor = Executor::builder(CoreKind::Rocket).build();
 /// let result = executor.run_case(&[
 ///     Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1),
 /// ]);
 /// assert_eq!(result.grm_arch.x[10], 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     dut: Dut,
     max_steps: u64,
@@ -51,21 +104,39 @@ pub struct Executor {
 }
 
 impl Executor {
+    /// Starts building an executor for one core.
+    #[must_use]
+    pub fn builder(kind: CoreKind) -> ExecutorBuilder {
+        ExecutorBuilder {
+            kind,
+            max_steps: DEFAULT_MAX_STEPS,
+            quirks: None,
+        }
+    }
+
     /// Creates a harness for one core with its full defect catalogue.
+    #[deprecated(since = "0.1.0", note = "use `Executor::builder(kind).build()`")]
     #[must_use]
     pub fn new(kind: CoreKind) -> Executor {
-        Executor { dut: Dut::new(kind), max_steps: DEFAULT_MAX_STEPS, quirks: None }
+        Executor::builder(kind).build()
     }
 
     /// Creates a harness whose DUT carries an explicit defect
-    /// configuration instead of the core's full catalogue (used by the
-    /// per-bug detection experiments).
+    /// configuration instead of the core's full catalogue.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Executor::builder(kind).quirks(quirks).build()`"
+    )]
     #[must_use]
     pub fn with_quirks(kind: CoreKind, quirks: hfl_grm::cpu::Quirks) -> Executor {
-        Executor { dut: Dut::new(kind), max_steps: DEFAULT_MAX_STEPS, quirks: Some(quirks) }
+        Executor::builder(kind).quirks(quirks).build()
     }
 
     /// Overrides the per-test step budget.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Executor::builder(kind).max_steps(n).build()`"
+    )]
     #[must_use]
     pub fn with_max_steps(mut self, max_steps: u64) -> Executor {
         self.max_steps = max_steps;
@@ -84,6 +155,17 @@ impl Executor {
         self.dut.coverage_map()
     }
 
+    /// Runs one test body — the single execution path every campaign and
+    /// pool worker goes through, whichever representation the fuzzer
+    /// emitted.
+    pub fn run(&mut self, body: &TestBody) -> CaseResult {
+        let program = match body {
+            TestBody::Asm(instructions) => Program::assemble(instructions),
+            TestBody::Words(words) => Program::assemble_raw(words),
+        };
+        self.run_program(&program)
+    }
+
     /// Runs a test-case body given as instructions.
     pub fn run_case(&mut self, body: &[Instruction]) -> CaseResult {
         self.run_program(&Program::assemble(body))
@@ -98,7 +180,9 @@ impl Executor {
     /// Runs an assembled program on both sides and diffs the executions.
     pub fn run_program(&mut self, program: &Program) -> CaseResult {
         let dut = match &self.quirks {
-            Some(q) => self.dut.run_program_with_quirks(program, self.max_steps, q.clone()),
+            Some(q) => self
+                .dut
+                .run_program_with_quirks(program, self.max_steps, q.clone()),
             None => self.dut.run_program(program, self.max_steps),
         };
         let mut grm = Cpu::new();
@@ -114,7 +198,13 @@ impl Executor {
             dut.halt,
             &dut.arch,
         );
-        CaseResult { dut, grm_trace, grm_halt: grm_run.reason, grm_arch, mismatches }
+        CaseResult {
+            dut,
+            grm_trace,
+            grm_halt: grm_run.reason,
+            grm_arch,
+            mismatches,
+        }
     }
 }
 
@@ -126,7 +216,7 @@ mod tests {
 
     #[test]
     fn clean_program_produces_no_mismatch_on_rocket() {
-        let mut ex = Executor::new(CoreKind::Rocket);
+        let mut ex = Executor::builder(CoreKind::Rocket).build();
         let result = ex.run_case(&[
             Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 7),
             Instruction::r(Opcode::Add, Reg::X11, Reg::X10, Reg::X10),
@@ -139,16 +229,14 @@ mod tests {
 
     #[test]
     fn rocket_k2_sc_bug_is_detected() {
-        let mut ex = Executor::new(CoreKind::Rocket);
-        let result = ex.run_case(&[
-            Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS),
-        ]);
+        let mut ex = Executor::builder(CoreKind::Rocket).build();
+        let result = ex.run_case(&[Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS)]);
         assert!(!result.mismatches.is_empty(), "sc divergence must surface");
     }
 
     #[test]
     fn cva6_v1_crash_is_detected_as_crash_mismatch() {
-        let mut ex = Executor::new(CoreKind::Cva6);
+        let mut ex = Executor::builder(CoreKind::Cva6).build();
         let program = Program::assemble(&[Instruction::NOP]);
         let body_off = (program.body_pc() - mem_map::CODE_BASE) as i64;
         let result = ex.run_case(&[
@@ -163,7 +251,7 @@ mod tests {
 
     #[test]
     fn raw_words_run_and_illegal_words_trap_identically() {
-        let mut ex = Executor::new(CoreKind::Boom);
+        let mut ex = Executor::builder(CoreKind::Boom).build();
         // A valid addi plus garbage; both sides trap on the garbage the
         // same way, so no mismatch arises from it.
         let addi = Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 3).encode();
@@ -172,17 +260,49 @@ mod tests {
         assert!(result
             .grm_trace
             .iter()
-            .any(|e| e.trap.map_or(false, |t| t.cause == 2)));
+            .any(|e| e.trap.is_some_and(|t| t.cause == 2)));
     }
 
     #[test]
     fn coverage_accumulates_across_cases() {
-        let mut ex = Executor::new(CoreKind::Rocket);
+        let mut ex = Executor::builder(CoreKind::Rocket).build();
         let a = ex.run_case(&[Instruction::NOP]);
         let b = ex.run_case(&[Instruction::r(Opcode::Div, Reg::X1, Reg::X2, Reg::X3)]);
         let mut cumulative = a.dut.coverage.clone();
         assert!(cumulative.would_grow(&b.dut.coverage));
         cumulative.union_with(&b.dut.coverage);
         assert!(cumulative.count() > a.dut.coverage.count());
+    }
+
+    #[test]
+    fn run_dispatches_on_the_body_representation() {
+        let mut ex = Executor::builder(CoreKind::Rocket).build();
+        let inst = Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 9);
+        let asm = ex.run(&TestBody::Asm(vec![inst]));
+        let words = ex.run(&TestBody::Words(vec![inst.encode()]));
+        assert_eq!(asm.grm_arch.x[10], 9);
+        assert_eq!(asm.grm_arch, words.grm_arch);
+        assert_eq!(asm.dut.coverage, words.dut.coverage);
+    }
+
+    #[test]
+    fn cloned_executor_behaves_identically() {
+        let mut a = Executor::builder(CoreKind::Rocket).max_steps(5_000).build();
+        a.run_case(&[Instruction::r(Opcode::Div, Reg::X1, Reg::X2, Reg::X3)]);
+        let mut b = a.clone();
+        let body = TestBody::Asm(vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 4)]);
+        let ra = a.run(&body);
+        let rb = b.run(&body);
+        assert_eq!(ra.dut.coverage, rb.dut.coverage);
+        assert_eq!(ra.dut.arch, rb.dut.arch);
+        assert_eq!(ra.mismatches.len(), rb.mismatches.len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let mut ex = Executor::new(CoreKind::Rocket).with_max_steps(4_000);
+        let result = ex.run_case(&[Instruction::NOP]);
+        assert!(result.mismatches.is_empty());
     }
 }

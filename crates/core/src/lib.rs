@@ -19,6 +19,9 @@
 //! - [`baselines`]: DifuzzRTL/TheHuzz/Cascade/ChatFuzz analogues for the
 //!   §VI comparisons,
 //! - [`campaign`]: the shared measurement harness behind every figure,
+//! - [`exec`]: the batched parallel execution pool — cloned `(DUT, GRM)`
+//!   workers with order-preserving result merging, so thread count never
+//!   changes a campaign's outputs,
 //! - [`corpus`]/[`triage`]/[`persist`]: trigger-case capture, test-case
 //!   minimisation and model checkpoints — the operational tooling around
 //!   a fuzzing campaign.
@@ -28,7 +31,7 @@
 //! Run a miniature fuzzing campaign end to end:
 //!
 //! ```
-//! use hfl::campaign::{run_campaign, CampaignConfig};
+//! use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 //! use hfl::fuzzer::{HflConfig, HflFuzzer};
 //! use hfl_dut::CoreKind;
 //!
@@ -36,7 +39,8 @@
 //! cfg.generator.hidden = 16;
 //! cfg.predictor.hidden = 16;
 //! let mut hfl = HflFuzzer::new(cfg);
-//! let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(10));
+//! let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(10));
+//! let result = run_campaign(&mut hfl, &spec);
 //! assert!(result.final_counts().0 > 0);
 //! ```
 
@@ -46,6 +50,7 @@ pub mod corpus;
 pub mod correction;
 pub mod difftest;
 pub mod encoder;
+pub mod exec;
 pub mod fuzzer;
 pub mod generator;
 pub mod harness;
@@ -56,12 +61,13 @@ pub mod tokens;
 pub mod triage;
 
 pub use baselines::{Feedback, Fuzzer, TestBody};
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CoverageSample};
 pub use corpus::Corpus;
-pub use campaign::{run_campaign, run_campaign_with_executor, CampaignConfig, CampaignResult, CoverageSample};
 pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
+pub use exec::{ExecPool, Throughput};
 pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
 pub use generator::{GeneratorConfig, InstructionGenerator};
-pub use harness::{CaseResult, Executor};
+pub use harness::{CaseResult, Executor, ExecutorBuilder};
 pub use predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
 pub use tokens::Tokens;
 pub use triage::{minimize, Minimized};

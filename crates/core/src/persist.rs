@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn generator_checkpoint_preserves_behaviour() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = GeneratorConfig { hidden: 16, ..GeneratorConfig::small() };
+        let cfg = GeneratorConfig {
+            hidden: 16,
+            ..GeneratorConfig::small()
+        };
         let generator = InstructionGenerator::new(cfg, &mut rng);
         let mut buf = Vec::new();
         generator.save(&mut buf).unwrap();
@@ -186,7 +189,10 @@ mod tests {
     #[test]
     fn value_predictor_checkpoint_preserves_values() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = PredictorConfig { hidden: 16, ..PredictorConfig::small() };
+        let cfg = PredictorConfig {
+            hidden: 16,
+            ..PredictorConfig::small()
+        };
         let vp = ValuePredictor::new(cfg, &mut rng);
         let mut buf = Vec::new();
         vp.save(&mut buf).unwrap();
@@ -198,7 +204,10 @@ mod tests {
     #[test]
     fn corrupt_checkpoints_are_rejected() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = GeneratorConfig { hidden: 16, ..GeneratorConfig::small() };
+        let cfg = GeneratorConfig {
+            hidden: 16,
+            ..GeneratorConfig::small()
+        };
         let generator = InstructionGenerator::new(cfg, &mut rng);
         let mut buf = Vec::new();
         generator.save(&mut buf).unwrap();

@@ -39,11 +39,26 @@ pub fn poc_for(bug_id: &str) -> Vec<Instruction> {
         "V2" => {
             let napot = (mem_map::PROTECTED_BASE >> 2) | ((mem_map::PROTECTED_SIZE >> 3) - 1);
             let mut body = emit_li64(Reg::X10, napot);
-            body.push(Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::PMPADDR0, Reg::X10));
+            body.push(Instruction::csr_reg(
+                Opcode::Csrrw,
+                Reg::X0,
+                Csr::PMPADDR0,
+                Reg::X10,
+            ));
             body.extend(emit_li64(Reg::X11, 0x98)); // L | NAPOT, no permissions
-            body.push(Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::PMPCFG0, Reg::X11));
+            body.push(Instruction::csr_reg(
+                Opcode::Csrrw,
+                Reg::X0,
+                Csr::PMPCFG0,
+                Reg::X11,
+            ));
             body.push(Instruction::i(Opcode::Ld, Reg::X12, Reg::X7, 8));
-            body.push(Instruction::csr_reg(Opcode::Csrrs, Reg::X13, Csr::MCAUSE, Reg::X0));
+            body.push(Instruction::csr_reg(
+                Opcode::Csrrs,
+                Reg::X13,
+                Csr::MCAUSE,
+                Reg::X0,
+            ));
             body
         }
         // Jump to a misaligned address: spec demands a misaligned-fetch
@@ -124,7 +139,7 @@ mod tests {
             let body = poc_for(bug.id);
             assert!(!body.is_empty());
             for &core in bug.cores {
-                let mut ex = Executor::new(core);
+                let mut ex = Executor::builder(core).build();
                 let result = ex.run_case(&body);
                 assert!(
                     !result.mismatches.is_empty(),
@@ -156,7 +171,11 @@ mod tests {
                 rb.reason,
                 &b.arch_snapshot(),
             );
-            assert!(m.is_empty(), "{}: golden model diverged from itself", bug.id);
+            assert!(
+                m.is_empty(),
+                "{}: golden model diverged from itself",
+                bug.id
+            );
         }
     }
 

@@ -14,13 +14,12 @@ use hfl_nn::ops::{bce_with_logits, sigmoid};
 use hfl_nn::{Adam, Linear, Lstm, LstmState, Tensor};
 use hfl_rl::value_loss;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::encoder::{EncoderConfig, TokenEncoder};
 use crate::tokens::Tokens;
 
 /// Shared predictor hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictorConfig {
     /// LSTM hidden size (paper: 256, shared with the generator).
     pub hidden: usize,
@@ -47,7 +46,11 @@ impl PredictorConfig {
     /// A smaller configuration for fast experiments and tests.
     #[must_use]
     pub fn small() -> PredictorConfig {
-        PredictorConfig { hidden: 64, lr: 3e-4, ..PredictorConfig::paper_default() }
+        PredictorConfig {
+            hidden: 64,
+            lr: 3e-4,
+            ..PredictorConfig::paper_default()
+        }
     }
 }
 
@@ -58,7 +61,7 @@ impl Default for PredictorConfig {
 }
 
 /// The RL critic: `V(S)` over instruction-sequence prefixes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ValuePredictor {
     cfg: PredictorConfig,
     encoder: TokenEncoder,
@@ -88,7 +91,12 @@ impl ValuePredictor {
         let encoder = TokenEncoder::new(cfg.encoder, rng);
         let lstm = Lstm::new(encoder.dim(), cfg.hidden, cfg.layers, rng);
         let out = Linear::new(1, cfg.hidden, rng);
-        ValuePredictor { cfg, encoder, lstm, out }
+        ValuePredictor {
+            cfg,
+            encoder,
+            lstm,
+            out,
+        }
     }
 
     /// The configuration.
@@ -107,7 +115,10 @@ impl ValuePredictor {
     /// Starts a streaming session at the empty sequence (value 0).
     #[must_use]
     pub fn start_session(&self) -> ValueSession {
-        ValueSession { state: self.lstm.zero_state(), last_value: 0.0 }
+        ValueSession {
+            state: self.lstm.zero_state(),
+            last_value: 0.0,
+        }
     }
 
     /// Feeds one token, returning the updated `V(S)`.
@@ -135,20 +146,14 @@ impl ValuePredictor {
     ///
     /// # Panics
     /// Panics if the slices differ in length.
-    pub fn train_episode(
-        &mut self,
-        inputs: &[Tokens],
-        targets: &[f32],
-        adam: &mut Adam,
-    ) -> f32 {
+    pub fn train_episode(&mut self, inputs: &[Tokens], targets: &[f32], adam: &mut Adam) -> f32 {
         assert_eq!(inputs.len(), targets.len());
         if inputs.is_empty() {
             return 0.0;
         }
         let xs: Vec<Vec<f32>> = inputs.iter().map(|t| self.encoder.encode(t)).collect();
         let trace = self.lstm.forward_seq(&xs);
-        let mut d_out: Vec<Vec<f32>> =
-            trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
+        let mut d_out: Vec<Vec<f32>> = trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
         let mut total = 0.0f32;
         let n = inputs.len() as f32;
         for (t, &target) in targets.iter().enumerate() {
@@ -209,7 +214,12 @@ impl ValuePredictor {
             && lstm.layers() == cfg.layers
             && out.in_dim() == cfg.hidden
             && out.out_dim() == 1;
-        ok.then_some(ValuePredictor { cfg, encoder, lstm, out })
+        ok.then_some(ValuePredictor {
+            cfg,
+            encoder,
+            lstm,
+            out,
+        })
     }
 }
 
@@ -221,7 +231,7 @@ pub struct CoverageSession {
 
 /// The §IV-C hardware coverage predictor: multi-label sigmoid over
 /// coverage points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CoveragePredictor {
     cfg: PredictorConfig,
     encoder: TokenEncoder,
@@ -236,7 +246,12 @@ impl CoveragePredictor {
         let encoder = TokenEncoder::new(cfg.encoder, rng);
         let lstm = Lstm::new(encoder.dim(), cfg.hidden, cfg.layers, rng);
         let out = Linear::new(n_points, cfg.hidden, rng);
-        CoveragePredictor { cfg, encoder, lstm, out }
+        CoveragePredictor {
+            cfg,
+            encoder,
+            lstm,
+            out,
+        }
     }
 
     /// Number of predicted coverage points.
@@ -245,11 +260,19 @@ impl CoveragePredictor {
         self.out.out_dim()
     }
 
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
     /// Starts a streaming session (used by the fuzzing loop to screen
     /// candidate instructions without re-encoding the whole prefix).
     #[must_use]
     pub fn start_session(&self) -> CoverageSession {
-        CoverageSession { state: self.lstm.zero_state() }
+        CoverageSession {
+            state: self.lstm.zero_state(),
+        }
     }
 
     /// Feeds one token into a streaming session.
@@ -296,8 +319,7 @@ impl CoveragePredictor {
         let logits = self.out.forward(h);
         let (loss, dlogits) = bce_with_logits(&logits, labels);
         let dh = self.out.backward(h, &dlogits);
-        let mut d_out: Vec<Vec<f32>> =
-            trace.outputs.iter().map(|o| vec![0.0; o.len()]).collect();
+        let mut d_out: Vec<Vec<f32>> = trace.outputs.iter().map(|o| vec![0.0; o.len()]).collect();
         d_out[last] = dh;
         let dxs = self.lstm.backward_seq(&trace, &d_out);
         for (token, dx) in sequence.iter().zip(&dxs) {
@@ -324,7 +346,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_cfg() -> PredictorConfig {
-        PredictorConfig { hidden: 16, ..PredictorConfig::small() }
+        PredictorConfig {
+            hidden: 16,
+            ..PredictorConfig::small()
+        }
     }
 
     #[test]
@@ -364,7 +389,10 @@ mod tests {
         for _ in 0..50 {
             last = vp.train_episode(&inputs, &targets, &mut adam);
         }
-        assert!(last < first * 0.5, "TD error must shrink: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "TD error must shrink: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -385,12 +413,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut cp = CoveragePredictor::new(tiny_cfg(), 4, &mut rng);
         let mut adam = Adam::new(0.02);
-        let class_a = Tokens::sequence_with_bos(&[
-            Instruction::r(Opcode::Mul, Reg::X1, Reg::X2, Reg::X3),
-        ]);
-        let class_b = Tokens::sequence_with_bos(&[
-            Instruction::i(Opcode::Lw, Reg::X1, Reg::X5, 0),
-        ]);
+        let class_a =
+            Tokens::sequence_with_bos(&[Instruction::r(Opcode::Mul, Reg::X1, Reg::X2, Reg::X3)]);
+        let class_b = Tokens::sequence_with_bos(&[Instruction::i(Opcode::Lw, Reg::X1, Reg::X5, 0)]);
         let label_a = vec![1.0, 1.0, 0.0, 0.0];
         let label_b = vec![0.0, 0.0, 1.0, 1.0];
         for _ in 0..80 {

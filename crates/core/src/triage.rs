@@ -86,7 +86,11 @@ pub fn minimize(
         }
         chunk /= 2;
     }
-    Some(Minimized { body: current, original_len, executions })
+    Some(Minimized {
+        body: current,
+        original_len,
+        executions,
+    })
 }
 
 #[cfg(test)]
@@ -116,10 +120,14 @@ mod tests {
         }
         padded.extend(trigger.clone());
 
-        let mut executor = Executor::new(CoreKind::Rocket);
+        let mut executor = Executor::builder(CoreKind::Rocket).build();
         let signature = executor.run_case(&padded).mismatches[0].signature();
         let minimized = minimize(&mut executor, &padded, signature).expect("reproduces");
-        assert!(minimized.body.len() <= trigger.len() + 1, "{:?}", minimized.body);
+        assert!(
+            minimized.body.len() <= trigger.len() + 1,
+            "{:?}",
+            minimized.body
+        );
         assert!(minimized.reduction() > 0.0);
         assert!(minimized.executions > 0);
         // The minimised case still reproduces.
@@ -129,7 +137,7 @@ mod tests {
 
     #[test]
     fn non_reproducing_case_returns_none() {
-        let mut executor = Executor::new(CoreKind::Rocket);
+        let mut executor = Executor::builder(CoreKind::Rocket).build();
         let body = vec![Instruction::NOP];
         assert!(minimize(&mut executor, &body, Signature(0xDEAD)).is_none());
     }
@@ -138,7 +146,7 @@ mod tests {
     fn minimizing_every_poc_keeps_it_reproducing() {
         for bug in hfl_dut::CATALOG {
             let core = bug.cores[0];
-            let mut executor = Executor::new(core);
+            let mut executor = Executor::builder(core).build();
             let body = poc_for(bug.id);
             let result = executor.run_case(&body);
             let signature = result.mismatches[0].signature();

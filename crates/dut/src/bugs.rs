@@ -248,11 +248,13 @@ mod tests {
         let mut q = Quirks::default();
         enable(&mut q, "V2", CoreKind::Cva6);
         assert!(q.pmp_grace_window);
-        assert_eq!(q, {
-            let mut e = Quirks::default();
-            e.pmp_grace_window = true;
-            e
-        });
+        assert_eq!(
+            q,
+            Quirks {
+                pmp_grace_window: true,
+                ..Quirks::default()
+            }
+        );
     }
 
     #[test]

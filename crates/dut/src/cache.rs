@@ -152,7 +152,7 @@ impl Cache {
     pub fn contains(&self, addr: u64) -> bool {
         let line_addr = self.line_of(addr);
         let set = self.set_of(line_addr);
-        self.tags[set].iter().any(|&t| t == Some(line_addr))
+        self.tags[set].contains(&Some(line_addr))
     }
 
     /// Invalidates the line containing `addr`, returning whether it was
@@ -192,6 +192,21 @@ impl Cache {
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.writebacks)
     }
+
+    /// Returns the cache to its power-on state without reallocating, so a
+    /// long-lived DUT can be reused across test cases.
+    pub fn reset(&mut self) {
+        for set in &mut self.tags {
+            set.fill(None);
+        }
+        for set in &mut self.dirty {
+            set.fill(false);
+        }
+        self.next_victim.fill(0);
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +228,11 @@ mod tests {
         let mut c = Cache::new(1, 1, 64);
         assert_eq!(c.access(0x0, true), CacheEvent::MissCold);
         assert_eq!(c.access(0x40, false), CacheEvent::MissWriteBack);
-        assert_eq!(c.access(0x80, false), CacheEvent::MissEvictClean, "clean victim");
+        assert_eq!(
+            c.access(0x80, false),
+            CacheEvent::MissEvictClean,
+            "clean victim"
+        );
         let (_, _, wb) = c.stats();
         assert_eq!(wb, 1);
     }

@@ -163,13 +163,13 @@ struct Points {
     c_pmp_match: Option<(PointId, PointId)>,
     c_pmp_grant: Option<(PointId, PointId)>,
     // ---- FSM states ----
-    f_icache: [PointId; 4],  // idle, lookup, refill, invalidate
-    f_dcache: [PointId; 6],  // idle, lookup, refill, writeback, store, amo
-    f_div: [PointId; 3],     // idle, busy, drain
-    f_fpu: [PointId; 5],     // idle, addpipe, mulpipe, divsqrt, cmp
-    f_trap: [PointId; 4],    // idle, save, redirect, return
-    f_bp: [PointId; 4],      // strong_nt, weak_nt, weak_t, strong_t
-    f_ras: [PointId; 3],     // empty, shallow, deep
+    f_icache: [PointId; 4],       // idle, lookup, refill, invalidate
+    f_dcache: [PointId; 6],       // idle, lookup, refill, writeback, store, amo
+    f_div: [PointId; 3],          // idle, busy, drain
+    f_fpu: [PointId; 5],          // idle, addpipe, mulpipe, divsqrt, cmp
+    f_trap: [PointId; 4],         // idle, save, redirect, return
+    f_bp: [PointId; 4],           // strong_nt, weak_nt, weak_t, strong_t
+    f_ras: [PointId; 3],          // empty, shallow, deep
     f_rob: Option<[PointId; 4]>,  // Boom: empty, fill, full, flush
     f_mshr: Option<[PointId; 3]>, // Boom: idle, pending, refill
     // Deliberately-unreachable units: registered so the coverage space has
@@ -187,11 +187,7 @@ fn cond_pair(map: &mut CoverageMap, name: &str) -> (PointId, PointId) {
     )
 }
 
-fn fsm_states<const N: usize>(
-    map: &mut CoverageMap,
-    fsm: &str,
-    states: [&str; N],
-) -> [PointId; N] {
+fn fsm_states<const N: usize>(map: &mut CoverageMap, fsm: &str, states: [&str; N]) -> [PointId; N] {
     states.map(|s| map.register(CoverageKind::Fsm, &format!("fsm:{fsm}:{s}")))
 }
 
@@ -291,10 +287,21 @@ impl Points {
             f_dcache: fsm_states(
                 map,
                 "dcache",
-                ["idle", "lookup", "refill", "writeback", "store_buf", "amo_lock"],
+                [
+                    "idle",
+                    "lookup",
+                    "refill",
+                    "writeback",
+                    "store_buf",
+                    "amo_lock",
+                ],
             ),
             f_div: fsm_states(map, "div", ["idle", "busy", "drain"]),
-            f_fpu: fsm_states(map, "fpu", ["idle", "add_pipe", "mul_pipe", "div_sqrt", "cmp"]),
+            f_fpu: fsm_states(
+                map,
+                "fpu",
+                ["idle", "add_pipe", "mul_pipe", "div_sqrt", "cmp"],
+            ),
             f_trap: fsm_states(map, "trap", ["idle", "save", "redirect", "mret"]),
             f_bp: fsm_states(map, "bp", ["strong_nt", "weak_nt", "weak_t", "strong_t"]),
             f_ras: fsm_states(map, "ras", ["empty", "shallow", "deep"]),
@@ -342,8 +349,10 @@ fn register_dead_banks(map: &mut CoverageMap, config: &CoreConfig) {
 }
 
 /// Per-run micro-architectural state (reset with the core on every test
-/// case, like an RTL simulation restarted per stimulus).
-#[derive(Debug)]
+/// case, like an RTL simulation restarted per stimulus). The allocation is
+/// kept alive between runs so a pool worker executing thousands of cases
+/// never reallocates the cache/predictor tables.
+#[derive(Debug, Clone)]
 struct MicroState {
     icache: Cache,
     dcache: Cache,
@@ -378,6 +387,24 @@ impl MicroState {
             ras_depth: 0,
             rob_occupancy: 0,
         }
+    }
+
+    /// Returns every unit to its power-on state in place (geometry never
+    /// changes for a given core, so no reallocation is needed).
+    fn reset(&mut self) {
+        self.icache.reset();
+        self.dcache.reset();
+        self.bp.reset();
+        self.scoreboard = Scoreboard::new();
+        self.div_unit = MultiCycleUnit::new();
+        self.fpu_unit = MultiCycleUnit::new();
+        self.invalidated_lines.clear();
+        self.last_fp_was_double = false;
+        self.steps_since_trap = u64::MAX;
+        self.steps_since_mret = u64::MAX;
+        self.lr_outstanding = false;
+        self.ras_depth = 0;
+        self.rob_occupancy = 0;
     }
 }
 
@@ -420,6 +447,9 @@ pub struct Dut {
     config: CoreConfig,
     coverage: CoverageMap,
     points: Points,
+    /// Reused between runs (taken out while a run is in flight so `observe`
+    /// can borrow the rest of the DUT mutably alongside it).
+    micro: Option<MicroState>,
 }
 
 impl Dut {
@@ -431,7 +461,12 @@ impl Dut {
         let mut coverage = CoverageMap::new();
         let points = Points::register(&mut coverage, &config);
         register_dead_banks(&mut coverage, &config);
-        Dut { config, coverage, points }
+        Dut {
+            config,
+            coverage,
+            points,
+            micro: None,
+        }
     }
 
     /// The core family.
@@ -471,7 +506,13 @@ impl Dut {
     ) -> DutResult {
         let mut cpu = Cpu::with_quirks(quirks);
         cpu.load_program(program);
-        let mut micro = MicroState::new(&self.config);
+        let mut micro = match self.micro.take() {
+            Some(mut m) => {
+                m.reset();
+                m
+            }
+            None => MicroState::new(&self.config),
+        };
         self.coverage.clear_hits();
 
         let mut cycles: u64 = 0;
@@ -491,6 +532,7 @@ impl Dut {
             cycles += 1;
             cycles += self.observe(&info, &cpu, &mut micro, cycles);
         }
+        self.micro = Some(micro);
         DutResult {
             halt,
             steps,
@@ -578,8 +620,16 @@ impl Dut {
         }
         if matches!(
             op,
-            Opcode::Addw | Opcode::Subw | Opcode::Sllw | Opcode::Srlw | Opcode::Sraw
-                | Opcode::Addiw | Opcode::Slliw | Opcode::Srliw | Opcode::Sraiw | Opcode::Mulw
+            Opcode::Addw
+                | Opcode::Subw
+                | Opcode::Sllw
+                | Opcode::Srlw
+                | Opcode::Sraw
+                | Opcode::Addiw
+                | Opcode::Slliw
+                | Opcode::Srliw
+                | Opcode::Sraiw
+                | Opcode::Mulw
         ) {
             if let Some((_, _, value)) = info.rd_write {
                 cov.hit_cond(
@@ -622,8 +672,7 @@ impl Dut {
             // Return-address stack: calls (link register writes) push,
             // `ret`-shaped jumps pop. Cascade-style generators that strip
             // control flow never touch this unit.
-            let is_call =
-                matches!(op, Opcode::Jal | Opcode::Jalr) && inst.rd == 1;
+            let is_call = matches!(op, Opcode::Jal | Opcode::Jalr) && inst.rd == 1;
             let is_return = op == Opcode::Jalr && inst.rd == 0 && inst.rs1 == 1;
             if is_call {
                 cov.hit(p.ras_push);
@@ -636,18 +685,26 @@ impl Dut {
                     micro.ras_depth -= 1;
                 }
             }
-            cov.hit(p.f_ras[match micro.ras_depth {
-                0 => 0,
-                1 => 1,
-                _ => 2,
-            }]);
+            cov.hit(
+                p.f_ras[match micro.ras_depth {
+                    0 => 0,
+                    1 => 1,
+                    _ => 2,
+                }],
+            );
         }
 
         // ---- Integer divider ----
         if matches!(
             op,
-            Opcode::Div | Opcode::Divu | Opcode::Rem | Opcode::Remu | Opcode::Divw
-                | Opcode::Divuw | Opcode::Remw | Opcode::Remuw
+            Opcode::Div
+                | Opcode::Divu
+                | Opcode::Rem
+                | Opcode::Remu
+                | Opcode::Divw
+                | Opcode::Divuw
+                | Opcode::Remw
+                | Opcode::Remuw
         ) {
             cov.hit(p.f_div[0]);
             cov.hit(p.f_div[1]);
@@ -670,16 +727,34 @@ impl Dut {
         if op.is_fp() {
             cov.hit(p.f_fpu[0]);
             let (state, latency): (usize, u64) = match op {
-                Opcode::FaddS | Opcode::FsubS | Opcode::FaddD | Opcode::FsubD
-                | Opcode::FmaddS | Opcode::FmsubS | Opcode::FnmsubS | Opcode::FnmaddS
-                | Opcode::FmaddD | Opcode::FmsubD | Opcode::FnmsubD | Opcode::FnmaddD => (1, 3),
+                Opcode::FaddS
+                | Opcode::FsubS
+                | Opcode::FaddD
+                | Opcode::FsubD
+                | Opcode::FmaddS
+                | Opcode::FmsubS
+                | Opcode::FnmsubS
+                | Opcode::FnmaddS
+                | Opcode::FmaddD
+                | Opcode::FmsubD
+                | Opcode::FnmsubD
+                | Opcode::FnmaddD => (1, 3),
                 Opcode::FmulS | Opcode::FmulD => (2, 4),
                 Opcode::FdivS | Opcode::FdivD | Opcode::FsqrtS | Opcode::FsqrtD => {
                     (3, self.config.fdiv_latency)
                 }
-                Opcode::FeqS | Opcode::FltS | Opcode::FleS | Opcode::FeqD | Opcode::FltD
-                | Opcode::FleD | Opcode::FminS | Opcode::FmaxS | Opcode::FminD
-                | Opcode::FmaxD | Opcode::FclassS | Opcode::FclassD => (4, 1),
+                Opcode::FeqS
+                | Opcode::FltS
+                | Opcode::FleS
+                | Opcode::FeqD
+                | Opcode::FltD
+                | Opcode::FleD
+                | Opcode::FminS
+                | Opcode::FmaxS
+                | Opcode::FminD
+                | Opcode::FmaxD
+                | Opcode::FclassS
+                | Opcode::FclassD => (4, 1),
                 _ => (0, 1), // moves, conversions, loads/stores
             };
             if state != 0 {
@@ -745,7 +820,11 @@ impl Dut {
             cov.hit_cond(crosses, p.c_mem_line_cross.0, p.c_mem_line_cross.1);
             let event = micro.dcache.access(mem.addr, mem.is_store);
             cov.hit_cond(event == CacheEvent::Hit, p.c_dcache_hit.0, p.c_dcache_hit.1);
-            cov.hit_cond(event.evicted(), p.c_dcache_conflict.0, p.c_dcache_conflict.1);
+            cov.hit_cond(
+                event.evicted(),
+                p.c_dcache_conflict.0,
+                p.c_dcache_conflict.1,
+            );
             cov.hit_cond(
                 event == CacheEvent::MissWriteBack,
                 p.c_dirty_victim.0,
@@ -781,7 +860,9 @@ impl Dut {
                 if micro.icache.invalidate(mem.addr) {
                     cov.hit(p.icache_invalidate);
                     cov.hit(p.f_icache[3]);
-                    micro.invalidated_lines.insert(micro.icache.line_of(mem.addr));
+                    micro
+                        .invalidated_lines
+                        .insert(micro.icache.line_of(mem.addr));
                     extra += 2;
                 }
             }
@@ -790,7 +871,11 @@ impl Dut {
                 let matched = cpu.csrs.pmp.matching_entry(mem.addr).is_some();
                 cov.hit_cond(matched, m.0, m.1);
                 if matched {
-                    let kind = if mem.is_store { AccessKind::Store } else { AccessKind::Load };
+                    let kind = if mem.is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
                     let granted = cpu.csrs.pmp.allows(mem.addr, kind);
                     cov.hit_cond(granted, g.0, g.1);
                 }
@@ -983,7 +1068,11 @@ mod tests {
             assert!(!result.coverage.is_hit(id), "{name} must be dead");
         }
         // And the always-on points fire for any program.
-        for name in ["line:fetch:req", "fsm:icache:idle", "cond:decode:is_compressed:F"] {
+        for name in [
+            "line:fetch:req",
+            "fsm:icache:idle",
+            "cond:decode:is_compressed:F",
+        ] {
             let id = map.find(name).expect(name);
             assert!(result.coverage.is_hit(id), "{name} must always fire");
         }
@@ -1004,9 +1093,7 @@ mod tests {
     #[test]
     fn misaligned_access_condition_fires_despite_the_trap() {
         let mut dut = Dut::new(CoreKind::Rocket);
-        let program = Program::assemble(&[
-            Instruction::i(Opcode::Lw, Reg::X10, Reg::X5, 1),
-        ]);
+        let program = Program::assemble(&[Instruction::i(Opcode::Lw, Reg::X10, Reg::X5, 1)]);
         let result = dut.run_program(&program, 10_000);
         let map = dut.coverage_map();
         let misaligned = map.find("cond:lsu:misaligned:T").unwrap();
@@ -1027,7 +1114,10 @@ mod tests {
         let result = dut.run_program(&Program::assemble(&body), 10_000);
         let map = dut.coverage_map();
         let wb = map.find("fsm:dcache:writeback").unwrap();
-        assert!(result.coverage.is_hit(wb), "conflicting dirty stores write back");
+        assert!(
+            result.coverage.is_hit(wb),
+            "conflicting dirty stores write back"
+        );
         let conflict = map.find("cond:dcache:set_conflict:T").unwrap();
         assert!(result.coverage.is_hit(conflict));
     }
@@ -1092,9 +1182,8 @@ mod tests {
     fn injected_bugs_change_architectural_results() {
         // The Rocket model carries K2 (sc ignores reservation); the same
         // program on the GRM and the DUT must diverge.
-        let program = Program::assemble(&[
-            Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS),
-        ]);
+        let program =
+            Program::assemble(&[Instruction::new(Opcode::ScW, 11, 5, 10, 0, 0, Csr::FFLAGS)]);
         let mut dut = Dut::new(CoreKind::Rocket);
         let dut_result = dut.run_program(&program, 10_000);
         let mut grm = Cpu::new();
@@ -1127,6 +1216,28 @@ mod tests {
         let a = dut.run_program(&nop_program(3), 10_000);
         let b = dut.run_program(&nop_program(3), 10_000);
         assert_eq!(a.coverage, b.coverage, "cold start every run");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.arch, b.arch);
+    }
+
+    #[test]
+    fn reused_micro_state_matches_a_fresh_dut() {
+        // The DUT keeps its micro-architectural allocations alive between
+        // runs; the in-place reset must be indistinguishable from a cold
+        // construction, even after a state-heavy program.
+        let mut warmed = Dut::new(CoreKind::Boom);
+        let dirtying = vec![
+            Instruction::s(Opcode::Sd, Reg::X10, 0, Reg::X5),
+            Instruction::s(Opcode::Sd, Reg::X10, 0x200, Reg::X5),
+            Instruction::b(Opcode::Bne, Reg::X10, Reg::X0, 8),
+            Instruction::r(Opcode::Div, Reg::X11, Reg::X10, Reg::X10),
+        ];
+        warmed.run_program(&Program::assemble(&dirtying), 10_000);
+        let mut fresh = Dut::new(CoreKind::Boom);
+        let probe = Program::assemble(&dirtying);
+        let a = warmed.run_program(&probe, 10_000);
+        let b = fresh.run_program(&probe, 10_000);
+        assert_eq!(a.coverage, b.coverage);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.arch, b.arch);
     }
@@ -1176,8 +1287,12 @@ mod frontend_tests {
         // simpler shape: call forward, return exactly past the end.
         let result = dut.run_program(&Program::assemble(&body), 2_000);
         let map = dut.coverage_map();
-        assert!(result.coverage.is_hit(map.find("line:frontend:ras_push").unwrap()));
-        assert!(result.coverage.is_hit(map.find("line:frontend:ras_pop").unwrap()));
+        assert!(result
+            .coverage
+            .is_hit(map.find("line:frontend:ras_push").unwrap()));
+        assert!(result
+            .coverage
+            .is_hit(map.find("line:frontend:ras_pop").unwrap()));
         assert!(result.coverage.is_hit(map.find("fsm:ras:shallow").unwrap()));
     }
 
@@ -1187,8 +1302,12 @@ mod frontend_tests {
         let body = vec![Instruction::i(Opcode::Jalr, Reg::X0, Reg::X1, 0)];
         let result = dut.run_program(&Program::assemble(&body), 2_000);
         let map = dut.coverage_map();
-        assert!(result.coverage.is_hit(map.find("line:frontend:ras_underflow").unwrap()));
-        assert!(!result.coverage.is_hit(map.find("line:frontend:ras_pop").unwrap()));
+        assert!(result
+            .coverage
+            .is_hit(map.find("line:frontend:ras_underflow").unwrap()));
+        assert!(!result
+            .coverage
+            .is_hit(map.find("line:frontend:ras_pop").unwrap()));
     }
 
     #[test]

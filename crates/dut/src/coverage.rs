@@ -21,8 +21,11 @@ pub enum CoverageKind {
 
 impl CoverageKind {
     /// All metrics, in display order.
-    pub const ALL: [CoverageKind; 3] =
-        [CoverageKind::Condition, CoverageKind::Line, CoverageKind::Fsm];
+    pub const ALL: [CoverageKind; 3] = [
+        CoverageKind::Condition,
+        CoverageKind::Line,
+        CoverageKind::Fsm,
+    ];
 
     /// Human-readable metric name.
     #[must_use]
@@ -102,7 +105,10 @@ impl CoverageMap {
             return id;
         }
         let id = PointId(u32::try_from(self.points.len()).expect("point count fits u32"));
-        self.points.push(PointInfo { name: name.to_owned(), kind });
+        self.points.push(PointInfo {
+            name: name.to_owned(),
+            kind,
+        });
         self.by_name.insert(name.to_owned(), id);
         self.hits.push(false);
         id
@@ -194,7 +200,10 @@ impl CoverageSnapshot {
     /// An all-zero snapshot sized for `len` points.
     #[must_use]
     pub fn empty(len: usize) -> CoverageSnapshot {
-        CoverageSnapshot { bits: vec![0; len.div_ceil(64)], len }
+        CoverageSnapshot {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of points the snapshot covers (hit or not).
@@ -231,7 +240,10 @@ impl CoverageSnapshot {
     /// Number of hit points of one metric (needs the registering map).
     #[must_use]
     pub fn count_of(&self, map: &CoverageMap, kind: CoverageKind) -> usize {
-        map.ids_of(kind).into_iter().filter(|&id| self.is_hit(id)).count()
+        map.ids_of(kind)
+            .into_iter()
+            .filter(|&id| self.is_hit(id))
+            .count()
     }
 
     /// Unions another snapshot into this one.
@@ -253,7 +265,9 @@ impl CoverageSnapshot {
 
     /// Iterates over hit point ids.
     pub fn iter_hits(&self) -> impl Iterator<Item = PointId> + '_ {
-        (0..self.len).map(|i| PointId(i as u32)).filter(|&id| self.is_hit(id))
+        (0..self.len)
+            .map(|i| PointId(i as u32))
+            .filter(|&id| self.is_hit(id))
     }
 
     /// The hit bits as a `0`/`1` vector, one entry per point — the bit-string

@@ -37,7 +37,7 @@ impl BranchPredictor {
             counters: vec![1; entries], // weakly not-taken
             btb: vec![None; entries],
             ghr: 0,
-            use_history: use_history,
+            use_history,
         }
     }
 
@@ -65,7 +65,20 @@ impl BranchPredictor {
             self.counters[idx] = self.counters[idx].saturating_sub(1);
         }
         self.ghr = (self.ghr << 1) | u64::from(taken);
-        Prediction { predicted_taken, correct, btb_hit, counter_after: self.counters[idx] }
+        Prediction {
+            predicted_taken,
+            correct,
+            btb_hit,
+            counter_after: self.counters[idx],
+        }
+    }
+
+    /// Returns the predictor to its power-on state without reallocating
+    /// its tables, so a long-lived DUT can be reused across test cases.
+    pub fn reset(&mut self) {
+        self.counters.fill(1); // weakly not-taken
+        self.btb.fill(None);
+        self.ghr = 0;
     }
 }
 
@@ -144,9 +157,12 @@ impl Scoreboard {
         // Shift the pipeline window.
         self.slots[1] = self.slots[0];
         self.slots[0] = match write {
-            Some((reg, fp)) if reg != 0 || fp => {
-                WriterSlot { reg, is_fp: fp, is_load: is_load, valid: true }
-            }
+            Some((reg, fp)) if reg != 0 || fp => WriterSlot {
+                reg,
+                is_fp: fp,
+                is_load,
+                valid: true,
+            },
             _ => WriterSlot::default(),
         };
         hz

@@ -182,7 +182,10 @@ impl Cpu {
     /// Creates a CPU with the given behaviour deviations (used by the DUT).
     #[must_use]
     pub fn with_quirks(quirks: Quirks) -> Cpu {
-        Cpu { quirks, ..Cpu::new() }
+        Cpu {
+            quirks,
+            ..Cpu::new()
+        }
     }
 
     /// Loads a program image: code at [`mem_map::CODE_BASE`], the trap
@@ -257,18 +260,36 @@ impl Cpu {
             return info;
         }
         // Fetch.
-        if pc % 4 != 0 {
-            self.take_trap(&mut info, Trap { cause: cause::MISALIGNED_FETCH, tval: pc });
+        if !pc.is_multiple_of(4) {
+            self.take_trap(
+                &mut info,
+                Trap {
+                    cause: cause::MISALIGNED_FETCH,
+                    tval: pc,
+                },
+            );
             return info;
         }
         if !self.check_pmp(pc, AccessKind::Fetch) {
-            self.take_trap(&mut info, Trap { cause: cause::FETCH_ACCESS, tval: pc });
+            self.take_trap(
+                &mut info,
+                Trap {
+                    cause: cause::FETCH_ACCESS,
+                    tval: pc,
+                },
+            );
             return info;
         }
         let word = match self.mem.read_u32(pc) {
             Ok(w) => w,
             Err(_) => {
-                self.take_trap(&mut info, Trap { cause: cause::FETCH_ACCESS, tval: pc });
+                self.take_trap(
+                    &mut info,
+                    Trap {
+                        cause: cause::FETCH_ACCESS,
+                        tval: pc,
+                    },
+                );
                 return info;
             }
         };
@@ -279,7 +300,10 @@ impl Cpu {
             Err(_) => {
                 self.take_trap(
                     &mut info,
-                    Trap { cause: cause::ILLEGAL_INSTRUCTION, tval: u64::from(word) },
+                    Trap {
+                        cause: cause::ILLEGAL_INSTRUCTION,
+                        tval: u64::from(word),
+                    },
                 );
                 return info;
             }
@@ -297,8 +321,14 @@ impl Cpu {
                 if self.quirks.minstret_double_counts_div
                     && matches!(
                         inst.opcode,
-                        Opcode::Div | Opcode::Divu | Opcode::Rem | Opcode::Remu
-                            | Opcode::Divw | Opcode::Divuw | Opcode::Remw | Opcode::Remuw
+                        Opcode::Div
+                            | Opcode::Divu
+                            | Opcode::Rem
+                            | Opcode::Remu
+                            | Opcode::Divw
+                            | Opcode::Divuw
+                            | Opcode::Remw
+                            | Opcode::Remuw
                     )
                 {
                     self.instret = self.instret.wrapping_add(1);
@@ -347,7 +377,10 @@ impl Cpu {
         if self.quirks.mtval_zero_on_misaligned_store && trap.cause == cause::MISALIGNED_STORE {
             tval = 0;
         }
-        info.outcome = StepOutcome::Trapped(Trap { cause: trap.cause, tval });
+        info.outcome = StepOutcome::Trapped(Trap {
+            cause: trap.cause,
+            tval,
+        });
         self.csrs.mepc = self.pc & !0b11;
         self.csrs.mcause = trap.cause;
         self.csrs.mtval = tval;
@@ -365,7 +398,10 @@ impl Cpu {
         let mut steps = 0u64;
         loop {
             if steps >= max_steps {
-                return RunResult { reason: HaltReason::StepBudget, steps };
+                return RunResult {
+                    reason: HaltReason::StepBudget,
+                    steps,
+                };
             }
             let info = self.step();
             match info.outcome {
@@ -574,14 +610,16 @@ impl Cpu {
             }
             Mulhu => wx!(((u128::from(rs1v) * u128::from(rs2v)) >> 64) as u64),
             Div => wx!(div_signed(rs1v as i64, rs2v as i64) as u64),
-            Divu => wx!(if rs2v == 0 { u64::MAX } else { rs1v / rs2v }),
+            Divu => wx!(rs1v.checked_div(rs2v).unwrap_or(u64::MAX)),
             Rem => wx!(rem_signed(rs1v as i64, rs2v as i64) as u64),
             Remu => wx!(if rs2v == 0 { rs1v } else { rs1v % rs2v }),
             Mulw => wx!((rs1v as i32).wrapping_mul(rs2v as i32) as i64 as u64),
             Divw => wx!(div_signed_32(rs1v as i32, rs2v as i32) as i64 as u64),
             Divuw => {
                 let (a, b) = (rs1v as u32, rs2v as u32);
-                wx!(if b == 0 { u64::MAX } else { (a / b) as i32 as i64 as u64 })
+                wx!(a
+                    .checked_div(b)
+                    .map_or(u64::MAX, |q| q as i32 as i64 as u64))
             }
             Remw => wx!(rem_signed_32(rs1v as i32, rs2v as i32) as i64 as u64),
             Remuw => {
@@ -633,10 +671,17 @@ impl Cpu {
             // ---- Fences and environment ----
             Fence | FenceI | Wfi => Exec::Next,
             Ecall => {
-                let c = if self.quirks.ecall_reports_user_cause { 8 } else { cause::ECALL_M };
+                let c = if self.quirks.ecall_reports_user_cause {
+                    8
+                } else {
+                    cause::ECALL_M
+                };
                 Exec::Trap(Trap { cause: c, tval: 0 })
             }
-            Ebreak => Exec::Trap(Trap { cause: cause::BREAKPOINT, tval: pc }),
+            Ebreak => Exec::Trap(Trap {
+                cause: cause::BREAKPOINT,
+                tval: pc,
+            }),
             Mret => {
                 // Restore MIE from MPIE; MPIE <- 1; stay in M.
                 let mpie = (self.csrs.mstatus >> 7) & 1;
@@ -650,9 +695,7 @@ impl Cpu {
                 tval: u64::from(inst.encode()),
             }),
             // ---- Zicsr ----
-            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
-                self.exec_csr(inst, rs1v, info)
-            }
+            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => self.exec_csr(inst, rs1v, info),
             // ---- A extension ----
             LrW | LrD => {
                 let size = if inst.opcode == LrW { 4 } else { 8 };
@@ -660,7 +703,11 @@ impl Cpu {
                 match self.load(addr, size, info) {
                     Ok(raw) => {
                         self.reservation = Some(addr);
-                        let v = if size == 4 { raw as u32 as i32 as i64 as u64 } else { raw };
+                        let v = if size == 4 {
+                            raw as u32 as i32 as i64 as u64
+                        } else {
+                            raw
+                        };
                         wx!(v)
                     }
                     Err(e) => e,
@@ -680,17 +727,21 @@ impl Cpu {
                     wx!(1)
                 }
             }
-            AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmominW | AmomaxW
-            | AmominuW | AmomaxuW => self.exec_amo(inst, rs1v, rs2v, 4, info),
-            AmoswapD | AmoaddD | AmoxorD | AmoandD | AmoorD | AmominD | AmomaxD
-            | AmominuD | AmomaxuD => self.exec_amo(inst, rs1v, rs2v, 8, info),
+            AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmominW | AmomaxW | AmominuW
+            | AmomaxuW => self.exec_amo(inst, rs1v, rs2v, 4, info),
+            AmoswapD | AmoaddD | AmoxorD | AmoandD | AmoorD | AmominD | AmomaxD | AmominuD
+            | AmomaxuD => self.exec_amo(inst, rs1v, rs2v, 8, info),
             // ---- F/D loads and stores ----
             Flw | Fld => {
                 let size = if inst.opcode == Flw { 4 } else { 8 };
                 let addr = rs1v.wrapping_add(imm as u64);
                 match self.load(addr, size, info) {
                     Ok(raw) => {
-                        let v = if size == 4 { fpu::box_f32(raw as u32) } else { raw };
+                        let v = if size == 4 {
+                            fpu::box_f32(raw as u32)
+                        } else {
+                            raw
+                        };
                         wf!(v)
                     }
                     Err(e) => e,
@@ -809,30 +860,42 @@ impl Cpu {
             let a_nan = f64::from_bits(fa).is_nan();
             let b_nan = f64::from_bits(fb).is_nan();
             if a_nan != b_nan {
-                return fpu::FpResult { bits: fpu::CANONICAL_NAN_F64, flags: r.flags };
+                return fpu::FpResult {
+                    bits: fpu::CANONICAL_NAN_F64,
+                    flags: r.flags,
+                };
             }
         }
         r
     }
 
     fn jump_target(&self, target: u64) -> Result<u64, Trap> {
-        if target % 4 == 0 {
+        if target.is_multiple_of(4) {
             Ok(target)
         } else if self.quirks.skip_misaligned_jump_check {
             // V3: the misaligned-fetch exception is never raised; the core
             // silently truncates the target.
             Ok(target & !0b11)
         } else {
-            Err(Trap { cause: cause::MISALIGNED_FETCH, tval: target })
+            Err(Trap {
+                cause: cause::MISALIGNED_FETCH,
+                tval: target,
+            })
         }
     }
 
     fn load(&mut self, addr: u64, size: u8, info: &mut StepInfo) -> Result<u64, Exec> {
-        if addr % u64::from(size) != 0 {
-            return Err(Exec::Trap(Trap { cause: cause::MISALIGNED_LOAD, tval: addr }));
+        if !addr.is_multiple_of(u64::from(size)) {
+            return Err(Exec::Trap(Trap {
+                cause: cause::MISALIGNED_LOAD,
+                tval: addr,
+            }));
         }
         if !self.check_pmp(addr, AccessKind::Load) {
-            return Err(Exec::Trap(Trap { cause: cause::LOAD_ACCESS, tval: addr }));
+            return Err(Exec::Trap(Trap {
+                cause: cause::LOAD_ACCESS,
+                tval: addr,
+            }));
         }
         let raw = match size {
             1 => self.mem.read_u8(addr).map(u64::from),
@@ -842,25 +905,44 @@ impl Cpu {
         };
         match raw {
             Ok(v) => {
-                info.mem = Some(MemOp { addr, size, is_store: false, value: 0 });
+                info.mem = Some(MemOp {
+                    addr,
+                    size,
+                    is_store: false,
+                    value: 0,
+                });
                 Ok(v)
             }
-            Err(_) => Err(Exec::Trap(Trap { cause: cause::LOAD_ACCESS, tval: addr })),
+            Err(_) => Err(Exec::Trap(Trap {
+                cause: cause::LOAD_ACCESS,
+                tval: addr,
+            })),
         }
     }
 
     fn store(&mut self, addr: u64, size: u8, value: u64, info: &mut StepInfo) -> Exec {
-        if addr % u64::from(size) != 0 {
-            return Exec::Trap(Trap { cause: cause::MISALIGNED_STORE, tval: addr });
+        if !addr.is_multiple_of(u64::from(size)) {
+            return Exec::Trap(Trap {
+                cause: cause::MISALIGNED_STORE,
+                tval: addr,
+            });
         }
         if !self.check_pmp(addr, AccessKind::Store) {
-            return Exec::Trap(Trap { cause: cause::STORE_ACCESS, tval: addr });
+            return Exec::Trap(Trap {
+                cause: cause::STORE_ACCESS,
+                tval: addr,
+            });
         }
         // V1: a store into the currently-executing cache line crashes the
         // core (cache-coherency violation during write-back).
         if let Some(line) = self.quirks.crash_on_store_to_fetch_line {
             if addr / line == self.pc / line {
-                info.mem = Some(MemOp { addr, size, is_store: true, value });
+                info.mem = Some(MemOp {
+                    addr,
+                    size,
+                    is_store: true,
+                    value,
+                });
                 return Exec::Halt(HaltReason::Crash("store to executing cache line"));
             }
         }
@@ -872,14 +954,22 @@ impl Cpu {
         };
         match res {
             Ok(()) => {
-                info.mem = Some(MemOp { addr, size, is_store: true, value });
+                info.mem = Some(MemOp {
+                    addr,
+                    size,
+                    is_store: true,
+                    value,
+                });
                 // A store invalidates any reservation on the same address.
                 if self.reservation == Some(addr) {
                     self.reservation = None;
                 }
                 Exec::Next
             }
-            Err(_) => Exec::Trap(Trap { cause: cause::STORE_ACCESS, tval: addr }),
+            Err(_) => Exec::Trap(Trap {
+                cause: cause::STORE_ACCESS,
+                tval: addr,
+            }),
         }
     }
 
@@ -892,8 +982,11 @@ impl Cpu {
         info: &mut StepInfo,
     ) -> Exec {
         use Opcode::*;
-        if addr % u64::from(size) != 0 {
-            return Exec::Trap(Trap { cause: cause::MISALIGNED_STORE, tval: addr });
+        if !addr.is_multiple_of(u64::from(size)) {
+            return Exec::Trap(Trap {
+                cause: cause::MISALIGNED_STORE,
+                tval: addr,
+            });
         }
         let old = match self.load(addr, size, info) {
             Ok(raw) => {
@@ -905,7 +998,10 @@ impl Cpu {
             }
             Err(_) => {
                 // AMOs report store/AMO faults, not load faults.
-                return Exec::Trap(Trap { cause: cause::STORE_ACCESS, tval: addr });
+                return Exec::Trap(Trap {
+                    cause: cause::STORE_ACCESS,
+                    tval: addr,
+                });
             }
         };
         let new = match inst.opcode {
@@ -1035,9 +1131,29 @@ fn single_precision_reads_fp(op: Opcode) -> bool {
     use Opcode::*;
     matches!(
         op,
-        FaddS | FsubS | FmulS | FdivS | FsqrtS | FsgnjS | FsgnjnS | FsgnjxS | FminS
-            | FmaxS | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS | FeqS | FltS | FleS
-            | FclassS | FcvtDS | FmaddS | FmsubS | FnmsubS | FnmaddS
+        FaddS
+            | FsubS
+            | FmulS
+            | FdivS
+            | FsqrtS
+            | FsgnjS
+            | FsgnjnS
+            | FsgnjxS
+            | FminS
+            | FmaxS
+            | FcvtWS
+            | FcvtWuS
+            | FcvtLS
+            | FcvtLuS
+            | FeqS
+            | FltS
+            | FleS
+            | FclassS
+            | FcvtDS
+            | FmaddS
+            | FmsubS
+            | FnmsubS
+            | FnmaddS
     )
 }
 
@@ -1166,7 +1282,10 @@ mod tests {
         ]);
         assert_eq!(cpu.x[10], 1);
         assert_eq!(cpu.csrs.mcause, cause::ILLEGAL_INSTRUCTION);
-        assert_eq!(cpu.csrs.mtval, u64::from(Instruction::nullary(Opcode::Sret).encode()));
+        assert_eq!(
+            cpu.csrs.mtval,
+            u64::from(Instruction::nullary(Opcode::Sret).encode())
+        );
     }
 
     #[test]
@@ -1203,8 +1322,10 @@ mod tests {
 
     #[test]
     fn quirk_v3_misaligned_jump_does_not_trap() {
-        let mut quirks = Quirks::default();
-        quirks.skip_misaligned_jump_check = true;
+        let quirks = Quirks {
+            skip_misaligned_jump_check: true,
+            ..Quirks::default()
+        };
         // Jump to body_pc + 2 (misaligned): with the quirk the target is
         // truncated to body_pc, re-running the first instruction; use a
         // self-correcting body.
@@ -1255,8 +1376,10 @@ mod tests {
         ];
         let cpu = run_body(&body);
         assert_eq!(cpu.csrs.mcause, cause::ILLEGAL_INSTRUCTION);
-        let mut quirks = Quirks::default();
-        quirks.unimplemented_csr_nop = true;
+        let quirks = Quirks {
+            unimplemented_csr_nop: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         assert_eq!(cpu.csrs.mcause, 0, "no trap under the quirk");
         assert_eq!(cpu.x[10], 9);
@@ -1289,8 +1412,10 @@ mod tests {
 
     #[test]
     fn quirk_sc_ignores_reservation() {
-        let mut quirks = Quirks::default();
-        quirks.sc_ignores_reservation = true;
+        let quirks = Quirks {
+            sc_ignores_reservation: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(
             &[Instruction::new(Opcode::ScW, 12, 5, 10, 0, 0, Csr::FFLAGS)],
             quirks,
@@ -1329,16 +1454,20 @@ mod tests {
         ];
         let cpu = run_body(&body);
         assert_eq!(cpu.x[13] & 0x10, 0x10, "GRM raises NV for the boxed sNaN");
-        let mut quirks = Quirks::default();
-        quirks.feq_nv_flag_missing_on_unboxed = true;
+        let quirks = Quirks {
+            feq_nv_flag_missing_on_unboxed: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         assert_eq!(cpu.x[13] & 0x10, 0, "V4: flag missing on the DUT");
     }
 
     #[test]
     fn quirk_v1_store_to_fetch_line_crashes() {
-        let mut quirks = Quirks::default();
-        quirks.crash_on_store_to_fetch_line = Some(64);
+        let quirks = Quirks {
+            crash_on_store_to_fetch_line: Some(64),
+            ..Quirks::default()
+        };
         // Store through t1 (CODE_BASE) at an offset inside the running
         // code: compute the store's own pc line. The store instruction
         // sits a few words into the body; offset 0 targets CODE_BASE,
@@ -1372,15 +1501,32 @@ mod tests {
         // load from its first bytes.
         let napot = (mem_map::PROTECTED_BASE >> 2) | ((0x1000 >> 3) - 1);
         let mut body = emit_li64(Reg::X10, napot);
-        body.push(Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::PMPADDR0, Reg::X10));
+        body.push(Instruction::csr_reg(
+            Opcode::Csrrw,
+            Reg::X0,
+            Csr::PMPADDR0,
+            Reg::X10,
+        ));
         body.extend(emit_li64(Reg::X11, 0x98)); // L | NAPOT, no perms
-        body.push(Instruction::csr_reg(Opcode::Csrrw, Reg::X0, Csr::PMPCFG0, Reg::X11));
+        body.push(Instruction::csr_reg(
+            Opcode::Csrrw,
+            Reg::X0,
+            Csr::PMPCFG0,
+            Reg::X11,
+        ));
         body.push(Instruction::i(Opcode::Ld, Reg::X12, Reg::X7, 8)); // within 16B
-        body.push(Instruction::csr_reg(Opcode::Csrrs, Reg::X13, Csr::MCAUSE, Reg::X0));
+        body.push(Instruction::csr_reg(
+            Opcode::Csrrs,
+            Reg::X13,
+            Csr::MCAUSE,
+            Reg::X0,
+        ));
         let cpu = run_body(&body);
         assert_eq!(cpu.x[13], cause::LOAD_ACCESS, "GRM blocks the access");
-        let mut quirks = Quirks::default();
-        quirks.pmp_grace_window = true;
+        let quirks = Quirks {
+            pmp_grace_window: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         assert_eq!(cpu.x[13], 0, "V2: access inside the grace window allowed");
         assert_ne!(cpu.x[12], 0, "the protected data leaked");
@@ -1397,8 +1543,10 @@ mod tests {
         ];
         let cpu = run_body(&body);
         assert_eq!(cpu.x[13] & 0x8, 0x8, "GRM raises DZ");
-        let mut quirks = Quirks::default();
-        quirks.fdiv_dz_flag_missing = true;
+        let quirks = Quirks {
+            fdiv_dz_flag_missing: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         assert_eq!(cpu.x[13] & 0x8, 0, "quirk drops DZ");
     }
@@ -1414,8 +1562,10 @@ mod tests {
         // -1 * (2^64-1) as (signed x unsigned) high word = -1 high = ~0... spec:
         // mulhsu(-1, u64::MAX) = high 64 bits of -(2^64-1) = -1.
         assert_eq!(cpu.x[12], u64::MAX);
-        let mut quirks = Quirks::default();
-        quirks.mulhsu_sign_bug = true;
+        let quirks = Quirks {
+            mulhsu_sign_bug: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         // Buggy: treats rs2 as signed -1: (-1 * -1) >> 64 = 0.
         assert_eq!(cpu.x[12], 0);
@@ -1429,16 +1579,20 @@ mod tests {
         ];
         let cpu = run_body(&body);
         assert_eq!(cpu.x[11], 0xFFFF_FFFF_8000_0000);
-        let mut quirks = Quirks::default();
-        quirks.addiw_no_sign_extend = true;
+        let quirks = Quirks {
+            addiw_no_sign_extend: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         assert_eq!(cpu.x[11], 0x8000_0000, "missing sign extension");
     }
 
     #[test]
     fn quirk_ecall_reports_user_cause() {
-        let mut quirks = Quirks::default();
-        quirks.ecall_reports_user_cause = true;
+        let quirks = Quirks {
+            ecall_reports_user_cause: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&[Instruction::nullary(Opcode::Ecall)], quirks);
         assert_eq!(cpu.csrs.mcause, 8);
     }
@@ -1451,8 +1605,10 @@ mod tests {
             Instruction::csr_reg(Opcode::Csrrs, Reg::X12, Csr::MINSTRET, Reg::X0),
         ];
         let base = run_body(&body).x[12];
-        let mut quirks = Quirks::default();
-        quirks.minstret_double_counts_div = true;
+        let quirks = Quirks {
+            minstret_double_counts_div: true,
+            ..Quirks::default()
+        };
         let bugged = run_body_with(&body, quirks).x[12];
         assert_eq!(bugged, base + 1);
     }
@@ -1465,8 +1621,10 @@ mod tests {
         ];
         let cpu = run_body(&body);
         assert_eq!(cpu.csrs.mcause, cause::ILLEGAL_INSTRUCTION);
-        let mut quirks = Quirks::default();
-        quirks.readonly_csr_write_ignored = true;
+        let quirks = Quirks {
+            readonly_csr_write_ignored: true,
+            ..Quirks::default()
+        };
         let cpu = run_body_with(&body, quirks);
         assert_eq!(cpu.csrs.mcause, 0);
         assert_eq!(cpu.x[10], 0, "read still returns the old value");
@@ -1620,7 +1778,12 @@ mod bitmanip_tests {
         let mut body = emit_li64(Reg::X10, 0xFFFF_FFFF_0000_0002);
         body.extend(emit_li64(Reg::X11, 8));
         body.push(Instruction::r(Opcode::AddUw, Reg::X12, Reg::X10, Reg::X11));
-        body.push(Instruction::r(Opcode::Sh1addUw, Reg::X13, Reg::X10, Reg::X11));
+        body.push(Instruction::r(
+            Opcode::Sh1addUw,
+            Reg::X13,
+            Reg::X10,
+            Reg::X11,
+        ));
         body.push(Instruction::i(Opcode::SlliUw, Reg::X14, Reg::X10, 4));
         let cpu = run_body(&body);
         assert_eq!(cpu.x[12], 10, "add.uw zero-extends rs1");
@@ -1654,8 +1817,24 @@ mod bitmanip_tests {
         body.push(Instruction::r(Opcode::Max, Reg::X12, Reg::X10, Reg::X11));
         body.push(Instruction::r(Opcode::Maxu, Reg::X13, Reg::X10, Reg::X11));
         body.push(Instruction::r(Opcode::Min, Reg::X14, Reg::X10, Reg::X11));
-        body.push(Instruction::new(Opcode::SextB, 15, 10, 0, 0, 0, Csr::FFLAGS));
-        body.push(Instruction::new(Opcode::ZextH, 16, 10, 0, 0, 0, Csr::FFLAGS));
+        body.push(Instruction::new(
+            Opcode::SextB,
+            15,
+            10,
+            0,
+            0,
+            0,
+            Csr::FFLAGS,
+        ));
+        body.push(Instruction::new(
+            Opcode::ZextH,
+            16,
+            10,
+            0,
+            0,
+            0,
+            Csr::FFLAGS,
+        ));
         let cpu = run_body(&body);
         assert_eq!(cpu.x[12], 3, "signed max");
         assert_eq!(cpu.x[13], (-5i64) as u64, "unsigned max");
@@ -1690,7 +1869,15 @@ mod bitmanip_tests {
         let mut body = emit_li64(Reg::X10, 0xFFFF_FFFF_0000_0F00);
         body.push(Instruction::new(Opcode::Clzw, 11, 10, 0, 0, 0, Csr::FFLAGS));
         body.push(Instruction::new(Opcode::Ctzw, 12, 10, 0, 0, 0, Csr::FFLAGS));
-        body.push(Instruction::new(Opcode::Cpopw, 13, 10, 0, 0, 0, Csr::FFLAGS));
+        body.push(Instruction::new(
+            Opcode::Cpopw,
+            13,
+            10,
+            0,
+            0,
+            0,
+            Csr::FFLAGS,
+        ));
         let cpu = run_body(&body);
         assert_eq!(cpu.x[11], 20);
         assert_eq!(cpu.x[12], 8);

@@ -144,7 +144,10 @@ pub fn arith_s(kind: Arith, ra: u64, rb: u64) -> FpResult {
     if r.is_infinite() && a.is_finite() && b.is_finite() && !(kind == Arith::Div && b == 0.0) {
         flags |= OF;
     }
-    FpResult { bits: box_f32(canon_f32(r)), flags }
+    FpResult {
+        bits: box_f32(canon_f32(r)),
+        flags,
+    }
 }
 
 /// Double-precision arithmetic on raw register values.
@@ -169,7 +172,10 @@ pub fn arith_d(kind: Arith, ra: u64, rb: u64) -> FpResult {
     if r.is_infinite() && a.is_finite() && b.is_finite() && !(kind == Arith::Div && b == 0.0) {
         flags |= OF;
     }
-    FpResult { bits: canon_f64(r), flags }
+    FpResult {
+        bits: canon_f64(r),
+        flags,
+    }
 }
 
 /// `fsqrt.s`.
@@ -181,7 +187,10 @@ pub fn sqrt_s(ra: u64) -> FpResult {
     if a < 0.0 {
         flags |= NV;
     }
-    FpResult { bits: box_f32(canon_f32(a.sqrt())), flags }
+    FpResult {
+        bits: box_f32(canon_f32(a.sqrt())),
+        flags,
+    }
 }
 
 /// `fsqrt.d`.
@@ -192,7 +201,10 @@ pub fn sqrt_d(ra: u64) -> FpResult {
     if a < 0.0 {
         flags |= NV;
     }
-    FpResult { bits: canon_f64(a.sqrt()), flags }
+    FpResult {
+        bits: canon_f64(a.sqrt()),
+        flags,
+    }
 }
 
 /// Sign-injection kind for `fsgnj`/`fsgnjn`/`fsgnjx`.
@@ -215,7 +227,10 @@ pub fn sgnj_s(kind: SignOp, ra: u64, rb: u64) -> FpResult {
         SignOp::Negate => !b & 0x8000_0000,
         SignOp::Xor => (a ^ b) & 0x8000_0000,
     };
-    FpResult { bits: box_f32((a & 0x7FFF_FFFF) | sign), flags: 0 }
+    FpResult {
+        bits: box_f32((a & 0x7FFF_FFFF) | sign),
+        flags: 0,
+    }
 }
 
 /// `fsgnj*.d` on raw register values (no flags).
@@ -226,7 +241,10 @@ pub fn sgnj_d(kind: SignOp, ra: u64, rb: u64) -> FpResult {
         SignOp::Negate => !rb & 0x8000_0000_0000_0000,
         SignOp::Xor => (ra ^ rb) & 0x8000_0000_0000_0000,
     };
-    FpResult { bits: (ra & 0x7FFF_FFFF_FFFF_FFFF) | sign, flags: 0 }
+    FpResult {
+        bits: (ra & 0x7FFF_FFFF_FFFF_FFFF) | sign,
+        flags: 0,
+    }
 }
 
 /// `fmin.s`/`fmax.s` with RISC-V NaN semantics.
@@ -244,7 +262,11 @@ pub fn minmax_s(max: bool, ra: u64, rb: u64) -> FpResult {
             if a == b {
                 let neg = a_bits | b_bits; // the one with the sign bit
                 let pos = a_bits & b_bits;
-                if max { pos } else { neg }
+                if max {
+                    pos
+                } else {
+                    neg
+                }
             } else if (a < b) != max {
                 a_bits
             } else {
@@ -252,7 +274,10 @@ pub fn minmax_s(max: bool, ra: u64, rb: u64) -> FpResult {
             }
         }
     };
-    FpResult { bits: box_f32(bits), flags }
+    FpResult {
+        bits: box_f32(bits),
+        flags,
+    }
 }
 
 /// `fmin.d`/`fmax.d` with RISC-V NaN semantics.
@@ -268,7 +293,11 @@ pub fn minmax_d(max: bool, ra: u64, rb: u64) -> FpResult {
             if a == b {
                 let neg = ra | rb;
                 let pos = ra & rb;
-                if max { pos } else { neg }
+                if max {
+                    pos
+                } else {
+                    neg
+                }
             } else if (a < b) != max {
                 ra
             } else {
@@ -314,7 +343,10 @@ pub fn cmp_s(kind: Cmp, ra: u64, rb: u64) -> FpResult {
         Cmp::Lt => a < b,
         Cmp::Le => a <= b,
     };
-    FpResult { bits: u64::from(res), flags }
+    FpResult {
+        bits: u64::from(res),
+        flags,
+    }
 }
 
 /// Double-precision comparison; result is 0/1 for `rd`.
@@ -336,7 +368,10 @@ pub fn cmp_d(kind: Cmp, ra: u64, rb: u64) -> FpResult {
         Cmp::Lt => a < b,
         Cmp::Le => a <= b,
     };
-    FpResult { bits: u64::from(res), flags }
+    FpResult {
+        bits: u64::from(res),
+        flags,
+    }
 }
 
 /// `fclass.s` category bitmask.
@@ -360,13 +395,29 @@ pub fn class_d(ra: u64) -> u64 {
 fn class_bits(v: f64, (subnormal, snan): (bool, bool)) -> u64 {
     let neg = v.is_sign_negative();
     if v.is_nan() {
-        if snan { 1 << 8 } else { 1 << 9 }
+        if snan {
+            1 << 8
+        } else {
+            1 << 9
+        }
     } else if v.is_infinite() {
-        if neg { 1 << 0 } else { 1 << 7 }
+        if neg {
+            1 << 0
+        } else {
+            1 << 7
+        }
     } else if v == 0.0 {
-        if neg { 1 << 3 } else { 1 << 4 }
+        if neg {
+            1 << 3
+        } else {
+            1 << 4
+        }
     } else if subnormal {
-        if neg { 1 << 2 } else { 1 << 5 }
+        if neg {
+            1 << 2
+        } else {
+            1 << 5
+        }
     } else if neg {
         1 << 1
     } else {
@@ -427,7 +478,10 @@ fn cvt_to_int(v: f64, kind: IntKind, input_nan: bool) -> FpResult {
             }
         }
     };
-    FpResult { bits, flags: if invalid { NV } else { 0 } }
+    FpResult {
+        bits,
+        flags: if invalid { NV } else { 0 },
+    }
 }
 
 /// `fcvt.{w,wu,l,lu}.s`.
@@ -453,7 +507,10 @@ pub fn cvt_int_to_s(kind: IntKind, x: u64) -> FpResult {
         IntKind::L => (x as i64) as f32,
         IntKind::Lu => x as f32,
     };
-    FpResult { bits: box_f32(canon_f32(v)), flags: 0 }
+    FpResult {
+        bits: box_f32(canon_f32(v)),
+        flags: 0,
+    }
 }
 
 /// `fcvt.d.{w,wu,l,lu}`: integer to double.
@@ -465,7 +522,10 @@ pub fn cvt_int_to_d(kind: IntKind, x: u64) -> FpResult {
         IntKind::L => (x as i64) as f64,
         IntKind::Lu => x as f64,
     };
-    FpResult { bits: canon_f64(v), flags: 0 }
+    FpResult {
+        bits: canon_f64(v),
+        flags: 0,
+    }
 }
 
 /// `fcvt.s.d`: double to single (may overflow to infinity).
@@ -477,7 +537,10 @@ pub fn cvt_d_to_s(ra: u64) -> FpResult {
     if r.is_infinite() && a.is_finite() {
         flags |= OF;
     }
-    FpResult { bits: box_f32(canon_f32(r)), flags }
+    FpResult {
+        bits: box_f32(canon_f32(r)),
+        flags,
+    }
 }
 
 /// `fcvt.d.s`: single to double (exact).
@@ -485,7 +548,10 @@ pub fn cvt_d_to_s(ra: u64) -> FpResult {
 pub fn cvt_s_to_d(ra: u64) -> FpResult {
     let bits = unbox_f32(ra);
     let flags = if is_snan_f32(bits) { NV } else { 0 };
-    FpResult { bits: canon_f64(f64::from(f32::from_bits(bits))), flags }
+    FpResult {
+        bits: canon_f64(f64::from(f32::from_bits(bits))),
+        flags,
+    }
 }
 
 /// Fused multiply-add kind, mapping the four `f[n]m{add,sub}` opcodes.
@@ -524,7 +590,10 @@ pub fn fma_s(kind: FmaKind, ra: u64, rb: u64, rc: u64) -> FpResult {
     if r.is_nan() && !a.is_nan() && !b.is_nan() && !c.is_nan() && flags & NV == 0 {
         flags |= NV;
     }
-    FpResult { bits: box_f32(canon_f32(r)), flags }
+    FpResult {
+        bits: box_f32(canon_f32(r)),
+        flags,
+    }
 }
 
 /// Double-precision fused multiply-add family.
@@ -544,7 +613,10 @@ pub fn fma_d(kind: FmaKind, ra: u64, rb: u64, rc: u64) -> FpResult {
     if r.is_nan() && !a.is_nan() && !b.is_nan() && !c.is_nan() && flags & NV == 0 {
         flags |= NV;
     }
-    FpResult { bits: canon_f64(r), flags }
+    FpResult {
+        bits: canon_f64(r),
+        flags,
+    }
 }
 
 #[cfg(test)]
@@ -644,9 +716,18 @@ mod tests {
     #[test]
     fn sign_injection() {
         let neg_one = box_f32(0xBF80_0000);
-        assert_eq!(unbox_f32(sgnj_s(SignOp::Inject, ONE_S, neg_one).bits), 0xBF80_0000);
-        assert_eq!(unbox_f32(sgnj_s(SignOp::Negate, ONE_S, neg_one).bits), 0x3F80_0000);
-        assert_eq!(unbox_f32(sgnj_s(SignOp::Xor, neg_one, neg_one).bits), 0x3F80_0000);
+        assert_eq!(
+            unbox_f32(sgnj_s(SignOp::Inject, ONE_S, neg_one).bits),
+            0xBF80_0000
+        );
+        assert_eq!(
+            unbox_f32(sgnj_s(SignOp::Negate, ONE_S, neg_one).bits),
+            0x3F80_0000
+        );
+        assert_eq!(
+            unbox_f32(sgnj_s(SignOp::Xor, neg_one, neg_one).bits),
+            0x3F80_0000
+        );
         let d = sgnj_d(SignOp::Negate, 1.0f64.to_bits(), 1.0f64.to_bits());
         assert_eq!(f64::from_bits(d.bits), -1.0);
     }
@@ -662,7 +743,7 @@ mod tests {
         assert_eq!(class_s(box_f32(0xBF80_0000)), 1 << 1); // -normal
         assert_eq!(class_s(SNAN_S), 1 << 8); // sNaN
         assert_eq!(class_s(box_f32(CANONICAL_NAN_F32)), 1 << 9); // qNaN
-        // Improper boxing classifies as quiet NaN.
+                                                                 // Improper boxing classifies as quiet NaN.
         assert_eq!(class_s(0x1234_5678), 1 << 9);
         assert_eq!(class_d((-0.0f64).to_bits()), 1 << 3);
         assert_eq!(class_d(1.0f64.to_bits()), 1 << 6);

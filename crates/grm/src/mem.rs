@@ -111,7 +111,12 @@ impl Memory {
     /// Returns [`AccessFault`] outside the RAM window.
     pub fn read_u32(&self, addr: u64) -> Result<u32, AccessFault> {
         Self::in_ram(addr, 4)?;
-        let b = [self.peek(addr), self.peek(addr + 1), self.peek(addr + 2), self.peek(addr + 3)];
+        let b = [
+            self.peek(addr),
+            self.peek(addr + 1),
+            self.peek(addr + 2),
+            self.peek(addr + 3),
+        ];
         Ok(u32::from_le_bytes(b))
     }
 

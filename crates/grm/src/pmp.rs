@@ -107,10 +107,7 @@ impl Pmp {
         if self.cfg[i] & CFG_L != 0 {
             return;
         }
-        if i + 1 < 8
-            && self.cfg[i + 1] & CFG_L != 0
-            && self.mode(i + 1) == PmpMode::Tor
-        {
+        if i + 1 < 8 && self.cfg[i + 1] & CFG_L != 0 && self.mode(i + 1) == PmpMode::Tor {
             return;
         }
         // pmpaddr holds bits [55:2] of the address.
@@ -282,7 +279,7 @@ mod tests {
         let mut p = Pmp::new();
         p.write_addr(0, napot(0x8000_4000, 0x1000));
         p.write_cfg0(0x9A); // L | NAPOT | W (no R) — reserved combination
-        // Degrades to no-access rather than a write-only region.
+                            // Degrades to no-access rather than a write-only region.
         assert!(!p.allows(0x8000_4000, AccessKind::Store));
         assert!(!p.allows(0x8000_4000, AccessKind::Load));
     }

@@ -30,7 +30,7 @@ fn emit_li64_rec(rd: Reg, value: i64, out: &mut Vec<Instruction>) {
     }
     if value >= i64::from(i32::MIN) && value <= i64::from(i32::MAX) {
         // lui + addiw covers the sign-extended 32-bit range.
-        let low12 = ((value << 52) >> 52) as i64; // sign-extended low 12
+        let low12 = (value << 52) >> 52; // sign-extended low 12
         let upper = (value - low12) >> 12;
         out.push(Instruction::u(Opcode::Lui, rd, upper & 0xF_FFFF));
         if low12 != 0 {
@@ -42,8 +42,11 @@ fn emit_li64_rec(rd: Reg, value: i64, out: &mut Vec<Instruction>) {
         return;
     }
     // General case: build the upper bits, shift left 12, add the low 12.
-    let low12 = ((value << 52) >> 52) as i64;
-    let upper = (value - low12) >> 12;
+    // Wrapping subtraction: near i64::MAX a negative low12 pushes the
+    // intermediate past the type's range, but the register arithmetic that
+    // reassembles the constant wraps mod 2^64, so the end result is exact.
+    let low12 = (value << 52) >> 52;
+    let upper = value.wrapping_sub(low12) >> 12;
     emit_li64_rec(rd, upper, out);
     out.push(Instruction::i(Opcode::Slli, rd, rd, 12));
     if low12 != 0 {
@@ -212,7 +215,11 @@ mod tests {
     fn max_body_len_is_substantial() {
         // The incremental test constructor needs room for a few hundred
         // instructions per test case.
-        assert!(Program::max_body_len() >= 500, "{}", Program::max_body_len());
+        assert!(
+            Program::max_body_len() >= 500,
+            "{}",
+            Program::max_body_len()
+        );
     }
 
     #[test]

@@ -104,7 +104,9 @@ impl<'a> IntoIterator for &'a Trace {
 
 impl FromIterator<TraceEntry> for Trace {
     fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
-        Trace { entries: iter.into_iter().collect() }
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -124,7 +126,12 @@ mod tests {
             pc: 0x8000_0000,
             word: 0x0031_0093,
             rd_write: Some((false, 1, 42)),
-            mem: Some(MemOp { addr: 0x8000_1000, size: 8, is_store: true, value: 7 }),
+            mem: Some(MemOp {
+                addr: 0x8000_1000,
+                size: 8,
+                is_store: true,
+                value: 7,
+            }),
             trap: Some(Trap { cause: 2, tval: 0 }),
         };
         let s = entry.to_string();
@@ -143,7 +150,7 @@ mod tests {
             mem: None,
             trap: None,
         };
-        let mut t: Trace = std::iter::repeat(e).take(3).collect();
+        let mut t: Trace = std::iter::repeat_n(e, 3).collect();
         assert_eq!(t.len(), 3);
         t.extend(std::iter::once(e));
         assert_eq!(t.len(), 4);

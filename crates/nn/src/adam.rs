@@ -37,7 +37,14 @@ impl Adam {
     /// Creates an optimiser with standard β parameters.
     #[must_use]
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0), t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: Some(5.0),
+            t: 0,
+        }
     }
 
     /// The paper's configuration: learning rate `1e-4`.
@@ -58,11 +65,7 @@ impl Adam {
         // Global-norm clipping across all tensors.
         let scale = match self.clip_norm {
             Some(max) => {
-                let norm: f32 = params
-                    .iter()
-                    .map(|p| p.grad_norm_sq())
-                    .sum::<f32>()
-                    .sqrt();
+                let norm: f32 = params.iter().map(|p| p.grad_norm_sq()).sum::<f32>().sqrt();
                 if norm > max && norm > 0.0 {
                     max / norm
                 } else {

@@ -1,7 +1,6 @@
 //! Token embeddings for the instruction-sequence tokenisers.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::tensor::Tensor;
 
@@ -20,7 +19,7 @@ use crate::tensor::Tensor;
 /// let emb = Embedding::new(100, 16, &mut rng);
 /// assert_eq!(emb.forward(42).len(), 16);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Embedding {
     /// The table, `vocab x dim`.
     pub table: Tensor,
@@ -30,7 +29,9 @@ impl Embedding {
     /// Creates a table for `vocab` tokens of dimension `dim`.
     #[must_use]
     pub fn new<R: Rng>(vocab: usize, dim: usize, rng: &mut R) -> Embedding {
-        Embedding { table: Tensor::xavier(vocab, dim, rng) }
+        Embedding {
+            table: Tensor::xavier(vocab, dim, rng),
+        }
     }
 
     /// Vocabulary size.

@@ -44,8 +44,8 @@ pub mod persist;
 pub mod tensor;
 
 pub use adam::Adam;
-pub use persist::Persist;
 pub use embedding::Embedding;
 pub use linear::Linear;
 pub use lstm::{Lstm, LstmCell, LstmState, LstmTrace};
+pub use persist::Persist;
 pub use tensor::Tensor;

@@ -1,7 +1,6 @@
 //! Fully-connected layers.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::tensor::Tensor;
 
@@ -21,7 +20,7 @@ use crate::tensor::Tensor;
 /// let y = layer.forward(&[1.0, 0.0]);
 /// assert_eq!(y.len(), 4);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     /// Weight matrix, `out x in`.
     pub w: Tensor,
@@ -33,7 +32,10 @@ impl Linear {
     /// Creates a layer with Xavier-initialised weights and zero bias.
     #[must_use]
     pub fn new<R: Rng>(out_dim: usize, in_dim: usize, rng: &mut R) -> Linear {
-        Linear { w: Tensor::xavier(out_dim, in_dim, rng), b: Tensor::zeros(out_dim, 1) }
+        Linear {
+            w: Tensor::xavier(out_dim, in_dim, rng),
+            b: Tensor::zeros(out_dim, 1),
+        }
     }
 
     /// Output dimension.

@@ -5,13 +5,12 @@
 //! share. Gates are packed in `[input, forget, cell, output]` order.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::ops::{dsigmoid, dtanh, sigmoid};
 use crate::tensor::Tensor;
 
 /// One LSTM layer's parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LstmCell {
     /// Input weights, `4H x In`.
     pub wx: Tensor,
@@ -70,7 +69,12 @@ impl LstmCell {
         ok.then_some(LstmCell { wx, wh, b, hidden })
     }
 
-    fn forward(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> (Vec<f32>, Vec<f32>, CellCache) {
+    fn forward(
+        &self,
+        x: &[f32],
+        h_prev: &[f32],
+        c_prev: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, CellCache) {
         let h = self.hidden;
         let mut z = self.wx.matvec(x);
         let zh = self.wh.matvec(h_prev);
@@ -107,7 +111,12 @@ impl LstmCell {
     }
 
     /// Backward through one step. Returns `(dx, dh_prev, dc_prev)`.
-    fn backward(&mut self, cache: &CellCache, dh: &[f32], dc_next: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    fn backward(
+        &mut self,
+        cache: &CellCache,
+        dh: &[f32],
+        dc_next: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
         let h = self.hidden;
         let mut dz = vec![0.0f32; 4 * h];
         let mut dc_prev = vec![0.0f32; h];
@@ -180,7 +189,7 @@ pub struct LstmTrace {
 /// assert_eq!(trace.outputs.len(), 5);
 /// assert_eq!(trace.outputs[0].len(), 16);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Lstm {
     /// The stacked cells, bottom first.
     pub cells: Vec<LstmCell>,
@@ -268,10 +277,8 @@ impl Lstm {
     pub fn backward_seq(&mut self, trace: &LstmTrace, d_outputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         assert_eq!(d_outputs.len(), trace.caches.len(), "gradient/trace length");
         let layers = self.cells.len();
-        let mut dh_next: Vec<Vec<f32>> =
-            self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
-        let mut dc_next: Vec<Vec<f32>> =
-            self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
+        let mut dh_next: Vec<Vec<f32>> = self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
+        let mut dc_next: Vec<Vec<f32>> = self.cells.iter().map(|c| vec![0.0; c.hidden()]).collect();
         let mut dxs = vec![Vec::new(); trace.caches.len()];
         for t in (0..trace.caches.len()).rev() {
             // Gradient flowing into the top layer's hidden output.
@@ -294,7 +301,10 @@ impl Lstm {
 
     /// All parameter tensors (for the optimiser).
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        self.cells.iter_mut().flat_map(LstmCell::params_mut).collect()
+        self.cells
+            .iter_mut()
+            .flat_map(LstmCell::params_mut)
+            .collect()
     }
 
     /// Restores optimiser buffers after deserialisation.
@@ -313,7 +323,11 @@ mod tests {
 
     fn toy_inputs(seq: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..seq)
-            .map(|t| (0..dim).map(|i| ((t * dim + i) as f32 * 0.37).sin() * 0.5).collect())
+            .map(|t| {
+                (0..dim)
+                    .map(|i| ((t * dim + i) as f32 * 0.37).sin() * 0.5)
+                    .collect()
+            })
             .collect()
     }
 

@@ -216,8 +216,8 @@ mod tests {
     fn log_prob_matches_softmax() {
         let logits = [0.1f32, 0.9, -0.4];
         let probs = softmax(&logits);
-        for i in 0..3 {
-            assert!((log_prob(&logits, i) - probs[i].ln()).abs() < 1e-5);
+        for (i, p) in probs.iter().enumerate() {
+            assert!((log_prob(&logits, i) - p.ln()).abs() < 1e-5);
         }
     }
 

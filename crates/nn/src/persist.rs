@@ -1,8 +1,8 @@
 //! Checkpointing: a small self-contained binary codec for model
 //! parameters.
 //!
-//! The approved dependency set has no serialisation *format* crate (serde
-//! provides the data model only), so checkpoints use a simple explicit
+//! The workspace deliberately carries no serialisation crate, so
+//! checkpoints use a simple explicit
 //! little-endian layout: a magic tag, a format version, then each tensor
 //! as `rows:u64, cols:u64, data:[f32]`. Optimiser moments and gradients
 //! are not persisted — a loaded model resumes with fresh Adam state,
@@ -52,7 +52,10 @@ pub fn read_header<R: Read>(r: &mut R) -> io::Result<()> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an HFL checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an HFL checkpoint",
+        ));
     }
     let version = read_u32(r)?;
     if version != VERSION {
@@ -134,11 +137,14 @@ impl Persist for Tensor {
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "tensor rows overflow"))?;
         let cols = usize::try_from(read_u64(r)?)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "tensor cols overflow"))?;
-        let n = rows.checked_mul(cols).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "tensor size overflow")
-        })?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tensor size overflow"))?;
         if n > 1 << 28 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "tensor too large",
+            ));
         }
         let mut bytes = vec![0u8; n * 4];
         r.read_exact(&mut bytes)?;
@@ -160,7 +166,10 @@ impl Persist for Linear {
         let weight = Tensor::load(r)?;
         let bias = Tensor::load(r)?;
         if bias.rows != weight.rows || bias.cols != 1 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "linear shape mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "linear shape mismatch",
+            ));
         }
         Ok(Linear { w: weight, b: bias })
     }
@@ -172,7 +181,9 @@ impl Persist for Embedding {
     }
 
     fn load<R: Read>(r: &mut R) -> io::Result<Self> {
-        Ok(Embedding { table: Tensor::load(r)? })
+        Ok(Embedding {
+            table: Tensor::load(r)?,
+        })
     }
 }
 
@@ -190,9 +201,15 @@ impl Persist for LstmCell {
         let wx = Tensor::load(r)?;
         let wh = Tensor::load(r)?;
         let b = Tensor::load(r)?;
-        if wx.rows != 4 * hidden || wh.rows != 4 * hidden || wh.cols != hidden || b.rows != 4 * hidden
+        if wx.rows != 4 * hidden
+            || wh.rows != 4 * hidden
+            || wh.cols != hidden
+            || b.rows != 4 * hidden
         {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "lstm cell shape mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "lstm cell shape mismatch",
+            ));
         }
         LstmCell::from_parts(wx, wh, b, hidden)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "lstm cell rebuild failed"))
@@ -212,7 +229,10 @@ impl Persist for Lstm {
         let layers = usize::try_from(read_u64(r)?)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "layer count overflow"))?;
         if layers == 0 || layers > 64 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible layer count",
+            ));
         }
         let mut cells = Vec::with_capacity(layers);
         for _ in 0..layers {
@@ -270,7 +290,10 @@ mod tests {
         let mut buf = Vec::new();
         l.save(&mut buf).unwrap();
         let back = Linear::load(&mut &buf[..]).unwrap();
-        assert_eq!(back.forward(&[0.1, 0.2, 0.3, 0.4]), l.forward(&[0.1, 0.2, 0.3, 0.4]));
+        assert_eq!(
+            back.forward(&[0.1, 0.2, 0.3, 0.4]),
+            l.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
 
         let e = Embedding::new(11, 6, &mut rng);
         let mut buf = Vec::new();

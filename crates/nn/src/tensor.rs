@@ -1,7 +1,6 @@
 //! The parameter tensor: a dense f32 matrix with gradient and Adam moments.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major f32 matrix carrying its gradient accumulator and Adam
 /// optimiser moments.
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.rows, 2);
 /// assert_eq!(t.at(1, 2), 0.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tensor {
     /// Number of rows.
     pub rows: usize,
@@ -28,13 +27,10 @@ pub struct Tensor {
     /// Row-major values.
     pub data: Vec<f32>,
     /// Gradient accumulator (same shape as `data`).
-    #[serde(skip)]
     pub grad: Vec<f32>,
     /// Adam first moment.
-    #[serde(skip)]
     pub m: Vec<f32>,
     /// Adam second moment.
-    #[serde(skip)]
     pub v: Vec<f32>,
 }
 
@@ -43,7 +39,14 @@ impl Tensor {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
         let n = rows * cols;
-        Tensor { rows, cols, data: vec![0.0; n], grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; n],
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Xavier/Glorot-uniform initialisation for a `rows x cols` weight.
@@ -131,13 +134,13 @@ impl Tensor {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0f32;
             for (w, xv) in row.iter().zip(x) {
                 acc += w * xv;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -151,9 +154,8 @@ impl Tensor {
     pub fn matvec_t(&self, y: &[f32]) -> Vec<f32> {
         assert_eq!(y.len(), self.rows, "matvec_t dimension mismatch");
         let mut x = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
+        for (r, &yr) in y.iter().enumerate() {
             let row = self.row(r);
-            let yr = y[r];
             if yr == 0.0 {
                 continue;
             }
@@ -188,8 +190,8 @@ impl Tensor {
         self.grad.iter_mut().for_each(|g| *g = 0.0);
     }
 
-    /// Restores optimiser/gradient buffers after deserialisation (serde
-    /// skips them).
+    /// Restores optimiser/gradient buffers after a checkpoint reload (the
+    /// persist codec stores only `data`).
     pub fn ensure_buffers(&mut self) {
         let n = self.data.len();
         if self.grad.len() != n {
@@ -259,10 +261,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_restores_buffers() {
+    fn checkpoint_reload_restores_buffers() {
         let mut rng = StdRng::seed_from_u64(1);
         let t = Tensor::xavier(4, 4, &mut rng);
-        // serde skips grad/m/v; model deserialisation by stripping them.
+        // The persist codec stores only `data`; model reload strips grad/m/v.
         let mut stripped = t.clone();
         stripped.grad.clear();
         stripped.m.clear();

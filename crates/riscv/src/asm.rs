@@ -34,7 +34,10 @@ impl fmt::Display for ParseAsmError {
 impl std::error::Error for ParseAsmError {}
 
 fn err(message: impl Into<String>) -> ParseAsmError {
-    ParseAsmError { line: 1, message: message.into() }
+    ParseAsmError {
+        line: 1,
+        message: message.into(),
+    }
 }
 
 fn mnemonic_table() -> &'static HashMap<&'static str, Opcode> {
@@ -117,9 +120,17 @@ fn parse_csr(token: &str) -> Result<Csr, ParseAsmError> {
 
 /// Splits `offset(base)` into its parts.
 fn parse_mem_operand(token: &str) -> Result<(i64, &str), ParseAsmError> {
-    let open = token.find('(').ok_or_else(|| err(format!("expected offset(base), got `{token}`")))?;
-    let close = token.rfind(')').ok_or_else(|| err(format!("unclosed paren in `{token}`")))?;
-    let offset = if open == 0 { 0 } else { parse_imm(&token[..open])? };
+    let open = token
+        .find('(')
+        .ok_or_else(|| err(format!("expected offset(base), got `{token}`")))?;
+    let close = token
+        .rfind(')')
+        .ok_or_else(|| err(format!("unclosed paren in `{token}`")))?;
+    let offset = if open == 0 {
+        0
+    } else {
+        parse_imm(&token[..open])?
+    };
     Ok((offset, &token[open + 1..close]))
 }
 
@@ -180,31 +191,87 @@ pub fn parse_instruction(text: &str) -> Result<Instruction, ParseAsmError> {
             }
             Li => {
                 want(2)?;
-                Ok(Instruction::new(op, parse_reg(operands[0], rd_class)?, 0, 0, 0, parse_imm(operands[1])?, Csr::FFLAGS))
+                Ok(Instruction::new(
+                    op,
+                    parse_reg(operands[0], rd_class)?,
+                    0,
+                    0,
+                    0,
+                    parse_imm(operands[1])?,
+                    Csr::FFLAGS,
+                ))
             }
             J => {
                 want(1)?;
-                Ok(Instruction::new(op, 0, 0, 0, 0, parse_imm(operands[0])?, Csr::FFLAGS))
+                Ok(Instruction::new(
+                    op,
+                    0,
+                    0,
+                    0,
+                    0,
+                    parse_imm(operands[0])?,
+                    Csr::FFLAGS,
+                ))
             }
             Jr => {
                 want(1)?;
-                Ok(Instruction::new(op, 0, parse_int_reg(operands[0])?, 0, 0, 0, Csr::FFLAGS))
+                Ok(Instruction::new(
+                    op,
+                    0,
+                    parse_int_reg(operands[0])?,
+                    0,
+                    0,
+                    0,
+                    Csr::FFLAGS,
+                ))
             }
             Beqz | Bnez | Blez | Bgez | Bltz | Bgtz => {
                 want(2)?;
-                Ok(Instruction::new(op, 0, parse_int_reg(operands[0])?, 0, 0, parse_imm(operands[1])?, Csr::FFLAGS))
+                Ok(Instruction::new(
+                    op,
+                    0,
+                    parse_int_reg(operands[0])?,
+                    0,
+                    0,
+                    parse_imm(operands[1])?,
+                    Csr::FFLAGS,
+                ))
             }
             Csrr => {
                 want(2)?;
-                Ok(Instruction::new(op, parse_int_reg(operands[0])?, 0, 0, 0, 0, parse_csr(operands[1])?))
+                Ok(Instruction::new(
+                    op,
+                    parse_int_reg(operands[0])?,
+                    0,
+                    0,
+                    0,
+                    0,
+                    parse_csr(operands[1])?,
+                ))
             }
             Csrw | Csrs | Csrc => {
                 want(2)?;
-                Ok(Instruction::new(op, 0, parse_int_reg(operands[1])?, 0, 0, 0, parse_csr(operands[0])?))
+                Ok(Instruction::new(
+                    op,
+                    0,
+                    parse_int_reg(operands[1])?,
+                    0,
+                    0,
+                    0,
+                    parse_csr(operands[0])?,
+                ))
             }
             Rdcycle | Rdinstret => {
                 want(1)?;
-                Ok(Instruction::new(op, parse_int_reg(operands[0])?, 0, 0, 0, 0, Csr::FFLAGS))
+                Ok(Instruction::new(
+                    op,
+                    parse_int_reg(operands[0])?,
+                    0,
+                    0,
+                    0,
+                    0,
+                    Csr::FFLAGS,
+                ))
             }
             _ => {
                 // Two-register pseudo forms (mv, not, fmv.s, …).
@@ -252,7 +319,15 @@ pub fn parse_instruction(text: &str) -> Result<Instruction, ParseAsmError> {
         Format::AmoLr => {
             want(2)?;
             let (_, base) = parse_mem_operand(operands[1])?;
-            Ok(Instruction::new(op, parse_reg(operands[0], rd_class)?, parse_int_reg(base)?, 0, 0, 0, Csr::FFLAGS))
+            Ok(Instruction::new(
+                op,
+                parse_reg(operands[0], rd_class)?,
+                parse_int_reg(base)?,
+                0,
+                0,
+                0,
+                Csr::FFLAGS,
+            ))
         }
         Format::R2 | Format::R2Frm => {
             want(2)?;
@@ -332,7 +407,15 @@ pub fn parse_instruction(text: &str) -> Result<Instruction, ParseAsmError> {
         }
         Format::U | Format::J => {
             want(2)?;
-            Ok(Instruction::new(op, parse_int_reg(operands[0])?, 0, 0, 0, parse_imm(operands[1])?, Csr::FFLAGS))
+            Ok(Instruction::new(
+                op,
+                parse_int_reg(operands[0])?,
+                0,
+                0,
+                0,
+                parse_imm(operands[1])?,
+                Csr::FFLAGS,
+            ))
         }
         Format::Csr => {
             want(3)?;
@@ -441,7 +524,10 @@ mod tests {
             parse_instruction("lui a0, 0x12345").unwrap(),
             Instruction::u(Opcode::Lui, Reg::X10, 0x12345)
         );
-        assert_eq!(parse_instruction("ecall").unwrap(), Instruction::nullary(Opcode::Ecall));
+        assert_eq!(
+            parse_instruction("ecall").unwrap(),
+            Instruction::nullary(Opcode::Ecall)
+        );
     }
 
     #[test]
@@ -476,7 +562,10 @@ mod tests {
     fn parse_errors_are_informative() {
         assert!(parse_instruction("frobnicate x1").is_err());
         assert!(parse_instruction("add x1, x2").is_err(), "operand count");
-        assert!(parse_instruction("add x1, x2, x99").is_err(), "bad register");
+        assert!(
+            parse_instruction("add x1, x2, x99").is_err(),
+            "bad register"
+        );
         assert!(parse_instruction("lw a0, zz(sp)").is_err(), "bad offset");
         let e = parse_program("nop\nbogus\n").unwrap_err();
         assert_eq!(e.line, 2);

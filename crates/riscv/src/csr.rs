@@ -76,12 +76,34 @@ impl Csr {
     /// This is the vocabulary the correction module maps an address-head
     /// output onto when the opcode is a CSR access.
     pub const GENERATOR_VOCAB: [Csr; 28] = [
-        Csr::FFLAGS, Csr::FRM, Csr::FCSR, Csr::CYCLE, Csr::INSTRET,
-        Csr::MVENDORID, Csr::MARCHID, Csr::MHARTID, Csr::MSTATUS, Csr::MISA,
-        Csr::MIE, Csr::MTVEC, Csr::MCOUNTEREN, Csr::MSCRATCH, Csr::MEPC,
-        Csr::MCAUSE, Csr::MTVAL, Csr::MIP, Csr::MCYCLE, Csr::MINSTRET,
-        Csr::PMPCFG0, Csr::PMPADDR0, Csr::PMPADDR1, Csr::PMPADDR2,
-        Csr::PMPADDR3, Csr::PMPADDR4, Csr::PMPADDR5, Csr(0x453),
+        Csr::FFLAGS,
+        Csr::FRM,
+        Csr::FCSR,
+        Csr::CYCLE,
+        Csr::INSTRET,
+        Csr::MVENDORID,
+        Csr::MARCHID,
+        Csr::MHARTID,
+        Csr::MSTATUS,
+        Csr::MISA,
+        Csr::MIE,
+        Csr::MTVEC,
+        Csr::MCOUNTEREN,
+        Csr::MSCRATCH,
+        Csr::MEPC,
+        Csr::MCAUSE,
+        Csr::MTVAL,
+        Csr::MIP,
+        Csr::MCYCLE,
+        Csr::MINSTRET,
+        Csr::PMPCFG0,
+        Csr::PMPADDR0,
+        Csr::PMPADDR1,
+        Csr::PMPADDR2,
+        Csr::PMPADDR3,
+        Csr::PMPADDR4,
+        Csr::PMPADDR5,
+        Csr(0x453),
     ];
 
     /// Creates a CSR address; the value is masked to 12 bits.

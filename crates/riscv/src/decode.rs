@@ -203,8 +203,7 @@ mod tests {
                 continue;
             }
             let inst = Instruction::nullary(op);
-            let back = decode(inst.encode())
-                .unwrap_or_else(|e| panic!("{op}: {e}"));
+            let back = decode(inst.encode()).unwrap_or_else(|e| panic!("{op}: {e}"));
             assert_eq!(back.opcode, op, "{op} decoded as {}", back.opcode);
         }
     }
@@ -212,7 +211,7 @@ mod tests {
     fn legal_imm_for(op: Opcode, raw: i64) -> i64 {
         let kind = op.spec().imm;
         let (lo, hi) = kind.range();
-        let span = (hi - lo + 1) as i64;
+        let span = hi - lo + 1;
         let mut v = lo + (raw.rem_euclid(span));
         if matches!(kind, ImmKind::B13 | ImmKind::J21) {
             v &= !1;

@@ -240,7 +240,12 @@ impl OperandMask {
     #[must_use]
     pub fn as_array(&self) -> [bool; Self::HEADS] {
         [
-            self.opcode, self.rd, self.rs1, self.rs2, self.rs3, self.imm,
+            self.opcode,
+            self.rd,
+            self.rs1,
+            self.rs2,
+            self.rs3,
+            self.imm,
             self.addr,
         ]
     }

@@ -32,8 +32,11 @@ pub fn legalize_kind(kind: ImmKind, raw: i64) -> i64 {
         return 0;
     }
     let (lo, hi) = kind.range();
-    let span = hi - lo + 1;
-    let mut v = lo + (raw - lo).rem_euclid(span);
+    // Widen to i128: `raw - lo` can leave the i64 range when `raw` is near
+    // an extreme and `lo` has the opposite sign.
+    let span = i128::from(hi) - i128::from(lo) + 1;
+    let wrapped = (i128::from(raw) - i128::from(lo)).rem_euclid(span);
+    let mut v = lo + wrapped as i64;
     if matches!(kind, ImmKind::B13 | ImmKind::J21) {
         v &= !1;
     }
@@ -48,11 +51,10 @@ pub fn legalize_kind(kind: ImmKind, raw: i64) -> i64 {
 /// on. Head outputs index into this table; [`legalize_imm`] then clamps the
 /// chosen value into the target field.
 pub const IMM_VOCAB: [i64; 64] = [
-    0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 31, 32, 48, 63,
-    64, 100, 127, 128, 255, 256, 511, 512, 1023, 1024, 2047, -1, -2, -3, -4, -8,
-    -16, -32, -64, -84, -128, -256, -512, -1024, -2048, 10, 20, 40, 80, 160,
-    320, 640, 0x7F, 0xFF, 0x100, 0x1FF, 0x200, 0x3F8, 0x400, 0x7F8,
-    0x7FF, -0x7FF, 0x555, -0x556, 0x333, 0x111, 15, -15,
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 31, 32, 48, 63, 64, 100, 127, 128, 255, 256, 511, 512,
+    1023, 1024, 2047, -1, -2, -3, -4, -8, -16, -32, -64, -84, -128, -256, -512, -1024, -2048, 10,
+    20, 40, 80, 160, 320, 640, 0x7F, 0xFF, 0x100, 0x1FF, 0x200, 0x3F8, 0x400, 0x7F8, 0x7FF, -0x7FF,
+    0x555, -0x556, 0x333, 0x111, 15, -15,
 ];
 
 /// Number of entries in [`IMM_VOCAB`]; the immediate head's output size.

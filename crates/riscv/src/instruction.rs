@@ -56,13 +56,29 @@ impl Instruction {
     /// Creates an instruction with every operand field given explicitly.
     #[must_use]
     pub fn new(opcode: Opcode, rd: u8, rs1: u8, rs2: u8, rs3: u8, imm: i64, csr: Csr) -> Self {
-        Instruction { opcode, rd: rd % 32, rs1: rs1 % 32, rs2: rs2 % 32, rs3: rs3 % 32, imm, csr }
+        Instruction {
+            opcode,
+            rd: rd % 32,
+            rs1: rs1 % 32,
+            rs2: rs2 % 32,
+            rs3: rs3 % 32,
+            imm,
+            csr,
+        }
     }
 
     /// R-format constructor: `op rd, rs1, rs2` (integer registers).
     #[must_use]
     pub fn r(opcode: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
-        Self::new(opcode, rd.index(), rs1.index(), rs2.index(), 0, 0, Csr::FFLAGS)
+        Self::new(
+            opcode,
+            rd.index(),
+            rs1.index(),
+            rs2.index(),
+            0,
+            0,
+            Csr::FFLAGS,
+        )
     }
 
     /// I-format constructor: `op rd, rs1, imm` (also loads and `jalr`).
@@ -224,9 +240,7 @@ impl Instruction {
             }
             Format::Csr => base | rd | rs1 | (u32::from(real.csr.addr()) << 20),
             Format::CsrImm => {
-                base | rd
-                    | ((imm as u32 & 0x1F) << 15)
-                    | (u32::from(real.csr.addr()) << 20)
+                base | rd | ((imm as u32 & 0x1F) << 15) | (u32::from(real.csr.addr()) << 20)
             }
             Format::None => base,
         }
@@ -299,16 +313,40 @@ impl fmt::Display for Instruction {
             ),
             Format::I => {
                 if self.opcode.is_memory_access() || self.opcode == Jalr {
-                    write!(f, "{m} {}, {}({})", rd.unwrap_or("?"), self.imm, rs1.unwrap_or("?"))
+                    write!(
+                        f,
+                        "{m} {}, {}({})",
+                        rd.unwrap_or("?"),
+                        self.imm,
+                        rs1.unwrap_or("?")
+                    )
                 } else {
-                    write!(f, "{m} {}, {}, {}", rd.unwrap_or("?"), rs1.unwrap_or("?"), self.imm)
+                    write!(
+                        f,
+                        "{m} {}, {}, {}",
+                        rd.unwrap_or("?"),
+                        rs1.unwrap_or("?"),
+                        self.imm
+                    )
                 }
             }
             Format::IShift64 | Format::IShift32 => {
-                write!(f, "{m} {}, {}, {}", rd.unwrap_or("?"), rs1.unwrap_or("?"), self.imm)
+                write!(
+                    f,
+                    "{m} {}, {}, {}",
+                    rd.unwrap_or("?"),
+                    rs1.unwrap_or("?"),
+                    self.imm
+                )
             }
             Format::S => {
-                write!(f, "{m} {}, {}({})", rs2.unwrap_or("?"), self.imm, rs1.unwrap_or("?"))
+                write!(
+                    f,
+                    "{m} {}, {}({})",
+                    rs2.unwrap_or("?"),
+                    self.imm,
+                    rs1.unwrap_or("?")
+                )
             }
             Format::B => write!(
                 f,

@@ -34,9 +34,15 @@ pub enum Extension {
 }
 
 macro_rules! regclass {
-    (N) => { None };
-    (I) => { Some(RegClass::Int) };
-    (F) => { Some(RegClass::Fp) };
+    (N) => {
+        None
+    };
+    (I) => {
+        Some(RegClass::Int)
+    };
+    (F) => {
+        Some(RegClass::Fp)
+    };
 }
 
 macro_rules! opcodes {
@@ -367,14 +373,19 @@ impl Opcode {
     /// Whether this opcode performs a data-memory access.
     #[must_use]
     pub fn is_memory_access(self) -> bool {
-        matches!(
-            self.format(),
-            Format::S | Format::Amo | Format::AmoLr
-        ) || matches!(
-            self,
-            Opcode::Lb | Opcode::Lh | Opcode::Lw | Opcode::Ld | Opcode::Lbu
-                | Opcode::Lhu | Opcode::Lwu | Opcode::Flw | Opcode::Fld
-        )
+        matches!(self.format(), Format::S | Format::Amo | Format::AmoLr)
+            || matches!(
+                self,
+                Opcode::Lb
+                    | Opcode::Lh
+                    | Opcode::Lw
+                    | Opcode::Ld
+                    | Opcode::Lbu
+                    | Opcode::Lhu
+                    | Opcode::Lwu
+                    | Opcode::Flw
+                    | Opcode::Fld
+            )
     }
 
     /// Whether this opcode is a control-flow transfer.
@@ -404,9 +415,7 @@ impl Opcode {
     #[must_use]
     pub fn is_fp(self) -> bool {
         let spec = self.spec();
-        [spec.rd, spec.rs1, spec.rs2, spec.rs3]
-            .iter()
-            .any(|slot| *slot == Some(RegClass::Fp))
+        [spec.rd, spec.rs1, spec.rs2, spec.rs3].contains(&Some(RegClass::Fp))
     }
 }
 
@@ -426,7 +435,7 @@ mod tests {
         // The paper quotes 241 opcodes including extensions and pseudos; our
         // vocabulary covers RV64IMAFD+Zicsr+privileged+pseudos and must stay
         // in the same order of magnitude.
-        assert!(Opcode::COUNT >= 170, "vocab too small: {}", Opcode::COUNT);
+        const { assert!(Opcode::COUNT >= 170, "vocab too small") };
     }
 
     #[test]

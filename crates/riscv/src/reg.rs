@@ -16,18 +16,48 @@ use core::fmt;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
+#[derive(Default)]
 pub enum Reg {
-    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
-    X8, X9, X10, X11, X12, X13, X14, X15,
-    X16, X17, X18, X19, X20, X21, X22, X23,
-    X24, X25, X26, X27, X28, X29, X30, X31,
+    #[default]
+    X0 = 0,
+    X1,
+    X2,
+    X3,
+    X4,
+    X5,
+    X6,
+    X7,
+    X8,
+    X9,
+    X10,
+    X11,
+    X12,
+    X13,
+    X14,
+    X15,
+    X16,
+    X17,
+    X18,
+    X19,
+    X20,
+    X21,
+    X22,
+    X23,
+    X24,
+    X25,
+    X26,
+    X27,
+    X28,
+    X29,
+    X30,
+    X31,
 }
 
 /// ABI names for the integer registers, indexed by register number.
 pub const ABI_NAMES: [&str; 32] = [
-    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1",
-    "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
-    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
 ];
 
 impl Reg {
@@ -45,14 +75,38 @@ impl Reg {
     const fn from_index_const(i: u8) -> Reg {
         // SAFETY-free table: exhaustive match keeps this const-evaluable.
         match i {
-            0 => Reg::X0, 1 => Reg::X1, 2 => Reg::X2, 3 => Reg::X3,
-            4 => Reg::X4, 5 => Reg::X5, 6 => Reg::X6, 7 => Reg::X7,
-            8 => Reg::X8, 9 => Reg::X9, 10 => Reg::X10, 11 => Reg::X11,
-            12 => Reg::X12, 13 => Reg::X13, 14 => Reg::X14, 15 => Reg::X15,
-            16 => Reg::X16, 17 => Reg::X17, 18 => Reg::X18, 19 => Reg::X19,
-            20 => Reg::X20, 21 => Reg::X21, 22 => Reg::X22, 23 => Reg::X23,
-            24 => Reg::X24, 25 => Reg::X25, 26 => Reg::X26, 27 => Reg::X27,
-            28 => Reg::X28, 29 => Reg::X29, 30 => Reg::X30, _ => Reg::X31,
+            0 => Reg::X0,
+            1 => Reg::X1,
+            2 => Reg::X2,
+            3 => Reg::X3,
+            4 => Reg::X4,
+            5 => Reg::X5,
+            6 => Reg::X6,
+            7 => Reg::X7,
+            8 => Reg::X8,
+            9 => Reg::X9,
+            10 => Reg::X10,
+            11 => Reg::X11,
+            12 => Reg::X12,
+            13 => Reg::X13,
+            14 => Reg::X14,
+            15 => Reg::X15,
+            16 => Reg::X16,
+            17 => Reg::X17,
+            18 => Reg::X18,
+            19 => Reg::X19,
+            20 => Reg::X20,
+            21 => Reg::X21,
+            22 => Reg::X22,
+            23 => Reg::X23,
+            24 => Reg::X24,
+            25 => Reg::X25,
+            26 => Reg::X26,
+            27 => Reg::X27,
+            28 => Reg::X28,
+            29 => Reg::X29,
+            30 => Reg::X30,
+            _ => Reg::X31,
         }
     }
 
@@ -84,12 +138,6 @@ impl fmt::Display for Reg {
     }
 }
 
-impl Default for Reg {
-    fn default() -> Self {
-        Reg::X0
-    }
-}
-
 /// A floating-point (f) register, `f0`–`f31`.
 ///
 /// Displays using the standard ABI mnemonics (`ft0`, `fa0`, `fs0`, …).
@@ -100,15 +148,14 @@ impl Default for Reg {
 /// use hfl_riscv::FReg;
 /// assert_eq!(FReg::F10.to_string(), "fa0");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FReg(u8);
 
 /// ABI names for the floating-point registers, indexed by register number.
 pub const FP_ABI_NAMES: [&str; 32] = [
-    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1",
-    "fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3",
-    "fs4", "fs5", "fs6", "fs7", "fs8", "fs9", "fs10", "fs11", "ft8", "ft9",
-    "ft10", "ft11",
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
 ];
 
 #[allow(missing_docs)]
@@ -144,12 +191,6 @@ impl FReg {
 impl fmt::Display for FReg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.abi_name())
-    }
-}
-
-impl Default for FReg {
-    fn default() -> Self {
-        FReg(0)
     }
 }
 

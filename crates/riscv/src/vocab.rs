@@ -50,8 +50,7 @@ pub enum AddrEntry {
 
 /// Control-flow offsets the address head can select.
 pub const OFFSET_VOCAB: [i64; 20] = [
-    4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 128, 192, -4, -8,
-    -12, -16,
+    4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 128, 192, -4, -8, -12, -16,
 ];
 
 /// The address-head output size.
@@ -105,19 +104,21 @@ mod tests {
     #[test]
     fn memory_regions_do_not_overlap() {
         use mem_map::*;
-        assert!(CODE_BASE + CODE_SIZE <= HANDLER_BASE);
-        assert!(HANDLER_BASE < DATA_BASE);
-        assert!(DATA_BASE + DATA_SIZE <= STACK_TOP);
-        assert!(STACK_TOP <= PROTECTED_BASE);
-        assert!(PROTECTED_BASE + PROTECTED_SIZE <= SCRATCH_BASE);
-        assert!(SCRATCH_BASE < RAM_END);
+        const {
+            assert!(CODE_BASE + CODE_SIZE <= HANDLER_BASE);
+            assert!(HANDLER_BASE < DATA_BASE);
+            assert!(DATA_BASE + DATA_SIZE <= STACK_TOP);
+            assert!(STACK_TOP <= PROTECTED_BASE);
+            assert!(PROTECTED_BASE + PROTECTED_SIZE <= SCRATCH_BASE);
+            assert!(SCRATCH_BASE < RAM_END);
+        }
     }
 
     #[test]
     fn paper_v1_address_is_in_the_data_region() {
         use mem_map::*;
         let v1 = 0x8000_11FFu64;
-        assert!(v1 >= DATA_BASE && v1 < DATA_BASE + DATA_SIZE);
+        assert!((DATA_BASE..DATA_BASE + DATA_SIZE).contains(&v1));
     }
 
     #[test]
@@ -142,7 +143,7 @@ mod tests {
     fn base_reg_setup_targets_valid_ram() {
         for (reg, addr) in BASE_REG_SETUP {
             assert!(reg < 32);
-            assert!(addr >= mem_map::RAM_BASE && addr < mem_map::RAM_END);
+            assert!((mem_map::RAM_BASE..mem_map::RAM_END).contains(&addr));
         }
     }
 }

@@ -4,7 +4,7 @@
 use hfl_nn::ops::{log_prob, softmax};
 
 /// PPO hyper-parameters, defaulting to the paper's §V-B values.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PpoConfig {
     /// Discount factor γ (paper: 0.1).
     pub gamma: f32,
@@ -16,7 +16,10 @@ impl PpoConfig {
     /// γ = 0.1, ε = 0.2 per §V-B.
     #[must_use]
     pub fn paper_default() -> PpoConfig {
-        PpoConfig { gamma: 0.1, epsilon: 0.2 }
+        PpoConfig {
+            gamma: 0.1,
+            epsilon: 0.2,
+        }
     }
 }
 
@@ -130,7 +133,10 @@ mod tests {
         let logits = vec![0.0f32, 0.0];
         let old_lp = hfl_nn::ops::log_prob(&logits, 0);
         let (_, dlogits) = ppo_logit_grad(&logits, 0, old_lp, -1.0, 0.2);
-        assert!(dlogits[0] > 0.0, "descend: logit 0 falls? no — gradient positive means the update lowers it");
+        assert!(
+            dlogits[0] > 0.0,
+            "descend: logit 0 falls? no — gradient positive means the update lowers it"
+        );
         assert!(dlogits[1] < 0.0);
     }
 

@@ -12,7 +12,7 @@
 /// let cfg = RewardConfig::paper_default();
 /// assert!(cfg.reward(0.5, true) > cfg.reward(0.5, false));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RewardConfig {
     /// Coverage weight α.
     pub alpha: f32,
@@ -24,7 +24,10 @@ impl RewardConfig {
     /// The paper's §V-B settings: α = 0.2, r_bonus = 0.4.
     #[must_use]
     pub fn paper_default() -> RewardConfig {
-        RewardConfig { alpha: 0.2, r_bonus: 0.4 }
+        RewardConfig {
+            alpha: 0.2,
+            r_bonus: 0.4,
+        }
     }
 
     /// Computes Eq. (1). `coverage` is the hardware-coverage fraction in

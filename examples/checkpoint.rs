@@ -10,7 +10,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::generator::InstructionGenerator;
 use hfl_dut::CoreKind;
@@ -19,14 +19,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cases: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let cases: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
 
     let mut cfg = HflConfig::small().with_seed(11);
     cfg.generator.hidden = 32;
     cfg.predictor.hidden = 32;
     let mut hfl = HflFuzzer::new(cfg);
-    println!("training the generator for {cases} cases on {}...", CoreKind::Rocket);
-    let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(cases));
+    println!(
+        "training the generator for {cases} cases on {}...",
+        CoreKind::Rocket
+    );
+    let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(cases));
+    let result = run_campaign(&mut hfl, &spec);
     println!(
         "campaign done: condition coverage {}/{}, {} unique signatures",
         result.final_counts().0,
@@ -40,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hfl.generator().save(&mut writer)?;
     }
     let size = std::fs::metadata(&path)?.len();
-    println!("saved generator checkpoint: {} ({size} bytes)", path.display());
+    println!(
+        "saved generator checkpoint: {} ({size} bytes)",
+        path.display()
+    );
 
     let mut reader = std::io::BufReader::new(File::open(&path)?);
     let restored = InstructionGenerator::load(&mut reader)?;

@@ -16,17 +16,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let cases: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
-    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cases: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
 
     println!("generating {cases} random test cases on RocketChip...");
     let mut rng = StdRng::seed_from_u64(1);
     let mut dut = Dut::new(CoreKind::Rocket);
     let mut dataset: Vec<(Vec<Tokens>, Vec<f32>)> = Vec::with_capacity(cases);
     for _ in 0..cases {
-        let body: Vec<_> = (0..12).map(|_| hfl::baselines::random_instruction(&mut rng)).collect();
+        let body: Vec<_> = (0..12)
+            .map(|_| hfl::baselines::random_instruction(&mut rng))
+            .collect();
         let result = dut.run_program(&Program::assemble(&body), 20_000);
-        let labels: Vec<f32> = result.coverage.to_bit_labels().iter().map(|&b| f32::from(b)).collect();
+        let labels: Vec<f32> = result
+            .coverage
+            .to_bit_labels()
+            .iter()
+            .map(|&b| f32::from(b))
+            .collect();
         dataset.push((Tokens::sequence_with_bos(&body), labels));
     }
 
@@ -61,7 +74,11 @@ fn main() {
         for (seq, labels) in train {
             loss += predictor.train_case(seq, &project(labels), &mut adam);
         }
-        println!("epoch {:>2}: mean BCE {:.4}", epoch + 1, loss / train.len() as f32);
+        println!(
+            "epoch {:>2}: mean BCE {:.4}",
+            epoch + 1,
+            loss / train.len() as f32
+        );
     }
 
     // Per-point validation accuracy, grouped by metric as in Fig. 3.
@@ -81,7 +98,9 @@ fn main() {
     for (i, &point) in alive.iter().enumerate() {
         let acc = correct_per_point[i] as f64 / valid.len() as f64;
         let kind = map.kind(hfl_dut::PointId::from_index(point));
-        per_kind.iter_mut().find(|(k, _)| *k == kind).map(|(_, v)| v.push(acc));
+        if let Some((_, v)) = per_kind.iter_mut().find(|(k, _)| *k == kind) {
+            v.push(acc)
+        }
     }
     println!("\nvalidation accuracy by metric (paper Fig. 3: cond 94%, line 94%, fsm 97%):");
     for (kind, accs) in &per_kind {
@@ -89,6 +108,10 @@ fn main() {
             continue;
         }
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-        println!("  {kind:<10} {:>5.1}%  over {} live points", 100.0 * mean, accs.len());
+        println!(
+            "  {kind:<10} {:>5.1}%  over {} live points",
+            100.0 * mean,
+            accs.len()
+        );
     }
 }

@@ -7,13 +7,22 @@
 //! ```
 
 use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
 fn main() {
-    let cases: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(250);
-    let campaign = CampaignConfig { cases, sample_every: (cases / 8).max(1), max_steps: 20_000 };
+    let cases: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250);
+    let campaign = CampaignConfig {
+        cases,
+        sample_every: (cases / 8).max(1),
+        max_steps: 20_000,
+        batch: 1,
+    };
+    let spec = CampaignSpec::new(CoreKind::Rocket, campaign);
 
     let mut hfl = HflFuzzer::new(HflConfig::small().with_seed(3));
     let mut fuzzers: Vec<Box<dyn Fuzzer>> = vec![
@@ -35,21 +44,35 @@ fn main() {
     );
     println!("{:-<72}", "");
 
-    let result = run_campaign(&mut hfl, CoreKind::Rocket, &campaign);
+    let result = run_campaign(&mut hfl, &spec);
     let (c, l, f) = result.final_counts();
     println!(
         "{:<10} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>12} {:>10}",
-        result.fuzzer, c, result.totals.0, l, result.totals.1, f, result.totals.2,
-        result.total_mismatches, result.unique_signatures
+        result.fuzzer,
+        c,
+        result.totals.0,
+        l,
+        result.totals.1,
+        f,
+        result.totals.2,
+        result.total_mismatches,
+        result.unique_signatures
     );
 
     for fuzzer in &mut fuzzers {
-        let result = run_campaign(fuzzer.as_mut(), CoreKind::Rocket, &campaign);
+        let result = run_campaign(fuzzer.as_mut(), &spec);
         let (c, l, f) = result.final_counts();
         println!(
             "{:<10} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>12} {:>10}",
-            result.fuzzer, c, result.totals.0, l, result.totals.1, f, result.totals.2,
-            result.total_mismatches, result.unique_signatures
+            result.fuzzer,
+            c,
+            result.totals.0,
+            l,
+            result.totals.1,
+            f,
+            result.totals.2,
+            result.total_mismatches,
+            result.unique_signatures
         );
     }
     println!("{:-<72}", "");

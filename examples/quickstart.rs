@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart [cases]
 //! ```
 
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -28,8 +28,14 @@ fn main() {
     );
 
     let mut hfl = HflFuzzer::new(config);
-    let campaign = CampaignConfig { cases, sample_every: (cases / 10).max(1), max_steps: 20_000 };
-    let result = run_campaign(&mut hfl, CoreKind::Rocket, &campaign);
+    let campaign = CampaignConfig {
+        cases,
+        sample_every: (cases / 10).max(1),
+        max_steps: 20_000,
+        batch: 1,
+    };
+    let spec = CampaignSpec::new(CoreKind::Rocket, campaign);
+    let result = run_campaign(&mut hfl, &spec);
 
     println!("\n  cases | condition |   line |   fsm");
     for sample in &result.curve {

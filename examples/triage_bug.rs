@@ -7,19 +7,25 @@
 //! ```
 
 use hfl::baselines::DifuzzRtlFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::harness::Executor;
 use hfl::triage::minimize;
 use hfl_dut::CoreKind;
 use hfl_riscv::asm::format_program;
 
 fn main() {
-    let cases: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let cases: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
     let core = CoreKind::Cva6;
 
     println!("fuzzing {core} for up to {cases} cases...");
     let mut fuzzer = DifuzzRtlFuzzer::new(29, 16);
-    let result = run_campaign(&mut fuzzer, core, &CampaignConfig::quick(cases));
+    let result = run_campaign(
+        &mut fuzzer,
+        &CampaignSpec::new(core, CampaignConfig::quick(cases)),
+    );
     println!(
         "{} mismatches, {} unique signatures",
         result.total_mismatches, result.unique_signatures
@@ -29,7 +35,7 @@ fn main() {
         return;
     }
 
-    let mut executor = Executor::new(core);
+    let mut executor = Executor::builder(core).build();
     for entry in result.trigger_corpus.entries() {
         // Recover the signature from a replay (entry names carry its hash).
         let replay = executor.run_case(&entry.body);

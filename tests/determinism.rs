@@ -2,7 +2,7 @@
 //! seed — simulators, fuzzers, training, campaigns.
 
 use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, Fuzzer, TheHuzzFuzzer};
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::harness::Executor;
 use hfl_dut::{CoreKind, Dut};
@@ -33,7 +33,7 @@ fn dut_runs_are_bit_identical() {
 #[test]
 fn executor_mismatches_are_stable() {
     let run = || {
-        let mut ex = Executor::new(CoreKind::Cva6);
+        let mut ex = Executor::builder(CoreKind::Cva6).build();
         let r = ex.run_case(&hfl::poc::poc_for("V2"));
         r.mismatches
             .iter()
@@ -45,9 +45,7 @@ fn executor_mismatches_are_stable() {
 
 #[test]
 fn baseline_fuzzers_replay_identically() {
-    let drive = |f: &mut dyn Fuzzer| {
-        (0..6).map(|_| f.next_case()).collect::<Vec<_>>()
-    };
+    let drive = |f: &mut dyn Fuzzer| (0..6).map(|_| f.next_case()).collect::<Vec<_>>();
     assert_eq!(
         drive(&mut TheHuzzFuzzer::new(17, 12)),
         drive(&mut TheHuzzFuzzer::new(17, 12))
@@ -70,7 +68,8 @@ fn whole_campaigns_reproduce_from_the_seed() {
         cfg.predictor.hidden = 16;
         cfg.test_len = 5;
         let mut hfl = HflFuzzer::new(cfg.with_seed(23));
-        let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(30));
+        let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(30));
+        let result = run_campaign(&mut hfl, &spec);
         (
             result.curve.clone(),
             result.unique_signatures,
@@ -95,4 +94,49 @@ fn different_seeds_explore_differently() {
     };
     // Not a hard guarantee for any pair of seeds, but these two differ.
     assert_ne!(run(1), run(2));
+}
+
+/// The ISSUE's headline determinism guarantee: for a fixed batch size the
+/// worker count never changes a campaign's outputs — curves, signatures
+/// and first-detection indices are bit-identical at 1, 2 and 8 threads.
+#[test]
+fn thread_count_never_changes_campaign_outputs() {
+    let config = CampaignConfig::quick(36).with_batch(4);
+    let key = |result: &hfl::CampaignResult| {
+        (
+            result.curve.clone(),
+            result.signatures.clone(),
+            result.first_detection.clone(),
+        )
+    };
+
+    let hfl_at = |threads: usize| {
+        let mut cfg = HflConfig::small();
+        cfg.generator.hidden = 16;
+        cfg.predictor.hidden = 16;
+        cfg.test_len = 6;
+        let mut hfl = HflFuzzer::new(cfg.with_seed(31));
+        let spec = CampaignSpec::new(CoreKind::Cva6, config).with_threads(threads);
+        key(&run_campaign(&mut hfl, &spec))
+    };
+    let baseline_at = |threads: usize| {
+        let mut fuzzer = TheHuzzFuzzer::new(31, 14);
+        let spec = CampaignSpec::new(CoreKind::Cva6, config).with_threads(threads);
+        key(&run_campaign(&mut fuzzer, &spec))
+    };
+
+    let hfl_reference = hfl_at(1);
+    let baseline_reference = baseline_at(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            hfl_at(threads),
+            hfl_reference,
+            "HFL diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline_at(threads),
+            baseline_reference,
+            "TheHuzz diverged at {threads} threads"
+        );
+    }
 }

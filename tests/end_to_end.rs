@@ -2,7 +2,7 @@
 //! instrumented cores.
 
 use hfl::baselines::DifuzzRtlFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::{CoreKind, CoverageKind};
 
@@ -19,12 +19,18 @@ fn tiny_hfl(seed: u64) -> HflFuzzer {
 fn hfl_campaign_runs_on_every_core() {
     for core in CoreKind::ALL {
         let mut hfl = tiny_hfl(1);
-        let result = run_campaign(&mut hfl, core, &CampaignConfig::quick(40));
+        let result = run_campaign(
+            &mut hfl,
+            &CampaignSpec::new(core, CampaignConfig::quick(40)),
+        );
         let (c, l, f) = result.final_counts();
         assert!(c > 10, "{core}: condition coverage too low ({c})");
         assert!(l > 20, "{core}: line coverage too low ({l})");
         assert!(f > 5, "{core}: fsm coverage too low ({f})");
-        assert!(result.final_fraction(CoverageKind::Line) < 1.0, "dead points exist");
+        assert!(
+            result.final_fraction(CoverageKind::Line) < 1.0,
+            "dead points exist"
+        );
     }
 }
 
@@ -33,11 +39,21 @@ fn coverage_curves_are_monotone_and_saturating() {
     let mut hfl = tiny_hfl(2);
     let result = run_campaign(
         &mut hfl,
-        CoreKind::Rocket,
-        &CampaignConfig { cases: 120, sample_every: 20, max_steps: 20_000 },
+        &CampaignSpec::new(
+            CoreKind::Rocket,
+            CampaignConfig {
+                cases: 120,
+                sample_every: 20,
+                max_steps: 20_000,
+                batch: 1,
+            },
+        ),
     );
     let conds: Vec<usize> = result.curve.iter().map(|s| s.condition).collect();
-    assert!(conds.windows(2).all(|w| w[1] >= w[0]), "monotone: {conds:?}");
+    assert!(
+        conds.windows(2).all(|w| w[1] >= w[0]),
+        "monotone: {conds:?}"
+    );
     // Early growth dominates late growth (saturation shape).
     let early = conds[1] - conds[0];
     let late = conds[conds.len() - 1] - conds[conds.len() - 2];
@@ -49,7 +65,10 @@ fn hfl_fuzzing_detects_injected_bugs_on_rocket() {
     // Rocket carries K2/K3 among others; a modest random+HFL budget finds
     // at least one unique signature.
     let mut hfl = tiny_hfl(3);
-    let result = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(200));
+    let result = run_campaign(
+        &mut hfl,
+        &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(200)),
+    );
     assert!(
         result.unique_signatures >= 1,
         "expected at least one mismatch signature, got {}",
@@ -60,7 +79,10 @@ fn hfl_fuzzing_detects_injected_bugs_on_rocket() {
 #[test]
 fn signature_dedup_keeps_reports_manageable() {
     let mut fuzzer = DifuzzRtlFuzzer::new(4, 16);
-    let result = run_campaign(&mut fuzzer, CoreKind::Rocket, &CampaignConfig::quick(200));
+    let result = run_campaign(
+        &mut fuzzer,
+        &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(200)),
+    );
     assert!(result.total_mismatches >= result.unique_signatures as u64);
     // Dedup must compress aggressively: far fewer signatures than raw
     // mismatches once the same bug fires repeatedly.
@@ -76,9 +98,15 @@ fn signature_dedup_keeps_reports_manageable() {
 fn baseline_and_hfl_share_identical_measurement() {
     // Same core, same budget: totals must agree (same coverage universe).
     let mut hfl = tiny_hfl(5);
-    let a = run_campaign(&mut hfl, CoreKind::Cva6, &CampaignConfig::quick(20));
+    let a = run_campaign(
+        &mut hfl,
+        &CampaignSpec::new(CoreKind::Cva6, CampaignConfig::quick(20)),
+    );
     let mut rnd = DifuzzRtlFuzzer::new(5, 8);
-    let b = run_campaign(&mut rnd, CoreKind::Cva6, &CampaignConfig::quick(20));
+    let b = run_campaign(
+        &mut rnd,
+        &CampaignSpec::new(CoreKind::Cva6, CampaignConfig::quick(20)),
+    );
     assert_eq!(a.totals, b.totals);
     assert_eq!(a.core, b.core);
 }
@@ -86,7 +114,10 @@ fn baseline_and_hfl_share_identical_measurement() {
 #[test]
 fn hfl_loop_state_advances_sensibly() {
     let mut hfl = tiny_hfl(6);
-    let _ = run_campaign(&mut hfl, CoreKind::Rocket, &CampaignConfig::quick(50));
+    let _ = run_campaign(
+        &mut hfl,
+        &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(50)),
+    );
     let stats = hfl.stats();
     assert_eq!(stats.cases, 50);
     assert!(stats.episodes >= 4, "episodes: {}", stats.episodes);

@@ -12,19 +12,23 @@ use hfl_nn::Adam;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// One labelled case: the token sequence and its live-point labels.
+type LabelledCase = (Vec<Tokens>, Vec<f32>);
+
 /// Builds a small labelled corpus of (token sequence, live-point labels).
-fn build_corpus(
-    cases: usize,
-    seed: u64,
-) -> (Vec<(Vec<Tokens>, Vec<f32>)>, usize) {
+fn build_corpus(cases: usize, seed: u64) -> (Vec<LabelledCase>, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dut = Dut::new(CoreKind::Rocket);
     let mut dataset = Vec::with_capacity(cases);
     for _ in 0..cases {
         let body: Vec<_> = (0..10).map(|_| random_instruction(&mut rng)).collect();
         let result = dut.run_program(&Program::assemble(&body), 20_000);
-        let labels: Vec<f32> =
-            result.coverage.to_bit_labels().iter().map(|&b| f32::from(b)).collect();
+        let labels: Vec<f32> = result
+            .coverage
+            .to_bit_labels()
+            .iter()
+            .map(|&b| f32::from(b))
+            .collect();
         dataset.push((Tokens::sequence_with_bos(&body), labels));
     }
     // Dead-point removal (§IV-C).
@@ -87,7 +91,10 @@ fn coverage_predictor_beats_the_majority_baseline() {
     let (train, valid) = dataset.split_at(split);
 
     let mut rng = StdRng::seed_from_u64(2);
-    let cfg = PredictorConfig { hidden: 32, ..PredictorConfig::small() };
+    let cfg = PredictorConfig {
+        hidden: 32,
+        ..PredictorConfig::small()
+    };
     let mut predictor = CoveragePredictor::new(cfg, n_alive, &mut rng);
     let mut adam = Adam::new(2e-3);
     for _ in 0..6 {
@@ -137,7 +144,10 @@ fn coverage_predictor_beats_the_majority_baseline() {
 fn predictor_accuracy_improves_with_training() {
     let (dataset, n_alive) = build_corpus(60, 3);
     let mut rng = StdRng::seed_from_u64(4);
-    let cfg = PredictorConfig { hidden: 24, ..PredictorConfig::small() };
+    let cfg = PredictorConfig {
+        hidden: 24,
+        ..PredictorConfig::small()
+    };
     let mut predictor = CoveragePredictor::new(cfg, n_alive, &mut rng);
     let mut adam = Adam::new(2e-3);
     let eval = |p: &CoveragePredictor| -> f64 {

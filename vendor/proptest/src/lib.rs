@@ -1,0 +1,303 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro with range / `any::<T>()` strategies,
+//! `prop_assume!` / `prop_assert!` / `prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build environment has no access to crates.io, so property tests run on
+//! a small deterministic harness instead of the real engine: each property is
+//! evaluated over `cases` inputs drawn from a generator seeded by the property
+//! name. There is no shrinking — a failure reports the offending inputs'
+//! case index and message instead. Integer `any::<T>()` mixes boundary values
+//! (0, ±1, MIN, MAX) into the uniform stream so edge cases are exercised
+//! early, which covers most of what shrinking would find in practice.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Number of test cases to run per property; mirrors
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Inputs evaluated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic SplitMix64 stream seeded from the property name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from `name` (FNV-1a), so each property gets a stable,
+    /// distinct input sequence.
+    #[must_use]
+    pub fn for_property(name: &str) -> Self {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next word in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Source of values for one property argument.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Full-range strategy for `T`, returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy over every value of `T` (biased toward boundary values for
+/// integers).
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // One draw in 8 lands on a boundary value; shrinking is not
+                // implemented, so probe the edges directly instead.
+                if rng.next_u64() % 8 == 0 {
+                    const EDGES: [$t; 5] =
+                        [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX.wrapping_add(2)];
+                    EDGES[(rng.next_u64() % 5) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Rejection-sample the tail [start, MAX]; the loop terminates
+                // quickly unless start is pathologically close to MAX.
+                loop {
+                    let v = rng.next_u64() as $t;
+                    if v >= self.start {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Declares property tests. Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in any::<u64>(), idx in 0usize..8) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_property(stringify!($name));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )+
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {:?} != {:?}",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {:?} != {:?}: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude` for `use proptest::prelude::*;`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Any, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3u8..9, y in -4i64..=4, z in 1u64..) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!(z >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_and_assume_work(x in any::<u32>()) {
+            prop_assume!(x != 0);
+            prop_assert_eq!(x.wrapping_add(1).wrapping_sub(1), x, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_property() {
+        let mut a = crate::TestRng::for_property("p");
+        let mut b = crate::TestRng::for_property("p");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_property("q");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
