@@ -1,0 +1,85 @@
+//! Replays a campaign's JSONL telemetry log into a per-round
+//! coverage/throughput table — Fig. 4-style curves from any past run,
+//! without re-executing a single test case.
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin campaign_report -- \
+//!     --log telemetry.jsonl [--every N]
+//! ```
+//!
+//! `--every N` prints every Nth round (plus the last) to keep long
+//! campaigns readable.
+
+use hfl::obs::{read_jsonl, replay_rounds, Event};
+use hfl_bench::{arg_num, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = arg_value(&args, "--log") else {
+        eprintln!("usage: campaign_report --log <telemetry.jsonl> [--every N]");
+        std::process::exit(2);
+    };
+    let every: u64 = arg_num(&args, "--every", 1).max(1);
+
+    let events = match read_jsonl(&path) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("campaign_report: {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let rows = replay_rounds(&events);
+    if rows.is_empty() {
+        eprintln!(
+            "campaign_report: {path}: no rounds in log ({} events)",
+            events.len()
+        );
+        std::process::exit(1);
+    }
+
+    let ppo_updates = events
+        .iter()
+        .filter(|e| matches!(e, Event::PpoUpdate { .. }))
+        .count();
+    let predictor_evals = events
+        .iter()
+        .filter(|e| matches!(e, Event::PredictorEval { .. }))
+        .count();
+    println!(
+        "{path}: {} events, {} rounds, {} ppo updates, {} predictor evals",
+        events.len(),
+        rows.len(),
+        ppo_updates,
+        predictor_evals
+    );
+    println!("{:-<86}", "");
+    println!(
+        "{:>7} {:>8} {:>10} {:>8} {:>6} {:>6} {:>12} {:>10} {:>9}",
+        "round", "cases", "condition", "line", "fsm", "sigs", "retired", "occupancy", "exec s"
+    );
+    println!("{:-<86}", "");
+    let last = rows.len() - 1;
+    for (i, row) in rows.iter().enumerate() {
+        if !(i as u64).is_multiple_of(every) && i != last {
+            continue;
+        }
+        println!(
+            "{:>7} {:>8} {:>10} {:>8} {:>6} {:>6} {:>12} {:>9.0}% {:>9.3}",
+            row.round,
+            row.cases,
+            row.condition,
+            row.line,
+            row.fsm,
+            row.unique_signatures,
+            row.retired,
+            100.0 * row.occupancy,
+            row.exec_seconds,
+        );
+    }
+    println!("{:-<86}", "");
+    let end = &rows[last];
+    println!(
+        "final: {} cases, coverage ({}, {}, {}), {} unique signatures, {} instructions retired",
+        end.cases, end.condition, end.line, end.fsm, end.unique_signatures, end.retired
+    );
+}

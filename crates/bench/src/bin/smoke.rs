@@ -1,0 +1,147 @@
+//! Telemetry smoke campaign for CI: runs a short campaign with the JSONL
+//! sink attached, then re-reads the log and verifies it is parseable and
+//! that the replayed per-round table reconstructs the campaign's own
+//! coverage curve. Exits non-zero on any disagreement.
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin smoke -- \
+//!     [--seed N] [--fuzzer hfl|difuzz|thehuzz|cascade] [--cases N] \
+//!     [--batch N] [--threads N] [--log telemetry.jsonl]
+//! ```
+
+use std::sync::Arc;
+
+use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl::obs::{read_jsonl, replay_rounds, Event, JsonlSink, SinkHandle};
+use hfl_bench::{arg_num, arg_value};
+use hfl_dut::CoreKind;
+
+fn make_fuzzer(name: &str, seed: u64) -> Box<dyn Fuzzer> {
+    match name {
+        "difuzz" => Box::new(DifuzzRtlFuzzer::new(seed, 16)),
+        "thehuzz" => Box::new(TheHuzzFuzzer::new(seed, 16)),
+        "cascade" => Box::new(CascadeFuzzer::new(seed, 60)),
+        _ => {
+            let mut cfg = HflConfig::small().with_seed(seed);
+            cfg.generator.hidden = 16;
+            cfg.predictor.hidden = 16;
+            cfg.test_len = 6;
+            Box::new(HflFuzzer::new(cfg))
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_num(&args, "--seed", 1);
+    let cases: u64 = arg_num(&args, "--cases", 60);
+    let batch: usize = arg_num(&args, "--batch", 4).max(1);
+    let threads: usize = arg_num(&args, "--threads", 2).max(1);
+    let fuzzer_name = arg_value(&args, "--fuzzer").unwrap_or_else(|| "hfl".to_owned());
+    let log = arg_value(&args, "--log").unwrap_or_else(|| "telemetry.jsonl".to_owned());
+
+    let sink = match JsonlSink::create(&log) {
+        Ok(sink) => SinkHandle::new(Arc::new(sink)),
+        Err(err) => fail(&format!("{log}: {err}")),
+    };
+    let mut fuzzer = make_fuzzer(&fuzzer_name, seed);
+    let config = CampaignConfig::quick(cases).with_batch(batch);
+    let spec = CampaignSpec::new(CoreKind::Rocket, config)
+        .with_threads(threads)
+        .with_sink(sink);
+    let result = run_campaign(fuzzer.as_mut(), &spec);
+
+    let events = match read_jsonl(&log) {
+        Ok(events) => events,
+        Err(err) => fail(&format!("log unparseable: {err}")),
+    };
+    if events.is_empty() {
+        fail("log contains no events");
+    }
+    let executed = events
+        .iter()
+        .filter(|e| matches!(e, Event::CaseExecuted { .. }))
+        .count() as u64;
+    if executed != cases {
+        fail(&format!(
+            "{executed} case_executed events, expected {cases}"
+        ));
+    }
+    let rows = replay_rounds(&events);
+    if rows.is_empty() {
+        fail("replayed table is empty");
+    }
+    // The replayed table must reconstruct the campaign's own coverage
+    // curve: every curve sample falling on a round boundary appears in the
+    // table with identical cumulative counts, and the final state matches.
+    let end = rows.last().expect("non-empty");
+    let (c, l, f) = result.final_counts();
+    if (end.cases, end.condition, end.line, end.fsm) != (cases, c as u64, l as u64, f as u64) {
+        fail(&format!(
+            "replay end {:?} != campaign end {:?}",
+            (end.cases, end.condition, end.line, end.fsm),
+            (cases, c, l, f)
+        ));
+    }
+    if end.unique_signatures != result.unique_signatures as u64 {
+        fail("replayed signature count diverged");
+    }
+    if end.retired != result.instructions_executed {
+        fail("replayed retired-instruction count diverged");
+    }
+    let mut matched = 0usize;
+    for sample in &result.curve {
+        if let Some(row) = rows.iter().find(|r| r.cases == sample.cases) {
+            matched += 1;
+            if (row.condition, row.line, row.fsm)
+                != (
+                    sample.condition as u64,
+                    sample.line as u64,
+                    sample.fsm as u64,
+                )
+            {
+                fail(&format!(
+                    "curve disagrees at {} cases: replay ({}, {}, {}) vs campaign \
+                     ({}, {}, {})",
+                    sample.cases,
+                    row.condition,
+                    row.line,
+                    row.fsm,
+                    sample.condition,
+                    sample.line,
+                    sample.fsm
+                ));
+            }
+        }
+    }
+    if matched == 0 {
+        fail("no curve sample fell on a round boundary");
+    }
+    let phases: Vec<&str> = [
+        "phase.generate.seconds",
+        "phase.execute.seconds",
+        "phase.difftest.seconds",
+        "phase.train.seconds",
+    ]
+    .into_iter()
+    .filter(|name| result.metrics.histogram(name).is_none())
+    .collect();
+    if !phases.is_empty() {
+        fail(&format!("missing phase metrics: {phases:?}"));
+    }
+    println!(
+        "smoke: OK: {} ({fuzzer_name}, seed {seed}): {} events, {} rounds, {matched} curve \
+         samples reconstructed, final coverage ({c}, {l}, {f}), {} signatures",
+        log,
+        events.len(),
+        rows.len(),
+        result.unique_signatures
+    );
+}

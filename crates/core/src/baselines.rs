@@ -94,6 +94,12 @@ pub trait Fuzzer {
     /// feedback yet (the campaign runner applies feedback in generation
     /// order). Feedback-free fuzzers (Cascade) ignore it.
     fn feedback(&mut self, body: &TestBody, feedback: Feedback);
+
+    /// Gives the fuzzer a telemetry sink for learner-side events
+    /// ([`crate::obs::Event::PpoUpdate`], [`crate::obs::Event::PredictorEval`]).
+    /// The campaign runner calls this once before the first round. The
+    /// default ignores the sink — only learning fuzzers emit anything.
+    fn attach_sink(&mut self, _sink: crate::obs::SinkHandle) {}
 }
 
 /// Draws one uniformly random (but valid) instruction by sampling raw head

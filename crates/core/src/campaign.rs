@@ -26,6 +26,7 @@ use crate::corpus::Corpus;
 use crate::difftest::{Signature, SignatureSet};
 use crate::exec::{ExecPool, Throughput};
 use crate::harness::Executor;
+use crate::obs::{Event, Metrics, MetricsSnapshot, SinkHandle};
 
 /// Budget and sampling parameters of one campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,12 @@ pub struct CampaignSpec {
     /// Worker threads in the execution pool (clamped to at least 1). Does
     /// not affect results, only wall-clock time.
     pub threads: usize,
+    /// Telemetry sink for campaign events (default: disabled null sink —
+    /// the hot path then costs a single branch per would-be event). Events
+    /// are keyed by round/case indices, never wall clock, so enabling a
+    /// sink changes neither the results nor the non-timing event stream at
+    /// any thread count.
+    pub sink: SinkHandle,
 }
 
 impl CampaignSpec {
@@ -103,6 +110,7 @@ impl CampaignSpec {
             config,
             quirks: None,
             threads: 1,
+            sink: SinkHandle::null(),
         }
     }
 
@@ -117,6 +125,13 @@ impl CampaignSpec {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> CampaignSpec {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> CampaignSpec {
+        self.sink = sink;
         self
     }
 }
@@ -166,6 +181,11 @@ pub struct CampaignResult {
     /// Wall-clock throughput counters (never part of determinism
     /// comparisons).
     pub throughput: Throughput,
+    /// Counter/histogram snapshot from the campaign's [`Metrics`]
+    /// registry: per-phase wall-clock (`phase.*.seconds`) and event
+    /// counters. Like [`Throughput`], never part of determinism
+    /// comparisons.
+    pub metrics: MetricsSnapshot,
 }
 
 impl CampaignResult {
@@ -210,6 +230,9 @@ impl CampaignResult {
 pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignResult {
     let started = Instant::now();
     let cfg = &spec.config;
+    let sink = &spec.sink;
+    fuzzer.attach_sink(sink.clone());
+    let mut metrics = Metrics::new();
     let mut builder = Executor::builder(spec.core).max_steps(cfg.max_steps);
     if let Some(quirks) = &spec.quirks {
         builder = builder.quirks(quirks.clone());
@@ -232,23 +255,44 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
     let mut trigger_corpus = Corpus::new();
 
     let mut executed: u64 = 0;
+    let mut round_index: u64 = 0;
     while executed < cfg.cases {
         let want = (cfg.cases - executed).min(cfg.batch.max(1) as u64) as usize;
+        if sink.enabled() {
+            sink.emit(&Event::RoundStart {
+                round: round_index,
+                planned: want as u64,
+            });
+        }
+        let generate_started = Instant::now();
         let mut round = fuzzer.next_round(want);
+        metrics.observe_duration("phase.generate.seconds", generate_started.elapsed());
         assert!(
             !round.is_empty(),
             "next_round must produce at least one case"
         );
         round.truncate(want);
+        let execute_started = Instant::now();
         let results = pool.run_batch(&round);
+        metrics.observe_duration("phase.execute.seconds", execute_started.elapsed());
+        let batch = pool.last_batch();
+        let train_started = Instant::now();
+        let mut difftest_seconds = 0.0f64;
         for (body, result) in round.iter().zip(results) {
             executed += 1;
             instructions_executed += result.dut.steps;
+            difftest_seconds += result.timing.difftest_seconds;
+            let before = cumulative.count();
             let gained = cumulative.would_grow(&result.dut.coverage);
             cumulative.union_with(&result.dut.coverage);
+            let gained_bits = (cumulative.count() - before) as u64;
             let coverage = result.dut.coverage.count() as f32 / map_len as f32;
+            let mut new_signature = None;
             for mismatch in &result.mismatches {
                 if signatures.insert(mismatch) {
+                    if new_signature.is_none() {
+                        new_signature = Some(mismatch.signature().0);
+                    }
                     first_detection.push((mismatch.signature(), executed));
                     let instructions = match body {
                         TestBody::Asm(v) => v.clone(),
@@ -259,6 +303,19 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
                     };
                     trigger_corpus.push(mismatch.signature().to_string(), instructions);
                 }
+            }
+            metrics.inc("campaign.cases", 1);
+            metrics.inc("campaign.mismatches", result.mismatches.len() as u64);
+            if sink.enabled() {
+                sink.emit(&Event::CaseExecuted {
+                    round: round_index,
+                    case: executed,
+                    body_len: body.len() as u64,
+                    gained_bits,
+                    retired: result.dut.steps,
+                    mismatches: result.mismatches.len() as u64,
+                    new_signature,
+                });
             }
             let case_bits = std::sync::Arc::new(result.dut.coverage.to_bit_labels());
             let terminated = result.dut.halt != hfl_grm::HaltReason::StepBudget;
@@ -281,11 +338,40 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
                 });
             }
         }
+        // Feedback drives the fuzzer's learning (PPO updates, predictor
+        // fine-tuning); what is left after subtracting difftest is pure
+        // training cost. Difftest itself runs inside the pool workers, so
+        // its wall-clock is collected from the per-case timings.
+        metrics.observe("phase.difftest.seconds", difftest_seconds);
+        metrics.observe("phase.train.seconds", train_started.elapsed().as_secs_f64());
+        metrics.inc("campaign.rounds", 1);
+        if sink.enabled() {
+            // Occupancy first: `RoundEnd` closes the round, so a replayer
+            // can resolve the batch's utilisation when it sees it.
+            sink.emit(&Event::PoolOccupancy {
+                round: round_index,
+                threads: spec.threads.max(1) as u64,
+                occupancy: batch.occupancy,
+                exec_seconds: batch.exec_seconds,
+                busy_seconds: batch.busy_seconds,
+            });
+            let map = pool.coverage_map();
+            sink.emit(&Event::RoundEnd {
+                round: round_index,
+                executed,
+                condition: cumulative.count_of(map, CoverageKind::Condition) as u64,
+                line: cumulative.count_of(map, CoverageKind::Line) as u64,
+                fsm: cumulative.count_of(map, CoverageKind::Fsm) as u64,
+                unique_signatures: signatures.unique() as u64,
+            });
+        }
+        round_index += 1;
     }
 
     let mut sigs: Vec<Signature> = first_detection.iter().map(|(s, _)| *s).collect();
     sigs.sort_unstable();
     let throughput = pool.throughput(started.elapsed(), instructions_executed);
+    sink.flush();
     CampaignResult {
         fuzzer: fuzzer.name().to_owned(),
         core: spec.core,
@@ -299,6 +385,7 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
         instructions_executed,
         trigger_corpus,
         throughput,
+        metrics: metrics.snapshot(),
     }
 }
 

@@ -106,6 +106,20 @@ pub struct Throughput {
     pub pool_occupancy: f64,
 }
 
+/// Utilisation counters of the most recent batch (telemetry: the
+/// campaign runner turns these into `Event::PoolOccupancy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchStats {
+    /// Cases the batch held.
+    pub cases: u64,
+    /// Wall-clock seconds inside the batch.
+    pub exec_seconds: f64,
+    /// Summed per-case execution seconds across workers.
+    pub busy_seconds: f64,
+    /// `busy / (exec_wall × threads)`; 1.0 means no worker idled.
+    pub occupancy: f64,
+}
+
 /// A pool of cloned [`Executor`]s evaluating batches of test bodies.
 ///
 /// # Examples
@@ -133,6 +147,7 @@ pub struct ExecPool {
     cases: u64,
     exec_time: Duration,
     busy_time: Duration,
+    last_batch: BatchStats,
 }
 
 impl ExecPool {
@@ -152,6 +167,7 @@ impl ExecPool {
             cases: 0,
             exec_time: Duration::ZERO,
             busy_time: Duration::ZERO,
+            last_batch: BatchStats::default(),
         }
     }
 
@@ -181,16 +197,39 @@ impl ExecPool {
             let result = worker.run(body);
             (result, case_started.elapsed())
         });
-        self.exec_time += started.elapsed();
+        let batch_wall = started.elapsed();
+        self.exec_time += batch_wall;
         self.batches += 1;
         self.cases += bodies.len() as u64;
-        timed
+        let mut batch_busy = Duration::ZERO;
+        let results: Vec<CaseResult> = timed
             .into_iter()
             .map(|(result, spent)| {
-                self.busy_time += spent;
+                batch_busy += spent;
                 result
             })
-            .collect()
+            .collect();
+        self.busy_time += batch_busy;
+        let exec_seconds = batch_wall.as_secs_f64();
+        let busy_seconds = batch_busy.as_secs_f64();
+        self.last_batch = BatchStats {
+            cases: bodies.len() as u64,
+            exec_seconds,
+            busy_seconds,
+            occupancy: if exec_seconds > 0.0 {
+                busy_seconds / (exec_seconds * self.workers.len() as f64)
+            } else {
+                0.0
+            },
+        };
+        results
+    }
+
+    /// Utilisation counters of the most recent [`ExecPool::run_batch`]
+    /// call (zeroed until the first batch runs).
+    #[must_use]
+    pub fn last_batch(&self) -> BatchStats {
+        self.last_batch
     }
 
     /// Throughput counters so far. `wall_seconds` is taken from the
@@ -285,6 +324,22 @@ mod tests {
                 assert_eq!(got.mismatches.len(), want.mismatches.len());
             }
         }
+    }
+
+    #[test]
+    fn last_batch_reports_utilisation() {
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        assert_eq!(pool.last_batch(), BatchStats::default());
+        let batch: Vec<TestBody> = (0..6).map(|i| addi_body(i + 1)).collect();
+        pool.run_batch(&batch);
+        let stats = pool.last_batch();
+        assert_eq!(stats.cases, 6);
+        assert!(stats.exec_seconds > 0.0);
+        assert!(stats.busy_seconds > 0.0);
+        assert!(
+            stats.occupancy > 0.0 && stats.occupancy <= 1.05,
+            "{stats:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 use crate::baselines::{Feedback, Fuzzer, TestBody};
 use crate::generator::{EpisodeStep, GenSession, GeneratorConfig, InstructionGenerator};
+use crate::obs::{Event, SinkHandle};
 use crate::predictor::{
     CoveragePredictor, CoverageSession, PredictorConfig, ValuePredictor, ValueSession,
 };
@@ -195,6 +196,10 @@ pub struct HflFuzzer {
     stagnation: u64,
     consecutive_rollbacks: u32,
     stats: HflStats,
+    sink: SinkHandle,
+    /// Rewards of the current PPO window, parallel to `episode` (telemetry
+    /// only: feeds `Event::PpoUpdate::reward_mean`).
+    window_rewards: Vec<f32>,
 }
 
 impl HflFuzzer {
@@ -228,6 +233,8 @@ impl HflFuzzer {
             stagnation: 0,
             consecutive_rollbacks: 0,
             stats: HflStats::default(),
+            sink: SinkHandle::null(),
+            window_rewards: Vec::new(),
         }
     }
 
@@ -344,9 +351,52 @@ impl HflFuzzer {
         let case = &self.body[..case_len.min(self.body.len())];
         let start = case.len().saturating_sub(window);
         let sequence = Tokens::sequence_with_bos(&case[start..]);
+        // Score the predictor against the realised bits *before* it trains
+        // on them. `predict` is a pure forward pass and the whole block is
+        // sink-gated, so telemetry never perturbs the loop's state or RNG.
+        if self.sink.enabled() {
+            if let Some(cp) = &self.coverage_predictor {
+                let probs = cp.predict(&sequence);
+                let mut predicted_hits = 0u64;
+                let mut realized_hits = 0u64;
+                let mut agree = 0u64;
+                for (p, &b) in probs.iter().zip(bits) {
+                    let hit = *p > 0.5;
+                    predicted_hits += u64::from(hit);
+                    realized_hits += u64::from(b != 0);
+                    agree += u64::from(hit == (b != 0));
+                }
+                self.sink.emit(&Event::PredictorEval {
+                    case: self.stats.cases,
+                    accuracy: agree as f64 / probs.len().max(1) as f64,
+                    predicted_hits,
+                    realized_hits,
+                });
+            }
+        }
         if let Some(cp) = &mut self.coverage_predictor {
             cp.train_case(&sequence, &labels, &mut self.cov_adam);
         }
+    }
+
+    /// Emits one [`Event::PpoUpdate`] (sink-gated; pure observation).
+    fn emit_ppo_update(&self, update: crate::generator::UpdateStats) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let reward_mean = if self.window_rewards.is_empty() {
+            0.0
+        } else {
+            self.window_rewards.iter().sum::<f32>() / self.window_rewards.len() as f32
+        };
+        self.sink.emit(&Event::PpoUpdate {
+            case: self.stats.cases,
+            episode: self.stats.episodes,
+            mean_ratio: f64::from(update.mean_ratio),
+            approx_kl: f64::from(update.approx_kl),
+            td_loss: f64::from(self.stats.last_td_error),
+            reward_mean: f64::from(reward_mean),
+        });
     }
 
     fn finish_episode(&mut self) {
@@ -361,10 +411,12 @@ impl HflFuzzer {
                 &mut self.pred_adam,
             );
             self.stats.episodes += 1;
+            self.emit_ppo_update(stats);
         }
         self.episode.clear();
         self.td_inputs.clear();
         self.td_targets.clear();
+        self.window_rewards.clear();
         self.body.clear();
         self.session = self.generator.start_session();
         self.value_session = self.predictor.start_session();
@@ -394,6 +446,7 @@ impl HflFuzzer {
         self.episode.clear();
         self.td_inputs.clear();
         self.td_targets.clear();
+        self.window_rewards.clear();
         self.body.clear();
         self.session = self.generator.start_session();
         self.value_session = self.predictor.start_session();
@@ -508,6 +561,7 @@ impl Fuzzer for HflFuzzer {
             });
             self.td_inputs.push(pending.input);
             self.td_targets.push(penalty - 0.5);
+            self.window_rewards.push(penalty - 0.5);
             self.stagnation += 1;
             self.consecutive_rollbacks += 1;
             if self.consecutive_rollbacks >= 8 {
@@ -555,6 +609,7 @@ impl Fuzzer for HflFuzzer {
         self.td_inputs.push(pending.input);
         self.td_targets
             .push(reward + self.cfg.ppo.gamma * pending.v_next);
+        self.window_rewards.push(reward);
 
         // Reset-module bookkeeping (cumulative coverage stagnation).
         if feedback.gained_coverage {
@@ -572,6 +627,7 @@ impl Fuzzer for HflFuzzer {
             self.episode.remove(0);
             self.td_inputs.remove(0);
             self.td_targets.remove(0);
+            self.window_rewards.remove(0);
         }
         if case_len >= self.cfg.body_cap.min(max_body()) {
             // The code region is full: close the episode and start a fresh
@@ -595,7 +651,12 @@ impl Fuzzer for HflFuzzer {
                 &self.td_targets,
                 &mut self.pred_adam,
             );
+            self.emit_ppo_update(stats);
         }
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 }
 

@@ -139,6 +139,9 @@ pub struct UpdateStats {
     pub mean_ratio: f32,
     /// Fraction of head updates zeroed by clipping.
     pub clipped_fraction: f32,
+    /// Mean `r − 1 − ln r` across updated heads — the KL(π_old ‖ π)
+    /// estimate reported by `Event::PpoUpdate`.
+    pub approx_kl: f32,
 }
 
 /// The multi-head LSTM instruction generator.
@@ -309,6 +312,7 @@ impl InstructionGenerator {
         let trace = self.lstm.forward_seq(&inputs);
         let mut d_out: Vec<Vec<f32>> = trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
         let mut ratio_sum = 0.0f32;
+        let mut kl_sum = 0.0f32;
         let mut clipped = 0usize;
         let mut updated = 0usize;
         for (t, step) in steps.iter().enumerate() {
@@ -327,6 +331,7 @@ impl InstructionGenerator {
                     epsilon,
                 );
                 ratio_sum += ratio;
+                kl_sum += hfl_rl::approx_kl(ratio);
                 updated += 1;
                 if dscaled.iter().all(|&d| d == 0.0) {
                     clipped += 1;
@@ -354,6 +359,11 @@ impl InstructionGenerator {
             },
             clipped_fraction: if updated > 0 {
                 clipped as f32 / updated as f32
+            } else {
+                0.0
+            },
+            approx_kl: if updated > 0 {
+                kl_sum / updated as f32
             } else {
                 0.0
             },

@@ -27,6 +27,23 @@ pub struct CaseResult {
     /// Differential-testing mismatches (at most one trace divergence plus
     /// final-state differences).
     pub mismatches: Vec<Mismatch>,
+    /// Per-phase wall-clock of this case (telemetry only: never part of a
+    /// determinism comparison).
+    pub timing: CaseTiming,
+}
+
+/// Wall-clock split of one case across the harness's three phases. The
+/// campaign runner aggregates these into its `Metrics` registry
+/// (`phase.difftest.seconds` in particular is unobservable from outside
+/// the harness, since difftest runs inside the pool workers).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CaseTiming {
+    /// Seconds the DUT simulation took.
+    pub dut_seconds: f64,
+    /// Seconds the golden-model run took.
+    pub grm_seconds: f64,
+    /// Seconds trace/state comparison took.
+    pub difftest_seconds: f64,
 }
 
 /// Configures and builds an [`Executor`].
@@ -114,35 +131,6 @@ impl Executor {
         }
     }
 
-    /// Creates a harness for one core with its full defect catalogue.
-    #[deprecated(since = "0.1.0", note = "use `Executor::builder(kind).build()`")]
-    #[must_use]
-    pub fn new(kind: CoreKind) -> Executor {
-        Executor::builder(kind).build()
-    }
-
-    /// Creates a harness whose DUT carries an explicit defect
-    /// configuration instead of the core's full catalogue.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Executor::builder(kind).quirks(quirks).build()`"
-    )]
-    #[must_use]
-    pub fn with_quirks(kind: CoreKind, quirks: hfl_grm::cpu::Quirks) -> Executor {
-        Executor::builder(kind).quirks(quirks).build()
-    }
-
-    /// Overrides the per-test step budget.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Executor::builder(kind).max_steps(n).build()`"
-    )]
-    #[must_use]
-    pub fn with_max_steps(mut self, max_steps: u64) -> Executor {
-        self.max_steps = max_steps;
-        self
-    }
-
     /// The core under test.
     #[must_use]
     pub fn core(&self) -> CoreKind {
@@ -179,17 +167,20 @@ impl Executor {
 
     /// Runs an assembled program on both sides and diffs the executions.
     pub fn run_program(&mut self, program: &Program) -> CaseResult {
+        let dut_started = std::time::Instant::now();
         let dut = match &self.quirks {
             Some(q) => self
                 .dut
                 .run_program_with_quirks(program, self.max_steps, q.clone()),
             None => self.dut.run_program(program, self.max_steps),
         };
+        let grm_started = std::time::Instant::now();
         let mut grm = Cpu::new();
         grm.load_program(program);
         let grm_run = grm.run(self.max_steps);
         let grm_arch = grm.arch_snapshot();
         let grm_trace = std::mem::take(&mut grm.trace);
+        let diff_started = std::time::Instant::now();
         let mismatches = compare(
             &grm_trace,
             grm_run.reason,
@@ -198,12 +189,18 @@ impl Executor {
             dut.halt,
             &dut.arch,
         );
+        let done = std::time::Instant::now();
         CaseResult {
             dut,
             grm_trace,
             grm_halt: grm_run.reason,
             grm_arch,
             mismatches,
+            timing: CaseTiming {
+                dut_seconds: (grm_started - dut_started).as_secs_f64(),
+                grm_seconds: (diff_started - grm_started).as_secs_f64(),
+                difftest_seconds: (done - diff_started).as_secs_f64(),
+            },
         }
     }
 }
@@ -299,10 +296,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let mut ex = Executor::new(CoreKind::Rocket).with_max_steps(4_000);
-        let result = ex.run_case(&[Instruction::NOP]);
-        assert!(result.mismatches.is_empty());
+    fn case_timing_is_populated_and_finite() {
+        let mut ex = Executor::builder(CoreKind::Rocket).build();
+        let result = ex.run_case(&[Instruction::r(Opcode::Div, Reg::X1, Reg::X2, Reg::X3)]);
+        let t = result.timing;
+        for v in [t.dut_seconds, t.grm_seconds, t.difftest_seconds] {
+            assert!(v.is_finite() && v >= 0.0, "{t:?}");
+        }
+        assert!(t.dut_seconds > 0.0, "the DUT phase cannot be free: {t:?}");
     }
 }

@@ -24,7 +24,10 @@
 //!   changes a campaign's outputs,
 //! - [`corpus`]/[`triage`]/[`persist`]: trigger-case capture, test-case
 //!   minimisation and model checkpoints — the operational tooling around
-//!   a fuzzing campaign.
+//!   a fuzzing campaign,
+//! - [`obs`]: the observability layer — typed campaign events behind an
+//!   [`obs::EventSink`] (JSONL file / in-memory ring), and the per-phase
+//!   [`obs::Metrics`] registry snapshotted onto every `CampaignResult`.
 //!
 //! # Examples
 //!
@@ -54,6 +57,7 @@ pub mod exec;
 pub mod fuzzer;
 pub mod generator;
 pub mod harness;
+pub mod obs;
 pub mod persist;
 pub mod poc;
 pub mod predictor;
@@ -64,10 +68,13 @@ pub use baselines::{Feedback, Fuzzer, TestBody};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CoverageSample};
 pub use corpus::Corpus;
 pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
-pub use exec::{ExecPool, Throughput};
+pub use exec::{BatchStats, ExecPool, Throughput};
 pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
 pub use generator::{GeneratorConfig, InstructionGenerator};
-pub use harness::{CaseResult, Executor, ExecutorBuilder};
+pub use harness::{CaseResult, CaseTiming, Executor, ExecutorBuilder};
+pub use obs::{
+    Event, EventSink, JsonlSink, Metrics, MetricsSnapshot, NullSink, RingSink, SinkHandle,
+};
 pub use predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
 pub use tokens::Tokens;
-pub use triage::{minimize, Minimized};
+pub use triage::{minimize, minimize_with_sink, Minimized};

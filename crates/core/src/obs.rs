@@ -1,0 +1,1132 @@
+//! Campaign observability: structured events, pluggable sinks and a
+//! metrics registry.
+//!
+//! PR 1 made campaigns parallel and deterministic; this layer makes them
+//! *legible*. Every phase of the fuzzing loop — generation, pooled
+//! execution, differential testing, PPO training, triage — reports typed
+//! [`Event`]s to an [`EventSink`] and per-phase wall-clock into a
+//! [`Metrics`] registry, so a run can be replayed into Fig. 4-style
+//! coverage/throughput curves after the fact (see the `campaign_report`
+//! bench binary).
+//!
+//! # Determinism contract
+//!
+//! Events are emitted **only from the campaign's merge thread and the
+//! fuzzer** (never from pool workers), in submission order, and carry
+//! round/case *indices* — never timestamps — as identity. Every event
+//! except [`Event::PoolOccupancy`] is therefore bit-identical across runs
+//! of the same seed at any thread count. `PoolOccupancy` (flagged by
+//! [`Event::is_timing`]) reports wall-clock utilisation and naturally
+//! varies between runs; consumers comparing logs must filter it out.
+//! Wall-clock aggregates live in [`Metrics`], which is never part of a
+//! determinism comparison.
+//!
+//! # JSONL schema
+//!
+//! [`JsonlSink`] writes one flat JSON object per line with a `"type"`
+//! discriminant, e.g.:
+//!
+//! ```text
+//! {"type":"round_start","round":0,"planned":4}
+//! {"type":"case_executed","round":0,"case":1,"body_len":3,"gained_bits":17,"retired":3,"mismatches":0,"new_signature":null}
+//! {"type":"round_end","round":0,"executed":4,"condition":12,"line":30,"fsm":4,"unique_signatures":1}
+//! ```
+//!
+//! Signatures are serialised as 16-digit hex strings (full 64-bit
+//! precision survives any JSON reader); all other numbers fit in an f64
+//! mantissa. [`read_jsonl`] and [`Event::from_json`] parse the format
+//! back without external dependencies.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One structured telemetry event.
+///
+/// Variants carry round/case indices as identity (see the module docs'
+/// determinism contract); only [`Event::PoolOccupancy`] carries
+/// wall-clock-derived values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A campaign round began: the fuzzer is about to generate `planned`
+    /// cases for one pool batch.
+    RoundStart {
+        /// Round index (0-based).
+        round: u64,
+        /// Cases requested from the fuzzer for this round.
+        planned: u64,
+    },
+    /// A campaign round finished (all feedback applied).
+    RoundEnd {
+        /// Round index (0-based).
+        round: u64,
+        /// Total cases executed so far (cumulative).
+        executed: u64,
+        /// Cumulative condition-coverage points hit.
+        condition: u64,
+        /// Cumulative line-coverage points hit.
+        line: u64,
+        /// Cumulative FSM-coverage points hit.
+        fsm: u64,
+        /// Unique mismatch signatures found so far.
+        unique_signatures: u64,
+    },
+    /// One test case ran on the DUT/GRM pair.
+    CaseExecuted {
+        /// Round the case belonged to.
+        round: u64,
+        /// Case index (1-based, campaign-wide).
+        case: u64,
+        /// Body length in instructions/words.
+        body_len: u64,
+        /// Coverage points this case added to the cumulative set.
+        gained_bits: u64,
+        /// Instructions the DUT retired.
+        retired: u64,
+        /// Mismatches the differential test reported (before dedup).
+        mismatches: u64,
+        /// First *newly seen* signature this case triggered, if any.
+        new_signature: Option<u64>,
+    },
+    /// The generator completed a PPO update.
+    PpoUpdate {
+        /// Case index at the time of the update.
+        case: u64,
+        /// Completed episodes so far.
+        episode: u64,
+        /// Mean probability ratio across updated heads.
+        mean_ratio: f64,
+        /// `E[r − 1 − ln r]` over the update's head ratios — the standard
+        /// low-variance KL(π_old ‖ π) estimator.
+        approx_kl: f64,
+        /// Mean squared TD error of the paired critic update.
+        td_loss: f64,
+        /// Mean (normalised) reward over the update window.
+        reward_mean: f64,
+    },
+    /// The coverage predictor was scored against realised coverage.
+    PredictorEval {
+        /// Case index the evaluation used.
+        case: u64,
+        /// Fraction of coverage points where `p > 0.5` matched the
+        /// realised bit.
+        accuracy: f64,
+        /// Points the predictor scored above 0.5.
+        predicted_hits: u64,
+        /// Points the case actually hit.
+        realized_hits: u64,
+    },
+    /// Triage minimisation accepted one reduction.
+    MinimizeStep {
+        /// Differential-test executions spent so far.
+        executions: u64,
+        /// Body length before the reduction.
+        from_len: u64,
+        /// Body length after the reduction.
+        to_len: u64,
+    },
+    /// Pool utilisation for one executed batch (wall-clock: excluded from
+    /// determinism comparisons).
+    PoolOccupancy {
+        /// Round the batch belonged to.
+        round: u64,
+        /// Worker threads in the pool.
+        threads: u64,
+        /// `busy / (exec_wall × threads)`; 1.0 = no worker idled.
+        occupancy: f64,
+        /// Wall-clock seconds inside the batch.
+        exec_seconds: f64,
+        /// Summed per-case execution seconds across workers.
+        busy_seconds: f64,
+    },
+}
+
+impl Event {
+    /// Whether the event carries wall-clock-derived values and must be
+    /// excluded from determinism comparisons (see the module docs).
+    #[must_use]
+    pub fn is_timing(&self) -> bool {
+        matches!(self, Event::PoolOccupancy { .. })
+    }
+
+    /// The JSONL `"type"` discriminant.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::CaseExecuted { .. } => "case_executed",
+            Event::PpoUpdate { .. } => "ppo_update",
+            Event::PredictorEval { .. } => "predictor_eval",
+            Event::MinimizeStep { .. } => "minimize_step",
+            Event::PoolOccupancy { .. } => "pool_occupancy",
+        }
+    }
+
+    /// Serialises the event as one flat JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new(self.kind());
+        match self {
+            Event::RoundStart { round, planned } => {
+                w.num("round", *round);
+                w.num("planned", *planned);
+            }
+            Event::RoundEnd {
+                round,
+                executed,
+                condition,
+                line,
+                fsm,
+                unique_signatures,
+            } => {
+                w.num("round", *round);
+                w.num("executed", *executed);
+                w.num("condition", *condition);
+                w.num("line", *line);
+                w.num("fsm", *fsm);
+                w.num("unique_signatures", *unique_signatures);
+            }
+            Event::CaseExecuted {
+                round,
+                case,
+                body_len,
+                gained_bits,
+                retired,
+                mismatches,
+                new_signature,
+            } => {
+                w.num("round", *round);
+                w.num("case", *case);
+                w.num("body_len", *body_len);
+                w.num("gained_bits", *gained_bits);
+                w.num("retired", *retired);
+                w.num("mismatches", *mismatches);
+                w.hex_opt("new_signature", *new_signature);
+            }
+            Event::PpoUpdate {
+                case,
+                episode,
+                mean_ratio,
+                approx_kl,
+                td_loss,
+                reward_mean,
+            } => {
+                w.num("case", *case);
+                w.num("episode", *episode);
+                w.float("mean_ratio", *mean_ratio);
+                w.float("approx_kl", *approx_kl);
+                w.float("td_loss", *td_loss);
+                w.float("reward_mean", *reward_mean);
+            }
+            Event::PredictorEval {
+                case,
+                accuracy,
+                predicted_hits,
+                realized_hits,
+            } => {
+                w.num("case", *case);
+                w.float("accuracy", *accuracy);
+                w.num("predicted_hits", *predicted_hits);
+                w.num("realized_hits", *realized_hits);
+            }
+            Event::MinimizeStep {
+                executions,
+                from_len,
+                to_len,
+            } => {
+                w.num("executions", *executions);
+                w.num("from_len", *from_len);
+                w.num("to_len", *to_len);
+            }
+            Event::PoolOccupancy {
+                round,
+                threads,
+                occupancy,
+                exec_seconds,
+                busy_seconds,
+            } => {
+                w.num("round", *round);
+                w.num("threads", *threads);
+                w.float("occupancy", *occupancy);
+                w.float("exec_seconds", *exec_seconds);
+                w.float("busy_seconds", *busy_seconds);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one JSONL line back into an event; `None` if the line is
+    /// not a well-formed event object of a known type.
+    #[must_use]
+    pub fn from_json(line: &str) -> Option<Event> {
+        let fields = parse_flat_object(line)?;
+        let f = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let u = |name: &str| f(name).and_then(JsonValue::as_u64);
+        let x = |name: &str| f(name).and_then(JsonValue::as_f64);
+        match f("type")?.as_str()? {
+            "round_start" => Some(Event::RoundStart {
+                round: u("round")?,
+                planned: u("planned")?,
+            }),
+            "round_end" => Some(Event::RoundEnd {
+                round: u("round")?,
+                executed: u("executed")?,
+                condition: u("condition")?,
+                line: u("line")?,
+                fsm: u("fsm")?,
+                unique_signatures: u("unique_signatures")?,
+            }),
+            "case_executed" => Some(Event::CaseExecuted {
+                round: u("round")?,
+                case: u("case")?,
+                body_len: u("body_len")?,
+                gained_bits: u("gained_bits")?,
+                retired: u("retired")?,
+                mismatches: u("mismatches")?,
+                new_signature: match f("new_signature")? {
+                    JsonValue::Null => None,
+                    v => Some(u64::from_str_radix(v.as_str()?, 16).ok()?),
+                },
+            }),
+            "ppo_update" => Some(Event::PpoUpdate {
+                case: u("case")?,
+                episode: u("episode")?,
+                mean_ratio: x("mean_ratio")?,
+                approx_kl: x("approx_kl")?,
+                td_loss: x("td_loss")?,
+                reward_mean: x("reward_mean")?,
+            }),
+            "predictor_eval" => Some(Event::PredictorEval {
+                case: u("case")?,
+                accuracy: x("accuracy")?,
+                predicted_hits: u("predicted_hits")?,
+                realized_hits: u("realized_hits")?,
+            }),
+            "minimize_step" => Some(Event::MinimizeStep {
+                executions: u("executions")?,
+                from_len: u("from_len")?,
+                to_len: u("to_len")?,
+            }),
+            "pool_occupancy" => Some(Event::PoolOccupancy {
+                round: u("round")?,
+                threads: u("threads")?,
+                occupancy: x("occupancy")?,
+                exec_seconds: x("exec_seconds")?,
+                busy_seconds: x("busy_seconds")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+struct JsonWriter {
+    buf: String,
+}
+
+impl JsonWriter {
+    fn new(kind: &str) -> JsonWriter {
+        JsonWriter {
+            buf: format!("{{\"type\":\"{kind}\""),
+        }
+    }
+
+    fn num(&mut self, key: &str, value: u64) {
+        let _ = write!(self.buf, ",\"{key}\":{value}");
+    }
+
+    fn float(&mut self, key: &str, value: f64) {
+        // NaN/inf are not JSON; clamp to 0 (only ever timing artefacts).
+        let v = if value.is_finite() { value } else { 0.0 };
+        let _ = write!(self.buf, ",\"{key}\":{v}");
+    }
+
+    fn hex_opt(&mut self, key: &str, value: Option<u64>) {
+        match value {
+            Some(v) => {
+                let _ = write!(self.buf, ",\"{key}\":\"{v:016x}\"");
+            }
+            None => {
+                let _ = write!(self.buf, ",\"{key}\":null");
+            }
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed flat JSON value (the only shapes the event schema uses).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Numbers keep their raw token so 64-bit integers survive parsing.
+    Num(String),
+    Str(String),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a single-level JSON object with string/number/bool/null values
+/// (the full event schema; nested containers are not part of it).
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    if rest.is_empty() {
+        return Some(fields);
+    }
+    loop {
+        rest = rest.trim_start().strip_prefix('"')?;
+        let end = rest.find('"')?;
+        let key = rest[..end].to_owned();
+        rest = rest[end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let after = if let Some(r) = rest.strip_prefix('"') {
+            let end = r.find('"')?;
+            fields.push((key, JsonValue::Str(r[..end].to_owned())));
+            &r[end + 1..]
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let token = rest[..end].trim();
+            let value = match token {
+                "null" => JsonValue::Null,
+                "true" => JsonValue::Bool(true),
+                "false" => JsonValue::Bool(false),
+                _ => {
+                    // Validate it is number-shaped so garbage fails early.
+                    token.parse::<f64>().ok()?;
+                    JsonValue::Num(token.to_owned())
+                }
+            };
+            fields.push((key, value));
+            &rest[end..]
+        };
+        let after = after.trim_start();
+        if after.is_empty() {
+            return Some(fields);
+        }
+        rest = after.strip_prefix(',')?;
+    }
+}
+
+/// Receives telemetry events. Implementations must be cheap and
+/// thread-safe; the campaign emits from a single thread, but sinks may be
+/// shared across campaigns.
+pub trait EventSink: Send + Sync {
+    /// Records one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output (no-op for in-memory sinks).
+    fn flush(&self) {}
+}
+
+/// Discards every event — the default, so un-instrumented campaigns pay
+/// one branch per would-be emission.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory (tests, live
+/// dashboards).
+///
+/// # Examples
+///
+/// ```
+/// use hfl::obs::{Event, EventSink, RingSink};
+///
+/// let sink = RingSink::new(2);
+/// for round in 0..3 {
+///     sink.emit(&Event::RoundStart { round, planned: 1 });
+/// }
+/// let kept = sink.events();
+/// assert_eq!(kept.len(), 2);
+/// assert_eq!(kept[0], Event::RoundStart { round: 1, planned: 1 });
+/// ```
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Mutex<VecDeque<Event>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            buf: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("ring sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring sink lock").len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().expect("ring sink lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Streams events to a file as JSON Lines (see the module docs' schema).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the log file at `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-creation error.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().expect("jsonl sink lock");
+        // A full disk surfaces at flush(); per-event errors are ignored so
+        // telemetry can never abort a campaign.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink lock").flush();
+    }
+}
+
+/// Reads a JSONL event log back (blank lines skipped).
+///
+/// # Errors
+/// I/O errors are propagated; a line that fails to parse becomes
+/// [`io::ErrorKind::InvalidData`] naming the line number.
+pub fn read_jsonl<P: AsRef<Path>>(path: P) -> io::Result<Vec<Event>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json(line) {
+            Some(e) => events.push(e),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: not a valid event: {line}", i + 1),
+                ))
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// A cloneable, always-valid handle to an event sink.
+///
+/// Campaign components hold this instead of a bare `&dyn EventSink` so
+/// specs stay `Clone` and the disabled path costs exactly one branch:
+/// [`SinkHandle::null`] marks itself disabled and [`SinkHandle::emit`]
+/// short-circuits before any event is even constructed at instrumented
+/// call sites that check [`SinkHandle::enabled`] first.
+#[derive(Clone)]
+pub struct SinkHandle {
+    sink: Arc<dyn EventSink>,
+    enabled: bool,
+}
+
+impl SinkHandle {
+    /// A disabled handle around [`NullSink`].
+    #[must_use]
+    pub fn null() -> SinkHandle {
+        SinkHandle {
+            sink: Arc::new(NullSink),
+            enabled: false,
+        }
+    }
+
+    /// Wraps a live sink.
+    #[must_use]
+    pub fn new(sink: Arc<dyn EventSink>) -> SinkHandle {
+        SinkHandle {
+            sink,
+            enabled: true,
+        }
+    }
+
+    /// Whether events reach a real sink (hot paths skip event
+    /// construction entirely when this is false).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits one event (no-op when disabled).
+    pub fn emit(&self, event: &Event) {
+        if self.enabled {
+            self.sink.emit(event);
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if self.enabled {
+            self.sink.flush();
+        }
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::null()
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Upper bucket bounds (seconds) of duration histograms: nine log-decades
+/// from a microsecond to 1000 s, plus an overflow bucket.
+pub const DURATION_BUCKETS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+/// A streaming histogram: count/sum/min/max plus log-decade buckets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Counts per bucket; `buckets[i]` counts values `<=
+    /// DURATION_BUCKETS[i]`, the last entry is the overflow bucket.
+    pub buckets: [u64; DURATION_BUCKETS.len() + 1],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; DURATION_BUCKETS.len() + 1],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let bucket = DURATION_BUCKETS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(DURATION_BUCKETS.len());
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of monotonic counters and histograms, keyed by static
+/// names. Phase wall-clock lives here (never in deterministic events):
+/// the campaign runner observes `phase.generate.seconds`,
+/// `phase.execute.seconds`, `phase.difftest.seconds` and
+/// `phase.train.seconds` once per round.
+///
+/// # Examples
+///
+/// ```
+/// use hfl::obs::Metrics;
+///
+/// let mut metrics = Metrics::new();
+/// metrics.inc("campaign.cases", 4);
+/// metrics.observe("phase.execute.seconds", 0.002);
+/// let snap = metrics.snapshot();
+/// assert_eq!(snap.counter("campaign.cases"), 4);
+/// assert_eq!(snap.histogram("phase.execute.seconds").unwrap().count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `by` to the named monotonic counter.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Records a duration in seconds into the named histogram.
+    pub fn observe_duration(&mut self, name: &'static str, duration: Duration) {
+        self.observe(name, duration.as_secs_f64());
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen copy of a [`Metrics`] registry, carried on
+/// `CampaignResult::metrics`. Wall-clock values live here and are never
+/// part of a determinism comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named histogram, if it recorded anything.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// One row of the per-round table [`replay_rounds`] reconstructs from an
+/// event log — the Fig. 4 coverage curve plus throughput columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRow {
+    /// Round index.
+    pub round: u64,
+    /// Total cases executed through the end of this round.
+    pub cases: u64,
+    /// Cumulative condition-coverage points.
+    pub condition: u64,
+    /// Cumulative line-coverage points.
+    pub line: u64,
+    /// Cumulative FSM-coverage points.
+    pub fsm: u64,
+    /// Unique mismatch signatures so far.
+    pub unique_signatures: u64,
+    /// DUT instructions retired through the end of this round.
+    pub retired: u64,
+    /// Pool occupancy of this round's batch (0 when the log lacks
+    /// `pool_occupancy` events).
+    pub occupancy: f64,
+    /// Wall-clock seconds this round's batch spent executing.
+    pub exec_seconds: f64,
+}
+
+/// Replays an event log into a per-round coverage/throughput table.
+///
+/// Only `round_end`, `case_executed` and `pool_occupancy` events are
+/// consulted, so partially filtered logs still replay.
+#[must_use]
+pub fn replay_rounds(events: &[Event]) -> Vec<RoundRow> {
+    let mut rows: Vec<RoundRow> = Vec::new();
+    let mut retired_total = 0u64;
+    let mut occupancy: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    for event in events {
+        match event {
+            Event::CaseExecuted { retired, .. } => retired_total += retired,
+            Event::PoolOccupancy {
+                round,
+                occupancy: occ,
+                exec_seconds,
+                ..
+            } => {
+                let entry = occupancy.entry(*round).or_insert((0.0, 0.0));
+                entry.0 = *occ;
+                entry.1 += exec_seconds;
+            }
+            Event::RoundEnd {
+                round,
+                executed,
+                condition,
+                line,
+                fsm,
+                unique_signatures,
+            } => {
+                let (occ, exec) = occupancy.get(round).copied().unwrap_or((0.0, 0.0));
+                rows.push(RoundRow {
+                    round: *round,
+                    cases: *executed,
+                    condition: *condition,
+                    line: *line,
+                    fsm: *fsm,
+                    unique_signatures: *unique_signatures,
+                    retired: retired_total,
+                    occupancy: occ,
+                    exec_seconds: exec,
+                });
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RoundStart {
+                round: 0,
+                planned: 2,
+            },
+            Event::CaseExecuted {
+                round: 0,
+                case: 1,
+                body_len: 3,
+                gained_bits: 17,
+                retired: 3,
+                mismatches: 1,
+                new_signature: Some(0x0123_4567_89ab_cdef),
+            },
+            Event::CaseExecuted {
+                round: 0,
+                case: 2,
+                body_len: 4,
+                gained_bits: 0,
+                retired: 4,
+                mismatches: 0,
+                new_signature: None,
+            },
+            Event::PoolOccupancy {
+                round: 0,
+                threads: 2,
+                occupancy: 0.75,
+                exec_seconds: 0.5,
+                busy_seconds: 0.75,
+            },
+            Event::RoundEnd {
+                round: 0,
+                executed: 2,
+                condition: 12,
+                line: 30,
+                fsm: 4,
+                unique_signatures: 1,
+            },
+            Event::PpoUpdate {
+                case: 2,
+                episode: 1,
+                mean_ratio: 1.01,
+                approx_kl: 0.002,
+                td_loss: 0.25,
+                reward_mean: -0.125,
+            },
+            Event::PredictorEval {
+                case: 2,
+                accuracy: 0.9375,
+                predicted_hits: 12,
+                realized_hits: 14,
+            },
+            Event::MinimizeStep {
+                executions: 5,
+                from_len: 9,
+                to_len: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in sample_events() {
+            let line = event.to_json();
+            let parsed = Event::from_json(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(parsed, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn signatures_survive_with_full_64_bit_precision() {
+        let event = Event::CaseExecuted {
+            round: 0,
+            case: 1,
+            body_len: 1,
+            gained_bits: 0,
+            retired: 1,
+            mismatches: 1,
+            new_signature: Some(u64::MAX - 1),
+        };
+        let parsed = Event::from_json(&event.to_json()).unwrap();
+        assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"type":"unknown_event","round":1}"#,
+            r#"{"type":"round_start","round":1}"#, // missing field
+            r#"{"type":"round_start","round":oops,"planned":1}"#,
+        ] {
+            assert!(Event::from_json(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn only_pool_occupancy_is_timing() {
+        for event in sample_events() {
+            assert_eq!(
+                event.is_timing(),
+                matches!(event, Event::PoolOccupancy { .. })
+            );
+        }
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_events() {
+        let sink = RingSink::new(3);
+        assert!(sink.is_empty());
+        for round in 0..5 {
+            sink.emit(&Event::RoundStart { round, planned: 1 });
+        }
+        let events = sink.events();
+        assert_eq!(sink.len(), 3);
+        assert_eq!(
+            events,
+            (2..5)
+                .map(|round| Event::RoundStart { round, planned: 1 })
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_a_file() {
+        let path = std::env::temp_dir().join(format!(
+            "hfl-obs-test-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let events = sample_events();
+        {
+            let sink = JsonlSink::create(&path).expect("create log");
+            for e in &events {
+                sink.emit(e);
+            }
+            sink.flush();
+        }
+        let read = read_jsonl(&path).expect("parse log");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read, events);
+    }
+
+    #[test]
+    fn read_jsonl_flags_the_bad_line() {
+        let path =
+            std::env::temp_dir().join(format!("hfl-obs-badline-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            format!(
+                "{}\ngarbage\n",
+                Event::RoundStart {
+                    round: 0,
+                    planned: 1
+                }
+                .to_json()
+            ),
+        )
+        .unwrap();
+        let err = read_jsonl(&path).expect_err("must reject");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn null_handle_is_disabled_and_live_handles_deliver() {
+        let null = SinkHandle::null();
+        assert!(!null.enabled());
+        null.emit(&Event::RoundStart {
+            round: 0,
+            planned: 1,
+        }); // must not panic
+        let ring = Arc::new(RingSink::new(8));
+        let live = SinkHandle::new(ring.clone());
+        assert!(live.enabled());
+        live.emit(&Event::RoundStart {
+            round: 7,
+            planned: 1,
+        });
+        live.flush();
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn metrics_counters_and_histograms_accumulate() {
+        let mut metrics = Metrics::new();
+        metrics.inc("campaign.cases", 3);
+        metrics.inc("campaign.cases", 2);
+        metrics.observe("phase.execute.seconds", 0.5e-3);
+        metrics.observe("phase.execute.seconds", 2.0);
+        metrics.observe_duration("phase.execute.seconds", Duration::from_millis(10));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("campaign.cases"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        let h = snap.histogram("phase.execute.seconds").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 2.0105).abs() < 1e-9);
+        assert!((h.min - 0.5e-3).abs() < 1e-12);
+        assert!((h.max - 2.0).abs() < 1e-12);
+        assert!((h.mean() - h.sum / 3.0).abs() < 1e-12);
+        // 0.5 ms <= 1e-3, 10 ms <= 1e-2, 2.0 <= 10.0.
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[7], 1);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_catches_huge_values() {
+        let mut h = Histogram::default();
+        h.observe(1e6);
+        assert_eq!(h.buckets[DURATION_BUCKETS.len()], 1);
+        assert_eq!(h.mean(), 1e6);
+    }
+
+    #[test]
+    fn replay_reconstructs_the_round_table() {
+        let rows = replay_rounds(&sample_events());
+        assert_eq!(rows.len(), 1);
+        let row = rows[0];
+        assert_eq!(row.round, 0);
+        assert_eq!(row.cases, 2);
+        assert_eq!((row.condition, row.line, row.fsm), (12, 30, 4));
+        assert_eq!(row.unique_signatures, 1);
+        assert_eq!(row.retired, 7);
+        assert!((row.occupancy - 0.75).abs() < 1e-12);
+        assert!((row.exec_seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_tolerates_filtered_logs() {
+        let deterministic: Vec<Event> = sample_events()
+            .into_iter()
+            .filter(|e| !e.is_timing())
+            .collect();
+        let rows = replay_rounds(&deterministic);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].occupancy, 0.0);
+        assert_eq!(rows[0].cases, 2);
+    }
+}

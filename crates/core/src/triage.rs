@@ -10,6 +10,7 @@ use hfl_riscv::Instruction;
 
 use crate::difftest::Signature;
 use crate::harness::Executor;
+use crate::obs::{Event, SinkHandle};
 
 /// Outcome of a minimisation run.
 #[derive(Debug, Clone)]
@@ -23,13 +24,23 @@ pub struct Minimized {
 }
 
 impl Minimized {
-    /// Fraction of the original case removed.
+    /// Fraction of the original case removed: `1 − retained/original`.
+    ///
+    /// An empty body retains nothing whatever the original length, so an
+    /// empty-body reproducer reports 1.0 (fully reduced) — not 0.0, which
+    /// would make "already minimal" indistinguishable from "triage removed
+    /// nothing". A non-empty body paired with `original_len == 0` is an
+    /// inconsistent construction and reports 0.0 rather than a NaN or a
+    /// negative fraction; the result is always within `[0, 1]`.
     #[must_use]
     pub fn reduction(&self) -> f64 {
+        if self.body.is_empty() {
+            return 1.0;
+        }
         if self.original_len == 0 {
             return 0.0;
         }
-        1.0 - self.body.len() as f64 / self.original_len as f64
+        (1.0 - self.body.len() as f64 / self.original_len as f64).clamp(0.0, 1.0)
     }
 }
 
@@ -57,12 +68,26 @@ pub fn minimize(
     body: &[Instruction],
     signature: Signature,
 ) -> Option<Minimized> {
+    minimize_with_sink(executor, body, signature, &SinkHandle::null())
+}
+
+/// [`minimize`] with telemetry: every *accepted* reduction emits one
+/// [`Event::MinimizeStep`] carrying the executions spent so far and the
+/// body length before/after. The search itself is identical — the sink
+/// only observes.
+#[must_use]
+pub fn minimize_with_sink(
+    executor: &mut Executor,
+    body: &[Instruction],
+    signature: Signature,
+    sink: &SinkHandle,
+) -> Option<Minimized> {
     let mut executions = 0u64;
-    let mut check = |executor: &mut Executor, candidate: &[Instruction]| {
-        executions += 1;
+    let check = |executor: &mut Executor, candidate: &[Instruction], executions: &mut u64| {
+        *executions += 1;
         reproduces(executor, candidate, signature)
     };
-    if !check(executor, body) {
+    if !check(executor, body, &mut executions) {
         return None;
     }
     let original_len = body.len();
@@ -75,7 +100,14 @@ pub fn minimize(
             let mut candidate = Vec::with_capacity(current.len() - (end - start));
             candidate.extend_from_slice(&current[..start]);
             candidate.extend_from_slice(&current[end..]);
-            if !candidate.is_empty() && check(executor, &candidate) {
+            if !candidate.is_empty() && check(executor, &candidate, &mut executions) {
+                if sink.enabled() {
+                    sink.emit(&Event::MinimizeStep {
+                        executions,
+                        from_len: current.len() as u64,
+                        to_len: candidate.len() as u64,
+                    });
+                }
                 current = candidate; // keep the reduction, retry same start
             } else {
                 start = end;
@@ -133,6 +165,75 @@ mod tests {
         // The minimised case still reproduces.
         let replay = executor.run_case(&minimized.body);
         assert!(replay.mismatches.iter().any(|m| m.signature() == signature));
+    }
+
+    #[test]
+    fn reduction_is_well_defined_on_the_edge_cases() {
+        let mk = |body_len: usize, original_len: usize| Minimized {
+            body: vec![Instruction::NOP; body_len],
+            original_len,
+            executions: 0,
+        };
+        // An empty-body reproducer is fully reduced, not "0 % reduced".
+        assert_eq!(mk(0, 0).reduction(), 1.0);
+        assert_eq!(mk(0, 5).reduction(), 1.0);
+        // Inconsistent fields degrade to 0.0 instead of NaN/negative.
+        assert_eq!(mk(3, 0).reduction(), 0.0);
+        assert_eq!(mk(7, 3).reduction(), 0.0);
+        // The ordinary case is the plain fraction, always within [0, 1].
+        assert!((mk(1, 4).reduction() - 0.75).abs() < 1e-12);
+        assert_eq!(mk(4, 4).reduction(), 0.0);
+        for (b, o) in [(0usize, 0usize), (0, 9), (9, 0), (1, 1), (2, 8)] {
+            let r = mk(b, o).reduction();
+            assert!(r.is_finite() && (0.0..=1.0).contains(&r), "{b}/{o}: {r}");
+        }
+    }
+
+    #[test]
+    fn minimize_with_sink_logs_each_accepted_reduction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trigger = poc_for("K2");
+        let mut padded: Vec<Instruction> = Vec::new();
+        for _ in 0..6 {
+            let inst = random_instruction(&mut rng);
+            if inst.opcode.is_memory_access() || inst.opcode.is_control_flow() {
+                continue;
+            }
+            padded.push(inst);
+        }
+        padded.extend(trigger);
+
+        let mut executor = Executor::builder(CoreKind::Rocket).build();
+        let signature = executor.run_case(&padded).mismatches[0].signature();
+        let ring = std::sync::Arc::new(crate::obs::RingSink::new(1024));
+        let sink = crate::obs::SinkHandle::new(ring.clone());
+        let minimized =
+            minimize_with_sink(&mut executor, &padded, signature, &sink).expect("reproduces");
+        let steps = ring.events();
+        assert!(!steps.is_empty(), "padded case must shrink at least once");
+        let mut len = padded.len() as u64;
+        let mut last_execs = 0;
+        for event in &steps {
+            let crate::obs::Event::MinimizeStep {
+                executions,
+                from_len,
+                to_len,
+            } = event
+            else {
+                panic!("unexpected event {event:?}");
+            };
+            assert_eq!(*from_len, len, "steps chain");
+            assert!(*to_len < *from_len, "every logged step is a reduction");
+            assert!(*executions > last_execs, "executions grow monotonically");
+            last_execs = *executions;
+            len = *to_len;
+        }
+        assert_eq!(len, minimized.body.len() as u64);
+        // The sink only observes: the result matches a silent run.
+        let mut executor2 = Executor::builder(CoreKind::Rocket).build();
+        let silent = minimize(&mut executor2, &padded, signature).expect("reproduces");
+        assert_eq!(silent.body, minimized.body);
+        assert_eq!(silent.executions, minimized.executions);
     }
 
     #[test]

@@ -17,5 +17,5 @@
 pub mod ppo;
 pub mod reward;
 
-pub use ppo::{advantage, ppo_logit_grad, value_loss, PpoConfig};
+pub use ppo::{advantage, approx_kl, ppo_logit_grad, value_loss, PpoConfig};
 pub use reward::{RewardConfig, RewardNormalizer};

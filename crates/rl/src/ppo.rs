@@ -48,6 +48,22 @@ pub fn value_loss(v_current: f32, reward: f32, v_next: f32, gamma: f32) -> (f32,
     (err * err, 2.0 * err)
 }
 
+/// The low-variance KL(π_old ‖ π) estimator `r − 1 − ln r` for one
+/// probability ratio `r = π(a)/π_old(a)`.
+///
+/// Summed over an update's head ratios it tracks how far the tuned policy
+/// drifted from the sampling policy — the telemetry companion to PPO's
+/// clipping: clipping *bounds* the drift, this estimator *reports* it.
+/// Non-negative for every `r > 0` (zero exactly at `r = 1`); non-positive
+/// ratios (numerically impossible from `exp`) clamp to 0.
+#[must_use]
+pub fn approx_kl(ratio: f32) -> f32 {
+    if ratio <= 0.0 {
+        return 0.0;
+    }
+    (ratio - 1.0 - ratio.ln()).max(0.0)
+}
+
 /// Eq. (4): gradient of the *negated* clipped surrogate objective with
 /// respect to the policy logits for one categorical head.
 ///
@@ -162,6 +178,21 @@ mod tests {
         let (ratio, dlogits) = ppo_logit_grad(&logits, 0, old_lp, -1.0, 0.2);
         assert!(ratio < 0.8);
         assert!(dlogits.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn approx_kl_estimator_properties() {
+        // Zero at r = 1, positive elsewhere, symmetric in sign of drift.
+        assert_eq!(approx_kl(1.0), 0.0);
+        assert!(approx_kl(1.2) > 0.0);
+        assert!(approx_kl(0.8) > 0.0);
+        // Second-order accurate near 1: r−1−ln r ≈ (r−1)²/2.
+        let d = 1e-2f32;
+        assert!((approx_kl(1.0 + d) - d * d / 2.0).abs() < 1e-6);
+        // Degenerate inputs clamp instead of returning NaN/−inf.
+        assert_eq!(approx_kl(0.0), 0.0);
+        assert_eq!(approx_kl(-3.0), 0.0);
+        assert!(approx_kl(f32::MAX).is_finite());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Correctness-oracle hardening: the signature extractor's dedup and
+//! collision behaviour, triage's signature preservation and idempotence,
+//! and a clean-configuration DUT↔GRM lockstep property — with no injected
+//! defects the two sides must agree on every random program, on every
+//! core.
+
+use hfl::baselines::random_instruction;
+use hfl::difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
+use hfl::harness::Executor;
+use hfl::poc::poc_for;
+use hfl::triage::minimize;
+use hfl_dut::CoreKind;
+use hfl_riscv::{Instruction, Opcode, Reg};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mismatch(kind: MismatchKind, opcode: Option<Opcode>, pc: u64, detail: &str) -> Mismatch {
+    Mismatch {
+        kind,
+        pc,
+        word: 0x13,
+        opcode,
+        detail: detail.to_owned(),
+    }
+}
+
+#[test]
+fn signatures_are_register_and_location_independent() {
+    // §V-B: the same bug triggered through different registers, pcs or
+    // concrete values must dedup to one signature.
+    let a = mismatch(
+        MismatchKind::RegWrite,
+        Some(Opcode::Add),
+        0x8000_0000,
+        "x5 = 3 vs 4",
+    );
+    let b = mismatch(
+        MismatchKind::RegWrite,
+        Some(Opcode::Add),
+        0x8000_0040,
+        "x17 = 9 vs 0",
+    );
+    assert_eq!(a.signature(), b.signature());
+
+    let mut set = SignatureSet::new();
+    assert!(set.insert(&a), "first sighting is new");
+    assert!(!set.insert(&b), "same signature dedups");
+    assert_eq!(set.unique(), 1);
+    assert_eq!(set.total_mismatches, 2);
+    assert!(set.contains(a.signature()));
+    assert!(!set.contains(Signature(!a.signature().0)));
+}
+
+#[test]
+fn signatures_separate_what_must_not_collide() {
+    let base = mismatch(MismatchKind::RegWrite, Some(Opcode::Add), 0, "");
+    // A different opcode is a different bug report.
+    let other_op = mismatch(MismatchKind::RegWrite, Some(Opcode::Sub), 0, "");
+    assert_ne!(base.signature(), other_op.signature());
+    // A different mismatch class is a different bug report.
+    let other_kind = mismatch(MismatchKind::MemOp, Some(Opcode::Add), 0, "");
+    assert_ne!(base.signature(), other_kind.signature());
+    // Trap causes are part of the class: cause 2 vs cause 5 differ, and
+    // which *side* trapped differs too.
+    let trap = |grm, dut| {
+        mismatch(
+            MismatchKind::Trap {
+                grm_cause: grm,
+                dut_cause: dut,
+            },
+            Some(Opcode::Ld),
+            0,
+            "",
+        )
+    };
+    assert_ne!(
+        trap(Some(2), None).signature(),
+        trap(Some(5), None).signature()
+    );
+    assert_ne!(
+        trap(Some(2), None).signature(),
+        trap(None, Some(2)).signature()
+    );
+    // Final-state fields distinguish x/f/fcsr reports.
+    let fs = |field| mismatch(MismatchKind::FinalState { field }, None, 0, "");
+    assert_ne!(fs("x").signature(), fs("fcsr").signature());
+    // An undecodable word (no opcode) still has a stable signature.
+    let raw = mismatch(MismatchKind::Crash, None, 0, "");
+    assert_eq!(raw.signature(), raw.signature());
+
+    let mut set = SignatureSet::new();
+    for m in [&base, &other_op, &other_kind] {
+        assert!(set.insert(m));
+    }
+    assert_eq!(set.unique(), 3);
+}
+
+#[test]
+fn minimisation_preserves_the_signature_and_is_idempotent() {
+    // Pad the K2 PoC with benign noise, minimise, and check that (a) the
+    // minimised case still reproduces the *original* signature and (b)
+    // minimising the already-minimal case is a fixed point.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut padded: Vec<Instruction> = Vec::new();
+    for _ in 0..8 {
+        let inst = random_instruction(&mut rng);
+        if inst.opcode.is_memory_access() || inst.opcode.is_control_flow() {
+            continue;
+        }
+        padded.push(inst);
+    }
+    padded.extend(poc_for("K2"));
+
+    let mut executor = Executor::builder(CoreKind::Rocket).build();
+    let signature = executor.run_case(&padded).mismatches[0].signature();
+
+    let first = minimize(&mut executor, &padded, signature).expect("padded case reproduces");
+    let replay = executor.run_case(&first.body);
+    assert!(
+        replay.mismatches.iter().any(|m| m.signature() == signature),
+        "minimisation lost the original signature"
+    );
+
+    let second = minimize(&mut executor, &first.body, signature).expect("minimal reproduces");
+    assert_eq!(
+        second.body, first.body,
+        "minimisation must be idempotent on its own output"
+    );
+    assert_eq!(second.original_len, first.body.len());
+    assert_eq!(second.reduction(), 0.0, "nothing left to remove");
+}
+
+/// Straight-line random body: memory/control flow excluded so the program
+/// terminates fast; the remaining ALU/CSR mix still exercises decode,
+/// writeback and the trace comparator on every instruction.
+fn straight_line_body(seed: u64, len: usize) -> Vec<Instruction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = Vec::with_capacity(len);
+    while body.len() < len {
+        let inst = random_instruction(&mut rng);
+        if inst.opcode.is_control_flow() {
+            continue;
+        }
+        body.push(inst);
+    }
+    body
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With an empty defect configuration the DUT *is* the GRM: random
+    /// programs must produce zero mismatches on all three cores.
+    #[test]
+    fn clean_config_runs_in_lockstep_on_every_core(seed in any::<u64>(), len in 4usize..24) {
+        let body = straight_line_body(seed, len);
+        for core in [CoreKind::Rocket, CoreKind::Boom, CoreKind::Cva6] {
+            let mut executor = Executor::builder(core)
+                .quirks(hfl_grm::cpu::Quirks::default())
+                .build();
+            let result = executor.run_case(&body);
+            prop_assert!(
+                result.mismatches.is_empty(),
+                "{core:?}: clean DUT diverged: {:?}",
+                result.mismatches
+            );
+            // And the lockstep really did execute the program.
+            prop_assert_eq!(result.grm_arch, result.dut.arch.clone());
+        }
+    }
+
+    /// The same program on the same clean core is bit-stable across
+    /// executors (no hidden state leaks between runs).
+    #[test]
+    fn clean_config_is_reproducible(seed in any::<u64>()) {
+        let body = straight_line_body(seed, 8);
+        let run = || {
+            let mut executor = Executor::builder(CoreKind::Rocket)
+                .quirks(hfl_grm::cpu::Quirks::default())
+                .build();
+            let r = executor.run_case(&body);
+            (r.dut.arch.clone(), r.dut.coverage.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn clean_config_agrees_even_on_traps() {
+    // A deliberate misaligned load traps on both sides identically — the
+    // oracle must treat agreeing traps as agreement, not as a mismatch.
+    let body = vec![
+        Instruction::i(Opcode::Addi, Reg::X5, Reg::X0, 3),
+        Instruction::i(Opcode::Ld, Reg::X6, Reg::X5, 0),
+    ];
+    for core in [CoreKind::Rocket, CoreKind::Boom, CoreKind::Cva6] {
+        let mut executor = Executor::builder(core)
+            .quirks(hfl_grm::cpu::Quirks::default())
+            .build();
+        let result = executor.run_case(&body);
+        assert!(
+            result.mismatches.is_empty(),
+            "{core:?}: {:?}",
+            result.mismatches
+        );
+        assert!(
+            result.grm_trace.iter().any(|e| e.trap.is_some()),
+            "{core:?}: expected the load to trap"
+        );
+    }
+}
