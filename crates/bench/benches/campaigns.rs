@@ -32,20 +32,22 @@ fn bench_fig4_panels(c: &mut Criterion) {
         max_steps: 20_000,
         batch: 1,
     };
-    let spec = CampaignSpec::new(CoreKind::Rocket, campaign);
+    let spec = CampaignSpec::builder(CoreKind::Rocket, campaign)
+        .build()
+        .expect("valid campaign spec");
     c.bench_function("experiment/fig4_hfl_rocket_small", |b| {
         b.iter(|| {
             let mut cfg = HflConfig::small().with_seed(1);
             cfg.generator.hidden = 16;
             cfg.predictor.hidden = 16;
             let mut hfl = HflFuzzer::new(cfg);
-            black_box(run_campaign(&mut hfl, &spec));
+            black_box(run_campaign(&mut hfl, &spec).expect("campaign runs"));
         });
     });
     c.bench_function("experiment/fig4_cascade_rocket_small", |b| {
         b.iter(|| {
             let mut cascade = CascadeFuzzer::new(1, 60);
-            black_box(run_campaign(&mut cascade, &spec));
+            black_box(run_campaign(&mut cascade, &spec).expect("campaign runs"));
         });
     });
 }

@@ -81,8 +81,10 @@ pub fn run_ablation(cfg: &AblationConfig) -> Vec<AblationRow> {
                 hfl_cfg.predictor.hidden = hidden;
                 configure(&mut hfl_cfg);
                 let mut hfl = HflFuzzer::new(hfl_cfg);
-                let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(cases));
-                let result = run_campaign(&mut hfl, &spec);
+                let spec = CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(cases))
+                    .build()
+                    .expect("valid campaign spec");
+                let result = run_campaign(&mut hfl, &spec).expect("campaign runs");
                 (hfl.stats().resets, result)
             }));
         }

@@ -45,12 +45,17 @@ fn main() {
         .iter()
         .filter(|e| matches!(e, Event::PredictorEval { .. }))
         .count();
+    let aborted = events
+        .iter()
+        .filter(|e| matches!(e, Event::CaseAborted { .. }))
+        .count();
     println!(
-        "{path}: {} events, {} rounds, {} ppo updates, {} predictor evals",
+        "{path}: {} events, {} rounds, {} ppo updates, {} predictor evals, {} aborted cases",
         events.len(),
         rows.len(),
         ppo_updates,
-        predictor_evals
+        predictor_evals,
+        aborted
     );
     println!("{:-<86}", "");
     println!(

@@ -20,17 +20,19 @@ fn main() {
         Some("cva6") => CoreKind::Cva6,
         _ => CoreKind::Rocket,
     };
-    let spec = CampaignSpec::new(core, CampaignConfig::quick(cases));
+    let spec = CampaignSpec::builder(core, CampaignConfig::quick(cases))
+        .build()
+        .expect("valid campaign spec");
 
     let mut hfl_cfg = HflConfig::small().with_seed(7);
     hfl_cfg.generator.lr = 1e-3;
     hfl_cfg.predictor.lr = 1e-3;
     hfl_cfg.test_len = 32;
     let mut hfl = HflFuzzer::new(hfl_cfg);
-    let hfl_result = run_campaign(&mut hfl, &spec);
+    let hfl_result = run_campaign(&mut hfl, &spec).expect("campaign runs");
 
     let mut cascade = CascadeFuzzer::new(7, 120);
-    let cascade_result = run_campaign(&mut cascade, &spec);
+    let cascade_result = run_campaign(&mut cascade, &spec).expect("campaign runs");
 
     let dut = Dut::new(core);
     let map = dut.coverage_map();

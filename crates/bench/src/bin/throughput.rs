@@ -64,8 +64,11 @@ fn main() {
     let mut threads = 1usize;
     while threads <= max_threads {
         let mut fuzzer = make_fuzzer(&fuzzer_name);
-        let spec = CampaignSpec::new(CoreKind::Rocket, config).with_threads(threads);
-        let result = run_campaign(fuzzer.as_mut(), &spec);
+        let spec = CampaignSpec::builder(CoreKind::Rocket, config)
+            .threads(threads)
+            .build()
+            .expect("valid campaign spec");
+        let result = run_campaign(fuzzer.as_mut(), &spec).expect("campaign runs");
         let t = result.throughput;
         if let Some(reference) = &reference {
             assert_eq!(

@@ -63,7 +63,7 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
     let mut hfl = HflFuzzer::new(hfl_cfg);
     let hfl_result = run_campaign(
         &mut hfl,
-        &CampaignSpec::new(
+        &CampaignSpec::builder(
             core,
             CampaignConfig {
                 cases: cfg.hfl_cases,
@@ -72,8 +72,11 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
                 batch: 1,
             },
         )
-        .with_threads(cfg.threads),
-    );
+        .threads(cfg.threads)
+        .build()
+        .expect("valid campaign spec"),
+    )
+    .expect("campaign runs");
 
     let campaign = CampaignConfig {
         cases: cfg.baseline_cases,
@@ -92,8 +95,12 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
         .map(|fuzzer| {
             let result = run_campaign(
                 fuzzer.as_mut(),
-                &CampaignSpec::new(core, campaign).with_threads(cfg.threads),
-            );
+                &CampaignSpec::builder(core, campaign)
+                    .threads(cfg.threads)
+                    .build()
+                    .expect("valid campaign spec"),
+            )
+            .expect("campaign runs");
             let final_condition = result.final_counts().0;
             let hfl_cases_to_match = hfl_result.cases_to_reach_condition(final_condition);
             EfficiencyRow {

@@ -80,7 +80,14 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
             hfl_cfg.predictor.lr = cfg.lr;
             hfl_cfg.test_len = cfg.test_len;
             let mut hfl = HflFuzzer::new(hfl_cfg);
-            run_campaign(&mut hfl, &CampaignSpec::new(core, c).with_threads(threads))
+            run_campaign(
+                &mut hfl,
+                &CampaignSpec::builder(core, c)
+                    .threads(threads)
+                    .build()
+                    .expect("valid campaign spec"),
+            )
+            .expect("campaign runs")
         }));
         let seed = cfg.seed;
         let cascade_len = cfg.cascade_len;
@@ -88,8 +95,12 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
             let mut cascade = CascadeFuzzer::new(seed, cascade_len);
             run_campaign(
                 &mut cascade,
-                &CampaignSpec::new(core, c).with_threads(threads),
+                &CampaignSpec::builder(core, c)
+                    .threads(threads)
+                    .build()
+                    .expect("valid campaign spec"),
             )
+            .expect("campaign runs")
         }));
     }
     crate::parallel::run_parallel(jobs)

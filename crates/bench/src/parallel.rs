@@ -54,16 +54,22 @@ mod tests {
                 let mut fuzzer = DifuzzRtlFuzzer::new(seed, 10);
                 run_campaign(
                     &mut fuzzer,
-                    &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(15)),
+                    &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(15))
+                        .build()
+                        .expect("valid campaign spec"),
                 )
+                .expect("campaign runs")
             }
         };
         let parallel = run_parallel(vec![job(1), job(2)]);
         let mut fuzzer = DifuzzRtlFuzzer::new(1, 10);
         let sequential = run_campaign(
             &mut fuzzer,
-            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(15)),
-        );
+            &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(15))
+                .build()
+                .expect("valid campaign spec"),
+        )
+        .expect("campaign runs");
         assert_eq!(parallel[0].curve, sequential.curve);
         assert_eq!(parallel.len(), 2);
         let (c, l, f) = mean_final_counts(&parallel);

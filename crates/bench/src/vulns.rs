@@ -71,7 +71,7 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
             hfl_cfg.generator.hidden = cfg.hidden;
             hfl_cfg.predictor.hidden = cfg.hidden;
             let mut hfl = HflFuzzer::new(hfl_cfg);
-            let spec = CampaignSpec::new(
+            let spec = CampaignSpec::builder(
                 core,
                 CampaignConfig {
                     cases: cfg.fuzz_cases,
@@ -80,8 +80,10 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
                     batch: 1,
                 },
             )
-            .with_quirks(quirks);
-            let campaign = run_campaign(&mut hfl, &spec);
+            .quirks(quirks)
+            .build()
+            .expect("valid campaign spec");
+            let campaign = run_campaign(&mut hfl, &spec).expect("campaign runs");
             let fuzz_cases_to_detect = campaign.first_detection.iter().map(|(_, case)| *case).min();
 
             VulnRow {

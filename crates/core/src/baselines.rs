@@ -6,12 +6,19 @@
 //! long-program construction, and binary-level RL respectively — which is
 //! what determines the saturation behaviour Fig. 4 and §VI compare.
 
+use std::io::{Read, Write};
+
 use hfl_nn::ops::{sample_categorical, softmax};
+use hfl_nn::persist::{
+    read_f32, read_f32_array, read_u32, read_usize, write_f32, write_f32_array, write_u32,
+    write_usize, PersistError,
+};
 use hfl_riscv::{Instruction, Opcode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::correction::{correct, HeadOutputs};
+use crate::persist::{read_program, read_rng, write_program, write_rng};
 use crate::tokens::head_sizes;
 
 /// A generated test-case body: assembly-level or raw words.
@@ -100,6 +107,36 @@ pub trait Fuzzer {
     /// The campaign runner calls this once before the first round. The
     /// default ignores the sink — only learning fuzzers emit anything.
     fn attach_sink(&mut self, _sink: crate::obs::SinkHandle) {}
+
+    /// Serialises the fuzzer's complete state (RNG position, corpus,
+    /// learned parameters) so a resumed campaign continues bit-identically.
+    ///
+    /// Only valid at a round boundary: every emitted case must already
+    /// have received its feedback. The default reports
+    /// [`PersistError::Unsupported`].
+    ///
+    /// # Errors
+    /// [`PersistError::Unsupported`] when the fuzzer cannot checkpoint or
+    /// is mid-round; otherwise I/O errors from the writer.
+    fn save_state(&self, w: &mut dyn Write) -> Result<(), PersistError> {
+        let _ = w;
+        Err(PersistError::Unsupported(
+            "fuzzer has no checkpoint support",
+        ))
+    }
+
+    /// Restores state written by [`Fuzzer::save_state`] into a fuzzer of
+    /// the same type (construction configuration is overwritten).
+    ///
+    /// # Errors
+    /// [`PersistError::Unsupported`] when the fuzzer cannot checkpoint;
+    /// a precise [`PersistError`] on malformed input.
+    fn load_state(&mut self, r: &mut dyn Read) -> Result<(), PersistError> {
+        let _ = r;
+        Err(PersistError::Unsupported(
+            "fuzzer has no checkpoint support",
+        ))
+    }
 }
 
 /// Draws one uniformly random (but valid) instruction by sampling raw head
@@ -194,6 +231,28 @@ impl Fuzzer for DifuzzRtlFuzzer {
             }
         }
     }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        let w = &mut w;
+        write_rng(w, &self.rng)?;
+        write_usize(w, self.case_len)?;
+        write_usize(w, self.max_corpus)?;
+        write_usize(w, self.corpus.len())?;
+        for body in &self.corpus {
+            write_program(w, body)?;
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        let r = &mut r;
+        self.rng = read_rng(r)?;
+        self.case_len = read_usize(r, 1 << 20, "case length")?;
+        self.max_corpus = read_usize(r, 1 << 20, "corpus capacity")?;
+        let n = read_usize(r, 1 << 16, "corpus size")?;
+        self.corpus = (0..n).map(|_| read_program(r)).collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 /// **TheHuzz-like**: binary-level mutation of encoded seeds with
@@ -261,6 +320,40 @@ impl Fuzzer for TheHuzzFuzzer {
             }
         }
     }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        let w = &mut w;
+        write_rng(w, &self.rng)?;
+        write_usize(w, self.case_len)?;
+        write_usize(w, self.max_corpus)?;
+        write_usize(w, self.corpus.len())?;
+        for words in &self.corpus {
+            write_usize(w, words.len())?;
+            for word in words {
+                write_u32(w, *word)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        let r = &mut r;
+        self.rng = read_rng(r)?;
+        self.case_len = read_usize(r, 1 << 20, "case length")?;
+        self.max_corpus = read_usize(r, 1 << 20, "corpus capacity")?;
+        let n = read_usize(r, 1 << 16, "corpus size")?;
+        let mut corpus = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = read_usize(r, 1 << 20, "seed length")?;
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                words.push(read_u32(r)?);
+            }
+            corpus.push(words);
+        }
+        self.corpus = corpus;
+        Ok(())
+    }
 }
 
 /// **Cascade-like**: long, fully-valid programs with flattened control
@@ -322,6 +415,19 @@ impl Fuzzer for CascadeFuzzer {
 
     fn feedback(&mut self, _body: &TestBody, _feedback: Feedback) {
         // Cascade is feedback-free by design.
+    }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        let w = &mut w;
+        write_rng(w, &self.rng)?;
+        write_usize(w, self.program_len)
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        let r = &mut r;
+        self.rng = read_rng(r)?;
+        self.program_len = read_usize(r, 1 << 20, "program length")?;
+        Ok(())
     }
 }
 
@@ -398,6 +504,37 @@ impl Fuzzer for ChatFuzzFuzzer {
                 }
             }
         }
+    }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        let w = &mut w;
+        if !self.pending_choices.is_empty() {
+            return Err(PersistError::Unsupported(
+                "ChatFuzz checkpoint requires a round boundary",
+            ));
+        }
+        write_rng(w, &self.rng)?;
+        write_usize(w, self.case_len)?;
+        write_f32(w, self.baseline)?;
+        write_f32(w, self.lr)?;
+        for table in &self.prefs {
+            write_f32_array(w, table)?;
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        let r = &mut r;
+        self.rng = read_rng(r)?;
+        self.case_len = read_usize(r, 1 << 20, "case length")?;
+        self.baseline = read_f32(r)?;
+        self.lr = read_f32(r)?;
+        for table in &mut self.prefs {
+            let values = read_f32_array(r, 256)?;
+            table.copy_from_slice(&values);
+        }
+        self.pending_choices.clear();
+        Ok(())
     }
 }
 
@@ -514,6 +651,35 @@ mod tests {
         let round = rounds.next_round(6);
         let expect: Vec<TestBody> = (0..6).map(|_| singles.next_case()).collect();
         assert_eq!(round, expect);
+    }
+
+    #[test]
+    fn every_baseline_resumes_bit_identically() {
+        fn round_trip<F: Fuzzer>(mut live: F, mut resumed: F) {
+            drive(&mut live, 8);
+            let mut blob = Vec::new();
+            live.save_state(&mut (&mut blob as &mut dyn Write)).unwrap();
+            let mut cursor: &[u8] = &blob;
+            resumed.load_state(&mut cursor).unwrap();
+            for _ in 0..5 {
+                assert_eq!(live.next_case(), resumed.next_case());
+            }
+        }
+        round_trip(DifuzzRtlFuzzer::new(7, 16), DifuzzRtlFuzzer::new(99, 4));
+        round_trip(TheHuzzFuzzer::new(7, 16), TheHuzzFuzzer::new(99, 4));
+        round_trip(CascadeFuzzer::new(7, 40), CascadeFuzzer::new(99, 4));
+        round_trip(ChatFuzzFuzzer::new(7, 16), ChatFuzzFuzzer::new(99, 4));
+    }
+
+    #[test]
+    fn chatfuzz_rejects_mid_round_checkpoints() {
+        let mut f = ChatFuzzFuzzer::new(5, 8);
+        let _ = f.next_case(); // leaves an un-fed pending case
+        let mut blob = Vec::new();
+        assert!(matches!(
+            f.save_state(&mut (&mut blob as &mut dyn Write)),
+            Err(PersistError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -16,17 +16,49 @@
 //! `threads = 8` is bit-identical to `threads = 1`. With `batch = 1` the
 //! round loop degenerates to the classic generate → run → feedback
 //! sequential loop.
+//!
+//! # Crash safety
+//!
+//! Campaigns are validated up front ([`CampaignSpec::builder`] returns
+//! `Result`), checkpointed, and fault tolerant:
+//!
+//! - With a [`CheckpointPolicy`], the runner writes a versioned,
+//!   checksummed snapshot of the **entire** campaign state — progress
+//!   counters, coverage, signatures, curve, corpora, metrics and the
+//!   fuzzer's own state (RNG streams, LSTM weights, optimiser moments) —
+//!   atomically every `every_rounds` rounds and at the end of the run.
+//!   Checkpoints are taken only at round boundaries, where every fuzzer's
+//!   pending queues are empty; resuming via
+//!   [`CampaignSpecBuilder::resume_from`] therefore reproduces the
+//!   uninterrupted run bit for bit (non-timing event stream and final
+//!   coverage curve) at any thread count.
+//! - Cases execute through `ExecPool::run_batch_contained`: a panicking
+//!   worker is quarantined and replaced, a runaway case is cut off by the
+//!   [`FaultPolicy`] fuel watchdog, and either costs the campaign at most
+//!   the policy's bounded retries for that one case. Abandoned cases are
+//!   reported as [`Event::CaseAborted`] and their bodies preserved in
+//!   [`CampaignResult::quarantined`] as proofs of concept.
 
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hfl_dut::{CoreKind, CoverageKind, CoverageSnapshot};
+use hfl_nn::persist::{
+    corrupt, read_f64, read_string, read_u32, read_u64, read_u64_vec, read_usize, write_f64,
+    write_string, write_u32, write_u64, write_u64_vec, write_usize, Codec, SnapshotReader,
+    SnapshotWriter,
+};
+use hfl_nn::PersistError;
 
 use crate::baselines::{Feedback, Fuzzer, TestBody};
 use crate::corpus::Corpus;
 use crate::difftest::{Signature, SignatureSet};
-use crate::exec::{ExecPool, Throughput};
+use crate::exec::{CaseOutcome, ExecPool, FaultPlan, FaultPolicy, Throughput};
 use crate::harness::Executor;
-use crate::obs::{Event, Metrics, MetricsSnapshot, SinkHandle};
+use crate::obs::{Event, Histogram, Metrics, MetricsSnapshot, SinkHandle, DURATION_BUCKETS};
 
 /// Budget and sampling parameters of one campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,8 +100,136 @@ impl CampaignConfig {
     }
 }
 
+/// A [`CampaignSpecBuilder`] rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// `cases` was zero: the campaign would do nothing.
+    ZeroCases,
+    /// `sample_every` was zero: the curve sampler would divide by zero.
+    ZeroSampleEvery,
+    /// `max_steps` was zero: no test could retire an instruction.
+    ZeroMaxSteps,
+    /// `batch` was zero: rounds would never make progress.
+    ZeroBatch,
+    /// `threads` was zero: the pool needs at least one worker.
+    ZeroThreads,
+    /// A checkpoint policy asked for an interval of zero rounds.
+    ZeroCheckpointInterval,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroCases => write!(f, "campaign case budget must be nonzero"),
+            SpecError::ZeroSampleEvery => write!(f, "curve sampling interval must be nonzero"),
+            SpecError::ZeroMaxSteps => write!(f, "per-case step budget must be nonzero"),
+            SpecError::ZeroBatch => write!(f, "round batch size must be nonzero"),
+            SpecError::ZeroThreads => write!(f, "the pool needs at least one worker thread"),
+            SpecError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint interval must be at least one round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// When and where the campaign writes its snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    dir: PathBuf,
+    every_rounds: u64,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints into `dir` every `every_rounds` rounds (validated by
+    /// [`CampaignSpecBuilder::build`]); a final snapshot is always
+    /// written when the campaign finishes or is stopped.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>, every_rounds: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every_rounds,
+        }
+    }
+
+    /// The snapshot directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Rounds between snapshots.
+    #[must_use]
+    pub fn every_rounds(&self) -> u64 {
+        self.every_rounds
+    }
+
+    /// Path of the campaign snapshot inside [`CheckpointPolicy::dir`].
+    /// Snapshots are written atomically (temp file + rename), so this
+    /// file is always the latest complete checkpoint; a stray
+    /// `campaign.ckpt.tmp` from a crash mid-write is ignored.
+    #[must_use]
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("campaign.ckpt")
+    }
+
+    /// Path of the human-readable quarantine corpus (bodies of poisoned
+    /// cases, written alongside each snapshot once any exist).
+    #[must_use]
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.dir.join("quarantine.corpus")
+    }
+
+    /// The latest complete snapshot under `dir`, if one exists (`.tmp`
+    /// leftovers from an interrupted write are never returned).
+    #[must_use]
+    pub fn latest_snapshot(dir: &Path) -> Option<PathBuf> {
+        let path = dir.join("campaign.ckpt");
+        path.is_file().then_some(path)
+    }
+}
+
+/// A campaign run failed outside the fuzzing loop itself: its checkpoint
+/// could not be written or read back.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Snapshot serialisation/deserialisation failed (I/O errors while
+    /// writing or corrupt/mismatched data while resuming).
+    Persist(PersistError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Persist(e) => write!(f, "campaign checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<PersistError> for CampaignError {
+    fn from(e: PersistError) -> Self {
+        CampaignError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Persist(PersistError::Io(e))
+    }
+}
+
 /// Everything that defines one campaign run: the core, the budget and the
-/// execution environment.
+/// execution environment. Built (and validated) by
+/// [`CampaignSpec::builder`].
 ///
 /// # Examples
 ///
@@ -77,62 +237,226 @@ impl CampaignConfig {
 /// use hfl::campaign::{CampaignConfig, CampaignSpec};
 /// use hfl_dut::CoreKind;
 ///
-/// let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(100))
-///     .with_threads(4);
-/// assert_eq!(spec.threads, 4);
+/// let spec = CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(100))
+///     .threads(4)
+///     .build()
+///     .expect("a valid spec");
+/// assert_eq!(spec.threads(), 4);
 /// ```
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
-    /// The core fuzzed.
-    pub core: CoreKind,
-    /// Budget and sampling parameters.
-    pub config: CampaignConfig,
-    /// Explicit defect configuration for the DUT; `None` uses the core's
-    /// full catalogue (per-bug detection experiments set this).
-    pub quirks: Option<hfl_grm::cpu::Quirks>,
-    /// Worker threads in the execution pool (clamped to at least 1). Does
-    /// not affect results, only wall-clock time.
-    pub threads: usize,
-    /// Telemetry sink for campaign events (default: disabled null sink —
-    /// the hot path then costs a single branch per would-be event). Events
-    /// are keyed by round/case indices, never wall clock, so enabling a
-    /// sink changes neither the results nor the non-timing event stream at
-    /// any thread count.
-    pub sink: SinkHandle,
+    core: CoreKind,
+    config: CampaignConfig,
+    quirks: Option<hfl_grm::cpu::Quirks>,
+    threads: usize,
+    sink: SinkHandle,
+    checkpoint: Option<CheckpointPolicy>,
+    resume_from: Option<PathBuf>,
+    fault_policy: FaultPolicy,
+    fault_plan: Option<Arc<FaultPlan>>,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl CampaignSpec {
-    /// A single-threaded spec with the core's full defect catalogue.
+    /// Starts building a spec for one core and budget. The builder
+    /// validates everything at [`CampaignSpecBuilder::build`].
     #[must_use]
-    pub fn new(core: CoreKind, config: CampaignConfig) -> CampaignSpec {
-        CampaignSpec {
+    pub fn builder(core: CoreKind, config: CampaignConfig) -> CampaignSpecBuilder {
+        CampaignSpecBuilder {
             core,
             config,
             quirks: None,
             threads: 1,
             sink: SinkHandle::null(),
+            checkpoint: None,
+            resume_from: None,
+            fault_policy: FaultPolicy::default(),
+            fault_plan: None,
+            stop: None,
         }
     }
 
-    /// Sets an explicit defect configuration (builder style).
+    /// The core fuzzed.
     #[must_use]
-    pub fn with_quirks(mut self, quirks: hfl_grm::cpu::Quirks) -> CampaignSpec {
+    pub fn core(&self) -> CoreKind {
+        self.core
+    }
+
+    /// Budget and sampling parameters.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Explicit defect configuration, if one was set.
+    #[must_use]
+    pub fn quirks(&self) -> Option<&hfl_grm::cpu::Quirks> {
+        self.quirks.as_ref()
+    }
+
+    /// Worker threads in the execution pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The telemetry sink handle.
+    #[must_use]
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// The checkpoint policy, if checkpointing is enabled.
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The snapshot this campaign resumes from, if any.
+    #[must_use]
+    pub fn resume_from(&self) -> Option<&Path> {
+        self.resume_from.as_deref()
+    }
+
+    /// The fault-containment bounds.
+    #[must_use]
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// The armed fault-injection plan, if any (testing / CI).
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone()
+    }
+
+    /// Whether a graceful stop was requested through the spec's stop
+    /// flag. Checked at round boundaries: the campaign finishes the
+    /// current round, checkpoints (if enabled) and returns with
+    /// `completed = false`.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|stop| stop.load(Ordering::SeqCst))
+    }
+}
+
+/// Builds a validated [`CampaignSpec`].
+#[derive(Debug, Clone)]
+pub struct CampaignSpecBuilder {
+    core: CoreKind,
+    config: CampaignConfig,
+    quirks: Option<hfl_grm::cpu::Quirks>,
+    threads: usize,
+    sink: SinkHandle,
+    checkpoint: Option<CheckpointPolicy>,
+    resume_from: Option<PathBuf>,
+    fault_policy: FaultPolicy,
+    fault_plan: Option<Arc<FaultPlan>>,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl CampaignSpecBuilder {
+    /// Sets an explicit defect configuration.
+    #[must_use]
+    pub fn quirks(mut self, quirks: hfl_grm::cpu::Quirks) -> CampaignSpecBuilder {
         self.quirks = Some(quirks);
         self
     }
 
-    /// Sets the pool's worker-thread count (builder style).
+    /// Sets the pool's worker-thread count (must be at least 1; affects
+    /// wall-clock only, never results).
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> CampaignSpec {
-        self.threads = threads.max(1);
+    pub fn threads(mut self, threads: usize) -> CampaignSpecBuilder {
+        self.threads = threads;
         self
     }
 
-    /// Attaches a telemetry sink (builder style).
+    /// Attaches a telemetry sink.
     #[must_use]
-    pub fn with_sink(mut self, sink: SinkHandle) -> CampaignSpec {
+    pub fn sink(mut self, sink: SinkHandle) -> CampaignSpecBuilder {
         self.sink = sink;
         self
+    }
+
+    /// Enables periodic checkpointing.
+    #[must_use]
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> CampaignSpecBuilder {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Resumes the campaign from a snapshot written by a previous run of
+    /// the **same** spec (core, budget and fuzzer must match; thread
+    /// count may differ — it never affects results).
+    #[must_use]
+    pub fn resume_from(mut self, snapshot: impl Into<PathBuf>) -> CampaignSpecBuilder {
+        self.resume_from = Some(snapshot.into());
+        self
+    }
+
+    /// Overrides the fault-containment bounds (retry budget, fuel).
+    #[must_use]
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> CampaignSpecBuilder {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (testing / CI).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> CampaignSpecBuilder {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Installs a graceful-stop flag: setting it to `true` makes the
+    /// campaign finish its current round, checkpoint and return.
+    #[must_use]
+    pub fn stop_flag(mut self, stop: Arc<AtomicBool>) -> CampaignSpecBuilder {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    /// Returns the first [`SpecError`] among: zero cases, zero sampling
+    /// interval, zero step budget, zero batch, zero threads, or a
+    /// checkpoint interval of zero rounds.
+    pub fn build(self) -> Result<CampaignSpec, SpecError> {
+        if self.config.cases == 0 {
+            return Err(SpecError::ZeroCases);
+        }
+        if self.config.sample_every == 0 {
+            return Err(SpecError::ZeroSampleEvery);
+        }
+        if self.config.max_steps == 0 {
+            return Err(SpecError::ZeroMaxSteps);
+        }
+        if self.config.batch == 0 {
+            return Err(SpecError::ZeroBatch);
+        }
+        if self.threads == 0 {
+            return Err(SpecError::ZeroThreads);
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            if checkpoint.every_rounds == 0 {
+                return Err(SpecError::ZeroCheckpointInterval);
+            }
+        }
+        Ok(CampaignSpec {
+            core: self.core,
+            config: self.config,
+            quirks: self.quirks,
+            threads: self.threads,
+            sink: self.sink,
+            checkpoint: self.checkpoint,
+            resume_from: self.resume_from,
+            fault_policy: self.fault_policy,
+            fault_plan: self.fault_plan,
+            stop: self.stop,
+        })
     }
 }
 
@@ -186,6 +510,18 @@ pub struct CampaignResult {
     /// counters. Like [`Throughput`], never part of determinism
     /// comparisons.
     pub metrics: MetricsSnapshot,
+    /// Whether the full case budget ran (false when a stop flag ended
+    /// the campaign early; the final checkpoint then allows resuming).
+    pub completed: bool,
+    /// Cases abandoned by fault containment (timeouts + poisonings).
+    pub aborted_cases: u64,
+    /// Bodies of poisoned cases, preserved as proofs of concept (named
+    /// `case-<index>`). Word-level bodies are stored as their decodable
+    /// instructions.
+    pub quarantined: Corpus,
+    /// The telemetry sink's sticky I/O error, if it hit one (telemetry
+    /// never aborts a campaign; the failure is reported here instead).
+    pub sink_error: Option<String>,
 }
 
 impl CampaignResult {
@@ -220,24 +556,323 @@ impl CampaignResult {
     }
 }
 
+/// Mutable state of a running campaign — exactly what a checkpoint
+/// captures (plus the fuzzer, which serialises itself).
+struct CampaignState {
+    executed: u64,
+    round_index: u64,
+    instructions_executed: u64,
+    aborted_cases: u64,
+    cumulative: CoverageSnapshot,
+    signatures: SignatureSet,
+    first_detection: Vec<(Signature, u64)>,
+    curve: Vec<CoverageSample>,
+    trigger_corpus: Corpus,
+    quarantined: Corpus,
+}
+
+impl CampaignState {
+    fn fresh(map_len: usize) -> CampaignState {
+        CampaignState {
+            executed: 0,
+            round_index: 0,
+            instructions_executed: 0,
+            aborted_cases: 0,
+            cumulative: CoverageSnapshot::empty(map_len),
+            signatures: SignatureSet::new(),
+            first_detection: Vec::new(),
+            curve: Vec::new(),
+            trigger_corpus: Corpus::new(),
+            quarantined: Corpus::new(),
+        }
+    }
+
+    /// Pushes a curve sample if `executed` is a sampling point and was
+    /// not already sampled (a resume replays the final-case sampling
+    /// check against a restored curve).
+    fn maybe_sample(&mut self, cfg: &CampaignConfig, map: &hfl_dut::CoverageMap) {
+        if (self.executed.is_multiple_of(cfg.sample_every) || self.executed == cfg.cases)
+            && self.curve.last().map(|s| s.cases) != Some(self.executed)
+        {
+            self.curve.push(CoverageSample {
+                cases: self.executed,
+                condition: self.cumulative.count_of(map, CoverageKind::Condition),
+                line: self.cumulative.count_of(map, CoverageKind::Line),
+                fsm: self.cumulative.count_of(map, CoverageKind::Fsm),
+            });
+        }
+    }
+}
+
+const CHECKPOINT_KIND: &str = "campaign";
+
+/// Metric names a checkpoint may restore (the registry is keyed by
+/// `&'static str`); unknown names in a snapshot are skipped.
+const KNOWN_METRICS: &[&str] = &[
+    "campaign.cases",
+    "campaign.cases_aborted",
+    "campaign.mismatches",
+    "campaign.rounds",
+    "phase.difftest.seconds",
+    "phase.execute.seconds",
+    "phase.generate.seconds",
+    "phase.train.seconds",
+];
+
+fn intern_metric(name: &str) -> Option<&'static str> {
+    KNOWN_METRICS.iter().copied().find(|k| *k == name)
+}
+
+fn core_index(core: CoreKind) -> u32 {
+    CoreKind::ALL
+        .iter()
+        .position(|&c| c == core)
+        .expect("every core is in ALL") as u32
+}
+
+fn decodable_instructions(body: &TestBody) -> Vec<hfl_riscv::Instruction> {
+    match body {
+        TestBody::Asm(v) => v.clone(),
+        TestBody::Words(words) => words
+            .iter()
+            .filter_map(|&w| hfl_riscv::decode(w).ok())
+            .collect(),
+    }
+}
+
+fn write_metrics(w: &mut Vec<u8>, snapshot: &MetricsSnapshot) -> Result<(), PersistError> {
+    write_usize(w, snapshot.counters.len())?;
+    for (name, value) in &snapshot.counters {
+        write_string(w, name)?;
+        write_u64(w, *value)?;
+    }
+    write_usize(w, snapshot.histograms.len())?;
+    for (name, h) in &snapshot.histograms {
+        write_string(w, name)?;
+        write_u64(w, h.count)?;
+        write_f64(w, h.sum)?;
+        write_f64(w, h.min)?;
+        write_f64(w, h.max)?;
+        for bucket in h.buckets {
+            write_u64(w, bucket)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_metrics(r: &mut &[u8]) -> Result<Metrics, PersistError> {
+    let mut metrics = Metrics::new();
+    let counters = read_usize(r, 4096, "metric counter count")?;
+    for _ in 0..counters {
+        let name = read_string(r)?;
+        let value = read_u64(r)?;
+        if let Some(name) = intern_metric(&name) {
+            metrics.restore_counter(name, value);
+        }
+    }
+    let histograms = read_usize(r, 4096, "metric histogram count")?;
+    for _ in 0..histograms {
+        let name = read_string(r)?;
+        let mut histogram = Histogram {
+            count: read_u64(r)?,
+            sum: read_f64(r)?,
+            min: read_f64(r)?,
+            max: read_f64(r)?,
+            buckets: [0; DURATION_BUCKETS.len() + 1],
+        };
+        for bucket in &mut histogram.buckets {
+            *bucket = read_u64(r)?;
+        }
+        if let Some(name) = intern_metric(&name) {
+            metrics.restore_histogram(name, histogram);
+        }
+    }
+    Ok(metrics)
+}
+
+/// Writes one atomic campaign snapshot (see `DESIGN.md` for the layout).
+fn write_checkpoint(
+    policy: &CheckpointPolicy,
+    spec: &CampaignSpec,
+    fuzzer: &dyn Fuzzer,
+    pool: &ExecPool,
+    metrics: &Metrics,
+    state: &CampaignState,
+) -> Result<(), CampaignError> {
+    std::fs::create_dir_all(policy.dir()).map_err(PersistError::Io)?;
+    let cfg = spec.config();
+    let (pool_batches, pool_cases) = pool.counters();
+    let mut snap = SnapshotWriter::new(CHECKPOINT_KIND);
+    snap.section("spec", |w| {
+        write_u32(w, core_index(spec.core()))?;
+        write_u64(w, cfg.cases)?;
+        write_u64(w, cfg.sample_every)?;
+        write_u64(w, cfg.max_steps)?;
+        write_u64(w, cfg.batch as u64)
+    })?;
+    snap.section("progress", |w| {
+        write_u64(w, state.executed)?;
+        write_u64(w, state.round_index)?;
+        write_u64(w, state.instructions_executed)?;
+        write_u64(w, state.aborted_cases)?;
+        write_u64(w, pool_batches)?;
+        write_u64(w, pool_cases)
+    })?;
+    snap.section("coverage", |w| {
+        write_usize(w, state.cumulative.len())?;
+        write_u64_vec(w, state.cumulative.words())
+    })?;
+    snap.section("signatures", |w| state.signatures.save(w))?;
+    snap.section("detections", |w| {
+        write_usize(w, state.first_detection.len())?;
+        for (signature, case) in &state.first_detection {
+            write_u64(w, signature.0)?;
+            write_u64(w, *case)?;
+        }
+        Ok(())
+    })?;
+    snap.section("curve", |w| {
+        write_usize(w, state.curve.len())?;
+        for sample in &state.curve {
+            write_u64(w, sample.cases)?;
+            write_u64(w, sample.condition as u64)?;
+            write_u64(w, sample.line as u64)?;
+            write_u64(w, sample.fsm as u64)?;
+        }
+        Ok(())
+    })?;
+    snap.section("corpus", |w| state.trigger_corpus.save(w))?;
+    snap.section("quarantine", |w| state.quarantined.save(w))?;
+    snap.section("metrics", |w| write_metrics(w, &metrics.snapshot()))?;
+    snap.section("fuzzer", |w| {
+        write_string(w, fuzzer.name())?;
+        fuzzer.save_state(w)
+    })?;
+    snap.write_atomic(&policy.snapshot_path())?;
+    if !state.quarantined.entries().is_empty() {
+        std::fs::write(policy.quarantine_path(), state.quarantined.to_text())
+            .map_err(PersistError::Io)?;
+    }
+    Ok(())
+}
+
+/// Restores a checkpoint into the campaign's state, pool counters,
+/// metrics and fuzzer, after validating it matches the spec.
+fn restore_checkpoint(
+    path: &Path,
+    spec: &CampaignSpec,
+    fuzzer: &mut dyn Fuzzer,
+    pool: &mut ExecPool,
+    metrics: &mut Metrics,
+    state: &mut CampaignState,
+) -> Result<(), CampaignError> {
+    let snap = SnapshotReader::read_path(path)?;
+    snap.expect_kind(CHECKPOINT_KIND)?;
+    let cfg = spec.config();
+
+    let mut r = snap.section("spec")?;
+    if read_u32(&mut r)? != core_index(spec.core())
+        || read_u64(&mut r)? != cfg.cases
+        || read_u64(&mut r)? != cfg.sample_every
+        || read_u64(&mut r)? != cfg.max_steps
+        || read_u64(&mut r)? != cfg.batch as u64
+    {
+        return Err(corrupt("checkpoint was taken under a different campaign spec").into());
+    }
+
+    let mut r = snap.section("progress")?;
+    state.executed = read_u64(&mut r)?;
+    state.round_index = read_u64(&mut r)?;
+    state.instructions_executed = read_u64(&mut r)?;
+    state.aborted_cases = read_u64(&mut r)?;
+    let pool_batches = read_u64(&mut r)?;
+    let pool_cases = read_u64(&mut r)?;
+    pool.restore_counters(pool_batches, pool_cases);
+
+    let mut r = snap.section("coverage")?;
+    let len = read_usize(&mut r, 1 << 28, "coverage map length")?;
+    if len != state.cumulative.len() {
+        return Err(corrupt("checkpoint coverage map does not match the core").into());
+    }
+    let words = read_u64_vec(&mut r)?;
+    state.cumulative = CoverageSnapshot::from_words(len, words)
+        .ok_or_else(|| corrupt("checkpoint coverage words do not fit the map"))?;
+
+    let mut r = snap.section("signatures")?;
+    state.signatures = SignatureSet::load(&mut r)?;
+
+    let mut r = snap.section("detections")?;
+    let detections = read_usize(&mut r, 1 << 24, "detection count")?;
+    state.first_detection = (0..detections)
+        .map(|_| Ok((Signature(read_u64(&mut r)?), read_u64(&mut r)?)))
+        .collect::<Result<_, PersistError>>()?;
+
+    let mut r = snap.section("curve")?;
+    let samples = read_usize(&mut r, 1 << 24, "curve length")?;
+    state.curve = (0..samples)
+        .map(|_| {
+            Ok(CoverageSample {
+                cases: read_u64(&mut r)?,
+                condition: read_u64(&mut r)? as usize,
+                line: read_u64(&mut r)? as usize,
+                fsm: read_u64(&mut r)? as usize,
+            })
+        })
+        .collect::<Result<_, PersistError>>()?;
+
+    let mut r = snap.section("corpus")?;
+    state.trigger_corpus = Corpus::load(&mut r)?;
+    let mut r = snap.section("quarantine")?;
+    state.quarantined = Corpus::load(&mut r)?;
+
+    let mut r = snap.section("metrics")?;
+    *metrics = read_metrics(&mut r)?;
+
+    let mut r = snap.section("fuzzer")?;
+    let name = read_string(&mut r)?;
+    if name != fuzzer.name() {
+        return Err(corrupt(format!(
+            "checkpoint belongs to fuzzer {name:?}, not {:?}",
+            fuzzer.name()
+        ))
+        .into());
+    }
+    fuzzer.load_state(&mut r)?;
+    Ok(())
+}
+
 /// Runs one fuzzing campaign.
 ///
 /// The same runner serves HFL (which implements [`Fuzzer`]) and the four
 /// baselines, guaranteeing identical measurement: per-case coverage
 /// fraction feeds Eq. (1), cumulative-growth feeds the fuzzers' corpus
 /// scheduling and HFL's reset module, and every case is differentially
-/// tested. See the module docs for the round/batch execution model.
-pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignResult {
+/// tested. See the module docs for the round/batch execution model and
+/// the crash-safety contract (checkpoint/resume, fault containment).
+///
+/// # Errors
+/// Returns [`CampaignError`] when a checkpoint cannot be written (I/O,
+/// or the fuzzer does not support checkpointing) or a resume snapshot is
+/// corrupt or does not match the spec. The fuzzing loop itself never
+/// errors: faulty cases are contained and reported in the result.
+pub fn run_campaign(
+    fuzzer: &mut dyn Fuzzer,
+    spec: &CampaignSpec,
+) -> Result<CampaignResult, CampaignError> {
     let started = Instant::now();
-    let cfg = &spec.config;
-    let sink = &spec.sink;
+    let cfg = spec.config();
+    let sink = spec.sink();
     fuzzer.attach_sink(sink.clone());
     let mut metrics = Metrics::new();
-    let mut builder = Executor::builder(spec.core).max_steps(cfg.max_steps);
-    if let Some(quirks) = &spec.quirks {
+    let mut builder = Executor::builder(spec.core()).max_steps(cfg.max_steps);
+    if let Some(quirks) = spec.quirks() {
         builder = builder.quirks(quirks.clone());
     }
-    let mut pool = ExecPool::new(builder.build(), spec.threads);
+    let mut pool =
+        ExecPool::new(builder.build(), spec.threads()).with_fault_policy(spec.fault_policy());
+    if let Some(plan) = spec.fault_plan() {
+        pool = pool.with_shared_fault_plan(plan);
+    }
     let map_len = pool.coverage_map().len();
     let totals = {
         let map = pool.coverage_map();
@@ -247,17 +882,17 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
             map.len_of(CoverageKind::Fsm),
         )
     };
-    let mut cumulative = CoverageSnapshot::empty(map_len);
-    let mut signatures = SignatureSet::new();
-    let mut first_detection: Vec<(Signature, u64)> = Vec::new();
-    let mut curve = Vec::new();
-    let mut instructions_executed: u64 = 0;
-    let mut trigger_corpus = Corpus::new();
+    let mut state = CampaignState::fresh(map_len);
+    if let Some(snapshot) = spec.resume_from() {
+        restore_checkpoint(snapshot, spec, fuzzer, &mut pool, &mut metrics, &mut state)?;
+    }
 
-    let mut executed: u64 = 0;
-    let mut round_index: u64 = 0;
-    while executed < cfg.cases {
-        let want = (cfg.cases - executed).min(cfg.batch.max(1) as u64) as usize;
+    while state.executed < cfg.cases {
+        if spec.stop_requested() {
+            break;
+        }
+        let round_index = state.round_index;
+        let want = (cfg.cases - state.executed).min(cfg.batch.max(1) as u64) as usize;
         if sink.enabled() {
             sink.emit(&Event::RoundStart {
                 round: round_index,
@@ -273,35 +908,68 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
         );
         round.truncate(want);
         let execute_started = Instant::now();
-        let results = pool.run_batch(&round);
+        let outcomes = pool.run_batch_contained(&round);
         metrics.observe_duration("phase.execute.seconds", execute_started.elapsed());
         let batch = pool.last_batch();
         let train_started = Instant::now();
         let mut difftest_seconds = 0.0f64;
-        for (body, result) in round.iter().zip(results) {
-            executed += 1;
-            instructions_executed += result.dut.steps;
+        for (body, outcome) in round.iter().zip(outcomes) {
+            state.executed += 1;
+            let result = match outcome {
+                CaseOutcome::Completed(result) => result,
+                CaseOutcome::TimedOut { attempts } => {
+                    abort_case(fuzzer, &mut metrics, &mut state, body);
+                    if sink.enabled() {
+                        sink.emit(&Event::CaseAborted {
+                            round: round_index,
+                            case: state.executed,
+                            reason: String::from("timeout"),
+                            attempts: u64::from(attempts),
+                        });
+                    }
+                    state.maybe_sample(cfg, pool.coverage_map());
+                    continue;
+                }
+                CaseOutcome::Poisoned { attempts, reason } => {
+                    // The offending body is a proof of concept: it crashed
+                    // the worker, which is itself a finding.
+                    state.quarantined.push(
+                        format!("case-{}", state.executed),
+                        decodable_instructions(body),
+                    );
+                    abort_case(fuzzer, &mut metrics, &mut state, body);
+                    if sink.enabled() {
+                        sink.emit(&Event::CaseAborted {
+                            round: round_index,
+                            case: state.executed,
+                            reason,
+                            attempts: u64::from(attempts),
+                        });
+                    }
+                    state.maybe_sample(cfg, pool.coverage_map());
+                    continue;
+                }
+            };
+            state.instructions_executed += result.dut.steps;
             difftest_seconds += result.timing.difftest_seconds;
-            let before = cumulative.count();
-            let gained = cumulative.would_grow(&result.dut.coverage);
-            cumulative.union_with(&result.dut.coverage);
-            let gained_bits = (cumulative.count() - before) as u64;
+            let before = state.cumulative.count();
+            let gained = state.cumulative.would_grow(&result.dut.coverage);
+            state.cumulative.union_with(&result.dut.coverage);
+            let gained_bits = (state.cumulative.count() - before) as u64;
             let coverage = result.dut.coverage.count() as f32 / map_len as f32;
             let mut new_signature = None;
             for mismatch in &result.mismatches {
-                if signatures.insert(mismatch) {
+                if state.signatures.insert(mismatch) {
                     if new_signature.is_none() {
                         new_signature = Some(mismatch.signature().0);
                     }
-                    first_detection.push((mismatch.signature(), executed));
-                    let instructions = match body {
-                        TestBody::Asm(v) => v.clone(),
-                        TestBody::Words(words) => words
-                            .iter()
-                            .filter_map(|&w| hfl_riscv::decode(w).ok())
-                            .collect(),
-                    };
-                    trigger_corpus.push(mismatch.signature().to_string(), instructions);
+                    state
+                        .first_detection
+                        .push((mismatch.signature(), state.executed));
+                    state.trigger_corpus.push(
+                        mismatch.signature().to_string(),
+                        decodable_instructions(body),
+                    );
                 }
             }
             metrics.inc("campaign.cases", 1);
@@ -309,7 +977,7 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
             if sink.enabled() {
                 sink.emit(&Event::CaseExecuted {
                     round: round_index,
-                    case: executed,
+                    case: state.executed,
                     body_len: body.len() as u64,
                     gained_bits,
                     retired: result.dut.steps,
@@ -328,15 +996,7 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
                     terminated,
                 },
             );
-            if executed.is_multiple_of(cfg.sample_every) || executed == cfg.cases {
-                let map = pool.coverage_map();
-                curve.push(CoverageSample {
-                    cases: executed,
-                    condition: cumulative.count_of(map, CoverageKind::Condition),
-                    line: cumulative.count_of(map, CoverageKind::Line),
-                    fsm: cumulative.count_of(map, CoverageKind::Fsm),
-                });
-            }
+            state.maybe_sample(cfg, pool.coverage_map());
         }
         // Feedback drives the fuzzer's learning (PPO updates, predictor
         // fine-tuning); what is left after subtracting difftest is pure
@@ -350,7 +1010,7 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
             // can resolve the batch's utilisation when it sees it.
             sink.emit(&Event::PoolOccupancy {
                 round: round_index,
-                threads: spec.threads.max(1) as u64,
+                threads: spec.threads() as u64,
                 occupancy: batch.occupancy,
                 exec_seconds: batch.exec_seconds,
                 busy_seconds: batch.busy_seconds,
@@ -358,49 +1018,105 @@ pub fn run_campaign(fuzzer: &mut dyn Fuzzer, spec: &CampaignSpec) -> CampaignRes
             let map = pool.coverage_map();
             sink.emit(&Event::RoundEnd {
                 round: round_index,
-                executed,
-                condition: cumulative.count_of(map, CoverageKind::Condition) as u64,
-                line: cumulative.count_of(map, CoverageKind::Line) as u64,
-                fsm: cumulative.count_of(map, CoverageKind::Fsm) as u64,
-                unique_signatures: signatures.unique() as u64,
+                executed: state.executed,
+                condition: state.cumulative.count_of(map, CoverageKind::Condition) as u64,
+                line: state.cumulative.count_of(map, CoverageKind::Line) as u64,
+                fsm: state.cumulative.count_of(map, CoverageKind::Fsm) as u64,
+                unique_signatures: state.signatures.unique() as u64,
             });
         }
-        round_index += 1;
+        state.round_index += 1;
+        // Periodic checkpoints land on round boundaries, where every
+        // fuzzer's pending queues are empty — the invariant that makes a
+        // resumed run bit-identical to an uninterrupted one.
+        if let Some(policy) = spec.checkpoint() {
+            if state.round_index.is_multiple_of(policy.every_rounds()) && state.executed < cfg.cases
+            {
+                write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state)?;
+            }
+        }
+    }
+    // Final (or graceful-shutdown) snapshot.
+    if let Some(policy) = spec.checkpoint() {
+        write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state)?;
     }
 
-    let mut sigs: Vec<Signature> = first_detection.iter().map(|(s, _)| *s).collect();
+    let mut sigs: Vec<Signature> = state.first_detection.iter().map(|(s, _)| *s).collect();
     sigs.sort_unstable();
-    let throughput = pool.throughput(started.elapsed(), instructions_executed);
+    let throughput = pool.throughput(started.elapsed(), state.instructions_executed);
     sink.flush();
-    CampaignResult {
+    let sink_error = sink.take_error().map(|e| e.to_string());
+    Ok(CampaignResult {
         fuzzer: fuzzer.name().to_owned(),
-        core: spec.core,
-        curve,
+        core: spec.core(),
+        curve: state.curve,
         totals,
-        unique_signatures: signatures.unique(),
-        total_mismatches: signatures.total_mismatches,
+        unique_signatures: state.signatures.unique(),
+        total_mismatches: state.signatures.total_mismatches,
         signatures: sigs,
-        cumulative,
-        first_detection,
-        instructions_executed,
-        trigger_corpus,
+        cumulative: state.cumulative,
+        first_detection: state.first_detection,
+        instructions_executed: state.instructions_executed,
+        trigger_corpus: state.trigger_corpus,
         throughput,
         metrics: metrics.snapshot(),
-    }
+        completed: state.executed >= cfg.cases,
+        aborted_cases: state.aborted_cases,
+        quarantined: state.quarantined,
+        sink_error,
+    })
+}
+
+/// Shared bookkeeping for an abandoned case: counters plus the feedback
+/// call every fuzzer needs to keep its pending queues consistent (an
+/// abandoned case "did not terminate and gained nothing").
+fn abort_case(
+    fuzzer: &mut dyn Fuzzer,
+    metrics: &mut Metrics,
+    state: &mut CampaignState,
+    body: &TestBody,
+) {
+    state.aborted_cases += 1;
+    metrics.inc("campaign.cases", 1);
+    metrics.inc("campaign.cases_aborted", 1);
+    fuzzer.feedback(
+        body,
+        Feedback {
+            gained_coverage: false,
+            coverage: 0.0,
+            case_bits: None,
+            terminated: false,
+        },
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baselines::{CascadeFuzzer, DifuzzRtlFuzzer};
+    use crate::exec::FaultKind;
     use crate::fuzzer::{HflConfig, HflFuzzer};
+
+    fn spec(core: CoreKind, config: CampaignConfig) -> CampaignSpec {
+        CampaignSpec::builder(core, config)
+            .build()
+            .expect("valid spec")
+    }
+
+    /// A scratch directory under the system temp dir, unique per test,
+    /// cleaned before use so reruns start fresh.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hfl-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn campaign_produces_monotone_curves() {
         let mut fuzzer = DifuzzRtlFuzzer::new(5, 12);
         let result = run_campaign(
             &mut fuzzer,
-            &CampaignSpec::new(
+            &spec(
                 CoreKind::Rocket,
                 CampaignConfig {
                     cases: 40,
@@ -409,8 +1125,12 @@ mod tests {
                     batch: 1,
                 },
             ),
-        );
+        )
+        .expect("campaign runs");
         assert_eq!(result.fuzzer, "DifuzzRTL");
+        assert!(result.completed);
+        assert_eq!(result.aborted_cases, 0);
+        assert!(result.sink_error.is_none());
         assert_eq!(result.curve.len(), 4);
         for pair in result.curve.windows(2) {
             assert!(pair[1].condition >= pair[0].condition);
@@ -431,8 +1151,9 @@ mod tests {
         let mut fuzzer = DifuzzRtlFuzzer::new(11, 16);
         let result = run_campaign(
             &mut fuzzer,
-            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(150)),
-        );
+            &spec(CoreKind::Rocket, CampaignConfig::quick(150)),
+        )
+        .expect("campaign runs");
         assert!(
             result.unique_signatures > 0,
             "expected at least one injected-bug signature"
@@ -448,10 +1169,8 @@ mod tests {
         cfg.predictor.hidden = 16;
         cfg.test_len = 6;
         let mut hfl = HflFuzzer::new(cfg);
-        let result = run_campaign(
-            &mut hfl,
-            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(30)),
-        );
+        let result = run_campaign(&mut hfl, &spec(CoreKind::Rocket, CampaignConfig::quick(30)))
+            .expect("campaign runs");
         assert_eq!(result.fuzzer, "HFL");
         assert!(result.final_counts().0 > 0);
         assert_eq!(hfl.stats().cases, 30);
@@ -462,8 +1181,9 @@ mod tests {
         let mut fuzzer = CascadeFuzzer::new(2, 60);
         let result = run_campaign(
             &mut fuzzer,
-            &CampaignSpec::new(CoreKind::Boom, CampaignConfig::quick(10)),
-        );
+            &spec(CoreKind::Boom, CampaignConfig::quick(10)),
+        )
+        .expect("campaign runs");
         assert!(result.final_counts().1 > 0);
         assert_eq!(result.core, CoreKind::Boom);
     }
@@ -477,9 +1197,12 @@ mod tests {
             let mut fuzzer = DifuzzRtlFuzzer::new(7, 10);
             run_campaign(
                 &mut fuzzer,
-                &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(25))
-                    .with_threads(threads),
+                &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(25))
+                    .threads(threads)
+                    .build()
+                    .expect("valid spec"),
             )
+            .expect("campaign runs")
         };
         let a = run(1);
         let b = run(4);
@@ -498,10 +1221,248 @@ mod tests {
         let mut fuzzer = DifuzzRtlFuzzer::new(11, 16);
         let result = run_campaign(
             &mut fuzzer,
-            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(60))
-                .with_quirks(hfl_grm::cpu::Quirks::default()),
-        );
+            &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(60))
+                .quirks(hfl_grm::cpu::Quirks::default())
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("campaign runs");
         assert_eq!(result.unique_signatures, 0, "defect-free DUT");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_specs() {
+        let ok = CampaignConfig::quick(10);
+        let check =
+            |config, expected: SpecError| match CampaignSpec::builder(CoreKind::Rocket, config)
+                .build()
+            {
+                Err(err) => assert_eq!(err.to_string(), expected.to_string()),
+                Ok(_) => panic!("expected {expected}"),
+            };
+        check(CampaignConfig { cases: 0, ..ok }, SpecError::ZeroCases);
+        check(
+            CampaignConfig {
+                sample_every: 0,
+                ..ok
+            },
+            SpecError::ZeroSampleEvery,
+        );
+        check(
+            CampaignConfig { max_steps: 0, ..ok },
+            SpecError::ZeroMaxSteps,
+        );
+        check(CampaignConfig { batch: 0, ..ok }, SpecError::ZeroBatch);
+        assert!(matches!(
+            CampaignSpec::builder(CoreKind::Rocket, ok)
+                .threads(0)
+                .build(),
+            Err(SpecError::ZeroThreads)
+        ));
+        assert!(matches!(
+            CampaignSpec::builder(CoreKind::Rocket, ok)
+                .checkpoint(CheckpointPolicy::new("/tmp/unused", 0))
+                .build(),
+            Err(SpecError::ZeroCheckpointInterval)
+        ));
+    }
+
+    #[test]
+    fn transient_faults_leave_the_measurement_unchanged() {
+        // A transient worker panic costs one retry; the retried case
+        // completes normally, so the campaign's science output must be
+        // bit-identical to a fault-free run.
+        let clean = {
+            let mut fuzzer = DifuzzRtlFuzzer::new(9, 12);
+            run_campaign(
+                &mut fuzzer,
+                &spec(CoreKind::Rocket, CampaignConfig::quick(20)),
+            )
+            .expect("campaign runs")
+        };
+        let faulted = {
+            let mut fuzzer = DifuzzRtlFuzzer::new(9, 12);
+            run_campaign(
+                &mut fuzzer,
+                &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(20))
+                    .fault_plan(
+                        FaultPlan::new()
+                            .fail_at(4, FaultKind::Panic)
+                            .fail_at(11, FaultKind::IoError),
+                    )
+                    .build()
+                    .expect("valid spec"),
+            )
+            .expect("campaign runs")
+        };
+        assert_eq!(faulted.aborted_cases, 0);
+        assert_eq!(clean.curve, faulted.curve);
+        assert_eq!(clean.signatures, faulted.signatures);
+        assert_eq!(clean.first_detection, faulted.first_detection);
+        assert_eq!(clean.cumulative, faulted.cumulative);
+    }
+
+    #[test]
+    fn sticky_faults_are_quarantined_and_the_campaign_completes() {
+        let mut fuzzer = DifuzzRtlFuzzer::new(9, 12);
+        let result = run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(20))
+                .fault_plan(FaultPlan::new().fail_at_persistent(5, FaultKind::Panic))
+                .fault_policy(FaultPolicy {
+                    max_retries: 1,
+                    fuel: None,
+                })
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("campaign runs");
+        assert!(result.completed, "faults must not abort the campaign");
+        assert_eq!(result.aborted_cases, 1);
+        let entries = result.quarantined.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "case-5");
+        let cases = result
+            .metrics
+            .counters
+            .iter()
+            .find(|(name, _)| name == "campaign.cases")
+            .map(|(_, v)| *v);
+        assert_eq!(cases, Some(20), "aborted cases still count as cases");
+        let aborted = result
+            .metrics
+            .counters
+            .iter()
+            .find(|(name, _)| name == "campaign.cases_aborted")
+            .map(|(_, v)| *v);
+        assert_eq!(aborted, Some(1));
+    }
+
+    /// Delegates to an inner fuzzer and raises the shared stop flag after
+    /// a fixed number of generation rounds — a deterministic stand-in for
+    /// an operator interrupting the campaign.
+    struct StopAfterRounds<F> {
+        inner: F,
+        rounds_left: u32,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl<F: Fuzzer> Fuzzer for StopAfterRounds<F> {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn next_case(&mut self) -> TestBody {
+            self.inner.next_case()
+        }
+        fn next_round(&mut self, n: usize) -> Vec<TestBody> {
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                if self.rounds_left == 0 {
+                    self.stop.store(true, Ordering::SeqCst);
+                }
+            }
+            self.inner.next_round(n)
+        }
+        fn feedback(&mut self, body: &TestBody, feedback: Feedback) {
+            self.inner.feedback(body, feedback);
+        }
+        fn save_state(&self, w: &mut dyn std::io::Write) -> Result<(), PersistError> {
+            self.inner.save_state(w)
+        }
+        fn load_state(&mut self, r: &mut dyn std::io::Read) -> Result<(), PersistError> {
+            self.inner.load_state(r)
+        }
+    }
+
+    #[test]
+    fn graceful_stop_then_resume_matches_an_uninterrupted_run() {
+        let dir = scratch_dir("resume-unit");
+        let config = CampaignConfig::quick(40);
+        let uninterrupted = {
+            let mut fuzzer = DifuzzRtlFuzzer::new(21, 12);
+            run_campaign(&mut fuzzer, &spec(CoreKind::Rocket, config)).expect("campaign runs")
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut first = StopAfterRounds {
+            inner: DifuzzRtlFuzzer::new(21, 12),
+            rounds_left: 3,
+            stop: stop.clone(),
+        };
+        let partial = run_campaign(
+            &mut first,
+            &CampaignSpec::builder(CoreKind::Rocket, config)
+                .checkpoint(CheckpointPolicy::new(&dir, 1))
+                .stop_flag(stop)
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("partial campaign runs");
+        assert!(!partial.completed, "the stop flag must interrupt the run");
+
+        let snapshot = CheckpointPolicy::latest_snapshot(&dir).expect("snapshot written");
+        let mut second = DifuzzRtlFuzzer::new(999, 12); // seed is overwritten by the restore
+        let resumed = run_campaign(
+            &mut second,
+            &CampaignSpec::builder(CoreKind::Rocket, config)
+                .resume_from(snapshot)
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("resumed campaign runs");
+
+        assert!(resumed.completed);
+        assert_eq!(uninterrupted.curve, resumed.curve);
+        assert_eq!(uninterrupted.signatures, resumed.signatures);
+        assert_eq!(uninterrupted.first_detection, resumed.first_detection);
+        assert_eq!(uninterrupted.cumulative, resumed.cumulative);
+        assert_eq!(uninterrupted.trigger_corpus, resumed.trigger_corpus);
+        assert_eq!(
+            uninterrupted.instructions_executed,
+            resumed.instructions_executed
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_spec_or_fuzzer() {
+        let dir = scratch_dir("resume-mismatch");
+        let config = CampaignConfig::quick(20);
+        let mut fuzzer = DifuzzRtlFuzzer::new(3, 12);
+        run_campaign(
+            &mut fuzzer,
+            &CampaignSpec::builder(CoreKind::Rocket, config)
+                .checkpoint(CheckpointPolicy::new(&dir, 1))
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("campaign runs");
+        let snapshot = CheckpointPolicy::latest_snapshot(&dir).expect("snapshot written");
+
+        // Different case budget: the snapshot does not belong to this spec.
+        let mut other = DifuzzRtlFuzzer::new(3, 12);
+        let err = run_campaign(
+            &mut other,
+            &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(25))
+                .resume_from(&snapshot)
+                .build()
+                .expect("valid spec"),
+        )
+        .expect_err("spec mismatch must fail");
+        assert!(err.to_string().contains("different campaign spec"), "{err}");
+
+        // Different fuzzer: the embedded state is not interchangeable.
+        let mut cascade = CascadeFuzzer::new(2, 60);
+        let err = run_campaign(
+            &mut cascade,
+            &CampaignSpec::builder(CoreKind::Rocket, config)
+                .resume_from(&snapshot)
+                .build()
+                .expect("valid spec"),
+        )
+        .expect_err("fuzzer mismatch must fail");
+        assert!(err.to_string().contains("belongs to fuzzer"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
@@ -519,8 +1480,11 @@ mod trigger_tests {
         let mut fuzzer = DifuzzRtlFuzzer::new(12, 16);
         let result = run_campaign(
             &mut fuzzer,
-            &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(150)),
-        );
+            &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(150))
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("campaign runs");
         assert!(!result.trigger_corpus.entries().is_empty(), "need triggers");
         let mut executor = Executor::builder(CoreKind::Rocket).build();
         for entry in result.trigger_corpus.entries() {

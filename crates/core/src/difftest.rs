@@ -126,6 +126,26 @@ impl SignatureSet {
     pub fn contains(&self, sig: Signature) -> bool {
         self.seen.contains(&sig)
     }
+
+    /// The unique signatures, sorted (checkpointing needs a stable order).
+    #[must_use]
+    pub fn sorted_signatures(&self) -> Vec<Signature> {
+        let mut sigs: Vec<Signature> = self.seen.iter().copied().collect();
+        sigs.sort_unstable();
+        sigs
+    }
+
+    /// Rebuilds a set from checkpointed parts.
+    #[must_use]
+    pub fn from_parts(
+        signatures: impl IntoIterator<Item = Signature>,
+        total_mismatches: u64,
+    ) -> SignatureSet {
+        SignatureSet {
+            seen: signatures.into_iter().collect(),
+            total_mismatches,
+        }
+    }
 }
 
 /// Compares a GRM and a DUT execution of the same program.

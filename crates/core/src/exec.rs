@@ -1,6 +1,6 @@
 //! Batched parallel execution: a pool of `(DUT, GRM)` worker pairs that
 //! evaluates a round of test bodies and returns results **in submission
-//! order**.
+//! order**, with per-case fault containment.
 //!
 //! Ordered merging is what keeps campaigns deterministic: coverage curves,
 //! mismatch signatures and first-detection indices depend only on the
@@ -8,10 +8,24 @@
 //! the OS scheduled the threads. A pool with one worker degenerates to a
 //! plain sequential loop over the same code path, so `threads = 1`
 //! reproduces the single-threaded harness bit for bit.
+//!
+//! Fault containment (the crash-safety half of the campaign API): each
+//! case runs inside `catch_unwind`, so a panicking worker poisons only its
+//! own `(DUT, GRM)` pair — the pair is replaced from the prototype, the
+//! case is retried up to [`FaultPolicy::max_retries`] times, and a case
+//! that still fails is reported as [`CaseOutcome::Poisoned`] instead of
+//! tearing the campaign down. A fuel watchdog classifies runaway
+//! executions as [`CaseOutcome::TimedOut`]. [`FaultPlan`] injects
+//! deterministic faults at chosen global case indices so all of this is
+//! testable without a real defect.
 
-use std::panic::resume_unwind;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use hfl_grm::cpu::HaltReason;
 
 use crate::baselines::TestBody;
 use crate::harness::{CaseResult, Executor};
@@ -75,6 +89,274 @@ where
         .into_iter()
         .map(|s| s.expect("every item was processed exactly once"))
         .collect()
+}
+
+/// The kind of fault [`FaultPlan`] injects into a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics mid-case (caught by `catch_unwind`; the
+    /// `(DUT, GRM)` pair is replaced from the prototype).
+    Panic,
+    /// The case never halts; the watchdog reports it as timed out.
+    Hang,
+    /// The worker hits an I/O error and panics with an I/O message
+    /// (contained exactly like [`FaultKind::Panic`]).
+    IoError,
+}
+
+#[derive(Debug)]
+struct PlannedFault {
+    kind: FaultKind,
+    sticky: bool,
+    attempts: AtomicU32,
+}
+
+/// Deterministic fault injection: maps **global 1-based case indices**
+/// (the pool's lifetime case counter, not the offset within one batch)
+/// to faults, so tests and the CI crash-resume job can provoke panics,
+/// hangs and I/O errors at exact, reproducible points regardless of
+/// thread count.
+///
+/// Transient faults ([`FaultPlan::fail_at`]) fire on the first attempt
+/// only — the bounded retry then succeeds. Persistent faults
+/// ([`FaultPlan::fail_at_persistent`]) fire on every attempt, exhausting
+/// the retry budget and surfacing as [`CaseOutcome::Poisoned`] or
+/// [`CaseOutcome::TimedOut`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Injects `kind` on the **first attempt** of global case
+    /// `case_index` (1-based); retries of that case run clean.
+    #[must_use]
+    pub fn fail_at(mut self, case_index: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.insert(
+            case_index,
+            PlannedFault {
+                kind,
+                sticky: false,
+                attempts: AtomicU32::new(0),
+            },
+        );
+        self
+    }
+
+    /// Injects `kind` on **every attempt** of global case `case_index`
+    /// (1-based), so the case exhausts its retry budget.
+    #[must_use]
+    pub fn fail_at_persistent(mut self, case_index: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.insert(
+            case_index,
+            PlannedFault {
+                kind,
+                sticky: true,
+                attempts: AtomicU32::new(0),
+            },
+        );
+        self
+    }
+
+    /// True if the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Called once per attempt; returns the fault to inject, if any.
+    fn arm(&self, case_index: u64) -> Option<FaultKind> {
+        let fault = self.faults.get(&case_index)?;
+        let prior = fault.attempts.fetch_add(1, Ordering::Relaxed);
+        if fault.sticky || prior == 0 {
+            Some(fault.kind)
+        } else {
+            None
+        }
+    }
+}
+
+/// Bounds on how much a single faulty case may cost the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Retries granted to a case whose attempt panicked or hung; the
+    /// case runs at most `max_retries + 1` times before it is reported
+    /// as [`CaseOutcome::Poisoned`] / [`CaseOutcome::TimedOut`].
+    pub max_retries: u32,
+    /// Step budget above which a case that exhausted the DUT's step
+    /// limit is classified as a hang ([`CaseOutcome::TimedOut`]) instead
+    /// of a legitimate long run. `None` (the default) disables the
+    /// watchdog: step-budget exhaustion stays an ordinary completed
+    /// case, exactly as before this policy existed.
+    pub fuel: Option<u64>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> FaultPolicy {
+        FaultPolicy {
+            max_retries: 1,
+            fuel: None,
+        }
+    }
+}
+
+/// What became of one submitted case under fault containment.
+//
+// `Completed` dwarfs the abort variants, but it is also the variant
+// every healthy case takes — boxing it would buy smaller `Vec`
+// elements at the price of one heap allocation per executed case on
+// the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// The case ran to an ordinary halt.
+    Completed(CaseResult),
+    /// Every attempt exceeded the fuel budget; the case was abandoned.
+    TimedOut {
+        /// Attempts made (`max_retries + 1` of the governing policy).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the worker pair was replaced each time
+    /// and the case was abandoned. The campaign quarantines the
+    /// offending body as a proof-of-concept.
+    Poisoned {
+        /// Attempts made (`max_retries + 1` of the governing policy).
+        attempts: u32,
+        /// The panic message of the final attempt.
+        reason: String,
+    },
+}
+
+impl CaseOutcome {
+    /// The completed result, if the case ran to a halt.
+    #[must_use]
+    pub fn completed(&self) -> Option<&CaseResult> {
+        match self {
+            CaseOutcome::Completed(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the result of a completed case.
+    #[must_use]
+    pub fn into_completed(self) -> Option<CaseResult> {
+        match self {
+            CaseOutcome::Completed(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// True for [`CaseOutcome::TimedOut`] and [`CaseOutcome::Poisoned`].
+    #[must_use]
+    pub fn is_aborted(&self) -> bool {
+        !matches!(self, CaseOutcome::Completed(_))
+    }
+}
+
+std::thread_local! {
+    /// Set while a worker runs inside `catch_unwind`, so the panic hook
+    /// stays quiet for contained panics (they are expected and reported
+    /// through [`CaseOutcome::Poisoned`], not stderr).
+    static CONTAINED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that suppresses output for contained
+/// worker panics and delegates everything else to the previous hook.
+fn install_contained_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINED.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("worker panicked with a non-string payload")
+    }
+}
+
+enum Abort {
+    Hang,
+    Poisoned(String),
+}
+
+/// Runs one case with containment: injected faults fire first, panics
+/// are caught and the worker replaced from `prototype`, fuel exhaustion
+/// counts as a hang, and the whole thing retries up to the policy's
+/// budget. Deterministic for a fixed `(plan, policy, case_index, body)`
+/// no matter which worker thread executes it.
+fn run_case_contained(
+    worker: &mut Executor,
+    prototype: &Executor,
+    body: &TestBody,
+    case_index: u64,
+    plan: Option<&FaultPlan>,
+    policy: FaultPolicy,
+) -> CaseOutcome {
+    let max_attempts = policy.max_retries.saturating_add(1);
+    let mut attempts = 0u32;
+    let mut last_abort = Abort::Hang;
+    while attempts < max_attempts {
+        attempts += 1;
+        let injected = plan.and_then(|p| p.arm(case_index));
+        if injected == Some(FaultKind::Hang) {
+            // A real hang is cut short by the DUT's step budget and lands
+            // in the fuel check below; the injected form skips execution
+            // so tests stay instant.
+            last_abort = Abort::Hang;
+            continue;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            CONTAINED.with(|c| c.set(true));
+            let result = match injected {
+                Some(FaultKind::Panic) => panic!("injected worker panic at case {case_index}"),
+                Some(FaultKind::IoError) => {
+                    panic!("injected i/o error at case {case_index}: broken pipe")
+                }
+                _ => worker.run(body),
+            };
+            CONTAINED.with(|c| c.set(false));
+            result
+        }));
+        CONTAINED.with(|c| c.set(false));
+        match outcome {
+            Ok(result) => {
+                if let Some(fuel) = policy.fuel {
+                    if matches!(result.dut.halt, HaltReason::StepBudget) && result.dut.steps >= fuel
+                    {
+                        last_abort = Abort::Hang;
+                        continue;
+                    }
+                }
+                return CaseOutcome::Completed(result);
+            }
+            Err(payload) => {
+                // The pair's invariants may be broken mid-case; quarantine
+                // it and continue on a fresh clone of the prototype.
+                *worker = prototype.clone();
+                last_abort = Abort::Poisoned(panic_message(payload.as_ref()));
+            }
+        }
+    }
+    match last_abort {
+        Abort::Hang => CaseOutcome::TimedOut { attempts },
+        Abort::Poisoned(reason) => CaseOutcome::Poisoned { attempts, reason },
+    }
 }
 
 /// Throughput counters of a pooled run (filled in per batch).
@@ -143,6 +425,11 @@ pub struct BatchStats {
 #[derive(Debug)]
 pub struct ExecPool {
     workers: Vec<Executor>,
+    /// Pristine executor used to replace poisoned workers (every run
+    /// starts the DUT from reset, so clones behave identically).
+    prototype: Executor,
+    policy: FaultPolicy,
+    plan: Option<Arc<FaultPlan>>,
     batches: u64,
     cases: u64,
     exec_time: Duration,
@@ -156,19 +443,46 @@ impl ExecPool {
     #[must_use]
     pub fn new(prototype: Executor, threads: usize) -> ExecPool {
         let threads = threads.max(1);
-        let mut workers = Vec::with_capacity(threads);
-        for _ in 1..threads {
-            workers.push(prototype.clone());
-        }
-        workers.push(prototype);
+        let workers = (0..threads).map(|_| prototype.clone()).collect();
         ExecPool {
             workers,
+            prototype,
+            policy: FaultPolicy::default(),
+            plan: None,
             batches: 0,
             cases: 0,
             exec_time: Duration::ZERO,
             busy_time: Duration::ZERO,
             last_batch: BatchStats::default(),
         }
+    }
+
+    /// Sets the containment bounds used by
+    /// [`ExecPool::run_batch_contained`].
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> ExecPool {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (testing / CI only).
+    #[must_use]
+    pub fn with_fault_plan(self, plan: FaultPlan) -> ExecPool {
+        self.with_shared_fault_plan(Arc::new(plan))
+    }
+
+    /// Arms an already-shared fault-injection plan (campaign specs hold
+    /// plans behind an `Arc` to stay `Clone`).
+    #[must_use]
+    pub fn with_shared_fault_plan(mut self, plan: Arc<FaultPlan>) -> ExecPool {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The active containment bounds.
+    #[must_use]
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
     }
 
     /// Number of worker threads.
@@ -190,6 +504,9 @@ impl ExecPool {
     }
 
     /// Executes one batch, returning results in submission order.
+    ///
+    /// This is the uncontained path: worker panics propagate to the
+    /// caller. Campaigns use [`ExecPool::run_batch_contained`].
     pub fn run_batch(&mut self, bodies: &[TestBody]) -> Vec<CaseResult> {
         let started = Instant::now();
         let timed = run_ordered(&mut self.workers, bodies, |worker, body| {
@@ -197,10 +514,7 @@ impl ExecPool {
             let result = worker.run(body);
             (result, case_started.elapsed())
         });
-        let batch_wall = started.elapsed();
-        self.exec_time += batch_wall;
-        self.batches += 1;
-        self.cases += bodies.len() as u64;
+        self.account_batch(started, bodies.len());
         let mut batch_busy = Duration::ZERO;
         let results: Vec<CaseResult> = timed
             .into_iter()
@@ -209,20 +523,92 @@ impl ExecPool {
                 result
             })
             .collect();
-        self.busy_time += batch_busy;
-        let exec_seconds = batch_wall.as_secs_f64();
-        let busy_seconds = batch_busy.as_secs_f64();
-        self.last_batch = BatchStats {
-            cases: bodies.len() as u64,
-            exec_seconds,
-            busy_seconds,
-            occupancy: if exec_seconds > 0.0 {
-                busy_seconds / (exec_seconds * self.workers.len() as f64)
-            } else {
-                0.0
-            },
-        };
+        self.account_busy(batch_busy);
         results
+    }
+
+    /// Executes one batch with fault containment, returning a
+    /// [`CaseOutcome`] per body in submission order.
+    ///
+    /// Panicking attempts are caught, the poisoned worker pair is
+    /// replaced from the prototype, and each faulty case is retried up
+    /// to the policy's budget before being reported as
+    /// [`CaseOutcome::Poisoned`] or [`CaseOutcome::TimedOut`]; the rest
+    /// of the batch is unaffected. Fault injection points are keyed by
+    /// the pool's **global** case counter (1-based), which
+    /// [`ExecPool::restore_counters`] re-establishes after a resume.
+    pub fn run_batch_contained(&mut self, bodies: &[TestBody]) -> Vec<CaseOutcome> {
+        install_contained_panic_hook();
+        let started = Instant::now();
+        let base = self.cases;
+        let indexed: Vec<(u64, &TestBody)> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, body)| (base + 1 + i as u64, body))
+            .collect();
+        let prototype = &self.prototype;
+        let plan = self.plan.as_deref();
+        let policy = self.policy;
+        let timed = run_ordered(
+            &mut self.workers,
+            &indexed,
+            |worker, &(case_index, body)| {
+                let case_started = Instant::now();
+                let outcome = run_case_contained(worker, prototype, body, case_index, plan, policy);
+                (outcome, case_started.elapsed())
+            },
+        );
+        self.account_batch(started, bodies.len());
+        let mut batch_busy = Duration::ZERO;
+        let outcomes: Vec<CaseOutcome> = timed
+            .into_iter()
+            .map(|(outcome, spent)| {
+                batch_busy += spent;
+                outcome
+            })
+            .collect();
+        self.account_busy(batch_busy);
+        outcomes
+    }
+
+    fn account_batch(&mut self, started: Instant, cases: usize) {
+        let batch_wall = started.elapsed();
+        self.exec_time += batch_wall;
+        self.batches += 1;
+        self.cases += cases as u64;
+        self.last_batch = BatchStats {
+            cases: cases as u64,
+            exec_seconds: batch_wall.as_secs_f64(),
+            busy_seconds: 0.0,
+            occupancy: 0.0,
+        };
+    }
+
+    fn account_busy(&mut self, batch_busy: Duration) {
+        self.busy_time += batch_busy;
+        let exec_seconds = self.last_batch.exec_seconds;
+        self.last_batch.busy_seconds = batch_busy.as_secs_f64();
+        self.last_batch.occupancy = if exec_seconds > 0.0 {
+            batch_busy.as_secs_f64() / (exec_seconds * self.workers.len() as f64)
+        } else {
+            0.0
+        };
+    }
+
+    /// Lifetime case/batch counters (`(batches, cases)`), used by
+    /// campaign checkpoints.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.batches, self.cases)
+    }
+
+    /// Restores lifetime counters after a campaign resume so the global
+    /// case numbering (and any armed [`FaultPlan`]) continues from where
+    /// the interrupted run stopped. Timing accumulators are left at
+    /// zero; they are wall-clock telemetry, not campaign state.
+    pub fn restore_counters(&mut self, batches: u64, cases: u64) {
+        self.batches = batches;
+        self.cases = cases;
     }
 
     /// Utilisation counters of the most recent [`ExecPool::run_batch`]
@@ -340,6 +726,161 @@ mod tests {
             stats.occupancy > 0.0 && stats.occupancy <= 1.05,
             "{stats:?}"
         );
+    }
+
+    fn spin_body() -> TestBody {
+        // Jump-to-self: never halts, so the DUT's step budget cuts it off.
+        TestBody::Asm(vec![Instruction::j(Opcode::Jal, Reg::X0, 0)])
+    }
+
+    #[test]
+    fn contained_batch_without_faults_matches_the_plain_path() {
+        let batch: Vec<TestBody> = (0..6).map(|i| addi_body(i + 1)).collect();
+        let mut plain = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        let expected = plain.run_batch(&batch);
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        let outcomes = pool.run_batch_contained(&batch);
+        assert_eq!(outcomes.len(), expected.len());
+        for (outcome, want) in outcomes.iter().zip(&expected) {
+            let got = outcome.completed().expect("no faults injected");
+            assert_eq!(got.dut.coverage, want.dut.coverage);
+            assert_eq!(got.dut.arch, want.dut.arch);
+        }
+        assert_eq!(pool.counters(), (1, 6));
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_the_batch_matches_a_clean_run() {
+        let batch: Vec<TestBody> = (0..5).map(|i| addi_body(i + 1)).collect();
+        let mut clean = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        let expected = clean.run_batch(&batch);
+        for kind in [FaultKind::Panic, FaultKind::IoError, FaultKind::Hang] {
+            let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2)
+                .with_fault_plan(FaultPlan::new().fail_at(3, kind));
+            let outcomes = pool.run_batch_contained(&batch);
+            for (i, (outcome, want)) in outcomes.iter().zip(&expected).enumerate() {
+                let got = outcome
+                    .completed()
+                    .unwrap_or_else(|| panic!("case {i} should recover from a transient {kind:?}"));
+                assert_eq!(got.dut.arch, want.dut.arch);
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_panic_poisons_only_the_faulty_case() {
+        let batch: Vec<TestBody> = (0..5).map(|i| addi_body(i + 1)).collect();
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2)
+            .with_fault_policy(FaultPolicy {
+                max_retries: 2,
+                fuel: None,
+            })
+            .with_fault_plan(FaultPlan::new().fail_at_persistent(3, FaultKind::Panic));
+        let outcomes = pool.run_batch_contained(&batch);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                match outcome {
+                    CaseOutcome::Poisoned { attempts, reason } => {
+                        assert_eq!(*attempts, 3, "max_retries bounds the attempts");
+                        assert!(
+                            reason.contains("injected worker panic at case 3"),
+                            "{reason}"
+                        );
+                    }
+                    other => panic!("case 3 should be poisoned, got {other:?}"),
+                }
+            } else {
+                assert!(outcome.completed().is_some(), "case {i} must be unaffected");
+            }
+        }
+        // The poisoned worker was replaced: the pool keeps executing.
+        let next = pool.run_batch_contained(&batch);
+        assert!(next.iter().all(|o| o.completed().is_some()));
+        assert_eq!(pool.counters(), (2, 10));
+    }
+
+    #[test]
+    fn persistent_hang_times_out_within_the_retry_budget() {
+        let batch: Vec<TestBody> = (0..3).map(|i| addi_body(i + 1)).collect();
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 1)
+            .with_fault_plan(FaultPlan::new().fail_at_persistent(2, FaultKind::Hang));
+        let outcomes = pool.run_batch_contained(&batch);
+        match &outcomes[1] {
+            CaseOutcome::TimedOut { attempts } => assert_eq!(*attempts, 2),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(outcomes[0].completed().is_some());
+        assert!(outcomes[2].completed().is_some());
+    }
+
+    #[test]
+    fn fuel_watchdog_reclassifies_runaway_cases() {
+        let batch = vec![addi_body(1), spin_body(), addi_body(2)];
+        // Without fuel, step-budget exhaustion is an ordinary completion
+        // (the legacy semantics campaigns rely on).
+        let executor = Executor::builder(CoreKind::Rocket).max_steps(64).build();
+        let mut lenient = ExecPool::new(executor.clone(), 1);
+        let outcomes = lenient.run_batch_contained(&batch);
+        let spun = outcomes[1].completed().expect("no fuel: completes");
+        assert_eq!(spun.dut.halt, hfl_grm::HaltReason::StepBudget);
+        // With fuel, the same case is abandoned as a hang.
+        let mut strict = ExecPool::new(executor, 1).with_fault_policy(FaultPolicy {
+            max_retries: 0,
+            fuel: Some(64),
+        });
+        let outcomes = strict.run_batch_contained(&batch);
+        match &outcomes[1] {
+            CaseOutcome::TimedOut { attempts } => assert_eq!(*attempts, 1),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(outcomes[0].completed().is_some());
+        assert!(outcomes[2].completed().is_some());
+    }
+
+    #[test]
+    fn fault_outcomes_are_identical_across_thread_counts() {
+        let batch: Vec<TestBody> = (0..10).map(|i| addi_body(i + 1)).collect();
+        let classify = |outcomes: &[CaseOutcome]| -> Vec<String> {
+            outcomes
+                .iter()
+                .map(|o| match o {
+                    CaseOutcome::Completed(r) => format!("ok:{}", r.dut.arch.x[10]),
+                    CaseOutcome::TimedOut { attempts } => format!("timeout:{attempts}"),
+                    CaseOutcome::Poisoned { attempts, reason } => {
+                        format!("poisoned:{attempts}:{reason}")
+                    }
+                })
+                .collect()
+        };
+        let mut reference: Option<Vec<String>> = None;
+        for threads in [1, 2, 8] {
+            let plan = FaultPlan::new()
+                .fail_at(2, FaultKind::Panic)
+                .fail_at_persistent(5, FaultKind::Hang)
+                .fail_at_persistent(7, FaultKind::IoError);
+            let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), threads)
+                .with_fault_plan(plan);
+            let got = classify(&pool.run_batch_contained(&batch));
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn restored_counters_continue_the_global_case_numbering() {
+        // A plan keyed on case 5 must fire in the second batch of a pool
+        // whose counters say 3 cases already ran (resume scenario).
+        let batch: Vec<TestBody> = (0..3).map(|i| addi_body(i + 1)).collect();
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 1)
+            .with_fault_plan(FaultPlan::new().fail_at_persistent(5, FaultKind::Hang));
+        pool.restore_counters(1, 3);
+        let outcomes = pool.run_batch_contained(&batch);
+        assert!(outcomes[0].completed().is_some());
+        assert!(outcomes[1].is_aborted(), "global case 5 is local case 2");
+        assert!(outcomes[2].completed().is_some());
+        assert_eq!(pool.counters(), (2, 6));
     }
 
     #[test]

@@ -4,7 +4,11 @@
 
 use std::collections::VecDeque;
 
-use hfl_nn::Adam;
+use hfl_nn::persist::{
+    read_bool, read_f32, read_f32_vec, read_f64, read_u32, read_u64, read_usize, write_bool,
+    write_f32, write_f32_vec, write_f64, write_u32, write_u64, write_usize, Codec, PersistError,
+};
+use hfl_nn::{Adam, LstmState};
 use hfl_rl::{advantage, PpoConfig, RewardConfig, RewardNormalizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,6 +16,7 @@ use rand::SeedableRng;
 use crate::baselines::{Feedback, Fuzzer, TestBody};
 use crate::generator::{EpisodeStep, GenSession, GeneratorConfig, InstructionGenerator};
 use crate::obs::{Event, SinkHandle};
+use crate::persist;
 use crate::predictor::{
     CoveragePredictor, CoverageSession, PredictorConfig, ValuePredictor, ValueSession,
 };
@@ -254,6 +259,110 @@ impl HflFuzzer {
     #[must_use]
     pub fn generator(&self) -> &InstructionGenerator {
         &self.generator
+    }
+
+    /// Serialises the loop's complete learning state: RNG stream position,
+    /// both models with their Adam moments, streaming LSTM sessions, the
+    /// reward normaliser, the open PPO window and all counters. Only valid
+    /// at a round boundary (no case awaiting feedback) — that is the
+    /// invariant that makes a resumed campaign bit-identical.
+    fn write_state<W: std::io::Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        if !self.pending.is_empty() {
+            return Err(PersistError::Unsupported(
+                "HFL checkpoint requires a round boundary",
+            ));
+        }
+        self.cfg.save(w)?;
+        persist::write_rng(w, &self.rng)?;
+        self.generator.save(w)?;
+        self.predictor.save(w)?;
+        self.gen_adam.save(w)?;
+        self.pred_adam.save(w)?;
+        let (count, mean, m2) = self.normalizer.state();
+        write_u64(w, count)?;
+        write_f64(w, mean)?;
+        write_f64(w, m2)?;
+        self.session.state().save(w)?;
+        self.session.next_input.save(w)?;
+        self.value_session.state().save(w)?;
+        write_f32(w, self.value_session.value())?;
+        match &self.coverage_predictor {
+            Some(cp) => {
+                write_bool(w, true)?;
+                cp.save(w)?;
+            }
+            None => write_bool(w, false)?,
+        }
+        match &self.coverage_session {
+            Some(cs) => {
+                write_bool(w, true)?;
+                cs.state().save(w)?;
+            }
+            None => write_bool(w, false)?,
+        }
+        self.cov_adam.save(w)?;
+        write_f32_vec(w, &self.cumulative_bits)?;
+        persist::write_program(w, &self.body)?;
+        write_usize(w, self.episode.len())?;
+        for step in &self.episode {
+            step.save(w)?;
+        }
+        persist::write_tokens_seq(w, &self.td_inputs)?;
+        write_f32_vec(w, &self.td_targets)?;
+        write_u64(w, self.stagnation)?;
+        write_u32(w, self.consecutive_rollbacks)?;
+        self.stats.save(w)?;
+        write_f32_vec(w, &self.window_rewards)
+    }
+
+    /// Restores state written by [`HflFuzzer::write_state`]. The attached
+    /// telemetry sink is kept; everything else is replaced.
+    fn read_state<R: std::io::Read>(&mut self, r: &mut R) -> Result<(), PersistError> {
+        use hfl_nn::persist::corrupt;
+        self.cfg = HflConfig::load(r)?;
+        self.rng = persist::read_rng(r)?;
+        self.generator = InstructionGenerator::load(r)?;
+        self.predictor = ValuePredictor::load(r)?;
+        self.gen_adam = Adam::load(r)?;
+        self.pred_adam = Adam::load(r)?;
+        let count = read_u64(r)?;
+        let mean = read_f64(r)?;
+        let m2 = read_f64(r)?;
+        self.normalizer = RewardNormalizer::from_state(count, mean, m2);
+        let gen_state = LstmState::load(r)?;
+        let next_input = Tokens::load(r)?;
+        self.session = GenSession::from_parts(gen_state, next_input);
+        let value_state = LstmState::load(r)?;
+        let last_value = read_f32(r)?;
+        self.value_session = ValueSession::from_parts(value_state, last_value);
+        self.coverage_predictor = if read_bool(r)? {
+            Some(CoveragePredictor::load(r)?)
+        } else {
+            None
+        };
+        self.coverage_session = if read_bool(r)? {
+            Some(CoverageSession::from_parts(LstmState::load(r)?))
+        } else {
+            None
+        };
+        if self.coverage_predictor.is_some() != self.coverage_session.is_some() {
+            return Err(corrupt("coverage predictor and session must pair up"));
+        }
+        self.cov_adam = Adam::load(r)?;
+        self.cumulative_bits = read_f32_vec(r)?;
+        self.body = persist::read_program(r)?;
+        let n = read_usize(r, 1 << 20, "episode length")?;
+        self.episode = (0..n)
+            .map(|_| EpisodeStep::load(r))
+            .collect::<Result<_, _>>()?;
+        self.td_inputs = persist::read_tokens_seq(r)?;
+        self.td_targets = read_f32_vec(r)?;
+        self.stagnation = read_u64(r)?;
+        self.consecutive_rollbacks = read_u32(r)?;
+        self.stats = HflStats::load(r)?;
+        self.window_rewards = read_f32_vec(r)?;
+        self.pending.clear();
+        Ok(())
     }
 
     /// Samples up to `screen_candidates` instructions from the policy and
@@ -657,6 +766,14 @@ impl Fuzzer for HflFuzzer {
 
     fn attach_sink(&mut self, sink: SinkHandle) {
         self.sink = sink;
+    }
+
+    fn save_state(&self, mut w: &mut dyn std::io::Write) -> Result<(), PersistError> {
+        self.write_state(&mut w)
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn std::io::Read) -> Result<(), PersistError> {
+        self.read_state(&mut r)
     }
 }
 

@@ -175,6 +175,20 @@ pub struct GenSession {
     pub next_input: Tokens,
 }
 
+impl GenSession {
+    /// The LSTM state (checkpointing).
+    #[must_use]
+    pub fn state(&self) -> &LstmState {
+        &self.state
+    }
+
+    /// Rebuilds a session from checkpointed parts.
+    #[must_use]
+    pub fn from_parts(state: LstmState, next_input: Tokens) -> GenSession {
+        GenSession { state, next_input }
+    }
+}
+
 impl InstructionGenerator {
     /// Creates a generator with freshly initialised parameters.
     #[must_use]

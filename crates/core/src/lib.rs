@@ -42,8 +42,10 @@
 //! cfg.generator.hidden = 16;
 //! cfg.predictor.hidden = 16;
 //! let mut hfl = HflFuzzer::new(cfg);
-//! let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(10));
-//! let result = run_campaign(&mut hfl, &spec);
+//! let spec = CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(10))
+//!     .build()
+//!     .expect("valid spec");
+//! let result = run_campaign(&mut hfl, &spec).expect("campaign runs");
 //! assert!(result.final_counts().0 > 0);
 //! ```
 
@@ -65,10 +67,13 @@ pub mod tokens;
 pub mod triage;
 
 pub use baselines::{Feedback, Fuzzer, TestBody};
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CoverageSample};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignResult, CampaignSpec, CampaignSpecBuilder,
+    CheckpointPolicy, CoverageSample, SpecError,
+};
 pub use corpus::Corpus;
 pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
-pub use exec::{BatchStats, ExecPool, Throughput};
+pub use exec::{BatchStats, CaseOutcome, ExecPool, FaultKind, FaultPlan, FaultPolicy, Throughput};
 pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
 pub use generator::{GeneratorConfig, InstructionGenerator};
 pub use harness::{CaseResult, CaseTiming, Executor, ExecutorBuilder};

@@ -131,6 +131,20 @@ pub enum Event {
         /// Body length after the reduction.
         to_len: u64,
     },
+    /// A case was abandoned by fault containment: every attempt panicked
+    /// (`reason` is the final panic message) or exceeded the fuel budget
+    /// (`reason` is `"timeout"`). Deterministic: carries indices and the
+    /// attempt count, never wall clock.
+    CaseAborted {
+        /// Round the case belonged to.
+        round: u64,
+        /// Case index (1-based, campaign-wide).
+        case: u64,
+        /// `"timeout"` or the final attempt's panic message.
+        reason: String,
+        /// Attempts made before the case was abandoned.
+        attempts: u64,
+    },
     /// Pool utilisation for one executed batch (wall-clock: excluded from
     /// determinism comparisons).
     PoolOccupancy {
@@ -165,6 +179,7 @@ impl Event {
             Event::PpoUpdate { .. } => "ppo_update",
             Event::PredictorEval { .. } => "predictor_eval",
             Event::MinimizeStep { .. } => "minimize_step",
+            Event::CaseAborted { .. } => "case_aborted",
             Event::PoolOccupancy { .. } => "pool_occupancy",
         }
     }
@@ -245,6 +260,17 @@ impl Event {
                 w.num("from_len", *from_len);
                 w.num("to_len", *to_len);
             }
+            Event::CaseAborted {
+                round,
+                case,
+                reason,
+                attempts,
+            } => {
+                w.num("round", *round);
+                w.num("case", *case);
+                w.str("reason", reason);
+                w.num("attempts", *attempts);
+            }
             Event::PoolOccupancy {
                 round,
                 threads,
@@ -314,6 +340,12 @@ impl Event {
                 from_len: u("from_len")?,
                 to_len: u("to_len")?,
             }),
+            "case_aborted" => Some(Event::CaseAborted {
+                round: u("round")?,
+                case: u("case")?,
+                reason: f("reason")?.as_str()?.to_owned(),
+                attempts: u("attempts")?,
+            }),
             "pool_occupancy" => Some(Event::PoolOccupancy {
                 round: u("round")?,
                 threads: u("threads")?,
@@ -346,6 +378,12 @@ impl JsonWriter {
         // NaN/inf are not JSON; clamp to 0 (only ever timing artefacts).
         let v = if value.is_finite() { value } else { 0.0 };
         let _ = write!(self.buf, ",\"{key}\":{v}");
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        let _ = write!(self.buf, ",\"{key}\":\"");
+        escape_json_into(&mut self.buf, value);
+        self.buf.push('"');
     }
 
     fn hex_opt(&mut self, key: &str, value: Option<u64>) {
@@ -398,6 +436,62 @@ impl JsonValue {
     }
 }
 
+/// Escapes `value` for inclusion in a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+fn escape_json_into(buf: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\t' => buf.push_str("\\t"),
+            '\r' => buf.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Scans a JSON string literal starting just after its opening quote;
+/// returns the unescaped contents and the remainder after the closing
+/// quote.
+fn scan_json_string(s: &str) -> Option<(String, &str)> {
+    let bytes = s.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, &s[i + 1..])),
+            b'\\' => {
+                let escape = *bytes.get(i + 1)?;
+                i += 2;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = s.get(i..i + 4)?;
+                        out.push(char::from_u32(u32::from_str_radix(hex, 16).ok()?)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+            }
+            _ => {
+                let c = s[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
 /// Parses a single-level JSON object with string/number/bool/null values
 /// (the full event schema; nested containers are not part of it).
 fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
@@ -409,13 +503,12 @@ fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
     }
     loop {
         rest = rest.trim_start().strip_prefix('"')?;
-        let end = rest.find('"')?;
-        let key = rest[..end].to_owned();
-        rest = rest[end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let (key, after_key) = scan_json_string(rest)?;
+        rest = after_key.trim_start().strip_prefix(':')?.trim_start();
         let after = if let Some(r) = rest.strip_prefix('"') {
-            let end = r.find('"')?;
-            fields.push((key, JsonValue::Str(r[..end].to_owned())));
-            &r[end + 1..]
+            let (value, after_value) = scan_json_string(r)?;
+            fields.push((key, JsonValue::Str(value)));
+            after_value
         } else {
             let end = rest.find(',').unwrap_or(rest.len());
             let token = rest[..end].trim();
@@ -449,6 +542,16 @@ pub trait EventSink: Send + Sync {
 
     /// Flushes buffered output (no-op for in-memory sinks).
     fn flush(&self) {}
+
+    /// Takes the first I/O error the sink hit, if any (sticky: once a
+    /// write fails the sink stops writing, and the error waits here
+    /// until someone claims it). Telemetry must never abort a campaign,
+    /// so errors are surfaced this way instead of propagating from
+    /// [`EventSink::emit`]; the campaign runner reports them on
+    /// `CampaignResult::sink_error`.
+    fn take_error(&self) -> Option<io::Error> {
+        None
+    }
 }
 
 /// Discards every event — the default, so un-instrumented campaigns pay
@@ -527,9 +630,19 @@ impl EventSink for RingSink {
 }
 
 /// Streams events to a file as JSON Lines (see the module docs' schema).
+///
+/// Write and flush errors are **sticky**: the first failure stops all
+/// further writing (so a full disk costs one failed syscall, not one per
+/// event) and is held until [`EventSink::take_error`] claims it.
 #[derive(Debug)]
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<JsonlState>,
+}
+
+#[derive(Debug)]
+struct JsonlState {
+    out: BufWriter<File>,
+    error: Option<io::Error>,
 }
 
 impl JsonlSink {
@@ -539,21 +652,37 @@ impl JsonlSink {
     /// Propagates the underlying file-creation error.
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
         Ok(JsonlSink {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            out: Mutex::new(JsonlState {
+                out: BufWriter::new(File::create(path)?),
+                error: None,
+            }),
         })
     }
 }
 
 impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
-        let mut out = self.out.lock().expect("jsonl sink lock");
-        // A full disk surfaces at flush(); per-event errors are ignored so
-        // telemetry can never abort a campaign.
-        let _ = writeln!(out, "{}", event.to_json());
+        let mut state = self.out.lock().expect("jsonl sink lock");
+        if state.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(state.out, "{}", event.to_json()) {
+            state.error = Some(e);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink lock").flush();
+        let mut state = self.out.lock().expect("jsonl sink lock");
+        if state.error.is_some() {
+            return;
+        }
+        if let Err(e) = state.out.flush() {
+            state.error = Some(e);
+        }
+    }
+
+    fn take_error(&self) -> Option<io::Error> {
+        self.out.lock().expect("jsonl sink lock").error.take()
     }
 }
 
@@ -632,6 +761,17 @@ impl SinkHandle {
     pub fn flush(&self) {
         if self.enabled {
             self.sink.flush();
+        }
+    }
+
+    /// Takes the sink's sticky I/O error, if it hit one (see
+    /// [`EventSink::take_error`]).
+    #[must_use]
+    pub fn take_error(&self) -> Option<io::Error> {
+        if self.enabled {
+            self.sink.take_error()
+        } else {
+            None
         }
     }
 }
@@ -756,6 +896,17 @@ impl Metrics {
     /// Records a duration in seconds into the named histogram.
     pub fn observe_duration(&mut self, name: &'static str, duration: Duration) {
         self.observe(name, duration.as_secs_f64());
+    }
+
+    /// Overwrites the named counter (campaign resume restores counters
+    /// from a checkpointed [`MetricsSnapshot`]).
+    pub fn restore_counter(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Overwrites the named histogram (campaign resume).
+    pub fn restore_histogram(&mut self, name: &'static str, histogram: Histogram) {
+        self.histograms.insert(name, histogram);
     }
 
     /// A point-in-time copy of every counter and histogram.
@@ -943,6 +1094,12 @@ mod tests {
                 from_len: 9,
                 to_len: 5,
             },
+            Event::CaseAborted {
+                round: 1,
+                case: 3,
+                reason: String::from("injected worker panic at case 3"),
+                attempts: 2,
+            },
         ]
     }
 
@@ -1051,6 +1208,47 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn aborted_case_reasons_survive_json_escaping() {
+        for reason in [
+            "plain message",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand tab\tand\rcarriage",
+            "control \u{1} char and unicode π",
+            "",
+        ] {
+            let event = Event::CaseAborted {
+                round: 0,
+                case: 1,
+                reason: reason.to_owned(),
+                attempts: 2,
+            };
+            let line = event.to_json();
+            let parsed = Event::from_json(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(parsed, event, "{line}");
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn jsonl_sink_errors_are_sticky_and_claimable() {
+        // /dev/full accepts the open but fails every write with ENOSPC.
+        let sink = match JsonlSink::create("/dev/full") {
+            Ok(sink) => sink,
+            Err(_) => return, // not available in this sandbox
+        };
+        for e in sample_events() {
+            sink.emit(&e);
+        }
+        sink.flush();
+        let handle = SinkHandle::new(Arc::new(sink));
+        let err = handle
+            .take_error()
+            .expect("writing to /dev/full must surface an error");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull, "{err}");
+        assert!(handle.take_error().is_none(), "error is claimed once");
     }
 
     #[test]

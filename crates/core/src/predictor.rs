@@ -82,6 +82,18 @@ impl ValueSession {
     pub fn value(&self) -> f32 {
         self.last_value
     }
+
+    /// The LSTM state (checkpointing).
+    #[must_use]
+    pub fn state(&self) -> &LstmState {
+        &self.state
+    }
+
+    /// Rebuilds a session from checkpointed parts.
+    #[must_use]
+    pub fn from_parts(state: LstmState, last_value: f32) -> ValueSession {
+        ValueSession { state, last_value }
+    }
 }
 
 impl ValuePredictor {
@@ -229,6 +241,20 @@ pub struct CoverageSession {
     state: LstmState,
 }
 
+impl CoverageSession {
+    /// The LSTM state (checkpointing).
+    #[must_use]
+    pub fn state(&self) -> &LstmState {
+        &self.state
+    }
+
+    /// Rebuilds a session from a checkpointed LSTM state.
+    #[must_use]
+    pub fn from_parts(state: LstmState) -> CoverageSession {
+        CoverageSession { state }
+    }
+}
+
 /// The §IV-C hardware coverage predictor: multi-label sigmoid over
 /// coverage points.
 #[derive(Debug, Clone)]
@@ -335,6 +361,45 @@ impl CoveragePredictor {
         v.extend(self.lstm.params_mut());
         v.extend(self.out.params_mut());
         v
+    }
+
+    /// The token encoder (checkpointing).
+    #[must_use]
+    pub fn encoder_ref(&self) -> &TokenEncoder {
+        &self.encoder
+    }
+
+    /// The LSTM core (checkpointing).
+    #[must_use]
+    pub fn lstm_ref(&self) -> &Lstm {
+        &self.lstm
+    }
+
+    /// The per-point output head (checkpointing).
+    #[must_use]
+    pub fn out_ref(&self) -> &Linear {
+        &self.out
+    }
+
+    /// Rebuilds a coverage predictor from persisted parts; `None` on shape
+    /// mismatch.
+    #[must_use]
+    pub fn from_parts(
+        cfg: PredictorConfig,
+        encoder: TokenEncoder,
+        lstm: Lstm,
+        out: Linear,
+    ) -> Option<CoveragePredictor> {
+        let ok = encoder.dim() == cfg.encoder.input_dim()
+            && lstm.hidden() == cfg.hidden
+            && lstm.layers() == cfg.layers
+            && out.in_dim() == cfg.hidden;
+        ok.then_some(CoveragePredictor {
+            cfg,
+            encoder,
+            lstm,
+            out,
+        })
     }
 }
 

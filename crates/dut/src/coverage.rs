@@ -278,6 +278,30 @@ impl CoverageSnapshot {
             .map(|i| u8::from(self.is_hit(PointId(i as u32))))
             .collect()
     }
+
+    /// The raw 64-bit backing words, for checkpointing.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a snapshot from backing words captured by
+    /// [`CoverageSnapshot::words`]. Returns `None` if the word count does
+    /// not match `len` or a bit beyond `len` is set.
+    #[must_use]
+    pub fn from_words(len: usize, words: Vec<u64>) -> Option<CoverageSnapshot> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(CoverageSnapshot { bits: words, len })
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,12 @@ impl Adam {
         self.t
     }
 
+    /// Restores the step counter from a checkpoint so bias correction
+    /// resumes on the exact same schedule.
+    pub fn restore_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Applies one update to every tensor and clears their gradients.
     pub fn step(&mut self, params: &mut [&mut Tensor]) {
         self.t += 1;

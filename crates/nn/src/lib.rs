@@ -47,5 +47,5 @@ pub use adam::Adam;
 pub use embedding::Embedding;
 pub use linear::Linear;
 pub use lstm::{Lstm, LstmCell, LstmState, LstmTrace};
-pub use persist::Persist;
+pub use persist::{Codec, PersistError, SnapshotReader, SnapshotWriter};
 pub use tensor::Tensor;

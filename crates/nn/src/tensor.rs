@@ -190,8 +190,8 @@ impl Tensor {
         self.grad.iter_mut().for_each(|g| *g = 0.0);
     }
 
-    /// Restores optimiser/gradient buffers after a checkpoint reload (the
-    /// persist codec stores only `data`).
+    /// Restores optimiser/gradient buffers sized to `data` (used after
+    /// hand-built or partially populated tensors).
     pub fn ensure_buffers(&mut self) {
         let n = self.data.len();
         if self.grad.len() != n {
@@ -264,7 +264,7 @@ mod tests {
     fn checkpoint_reload_restores_buffers() {
         let mut rng = StdRng::seed_from_u64(1);
         let t = Tensor::xavier(4, 4, &mut rng);
-        // The persist codec stores only `data`; model reload strips grad/m/v.
+        // A tensor with missing transient buffers gets them rebuilt.
         let mut stripped = t.clone();
         stripped.grad.clear();
         stripped.m.clear();

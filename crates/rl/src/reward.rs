@@ -105,6 +105,19 @@ impl RewardNormalizer {
     pub fn reset(&mut self) {
         *self = RewardNormalizer::default();
     }
+
+    /// The raw Welford accumulators `(count, mean, m2)`, for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuilds a normaliser from accumulators captured by
+    /// [`RewardNormalizer::state`].
+    #[must_use]
+    pub fn from_state(count: u64, mean: f64, m2: f64) -> RewardNormalizer {
+        RewardNormalizer { count, mean, m2 }
+    }
 }
 
 #[cfg(test)]

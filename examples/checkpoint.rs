@@ -1,72 +1,102 @@
-//! Checkpointing a trained generator: run a short campaign, save the
-//! learned instruction generator to disk, reload it and show that the
-//! restored model generates the same instruction stream — campaigns can be
-//! suspended and resumed, and trained generators shipped as artefacts.
+//! Crash-safe campaigns: interrupt a running campaign at an arbitrary
+//! round, resume it from the on-disk snapshot, and show that the resumed
+//! run's coverage curve and signatures are bit-identical to a reference
+//! campaign that was never interrupted — no matter where the stop landed.
+//!
+//! The snapshot captures the whole loop: progress counters, cumulative
+//! coverage, signatures, corpora, metrics and the fuzzer's own state
+//! (RNG streams, LSTM weights, Adam moments), written atomically so a
+//! crash mid-write can never corrupt the previous checkpoint.
 //!
 //! ```text
 //! cargo run --release --example checkpoint [cases]
 //! ```
 
-use std::fs::File;
-use std::io::BufWriter;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
-use hfl::generator::InstructionGenerator;
 use hfl_dut::CoreKind;
-use hfl_nn::Persist;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+fn tiny_hfl() -> HflFuzzer {
+    let mut cfg = HflConfig::small().with_seed(11);
+    cfg.generator.hidden = 32;
+    cfg.predictor.hidden = 32;
+    HflFuzzer::new(cfg)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(120);
+    let config = CampaignConfig::quick(cases);
+    let dir = std::env::temp_dir().join(format!("hfl-checkpoint-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
 
-    let mut cfg = HflConfig::small().with_seed(11);
-    cfg.generator.hidden = 32;
-    cfg.predictor.hidden = 32;
-    let mut hfl = HflFuzzer::new(cfg);
+    // Reference: the same campaign, never interrupted.
+    println!("reference: {cases} cases on {} ...", CoreKind::Rocket);
+    let mut reference_fuzzer = tiny_hfl();
+    let reference = run_campaign(
+        &mut reference_fuzzer,
+        &CampaignSpec::builder(CoreKind::Rocket, config).build()?,
+    )?;
+
+    // Interrupted: checkpoint every round, and pull the plug from another
+    // thread at an arbitrary wall-clock moment. Wherever the stop lands,
+    // the runner finishes the round, writes a final snapshot and returns.
+    let stop = Arc::new(AtomicBool::new(false));
+    let plug = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+    let mut fuzzer = tiny_hfl();
+    let partial = run_campaign(
+        &mut fuzzer,
+        &CampaignSpec::builder(CoreKind::Rocket, config)
+            .checkpoint(CheckpointPolicy::new(&dir, 1))
+            .stop_flag(stop)
+            .build()?,
+    )?;
+    plug.join().expect("plug thread");
     println!(
-        "training the generator for {cases} cases on {}...",
-        CoreKind::Rocket
+        "interrupted after {} of {cases} cases (completed: {})",
+        partial.curve.last().map_or(0, |s| s.cases),
+        partial.completed
     );
-    let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(cases));
-    let result = run_campaign(&mut hfl, &spec);
+
+    // Resume from the latest snapshot with a fresh process's worth of
+    // state: a brand-new fuzzer whose weights/RNG are overwritten by the
+    // restore.
+    let snapshot = CheckpointPolicy::latest_snapshot(&dir).expect("snapshot written");
+    println!("resuming from {} ...", snapshot.display());
+    let mut resumed_fuzzer = tiny_hfl();
+    let resumed = run_campaign(
+        &mut resumed_fuzzer,
+        &CampaignSpec::builder(CoreKind::Rocket, config)
+            .resume_from(snapshot)
+            .build()?,
+    )?;
+
+    assert!(resumed.completed);
+    assert_eq!(reference.curve, resumed.curve, "coverage curve diverged");
+    assert_eq!(reference.signatures, resumed.signatures);
+    assert_eq!(reference.first_detection, resumed.first_detection);
+    assert_eq!(
+        reference.instructions_executed,
+        resumed.instructions_executed
+    );
+    let (c, l, f) = resumed.final_counts();
     println!(
-        "campaign done: condition coverage {}/{}, {} unique signatures",
-        result.final_counts().0,
-        result.totals.0,
-        result.unique_signatures
+        "resumed run is bit-identical to the uninterrupted reference: \
+         final coverage ({c}, {l}, {f}), {} unique signatures",
+        resumed.unique_signatures
     );
-
-    let path = std::env::temp_dir().join("hfl_generator.ckpt");
-    {
-        let mut writer = BufWriter::new(File::create(&path)?);
-        hfl.generator().save(&mut writer)?;
-    }
-    let size = std::fs::metadata(&path)?.len();
-    println!(
-        "saved generator checkpoint: {} ({size} bytes)",
-        path.display()
-    );
-
-    let mut reader = std::io::BufReader::new(File::open(&path)?);
-    let restored = InstructionGenerator::load(&mut reader)?;
-    println!("reloaded; comparing generation streams...");
-
-    let mut rng_a = StdRng::seed_from_u64(99);
-    let mut rng_b = StdRng::seed_from_u64(99);
-    let mut session_a = hfl.generator().start_session();
-    let mut session_b = restored.start_session();
-    for i in 0..8 {
-        let (a, _) = hfl.generator().next_instruction(&mut session_a, &mut rng_a);
-        let (b, _) = restored.next_instruction(&mut session_b, &mut rng_b);
-        assert_eq!(a.instruction, b.instruction, "stream diverged at {i}");
-        println!("  [{i}] {}", a.instruction);
-    }
-    println!("restored generator replays the trained policy exactly.");
-    std::fs::remove_file(&path)?;
+    std::fs::remove_dir_all(&dir)?;
     Ok(())
 }

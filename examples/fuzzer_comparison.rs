@@ -22,7 +22,9 @@ fn main() {
         max_steps: 20_000,
         batch: 1,
     };
-    let spec = CampaignSpec::new(CoreKind::Rocket, campaign);
+    let spec = CampaignSpec::builder(CoreKind::Rocket, campaign)
+        .build()
+        .expect("valid campaign spec");
 
     let mut hfl = HflFuzzer::new(HflConfig::small().with_seed(3));
     let mut fuzzers: Vec<Box<dyn Fuzzer>> = vec![
@@ -44,7 +46,7 @@ fn main() {
     );
     println!("{:-<72}", "");
 
-    let result = run_campaign(&mut hfl, &spec);
+    let result = run_campaign(&mut hfl, &spec).expect("campaign runs");
     let (c, l, f) = result.final_counts();
     println!(
         "{:<10} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>12} {:>10}",
@@ -60,7 +62,7 @@ fn main() {
     );
 
     for fuzzer in &mut fuzzers {
-        let result = run_campaign(fuzzer.as_mut(), &spec);
+        let result = run_campaign(fuzzer.as_mut(), &spec).expect("campaign runs");
         let (c, l, f) = result.final_counts();
         println!(
             "{:<10} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>12} {:>10}",

@@ -34,8 +34,10 @@ fn main() {
         max_steps: 20_000,
         batch: 1,
     };
-    let spec = CampaignSpec::new(CoreKind::Rocket, campaign);
-    let result = run_campaign(&mut hfl, &spec);
+    let spec = CampaignSpec::builder(CoreKind::Rocket, campaign)
+        .build()
+        .expect("valid campaign spec");
+    let result = run_campaign(&mut hfl, &spec).expect("campaign runs");
 
     println!("\n  cases | condition |   line |   fsm");
     for sample in &result.curve {

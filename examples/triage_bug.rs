@@ -24,8 +24,11 @@ fn main() {
     let mut fuzzer = DifuzzRtlFuzzer::new(29, 16);
     let result = run_campaign(
         &mut fuzzer,
-        &CampaignSpec::new(core, CampaignConfig::quick(cases)),
-    );
+        &CampaignSpec::builder(core, CampaignConfig::quick(cases))
+            .build()
+            .expect("valid campaign spec"),
+    )
+    .expect("campaign runs");
     println!(
         "{} mismatches, {} unique signatures",
         result.total_mismatches, result.unique_signatures

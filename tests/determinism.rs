@@ -68,8 +68,10 @@ fn whole_campaigns_reproduce_from_the_seed() {
         cfg.predictor.hidden = 16;
         cfg.test_len = 5;
         let mut hfl = HflFuzzer::new(cfg.with_seed(23));
-        let spec = CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(30));
-        let result = run_campaign(&mut hfl, &spec);
+        let spec = CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(30))
+            .build()
+            .expect("valid spec");
+        let result = run_campaign(&mut hfl, &spec).expect("campaign runs");
         (
             result.curve.clone(),
             result.unique_signatures,
@@ -116,13 +118,19 @@ fn thread_count_never_changes_campaign_outputs() {
         cfg.predictor.hidden = 16;
         cfg.test_len = 6;
         let mut hfl = HflFuzzer::new(cfg.with_seed(31));
-        let spec = CampaignSpec::new(CoreKind::Cva6, config).with_threads(threads);
-        key(&run_campaign(&mut hfl, &spec))
+        let spec = CampaignSpec::builder(CoreKind::Cva6, config)
+            .threads(threads)
+            .build()
+            .expect("valid spec");
+        key(&run_campaign(&mut hfl, &spec).expect("campaign runs"))
     };
     let baseline_at = |threads: usize| {
         let mut fuzzer = TheHuzzFuzzer::new(31, 14);
-        let spec = CampaignSpec::new(CoreKind::Cva6, config).with_threads(threads);
-        key(&run_campaign(&mut fuzzer, &spec))
+        let spec = CampaignSpec::builder(CoreKind::Cva6, config)
+            .threads(threads)
+            .build()
+            .expect("valid spec");
+        key(&run_campaign(&mut fuzzer, &spec).expect("campaign runs"))
     };
 
     let hfl_reference = hfl_at(1);

@@ -21,8 +21,11 @@ fn hfl_campaign_runs_on_every_core() {
         let mut hfl = tiny_hfl(1);
         let result = run_campaign(
             &mut hfl,
-            &CampaignSpec::new(core, CampaignConfig::quick(40)),
-        );
+            &CampaignSpec::builder(core, CampaignConfig::quick(40))
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("campaign runs");
         let (c, l, f) = result.final_counts();
         assert!(c > 10, "{core}: condition coverage too low ({c})");
         assert!(l > 20, "{core}: line coverage too low ({l})");
@@ -39,7 +42,7 @@ fn coverage_curves_are_monotone_and_saturating() {
     let mut hfl = tiny_hfl(2);
     let result = run_campaign(
         &mut hfl,
-        &CampaignSpec::new(
+        &CampaignSpec::builder(
             CoreKind::Rocket,
             CampaignConfig {
                 cases: 120,
@@ -47,8 +50,11 @@ fn coverage_curves_are_monotone_and_saturating() {
                 max_steps: 20_000,
                 batch: 1,
             },
-        ),
-    );
+        )
+        .build()
+        .expect("valid spec"),
+    )
+    .expect("campaign runs");
     let conds: Vec<usize> = result.curve.iter().map(|s| s.condition).collect();
     assert!(
         conds.windows(2).all(|w| w[1] >= w[0]),
@@ -67,8 +73,11 @@ fn hfl_fuzzing_detects_injected_bugs_on_rocket() {
     let mut hfl = tiny_hfl(3);
     let result = run_campaign(
         &mut hfl,
-        &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(200)),
-    );
+        &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(200))
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("campaign runs");
     assert!(
         result.unique_signatures >= 1,
         "expected at least one mismatch signature, got {}",
@@ -81,8 +90,11 @@ fn signature_dedup_keeps_reports_manageable() {
     let mut fuzzer = DifuzzRtlFuzzer::new(4, 16);
     let result = run_campaign(
         &mut fuzzer,
-        &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(200)),
-    );
+        &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(200))
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("campaign runs");
     assert!(result.total_mismatches >= result.unique_signatures as u64);
     // Dedup must compress aggressively: far fewer signatures than raw
     // mismatches once the same bug fires repeatedly.
@@ -100,13 +112,19 @@ fn baseline_and_hfl_share_identical_measurement() {
     let mut hfl = tiny_hfl(5);
     let a = run_campaign(
         &mut hfl,
-        &CampaignSpec::new(CoreKind::Cva6, CampaignConfig::quick(20)),
-    );
+        &CampaignSpec::builder(CoreKind::Cva6, CampaignConfig::quick(20))
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("campaign runs");
     let mut rnd = DifuzzRtlFuzzer::new(5, 8);
     let b = run_campaign(
         &mut rnd,
-        &CampaignSpec::new(CoreKind::Cva6, CampaignConfig::quick(20)),
-    );
+        &CampaignSpec::builder(CoreKind::Cva6, CampaignConfig::quick(20))
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("campaign runs");
     assert_eq!(a.totals, b.totals);
     assert_eq!(a.core, b.core);
 }
@@ -116,8 +134,11 @@ fn hfl_loop_state_advances_sensibly() {
     let mut hfl = tiny_hfl(6);
     let _ = run_campaign(
         &mut hfl,
-        &CampaignSpec::new(CoreKind::Rocket, CampaignConfig::quick(50)),
-    );
+        &CampaignSpec::builder(CoreKind::Rocket, CampaignConfig::quick(50))
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("campaign runs");
     let stats = hfl.stats();
     assert_eq!(stats.cases, 50);
     assert!(stats.episodes >= 4, "episodes: {}", stats.episodes);

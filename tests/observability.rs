@@ -19,10 +19,12 @@ fn config() -> CampaignConfig {
 fn run_with_ring(threads: usize) -> (CampaignResult, Vec<Event>) {
     let ring = Arc::new(RingSink::new(100_000));
     let mut fuzzer = DifuzzRtlFuzzer::new(7, 12);
-    let spec = CampaignSpec::new(CoreKind::Rocket, config())
-        .with_threads(threads)
-        .with_sink(SinkHandle::new(ring.clone()));
-    let result = run_campaign(&mut fuzzer, &spec);
+    let spec = CampaignSpec::builder(CoreKind::Rocket, config())
+        .threads(threads)
+        .sink(SinkHandle::new(ring.clone()))
+        .build()
+        .expect("valid spec");
+    let result = run_campaign(&mut fuzzer, &spec).expect("campaign runs");
     (result, ring.events())
 }
 
@@ -71,11 +73,12 @@ fn telemetry_does_not_change_results() {
         cfg.predictor.hidden = 16;
         cfg.test_len = 6;
         let mut hfl = HflFuzzer::new(cfg);
-        let mut spec = CampaignSpec::new(CoreKind::Rocket, config());
+        let mut builder = CampaignSpec::builder(CoreKind::Rocket, config());
         if let Some(sink) = sink {
-            spec = spec.with_sink(sink);
+            builder = builder.sink(sink);
         }
-        run_campaign(&mut hfl, &spec)
+        let spec = builder.build().expect("valid spec");
+        run_campaign(&mut hfl, &spec).expect("campaign runs")
     };
     let silent = run(None);
     let ring = Arc::new(RingSink::new(100_000));
@@ -98,10 +101,12 @@ fn jsonl_log_replays_the_coverage_curve() {
     let path = std::env::temp_dir().join(format!("hfl-obs-test-{}.jsonl", std::process::id()));
     let sink = SinkHandle::new(Arc::new(JsonlSink::create(&path).expect("create log")));
     let mut fuzzer = DifuzzRtlFuzzer::new(11, 12);
-    let spec = CampaignSpec::new(CoreKind::Rocket, config())
-        .with_threads(2)
-        .with_sink(sink);
-    let result = run_campaign(&mut fuzzer, &spec);
+    let spec = CampaignSpec::builder(CoreKind::Rocket, config())
+        .threads(2)
+        .sink(sink)
+        .build()
+        .expect("valid spec");
+    let result = run_campaign(&mut fuzzer, &spec).expect("campaign runs");
 
     let events = read_jsonl(&path).expect("log parses");
     std::fs::remove_file(&path).ok();

@@ -151,6 +151,29 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state so callers can checkpoint the
+        /// generator and later resume the exact stream position.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ and is mapped
+        /// to the same fallback state `seed_from_u64` uses.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
