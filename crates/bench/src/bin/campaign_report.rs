@@ -4,19 +4,105 @@
 //!
 //! ```text
 //! cargo run --release -p hfl-bench --bin campaign_report -- \
-//!     --log telemetry.jsonl [--every N]
+//!     --log telemetry.jsonl [--every N] [--fleet]
 //! ```
 //!
 //! `--every N` prints every Nth round (plus the last) to keep long
-//! campaigns readable.
+//! campaigns readable. `--fleet` switches to fleet-log mode: the events
+//! are grouped per member into a per-epoch progress table (with the
+//! scheduler's rate estimates and next-epoch budgets), followed by the
+//! merged-coverage / corpus-sync epoch table.
 
-use hfl::obs::{read_jsonl, replay_rounds, Event};
+use hfl::obs::{read_jsonl, replay_fleet, replay_rounds, Event};
 use hfl_bench::{arg_num, arg_value};
+
+fn fleet_report(path: &str, events: &[Event]) -> ! {
+    let replay = replay_fleet(events);
+    if replay.epochs.is_empty() && replay.members.is_empty() {
+        eprintln!(
+            "campaign_report: {path}: no fleet events in log ({} events); \
+             is this a single-campaign log?",
+            events.len()
+        );
+        std::process::exit(1);
+    }
+    let members = replay
+        .members
+        .iter()
+        .map(|m| m.member)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    println!(
+        "{path}: {} events, {} epochs, {} members",
+        events.len(),
+        replay.epochs.len(),
+        members
+    );
+    println!("{:-<86}", "");
+    println!(
+        "{:>6} {:>7} {:>9} {:>10} {:>8} {:>6} {:>6} {:>10} {:>11}",
+        "epoch", "member", "executed", "condition", "line", "fsm", "sigs", "rate m/c", "next cases"
+    );
+    println!("{:-<86}", "");
+    for row in &replay.members {
+        println!(
+            "{:>6} {:>7} {:>9} {:>10} {:>8} {:>6} {:>6} {:>10} {:>11}",
+            row.epoch,
+            row.member,
+            row.executed,
+            row.condition,
+            row.line,
+            row.fsm,
+            row.unique_signatures,
+            row.rate_milli,
+            row.next_budget,
+        );
+    }
+    println!("{:-<86}", "");
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} {:>6} {:>6} {:>8} {:>6} {:>8} {:>9}",
+        "epoch",
+        "cases",
+        "condition",
+        "line",
+        "fsm",
+        "sigs",
+        "inserted",
+        "dups",
+        "evicted",
+        "distill"
+    );
+    println!("{:-<86}", "");
+    for row in &replay.epochs {
+        println!(
+            "{:>6} {:>8} {:>10} {:>8} {:>6} {:>6} {:>8} {:>6} {:>8} {:>4}->{:>3}",
+            row.epoch,
+            row.cases,
+            row.condition,
+            row.line,
+            row.fsm,
+            row.unique_signatures,
+            row.inserted,
+            row.duplicates,
+            row.evicted,
+            row.distilled_from,
+            row.distilled_to,
+        );
+    }
+    println!("{:-<86}", "");
+    if let Some(end) = replay.epochs.last() {
+        println!(
+            "final: {} cases, merged coverage ({}, {}, {}), {} unique signatures",
+            end.cases, end.condition, end.line, end.fsm, end.unique_signatures
+        );
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = arg_value(&args, "--log") else {
-        eprintln!("usage: campaign_report --log <telemetry.jsonl> [--every N]");
+        eprintln!("usage: campaign_report --log <telemetry.jsonl> [--every N] [--fleet]");
         std::process::exit(2);
     };
     let every: u64 = arg_num(&args, "--every", 1).max(1);
@@ -28,6 +114,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.iter().any(|a| a == "--fleet") {
+        fleet_report(&path, &events);
+    }
     let rows = replay_rounds(&events);
     if rows.is_empty() {
         eprintln!(

@@ -1,0 +1,233 @@
+//! Fleet smoke harness for CI: runs a multi-member fleet with the JSONL
+//! sink attached, re-reads the log, and verifies the replayed epoch table
+//! reconstructs the fleet's own merged coverage curve. With `--compare`
+//! it additionally runs each member as a standalone campaign on the
+//! fleet's **total** case budget and asserts the merged ensemble covers
+//! at least as much as the best single member. Exits non-zero on any
+//! disagreement.
+//!
+//! ```text
+//! cargo run --release -p hfl-bench --bin fleet -- \
+//!     [--members difuzz:5,thehuzz:9] [--core rocket|boom|cva6] \
+//!     [--epochs N] [--cases-per-epoch N] [--batch N] [--threads N] \
+//!     [--log fleet.jsonl] [--checkpoint-dir DIR] [--checkpoint-every E] \
+//!     [--resume] [--compare]
+//! ```
+//!
+//! `--members` is a comma-separated list of `fuzzer:seed` pairs
+//! (`hfl|difuzz|thehuzz|cascade`). With `--checkpoint-dir` the fleet
+//! snapshots every `--checkpoint-every` epochs (default 1); `--resume`
+//! continues from `fleet.ckpt` there — the CI job kills the first run
+//! partway and diffs the resumed run's final line against an
+//! uninterrupted one.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::fleet::{latest_fleet_snapshot, run_fleet, FleetConfig, FleetMember, FleetSpec};
+use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl::obs::{read_jsonl, replay_fleet, JsonlSink, SinkHandle};
+use hfl_bench::{arg_num, arg_value};
+use hfl_dut::CoreKind;
+
+fn make_fuzzer(name: &str, seed: u64) -> Box<dyn Fuzzer> {
+    match name {
+        "difuzz" => Box::new(DifuzzRtlFuzzer::new(seed, 16)),
+        "thehuzz" => Box::new(TheHuzzFuzzer::new(seed, 16)),
+        "cascade" => Box::new(CascadeFuzzer::new(seed, 60)),
+        "hfl" => {
+            let mut cfg = HflConfig::small().with_seed(seed);
+            cfg.generator.hidden = 16;
+            cfg.predictor.hidden = 16;
+            cfg.test_len = 6;
+            Box::new(HflFuzzer::new(cfg))
+        }
+        other => fail(&format!("unknown fuzzer {other:?} in --members")),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fleet: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Parses `--members difuzz:5,thehuzz:9` into `(fuzzer, seed)` pairs.
+fn parse_members(spec: &str) -> Vec<(String, u64)> {
+    spec.split(',')
+        .map(|pair| {
+            let Some((name, seed)) = pair.split_once(':') else {
+                fail(&format!("--members entry {pair:?} is not fuzzer:seed"));
+            };
+            let seed = seed
+                .parse::<u64>()
+                .unwrap_or_else(|_| fail(&format!("--members seed {seed:?} is not a number")));
+            (name.to_owned(), seed)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let members_spec =
+        arg_value(&args, "--members").unwrap_or_else(|| "difuzz:7,cascade:1".to_owned());
+    let core = match arg_value(&args, "--core").as_deref() {
+        Some("boom") => CoreKind::Boom,
+        Some("cva6") => CoreKind::Cva6,
+        Some("rocket") | None => CoreKind::Rocket,
+        Some(other) => fail(&format!("--core {other}: unknown core")),
+    };
+    let epochs: u64 = arg_num(&args, "--epochs", 4);
+    let cases_per_epoch: u64 = arg_num(&args, "--cases-per-epoch", 24);
+    let batch: usize = arg_num(&args, "--batch", 4).max(1);
+    let threads: usize = arg_num(&args, "--threads", 2).max(1);
+    let log = arg_value(&args, "--log").unwrap_or_else(|| "fleet.jsonl".to_owned());
+    let checkpoint_dir = arg_value(&args, "--checkpoint-dir");
+    let checkpoint_every: u64 = arg_num(&args, "--checkpoint-every", 1);
+    let resume = args.iter().any(|a| a == "--resume");
+    let compare = args.iter().any(|a| a == "--compare");
+
+    let parsed = parse_members(&members_spec);
+    if parsed.is_empty() {
+        fail("--members is empty");
+    }
+    let mut members: Vec<FleetMember> = parsed
+        .iter()
+        .map(|(name, seed)| {
+            FleetMember::new(format!("{name}-{seed}"), core, make_fuzzer(name, *seed))
+        })
+        .collect();
+
+    let sink = match JsonlSink::create(&log) {
+        Ok(sink) => SinkHandle::new(Arc::new(sink)),
+        Err(err) => fail(&format!("{log}: {err}")),
+    };
+    let config = FleetConfig::quick(epochs, cases_per_epoch).with_batch(batch);
+    let mut builder = FleetSpec::builder(config).threads(threads).sink(sink);
+    if let Some(dir) = &checkpoint_dir {
+        builder = builder.checkpoint(hfl::campaign::CheckpointPolicy::new(dir, checkpoint_every));
+        if resume {
+            match latest_fleet_snapshot(Path::new(dir)) {
+                Some(snapshot) => builder = builder.resume_from(snapshot),
+                None => fail(&format!("--resume: no fleet.ckpt in {dir}")),
+            }
+        }
+    } else if resume {
+        fail("--resume needs --checkpoint-dir");
+    }
+    let spec = builder
+        .build()
+        .unwrap_or_else(|err| fail(&format!("invalid spec: {err}")));
+    let result = match run_fleet(&mut members, &spec) {
+        Ok(result) => result,
+        Err(err) => fail(&format!("fleet failed: {err}")),
+    };
+    if let Some(err) = &result.sink_error {
+        fail(&format!("telemetry sink failed: {err}"));
+    }
+
+    // The replayed epoch table must reconstruct the fleet's merged curve.
+    let events = match read_jsonl(&log) {
+        Ok(events) => events,
+        Err(err) => fail(&format!("log unparseable: {err}")),
+    };
+    let replay = replay_fleet(&events);
+    if replay.epochs.is_empty() {
+        fail("replayed fleet table is empty");
+    }
+    // A resumed run's log only holds the post-resume tail; replay checks
+    // per-epoch rows that are present either way.
+    for row in &replay.epochs {
+        let Some(sample) = result.merged_curve.iter().find(|s| s.epoch == row.epoch) else {
+            fail(&format!("replayed epoch {} not in merged curve", row.epoch));
+        };
+        if (row.cases, row.condition, row.line, row.fsm)
+            != (
+                sample.cases,
+                sample.condition as u64,
+                sample.line as u64,
+                sample.fsm as u64,
+            )
+        {
+            fail(&format!(
+                "merged curve disagrees at epoch {}: replay ({}, {}, {}) vs fleet ({}, {}, {})",
+                row.epoch,
+                row.condition,
+                row.line,
+                row.fsm,
+                sample.condition,
+                sample.line,
+                sample.fsm
+            ));
+        }
+    }
+    let per_member = replay.members.iter().filter(|m| m.member == 0).count();
+    if per_member != replay.epochs.len() {
+        fail(&format!(
+            "{} member-0 progress rows for {} epochs",
+            per_member,
+            replay.epochs.len()
+        ));
+    }
+    for name in [
+        "fleet.sync.seconds",
+        "fleet.distill.seconds",
+        "fleet.schedule.seconds",
+    ] {
+        if result.metrics.histogram(name).is_none() {
+            fail(&format!("missing fleet metric {name}"));
+        }
+    }
+
+    let (mc, ml, mf) = result.final_counts();
+    if compare {
+        // Each member standalone, on the fleet's *total* budget.
+        let total = epochs * cases_per_epoch;
+        let mut best = (0usize, 0usize, 0usize, String::new());
+        for (name, seed) in &parsed {
+            let mut fuzzer = make_fuzzer(name, *seed);
+            let spec = CampaignSpec::builder(core, CampaignConfig::quick(total).with_batch(batch))
+                .threads(threads)
+                .build()
+                .unwrap_or_else(|err| fail(&format!("invalid compare spec: {err}")));
+            let solo = run_campaign(fuzzer.as_mut(), &spec)
+                .unwrap_or_else(|err| fail(&format!("compare campaign failed: {err}")));
+            let (c, l, f) = solo.final_counts();
+            println!("compare: {name}-{seed} solo on {total} cases: coverage ({c}, {l}, {f})");
+            if c + l + f > best.0 + best.1 + best.2 {
+                best = (c, l, f, format!("{name}-{seed}"));
+            }
+        }
+        if mc + ml + mf < best.0 + best.1 + best.2 {
+            fail(&format!(
+                "merged coverage ({mc}, {ml}, {mf}) below best single member {} \
+                 ({}, {}, {}) on the same total budget",
+                best.3, best.0, best.1, best.2
+            ));
+        }
+        println!(
+            "compare: OK: merged ({mc}, {ml}, {mf}) >= best single {} ({}, {}, {})",
+            best.3, best.0, best.1, best.2
+        );
+    }
+
+    println!(
+        "fleet: OK: {} members, {} epochs, {} corpus entries ({} inserted, {} duplicates)",
+        result.members.len(),
+        result.merged_curve.len(),
+        result.corpus.len(),
+        result.corpus.stats().inserted,
+        result.corpus.stats().duplicates,
+    );
+    // Greppable by the CI resume-diff check: must be bit-identical across
+    // interrupted-and-resumed and uninterrupted runs.
+    println!(
+        "final merged coverage ({mc}, {ml}, {mf}), {} unique signatures, {} cases",
+        result
+            .merged_curve
+            .last()
+            .map_or(0, |s| s.unique_signatures),
+        result.merged_curve.last().map_or(0, |s| s.cases),
+    );
+}

@@ -10,6 +10,11 @@
 //! | [`vulns`] | §VII — vulnerability detection table | `tab_vulnerabilities` |
 //! | [`ablation`] | design-choice ablations | `ablation` |
 //!
+//! Operational self-check binaries ride along: `smoke` (telemetry +
+//! crash-resume round trip), `fleet` (ensemble runs with the shared
+//! corpus, merged-vs-best-solo comparison and SIGKILL resume) and
+//! `campaign_report` (JSONL replay, `--fleet` for epoch tables).
+//!
 //! Criterion micro-benchmarks live in `benches/`.
 
 pub mod ablation;

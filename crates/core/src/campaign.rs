@@ -115,6 +115,14 @@ pub enum SpecError {
     ZeroThreads,
     /// A checkpoint policy asked for an interval of zero rounds.
     ZeroCheckpointInterval,
+    /// A fleet asked for zero epochs: no member would ever run.
+    ZeroEpochs,
+    /// A fleet's per-epoch case budget was zero: the scheduler would have
+    /// nothing to apportion.
+    ZeroCasesPerEpoch,
+    /// A fleet's shared-corpus capacity was zero: every harvested case
+    /// would be evicted on arrival.
+    ZeroCorpusCapacity,
 }
 
 impl fmt::Display for SpecError {
@@ -127,6 +135,13 @@ impl fmt::Display for SpecError {
             SpecError::ZeroThreads => write!(f, "the pool needs at least one worker thread"),
             SpecError::ZeroCheckpointInterval => {
                 write!(f, "checkpoint interval must be at least one round")
+            }
+            SpecError::ZeroEpochs => write!(f, "fleet epoch count must be nonzero"),
+            SpecError::ZeroCasesPerEpoch => {
+                write!(f, "fleet per-epoch case budget must be nonzero")
+            }
+            SpecError::ZeroCorpusCapacity => {
+                write!(f, "fleet shared-corpus capacity must be nonzero")
             }
         }
     }
@@ -557,22 +572,25 @@ impl CampaignResult {
 }
 
 /// Mutable state of a running campaign — exactly what a checkpoint
-/// captures (plus the fuzzer, which serialises itself).
-struct CampaignState {
-    executed: u64,
-    round_index: u64,
-    instructions_executed: u64,
-    aborted_cases: u64,
-    cumulative: CoverageSnapshot,
-    signatures: SignatureSet,
-    first_detection: Vec<(Signature, u64)>,
-    curve: Vec<CoverageSample>,
-    trigger_corpus: Corpus,
-    quarantined: Corpus,
+/// captures (plus the fuzzer, which serialises itself). The fleet
+/// orchestrator (`crate::fleet`) drives one of these per member through
+/// the same [`run_round`] the single-campaign runner uses, so member
+/// accounting is identical to standalone-campaign accounting.
+pub(crate) struct CampaignState {
+    pub(crate) executed: u64,
+    pub(crate) round_index: u64,
+    pub(crate) instructions_executed: u64,
+    pub(crate) aborted_cases: u64,
+    pub(crate) cumulative: CoverageSnapshot,
+    pub(crate) signatures: SignatureSet,
+    pub(crate) first_detection: Vec<(Signature, u64)>,
+    pub(crate) curve: Vec<CoverageSample>,
+    pub(crate) trigger_corpus: Corpus,
+    pub(crate) quarantined: Corpus,
 }
 
 impl CampaignState {
-    fn fresh(map_len: usize) -> CampaignState {
+    pub(crate) fn fresh(map_len: usize) -> CampaignState {
         CampaignState {
             executed: 0,
             round_index: 0,
@@ -587,10 +605,86 @@ impl CampaignState {
         }
     }
 
+    /// Serialises the whole state as one flat stream — the fleet
+    /// orchestrator embeds this in a per-member snapshot section (the
+    /// single-campaign checkpoint keeps its own sectioned layout).
+    pub(crate) fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        write_u64(w, self.executed)?;
+        write_u64(w, self.round_index)?;
+        write_u64(w, self.instructions_executed)?;
+        write_u64(w, self.aborted_cases)?;
+        write_usize(w, self.cumulative.len())?;
+        write_u64_vec(w, self.cumulative.words())?;
+        self.signatures.save(w)?;
+        write_usize(w, self.first_detection.len())?;
+        for (signature, case) in &self.first_detection {
+            write_u64(w, signature.0)?;
+            write_u64(w, *case)?;
+        }
+        write_usize(w, self.curve.len())?;
+        for sample in &self.curve {
+            write_u64(w, sample.cases)?;
+            write_u64(w, sample.condition as u64)?;
+            write_u64(w, sample.line as u64)?;
+            write_u64(w, sample.fsm as u64)?;
+        }
+        self.trigger_corpus.save(w)?;
+        self.quarantined.save(w)
+    }
+
+    /// Reads a state written by [`CampaignState::save`]; `map_len` is the
+    /// coverage-map length of the core the state belongs to.
+    pub(crate) fn load<R: std::io::Read>(
+        r: &mut R,
+        map_len: usize,
+    ) -> Result<CampaignState, PersistError> {
+        let executed = read_u64(r)?;
+        let round_index = read_u64(r)?;
+        let instructions_executed = read_u64(r)?;
+        let aborted_cases = read_u64(r)?;
+        let len = read_usize(r, 1 << 28, "member coverage map length")?;
+        if len != map_len {
+            return Err(corrupt("member coverage map does not match the core"));
+        }
+        let words = read_u64_vec(r)?;
+        let cumulative = CoverageSnapshot::from_words(len, words)
+            .ok_or_else(|| corrupt("member coverage words do not fit the map"))?;
+        let signatures = SignatureSet::load(r)?;
+        let detections = read_usize(r, 1 << 24, "member detection count")?;
+        let first_detection = (0..detections)
+            .map(|_| Ok((Signature(read_u64(r)?), read_u64(r)?)))
+            .collect::<Result<_, PersistError>>()?;
+        let samples = read_usize(r, 1 << 24, "member curve length")?;
+        let curve = (0..samples)
+            .map(|_| {
+                Ok(CoverageSample {
+                    cases: read_u64(r)?,
+                    condition: read_u64(r)? as usize,
+                    line: read_u64(r)? as usize,
+                    fsm: read_u64(r)? as usize,
+                })
+            })
+            .collect::<Result<_, PersistError>>()?;
+        let trigger_corpus = Corpus::load(r)?;
+        let quarantined = Corpus::load(r)?;
+        Ok(CampaignState {
+            executed,
+            round_index,
+            instructions_executed,
+            aborted_cases,
+            cumulative,
+            signatures,
+            first_detection,
+            curve,
+            trigger_corpus,
+            quarantined,
+        })
+    }
+
     /// Pushes a curve sample if `executed` is a sampling point and was
     /// not already sampled (a resume replays the final-case sampling
     /// check against a restored curve).
-    fn maybe_sample(&mut self, cfg: &CampaignConfig, map: &hfl_dut::CoverageMap) {
+    pub(crate) fn maybe_sample(&mut self, cfg: &CampaignConfig, map: &hfl_dut::CoverageMap) {
         if (self.executed.is_multiple_of(cfg.sample_every) || self.executed == cfg.cases)
             && self.curve.last().map(|s| s.cases) != Some(self.executed)
         {
@@ -607,30 +701,37 @@ impl CampaignState {
 const CHECKPOINT_KIND: &str = "campaign";
 
 /// Metric names a checkpoint may restore (the registry is keyed by
-/// `&'static str`); unknown names in a snapshot are skipped.
-const KNOWN_METRICS: &[&str] = &[
+/// `&'static str`); unknown names in a snapshot are skipped. The
+/// `fleet.*` names belong to the `crate::fleet` orchestrator, which
+/// shares this table so its snapshots restore through the same path.
+pub(crate) const KNOWN_METRICS: &[&str] = &[
     "campaign.cases",
     "campaign.cases_aborted",
     "campaign.mismatches",
     "campaign.rounds",
+    "fleet.cases",
+    "fleet.distill.seconds",
+    "fleet.epochs",
+    "fleet.schedule.seconds",
+    "fleet.sync.seconds",
     "phase.difftest.seconds",
     "phase.execute.seconds",
     "phase.generate.seconds",
     "phase.train.seconds",
 ];
 
-fn intern_metric(name: &str) -> Option<&'static str> {
+pub(crate) fn intern_metric(name: &str) -> Option<&'static str> {
     KNOWN_METRICS.iter().copied().find(|k| *k == name)
 }
 
-fn core_index(core: CoreKind) -> u32 {
+pub(crate) fn core_index(core: CoreKind) -> u32 {
     CoreKind::ALL
         .iter()
         .position(|&c| c == core)
         .expect("every core is in ALL") as u32
 }
 
-fn decodable_instructions(body: &TestBody) -> Vec<hfl_riscv::Instruction> {
+pub(crate) fn decodable_instructions(body: &TestBody) -> Vec<hfl_riscv::Instruction> {
     match body {
         TestBody::Asm(v) => v.clone(),
         TestBody::Words(words) => words
@@ -640,7 +741,10 @@ fn decodable_instructions(body: &TestBody) -> Vec<hfl_riscv::Instruction> {
     }
 }
 
-fn write_metrics(w: &mut Vec<u8>, snapshot: &MetricsSnapshot) -> Result<(), PersistError> {
+pub(crate) fn write_metrics(
+    w: &mut Vec<u8>,
+    snapshot: &MetricsSnapshot,
+) -> Result<(), PersistError> {
     write_usize(w, snapshot.counters.len())?;
     for (name, value) in &snapshot.counters {
         write_string(w, name)?;
@@ -660,7 +764,7 @@ fn write_metrics(w: &mut Vec<u8>, snapshot: &MetricsSnapshot) -> Result<(), Pers
     Ok(())
 }
 
-fn read_metrics(r: &mut &[u8]) -> Result<Metrics, PersistError> {
+pub(crate) fn read_metrics(r: &mut &[u8]) -> Result<Metrics, PersistError> {
     let mut metrics = Metrics::new();
     let counters = read_usize(r, 4096, "metric counter count")?;
     for _ in 0..counters {
@@ -891,141 +995,16 @@ pub fn run_campaign(
         if spec.stop_requested() {
             break;
         }
-        let round_index = state.round_index;
-        let want = (cfg.cases - state.executed).min(cfg.batch.max(1) as u64) as usize;
-        if sink.enabled() {
-            sink.emit(&Event::RoundStart {
-                round: round_index,
-                planned: want as u64,
-            });
-        }
-        let generate_started = Instant::now();
-        let mut round = fuzzer.next_round(want);
-        metrics.observe_duration("phase.generate.seconds", generate_started.elapsed());
-        assert!(
-            !round.is_empty(),
-            "next_round must produce at least one case"
+        run_round(
+            fuzzer,
+            &mut pool,
+            cfg,
+            spec.threads(),
+            sink,
+            &mut metrics,
+            &mut state,
+            None,
         );
-        round.truncate(want);
-        let execute_started = Instant::now();
-        let outcomes = pool.run_batch_contained(&round);
-        metrics.observe_duration("phase.execute.seconds", execute_started.elapsed());
-        let batch = pool.last_batch();
-        let train_started = Instant::now();
-        let mut difftest_seconds = 0.0f64;
-        for (body, outcome) in round.iter().zip(outcomes) {
-            state.executed += 1;
-            let result = match outcome {
-                CaseOutcome::Completed(result) => result,
-                CaseOutcome::TimedOut { attempts } => {
-                    abort_case(fuzzer, &mut metrics, &mut state, body);
-                    if sink.enabled() {
-                        sink.emit(&Event::CaseAborted {
-                            round: round_index,
-                            case: state.executed,
-                            reason: String::from("timeout"),
-                            attempts: u64::from(attempts),
-                        });
-                    }
-                    state.maybe_sample(cfg, pool.coverage_map());
-                    continue;
-                }
-                CaseOutcome::Poisoned { attempts, reason } => {
-                    // The offending body is a proof of concept: it crashed
-                    // the worker, which is itself a finding.
-                    state.quarantined.push(
-                        format!("case-{}", state.executed),
-                        decodable_instructions(body),
-                    );
-                    abort_case(fuzzer, &mut metrics, &mut state, body);
-                    if sink.enabled() {
-                        sink.emit(&Event::CaseAborted {
-                            round: round_index,
-                            case: state.executed,
-                            reason,
-                            attempts: u64::from(attempts),
-                        });
-                    }
-                    state.maybe_sample(cfg, pool.coverage_map());
-                    continue;
-                }
-            };
-            state.instructions_executed += result.dut.steps;
-            difftest_seconds += result.timing.difftest_seconds;
-            let before = state.cumulative.count();
-            let gained = state.cumulative.would_grow(&result.dut.coverage);
-            state.cumulative.union_with(&result.dut.coverage);
-            let gained_bits = (state.cumulative.count() - before) as u64;
-            let coverage = result.dut.coverage.count() as f32 / map_len as f32;
-            let mut new_signature = None;
-            for mismatch in &result.mismatches {
-                if state.signatures.insert(mismatch) {
-                    if new_signature.is_none() {
-                        new_signature = Some(mismatch.signature().0);
-                    }
-                    state
-                        .first_detection
-                        .push((mismatch.signature(), state.executed));
-                    state.trigger_corpus.push(
-                        mismatch.signature().to_string(),
-                        decodable_instructions(body),
-                    );
-                }
-            }
-            metrics.inc("campaign.cases", 1);
-            metrics.inc("campaign.mismatches", result.mismatches.len() as u64);
-            if sink.enabled() {
-                sink.emit(&Event::CaseExecuted {
-                    round: round_index,
-                    case: state.executed,
-                    body_len: body.len() as u64,
-                    gained_bits,
-                    retired: result.dut.steps,
-                    mismatches: result.mismatches.len() as u64,
-                    new_signature,
-                });
-            }
-            let case_bits = std::sync::Arc::new(result.dut.coverage.to_bit_labels());
-            let terminated = result.dut.halt != hfl_grm::HaltReason::StepBudget;
-            fuzzer.feedback(
-                body,
-                Feedback {
-                    gained_coverage: gained,
-                    coverage,
-                    case_bits: Some(case_bits),
-                    terminated,
-                },
-            );
-            state.maybe_sample(cfg, pool.coverage_map());
-        }
-        // Feedback drives the fuzzer's learning (PPO updates, predictor
-        // fine-tuning); what is left after subtracting difftest is pure
-        // training cost. Difftest itself runs inside the pool workers, so
-        // its wall-clock is collected from the per-case timings.
-        metrics.observe("phase.difftest.seconds", difftest_seconds);
-        metrics.observe("phase.train.seconds", train_started.elapsed().as_secs_f64());
-        metrics.inc("campaign.rounds", 1);
-        if sink.enabled() {
-            // Occupancy first: `RoundEnd` closes the round, so a replayer
-            // can resolve the batch's utilisation when it sees it.
-            sink.emit(&Event::PoolOccupancy {
-                round: round_index,
-                threads: spec.threads() as u64,
-                occupancy: batch.occupancy,
-                exec_seconds: batch.exec_seconds,
-                busy_seconds: batch.busy_seconds,
-            });
-            let map = pool.coverage_map();
-            sink.emit(&Event::RoundEnd {
-                round: round_index,
-                executed: state.executed,
-                condition: state.cumulative.count_of(map, CoverageKind::Condition) as u64,
-                line: state.cumulative.count_of(map, CoverageKind::Line) as u64,
-                fsm: state.cumulative.count_of(map, CoverageKind::Fsm) as u64,
-                unique_signatures: state.signatures.unique() as u64,
-            });
-        }
-        state.round_index += 1;
         // Periodic checkpoints land on round boundaries, where every
         // fuzzer's pending queues are empty — the invariant that makes a
         // resumed run bit-identical to an uninterrupted one.
@@ -1065,6 +1044,183 @@ pub fn run_campaign(
         quarantined: state.quarantined,
         sink_error,
     })
+}
+
+/// A case that grew its campaign's cumulative coverage, captured for the
+/// fleet's shared corpus: the decodable body plus the case's own (not
+/// cumulative) coverage snapshot, which is the dedup/distillation key.
+pub(crate) struct HarvestedCase {
+    /// 1-based case index within the harvesting member's campaign.
+    pub(crate) case: u64,
+    pub(crate) body: Vec<hfl_riscv::Instruction>,
+    pub(crate) coverage: CoverageSnapshot,
+}
+
+/// Runs exactly one campaign round against `pool`, advancing `state`:
+/// generate → execute → per-case accounting/feedback → round telemetry.
+///
+/// This is the shared engine behind [`run_campaign`] (which wraps it in
+/// the stop/checkpoint loop) and the fleet orchestrator in
+/// `crate::fleet` (which drives one state per member and passes
+/// `harvest` to capture coverage-gaining cases for the shared corpus).
+/// Stop checks and checkpoints live in the callers: a round is the
+/// atomic unit of progress.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_round(
+    fuzzer: &mut dyn Fuzzer,
+    pool: &mut ExecPool,
+    cfg: &CampaignConfig,
+    threads: usize,
+    sink: &SinkHandle,
+    metrics: &mut Metrics,
+    state: &mut CampaignState,
+    mut harvest: Option<&mut Vec<HarvestedCase>>,
+) {
+    let map_len = pool.coverage_map().len();
+    let round_index = state.round_index;
+    let want = (cfg.cases - state.executed).min(cfg.batch.max(1) as u64) as usize;
+    if sink.enabled() {
+        sink.emit(&Event::RoundStart {
+            round: round_index,
+            planned: want as u64,
+        });
+    }
+    let generate_started = Instant::now();
+    let mut round = fuzzer.next_round(want);
+    metrics.observe_duration("phase.generate.seconds", generate_started.elapsed());
+    assert!(
+        !round.is_empty(),
+        "next_round must produce at least one case"
+    );
+    round.truncate(want);
+    let execute_started = Instant::now();
+    let outcomes = pool.run_batch_contained(&round);
+    metrics.observe_duration("phase.execute.seconds", execute_started.elapsed());
+    let batch = pool.last_batch();
+    let train_started = Instant::now();
+    let mut difftest_seconds = 0.0f64;
+    for (body, outcome) in round.iter().zip(outcomes) {
+        state.executed += 1;
+        let result = match outcome {
+            CaseOutcome::Completed(result) => result,
+            CaseOutcome::TimedOut { attempts } => {
+                abort_case(fuzzer, metrics, state, body);
+                if sink.enabled() {
+                    sink.emit(&Event::CaseAborted {
+                        round: round_index,
+                        case: state.executed,
+                        reason: String::from("timeout"),
+                        attempts: u64::from(attempts),
+                    });
+                }
+                state.maybe_sample(cfg, pool.coverage_map());
+                continue;
+            }
+            CaseOutcome::Poisoned { attempts, reason } => {
+                // The offending body is a proof of concept: it crashed
+                // the worker, which is itself a finding.
+                state.quarantined.push(
+                    format!("case-{}", state.executed),
+                    decodable_instructions(body),
+                );
+                abort_case(fuzzer, metrics, state, body);
+                if sink.enabled() {
+                    sink.emit(&Event::CaseAborted {
+                        round: round_index,
+                        case: state.executed,
+                        reason,
+                        attempts: u64::from(attempts),
+                    });
+                }
+                state.maybe_sample(cfg, pool.coverage_map());
+                continue;
+            }
+        };
+        state.instructions_executed += result.dut.steps;
+        difftest_seconds += result.timing.difftest_seconds;
+        let before = state.cumulative.count();
+        let gained = state.cumulative.would_grow(&result.dut.coverage);
+        state.cumulative.union_with(&result.dut.coverage);
+        let gained_bits = (state.cumulative.count() - before) as u64;
+        let coverage = result.dut.coverage.count() as f32 / map_len as f32;
+        if gained {
+            if let Some(harvest) = harvest.as_deref_mut() {
+                harvest.push(HarvestedCase {
+                    case: state.executed,
+                    body: decodable_instructions(body),
+                    coverage: result.dut.coverage.clone(),
+                });
+            }
+        }
+        let mut new_signature = None;
+        for mismatch in &result.mismatches {
+            if state.signatures.insert(mismatch) {
+                if new_signature.is_none() {
+                    new_signature = Some(mismatch.signature().0);
+                }
+                state
+                    .first_detection
+                    .push((mismatch.signature(), state.executed));
+                state.trigger_corpus.push(
+                    mismatch.signature().to_string(),
+                    decodable_instructions(body),
+                );
+            }
+        }
+        metrics.inc("campaign.cases", 1);
+        metrics.inc("campaign.mismatches", result.mismatches.len() as u64);
+        if sink.enabled() {
+            sink.emit(&Event::CaseExecuted {
+                round: round_index,
+                case: state.executed,
+                body_len: body.len() as u64,
+                gained_bits,
+                retired: result.dut.steps,
+                mismatches: result.mismatches.len() as u64,
+                new_signature,
+            });
+        }
+        let case_bits = std::sync::Arc::new(result.dut.coverage.to_bit_labels());
+        let terminated = result.dut.halt != hfl_grm::HaltReason::StepBudget;
+        fuzzer.feedback(
+            body,
+            Feedback {
+                gained_coverage: gained,
+                coverage,
+                case_bits: Some(case_bits),
+                terminated,
+            },
+        );
+        state.maybe_sample(cfg, pool.coverage_map());
+    }
+    // Feedback drives the fuzzer's learning (PPO updates, predictor
+    // fine-tuning); what is left after subtracting difftest is pure
+    // training cost. Difftest itself runs inside the pool workers, so
+    // its wall-clock is collected from the per-case timings.
+    metrics.observe("phase.difftest.seconds", difftest_seconds);
+    metrics.observe("phase.train.seconds", train_started.elapsed().as_secs_f64());
+    metrics.inc("campaign.rounds", 1);
+    if sink.enabled() {
+        // Occupancy first: `RoundEnd` closes the round, so a replayer
+        // can resolve the batch's utilisation when it sees it.
+        sink.emit(&Event::PoolOccupancy {
+            round: round_index,
+            threads: threads as u64,
+            occupancy: batch.occupancy,
+            exec_seconds: batch.exec_seconds,
+            busy_seconds: batch.busy_seconds,
+        });
+        let map = pool.coverage_map();
+        sink.emit(&Event::RoundEnd {
+            round: round_index,
+            executed: state.executed,
+            condition: state.cumulative.count_of(map, CoverageKind::Condition) as u64,
+            line: state.cumulative.count_of(map, CoverageKind::Line) as u64,
+            fsm: state.cumulative.count_of(map, CoverageKind::Fsm) as u64,
+            unique_signatures: state.signatures.unique() as u64,
+        });
+    }
+    state.round_index += 1;
 }
 
 /// Shared bookkeeping for an abandoned case: counters plus the feedback

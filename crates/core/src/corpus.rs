@@ -5,9 +5,15 @@
 //! and the inputs to triage. A [`Corpus`] collects named test cases and
 //! round-trips through a plain-text format (one `== name` header per case,
 //! one instruction per line) built on [`hfl_riscv::asm`].
+//!
+//! The fleet orchestrator shares discoveries across member campaigns
+//! through a [`GlobalCorpus`]: a bounded store of coverage-gaining cases
+//! deduplicated by coverage signature (with explicit hash-collision
+//! handling) and periodically distilled to a minimal covering set.
 
 use std::fmt::Write as _;
 
+use hfl_dut::CoverageSnapshot;
 use hfl_riscv::asm::{format_program, parse_program, ParseAsmError};
 use hfl_riscv::Instruction;
 
@@ -134,6 +140,282 @@ impl Extend<CorpusEntry> for Corpus {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The fleet's shared corpus.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the snapshot's length and bitmap words — the dedup key of
+/// the [`GlobalCorpus`]. Two cases that hit exactly the same coverage
+/// points hash identically; collisions between *different* coverage sets
+/// are possible and are resolved by full snapshot comparison on insert.
+#[must_use]
+pub fn coverage_signature(coverage: &CoverageSnapshot) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix(coverage.len() as u64);
+    for &word in coverage.words() {
+        mix(word);
+    }
+    hash
+}
+
+/// One shared-corpus case: the body plus the case's own coverage
+/// snapshot (the dedup and distillation key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalEntry {
+    /// Identifier, by convention `"<member>-case-<index>"`.
+    pub name: String,
+    /// The case body.
+    pub body: Vec<Instruction>,
+    /// The case's own (not cumulative) coverage.
+    pub coverage: CoverageSnapshot,
+    /// [`coverage_signature`] of `coverage`, cached for fast dedup.
+    pub signature: u64,
+    /// Monotone insertion number — the deterministic tie-breaker for
+    /// eviction and distillation.
+    pub seq: u64,
+}
+
+/// Lifetime counters of a [`GlobalCorpus`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalCorpusStats {
+    /// Cases accepted (new coverage sets).
+    pub inserted: u64,
+    /// Cases rejected as exact coverage duplicates.
+    pub duplicates: u64,
+    /// Cases evicted by the capacity bound.
+    pub evicted: u64,
+}
+
+/// The fleet's shared corpus: a bounded, deduplicated store of
+/// coverage-gaining test cases.
+///
+/// Insertion dedups by [`coverage_signature`] and, within a matching
+/// signature, by full snapshot equality — a hash collision between two
+/// genuinely different coverage sets keeps both. When the store exceeds
+/// its capacity, the entry with the fewest covered points is evicted
+/// (ties broken toward the newest entry, so long-lived seeds are
+/// stable). [`GlobalCorpus::distill`] prunes to a minimal covering set
+/// between fleet epochs.
+///
+/// All decisions are functions of the entries and their insertion order
+/// alone — never of wall-clock or memory addresses — so a fleet replay
+/// reproduces the corpus bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalCorpus {
+    capacity: usize,
+    next_seq: u64,
+    entries: Vec<GlobalEntry>,
+    stats: GlobalCorpusStats,
+}
+
+impl GlobalCorpus {
+    /// Creates an empty corpus holding at most `capacity` entries
+    /// (`capacity` is clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> GlobalCorpus {
+        GlobalCorpus {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            entries: Vec::new(),
+            stats: GlobalCorpusStats::default(),
+        }
+    }
+
+    /// Rebuilds a corpus from checkpointed parts (see the `Codec` impl in
+    /// `crate::persist`).
+    #[must_use]
+    pub(crate) fn from_parts(
+        capacity: usize,
+        next_seq: u64,
+        entries: Vec<GlobalEntry>,
+        stats: GlobalCorpusStats,
+    ) -> GlobalCorpus {
+        GlobalCorpus {
+            capacity: capacity.max(1),
+            next_seq,
+            entries,
+            stats,
+        }
+    }
+
+    /// The entries, in insertion (`seq`) order.
+    #[must_use]
+    pub fn entries(&self) -> &[GlobalEntry] {
+        &self.entries
+    }
+
+    /// Current number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The next insertion number (exposed for checkpointing).
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> GlobalCorpusStats {
+        self.stats
+    }
+
+    /// Inserts a case unless its exact coverage set is already present.
+    /// Returns `true` when the case was accepted (it may still be evicted
+    /// by the capacity bound in the same call).
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        body: Vec<Instruction>,
+        coverage: CoverageSnapshot,
+    ) -> bool {
+        let signature = coverage_signature(&coverage);
+        self.insert_keyed(name, body, coverage, signature)
+    }
+
+    /// Insertion with a caller-supplied signature — the test hook that
+    /// exercises the collision path (two different coverage sets forced
+    /// onto one signature must both survive).
+    #[cfg(test)]
+    pub(crate) fn insert_with_signature(
+        &mut self,
+        name: impl Into<String>,
+        body: Vec<Instruction>,
+        coverage: CoverageSnapshot,
+        signature: u64,
+    ) -> bool {
+        self.insert_keyed(name, body, coverage, signature)
+    }
+
+    fn insert_keyed(
+        &mut self,
+        name: impl Into<String>,
+        body: Vec<Instruction>,
+        coverage: CoverageSnapshot,
+        signature: u64,
+    ) -> bool {
+        // Signature match alone is not identity: confirm with a full
+        // snapshot comparison so an FNV collision cannot drop a case.
+        if self
+            .entries
+            .iter()
+            .any(|e| e.signature == signature && e.coverage == coverage)
+        {
+            self.stats.duplicates += 1;
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(GlobalEntry {
+            name: name.into(),
+            body,
+            coverage,
+            signature,
+            seq,
+        });
+        self.stats.inserted += 1;
+        while self.entries.len() > self.capacity {
+            self.evict_one();
+        }
+        true
+    }
+
+    /// Evicts the entry with the fewest covered points; among ties the
+    /// newest (largest `seq`) goes first, keeping long-lived seeds
+    /// stable.
+    fn evict_one(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.coverage.count(), std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i);
+        if let Some(i) = victim {
+            self.entries.remove(i);
+            self.stats.evicted += 1;
+        }
+    }
+
+    /// Prunes the corpus to a minimal covering set: per coverage-map
+    /// length (members on different cores have incomparable maps), a
+    /// greedy set cover repeatedly keeps the entry adding the most
+    /// uncovered points, breaking ties toward the oldest (`seq`) entry.
+    /// Entries contributing nothing beyond the kept set are dropped.
+    /// Returns `(before, after)` entry counts.
+    pub fn distill(&mut self) -> (usize, usize) {
+        let before = self.entries.len();
+        let mut keep = vec![false; before];
+        let mut lens: Vec<usize> = Vec::new();
+        for entry in &self.entries {
+            let len = entry.coverage.len();
+            if !lens.contains(&len) {
+                lens.push(len);
+            }
+        }
+        for len in lens {
+            let group: Vec<usize> = (0..before)
+                .filter(|&i| self.entries[i].coverage.len() == len)
+                .collect();
+            let words = self.entries[group[0]].coverage.words().len();
+            let mut covered = vec![0u64; words];
+            loop {
+                // `group` is in ascending `seq` order and the comparison
+                // is strict, so the oldest entry wins a gain tie.
+                let mut best: Option<(usize, usize)> = None;
+                for &i in &group {
+                    if keep[i] {
+                        continue;
+                    }
+                    let gain: usize = self.entries[i]
+                        .coverage
+                        .words()
+                        .iter()
+                        .zip(&covered)
+                        .map(|(w, c)| (w & !c).count_ones() as usize)
+                        .sum();
+                    if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, i));
+                    }
+                }
+                let Some((_, i)) = best else { break };
+                keep[i] = true;
+                for (c, w) in covered.iter_mut().zip(self.entries[i].coverage.words()) {
+                    *c |= w;
+                }
+            }
+        }
+        let mut index = 0;
+        self.entries.retain(|_| {
+            let kept = keep[index];
+            index += 1;
+            kept
+        });
+        (before, self.entries.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +469,113 @@ mod tests {
         // Text before any header is ignored (comments/preamble).
         let c = Corpus::from_text("# preamble\n== a\nnop\n").unwrap();
         assert_eq!(c.entries().len(), 1);
+    }
+
+    fn snap(len: usize, bits: u64) -> CoverageSnapshot {
+        CoverageSnapshot::from_words(len, vec![bits]).expect("bits fit the map")
+    }
+
+    #[test]
+    fn global_corpus_deduplicates_exact_coverage() {
+        let mut corpus = GlobalCorpus::new(8);
+        assert!(corpus.insert("a", vec![Instruction::NOP], snap(8, 0b0011)));
+        assert!(
+            !corpus.insert("b", vec![], snap(8, 0b0011)),
+            "identical coverage must be rejected"
+        );
+        assert!(corpus.insert("c", vec![], snap(8, 0b0111)));
+        assert_eq!(corpus.len(), 2);
+        let stats = corpus.stats();
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.evicted, 0);
+        // The duplicate kept the original's name and body.
+        assert_eq!(corpus.entries()[0].name, "a");
+        assert_eq!(corpus.entries()[0].body.len(), 1);
+    }
+
+    #[test]
+    fn global_corpus_keeps_both_sides_of_a_signature_collision() {
+        // Force two different coverage sets onto one signature: dedup
+        // must fall through to the full snapshot comparison and keep
+        // both, while a true duplicate under the same forced signature is
+        // still rejected.
+        let mut corpus = GlobalCorpus::new(8);
+        assert!(corpus.insert_with_signature("a", vec![], snap(8, 0b0001), 42));
+        assert!(corpus.insert_with_signature("b", vec![], snap(8, 0b0010), 42));
+        assert!(!corpus.insert_with_signature("c", vec![], snap(8, 0b0001), 42));
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn global_corpus_evicts_smallest_coverage_newest_first() {
+        let mut corpus = GlobalCorpus::new(2);
+        assert!(corpus.insert("three", vec![], snap(8, 0b0111)));
+        assert!(corpus.insert("one", vec![], snap(8, 0b1000)));
+        // Over capacity: "one" has the fewest covered points.
+        assert!(corpus.insert("two", vec![], snap(8, 0b0011)));
+        let names: Vec<&str> = corpus.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["three", "two"]);
+        assert_eq!(corpus.stats().evicted, 1);
+        // Tie on count: the newest of the tied entries goes first.
+        assert!(corpus.insert("two-late", vec![], snap(8, 0b1100)));
+        let names: Vec<&str> = corpus.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["three", "two"], "older tied entry is stable");
+        assert_eq!(corpus.stats().evicted, 2);
+    }
+
+    #[test]
+    fn distillation_keeps_a_minimal_covering_set() {
+        // One entry covers everything: distillation keeps exactly it.
+        let mut corpus = GlobalCorpus::new(16);
+        corpus.insert("all", vec![], snap(8, 0b1111));
+        corpus.insert("lo", vec![], snap(8, 0b0011));
+        corpus.insert("hi", vec![], snap(8, 0b1100));
+        assert_eq!(corpus.distill(), (3, 1));
+        assert_eq!(corpus.entries()[0].name, "all");
+
+        // No single cover: greedy keeps a set whose union is the whole
+        // union, preferring the oldest entry on gain ties.
+        let mut corpus = GlobalCorpus::new(16);
+        corpus.insert("a", vec![], snap(8, 0b0011));
+        corpus.insert("b", vec![], snap(8, 0b0110));
+        corpus.insert("c", vec![], snap(8, 0b1100));
+        assert_eq!(corpus.distill(), (3, 2));
+        let names: Vec<&str> = corpus.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a", "c"], "tie goes to the oldest; b is redundant");
+    }
+
+    #[test]
+    fn distillation_groups_by_coverage_map_length() {
+        // Entries from different cores (different map lengths) distill
+        // independently; a subset on one map cannot be shadowed by the
+        // other map's entries.
+        let mut corpus = GlobalCorpus::new(16);
+        corpus.insert("rocket-full", vec![], snap(8, 0b1111));
+        corpus.insert("boom-full", vec![], snap(16, 0xFF00));
+        corpus.insert("rocket-sub", vec![], snap(8, 0b0011));
+        corpus.insert("boom-sub", vec![], snap(16, 0x0300));
+        assert_eq!(corpus.distill(), (4, 2));
+        let names: Vec<&str> = corpus.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["rocket-full", "boom-full"]);
+    }
+
+    #[test]
+    fn coverage_signature_keys_on_length_and_bits() {
+        assert_eq!(
+            coverage_signature(&snap(8, 0b1010)),
+            coverage_signature(&snap(8, 0b1010))
+        );
+        assert_ne!(
+            coverage_signature(&snap(8, 0b1010)),
+            coverage_signature(&snap(8, 0b1011))
+        );
+        // Same words, different registered length: different coverage.
+        assert_ne!(
+            coverage_signature(&snap(8, 0b1010)),
+            coverage_signature(&snap(16, 0b1010))
+        );
     }
 
     #[test]

@@ -1,0 +1,1082 @@
+//! The fleet orchestrator: N member campaigns sharing one corpus, one
+//! merged coverage view and one case budget.
+//!
+//! HFL's headline result is per-campaign sample efficiency; production
+//! fuzzing runs *many* campaigns — different strategies, seeds and cores
+//! — whose discoveries should compound instead of being recomputed. The
+//! fleet layer turns the single-campaign runner into that multi-tenant
+//! system:
+//!
+//! - [`run_fleet`] drives each [`FleetMember`] through **epochs**. Within
+//!   an epoch every member runs its granted slice of the fleet's
+//!   per-epoch case budget through the same round engine as
+//!   [`crate::campaign::run_campaign`], so member accounting is identical
+//!   to standalone-campaign accounting.
+//! - Cases that grew a member's cumulative coverage are harvested into a
+//!   shared [`GlobalCorpus`], deduplicated by coverage signature (full
+//!   snapshot comparison on hash collision) and distilled to a minimal
+//!   covering set between epochs — the INSTILLER-style pruning that keeps
+//!   the store small and diverse.
+//! - A budget scheduler reallocates the next epoch's cases toward members
+//!   with the best marginal-coverage rate (largest-remainder
+//!   apportionment over `rate + 1` weights with a per-member floor, so no
+//!   member starves and every case is assigned).
+//! - The merged coverage curve unions member bitmaps **per core** in
+//!   member-index order — a commutative, associative bitmap union whose
+//!   result depends only on the members' cumulative sets.
+//!
+//! # Determinism contract
+//!
+//! Everything the fleet reports outside of wall-clock metrics is a
+//! function of member indices and case counts, never of time or thread
+//! interleaving: members run their epoch slices in member order against
+//! per-member pools (which already guarantee thread-count-independent
+//! results), corpus insertion happens in member order, distillation and
+//! scheduling are deterministic algorithms with index tie-breaks. The
+//! fleet's event stream ([`Event::EpochStart`], [`Event::MemberProgress`],
+//! [`Event::CorpusSync`], [`Event::BudgetRealloc`], [`Event::EpochEnd`])
+//! and merged curve are therefore bit-identical at any thread count.
+//! Wall-clock lives only in the `fleet.sync.seconds`,
+//! `fleet.distill.seconds` and `fleet.schedule.seconds` histograms.
+//!
+//! # Crash safety
+//!
+//! With a [`CheckpointPolicy`], the fleet writes one atomic snapshot
+//! (`fleet.ckpt`, reusing the versioned checksummed container) covering
+//! every member's campaign state and fuzzer, the shared corpus, the
+//! merged curve, the budget vector and the metrics registry. Snapshots
+//! land on epoch boundaries only; resuming via
+//! [`FleetSpecBuilder::resume_from`] reproduces the uninterrupted fleet
+//! bit for bit.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hfl_dut::{CoreKind, CoverageKind, CoverageSnapshot};
+use hfl_nn::persist::{
+    corrupt, read_string, read_u32, read_u64, read_usize, write_string, write_u32, write_u64,
+    write_usize, Codec, SnapshotReader, SnapshotWriter,
+};
+use hfl_nn::PersistError;
+
+use crate::baselines::Fuzzer;
+use crate::campaign::{
+    core_index, read_metrics, run_round, write_metrics, CampaignConfig, CampaignState,
+    CheckpointPolicy, CoverageSample, HarvestedCase, SpecError,
+};
+use crate::corpus::GlobalCorpus;
+use crate::difftest::Signature;
+use crate::exec::ExecPool;
+use crate::harness::Executor;
+use crate::obs::{Event, Metrics, MetricsSnapshot, SinkHandle};
+
+const FLEET_CHECKPOINT_KIND: &str = "fleet";
+/// Default bound on the shared corpus.
+const DEFAULT_CORPUS_CAPACITY: usize = 256;
+
+/// Budget and batching parameters of one fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of epochs to run.
+    pub epochs: u64,
+    /// Total cases the scheduler apportions across members each epoch.
+    pub cases_per_epoch: u64,
+    /// Per-test-case step budget (see [`CampaignConfig::max_steps`]).
+    pub max_steps: u64,
+    /// Cases generated per member round and evaluated as one pool batch
+    /// (see [`CampaignConfig::batch`]).
+    pub batch: usize,
+}
+
+impl FleetConfig {
+    /// A quick fleet (tests and default bench settings).
+    #[must_use]
+    pub fn quick(epochs: u64, cases_per_epoch: u64) -> FleetConfig {
+        FleetConfig {
+            epochs,
+            cases_per_epoch,
+            max_steps: 3_000,
+            batch: 1,
+        }
+    }
+
+    /// Sets the per-round batch size (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> FleetConfig {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// One member campaign of a fleet: a display name, the core it fuzzes
+/// and its fuzzing strategy.
+pub struct FleetMember {
+    name: String,
+    core: CoreKind,
+    fuzzer: Box<dyn Fuzzer>,
+}
+
+impl FleetMember {
+    /// Wraps a fuzzer as a fleet member. Names identify harvested corpus
+    /// entries (`"<name>-case-<index>"`) and should be unique within the
+    /// fleet.
+    #[must_use]
+    pub fn new(name: impl Into<String>, core: CoreKind, fuzzer: Box<dyn Fuzzer>) -> FleetMember {
+        FleetMember {
+            name: name.into(),
+            core,
+            fuzzer,
+        }
+    }
+
+    /// The member's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The core this member fuzzes.
+    #[must_use]
+    pub fn core(&self) -> CoreKind {
+        self.core
+    }
+
+    /// The member's fuzzer.
+    #[must_use]
+    pub fn fuzzer(&self) -> &dyn Fuzzer {
+        self.fuzzer.as_ref()
+    }
+}
+
+impl fmt::Debug for FleetMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetMember")
+            .field("name", &self.name)
+            .field("core", &self.core)
+            .field("fuzzer", &self.fuzzer.name())
+            .finish()
+    }
+}
+
+/// A fleet run failed outside the fuzzing loop itself.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Snapshot serialisation/deserialisation failed.
+    Persist(PersistError),
+    /// `run_fleet` was called with an empty member slice.
+    NoMembers,
+    /// The per-epoch case budget cannot give every member at least one
+    /// case.
+    BudgetTooSmall {
+        /// Members in the fleet.
+        members: usize,
+        /// The configured per-epoch budget.
+        cases_per_epoch: u64,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Persist(e) => write!(f, "fleet checkpoint failed: {e}"),
+            FleetError::NoMembers => write!(f, "a fleet needs at least one member"),
+            FleetError::BudgetTooSmall {
+                members,
+                cases_per_epoch,
+            } => write!(
+                f,
+                "per-epoch budget {cases_per_epoch} cannot cover {members} members"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for FleetError {
+    fn from(e: PersistError) -> Self {
+        FleetError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Persist(PersistError::Io(e))
+    }
+}
+
+/// Everything that defines one fleet run except the members themselves
+/// (members carry non-cloneable fuzzer state and are passed to
+/// [`run_fleet`] directly). Built and validated by [`FleetSpec::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use hfl::fleet::{FleetConfig, FleetSpec};
+///
+/// let spec = FleetSpec::builder(FleetConfig::quick(3, 30))
+///     .corpus_capacity(64)
+///     .build()
+///     .expect("a valid spec");
+/// assert_eq!(spec.config().epochs, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    config: FleetConfig,
+    threads: usize,
+    sink: SinkHandle,
+    checkpoint: Option<CheckpointPolicy>,
+    resume_from: Option<PathBuf>,
+    corpus_capacity: usize,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl FleetSpec {
+    /// Starts building a spec for one fleet budget.
+    #[must_use]
+    pub fn builder(config: FleetConfig) -> FleetSpecBuilder {
+        FleetSpecBuilder {
+            config,
+            threads: 1,
+            sink: SinkHandle::null(),
+            checkpoint: None,
+            resume_from: None,
+            corpus_capacity: DEFAULT_CORPUS_CAPACITY,
+            stop: None,
+        }
+    }
+
+    /// Budget and batching parameters.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Worker threads in each member's execution pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The telemetry sink handle (receives fleet-level events only).
+    #[must_use]
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// The checkpoint policy, if checkpointing is enabled
+    /// (`every_rounds` counts epochs here).
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The snapshot this fleet resumes from, if any.
+    #[must_use]
+    pub fn resume_from(&self) -> Option<&Path> {
+        self.resume_from.as_deref()
+    }
+
+    /// Capacity bound of the shared corpus.
+    #[must_use]
+    pub fn corpus_capacity(&self) -> usize {
+        self.corpus_capacity
+    }
+
+    /// Whether a graceful stop was requested through the spec's stop
+    /// flag. Checked at epoch boundaries: the fleet finishes the current
+    /// epoch, checkpoints (if enabled) and returns with
+    /// `completed = false`.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|stop| stop.load(Ordering::SeqCst))
+    }
+}
+
+/// Builds a validated [`FleetSpec`].
+#[derive(Debug, Clone)]
+pub struct FleetSpecBuilder {
+    config: FleetConfig,
+    threads: usize,
+    sink: SinkHandle,
+    checkpoint: Option<CheckpointPolicy>,
+    resume_from: Option<PathBuf>,
+    corpus_capacity: usize,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl FleetSpecBuilder {
+    /// Sets each member pool's worker-thread count (must be at least 1;
+    /// affects wall-clock only, never results).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> FleetSpecBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a telemetry sink for the fleet-level event stream.
+    #[must_use]
+    pub fn sink(mut self, sink: SinkHandle) -> FleetSpecBuilder {
+        self.sink = sink;
+        self
+    }
+
+    /// Enables periodic checkpointing; the policy's `every_rounds`
+    /// counts **epochs** for a fleet, and the snapshot file is
+    /// `fleet.ckpt` inside the policy's directory.
+    #[must_use]
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> FleetSpecBuilder {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Resumes the fleet from a snapshot written by a previous run of the
+    /// **same** spec and member line-up (thread count may differ — it
+    /// never affects results).
+    #[must_use]
+    pub fn resume_from(mut self, snapshot: impl Into<PathBuf>) -> FleetSpecBuilder {
+        self.resume_from = Some(snapshot.into());
+        self
+    }
+
+    /// Bounds the shared corpus (entries beyond this are evicted
+    /// smallest-coverage-first).
+    #[must_use]
+    pub fn corpus_capacity(mut self, capacity: usize) -> FleetSpecBuilder {
+        self.corpus_capacity = capacity;
+        self
+    }
+
+    /// Installs a graceful-stop flag: setting it to `true` makes the
+    /// fleet finish its current epoch, checkpoint and return.
+    #[must_use]
+    pub fn stop_flag(mut self, stop: Arc<AtomicBool>) -> FleetSpecBuilder {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    /// Returns the first [`SpecError`] among: zero epochs, zero per-epoch
+    /// budget, zero step budget, zero batch, zero threads, zero corpus
+    /// capacity, or a checkpoint interval of zero epochs.
+    pub fn build(self) -> Result<FleetSpec, SpecError> {
+        if self.config.epochs == 0 {
+            return Err(SpecError::ZeroEpochs);
+        }
+        if self.config.cases_per_epoch == 0 {
+            return Err(SpecError::ZeroCasesPerEpoch);
+        }
+        if self.config.max_steps == 0 {
+            return Err(SpecError::ZeroMaxSteps);
+        }
+        if self.config.batch == 0 {
+            return Err(SpecError::ZeroBatch);
+        }
+        if self.threads == 0 {
+            return Err(SpecError::ZeroThreads);
+        }
+        if self.corpus_capacity == 0 {
+            return Err(SpecError::ZeroCorpusCapacity);
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            if checkpoint.every_rounds() == 0 {
+                return Err(SpecError::ZeroCheckpointInterval);
+            }
+        }
+        Ok(FleetSpec {
+            config: self.config,
+            threads: self.threads,
+            sink: self.sink,
+            checkpoint: self.checkpoint,
+            resume_from: self.resume_from,
+            corpus_capacity: self.corpus_capacity,
+            stop: self.stop,
+        })
+    }
+}
+
+/// Path of the fleet snapshot inside a checkpoint directory (atomic
+/// temp-file + rename, like the campaign snapshot).
+#[must_use]
+pub fn fleet_snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("fleet.ckpt")
+}
+
+/// The latest complete fleet snapshot under `dir`, if one exists (`.tmp`
+/// leftovers from an interrupted write are never returned).
+#[must_use]
+pub fn latest_fleet_snapshot(dir: &Path) -> Option<PathBuf> {
+    let path = fleet_snapshot_path(dir);
+    path.is_file().then_some(path)
+}
+
+/// One sample of the fleet's merged coverage curve (one per epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSample {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Total cases executed fleet-wide through this epoch.
+    pub cases: u64,
+    /// Merged condition-coverage points (per-core union, summed over
+    /// cores).
+    pub condition: usize,
+    /// Merged line-coverage points.
+    pub line: usize,
+    /// Merged FSM-coverage points.
+    pub fsm: usize,
+    /// Unique mismatch signatures across all members.
+    pub unique_signatures: usize,
+}
+
+/// One member's final accounting, identical in meaning to the matching
+/// `CampaignResult` fields.
+#[derive(Debug, Clone)]
+pub struct MemberResult {
+    /// The member's display name.
+    pub name: String,
+    /// The member's fuzzer name.
+    pub fuzzer: String,
+    /// The core the member fuzzed.
+    pub core: CoreKind,
+    /// Cases the member executed.
+    pub cases: u64,
+    /// The member's coverage curve (one sample per epoch).
+    pub curve: Vec<CoverageSample>,
+    /// The member's cumulative coverage at the end of the run.
+    pub cumulative: CoverageSnapshot,
+    /// Unique mismatch signatures the member found.
+    pub unique_signatures: usize,
+    /// The deduped signatures, sorted.
+    pub signatures: Vec<Signature>,
+    /// First member-local case index at which each signature appeared.
+    pub first_detection: Vec<(Signature, u64)>,
+    /// Instructions the member's DUT retired.
+    pub instructions_executed: u64,
+    /// Cases abandoned by fault containment.
+    pub aborted_cases: u64,
+}
+
+/// The outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-member accounting, in member order.
+    pub members: Vec<MemberResult>,
+    /// The merged coverage curve (one sample per completed epoch).
+    pub merged_curve: Vec<FleetSample>,
+    /// The shared corpus as distilled at the last epoch boundary.
+    pub corpus: GlobalCorpus,
+    /// The budget vector the scheduler would apply to the next epoch.
+    pub budgets: Vec<u64>,
+    /// Counter/histogram snapshot (includes `fleet.sync.seconds`,
+    /// `fleet.distill.seconds`, `fleet.schedule.seconds`). Never part of
+    /// determinism comparisons.
+    pub metrics: MetricsSnapshot,
+    /// Whether the full epoch budget ran (false when a stop flag ended
+    /// the fleet early; the final checkpoint then allows resuming).
+    pub completed: bool,
+    /// The telemetry sink's sticky I/O error, if it hit one.
+    pub sink_error: Option<String>,
+}
+
+impl FleetResult {
+    /// Final merged counts per metric `(condition, line, fsm)`.
+    #[must_use]
+    pub fn final_counts(&self) -> (usize, usize, usize) {
+        self.merged_curve
+            .last()
+            .map_or((0, 0, 0), |s| (s.condition, s.line, s.fsm))
+    }
+}
+
+/// Largest-remainder apportionment of `total` cases over members
+/// weighted by `rate + 1` (the `+ 1` keeps zero-rate members schedulable
+/// and makes the uniform-rate case an even split). Every member first
+/// receives a floor of `(total / (4 n)).max(1)` cases so exploration
+/// never starves; the remainder is split proportionally, ties broken
+/// toward the lowest member index. The result always sums to `total`.
+#[must_use]
+pub(crate) fn reallocate(total: u64, rates_milli: &[u64]) -> Vec<u64> {
+    let n = rates_milli.len() as u64;
+    debug_assert!(n > 0 && total >= n, "validated by run_fleet");
+    let min_each = (total / (4 * n)).max(1);
+    let pool = total - min_each * n;
+    let weights: Vec<u128> = rates_milli.iter().map(|&r| u128::from(r) + 1).collect();
+    let weight_sum: u128 = weights.iter().sum();
+    let mut budgets: Vec<u64> = weights
+        .iter()
+        .map(|w| min_each + (u128::from(pool) * w / weight_sum) as u64)
+        .collect();
+    let assigned: u64 = budgets.iter().sum::<u64>() - min_each * n;
+    let leftover = (pool - assigned) as usize;
+    let mut order: Vec<usize> = (0..rates_milli.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(u128::from(pool) * weights[i] % weight_sum),
+            i,
+        )
+    });
+    for &i in order.iter().take(leftover) {
+        budgets[i] += 1;
+    }
+    budgets
+}
+
+/// Computes the fleet's merged coverage sample: member cumulative
+/// bitmaps are unioned per core in member-index order (union is
+/// commutative and associative, so the grouping is only an
+/// implementation convenience), counted against the first pool of each
+/// core, and signatures are deduplicated across all members.
+fn merged_sample(
+    epoch: u64,
+    members: &[FleetMember],
+    states: &[CampaignState],
+    pools: &[ExecPool],
+) -> FleetSample {
+    let mut groups: Vec<(CoreKind, usize, CoverageSnapshot)> = Vec::new();
+    for (index, member) in members.iter().enumerate() {
+        match groups.iter_mut().find(|(core, _, _)| *core == member.core) {
+            Some((_, _, union)) => union.union_with(&states[index].cumulative),
+            None => groups.push((member.core, index, states[index].cumulative.clone())),
+        }
+    }
+    let (mut condition, mut line, mut fsm) = (0usize, 0usize, 0usize);
+    for (_, pool_index, union) in &groups {
+        let map = pools[*pool_index].coverage_map();
+        condition += union.count_of(map, CoverageKind::Condition);
+        line += union.count_of(map, CoverageKind::Line);
+        fsm += union.count_of(map, CoverageKind::Fsm);
+    }
+    let mut signatures: BTreeSet<Signature> = BTreeSet::new();
+    for state in states {
+        signatures.extend(state.signatures.sorted_signatures());
+    }
+    FleetSample {
+        epoch,
+        cases: states.iter().map(|s| s.executed).sum(),
+        condition,
+        line,
+        fsm,
+        unique_signatures: signatures.len(),
+    }
+}
+
+/// Writes one atomic fleet snapshot (see `DESIGN.md` for the layout).
+#[allow(clippy::too_many_arguments)]
+fn write_fleet_checkpoint(
+    policy: &CheckpointPolicy,
+    spec: &FleetSpec,
+    members: &[FleetMember],
+    states: &[CampaignState],
+    corpus: &GlobalCorpus,
+    budgets: &[u64],
+    merged_curve: &[FleetSample],
+    epoch: u64,
+    metrics: &Metrics,
+) -> Result<(), FleetError> {
+    std::fs::create_dir_all(policy.dir()).map_err(PersistError::Io)?;
+    let cfg = spec.config();
+    let mut snap = SnapshotWriter::new(FLEET_CHECKPOINT_KIND);
+    snap.section("spec", |w| {
+        write_u64(w, cfg.epochs)?;
+        write_u64(w, cfg.cases_per_epoch)?;
+        write_u64(w, cfg.max_steps)?;
+        write_u64(w, cfg.batch as u64)?;
+        write_usize(w, spec.corpus_capacity())?;
+        write_usize(w, members.len())?;
+        for member in members {
+            write_u32(w, core_index(member.core))?;
+            write_string(w, &member.name)?;
+            write_string(w, member.fuzzer.name())?;
+        }
+        Ok(())
+    })?;
+    snap.section("progress", |w| {
+        write_u64(w, epoch)?;
+        write_usize(w, budgets.len())?;
+        for budget in budgets {
+            write_u64(w, *budget)?;
+        }
+        Ok(())
+    })?;
+    snap.section("corpus", |w| corpus.save(w))?;
+    snap.section("merged", |w| {
+        write_usize(w, merged_curve.len())?;
+        for sample in merged_curve {
+            write_u64(w, sample.epoch)?;
+            write_u64(w, sample.cases)?;
+            write_u64(w, sample.condition as u64)?;
+            write_u64(w, sample.line as u64)?;
+            write_u64(w, sample.fsm as u64)?;
+            write_u64(w, sample.unique_signatures as u64)?;
+        }
+        Ok(())
+    })?;
+    for (index, (member, state)) in members.iter().zip(states).enumerate() {
+        snap.section(&format!("member{index}"), |w| {
+            state.save(w)?;
+            member.fuzzer.save_state(w)
+        })?;
+    }
+    snap.section("metrics", |w| write_metrics(w, &metrics.snapshot()))?;
+    snap.write_atomic(&fleet_snapshot_path(policy.dir()))?;
+    Ok(())
+}
+
+/// Restores a fleet checkpoint into the members, states, corpus, budgets,
+/// merged curve and metrics, after validating it matches the spec and
+/// member line-up.
+#[allow(clippy::too_many_arguments)]
+fn restore_fleet_checkpoint(
+    path: &Path,
+    spec: &FleetSpec,
+    members: &mut [FleetMember],
+    map_lens: &[usize],
+    states: &mut [CampaignState],
+    corpus: &mut GlobalCorpus,
+    budgets: &mut Vec<u64>,
+    merged_curve: &mut Vec<FleetSample>,
+    epoch: &mut u64,
+    metrics: &mut Metrics,
+) -> Result<(), FleetError> {
+    let snap = SnapshotReader::read_path(path)?;
+    snap.expect_kind(FLEET_CHECKPOINT_KIND)?;
+    let cfg = spec.config();
+
+    let mut r = snap.section("spec")?;
+    if read_u64(&mut r)? != cfg.epochs
+        || read_u64(&mut r)? != cfg.cases_per_epoch
+        || read_u64(&mut r)? != cfg.max_steps
+        || read_u64(&mut r)? != cfg.batch as u64
+        || read_usize(&mut r, 1 << 24, "corpus capacity")? != spec.corpus_capacity()
+        || read_usize(&mut r, 1 << 16, "member count")? != members.len()
+    {
+        return Err(corrupt("checkpoint was taken under a different fleet spec").into());
+    }
+    for member in members.iter() {
+        if read_u32(&mut r)? != core_index(member.core)
+            || read_string(&mut r)? != member.name
+            || read_string(&mut r)? != member.fuzzer.name()
+        {
+            return Err(corrupt(format!(
+                "checkpoint member line-up does not include {:?} ({})",
+                member.name,
+                member.fuzzer.name()
+            ))
+            .into());
+        }
+    }
+
+    let mut r = snap.section("progress")?;
+    *epoch = read_u64(&mut r)?;
+    let n = read_usize(&mut r, 1 << 16, "budget count")?;
+    if n != members.len() {
+        return Err(corrupt("checkpoint budget vector does not match the members").into());
+    }
+    *budgets = (0..n)
+        .map(|_| read_u64(&mut r))
+        .collect::<Result<_, PersistError>>()?;
+
+    let mut r = snap.section("corpus")?;
+    *corpus = GlobalCorpus::load(&mut r)?;
+
+    let mut r = snap.section("merged")?;
+    let samples = read_usize(&mut r, 1 << 24, "merged curve length")?;
+    *merged_curve = (0..samples)
+        .map(|_| {
+            Ok(FleetSample {
+                epoch: read_u64(&mut r)?,
+                cases: read_u64(&mut r)?,
+                condition: read_u64(&mut r)? as usize,
+                line: read_u64(&mut r)? as usize,
+                fsm: read_u64(&mut r)? as usize,
+                unique_signatures: read_u64(&mut r)? as usize,
+            })
+        })
+        .collect::<Result<_, PersistError>>()?;
+
+    for (index, (member, state)) in members.iter_mut().zip(states.iter_mut()).enumerate() {
+        let mut r = snap.section(&format!("member{index}"))?;
+        *state = CampaignState::load(&mut r, map_lens[index])?;
+        member.fuzzer.load_state(&mut r)?;
+    }
+
+    let mut r = snap.section("metrics")?;
+    *metrics = read_metrics(&mut r)?;
+    Ok(())
+}
+
+/// Runs one fleet: every member campaign advances through shared epochs
+/// with corpus sync, deterministic coverage merging and marginal-rate
+/// budget scheduling (see the module docs).
+///
+/// # Errors
+/// Returns [`FleetError`] when the member slice is empty, the per-epoch
+/// budget cannot cover the members, a checkpoint cannot be written, or a
+/// resume snapshot is corrupt or does not match the spec/members. The
+/// fuzzing loop itself never errors: faulty cases are contained per
+/// member exactly as in a standalone campaign.
+pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetResult, FleetError> {
+    if members.is_empty() {
+        return Err(FleetError::NoMembers);
+    }
+    let cfg = *spec.config();
+    if cfg.cases_per_epoch < members.len() as u64 {
+        return Err(FleetError::BudgetTooSmall {
+            members: members.len(),
+            cases_per_epoch: cfg.cases_per_epoch,
+        });
+    }
+    let sink = spec.sink();
+    let silent = SinkHandle::null();
+    let mut pools: Vec<ExecPool> = members
+        .iter()
+        .map(|member| {
+            let builder = Executor::builder(member.core).max_steps(cfg.max_steps);
+            ExecPool::new(builder.build(), spec.threads())
+        })
+        .collect();
+    let map_lens: Vec<usize> = pools.iter().map(|p| p.coverage_map().len()).collect();
+    let mut states: Vec<CampaignState> = map_lens
+        .iter()
+        .map(|&len| CampaignState::fresh(len))
+        .collect();
+    let mut metrics = Metrics::new();
+    let mut corpus = GlobalCorpus::new(spec.corpus_capacity());
+    // The first epoch has no rates to differentiate: every member gets
+    // the even largest-remainder split.
+    let mut budgets = reallocate(cfg.cases_per_epoch, &vec![0; members.len()]);
+    let mut merged_curve: Vec<FleetSample> = Vec::new();
+    let mut epoch = 0u64;
+    if let Some(snapshot) = spec.resume_from() {
+        restore_fleet_checkpoint(
+            snapshot,
+            spec,
+            members,
+            &map_lens,
+            &mut states,
+            &mut corpus,
+            &mut budgets,
+            &mut merged_curve,
+            &mut epoch,
+            &mut metrics,
+        )?;
+    }
+
+    while epoch < cfg.epochs {
+        if spec.stop_requested() {
+            break;
+        }
+        if sink.enabled() {
+            sink.emit(&Event::EpochStart {
+                epoch,
+                members: members.len() as u64,
+                planned: budgets.iter().sum(),
+            });
+        }
+        let stats_before = corpus.stats();
+        let mut rates: Vec<u64> = Vec::with_capacity(members.len());
+        let mut sync_seconds = 0.0f64;
+        for (index, member) in members.iter_mut().enumerate() {
+            let state = &mut states[index];
+            let pool = &mut pools[index];
+            let target = state.executed + budgets[index];
+            // One member-campaign slice: `cases = target` makes the round
+            // engine stop exactly at the epoch boundary and sample the
+            // member's curve exactly once there.
+            let member_cfg = CampaignConfig {
+                cases: target,
+                sample_every: target,
+                max_steps: cfg.max_steps,
+                batch: cfg.batch,
+            };
+            let covered_before = state.cumulative.count();
+            let mut harvest: Vec<HarvestedCase> = Vec::new();
+            while state.executed < target {
+                run_round(
+                    member.fuzzer.as_mut(),
+                    pool,
+                    &member_cfg,
+                    spec.threads(),
+                    &silent,
+                    &mut metrics,
+                    state,
+                    Some(&mut harvest),
+                );
+            }
+            let sync_started = Instant::now();
+            for case in harvest {
+                corpus.insert(
+                    format!("{}-case-{}", member.name, case.case),
+                    case.body,
+                    case.coverage,
+                );
+            }
+            sync_seconds += sync_started.elapsed().as_secs_f64();
+            let gained = (state.cumulative.count() - covered_before) as u64;
+            rates.push(gained * 1000 / budgets[index]);
+            metrics.inc("fleet.cases", budgets[index]);
+            if sink.enabled() {
+                let map = pool.coverage_map();
+                sink.emit(&Event::MemberProgress {
+                    epoch,
+                    member: index as u64,
+                    executed: state.executed,
+                    condition: state.cumulative.count_of(map, CoverageKind::Condition) as u64,
+                    line: state.cumulative.count_of(map, CoverageKind::Line) as u64,
+                    fsm: state.cumulative.count_of(map, CoverageKind::Fsm) as u64,
+                    unique_signatures: state.signatures.unique() as u64,
+                });
+            }
+        }
+        metrics.observe("fleet.sync.seconds", sync_seconds);
+
+        let distill_started = Instant::now();
+        let (distilled_from, distilled_to) = corpus.distill();
+        metrics.observe_duration("fleet.distill.seconds", distill_started.elapsed());
+        let stats_after = corpus.stats();
+        if sink.enabled() {
+            sink.emit(&Event::CorpusSync {
+                epoch,
+                inserted: stats_after.inserted - stats_before.inserted,
+                duplicates: stats_after.duplicates - stats_before.duplicates,
+                evicted: stats_after.evicted - stats_before.evicted,
+                distilled_from: distilled_from as u64,
+                distilled_to: distilled_to as u64,
+            });
+        }
+
+        let schedule_started = Instant::now();
+        budgets = reallocate(cfg.cases_per_epoch, &rates);
+        metrics.observe_duration("fleet.schedule.seconds", schedule_started.elapsed());
+        if sink.enabled() {
+            for (index, (&cases, &rate_milli)) in budgets.iter().zip(&rates).enumerate() {
+                sink.emit(&Event::BudgetRealloc {
+                    epoch,
+                    member: index as u64,
+                    cases,
+                    rate_milli,
+                });
+            }
+        }
+
+        let sample = merged_sample(epoch, members, &states, &pools);
+        merged_curve.push(sample);
+        if sink.enabled() {
+            sink.emit(&Event::EpochEnd {
+                epoch,
+                executed: sample.cases,
+                condition: sample.condition as u64,
+                line: sample.line as u64,
+                fsm: sample.fsm as u64,
+                unique_signatures: sample.unique_signatures as u64,
+            });
+        }
+        metrics.inc("fleet.epochs", 1);
+        epoch += 1;
+        // Periodic checkpoints land on epoch boundaries, where every
+        // member sits at a round boundary with empty pending queues.
+        if let Some(policy) = spec.checkpoint() {
+            if epoch.is_multiple_of(policy.every_rounds()) && epoch < cfg.epochs {
+                write_fleet_checkpoint(
+                    policy,
+                    spec,
+                    members,
+                    &states,
+                    &corpus,
+                    &budgets,
+                    &merged_curve,
+                    epoch,
+                    &metrics,
+                )?;
+            }
+        }
+    }
+    // Final (or graceful-shutdown) snapshot.
+    if let Some(policy) = spec.checkpoint() {
+        write_fleet_checkpoint(
+            policy,
+            spec,
+            members,
+            &states,
+            &corpus,
+            &budgets,
+            &merged_curve,
+            epoch,
+            &metrics,
+        )?;
+    }
+
+    sink.flush();
+    let sink_error = sink.take_error().map(|e| e.to_string());
+    let member_results = members
+        .iter()
+        .zip(&states)
+        .map(|(member, state)| MemberResult {
+            name: member.name.clone(),
+            fuzzer: member.fuzzer.name().to_owned(),
+            core: member.core,
+            cases: state.executed,
+            curve: state.curve.clone(),
+            cumulative: state.cumulative.clone(),
+            unique_signatures: state.signatures.unique(),
+            signatures: state.signatures.sorted_signatures(),
+            first_detection: state.first_detection.clone(),
+            instructions_executed: state.instructions_executed,
+            aborted_cases: state.aborted_cases,
+        })
+        .collect();
+    Ok(FleetResult {
+        members: member_results,
+        merged_curve,
+        corpus,
+        budgets,
+        metrics: metrics.snapshot(),
+        completed: epoch >= cfg.epochs,
+        sink_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::DifuzzRtlFuzzer;
+
+    #[test]
+    fn reallocate_assigns_the_whole_budget_deterministically() {
+        for (total, rates) in [
+            (30u64, vec![0u64, 0, 0]),
+            (30, vec![1000, 0, 0]),
+            (31, vec![7, 7, 7]),
+            (100, vec![0, 1, 2, 3, 4]),
+            (5, vec![9999, 0, 0, 0, 1]),
+        ] {
+            let budgets = reallocate(total, &rates);
+            assert_eq!(budgets.len(), rates.len());
+            assert_eq!(budgets.iter().sum::<u64>(), total, "{rates:?}");
+            assert!(budgets.iter().all(|&b| b >= 1), "{budgets:?}");
+            assert_eq!(budgets, reallocate(total, &rates), "must be a pure fn");
+        }
+    }
+
+    #[test]
+    fn reallocate_favours_higher_rates_and_floors_the_rest() {
+        let budgets = reallocate(40, &[3000, 1000, 0, 0]);
+        assert!(budgets[0] > budgets[1], "{budgets:?}");
+        assert!(budgets[1] > budgets[2], "{budgets:?}");
+        // Floor: total/(4·n) = 2 cases each minimum.
+        assert!(budgets[2] >= 2 && budgets[3] >= 2, "{budgets:?}");
+        // Equal rates tie toward the lowest index on odd remainders.
+        let even = reallocate(31, &[5, 5, 5]);
+        assert_eq!(even, vec![11, 10, 10]);
+    }
+
+    #[test]
+    fn fleet_spec_builder_validates() {
+        let ok = FleetConfig::quick(2, 10);
+        assert!(FleetSpec::builder(ok).build().is_ok());
+        let check =
+            |config: FleetConfig, expected: SpecError| match FleetSpec::builder(config).build() {
+                Err(err) => assert_eq!(err.to_string(), expected.to_string()),
+                Ok(_) => panic!("expected {expected}"),
+            };
+        check(FleetConfig { epochs: 0, ..ok }, SpecError::ZeroEpochs);
+        check(
+            FleetConfig {
+                cases_per_epoch: 0,
+                ..ok
+            },
+            SpecError::ZeroCasesPerEpoch,
+        );
+        check(FleetConfig { max_steps: 0, ..ok }, SpecError::ZeroMaxSteps);
+        check(FleetConfig { batch: 0, ..ok }, SpecError::ZeroBatch);
+        assert!(matches!(
+            FleetSpec::builder(ok).threads(0).build(),
+            Err(SpecError::ZeroThreads)
+        ));
+        assert!(matches!(
+            FleetSpec::builder(ok).corpus_capacity(0).build(),
+            Err(SpecError::ZeroCorpusCapacity)
+        ));
+        assert!(matches!(
+            FleetSpec::builder(ok)
+                .checkpoint(CheckpointPolicy::new("/tmp/unused", 0))
+                .build(),
+            Err(SpecError::ZeroCheckpointInterval)
+        ));
+    }
+
+    #[test]
+    fn run_fleet_rejects_empty_and_starved_fleets() {
+        let spec = FleetSpec::builder(FleetConfig::quick(1, 10))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            run_fleet(&mut [], &spec),
+            Err(FleetError::NoMembers)
+        ));
+        let tight = FleetSpec::builder(FleetConfig::quick(1, 1))
+            .build()
+            .unwrap();
+        let mut members = vec![
+            FleetMember::new("a", CoreKind::Rocket, Box::new(DifuzzRtlFuzzer::new(1, 8))),
+            FleetMember::new("b", CoreKind::Rocket, Box::new(DifuzzRtlFuzzer::new(2, 8))),
+        ];
+        let err = run_fleet(&mut members, &tight).expect_err("budget too small");
+        assert!(err.to_string().contains("cannot cover"), "{err}");
+    }
+
+    #[test]
+    fn a_tiny_fleet_runs_and_merges() {
+        let mut members = vec![
+            FleetMember::new(
+                "difuzz-a",
+                CoreKind::Rocket,
+                Box::new(DifuzzRtlFuzzer::new(5, 10)),
+            ),
+            FleetMember::new(
+                "difuzz-b",
+                CoreKind::Rocket,
+                Box::new(DifuzzRtlFuzzer::new(11, 10)),
+            ),
+        ];
+        let spec = FleetSpec::builder(FleetConfig::quick(3, 12))
+            .build()
+            .unwrap();
+        let result = run_fleet(&mut members, &spec).expect("fleet runs");
+        assert!(result.completed);
+        assert_eq!(result.merged_curve.len(), 3);
+        assert_eq!(result.members.len(), 2);
+        assert_eq!(result.members[0].cases + result.members[1].cases, 36);
+        assert_eq!(result.budgets.iter().sum::<u64>(), 12);
+        // Merged coverage dominates every member's own coverage.
+        let (mc, ml, mf) = result.final_counts();
+        for member in &result.members {
+            let last = member.curve.last().expect("one sample per epoch");
+            assert!(mc >= last.condition && ml >= last.line && mf >= last.fsm);
+            assert_eq!(member.curve.len(), 3, "one curve sample per epoch");
+        }
+        // The shared corpus collected coverage-gaining cases.
+        assert!(!result.corpus.is_empty());
+        assert!(result.corpus.stats().inserted > 0);
+        // The merged curve is monotone.
+        for pair in result.merged_curve.windows(2) {
+            assert!(pair[1].condition >= pair[0].condition);
+            assert!(pair[1].cases > pair[0].cases);
+        }
+    }
+}

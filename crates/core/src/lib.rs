@@ -27,7 +27,10 @@
 //!   a fuzzing campaign,
 //! - [`obs`]: the observability layer — typed campaign events behind an
 //!   [`obs::EventSink`] (JSONL file / in-memory ring), and the per-phase
-//!   [`obs::Metrics`] registry snapshotted onto every `CampaignResult`.
+//!   [`obs::Metrics`] registry snapshotted onto every `CampaignResult`,
+//! - [`fleet`]: the multi-campaign orchestrator — epoch-based ensemble
+//!   runs with a shared deduplicated corpus, deterministic per-core
+//!   coverage merging and marginal-rate budget scheduling.
 //!
 //! # Examples
 //!
@@ -56,6 +59,7 @@ pub mod correction;
 pub mod difftest;
 pub mod encoder;
 pub mod exec;
+pub mod fleet;
 pub mod fuzzer;
 pub mod generator;
 pub mod harness;
@@ -71,9 +75,13 @@ pub use campaign::{
     run_campaign, CampaignConfig, CampaignError, CampaignResult, CampaignSpec, CampaignSpecBuilder,
     CheckpointPolicy, CoverageSample, SpecError,
 };
-pub use corpus::Corpus;
+pub use corpus::{coverage_signature, Corpus, GlobalCorpus, GlobalCorpusStats, GlobalEntry};
 pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
 pub use exec::{BatchStats, CaseOutcome, ExecPool, FaultKind, FaultPlan, FaultPolicy, Throughput};
+pub use fleet::{
+    latest_fleet_snapshot, run_fleet, FleetConfig, FleetError, FleetMember, FleetResult,
+    FleetSample, FleetSpec, FleetSpecBuilder, MemberResult,
+};
 pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
 pub use generator::{GeneratorConfig, InstructionGenerator};
 pub use harness::{CaseResult, CaseTiming, Executor, ExecutorBuilder};

@@ -159,6 +159,80 @@ pub enum Event {
         /// Summed per-case execution seconds across workers.
         busy_seconds: f64,
     },
+    /// A fleet epoch began: every member is about to run its slice of the
+    /// epoch's case budget.
+    EpochStart {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Member campaigns in the fleet.
+        members: u64,
+        /// Total cases budgeted across members this epoch.
+        planned: u64,
+    },
+    /// One member finished its slice of an epoch.
+    MemberProgress {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Member index (0-based, fleet-wide).
+        member: u64,
+        /// The member's total cases executed so far (cumulative).
+        executed: u64,
+        /// The member's cumulative condition-coverage points.
+        condition: u64,
+        /// The member's cumulative line-coverage points.
+        line: u64,
+        /// The member's cumulative FSM-coverage points.
+        fsm: u64,
+        /// The member's unique mismatch signatures so far.
+        unique_signatures: u64,
+    },
+    /// The shared corpus absorbed an epoch's harvest and was distilled.
+    /// All counts are this epoch's deltas except the distillation sizes,
+    /// which are absolute entry counts.
+    CorpusSync {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Cases accepted into the shared corpus this epoch.
+        inserted: u64,
+        /// Cases rejected as coverage duplicates this epoch.
+        duplicates: u64,
+        /// Cases evicted by the capacity bound this epoch.
+        evicted: u64,
+        /// Corpus size before distillation.
+        distilled_from: u64,
+        /// Corpus size after distillation.
+        distilled_to: u64,
+    },
+    /// The scheduler granted one member its next-epoch case budget.
+    BudgetRealloc {
+        /// Epoch the decision was made in (0-based; the budget applies to
+        /// `epoch + 1`).
+        epoch: u64,
+        /// Member index (0-based, fleet-wide).
+        member: u64,
+        /// Cases granted for the next epoch.
+        cases: u64,
+        /// The member's marginal-coverage rate this epoch, in
+        /// milli-points per case (new coverage points × 1000 / cases).
+        rate_milli: u64,
+    },
+    /// A fleet epoch finished: corpus synced, budgets reallocated, merged
+    /// coverage sampled.
+    EpochEnd {
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Total cases executed fleet-wide so far (cumulative).
+        executed: u64,
+        /// Merged condition-coverage points across members (per-core
+        /// union, summed over cores).
+        condition: u64,
+        /// Merged line-coverage points across members.
+        line: u64,
+        /// Merged FSM-coverage points across members.
+        fsm: u64,
+        /// Unique mismatch signatures across all members.
+        unique_signatures: u64,
+    },
 }
 
 impl Event {
@@ -181,6 +255,11 @@ impl Event {
             Event::MinimizeStep { .. } => "minimize_step",
             Event::CaseAborted { .. } => "case_aborted",
             Event::PoolOccupancy { .. } => "pool_occupancy",
+            Event::EpochStart { .. } => "epoch_start",
+            Event::MemberProgress { .. } => "member_progress",
+            Event::CorpusSync { .. } => "corpus_sync",
+            Event::BudgetRealloc { .. } => "budget_realloc",
+            Event::EpochEnd { .. } => "epoch_end",
         }
     }
 
@@ -284,6 +363,73 @@ impl Event {
                 w.float("exec_seconds", *exec_seconds);
                 w.float("busy_seconds", *busy_seconds);
             }
+            Event::EpochStart {
+                epoch,
+                members,
+                planned,
+            } => {
+                w.num("epoch", *epoch);
+                w.num("members", *members);
+                w.num("planned", *planned);
+            }
+            Event::MemberProgress {
+                epoch,
+                member,
+                executed,
+                condition,
+                line,
+                fsm,
+                unique_signatures,
+            } => {
+                w.num("epoch", *epoch);
+                w.num("member", *member);
+                w.num("executed", *executed);
+                w.num("condition", *condition);
+                w.num("line", *line);
+                w.num("fsm", *fsm);
+                w.num("unique_signatures", *unique_signatures);
+            }
+            Event::CorpusSync {
+                epoch,
+                inserted,
+                duplicates,
+                evicted,
+                distilled_from,
+                distilled_to,
+            } => {
+                w.num("epoch", *epoch);
+                w.num("inserted", *inserted);
+                w.num("duplicates", *duplicates);
+                w.num("evicted", *evicted);
+                w.num("distilled_from", *distilled_from);
+                w.num("distilled_to", *distilled_to);
+            }
+            Event::BudgetRealloc {
+                epoch,
+                member,
+                cases,
+                rate_milli,
+            } => {
+                w.num("epoch", *epoch);
+                w.num("member", *member);
+                w.num("cases", *cases);
+                w.num("rate_milli", *rate_milli);
+            }
+            Event::EpochEnd {
+                epoch,
+                executed,
+                condition,
+                line,
+                fsm,
+                unique_signatures,
+            } => {
+                w.num("epoch", *epoch);
+                w.num("executed", *executed);
+                w.num("condition", *condition);
+                w.num("line", *line);
+                w.num("fsm", *fsm);
+                w.num("unique_signatures", *unique_signatures);
+            }
         }
         w.finish()
     }
@@ -352,6 +498,42 @@ impl Event {
                 occupancy: x("occupancy")?,
                 exec_seconds: x("exec_seconds")?,
                 busy_seconds: x("busy_seconds")?,
+            }),
+            "epoch_start" => Some(Event::EpochStart {
+                epoch: u("epoch")?,
+                members: u("members")?,
+                planned: u("planned")?,
+            }),
+            "member_progress" => Some(Event::MemberProgress {
+                epoch: u("epoch")?,
+                member: u("member")?,
+                executed: u("executed")?,
+                condition: u("condition")?,
+                line: u("line")?,
+                fsm: u("fsm")?,
+                unique_signatures: u("unique_signatures")?,
+            }),
+            "corpus_sync" => Some(Event::CorpusSync {
+                epoch: u("epoch")?,
+                inserted: u("inserted")?,
+                duplicates: u("duplicates")?,
+                evicted: u("evicted")?,
+                distilled_from: u("distilled_from")?,
+                distilled_to: u("distilled_to")?,
+            }),
+            "budget_realloc" => Some(Event::BudgetRealloc {
+                epoch: u("epoch")?,
+                member: u("member")?,
+                cases: u("cases")?,
+                rate_milli: u("rate_milli")?,
+            }),
+            "epoch_end" => Some(Event::EpochEnd {
+                epoch: u("epoch")?,
+                executed: u("executed")?,
+                condition: u("condition")?,
+                line: u("line")?,
+                fsm: u("fsm")?,
+                unique_signatures: u("unique_signatures")?,
             }),
             _ => None,
         }
@@ -1032,6 +1214,167 @@ pub fn replay_rounds(events: &[Event]) -> Vec<RoundRow> {
     rows
 }
 
+/// One epoch row of the fleet table [`replay_fleet`] reconstructs: the
+/// merged coverage curve plus the epoch's corpus-sync summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEpochRow {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Total cases executed fleet-wide through this epoch.
+    pub cases: u64,
+    /// Merged condition-coverage points.
+    pub condition: u64,
+    /// Merged line-coverage points.
+    pub line: u64,
+    /// Merged FSM-coverage points.
+    pub fsm: u64,
+    /// Unique signatures across all members.
+    pub unique_signatures: u64,
+    /// Cases the shared corpus accepted this epoch.
+    pub inserted: u64,
+    /// Coverage duplicates rejected this epoch.
+    pub duplicates: u64,
+    /// Entries evicted by the capacity bound this epoch.
+    pub evicted: u64,
+    /// Corpus size going into distillation.
+    pub distilled_from: u64,
+    /// Corpus size after distillation.
+    pub distilled_to: u64,
+}
+
+/// One member row of the fleet table: the member's cumulative state at
+/// an epoch boundary plus the budget the scheduler granted it for the
+/// next epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetMemberRow {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Member index.
+    pub member: u64,
+    /// The member's cumulative cases executed.
+    pub executed: u64,
+    /// The member's cumulative condition-coverage points.
+    pub condition: u64,
+    /// The member's cumulative line-coverage points.
+    pub line: u64,
+    /// The member's cumulative FSM-coverage points.
+    pub fsm: u64,
+    /// The member's unique signatures.
+    pub unique_signatures: u64,
+    /// The member's marginal-coverage rate this epoch (milli-points per
+    /// case), from the scheduler's `budget_realloc` event (0 when the
+    /// log lacks one, e.g. the final epoch).
+    pub rate_milli: u64,
+    /// Cases granted for the next epoch (0 when the log lacks a
+    /// `budget_realloc` event for this member/epoch).
+    pub next_budget: u64,
+}
+
+/// A fleet event log replayed into per-epoch and per-member tables (the
+/// `campaign_report --fleet` backing store).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetReplay {
+    /// One row per `epoch_end`, in epoch order.
+    pub epochs: Vec<FleetEpochRow>,
+    /// One row per `member_progress`, in emission order.
+    pub members: Vec<FleetMemberRow>,
+}
+
+/// Replays a fleet event log into per-epoch merged-coverage rows and
+/// per-member budget rows.
+///
+/// Only `member_progress`, `corpus_sync`, `budget_realloc` and
+/// `epoch_end` events are consulted, so mixed or filtered logs still
+/// replay.
+#[must_use]
+pub fn replay_fleet(events: &[Event]) -> FleetReplay {
+    let mut replay = FleetReplay::default();
+    let mut sync: BTreeMap<u64, (u64, u64, u64, u64, u64)> = BTreeMap::new();
+    for event in events {
+        match event {
+            Event::MemberProgress {
+                epoch,
+                member,
+                executed,
+                condition,
+                line,
+                fsm,
+                unique_signatures,
+            } => replay.members.push(FleetMemberRow {
+                epoch: *epoch,
+                member: *member,
+                executed: *executed,
+                condition: *condition,
+                line: *line,
+                fsm: *fsm,
+                unique_signatures: *unique_signatures,
+                rate_milli: 0,
+                next_budget: 0,
+            }),
+            Event::CorpusSync {
+                epoch,
+                inserted,
+                duplicates,
+                evicted,
+                distilled_from,
+                distilled_to,
+            } => {
+                sync.insert(
+                    *epoch,
+                    (
+                        *inserted,
+                        *duplicates,
+                        *evicted,
+                        *distilled_from,
+                        *distilled_to,
+                    ),
+                );
+            }
+            Event::BudgetRealloc {
+                epoch,
+                member,
+                cases,
+                rate_milli,
+            } => {
+                if let Some(row) = replay
+                    .members
+                    .iter_mut()
+                    .find(|r| r.epoch == *epoch && r.member == *member)
+                {
+                    row.next_budget = *cases;
+                    row.rate_milli = *rate_milli;
+                }
+            }
+            Event::EpochEnd {
+                epoch,
+                executed,
+                condition,
+                line,
+                fsm,
+                unique_signatures,
+            } => {
+                let (inserted, duplicates, evicted, distilled_from, distilled_to) =
+                    sync.get(epoch).copied().unwrap_or_default();
+                replay.epochs.push(FleetEpochRow {
+                    epoch: *epoch,
+                    cases: *executed,
+                    condition: *condition,
+                    line: *line,
+                    fsm: *fsm,
+                    unique_signatures: *unique_signatures,
+                    inserted,
+                    duplicates,
+                    evicted,
+                    distilled_from,
+                    distilled_to,
+                });
+            }
+            _ => {}
+        }
+    }
+    replay
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,6 +1442,57 @@ mod tests {
                 case: 3,
                 reason: String::from("injected worker panic at case 3"),
                 attempts: 2,
+            },
+            Event::EpochStart {
+                epoch: 0,
+                members: 2,
+                planned: 24,
+            },
+            Event::MemberProgress {
+                epoch: 0,
+                member: 0,
+                executed: 12,
+                condition: 10,
+                line: 25,
+                fsm: 3,
+                unique_signatures: 1,
+            },
+            Event::MemberProgress {
+                epoch: 0,
+                member: 1,
+                executed: 12,
+                condition: 8,
+                line: 22,
+                fsm: 2,
+                unique_signatures: 0,
+            },
+            Event::CorpusSync {
+                epoch: 0,
+                inserted: 5,
+                duplicates: 2,
+                evicted: 0,
+                distilled_from: 5,
+                distilled_to: 3,
+            },
+            Event::BudgetRealloc {
+                epoch: 0,
+                member: 0,
+                cases: 14,
+                rate_milli: 833,
+            },
+            Event::BudgetRealloc {
+                epoch: 0,
+                member: 1,
+                cases: 10,
+                rate_milli: 667,
+            },
+            Event::EpochEnd {
+                epoch: 0,
+                executed: 24,
+                condition: 13,
+                line: 31,
+                fsm: 4,
+                unique_signatures: 1,
             },
         ]
     }
@@ -1314,6 +1708,55 @@ mod tests {
         assert_eq!(row.retired, 7);
         assert!((row.occupancy - 0.75).abs() < 1e-12);
         assert!((row.exec_seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_fleet_reconstructs_epoch_and_member_tables() {
+        let replay = replay_fleet(&sample_events());
+        assert_eq!(replay.epochs.len(), 1);
+        let epoch = replay.epochs[0];
+        assert_eq!(epoch.epoch, 0);
+        assert_eq!(epoch.cases, 24);
+        assert_eq!((epoch.condition, epoch.line, epoch.fsm), (13, 31, 4));
+        assert_eq!(epoch.unique_signatures, 1);
+        assert_eq!((epoch.inserted, epoch.duplicates, epoch.evicted), (5, 2, 0));
+        assert_eq!((epoch.distilled_from, epoch.distilled_to), (5, 3));
+
+        assert_eq!(replay.members.len(), 2);
+        let m0 = replay.members[0];
+        assert_eq!((m0.epoch, m0.member), (0, 0));
+        assert_eq!(m0.executed, 12);
+        assert_eq!((m0.next_budget, m0.rate_milli), (14, 833));
+        let m1 = replay.members[1];
+        assert_eq!((m1.next_budget, m1.rate_milli), (10, 667));
+
+        // Campaign-only logs have no fleet rows; fleet replays tolerate
+        // missing corpus_sync/budget_realloc events.
+        let campaign_only: Vec<Event> = sample_events()
+            .into_iter()
+            .filter(|e| {
+                !matches!(
+                    e,
+                    Event::EpochStart { .. }
+                        | Event::MemberProgress { .. }
+                        | Event::CorpusSync { .. }
+                        | Event::BudgetRealloc { .. }
+                        | Event::EpochEnd { .. }
+                )
+            })
+            .collect();
+        assert_eq!(replay_fleet(&campaign_only), FleetReplay::default());
+        let sparse = [Event::EpochEnd {
+            epoch: 3,
+            executed: 9,
+            condition: 1,
+            line: 2,
+            fsm: 0,
+            unique_signatures: 0,
+        }];
+        let replay = replay_fleet(&sparse);
+        assert_eq!(replay.epochs[0].distilled_to, 0);
+        assert_eq!(replay.epochs[0].cases, 9);
     }
 
     #[test]

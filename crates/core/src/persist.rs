@@ -22,7 +22,7 @@ use hfl_nn::persist::{
 use hfl_nn::{Embedding, Linear, Lstm};
 use hfl_riscv::{Csr, Instruction, Opcode};
 
-use crate::corpus::{Corpus, CorpusEntry};
+use crate::corpus::{Corpus, CorpusEntry, GlobalCorpus, GlobalCorpusStats, GlobalEntry};
 use crate::correction::HeadOutputs;
 use crate::difftest::{Signature, SignatureSet};
 use crate::encoder::{EncoderConfig, TokenEncoder};
@@ -471,6 +471,55 @@ impl Codec for Corpus {
     }
 }
 
+impl Codec for GlobalCorpus {
+    fn save<W: Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        write_usize(w, self.capacity())?;
+        write_u64(w, self.next_seq())?;
+        let stats = self.stats();
+        write_u64(w, stats.inserted)?;
+        write_u64(w, stats.duplicates)?;
+        write_u64(w, stats.evicted)?;
+        write_usize(w, self.entries().len())?;
+        for entry in self.entries() {
+            write_string(w, &entry.name)?;
+            write_program(w, &entry.body)?;
+            write_usize(w, entry.coverage.len())?;
+            hfl_nn::persist::write_u64_vec(w, entry.coverage.words())?;
+            write_u64(w, entry.signature)?;
+            write_u64(w, entry.seq)?;
+        }
+        Ok(())
+    }
+
+    fn load<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let capacity = read_usize(r, MAX_SEQ, "global corpus capacity")?;
+        let next_seq = read_u64(r)?;
+        let stats = GlobalCorpusStats {
+            inserted: read_u64(r)?,
+            duplicates: read_u64(r)?,
+            evicted: read_u64(r)?,
+        };
+        let n = read_usize(r, MAX_SEQ, "global corpus entry count")?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = read_string(r)?;
+            let body = read_program(r)?;
+            let len = read_usize(r, 1 << 28, "global entry coverage length")?;
+            let words = hfl_nn::persist::read_u64_vec(r)?;
+            let coverage = hfl_dut::CoverageSnapshot::from_words(len, words)
+                .ok_or_else(|| corrupt("global entry coverage words do not fit the map"))?;
+            entries.push(GlobalEntry {
+                name,
+                body,
+                coverage,
+                signature: read_u64(r)?,
+                seq: read_u64(r)?,
+            });
+        }
+        Ok(GlobalCorpus::from_parts(capacity, next_seq, entries, stats))
+    }
+}
+
 impl Codec for SignatureSet {
     fn save<W: Write>(&self, w: &mut W) -> Result<(), PersistError> {
         write_u64(w, self.total_mismatches)?;
@@ -692,6 +741,22 @@ mod tests {
         assert_eq!(back.entries()[0].name, "r1c2");
         assert_eq!(back.entries()[0].body, corpus.entries()[0].body);
         assert_eq!(back.entries()[1].name, "r2c0");
+    }
+
+    #[test]
+    fn global_corpus_round_trips_with_stats_and_order() {
+        let mut corpus = GlobalCorpus::new(4);
+        let cov = |bits: u64| hfl_dut::CoverageSnapshot::from_words(8, vec![bits]).unwrap();
+        corpus.insert("a", vec![Instruction::NOP], cov(0b0011));
+        corpus.insert("b", vec![], cov(0b1100));
+        corpus.insert("a-dup", vec![], cov(0b0011));
+        let back = GlobalCorpus::from_bytes(&corpus.to_bytes().unwrap()).unwrap();
+        assert_eq!(back, corpus);
+        assert_eq!(back.stats().duplicates, 1);
+        assert_eq!(back.next_seq(), corpus.next_seq());
+        // A restored corpus keeps deduplicating against its entries.
+        let mut back = back;
+        assert!(!back.insert("b-dup", vec![], cov(0b1100)));
     }
 
     #[test]

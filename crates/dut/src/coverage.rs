@@ -406,4 +406,91 @@ mod tests {
         assert_eq!(snap.count(), 4);
         assert!(snap.is_hit(ids[64]) && snap.is_hit(ids[199]));
     }
+
+    // Property tests for the union algebra the fleet's coverage merging
+    // relies on: unioning member bitmaps must behave as a set union no
+    // matter the member order, grouping or repetition, and must never
+    // lose points. Snapshots span word boundaries (len > 64) so the
+    // partial last word is exercised too.
+
+    use proptest::prelude::*;
+
+    /// A snapshot over `len` points whose hit words are `words` with any
+    /// out-of-range bits masked off.
+    fn snapshot(len: usize, words: [u64; 2]) -> CoverageSnapshot {
+        let mut bits: Vec<u64> = words[..len.div_ceil(64)].to_vec();
+        if !len.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        CoverageSnapshot::from_words(len, bits).expect("masked words fit")
+    }
+
+    fn union(a: &CoverageSnapshot, b: &CoverageSnapshot) -> CoverageSnapshot {
+        let mut out = a.clone();
+        out.union_with(b);
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn union_is_commutative(
+            len in 1usize..=100,
+            a0 in any::<u64>(), a1 in any::<u64>(),
+            b0 in any::<u64>(), b1 in any::<u64>(),
+        ) {
+            let a = snapshot(len, [a0, a1]);
+            let b = snapshot(len, [b0, b1]);
+            prop_assert_eq!(union(&a, &b), union(&b, &a));
+        }
+
+        #[test]
+        fn union_is_associative(
+            len in 1usize..=100,
+            a0 in any::<u64>(), a1 in any::<u64>(),
+            b0 in any::<u64>(), b1 in any::<u64>(),
+            c0 in any::<u64>(), c1 in any::<u64>(),
+        ) {
+            let a = snapshot(len, [a0, a1]);
+            let b = snapshot(len, [b0, b1]);
+            let c = snapshot(len, [c0, c1]);
+            prop_assert_eq!(union(&union(&a, &b), &c), union(&a, &union(&b, &c)));
+        }
+
+        #[test]
+        fn union_is_idempotent_with_empty_identity(
+            len in 1usize..=100,
+            a0 in any::<u64>(), a1 in any::<u64>(),
+        ) {
+            let a = snapshot(len, [a0, a1]);
+            prop_assert_eq!(union(&a, &a), a.clone());
+            prop_assert_eq!(union(&a, &CoverageSnapshot::empty(len)), a);
+        }
+
+        #[test]
+        fn union_is_monotone(
+            len in 1usize..=100,
+            a0 in any::<u64>(), a1 in any::<u64>(),
+            b0 in any::<u64>(), b1 in any::<u64>(),
+        ) {
+            let a = snapshot(len, [a0, a1]);
+            let b = snapshot(len, [b0, b1]);
+            let u = union(&a, &b);
+            // The union dominates both operands: every hit point stays hit.
+            prop_assert!(u.count() >= a.count().max(b.count()));
+            prop_assert!(!u.would_grow(&a) && !u.would_grow(&b));
+            for id in a.iter_hits() {
+                prop_assert!(u.is_hit(id));
+            }
+            // And it invents nothing: every union hit came from an operand.
+            for id in u.iter_hits() {
+                prop_assert!(a.is_hit(id) || b.is_hit(id));
+            }
+            // `would_grow` agrees with the union's count.
+            prop_assert_eq!(a.would_grow(&b), u.count() > a.count());
+        }
+    }
 }

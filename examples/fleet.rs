@@ -1,0 +1,98 @@
+//! A three-member heterogeneous fleet: DifuzzRTL, TheHuzz and Cascade
+//! analogues fuzz the same core in lock-stepped epochs, feeding one
+//! shared corpus. Between epochs the fleet deduplicates and distills the
+//! corpus, merges the members' coverage bitmaps into one ensemble curve,
+//! and shifts the next epoch's case budget toward whichever member is
+//! currently buying the most new coverage per case.
+//!
+//! ```text
+//! cargo run --release --example fleet [epochs] [cases_per_epoch]
+//! ```
+
+use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, TheHuzzFuzzer};
+use hfl::fleet::{run_fleet, FleetConfig, FleetMember, FleetSpec};
+use hfl_dut::CoreKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let epochs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let cases_per_epoch: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let mut members = vec![
+        FleetMember::new(
+            "difuzz",
+            CoreKind::Rocket,
+            Box::new(DifuzzRtlFuzzer::new(7, 16)),
+        ),
+        FleetMember::new(
+            "thehuzz",
+            CoreKind::Rocket,
+            Box::new(TheHuzzFuzzer::new(9, 16)),
+        ),
+        FleetMember::new(
+            "cascade",
+            CoreKind::Rocket,
+            Box::new(CascadeFuzzer::new(1, 60)),
+        ),
+    ];
+
+    println!(
+        "fleet: {} members x {epochs} epochs x {cases_per_epoch} cases on {}",
+        members.len(),
+        CoreKind::Rocket
+    );
+    let spec = FleetSpec::builder(FleetConfig::quick(epochs, cases_per_epoch).with_batch(2))
+        .corpus_capacity(128)
+        .build()?;
+    let result = run_fleet(&mut members, &spec)?;
+
+    println!();
+    println!(
+        "{:>6} {:>8} {:>10} {:>6} {:>5} {:>6}",
+        "epoch", "cases", "condition", "line", "fsm", "sigs"
+    );
+    for sample in &result.merged_curve {
+        println!(
+            "{:>6} {:>8} {:>10} {:>6} {:>5} {:>6}",
+            sample.epoch,
+            sample.cases,
+            sample.condition,
+            sample.line,
+            sample.fsm,
+            sample.unique_signatures
+        );
+    }
+
+    println!();
+    println!("members (cases include the scheduler's reallocations):");
+    for member in &result.members {
+        let last = member.curve.last().expect("one sample per epoch");
+        println!(
+            "  {:<10} {:>4} cases -> coverage ({}, {}, {}), {} signatures, {} retired",
+            member.name,
+            member.cases,
+            last.condition,
+            last.line,
+            last.fsm,
+            member.unique_signatures,
+            member.instructions_executed
+        );
+    }
+
+    let (condition, line, fsm) = result.final_counts();
+    println!();
+    println!(
+        "merged: ({condition}, {line}, {fsm}) across {} cases; shared corpus holds {} distilled \
+         entries ({} inserted, {} duplicates dropped, {} evicted)",
+        result.merged_curve.last().map_or(0, |s| s.cases),
+        result.corpus.len(),
+        result.corpus.stats().inserted,
+        result.corpus.stats().duplicates,
+        result.corpus.stats().evicted,
+    );
+    println!(
+        "next-epoch budgets the scheduler would apply: {:?}",
+        result.budgets
+    );
+    Ok(())
+}
