@@ -1,0 +1,104 @@
+//! NN hot-path benchmarks: the per-token cost the fuzzing loop pays on
+//! every generated instruction — token stepping, predictor-screened
+//! generation (sequential peeks vs the batched `peek_batch`), and online
+//! coverage-predictor training. `src/bin/bench_nn.rs` measures the same
+//! shapes programmatically and emits `BENCH_nn.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hfl::generator::{GeneratorConfig, InstructionGenerator};
+use hfl::predictor::{CoveragePredictor, PredictorConfig};
+use hfl::Tokens;
+use hfl_nn::Adam;
+use hfl_riscv::{Instruction, Opcode, Reg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_POINTS: usize = 512;
+const K: usize = 8;
+
+fn candidate_tokens() -> Vec<Tokens> {
+    (0..K)
+        .map(|i| {
+            Tokens::from_instruction(&Instruction::i(Opcode::Addi, Reg::X1, Reg::X2, i as i64))
+        })
+        .collect()
+}
+
+fn bench_token_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let generator = InstructionGenerator::new(GeneratorConfig::small(), &mut rng);
+    c.bench_function("nn_hot_path/token_step", |b| {
+        b.iter(|| {
+            let mut session = generator.start_session();
+            for _ in 0..24 {
+                black_box(generator.next_instruction(&mut session, &mut rng));
+            }
+        });
+    });
+}
+
+fn bench_screened(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut cp = CoveragePredictor::new(PredictorConfig::small(), N_POINTS, &mut rng);
+    let mut session = cp.start_session();
+    cp.step(&mut session, &Tokens::bos());
+    let tokens = candidate_tokens();
+    let cumulative = vec![0.25f32; N_POINTS];
+    c.bench_function("nn_hot_path/screened_k8/sequential", |b| {
+        b.iter(|| {
+            let mut best = f32::MIN;
+            for t in &tokens {
+                let probs = cp.peek(&session, t);
+                let score: f32 = probs
+                    .iter()
+                    .zip(&cumulative)
+                    .map(|(p, cum)| p * (1.0 - cum))
+                    .sum();
+                if score > best {
+                    best = score;
+                }
+            }
+            black_box(best)
+        });
+    });
+    c.bench_function("nn_hot_path/screened_k8/batched", |b| {
+        b.iter(|| {
+            let mut best = f32::MIN;
+            for probs in cp.peek_batch(&session, &tokens) {
+                let score: f32 = probs
+                    .iter()
+                    .zip(&cumulative)
+                    .map(|(p, cum)| p * (1.0 - cum))
+                    .sum();
+                if score > best {
+                    best = score;
+                }
+            }
+            black_box(best)
+        });
+    });
+}
+
+fn bench_train_case(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut cp = CoveragePredictor::new(PredictorConfig::small(), N_POINTS, &mut rng);
+    let mut adam = Adam::new(1e-4);
+    let sequence: Vec<Tokens> = (0..24)
+        .map(|i| {
+            Tokens::from_instruction(&Instruction::i(Opcode::Addi, Reg::X1, Reg::X1, i as i64))
+        })
+        .collect();
+    let labels: Vec<f32> = (0..N_POINTS)
+        .map(|i| f32::from(u8::from(i % 3 == 0)))
+        .collect();
+    c.bench_function("nn_hot_path/train_case_seq24", |b| {
+        b.iter(|| black_box(cp.train_case(&sequence, &labels, &mut adam)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_token_step, bench_screened, bench_train_case
+}
+criterion_main!(benches);

@@ -390,35 +390,60 @@ impl HflFuzzer {
             }
             return (corrected, action);
         }
-        let predictor = self.coverage_predictor.as_ref().expect("checked above");
-        let session = self
-            .coverage_session
-            .as_ref()
-            .expect("paired with predictor");
-        let mut best: Option<(
-            f32,
-            crate::correction::Corrected,
-            crate::generator::SampledAction,
-        )> = None;
+        // Sample all k candidates up front. Screening itself consumes no
+        // randomness (`peek_batch` is a pure forward pass), so the RNG
+        // stream is identical to the historical sample-then-peek
+        // interleaving — determinism survives both the batching and the
+        // dedup below.
+        let mut candidates = Vec::with_capacity(k);
         for _ in 0..k {
-            let (corrected, action) = self.generator.sample_with_exploration(
+            candidates.push(self.generator.sample_with_exploration(
                 &hidden,
                 self.cfg.exploration_epsilon,
                 &mut self.rng,
-            );
+            ));
+        }
+        // De-duplicate by corrected token before scoring: repeated
+        // candidates would produce identical probability maps, so each
+        // distinct token goes through the predictor exactly once. `slot[c]`
+        // maps candidate `c` to its score in `distinct` order.
+        let mut distinct: Vec<Tokens> = Vec::with_capacity(k);
+        let mut slot = Vec::with_capacity(k);
+        for (corrected, _) in &candidates {
             let token = Tokens::from_instruction(&corrected.instruction);
-            let probs = predictor.peek(session, &token);
-            // Expected number of *new* points this candidate unlocks.
-            let score: f32 = probs
+            let idx = distinct
                 .iter()
-                .zip(&self.cumulative_bits)
-                .map(|(p, cum)| p * (1.0 - cum))
-                .sum();
-            if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
-                best = Some((score, corrected, action));
+                .position(|t| *t == token)
+                .unwrap_or_else(|| {
+                    distinct.push(token);
+                    distinct.len() - 1
+                });
+            slot.push(idx);
+        }
+        // One batched peek scores every distinct candidate as a
+        // hypothetical continuation of the shared predictor session.
+        let prob_batch = {
+            let cp = self.coverage_predictor.as_mut().expect("checked above");
+            let cs = self
+                .coverage_session
+                .as_ref()
+                .expect("paired with predictor");
+            cp.peek_batch(cs, &distinct)
+        };
+        let scores: Vec<f32> = prob_batch
+            .iter()
+            .map(|probs| Self::screening_score(probs, &self.cumulative_bits))
+            .collect();
+        // Argmax in sample order with strict `>`: ties keep the earliest
+        // candidate, exactly like the sequential loop did (duplicates score
+        // equal, so dedup cannot change the winner).
+        let mut best = 0;
+        for c in 1..candidates.len() {
+            if scores[slot[c]] > scores[slot[best]] {
+                best = c;
             }
         }
-        let (_, corrected, action) = best.expect("k >= 1");
+        let (corrected, action) = candidates.swap_remove(best);
         self.generator.commit(&mut self.session, &corrected);
         let token = Tokens::from_instruction(&corrected.instruction);
         let (cp, cs) = (
@@ -427,6 +452,27 @@ impl HflFuzzer {
         );
         cp.step(cs, &token);
         (corrected, action)
+    }
+
+    /// Expected number of *new* coverage points a candidate unlocks:
+    /// `Σ pᵢ · (1 − cumᵢ)`. The predictor's probability map and the
+    /// cumulative-coverage map must line up point-for-point; a length
+    /// disagreement (e.g. a checkpoint restored against a DUT with a
+    /// different coverage map) used to be silently zip-truncated, quietly
+    /// corrupting every screening decision, so it is now a hard error.
+    fn screening_score(probs: &[f32], cumulative: &[f32]) -> f32 {
+        assert!(
+            probs.len() == cumulative.len(),
+            "coverage predictor emitted {} points but cumulative coverage tracks {}; \
+             refusing to screen on a truncated map",
+            probs.len(),
+            cumulative.len()
+        );
+        probs
+            .iter()
+            .zip(cumulative)
+            .map(|(p, cum)| p * (1.0 - cum))
+            .sum()
     }
 
     /// Online training of the coverage predictor on the executed case's
@@ -466,6 +512,17 @@ impl HflFuzzer {
         if self.sink.enabled() {
             if let Some(cp) = &self.coverage_predictor {
                 let probs = cp.predict(&sequence);
+                // `agree` is counted over the zipped pairs, so the
+                // denominator must be that same pair count — a mismatch
+                // here would silently deflate (or inflate) the reported
+                // accuracy.
+                assert_eq!(
+                    probs.len(),
+                    bits.len(),
+                    "predictor evaluated {} points against {} realised bits",
+                    probs.len(),
+                    bits.len()
+                );
                 let mut predicted_hits = 0u64;
                 let mut realized_hits = 0u64;
                 let mut agree = 0u64;
@@ -798,6 +855,30 @@ mod tests {
         cfg
     }
 
+    fn bits_feedback(gained: bool, coverage: f32, bits: Vec<u8>) -> Feedback {
+        Feedback {
+            case_bits: Some(std::sync::Arc::new(bits)),
+            ..Feedback::scalar(gained, coverage)
+        }
+    }
+
+    /// Drives a fuzzer with labelled coverage until screening is armed
+    /// (predictor initialised and ≥ 32 cases observed).
+    fn armed_for_screening(seed: u64) -> HflFuzzer {
+        let mut cfg = tiny();
+        cfg.use_reset = false;
+        cfg.body_cap = 8;
+        let mut hfl = HflFuzzer::new(cfg.with_seed(seed));
+        for i in 0..36u64 {
+            let b = hfl.next_case();
+            let bits: Vec<u8> = (0..16).map(|j| u8::from((i + j) % 3 == 0)).collect();
+            hfl.feedback(&b, bits_feedback(i % 4 == 0, 0.3, bits));
+        }
+        assert!(hfl.stats.cases >= 32, "screening must be armed");
+        assert!(hfl.coverage_predictor.is_some());
+        hfl
+    }
+
     fn drive(hfl: &mut HflFuzzer, n: usize, coverage: impl Fn(u64) -> f32) {
         for i in 0..n {
             let body = hfl.next_case();
@@ -954,5 +1035,110 @@ mod tests {
             unreachable!()
         };
         assert_eq!(&next_b[..1], &prev[..]);
+    }
+
+    #[test]
+    fn screened_generation_is_seed_deterministic() {
+        let mk = || {
+            let mut hfl = armed_for_screening(42);
+            let mut cases = Vec::new();
+            for i in 0..12u64 {
+                let b = hfl.next_case();
+                cases.push(b.clone());
+                let bits: Vec<u8> = (0..16).map(|j| u8::from((i + j) % 2 == 0)).collect();
+                hfl.feedback(&b, bits_feedback(i % 3 == 0, 0.4, bits));
+            }
+            cases
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn batched_screening_matches_the_sequential_reference() {
+        // Two identically seeded and identically driven fuzzers hold
+        // bit-identical state. One runs the batched screening path; on the
+        // other we replay the historical sequential algorithm (one peek
+        // per candidate, strict-greater argmax) by hand. The committed
+        // instruction must agree — batching plus de-duplication is a pure
+        // reassociation-safe refactor.
+        let mut real = armed_for_screening(123);
+        let mut reference = armed_for_screening(123);
+        let body = real.next_case();
+        let TestBody::Asm(insns) = &body else {
+            unreachable!()
+        };
+        let chosen = *insns.last().expect("non-empty case");
+        let hidden = reference.generator.advance(&mut reference.session);
+        let k = reference.cfg.screen_candidates.max(1);
+        assert!(k > 1, "screening must sample multiple candidates");
+        let cp = reference.coverage_predictor.as_ref().expect("armed");
+        let cs = reference.coverage_session.as_ref().expect("armed");
+        let mut best: Option<(f32, Instruction)> = None;
+        for _ in 0..k {
+            let (corrected, _) = reference.generator.sample_with_exploration(
+                &hidden,
+                reference.cfg.exploration_epsilon,
+                &mut reference.rng,
+            );
+            let token = Tokens::from_instruction(&corrected.instruction);
+            let probs = cp.peek(cs, &token);
+            let score: f32 = probs
+                .iter()
+                .zip(&reference.cumulative_bits)
+                .map(|(p, cum)| p * (1.0 - cum))
+                .sum();
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                best = Some((score, corrected.instruction));
+            }
+        }
+        assert_eq!(chosen, best.expect("k >= 1").1);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to screen")]
+    fn screening_panics_on_truncated_coverage_map() {
+        let mut hfl = armed_for_screening(7);
+        // Simulate a stale checkpoint whose cumulative map no longer
+        // matches the predictor's output width.
+        hfl.cumulative_bits.pop();
+        let _ = hfl.next_case();
+    }
+
+    #[test]
+    fn predictor_eval_uses_the_full_map_as_denominator() {
+        use crate::obs::RingSink;
+        let mut cfg = tiny();
+        cfg.use_reset = false;
+        let mut hfl = HflFuzzer::new(cfg.with_seed(9));
+        let ring = std::sync::Arc::new(RingSink::new(4096));
+        hfl.attach_sink(SinkHandle::new(ring.clone()));
+        // All 32 points hit every case: realised hits pin the map size, so
+        // the accuracy must equal predicted_hits / 32 exactly.
+        for _ in 0..6 {
+            let b = hfl.next_case();
+            hfl.feedback(&b, bits_feedback(true, 0.5, vec![1u8; 32]));
+        }
+        let evals: Vec<(f64, u64, u64)> = ring
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::PredictorEval {
+                    accuracy,
+                    predicted_hits,
+                    realized_hits,
+                    ..
+                } => Some((*accuracy, *predicted_hits, *realized_hits)),
+                _ => None,
+            })
+            .collect();
+        assert!(!evals.is_empty(), "labelled feedback must emit evals");
+        for (accuracy, predicted_hits, realized_hits) in evals {
+            assert_eq!(realized_hits, 32);
+            assert!(
+                (accuracy - predicted_hits as f64 / 32.0).abs() < 1e-12,
+                "accuracy {accuracy} must be predicted agreement over the \
+                 full 32-point map (predicted_hits {predicted_hits})"
+            );
+        }
     }
 }

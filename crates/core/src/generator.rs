@@ -8,7 +8,7 @@
 //! heads only, gated by the instruction mask (§IV-B).
 
 use hfl_nn::ops::{log_prob, sample_categorical, softmax_with_temperature};
-use hfl_nn::{Adam, Linear, Lstm, LstmState, Tensor};
+use hfl_nn::{Adam, Linear, Lstm, LstmState, Scratch, Tensor};
 use hfl_rl::ppo_logit_grad;
 use rand::Rng;
 
@@ -66,6 +66,9 @@ impl Default for GeneratorConfig {
     }
 }
 
+/// A head's cached `(logits, hidden activation)` forward result.
+type HeadEval = (Vec<f32>, Vec<f32>);
+
 /// One output head: `tanh(W1 h + b1)` into a projection over the head's
 /// vocabulary.
 #[derive(Debug, Clone)]
@@ -90,6 +93,20 @@ impl Head {
         }
         let logits = self.l2.forward(&a);
         (logits, a)
+    }
+
+    /// Batched forward over many hidden vectors through one fused GEMM per
+    /// layer; bit-identical to [`Head::forward`] per input.
+    fn forward_batch(&self, hs: &[&[f32]], scratch: &mut Scratch) -> Vec<HeadEval> {
+        let mut acts = self.l1.forward_batch(hs, scratch);
+        for a in &mut acts {
+            for v in a.iter_mut() {
+                *v = v.tanh();
+            }
+        }
+        let arefs: Vec<&[f32]> = acts.iter().map(Vec::as_slice).collect();
+        let logits = self.l2.forward_batch(&arefs, scratch);
+        logits.into_iter().zip(acts).collect()
     }
 
     /// Backward pass; returns the gradient w.r.t. the LSTM hidden vector.
@@ -164,6 +181,8 @@ pub struct InstructionGenerator {
     encoder: TokenEncoder,
     lstm: Lstm,
     heads: Vec<Head>,
+    /// Reusable forward-pass buffers; transient, never checkpointed.
+    scratch: Scratch,
 }
 
 /// Streaming generation state: the LSTM state plus the last token fed.
@@ -205,6 +224,7 @@ impl InstructionGenerator {
             encoder,
             lstm,
             heads,
+            scratch: Scratch::default(),
         }
     }
 
@@ -319,11 +339,32 @@ impl InstructionGenerator {
         if steps.is_empty() {
             return UpdateStats::default();
         }
-        let inputs: Vec<Vec<f32>> = steps
-            .iter()
-            .map(|s| self.encoder.encode(&s.input))
-            .collect();
+        let tokens: Vec<Tokens> = steps.iter().map(|s| s.input).collect();
+        let inputs = self.encoder.encode_batch(&tokens);
         let trace = self.lstm.forward_seq(&inputs);
+        // Batched re-evaluation: each head's forward over its masked
+        // timesteps runs as one fused GEMM pass up front; the update loop
+        // below then consumes the cached activations in the exact
+        // (timestep-outer, head-inner) order the sequential path computed
+        // them, so stat accumulation and gradients stay bit-identical.
+        let mut head_evals: Vec<Vec<Option<HeadEval>>> =
+            self.heads.iter().map(|_| vec![None; steps.len()]).collect();
+        for (k, head) in self.heads.iter().enumerate() {
+            let ts: Vec<usize> = steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.mask[k])
+                .map(|(t, _)| t)
+                .collect();
+            if ts.is_empty() {
+                continue;
+            }
+            let hs: Vec<&[f32]> = ts.iter().map(|&t| trace.outputs[t].as_slice()).collect();
+            let evals = head.forward_batch(&hs, &mut self.scratch);
+            for (t, eval) in ts.into_iter().zip(evals) {
+                head_evals[k][t] = Some(eval);
+            }
+        }
         let mut d_out: Vec<Vec<f32>> = trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
         let mut ratio_sum = 0.0f32;
         let mut kl_sum = 0.0f32;
@@ -335,7 +376,7 @@ impl InstructionGenerator {
                 if !step.mask[k] {
                     continue;
                 }
-                let (logits, act) = head.forward(h);
+                let (logits, act) = head_evals[k][t].take().expect("mask matched above");
                 let scaled: Vec<f32> = logits.iter().map(|&l| l / self.cfg.temperature).collect();
                 let (ratio, mut dscaled) = ppo_logit_grad(
                     &scaled,
@@ -445,6 +486,7 @@ impl InstructionGenerator {
             encoder,
             lstm,
             heads,
+            scratch: Scratch::default(),
         })
     }
 

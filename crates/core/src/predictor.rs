@@ -11,7 +11,7 @@
 //!   hardware simulation (contribution 3) and the subject of Fig. 3.
 
 use hfl_nn::ops::{bce_with_logits, sigmoid};
-use hfl_nn::{Adam, Linear, Lstm, LstmState, Tensor};
+use hfl_nn::{Adam, Linear, Lstm, LstmState, Scratch, Tensor};
 use hfl_rl::value_loss;
 use rand::Rng;
 
@@ -67,6 +67,8 @@ pub struct ValuePredictor {
     encoder: TokenEncoder,
     lstm: Lstm,
     out: Linear,
+    /// Reusable forward-pass buffers; transient, never checkpointed.
+    scratch: Scratch,
 }
 
 /// Streaming evaluation state for the critic.
@@ -108,6 +110,7 @@ impl ValuePredictor {
             encoder,
             lstm,
             out,
+            scratch: Scratch::default(),
         }
     }
 
@@ -163,14 +166,18 @@ impl ValuePredictor {
         if inputs.is_empty() {
             return 0.0;
         }
-        let xs: Vec<Vec<f32>> = inputs.iter().map(|t| self.encoder.encode(t)).collect();
+        let xs = self.encoder.encode_batch(inputs);
         let trace = self.lstm.forward_seq(&xs);
+        // One fused value-head pass over every timestep instead of T
+        // sequential matvecs; bit-identical per step.
+        let hrefs: Vec<&[f32]> = trace.outputs.iter().map(Vec::as_slice).collect();
+        let values = self.out.forward_batch(&hrefs, &mut self.scratch);
         let mut d_out: Vec<Vec<f32>> = trace.outputs.iter().map(|h| vec![0.0; h.len()]).collect();
         let mut total = 0.0f32;
         let n = inputs.len() as f32;
         for (t, &target) in targets.iter().enumerate() {
             let h = &trace.outputs[t];
-            let v = self.out.forward(h)[0];
+            let v = values[t][0];
             // value_loss treats the TD target as constant.
             let (loss, dv) = value_loss(v, target, 0.0, 0.0);
             total += loss;
@@ -231,6 +238,7 @@ impl ValuePredictor {
             encoder,
             lstm,
             out,
+            scratch: Scratch::default(),
         })
     }
 }
@@ -263,6 +271,8 @@ pub struct CoveragePredictor {
     encoder: TokenEncoder,
     lstm: Lstm,
     out: Linear,
+    /// Reusable forward-pass buffers; transient, never checkpointed.
+    scratch: Scratch,
 }
 
 impl CoveragePredictor {
@@ -277,6 +287,7 @@ impl CoveragePredictor {
             encoder,
             lstm,
             out,
+            scratch: Scratch::default(),
         }
     }
 
@@ -319,10 +330,30 @@ impl CoveragePredictor {
         self.out.forward(&h).into_iter().map(sigmoid).collect()
     }
 
+    /// Batched [`CoveragePredictor::peek`]: per-point hit probabilities for
+    /// every candidate token as a hypothetical continuation of the shared
+    /// session state, computed through one fused GEMM per LSTM gate
+    /// ([`Lstm::step_batch`]) instead of `k` sequential state clones and
+    /// matvecs. Bit-identical to calling `peek` per token; the session is
+    /// untouched (only internal scratch buffers mutate, hence `&mut self`).
+    pub fn peek_batch(&mut self, session: &CoverageSession, tokens: &[Tokens]) -> Vec<Vec<f32>> {
+        let xs = self.encoder.encode_batch(tokens);
+        let xrefs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        let hs = self
+            .lstm
+            .step_batch(&xrefs, &session.state, &mut self.scratch);
+        let hrefs: Vec<&[f32]> = hs.iter().map(Vec::as_slice).collect();
+        self.out
+            .forward_batch(&hrefs, &mut self.scratch)
+            .into_iter()
+            .map(|logits| logits.into_iter().map(sigmoid).collect())
+            .collect()
+    }
+
     /// Per-point hit probabilities for a token sequence.
     #[must_use]
     pub fn predict(&self, sequence: &[Tokens]) -> Vec<f32> {
-        let xs: Vec<Vec<f32>> = sequence.iter().map(|t| self.encoder.encode(t)).collect();
+        let xs = self.encoder.encode_batch(sequence);
         let trace = self.lstm.forward_seq(&xs);
         let h = trace.outputs.last().expect("non-empty sequence");
         self.out.forward(h).into_iter().map(sigmoid).collect()
@@ -338,7 +369,7 @@ impl CoveragePredictor {
     pub fn train_case(&mut self, sequence: &[Tokens], labels: &[f32], adam: &mut Adam) -> f32 {
         assert_eq!(labels.len(), self.n_points());
         assert!(!sequence.is_empty());
-        let xs: Vec<Vec<f32>> = sequence.iter().map(|t| self.encoder.encode(t)).collect();
+        let xs = self.encoder.encode_batch(sequence);
         let trace = self.lstm.forward_seq(&xs);
         let last = trace.outputs.len() - 1;
         let h = &trace.outputs[last];
@@ -399,6 +430,7 @@ impl CoveragePredictor {
             encoder,
             lstm,
             out,
+            scratch: Scratch::default(),
         })
     }
 }
@@ -491,6 +523,35 @@ mod tests {
         let pb = cp.predict(&class_b);
         assert!(pa[0] > 0.8 && pa[2] < 0.2, "{pa:?}");
         assert!(pb[0] < 0.2 && pb[2] > 0.8, "{pb:?}");
+    }
+
+    #[test]
+    fn peek_batch_is_bitwise_identical_to_sequential_peeks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cp = CoveragePredictor::new(tiny_cfg(), 9, &mut rng);
+        let mut session = cp.start_session();
+        cp.step(&mut session, &Tokens::bos());
+        cp.step(
+            &mut session,
+            &Tokens::from_instruction(&Instruction::i(Opcode::Addi, Reg::X1, Reg::X0, 5)),
+        );
+        let candidates = vec![
+            Tokens::from_instruction(&Instruction::r(Opcode::Add, Reg::X2, Reg::X1, Reg::X1)),
+            Tokens::from_instruction(&Instruction::r(Opcode::Mul, Reg::X3, Reg::X1, Reg::X2)),
+            Tokens::from_instruction(&Instruction::i(Opcode::Lw, Reg::X4, Reg::X5, 8)),
+            Tokens::bos(),
+        ];
+        let sequential: Vec<Vec<f32>> = candidates.iter().map(|t| cp.peek(&session, t)).collect();
+        let batched = cp.peek_batch(&session, &candidates);
+        assert_eq!(sequential.len(), batched.len());
+        for (s, b) in sequential.iter().zip(&batched) {
+            let sb: Vec<u32> = s.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, bb, "batched peek diverged from sequential");
+        }
+        // The session state is untouched: a repeated peek still agrees.
+        let again = cp.peek(&session, &candidates[0]);
+        assert_eq!(again, sequential[0]);
     }
 
     #[test]

@@ -92,6 +92,8 @@ impl Adam {
                 p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
             p.zero_grad();
+            // The weights moved: any cached transposed copy is stale.
+            p.invalidate_transpose();
         }
     }
 }

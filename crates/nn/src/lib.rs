@@ -41,6 +41,7 @@ pub mod linear;
 pub mod lstm;
 pub mod ops;
 pub mod persist;
+pub mod scratch;
 pub mod tensor;
 
 pub use adam::Adam;
@@ -48,4 +49,5 @@ pub use embedding::Embedding;
 pub use linear::Linear;
 pub use lstm::{Lstm, LstmCell, LstmState, LstmTrace};
 pub use persist::{Codec, PersistError, SnapshotReader, SnapshotWriter};
+pub use scratch::Scratch;
 pub use tensor::Tensor;

@@ -7,6 +7,7 @@
 use rand::Rng;
 
 use crate::ops::{dsigmoid, dtanh, sigmoid};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// One LSTM layer's parameters.
@@ -108,6 +109,68 @@ impl LstmCell {
             c: c.clone(),
         };
         (hout, c, cache)
+    }
+
+    /// Batched one-step forward of `batch` hypothetical continuations of a
+    /// shared `(h_prev, c_prev)` state. The input-weight product runs as
+    /// one fused GEMM over all inputs ([`Tensor::matvec_batch`]) and the
+    /// recurrent term `Wh·h_prev + b` is computed once and shared, so the
+    /// per-candidate cost drops to a single GEMM slice plus the gate
+    /// non-linearities. Writes each continuation's hidden/cell vectors as
+    /// consecutive chunks of `h_out`/`c_out` (cleared and resized).
+    ///
+    /// Bit-identical to `batch` separate [`LstmCell::forward`] calls: every
+    /// output element accumulates in the same order.
+    ///
+    /// # Panics
+    /// Panics on input/state dimension mismatches.
+    // Hot-path signature: flat in/out buffers avoid per-call allocation,
+    // which is the whole point of this function.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_batch(
+        &self,
+        xs_flat: &[f32],
+        batch: usize,
+        h_prev: &[f32],
+        c_prev: &[f32],
+        h_out: &mut Vec<f32>,
+        c_out: &mut Vec<f32>,
+        scratch: &mut Scratch,
+    ) {
+        let h = self.hidden;
+        assert_eq!(h_prev.len(), h, "forward_batch state dimension");
+        assert_eq!(c_prev.len(), h, "forward_batch state dimension");
+        let mut z = scratch.take_zeroed(0);
+        self.wx.matvec_batch(xs_flat, batch, &mut z);
+        // Shared recurrent contribution: the scalar path adds `zh + b` to
+        // each gate pre-activation, so precombining them is exact.
+        let mut zhb = self.wh.matvec(h_prev);
+        for (zhv, bv) in zhb.iter_mut().zip(&self.b.data) {
+            *zhv += bv;
+        }
+        h_out.clear();
+        h_out.resize(batch * h, 0.0);
+        c_out.clear();
+        c_out.resize(batch * h, 0.0);
+        for ((zb, hb), cb) in z
+            .chunks_exact_mut(4 * h)
+            .zip(h_out.chunks_exact_mut(h))
+            .zip(c_out.chunks_exact_mut(h))
+        {
+            for (zv, zhv) in zb.iter_mut().zip(&zhb) {
+                *zv += zhv;
+            }
+            for k in 0..h {
+                let i = sigmoid(zb[k]);
+                let f = sigmoid(zb[h + k]);
+                let g = zb[2 * h + k].tanh();
+                let o = sigmoid(zb[3 * h + k]);
+                let c = f * c_prev[k] + i * g;
+                cb[k] = c;
+                hb[k] = o * c.tanh();
+            }
+        }
+        scratch.give(z);
     }
 
     /// Backward through one step. Returns `(dx, dh_prev, dc_prev)`.
@@ -244,6 +307,56 @@ impl Lstm {
             input = h;
         }
         input
+    }
+
+    /// Batched streaming step: treats each `xs[b]` as a hypothetical
+    /// one-step continuation of the shared `state` (which is left
+    /// untouched) and returns each continuation's top-layer hidden vector.
+    /// Bit-identical to cloning `state` and calling [`Lstm::step`] once per
+    /// input — this is the candidate-screening primitive of the fuzzing
+    /// loop, costing one fused GEMM per gate block per layer instead of
+    /// `B` sequential matvecs.
+    ///
+    /// # Panics
+    /// Panics if the inputs' lengths disagree with each other or the
+    /// bottom cell's input dimension.
+    #[must_use]
+    pub fn step_batch(
+        &self,
+        xs: &[&[f32]],
+        state: &LstmState,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let batch = xs.len();
+        let in_dim = self.cells[0].wx.cols;
+        let mut input = scratch.take_zeroed(batch * in_dim);
+        for (chunk, x) in input.chunks_exact_mut(in_dim).zip(xs) {
+            assert_eq!(x.len(), in_dim, "step_batch input dimension");
+            chunk.copy_from_slice(x);
+        }
+        let mut h_out = scratch.take_zeroed(0);
+        let mut c_out = scratch.take_zeroed(0);
+        for (l, cell) in self.cells.iter().enumerate() {
+            cell.forward_batch(
+                &input,
+                batch,
+                &state.h[l],
+                &state.c[l],
+                &mut h_out,
+                &mut c_out,
+                scratch,
+            );
+            std::mem::swap(&mut input, &mut h_out);
+        }
+        let top = self.cells.last().expect("at least one layer").hidden();
+        let outs = input.chunks_exact(top).map(<[f32]>::to_vec).collect();
+        scratch.give(input);
+        scratch.give(h_out);
+        scratch.give(c_out);
+        outs
     }
 
     /// Forward over a whole sequence, saving activations for BPTT.

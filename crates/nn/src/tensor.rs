@@ -1,5 +1,7 @@
 //! The parameter tensor: a dense f32 matrix with gradient and Adam moments.
 
+use std::cell::RefCell;
+
 use rand::Rng;
 
 /// A dense row-major f32 matrix carrying its gradient accumulator and Adam
@@ -8,6 +10,12 @@ use rand::Rng;
 /// Vectors are represented as single-column matrices. All the layers in this
 /// crate own their parameters as `Tensor`s and hand them to
 /// [`crate::adam::Adam::step`] for updates.
+///
+/// The batched forward path ([`Tensor::matvec_batch`]) additionally caches a
+/// transposed copy of `data`, built lazily on first use. [`crate::Adam`]
+/// invalidates it on every optimiser step; code that writes `data` directly
+/// (hand-built tensors, deserialisation) must call
+/// [`Tensor::invalidate_transpose`] before the next batched forward.
 ///
 /// # Examples
 ///
@@ -32,6 +40,10 @@ pub struct Tensor {
     pub m: Vec<f32>,
     /// Adam second moment.
     pub v: Vec<f32>,
+    /// Lazily built column-major (transposed) copy of `data` for the
+    /// batched forward kernels; empty means invalid. Interior-mutable so
+    /// read-only forward passes can populate it.
+    transposed: RefCell<Vec<f32>>,
 }
 
 impl Tensor {
@@ -46,6 +58,7 @@ impl Tensor {
             grad: vec![0.0; n],
             m: vec![0.0; n],
             v: vec![0.0; n],
+            transposed: RefCell::new(Vec::new()),
         }
     }
 
@@ -166,6 +179,68 @@ impl Tensor {
         x
     }
 
+    /// Drops the cached transposed weights. [`crate::Adam::step`] calls
+    /// this automatically; any other code that mutates `data` in place must
+    /// call it before the next [`Tensor::matvec_batch`].
+    pub fn invalidate_transpose(&self) {
+        self.transposed.borrow_mut().clear();
+    }
+
+    /// Runs `f` with the column-major copy of `data` (`wt[c * rows + r] =
+    /// data[r * cols + c]`), building it if the cache is invalid.
+    fn with_transposed<R>(&self, f: impl FnOnce(&[f32]) -> R) -> R {
+        {
+            let mut cache = self.transposed.borrow_mut();
+            if cache.len() != self.data.len() {
+                cache.clear();
+                cache.reserve_exact(self.data.len());
+                for c in 0..self.cols {
+                    for r in 0..self.rows {
+                        cache.push(self.data[r * self.cols + c]);
+                    }
+                }
+            }
+        }
+        f(&self.transposed.borrow())
+    }
+
+    /// Batched matrix-vector product: computes `self * x_b` for every
+    /// `cols`-length chunk `x_b` of `xs_flat`, writing the results as
+    /// consecutive `rows`-length chunks of `out` (cleared and resized).
+    ///
+    /// Each output element accumulates its products in the same index
+    /// order as [`Tensor::matvec`], so the results are bit-identical to
+    /// `batch` separate `matvec` calls — but the kernel iterates the
+    /// cached transposed weights column-by-column, which turns the
+    /// sequential dot-product dependency chain into independent per-output
+    /// updates the compiler can vectorise without reassociating anything.
+    ///
+    /// # Panics
+    /// Panics if `xs_flat.len() != batch * self.cols`.
+    pub fn matvec_batch(&self, xs_flat: &[f32], batch: usize, out: &mut Vec<f32>) {
+        assert_eq!(
+            xs_flat.len(),
+            batch * self.cols,
+            "matvec_batch dimension mismatch"
+        );
+        let rows = self.rows;
+        out.clear();
+        out.resize(batch * rows, 0.0);
+        self.with_transposed(|wt| {
+            for (x, y) in xs_flat
+                .chunks_exact(self.cols)
+                .zip(out.chunks_exact_mut(rows))
+            {
+                for (i, &xi) in x.iter().enumerate() {
+                    let col = &wt[i * rows..(i + 1) * rows];
+                    for (yo, &w) in y.iter_mut().zip(col) {
+                        *yo += w * xi;
+                    }
+                }
+            }
+        });
+    }
+
     /// Accumulates the outer product `y xᵀ` into the gradient (the weight
     /// gradient of `y = W x`).
     ///
@@ -203,6 +278,8 @@ impl Tensor {
         if self.v.len() != n {
             self.v = vec![0.0; n];
         }
+        // Deserialisation replaced `data`; any cached transpose is stale.
+        self.invalidate_transpose();
     }
 
     /// Squared L2 norm of the gradient.
@@ -258,6 +335,35 @@ mod tests {
         assert!(t.grad_norm_sq() > 0.0);
         t.zero_grad();
         assert_eq!(t.grad_norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn matvec_batch_is_bitwise_identical_to_matvec() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor::xavier(7, 5, &mut rng);
+        let xs: Vec<f32> = (0..3 * 5).map(|i| (i as f32 * 0.61).sin()).collect();
+        let mut out = Vec::new();
+        t.matvec_batch(&xs, 3, &mut out);
+        for (b, x) in xs.chunks_exact(5).enumerate() {
+            let scalar = t.matvec(x);
+            for (a, s) in out[b * 7..(b + 1) * 7].iter().zip(&scalar) {
+                assert_eq!(a.to_bits(), s.to_bits(), "batch row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_transpose_picks_up_data_mutations() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut t = Tensor::xavier(4, 3, &mut rng);
+        let x = vec![0.5f32, -0.25, 1.0];
+        let mut out = Vec::new();
+        t.matvec_batch(&x, 1, &mut out); // populates the cache
+        t.data[0] = 42.0;
+        t.invalidate_transpose();
+        t.matvec_batch(&x, 1, &mut out);
+        let scalar = t.matvec(&x);
+        assert_eq!(out, scalar, "cache must rebuild after invalidation");
     }
 
     #[test]

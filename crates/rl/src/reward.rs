@@ -85,19 +85,28 @@ impl RewardNormalizer {
     }
 
     /// Observes a raw reward and returns its normalised value
-    /// `(r − mean) / (std + ε)`.
+    /// `(r − mean) / (std + ε)` against the statistics *before* this
+    /// observation, so the sample's own contribution never cancels part of
+    /// its signal.
+    ///
+    /// During warm-up (fewer than two prior samples) and while the running
+    /// variance is degenerate, rewards pass through mean-shifted only —
+    /// the very first new-best coverage bonus of a campaign must reach the
+    /// policy gradient instead of being crushed to zero.
     pub fn normalize(&mut self, reward: f32) -> f32 {
+        let pre_mean = self.mean as f32;
+        let pre_std = self.std();
+        let normalized = if self.count < 2 || pre_std < 1e-6 {
+            reward - pre_mean
+        } else {
+            (reward - pre_mean) / (pre_std + 1e-6)
+        };
         self.count += 1;
         let delta = f64::from(reward) - self.mean;
         self.mean += delta / self.count as f64;
         let delta2 = f64::from(reward) - self.mean;
         self.m2 += delta * delta2;
-        let std = self.std();
-        if std < 1e-6 {
-            0.0
-        } else {
-            (reward - self.mean()) / (std + 1e-6)
-        }
+        normalized
     }
 
     /// Resets the statistics (used by the reset module alongside the model
@@ -157,13 +166,45 @@ mod tests {
     }
 
     #[test]
-    fn constant_rewards_normalize_to_zero() {
+    fn constant_rewards_mean_shift_to_zero_after_the_first() {
         let mut n = RewardNormalizer::new();
-        for _ in 0..10 {
+        assert_eq!(n.normalize(0.42), 0.42, "first sample passes through raw");
+        for _ in 0..9 {
             let v = n.normalize(0.42);
             assert_eq!(v, 0.0, "no variance, no gradient sharpening");
         }
         assert!(n.std() < 1e-6);
+    }
+
+    #[test]
+    fn first_new_best_bonus_is_not_zeroed() {
+        // Regression: the first rewards of a campaign — including the first
+        // new-best coverage bonus — must produce a nonzero gradient signal.
+        let cfg = RewardConfig::paper_default();
+        let mut n = RewardNormalizer::new();
+        let bonus = cfg.reward(0.3, true);
+        let normed = n.normalize(bonus);
+        assert!(normed > 0.0, "first bonus crushed to zero: {normed}");
+        assert!((normed - bonus).abs() < 1e-6, "warm-up passes raw rewards");
+        // Second sample: mean-shifted against the first only.
+        let second = n.normalize(0.1);
+        assert!((second - (0.1 - bonus)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalizes_against_pre_update_statistics() {
+        let mut n = RewardNormalizer::new();
+        n.normalize(0.0);
+        n.normalize(1.0);
+        // Pre-update stats: mean 0.5, std ~0.7071. The buggy post-update
+        // version would report (2 - 1.0) / (1.0 + eps) = ~1.0 instead.
+        let v = n.normalize(2.0);
+        let expected = (2.0 - 0.5) / (0.5f32.sqrt() + 1e-6);
+        assert!(
+            (v - expected).abs() < 1e-5,
+            "pre-update normalisation: got {v}, want {expected}"
+        );
+        assert_eq!(n.count(), 3, "observation still recorded");
     }
 
     #[test]
