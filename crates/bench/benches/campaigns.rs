@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hfl::baselines::CascadeFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_bench::ablation::{run_ablation, AblationConfig};
 use hfl_bench::efficiency::{run_efficiency, EfficiencyConfig};
@@ -29,8 +29,7 @@ fn bench_fig4_panels(c: &mut Criterion) {
     let campaign = CampaignConfig {
         cases: 25,
         sample_every: 5,
-        max_steps: 20_000,
-        batch: 1,
+        run: RunConfig::quick().with_max_steps(20_000),
     };
     let spec = CampaignSpec::builder(CoreKind::Rocket, campaign)
         .build()

@@ -5,6 +5,10 @@
 //! ```text
 //! cargo run --release -p hfl-bench --bin campaign_report -- \
 //!     --log telemetry.jsonl [--every N] [--fleet]
+//! cargo run --release -p hfl-bench --bin campaign_report -- \
+//!     --follow --log live.jsonl
+//! cargo run --release -p hfl-bench --bin campaign_report -- \
+//!     --follow --sse 127.0.0.1:7700/jobs/3/events
 //! ```
 //!
 //! `--every N` prints every Nth round (plus the last) to keep long
@@ -12,9 +16,19 @@
 //! are grouped per member into a per-epoch progress table (with the
 //! scheduler's rate estimates and next-epoch budgets), followed by the
 //! merged-coverage / corpus-sync epoch table.
+//!
+//! `--follow` tails a live campaign instead of replaying a finished
+//! one, printing each round row as the round completes. The source is
+//! either a growing JSONL file (`--log`, like `tail -f`) or an
+//! `hfl-serve` SSE endpoint (`--sse host:port/jobs/<id>/events`, the
+//! same frames any other subscriber sees). File mode follows until
+//! interrupted; SSE mode exits when the daemon sends the `end` frame.
+
+use std::time::Duration;
 
 use hfl::obs::{read_jsonl, replay_fleet, replay_rounds, Event};
 use hfl_bench::{arg_num, arg_value};
+use hfl_serve::SseClient;
 
 fn fleet_report(path: &str, events: &[Event]) -> ! {
     let replay = replay_fleet(events);
@@ -99,10 +113,153 @@ fn fleet_report(path: &str, events: &[Event]) -> ! {
     std::process::exit(0);
 }
 
+/// The per-round table header (shared by replay and follow modes).
+fn print_round_header() {
+    println!("{:-<86}", "");
+    println!(
+        "{:>7} {:>8} {:>10} {:>8} {:>6} {:>6} {:>12} {:>10} {:>9}",
+        "round", "cases", "condition", "line", "fsm", "sigs", "retired", "occupancy", "exec s"
+    );
+    println!("{:-<86}", "");
+}
+
+/// One formatted row of the per-round table.
+fn print_round_row(row: &hfl::obs::RoundRow) {
+    println!(
+        "{:>7} {:>8} {:>10} {:>8} {:>6} {:>6} {:>12} {:>9.0}% {:>9.3}",
+        row.round,
+        row.cases,
+        row.condition,
+        row.line,
+        row.fsm,
+        row.unique_signatures,
+        row.retired,
+        100.0 * row.occupancy,
+        row.exec_seconds,
+    );
+}
+
+/// The closing summary under the table.
+fn print_final(rows: &[hfl::obs::RoundRow]) {
+    println!("{:-<86}", "");
+    if let Some(end) = rows.last() {
+        println!(
+            "final: {} cases, coverage ({}, {}, {}), {} unique signatures, {} instructions retired",
+            end.cases, end.condition, end.line, end.fsm, end.unique_signatures, end.retired
+        );
+    }
+}
+
+/// Prints any rounds beyond `printed` and returns the new high-water
+/// mark — the incremental step both follow sources share.
+fn print_new_rounds(events: &[Event], printed: usize) -> usize {
+    let rows = replay_rounds(events);
+    for row in &rows[printed.min(rows.len())..] {
+        print_round_row(row);
+    }
+    rows.len()
+}
+
+/// Follows a growing JSONL file like `tail -f`, printing each round as
+/// its `round_end` lands. Runs until interrupted.
+fn follow_file(path: &str) -> ! {
+    let mut events: Vec<Event> = Vec::new();
+    let mut consumed = 0usize;
+    let mut printed = 0usize;
+    println!("{path}: following (Ctrl-C to stop)");
+    print_round_header();
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines().skip(consumed) {
+                    consumed += 1;
+                    if let Some(event) = Event::from_json(line) {
+                        events.push(event);
+                    }
+                }
+                printed = print_new_rounds(&events, printed);
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                // The campaign may not have created the log yet.
+            }
+            Err(err) => {
+                eprintln!("campaign_report: {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+}
+
+/// Follows an `hfl-serve` SSE endpoint (`host:port/jobs/<id>/events`),
+/// printing rounds live and exiting when the daemon ends the stream.
+fn follow_sse(endpoint: &str) -> ! {
+    let Some((addr, path)) = endpoint.split_once('/') else {
+        eprintln!("campaign_report: --sse wants host:port/jobs/<id>/events, got {endpoint:?}");
+        std::process::exit(2);
+    };
+    let path = format!("/{path}");
+    let mut client = match SseClient::connect(addr, &path) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("campaign_report: {endpoint}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut events: Vec<Event> = Vec::new();
+    let mut printed = 0usize;
+    println!("{endpoint}: following live event stream");
+    print_round_header();
+    loop {
+        match client.next_frame() {
+            Ok(Some(frame)) => match frame.event.as_deref() {
+                None => {
+                    if let Some(event) = Event::from_json(&frame.data) {
+                        events.push(event);
+                        printed = print_new_rounds(&events, printed);
+                    }
+                }
+                Some("lag") => {
+                    eprintln!("campaign_report: warning: stream lagged, rounds may be missing");
+                }
+                Some("end") => {
+                    print_final(&replay_rounds(&events));
+                    std::process::exit(0);
+                }
+                Some(_) => {}
+            },
+            Ok(None) => {} // poll timeout; keep waiting
+            Err(err) => {
+                eprintln!("campaign_report: {endpoint}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--follow") {
+        if args.iter().any(|a| a == "--fleet") {
+            eprintln!(
+                "campaign_report: --follow renders round tables; run --fleet on the finished log"
+            );
+            std::process::exit(2);
+        }
+        if let Some(endpoint) = arg_value(&args, "--sse") {
+            follow_sse(&endpoint);
+        }
+        if let Some(path) = arg_value(&args, "--log") {
+            follow_file(&path);
+        }
+        eprintln!("usage: campaign_report --follow (--log <live.jsonl> | --sse host:port/jobs/<id>/events)");
+        std::process::exit(2);
+    }
     let Some(path) = arg_value(&args, "--log") else {
-        eprintln!("usage: campaign_report --log <telemetry.jsonl> [--every N] [--fleet]");
+        eprintln!(
+            "usage: campaign_report --log <telemetry.jsonl> [--every N] [--fleet]\n\
+                    campaign_report --follow (--log <live.jsonl> | --sse host:port/jobs/<id>/events)"
+        );
         std::process::exit(2);
     };
     let every: u64 = arg_num(&args, "--every", 1).max(1);
@@ -146,34 +303,13 @@ fn main() {
         predictor_evals,
         aborted
     );
-    println!("{:-<86}", "");
-    println!(
-        "{:>7} {:>8} {:>10} {:>8} {:>6} {:>6} {:>12} {:>10} {:>9}",
-        "round", "cases", "condition", "line", "fsm", "sigs", "retired", "occupancy", "exec s"
-    );
-    println!("{:-<86}", "");
+    print_round_header();
     let last = rows.len() - 1;
     for (i, row) in rows.iter().enumerate() {
         if !(i as u64).is_multiple_of(every) && i != last {
             continue;
         }
-        println!(
-            "{:>7} {:>8} {:>10} {:>8} {:>6} {:>6} {:>12} {:>9.0}% {:>9.3}",
-            row.round,
-            row.cases,
-            row.condition,
-            row.line,
-            row.fsm,
-            row.unique_signatures,
-            row.retired,
-            100.0 * row.occupancy,
-            row.exec_seconds,
-        );
+        print_round_row(row);
     }
-    println!("{:-<86}", "");
-    let end = &rows[last];
-    println!(
-        "final: {} cases, coverage ({}, {}, {}), {} unique signatures, {} instructions retired",
-        end.cases, end.condition, end.line, end.fsm, end.unique_signatures, end.retired
-    );
+    print_final(&rows);
 }

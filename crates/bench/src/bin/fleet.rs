@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
-use hfl::fleet::{latest_fleet_snapshot, run_fleet, FleetConfig, FleetMember, FleetSpec};
+use hfl::fleet::{run_fleet, FleetConfig, FleetMember, FleetSpec};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::obs::{read_jsonl, replay_fleet, JsonlSink, SinkHandle};
 use hfl_bench::{arg_num, arg_value};
@@ -108,7 +108,7 @@ fn main() {
     if let Some(dir) = &checkpoint_dir {
         builder = builder.checkpoint(hfl::campaign::CheckpointPolicy::new(dir, checkpoint_every));
         if resume {
-            match latest_fleet_snapshot(Path::new(dir)) {
+            match hfl::campaign::CheckpointPolicy::latest_fleet_snapshot(Path::new(dir)) {
                 Some(snapshot) => builder = builder.resume_from(snapshot),
                 None => fail(&format!("--resume: no fleet.ckpt in {dir}")),
             }

@@ -10,7 +10,7 @@
 //! ```
 
 use hfl::baselines::{CascadeFuzzer, Fuzzer, TheHuzzFuzzer};
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_bench::{arg_num, arg_value};
 use hfl_dut::CoreKind;
@@ -38,8 +38,7 @@ fn main() {
     let config = CampaignConfig {
         cases,
         sample_every: (cases / 10).max(1),
-        max_steps: 3_000,
-        batch,
+        run: RunConfig::quick().with_batch(batch),
     };
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(

@@ -4,7 +4,7 @@
 //! condition coverage).
 
 use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -68,8 +68,7 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
             CampaignConfig {
                 cases: cfg.hfl_cases,
                 sample_every: 1,
-                max_steps: 3_000,
-                batch: 1,
+                run: RunConfig::quick(),
             },
         )
         .threads(cfg.threads)
@@ -81,8 +80,7 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
     let campaign = CampaignConfig {
         cases: cfg.baseline_cases,
         sample_every: (cfg.baseline_cases / 100).max(1),
-        max_steps: 3_000,
-        batch: 1,
+        run: RunConfig::quick(),
     };
     let mut baselines: Vec<Box<dyn Fuzzer>> = vec![
         Box::new(DifuzzRtlFuzzer::new(cfg.seed, 20)),

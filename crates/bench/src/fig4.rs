@@ -6,7 +6,7 @@
 //! Cascade plateauing early while HFL keeps climbing.
 
 use hfl::baselines::CascadeFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -64,8 +64,7 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
     let campaign = CampaignConfig {
         cases: cfg.cases,
         sample_every: cfg.sample_every,
-        max_steps: 3_000,
-        batch: cfg.batch.max(1),
+        run: RunConfig::quick().with_batch(cfg.batch.max(1)),
     };
     let threads = cfg.threads.max(1);
     let mut jobs: Vec<Box<dyn FnOnce() -> CampaignResult + Send>> = Vec::new();

@@ -7,7 +7,7 @@
 //!    defect, recording how many test cases the loop needed to first
 //!    produce a mismatch.
 
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::harness::Executor;
 use hfl::poc::poc_for;
@@ -76,8 +76,7 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
                 CampaignConfig {
                     cases: cfg.fuzz_cases,
                     sample_every: cfg.fuzz_cases,
-                    max_steps: 3_000,
-                    batch: 1,
+                    run: RunConfig::quick(),
                 },
             )
             .quirks(quirks)

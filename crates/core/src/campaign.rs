@@ -41,7 +41,6 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,11 +53,88 @@ use hfl_nn::persist::{
 use hfl_nn::PersistError;
 
 use crate::baselines::{Feedback, Fuzzer, TestBody};
+use crate::control::StopHandle;
 use crate::corpus::Corpus;
 use crate::difftest::{Signature, SignatureSet};
 use crate::exec::{CaseOutcome, ExecPool, FaultPlan, FaultPolicy, Throughput};
 use crate::harness::Executor;
 use crate::obs::{Event, Histogram, Metrics, MetricsSnapshot, SinkHandle, DURATION_BUCKETS};
+
+/// Execution parameters shared by campaign and fleet runs: the per-case
+/// step budget, the round batch size and the pool's worker-thread count.
+/// Embedded in both [`CampaignConfig`] and
+/// [`crate::fleet::FleetConfig`], so the two spec builders validate one
+/// set of knobs through one code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Per-test-case step budget. Bounds the cost of accidental loops
+    /// (backward branches in generated code); legitimate straight-line
+    /// cases stay far below it.
+    pub max_steps: u64,
+    /// Cases generated per round and evaluated as one pool batch. The
+    /// batch size is part of the campaign's semantics (feedback for a
+    /// round arrives only after the whole round executed), so results are
+    /// comparable only across equal batch sizes; the thread count never
+    /// changes them.
+    pub batch: usize,
+    /// Worker threads in the execution pool (affects wall-clock only,
+    /// never results).
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// The default execution parameters (tests and bench settings).
+    #[must_use]
+    pub fn quick() -> RunConfig {
+        RunConfig {
+            max_steps: 3_000,
+            batch: 1,
+            threads: 1,
+        }
+    }
+
+    /// Sets the per-round batch size (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> RunConfig {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the per-case step budget (builder style).
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> RunConfig {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the pool's worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> RunConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates the shared knobs (both spec builders call this; the
+    /// service layer calls it when vetting a submitted `JobSpec`).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.max_steps == 0 {
+            return Err(SpecError::ZeroMaxSteps);
+        }
+        if self.batch == 0 {
+            return Err(SpecError::ZeroBatch);
+        }
+        if self.threads == 0 {
+            return Err(SpecError::ZeroThreads);
+        }
+        Ok(())
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::quick()
+    }
+}
 
 /// Budget and sampling parameters of one campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,36 +143,38 @@ pub struct CampaignConfig {
     pub cases: u64,
     /// Record a coverage-curve sample every this many cases.
     pub sample_every: u64,
-    /// Per-test-case step budget.
-    pub max_steps: u64,
-    /// Cases generated per round and evaluated as one pool batch. The
-    /// batch size is part of the campaign's semantics (feedback for a
-    /// round arrives only after the whole round executed), so results are
-    /// comparable only across equal batch sizes; the thread count never
-    /// changes them.
-    pub batch: usize,
+    /// Shared execution parameters (step budget, batch, threads).
+    pub run: RunConfig,
 }
 
 impl CampaignConfig {
     /// A quick campaign (used by tests and the default bench settings).
     #[must_use]
     pub fn quick(cases: u64) -> CampaignConfig {
-        // The step budget bounds the cost of accidental loops (backward
-        // branches in generated code); legitimate straight-line cases stay
-        // far below it.
         CampaignConfig {
             cases,
             sample_every: (cases / 50).max(1),
-            max_steps: 3_000,
-            batch: 1,
+            run: RunConfig::quick(),
         }
     }
 
     /// Sets the per-round batch size (builder style).
     #[must_use]
     pub fn with_batch(mut self, batch: usize) -> CampaignConfig {
-        self.batch = batch.max(1);
+        self.run = self.run.with_batch(batch);
         self
+    }
+
+    /// The per-case step budget.
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.run.max_steps
+    }
+
+    /// The per-round batch size.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.run.batch
     }
 }
 
@@ -203,42 +281,103 @@ impl CheckpointPolicy {
         let path = dir.join("campaign.ckpt");
         path.is_file().then_some(path)
     }
+
+    /// Path of the fleet snapshot inside [`CheckpointPolicy::dir`] (the
+    /// fleet orchestrator shares the policy type with single campaigns;
+    /// the two snapshot kinds coexist under one directory).
+    #[must_use]
+    pub fn fleet_snapshot_path(&self) -> PathBuf {
+        self.dir.join("fleet.ckpt")
+    }
+
+    /// The latest complete fleet snapshot under `dir`, if one exists
+    /// (`.tmp` leftovers from an interrupted write are never returned).
+    #[must_use]
+    pub fn latest_fleet_snapshot(dir: &Path) -> Option<PathBuf> {
+        let path = dir.join("fleet.ckpt");
+        path.is_file().then_some(path)
+    }
 }
 
-/// A campaign run failed outside the fuzzing loop itself: its checkpoint
-/// could not be written or read back.
+/// A campaign or fleet run failed outside the fuzzing loop itself: its
+/// spec was invalid, or its checkpoint could not be written or read back.
+/// One hierarchy covers both runners so callers (CLIs, the `hfl-serve`
+/// daemon) map failures to exit codes / HTTP statuses in one place:
+/// [`RunError::is_invalid_input`] distinguishes caller mistakes (400)
+/// from environment failures (500).
 #[derive(Debug)]
-pub enum CampaignError {
+pub enum RunError {
+    /// The spec's parameters were rejected (see [`SpecError`]).
+    Spec(SpecError),
     /// Snapshot serialisation/deserialisation failed (I/O errors while
     /// writing or corrupt/mismatched data while resuming).
     Persist(PersistError),
+    /// A fleet run was started with an empty member roster.
+    NoMembers,
+    /// A fleet's per-epoch case budget cannot give every member at least
+    /// one case.
+    BudgetTooSmall {
+        /// Members in the roster.
+        members: usize,
+        /// The configured per-epoch case budget.
+        cases_per_epoch: u64,
+    },
 }
 
-impl fmt::Display for CampaignError {
+impl RunError {
+    /// Whether the failure is the caller's input (invalid spec/roster)
+    /// rather than the environment (I/O, corrupt snapshots).
+    #[must_use]
+    pub fn is_invalid_input(&self) -> bool {
+        matches!(
+            self,
+            RunError::Spec(_) | RunError::NoMembers | RunError::BudgetTooSmall { .. }
+        )
+    }
+}
+
+impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CampaignError::Persist(e) => write!(f, "campaign checkpoint failed: {e}"),
+            RunError::Spec(e) => write!(f, "invalid spec: {e}"),
+            RunError::Persist(e) => write!(f, "checkpoint failed: {e}"),
+            RunError::NoMembers => write!(f, "a fleet needs at least one member"),
+            RunError::BudgetTooSmall {
+                members,
+                cases_per_epoch,
+            } => write!(
+                f,
+                "per-epoch budget of {cases_per_epoch} cases cannot cover {members} members"
+            ),
         }
     }
 }
 
-impl std::error::Error for CampaignError {
+impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CampaignError::Persist(e) => Some(e),
+            RunError::Spec(e) => Some(e),
+            RunError::Persist(e) => Some(e),
+            _ => None,
         }
     }
 }
 
-impl From<PersistError> for CampaignError {
-    fn from(e: PersistError) -> Self {
-        CampaignError::Persist(e)
+impl From<SpecError> for RunError {
+    fn from(e: SpecError) -> Self {
+        RunError::Spec(e)
     }
 }
 
-impl From<std::io::Error> for CampaignError {
+impl From<PersistError> for RunError {
+    fn from(e: PersistError) -> Self {
+        RunError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for RunError {
     fn from(e: std::io::Error) -> Self {
-        CampaignError::Persist(PersistError::Io(e))
+        RunError::Persist(PersistError::Io(e))
     }
 }
 
@@ -263,13 +402,12 @@ pub struct CampaignSpec {
     core: CoreKind,
     config: CampaignConfig,
     quirks: Option<hfl_grm::cpu::Quirks>,
-    threads: usize,
     sink: SinkHandle,
     checkpoint: Option<CheckpointPolicy>,
     resume_from: Option<PathBuf>,
     fault_policy: FaultPolicy,
     fault_plan: Option<Arc<FaultPlan>>,
-    stop: Option<Arc<AtomicBool>>,
+    control: Option<StopHandle>,
 }
 
 impl CampaignSpec {
@@ -281,13 +419,12 @@ impl CampaignSpec {
             core,
             config,
             quirks: None,
-            threads: 1,
             sink: SinkHandle::null(),
             checkpoint: None,
             resume_from: None,
             fault_policy: FaultPolicy::default(),
             fault_plan: None,
-            stop: None,
+            control: None,
         }
     }
 
@@ -312,7 +449,7 @@ impl CampaignSpec {
     /// Worker threads in the execution pool.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.run.threads
     }
 
     /// The telemetry sink handle.
@@ -345,15 +482,29 @@ impl CampaignSpec {
         self.fault_plan.clone()
     }
 
-    /// Whether a graceful stop was requested through the spec's stop
-    /// flag. Checked at round boundaries: the campaign finishes the
+    /// The control handle attached to this spec, if any.
+    #[must_use]
+    pub fn control(&self) -> Option<&StopHandle> {
+        self.control.as_ref()
+    }
+
+    /// Whether a graceful stop was requested through the spec's control
+    /// handle. Checked at round boundaries: the campaign finishes the
     /// current round, checkpoints (if enabled) and returns with
     /// `completed = false`.
     #[must_use]
     pub fn stop_requested(&self) -> bool {
-        self.stop
+        self.control
             .as_ref()
-            .is_some_and(|stop| stop.load(Ordering::SeqCst))
+            .is_some_and(StopHandle::stop_requested)
+    }
+
+    /// Claims a pending checkpoint-now request from the control handle
+    /// (the runner calls this once per round boundary).
+    pub(crate) fn take_checkpoint_request(&self) -> bool {
+        self.control
+            .as_ref()
+            .is_some_and(StopHandle::take_checkpoint_request)
     }
 }
 
@@ -363,13 +514,12 @@ pub struct CampaignSpecBuilder {
     core: CoreKind,
     config: CampaignConfig,
     quirks: Option<hfl_grm::cpu::Quirks>,
-    threads: usize,
     sink: SinkHandle,
     checkpoint: Option<CheckpointPolicy>,
     resume_from: Option<PathBuf>,
     fault_policy: FaultPolicy,
     fault_plan: Option<Arc<FaultPlan>>,
-    stop: Option<Arc<AtomicBool>>,
+    control: Option<StopHandle>,
 }
 
 impl CampaignSpecBuilder {
@@ -381,10 +531,11 @@ impl CampaignSpecBuilder {
     }
 
     /// Sets the pool's worker-thread count (must be at least 1; affects
-    /// wall-clock only, never results).
+    /// wall-clock only, never results). Shorthand for setting
+    /// [`RunConfig::threads`] on the config.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> CampaignSpecBuilder {
-        self.threads = threads;
+        self.config.run.threads = threads;
         self
     }
 
@@ -425,11 +576,12 @@ impl CampaignSpecBuilder {
         self
     }
 
-    /// Installs a graceful-stop flag: setting it to `true` makes the
-    /// campaign finish its current round, checkpoint and return.
+    /// Installs a control handle: requesting a stop on it makes the
+    /// campaign finish its current round, checkpoint and return;
+    /// requesting a checkpoint snapshots at the next round boundary.
     #[must_use]
-    pub fn stop_flag(mut self, stop: Arc<AtomicBool>) -> CampaignSpecBuilder {
-        self.stop = Some(stop);
+    pub fn control(mut self, control: StopHandle) -> CampaignSpecBuilder {
+        self.control = Some(control);
         self
     }
 
@@ -446,15 +598,7 @@ impl CampaignSpecBuilder {
         if self.config.sample_every == 0 {
             return Err(SpecError::ZeroSampleEvery);
         }
-        if self.config.max_steps == 0 {
-            return Err(SpecError::ZeroMaxSteps);
-        }
-        if self.config.batch == 0 {
-            return Err(SpecError::ZeroBatch);
-        }
-        if self.threads == 0 {
-            return Err(SpecError::ZeroThreads);
-        }
+        self.config.run.validate()?;
         if let Some(checkpoint) = &self.checkpoint {
             if checkpoint.every_rounds == 0 {
                 return Err(SpecError::ZeroCheckpointInterval);
@@ -464,13 +608,12 @@ impl CampaignSpecBuilder {
             core: self.core,
             config: self.config,
             quirks: self.quirks,
-            threads: self.threads,
             sink: self.sink,
             checkpoint: self.checkpoint,
             resume_from: self.resume_from,
             fault_policy: self.fault_policy,
             fault_plan: self.fault_plan,
-            stop: self.stop,
+            control: self.control,
         })
     }
 }
@@ -802,7 +945,7 @@ fn write_checkpoint(
     pool: &ExecPool,
     metrics: &Metrics,
     state: &CampaignState,
-) -> Result<(), CampaignError> {
+) -> Result<(), RunError> {
     std::fs::create_dir_all(policy.dir()).map_err(PersistError::Io)?;
     let cfg = spec.config();
     let (pool_batches, pool_cases) = pool.counters();
@@ -811,8 +954,8 @@ fn write_checkpoint(
         write_u32(w, core_index(spec.core()))?;
         write_u64(w, cfg.cases)?;
         write_u64(w, cfg.sample_every)?;
-        write_u64(w, cfg.max_steps)?;
-        write_u64(w, cfg.batch as u64)
+        write_u64(w, cfg.run.max_steps)?;
+        write_u64(w, cfg.run.batch as u64)
     })?;
     snap.section("progress", |w| {
         write_u64(w, state.executed)?;
@@ -869,7 +1012,7 @@ fn restore_checkpoint(
     pool: &mut ExecPool,
     metrics: &mut Metrics,
     state: &mut CampaignState,
-) -> Result<(), CampaignError> {
+) -> Result<(), RunError> {
     let snap = SnapshotReader::read_path(path)?;
     snap.expect_kind(CHECKPOINT_KIND)?;
     let cfg = spec.config();
@@ -878,8 +1021,8 @@ fn restore_checkpoint(
     if read_u32(&mut r)? != core_index(spec.core())
         || read_u64(&mut r)? != cfg.cases
         || read_u64(&mut r)? != cfg.sample_every
-        || read_u64(&mut r)? != cfg.max_steps
-        || read_u64(&mut r)? != cfg.batch as u64
+        || read_u64(&mut r)? != cfg.run.max_steps
+        || read_u64(&mut r)? != cfg.run.batch as u64
     {
         return Err(corrupt("checkpoint was taken under a different campaign spec").into());
     }
@@ -955,20 +1098,20 @@ fn restore_checkpoint(
 /// the crash-safety contract (checkpoint/resume, fault containment).
 ///
 /// # Errors
-/// Returns [`CampaignError`] when a checkpoint cannot be written (I/O,
-/// or the fuzzer does not support checkpointing) or a resume snapshot is
+/// Returns [`RunError`] when a checkpoint cannot be written (I/O, or the
+/// fuzzer does not support checkpointing) or a resume snapshot is
 /// corrupt or does not match the spec. The fuzzing loop itself never
 /// errors: faulty cases are contained and reported in the result.
 pub fn run_campaign(
     fuzzer: &mut dyn Fuzzer,
     spec: &CampaignSpec,
-) -> Result<CampaignResult, CampaignError> {
+) -> Result<CampaignResult, RunError> {
     let started = Instant::now();
     let cfg = spec.config();
     let sink = spec.sink();
     fuzzer.attach_sink(sink.clone());
     let mut metrics = Metrics::new();
-    let mut builder = Executor::builder(spec.core()).max_steps(cfg.max_steps);
+    let mut builder = Executor::builder(spec.core()).max_steps(cfg.run.max_steps);
     if let Some(quirks) = spec.quirks() {
         builder = builder.quirks(quirks.clone());
     }
@@ -1005,12 +1148,15 @@ pub fn run_campaign(
             &mut state,
             None,
         );
-        // Periodic checkpoints land on round boundaries, where every
-        // fuzzer's pending queues are empty — the invariant that makes a
-        // resumed run bit-identical to an uninterrupted one.
+        // Periodic (and operator-requested) checkpoints land on round
+        // boundaries, where every fuzzer's pending queues are empty — the
+        // invariant that makes a resumed run bit-identical to an
+        // uninterrupted one. The checkpoint-now request is claimed even
+        // without a policy so a stale request cannot linger.
+        let requested = spec.take_checkpoint_request();
         if let Some(policy) = spec.checkpoint() {
-            if state.round_index.is_multiple_of(policy.every_rounds()) && state.executed < cfg.cases
-            {
+            let periodic = state.round_index.is_multiple_of(policy.every_rounds());
+            if (periodic || requested) && state.executed < cfg.cases {
                 write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state)?;
             }
         }
@@ -1078,7 +1224,7 @@ pub(crate) fn run_round(
 ) {
     let map_len = pool.coverage_map().len();
     let round_index = state.round_index;
-    let want = (cfg.cases - state.executed).min(cfg.batch.max(1) as u64) as usize;
+    let want = (cfg.cases - state.executed).min(cfg.run.batch.max(1) as u64) as usize;
     if sink.enabled() {
         sink.emit(&Event::RoundStart {
             round: round_index,
@@ -1277,8 +1423,7 @@ mod tests {
                 CampaignConfig {
                     cases: 40,
                     sample_every: 10,
-                    max_steps: 20_000,
-                    batch: 1,
+                    run: RunConfig::quick().with_max_steps(20_000),
                 },
             ),
         )
@@ -1405,10 +1550,19 @@ mod tests {
             SpecError::ZeroSampleEvery,
         );
         check(
-            CampaignConfig { max_steps: 0, ..ok },
+            CampaignConfig {
+                run: ok.run.with_max_steps(0),
+                ..ok
+            },
             SpecError::ZeroMaxSteps,
         );
-        check(CampaignConfig { batch: 0, ..ok }, SpecError::ZeroBatch);
+        check(
+            CampaignConfig {
+                run: RunConfig { batch: 0, ..ok.run },
+                ..ok
+            },
+            SpecError::ZeroBatch,
+        );
         assert!(matches!(
             CampaignSpec::builder(CoreKind::Rocket, ok)
                 .threads(0)
@@ -1494,13 +1648,13 @@ mod tests {
         assert_eq!(aborted, Some(1));
     }
 
-    /// Delegates to an inner fuzzer and raises the shared stop flag after
-    /// a fixed number of generation rounds — a deterministic stand-in for
-    /// an operator interrupting the campaign.
+    /// Delegates to an inner fuzzer and requests a stop on the shared
+    /// control handle after a fixed number of generation rounds — a
+    /// deterministic stand-in for an operator interrupting the campaign.
     struct StopAfterRounds<F> {
         inner: F,
         rounds_left: u32,
-        stop: Arc<AtomicBool>,
+        stop: StopHandle,
     }
 
     impl<F: Fuzzer> Fuzzer for StopAfterRounds<F> {
@@ -1514,7 +1668,7 @@ mod tests {
             if self.rounds_left > 0 {
                 self.rounds_left -= 1;
                 if self.rounds_left == 0 {
-                    self.stop.store(true, Ordering::SeqCst);
+                    self.stop.request_stop();
                 }
             }
             self.inner.next_round(n)
@@ -1539,7 +1693,7 @@ mod tests {
             run_campaign(&mut fuzzer, &spec(CoreKind::Rocket, config)).expect("campaign runs")
         };
 
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopHandle::new();
         let mut first = StopAfterRounds {
             inner: DifuzzRtlFuzzer::new(21, 12),
             rounds_left: 3,
@@ -1549,7 +1703,7 @@ mod tests {
             &mut first,
             &CampaignSpec::builder(CoreKind::Rocket, config)
                 .checkpoint(CheckpointPolicy::new(&dir, 1))
-                .stop_flag(stop)
+                .control(stop)
                 .build()
                 .expect("valid spec"),
         )

@@ -52,8 +52,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 use hfl_dut::{CoreKind, CoverageKind, CoverageSnapshot};
@@ -66,8 +64,9 @@ use hfl_nn::PersistError;
 use crate::baselines::Fuzzer;
 use crate::campaign::{
     core_index, read_metrics, run_round, write_metrics, CampaignConfig, CampaignState,
-    CheckpointPolicy, CoverageSample, HarvestedCase, SpecError,
+    CheckpointPolicy, CoverageSample, HarvestedCase, RunConfig, RunError, SpecError,
 };
+use crate::control::StopHandle;
 use crate::corpus::GlobalCorpus;
 use crate::difftest::Signature;
 use crate::exec::ExecPool;
@@ -85,11 +84,9 @@ pub struct FleetConfig {
     pub epochs: u64,
     /// Total cases the scheduler apportions across members each epoch.
     pub cases_per_epoch: u64,
-    /// Per-test-case step budget (see [`CampaignConfig::max_steps`]).
-    pub max_steps: u64,
-    /// Cases generated per member round and evaluated as one pool batch
-    /// (see [`CampaignConfig::batch`]).
-    pub batch: usize,
+    /// Shared execution parameters, applied to every member's round
+    /// engine (see [`RunConfig`]).
+    pub run: RunConfig,
 }
 
 impl FleetConfig {
@@ -99,15 +96,14 @@ impl FleetConfig {
         FleetConfig {
             epochs,
             cases_per_epoch,
-            max_steps: 3_000,
-            batch: 1,
+            run: RunConfig::quick(),
         }
     }
 
     /// Sets the per-round batch size (builder style).
     #[must_use]
     pub fn with_batch(mut self, batch: usize) -> FleetConfig {
-        self.batch = batch.max(1);
+        self.run = self.run.with_batch(batch);
         self
     }
 }
@@ -162,60 +158,6 @@ impl fmt::Debug for FleetMember {
     }
 }
 
-/// A fleet run failed outside the fuzzing loop itself.
-#[derive(Debug)]
-pub enum FleetError {
-    /// Snapshot serialisation/deserialisation failed.
-    Persist(PersistError),
-    /// `run_fleet` was called with an empty member slice.
-    NoMembers,
-    /// The per-epoch case budget cannot give every member at least one
-    /// case.
-    BudgetTooSmall {
-        /// Members in the fleet.
-        members: usize,
-        /// The configured per-epoch budget.
-        cases_per_epoch: u64,
-    },
-}
-
-impl fmt::Display for FleetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FleetError::Persist(e) => write!(f, "fleet checkpoint failed: {e}"),
-            FleetError::NoMembers => write!(f, "a fleet needs at least one member"),
-            FleetError::BudgetTooSmall {
-                members,
-                cases_per_epoch,
-            } => write!(
-                f,
-                "per-epoch budget {cases_per_epoch} cannot cover {members} members"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for FleetError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            FleetError::Persist(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<PersistError> for FleetError {
-    fn from(e: PersistError) -> Self {
-        FleetError::Persist(e)
-    }
-}
-
-impl From<std::io::Error> for FleetError {
-    fn from(e: std::io::Error) -> Self {
-        FleetError::Persist(PersistError::Io(e))
-    }
-}
-
 /// Everything that defines one fleet run except the members themselves
 /// (members carry non-cloneable fuzzer state and are passed to
 /// [`run_fleet`] directly). Built and validated by [`FleetSpec::builder`].
@@ -234,12 +176,11 @@ impl From<std::io::Error> for FleetError {
 #[derive(Debug, Clone)]
 pub struct FleetSpec {
     config: FleetConfig,
-    threads: usize,
     sink: SinkHandle,
     checkpoint: Option<CheckpointPolicy>,
     resume_from: Option<PathBuf>,
     corpus_capacity: usize,
-    stop: Option<Arc<AtomicBool>>,
+    control: Option<StopHandle>,
 }
 
 impl FleetSpec {
@@ -248,12 +189,11 @@ impl FleetSpec {
     pub fn builder(config: FleetConfig) -> FleetSpecBuilder {
         FleetSpecBuilder {
             config,
-            threads: 1,
             sink: SinkHandle::null(),
             checkpoint: None,
             resume_from: None,
             corpus_capacity: DEFAULT_CORPUS_CAPACITY,
-            stop: None,
+            control: None,
         }
     }
 
@@ -266,7 +206,7 @@ impl FleetSpec {
     /// Worker threads in each member's execution pool.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.run.threads
     }
 
     /// The telemetry sink handle (receives fleet-level events only).
@@ -294,15 +234,29 @@ impl FleetSpec {
         self.corpus_capacity
     }
 
-    /// Whether a graceful stop was requested through the spec's stop
-    /// flag. Checked at epoch boundaries: the fleet finishes the current
-    /// epoch, checkpoints (if enabled) and returns with
+    /// The control handle attached to this spec, if any.
+    #[must_use]
+    pub fn control(&self) -> Option<&StopHandle> {
+        self.control.as_ref()
+    }
+
+    /// Whether a graceful stop was requested through the spec's control
+    /// handle. Checked at epoch boundaries: the fleet finishes the
+    /// current epoch, checkpoints (if enabled) and returns with
     /// `completed = false`.
     #[must_use]
     pub fn stop_requested(&self) -> bool {
-        self.stop
+        self.control
             .as_ref()
-            .is_some_and(|stop| stop.load(Ordering::SeqCst))
+            .is_some_and(StopHandle::stop_requested)
+    }
+
+    /// Claims a pending checkpoint-now request from the control handle
+    /// (the runner calls this once per epoch boundary).
+    pub(crate) fn take_checkpoint_request(&self) -> bool {
+        self.control
+            .as_ref()
+            .is_some_and(StopHandle::take_checkpoint_request)
     }
 }
 
@@ -310,20 +264,20 @@ impl FleetSpec {
 #[derive(Debug, Clone)]
 pub struct FleetSpecBuilder {
     config: FleetConfig,
-    threads: usize,
     sink: SinkHandle,
     checkpoint: Option<CheckpointPolicy>,
     resume_from: Option<PathBuf>,
     corpus_capacity: usize,
-    stop: Option<Arc<AtomicBool>>,
+    control: Option<StopHandle>,
 }
 
 impl FleetSpecBuilder {
     /// Sets each member pool's worker-thread count (must be at least 1;
-    /// affects wall-clock only, never results).
+    /// affects wall-clock only, never results). Shorthand for setting
+    /// [`RunConfig::threads`] on the config.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> FleetSpecBuilder {
-        self.threads = threads;
+        self.config.run.threads = threads;
         self
     }
 
@@ -360,11 +314,12 @@ impl FleetSpecBuilder {
         self
     }
 
-    /// Installs a graceful-stop flag: setting it to `true` makes the
-    /// fleet finish its current epoch, checkpoint and return.
+    /// Installs a control handle: requesting a stop on it makes the
+    /// fleet finish its current epoch, checkpoint and return; requesting
+    /// a checkpoint snapshots at the next epoch boundary.
     #[must_use]
-    pub fn stop_flag(mut self, stop: Arc<AtomicBool>) -> FleetSpecBuilder {
-        self.stop = Some(stop);
+    pub fn control(mut self, control: StopHandle) -> FleetSpecBuilder {
+        self.control = Some(control);
         self
     }
 
@@ -381,15 +336,7 @@ impl FleetSpecBuilder {
         if self.config.cases_per_epoch == 0 {
             return Err(SpecError::ZeroCasesPerEpoch);
         }
-        if self.config.max_steps == 0 {
-            return Err(SpecError::ZeroMaxSteps);
-        }
-        if self.config.batch == 0 {
-            return Err(SpecError::ZeroBatch);
-        }
-        if self.threads == 0 {
-            return Err(SpecError::ZeroThreads);
-        }
+        self.config.run.validate()?;
         if self.corpus_capacity == 0 {
             return Err(SpecError::ZeroCorpusCapacity);
         }
@@ -400,29 +347,13 @@ impl FleetSpecBuilder {
         }
         Ok(FleetSpec {
             config: self.config,
-            threads: self.threads,
             sink: self.sink,
             checkpoint: self.checkpoint,
             resume_from: self.resume_from,
             corpus_capacity: self.corpus_capacity,
-            stop: self.stop,
+            control: self.control,
         })
     }
-}
-
-/// Path of the fleet snapshot inside a checkpoint directory (atomic
-/// temp-file + rename, like the campaign snapshot).
-#[must_use]
-pub fn fleet_snapshot_path(dir: &Path) -> PathBuf {
-    dir.join("fleet.ckpt")
-}
-
-/// The latest complete fleet snapshot under `dir`, if one exists (`.tmp`
-/// leftovers from an interrupted write are never returned).
-#[must_use]
-pub fn latest_fleet_snapshot(dir: &Path) -> Option<PathBuf> {
-    let path = fleet_snapshot_path(dir);
-    path.is_file().then_some(path)
 }
 
 /// One sample of the fleet's merged coverage curve (one per epoch).
@@ -587,15 +518,15 @@ fn write_fleet_checkpoint(
     merged_curve: &[FleetSample],
     epoch: u64,
     metrics: &Metrics,
-) -> Result<(), FleetError> {
+) -> Result<(), RunError> {
     std::fs::create_dir_all(policy.dir()).map_err(PersistError::Io)?;
     let cfg = spec.config();
     let mut snap = SnapshotWriter::new(FLEET_CHECKPOINT_KIND);
     snap.section("spec", |w| {
         write_u64(w, cfg.epochs)?;
         write_u64(w, cfg.cases_per_epoch)?;
-        write_u64(w, cfg.max_steps)?;
-        write_u64(w, cfg.batch as u64)?;
+        write_u64(w, cfg.run.max_steps)?;
+        write_u64(w, cfg.run.batch as u64)?;
         write_usize(w, spec.corpus_capacity())?;
         write_usize(w, members.len())?;
         for member in members {
@@ -633,7 +564,7 @@ fn write_fleet_checkpoint(
         })?;
     }
     snap.section("metrics", |w| write_metrics(w, &metrics.snapshot()))?;
-    snap.write_atomic(&fleet_snapshot_path(policy.dir()))?;
+    snap.write_atomic(&policy.fleet_snapshot_path())?;
     Ok(())
 }
 
@@ -652,7 +583,7 @@ fn restore_fleet_checkpoint(
     merged_curve: &mut Vec<FleetSample>,
     epoch: &mut u64,
     metrics: &mut Metrics,
-) -> Result<(), FleetError> {
+) -> Result<(), RunError> {
     let snap = SnapshotReader::read_path(path)?;
     snap.expect_kind(FLEET_CHECKPOINT_KIND)?;
     let cfg = spec.config();
@@ -660,8 +591,8 @@ fn restore_fleet_checkpoint(
     let mut r = snap.section("spec")?;
     if read_u64(&mut r)? != cfg.epochs
         || read_u64(&mut r)? != cfg.cases_per_epoch
-        || read_u64(&mut r)? != cfg.max_steps
-        || read_u64(&mut r)? != cfg.batch as u64
+        || read_u64(&mut r)? != cfg.run.max_steps
+        || read_u64(&mut r)? != cfg.run.batch as u64
         || read_usize(&mut r, 1 << 24, "corpus capacity")? != spec.corpus_capacity()
         || read_usize(&mut r, 1 << 16, "member count")? != members.len()
     {
@@ -725,18 +656,18 @@ fn restore_fleet_checkpoint(
 /// budget scheduling (see the module docs).
 ///
 /// # Errors
-/// Returns [`FleetError`] when the member slice is empty, the per-epoch
+/// Returns [`RunError`] when the member slice is empty, the per-epoch
 /// budget cannot cover the members, a checkpoint cannot be written, or a
 /// resume snapshot is corrupt or does not match the spec/members. The
 /// fuzzing loop itself never errors: faulty cases are contained per
 /// member exactly as in a standalone campaign.
-pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetResult, FleetError> {
+pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetResult, RunError> {
     if members.is_empty() {
-        return Err(FleetError::NoMembers);
+        return Err(RunError::NoMembers);
     }
     let cfg = *spec.config();
     if cfg.cases_per_epoch < members.len() as u64 {
-        return Err(FleetError::BudgetTooSmall {
+        return Err(RunError::BudgetTooSmall {
             members: members.len(),
             cases_per_epoch: cfg.cases_per_epoch,
         });
@@ -746,7 +677,7 @@ pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetR
     let mut pools: Vec<ExecPool> = members
         .iter()
         .map(|member| {
-            let builder = Executor::builder(member.core).max_steps(cfg.max_steps);
+            let builder = Executor::builder(member.core).max_steps(cfg.run.max_steps);
             ExecPool::new(builder.build(), spec.threads())
         })
         .collect();
@@ -801,8 +732,7 @@ pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetR
             let member_cfg = CampaignConfig {
                 cases: target,
                 sample_every: target,
-                max_steps: cfg.max_steps,
-                batch: cfg.batch,
+                run: cfg.run,
             };
             let covered_before = state.cumulative.count();
             let mut harvest: Vec<HarvestedCase> = Vec::new();
@@ -888,10 +818,14 @@ pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetR
         }
         metrics.inc("fleet.epochs", 1);
         epoch += 1;
-        // Periodic checkpoints land on epoch boundaries, where every
-        // member sits at a round boundary with empty pending queues.
+        // Periodic (and operator-requested) checkpoints land on epoch
+        // boundaries, where every member sits at a round boundary with
+        // empty pending queues. The checkpoint-now request is claimed
+        // even without a policy so a stale request cannot linger.
+        let requested = spec.take_checkpoint_request();
         if let Some(policy) = spec.checkpoint() {
-            if epoch.is_multiple_of(policy.every_rounds()) && epoch < cfg.epochs {
+            let periodic = epoch.is_multiple_of(policy.every_rounds());
+            if (periodic || requested) && epoch < cfg.epochs {
                 write_fleet_checkpoint(
                     policy,
                     spec,
@@ -1002,8 +936,20 @@ mod tests {
             },
             SpecError::ZeroCasesPerEpoch,
         );
-        check(FleetConfig { max_steps: 0, ..ok }, SpecError::ZeroMaxSteps);
-        check(FleetConfig { batch: 0, ..ok }, SpecError::ZeroBatch);
+        check(
+            FleetConfig {
+                run: ok.run.with_max_steps(0),
+                ..ok
+            },
+            SpecError::ZeroMaxSteps,
+        );
+        check(
+            FleetConfig {
+                run: RunConfig { batch: 0, ..ok.run },
+                ..ok
+            },
+            SpecError::ZeroBatch,
+        );
         assert!(matches!(
             FleetSpec::builder(ok).threads(0).build(),
             Err(SpecError::ZeroThreads)
@@ -1027,7 +973,7 @@ mod tests {
             .unwrap();
         assert!(matches!(
             run_fleet(&mut [], &spec),
-            Err(FleetError::NoMembers)
+            Err(RunError::NoMembers)
         ));
         let tight = FleetSpec::builder(FleetConfig::quick(1, 1))
             .build()

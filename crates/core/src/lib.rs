@@ -54,6 +54,7 @@
 
 pub mod baselines;
 pub mod campaign;
+pub mod control;
 pub mod corpus;
 pub mod correction;
 pub mod difftest;
@@ -63,6 +64,7 @@ pub mod fleet;
 pub mod fuzzer;
 pub mod generator;
 pub mod harness;
+pub mod json;
 pub mod obs;
 pub mod persist;
 pub mod poc;
@@ -72,15 +74,16 @@ pub mod triage;
 
 pub use baselines::{Feedback, Fuzzer, TestBody};
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignResult, CampaignSpec, CampaignSpecBuilder,
-    CheckpointPolicy, CoverageSample, SpecError,
+    run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CampaignSpecBuilder,
+    CheckpointPolicy, CoverageSample, RunConfig, RunError, SpecError,
 };
+pub use control::StopHandle;
 pub use corpus::{coverage_signature, Corpus, GlobalCorpus, GlobalCorpusStats, GlobalEntry};
 pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
 pub use exec::{BatchStats, CaseOutcome, ExecPool, FaultKind, FaultPlan, FaultPolicy, Throughput};
 pub use fleet::{
-    latest_fleet_snapshot, run_fleet, FleetConfig, FleetError, FleetMember, FleetResult,
-    FleetSample, FleetSpec, FleetSpecBuilder, MemberResult,
+    run_fleet, FleetConfig, FleetMember, FleetResult, FleetSample, FleetSpec, FleetSpecBuilder,
+    MemberResult,
 };
 pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
 pub use generator::{GeneratorConfig, InstructionGenerator};

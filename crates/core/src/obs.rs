@@ -40,12 +40,13 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
-use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+use crate::json::{parse_object, JsonValue, ObjectWriter};
 
 /// One structured telemetry event.
 ///
@@ -266,7 +267,7 @@ impl Event {
     /// Serialises the event as one flat JSON object (no trailing newline).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut w = JsonWriter::new(self.kind());
+        let mut w = ObjectWriter::with_type(self.kind());
         match self {
             Event::RoundStart { round, planned } => {
                 w.num("round", *round);
@@ -438,7 +439,7 @@ impl Event {
     /// not a well-formed event object of a known type.
     #[must_use]
     pub fn from_json(line: &str) -> Option<Event> {
-        let fields = parse_flat_object(line)?;
+        let fields = parse_object(line)?;
         let f = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
         let u = |name: &str| f(name).and_then(JsonValue::as_u64);
         let x = |name: &str| f(name).and_then(JsonValue::as_f64);
@@ -537,181 +538,6 @@ impl Event {
             }),
             _ => None,
         }
-    }
-}
-
-/// Incremental writer for one flat JSON object.
-struct JsonWriter {
-    buf: String,
-}
-
-impl JsonWriter {
-    fn new(kind: &str) -> JsonWriter {
-        JsonWriter {
-            buf: format!("{{\"type\":\"{kind}\""),
-        }
-    }
-
-    fn num(&mut self, key: &str, value: u64) {
-        let _ = write!(self.buf, ",\"{key}\":{value}");
-    }
-
-    fn float(&mut self, key: &str, value: f64) {
-        // NaN/inf are not JSON; clamp to 0 (only ever timing artefacts).
-        let v = if value.is_finite() { value } else { 0.0 };
-        let _ = write!(self.buf, ",\"{key}\":{v}");
-    }
-
-    fn str(&mut self, key: &str, value: &str) {
-        let _ = write!(self.buf, ",\"{key}\":\"");
-        escape_json_into(&mut self.buf, value);
-        self.buf.push('"');
-    }
-
-    fn hex_opt(&mut self, key: &str, value: Option<u64>) {
-        match value {
-            Some(v) => {
-                let _ = write!(self.buf, ",\"{key}\":\"{v:016x}\"");
-            }
-            None => {
-                let _ = write!(self.buf, ",\"{key}\":null");
-            }
-        }
-    }
-
-    fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
-
-/// A parsed flat JSON value (the only shapes the event schema uses).
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Null,
-    Bool(bool),
-    /// Numbers keep their raw token so 64-bit integers survive parsing.
-    Num(String),
-    Str(String),
-}
-
-impl JsonValue {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-}
-
-/// Escapes `value` for inclusion in a JSON string literal (quotes,
-/// backslashes, and control characters; everything else passes through).
-fn escape_json_into(buf: &mut String, value: &str) {
-    for c in value.chars() {
-        match c {
-            '"' => buf.push_str("\\\""),
-            '\\' => buf.push_str("\\\\"),
-            '\n' => buf.push_str("\\n"),
-            '\t' => buf.push_str("\\t"),
-            '\r' => buf.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(buf, "\\u{:04x}", c as u32);
-            }
-            c => buf.push(c),
-        }
-    }
-}
-
-/// Scans a JSON string literal starting just after its opening quote;
-/// returns the unescaped contents and the remainder after the closing
-/// quote.
-fn scan_json_string(s: &str) -> Option<(String, &str)> {
-    let bytes = s.as_bytes();
-    let mut out = String::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'"' => return Some((out, &s[i + 1..])),
-            b'\\' => {
-                let escape = *bytes.get(i + 1)?;
-                i += 2;
-                match escape {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b't' => out.push('\t'),
-                    b'r' => out.push('\r'),
-                    b'u' => {
-                        let hex = s.get(i..i + 4)?;
-                        out.push(char::from_u32(u32::from_str_radix(hex, 16).ok()?)?);
-                        i += 4;
-                    }
-                    _ => return None,
-                }
-            }
-            _ => {
-                let c = s[i..].chars().next()?;
-                out.push(c);
-                i += c.len_utf8();
-            }
-        }
-    }
-    None
-}
-
-/// Parses a single-level JSON object with string/number/bool/null values
-/// (the full event schema; nested containers are not part of it).
-fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
-    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
-    let mut fields = Vec::new();
-    let mut rest = body.trim();
-    if rest.is_empty() {
-        return Some(fields);
-    }
-    loop {
-        rest = rest.trim_start().strip_prefix('"')?;
-        let (key, after_key) = scan_json_string(rest)?;
-        rest = after_key.trim_start().strip_prefix(':')?.trim_start();
-        let after = if let Some(r) = rest.strip_prefix('"') {
-            let (value, after_value) = scan_json_string(r)?;
-            fields.push((key, JsonValue::Str(value)));
-            after_value
-        } else {
-            let end = rest.find(',').unwrap_or(rest.len());
-            let token = rest[..end].trim();
-            let value = match token {
-                "null" => JsonValue::Null,
-                "true" => JsonValue::Bool(true),
-                "false" => JsonValue::Bool(false),
-                _ => {
-                    // Validate it is number-shaped so garbage fails early.
-                    token.parse::<f64>().ok()?;
-                    JsonValue::Num(token.to_owned())
-                }
-            };
-            fields.push((key, value));
-            &rest[end..]
-        };
-        let after = after.trim_start();
-        if after.is_empty() {
-            return Some(fields);
-        }
-        rest = after.strip_prefix(',')?;
     }
 }
 
@@ -836,6 +662,21 @@ impl JsonlSink {
         Ok(JsonlSink {
             out: Mutex::new(JsonlState {
                 out: BufWriter::new(File::create(path)?),
+                error: None,
+            }),
+        })
+    }
+
+    /// Opens the log file at `path` for appending (creating it if
+    /// missing). A resumed campaign appends to the log of the interrupted
+    /// run, so the concatenated stream reads as one uninterrupted run.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-open error.
+    pub fn append<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            out: Mutex::new(JsonlState {
+                out: BufWriter::new(File::options().create(true).append(true).open(path)?),
                 error: None,
             }),
         })

@@ -1,0 +1,352 @@
+//! Minimal HTTP/1.1 request parser and response writer over blocking
+//! byte streams.
+//!
+//! The workspace is offline, so the daemon speaks just enough HTTP/1.1
+//! by hand: a request line, a flat header block, and an optional
+//! `Content-Length` body. The parser reads from any [`Read`] and is
+//! tolerant of arbitrarily fragmented input (it consumes byte by byte
+//! into an internal buffer, so a peer that trickles one byte per
+//! syscall parses identically to one that sends the request in a single
+//! segment — property-tested in `tests/serve_proto.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard limits keeping a hostile peer from ballooning memory.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum number of header lines accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum `Content-Length` accepted for a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be parsed. Maps onto an HTTP status code via
+/// [`ParseError::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The connection closed before a full request arrived.
+    ConnectionClosed,
+    /// The request line is not `METHOD TARGET HTTP/1.x`.
+    BadRequestLine,
+    /// A header line has no `:` separator or a blank name.
+    BadHeader,
+    /// The head (request line + headers) exceeded [`MAX_HEAD_BYTES`] or
+    /// [`MAX_HEADERS`].
+    HeadTooLarge,
+    /// `Content-Length` is not a number.
+    BadContentLength,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The underlying stream failed.
+    Io(io::ErrorKind),
+}
+
+impl ParseError {
+    /// The HTTP status code this error answers with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            _ => 400,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed mid-request"),
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::BadHeader => write!(f, "malformed header line"),
+            ParseError::HeadTooLarge => write!(f, "request head too large"),
+            ParseError::BadContentLength => write!(f, "content-length is not a number"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+            ParseError::Io(kind) => write!(f, "i/o error reading request: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed request: method, split target, lower-cased headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The target path without the query string (`/jobs/3/events`).
+    pub path: String,
+    /// The raw query string after `?`, empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names are lower-cased, values
+    /// trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path split on `/` with empty segments dropped, so
+    /// `/jobs/3/events` routes as `["jobs", "3", "events"]`.
+    #[must_use]
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads one request from `stream`. Blocks until the head and declared
+/// body have arrived, the peer closes, or the stream errors.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
+    let head = read_head(stream)?;
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let (method, path, query) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let body_len = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadContentLength)?,
+        None => 0,
+    };
+    if body_len > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; body_len];
+    read_exact_tolerant(stream, &mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Splits `METHOD TARGET HTTP/1.x` and the target's query string.
+fn parse_request_line(line: &str) -> Result<(String, String, String), ParseError> {
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequestLine);
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(ParseError::BadRequestLine);
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequestLine);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    Ok((method.to_ascii_uppercase(), path, query))
+}
+
+/// Reads until the blank line ending the head; returns the head bytes
+/// (without the terminating `\r\n\r\n`).
+fn read_head<R: Read>(stream: &mut R) -> Result<Vec<u8>, ParseError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ParseError::ConnectionClosed),
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            head.truncate(head.len() - 4);
+            return Ok(head);
+        }
+        // Bare-\n tolerance: some hand-written clients skip the \r.
+        if head.ends_with(b"\n\n") {
+            head.truncate(head.len() - 2);
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+    }
+}
+
+/// `read_exact` that reports closure as [`ParseError::ConnectionClosed`]
+/// and retries `Interrupted`.
+fn read_exact_tolerant<R: Read>(stream: &mut R, buf: &mut [u8]) -> Result<(), ParseError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ParseError::ConnectionClosed),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// The reason phrase for the handful of status codes the daemon uses.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a `Content-Length` body.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a streaming SSE response (no `Content-Length`;
+/// the body is written frame by frame until the connection closes).
+pub fn write_sse_head<W: Write>(stream: &mut W) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that hands out one byte per `read` call — the worst
+    /// possible fragmentation.
+    struct Trickle<'a>(&'a [u8]);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn parses_request_with_body_from_fragmented_stream() {
+        let raw = b"POST /jobs?replay=all HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Trickle(raw)).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "replay=all");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.segments(), vec!["jobs"]);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"G@T /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert_eq!(
+                read_request(&mut Trickle(raw)),
+                Err(ParseError::BadRequestLine),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_lengths() {
+        let no_colon = b"GET / HTTP/1.1\r\nnocolon\r\n\r\n";
+        assert_eq!(
+            read_request(&mut Trickle(no_colon)),
+            Err(ParseError::BadHeader)
+        );
+        let bad_len = b"GET / HTTP/1.1\r\nContent-Length: four\r\n\r\n";
+        assert_eq!(
+            read_request(&mut Trickle(bad_len)),
+            Err(ParseError::BadContentLength)
+        );
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert_eq!(
+            read_request(&mut Trickle(huge.as_bytes())),
+            Err(ParseError::BodyTooLarge)
+        );
+    }
+
+    #[test]
+    fn truncated_requests_report_closure() {
+        for raw in [
+            &b"GET / HT"[..],
+            b"GET / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc",
+        ] {
+            assert_eq!(
+                read_request(&mut Trickle(raw)),
+                Err(ParseError::ConnectionClosed)
+            );
+        }
+    }
+
+    #[test]
+    fn tolerates_bare_newlines() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: y\n\n";
+        let req = read_request(&mut Trickle(raw)).expect("parses");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+}

@@ -1,0 +1,36 @@
+//! **hfl-serve** — campaign-as-a-service for the HFL reproduction.
+//!
+//! A std-only daemon (hand-rolled HTTP/1.1 + SSE over [`std::net`]
+//! sockets; the workspace is offline) that accepts campaign and fleet
+//! jobs as serializable [`jobs::JobSpec`] documents, multiplexes them
+//! over a bounded worker pool, streams each job's typed JSONL event
+//! protocol live to any number of SSE subscribers (bounded
+//! per-subscriber buffers with explicit lag/drop accounting), and
+//! serves checkpoint snapshots and quarantined PoC artifacts over GET.
+//!
+//! The module split mirrors the layering:
+//!
+//! - [`http`]: the HTTP/1.1 request parser and response writer,
+//! - [`sse`]: SSE frame encoding and the incremental client-side parser
+//!   (shared with `campaign_report --follow`),
+//! - [`hub`]: the per-job bounded broadcast ring behind the SSE fan-out,
+//! - [`jobs`]: `JobSpec` (de)serialisation, the job table, the worker
+//!   pool, and drain/resume state,
+//! - [`daemon`]: the accept loop and endpoint routing.
+//!
+//! Determinism contract: a job's SSE stream carries exactly the lines
+//! of its `events.jsonl`, and a SIGTERM-drained job resumed by a
+//! restarted daemon appends to both, so the concatenated stream is
+//! bit-identical (timing events aside) to an uninterrupted run — the
+//! property the `service_e2e` test and the CI `serve-smoke` job check.
+
+pub mod daemon;
+pub mod http;
+pub mod hub;
+pub mod jobs;
+pub mod sse;
+
+pub use daemon::{http_request, parse_http_response, spawn, Daemon, DaemonConfig};
+pub use hub::{EventHub, Recv, Subscriber};
+pub use jobs::{JobSpec, JobStatus, JobSummary, JobTable, JobView};
+pub use sse::{encode_frame, SseClient, SseFrame, SseParser};

@@ -12,8 +12,6 @@
 //! cargo run --release --example checkpoint [cases]
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy};
@@ -47,12 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Interrupted: checkpoint every round, and pull the plug from another
     // thread at an arbitrary wall-clock moment. Wherever the stop lands,
     // the runner finishes the round, writes a final snapshot and returns.
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = hfl::StopHandle::new();
     let plug = {
         let stop = stop.clone();
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(50));
-            stop.store(true, Ordering::SeqCst);
+            stop.request_stop();
         })
     };
     let mut fuzzer = tiny_hfl();
@@ -60,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut fuzzer,
         &CampaignSpec::builder(CoreKind::Rocket, config)
             .checkpoint(CheckpointPolicy::new(&dir, 1))
-            .stop_flag(stop)
+            .control(stop)
             .build()?,
     )?;
     plug.join().expect("plug thread");

@@ -7,7 +7,7 @@
 //! ```
 
 use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -19,8 +19,7 @@ fn main() {
     let campaign = CampaignConfig {
         cases,
         sample_every: (cases / 8).max(1),
-        max_steps: 20_000,
-        batch: 1,
+        run: RunConfig::quick().with_max_steps(20_000),
     };
     let spec = CampaignSpec::builder(CoreKind::Rocket, campaign)
         .build()

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart [cases]
 //! ```
 
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
 
@@ -31,8 +31,7 @@ fn main() {
     let campaign = CampaignConfig {
         cases,
         sample_every: (cases / 10).max(1),
-        max_steps: 20_000,
-        batch: 1,
+        run: RunConfig::quick().with_max_steps(20_000),
     };
     let spec = CampaignSpec::builder(CoreKind::Rocket, campaign)
         .build()

@@ -8,7 +8,6 @@
 
 use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hfl::baselines::{DifuzzRtlFuzzer, Feedback, Fuzzer, TestBody};
@@ -16,6 +15,7 @@ use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, 
 use hfl::exec::{FaultKind, FaultPlan, FaultPolicy};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::obs::{Event, RingSink, SinkHandle};
+use hfl::StopHandle;
 use hfl_dut::CoreKind;
 use hfl_nn::PersistError;
 
@@ -35,11 +35,11 @@ fn non_timing(events: &[Event]) -> Vec<Event> {
 struct StopAfterRounds<F> {
     inner: F,
     rounds_left: u32,
-    stop: Arc<AtomicBool>,
+    stop: StopHandle,
 }
 
 impl<F: Fuzzer> StopAfterRounds<F> {
-    fn new(inner: F, rounds: u32, stop: Arc<AtomicBool>) -> StopAfterRounds<F> {
+    fn new(inner: F, rounds: u32, stop: StopHandle) -> StopAfterRounds<F> {
         StopAfterRounds {
             inner,
             rounds_left: rounds,
@@ -59,7 +59,7 @@ impl<F: Fuzzer> Fuzzer for StopAfterRounds<F> {
         if self.rounds_left > 0 {
             self.rounds_left -= 1;
             if self.rounds_left == 0 {
-                self.stop.store(true, Ordering::SeqCst);
+                self.stop.request_stop();
             }
         }
         self.inner.next_round(n)
@@ -125,7 +125,7 @@ fn check_resume_matches<F: Fuzzer + 'static>(
     let reference = run_observed(&mut reference_fuzzer, with_plan, config, threads);
     assert!(reference.result.completed);
 
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = StopHandle::new();
     let mut interrupted_fuzzer = StopAfterRounds::new(make_fuzzer(), stop_rounds, stop.clone());
     let partial = run_observed(
         &mut interrupted_fuzzer,
@@ -133,7 +133,7 @@ fn check_resume_matches<F: Fuzzer + 'static>(
             with_plan(
                 builder
                     .checkpoint(CheckpointPolicy::new(&dir, 1))
-                    .stop_flag(stop),
+                    .control(stop),
             )
         },
         config,
@@ -237,13 +237,13 @@ fn resume_replays_planned_faults_identically() {
 fn stray_temp_file_from_a_crash_mid_write_is_ignored() {
     let dir = scratch_dir("stray-tmp");
     let config = CampaignConfig::quick(24).with_batch(4);
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = StopHandle::new();
     let mut fuzzer = StopAfterRounds::new(DifuzzRtlFuzzer::new(29, 12), 2, stop.clone());
     run_campaign(
         &mut fuzzer,
         &CampaignSpec::builder(CoreKind::Rocket, config)
             .checkpoint(CheckpointPolicy::new(&dir, 1))
-            .stop_flag(stop)
+            .control(stop)
             .build()
             .expect("valid spec"),
     )

@@ -2,7 +2,7 @@
 //! instrumented cores.
 
 use hfl::baselines::DifuzzRtlFuzzer;
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::{CoreKind, CoverageKind};
 
@@ -47,8 +47,7 @@ fn coverage_curves_are_monotone_and_saturating() {
             CampaignConfig {
                 cases: 120,
                 sample_every: 20,
-                max_steps: 20_000,
-                batch: 1,
+                run: RunConfig::quick().with_max_steps(20_000),
             },
         )
         .build()

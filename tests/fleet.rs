@@ -6,15 +6,13 @@
 
 use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Feedback, Fuzzer, TestBody, TheHuzzFuzzer};
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy};
-use hfl::fleet::{
-    latest_fleet_snapshot, run_fleet, FleetConfig, FleetMember, FleetResult, FleetSpec,
-};
+use hfl::fleet::{run_fleet, FleetConfig, FleetMember, FleetResult, FleetSpec};
 use hfl::obs::{replay_fleet, Event, RingSink, SinkHandle};
+use hfl::StopHandle;
 use hfl_dut::CoreKind;
 use hfl_nn::PersistError;
 
@@ -237,7 +235,7 @@ fn merged_coverage_dominates_the_best_single_member() {
 struct StopAfterRounds {
     inner: Box<dyn Fuzzer>,
     rounds_left: u32,
-    stop: Arc<AtomicBool>,
+    stop: StopHandle,
 }
 
 impl Fuzzer for StopAfterRounds {
@@ -251,7 +249,7 @@ impl Fuzzer for StopAfterRounds {
         if self.rounds_left > 0 {
             self.rounds_left -= 1;
             if self.rounds_left == 0 {
-                self.stop.store(true, Ordering::SeqCst);
+                self.stop.request_stop();
             }
         }
         self.inner.next_round(n)
@@ -281,7 +279,7 @@ fn interrupted_fleet_resumes_bit_identically() {
         // 1's generation; the fleet finishes that epoch and checkpoints.
         // The wrapper delegates `name()`, so the checkpoint's member
         // line-up still matches the fresh members used to resume.
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopHandle::new();
         let mut interrupted_members = make_members();
         interrupted_members[0] = FleetMember::new(
             "difuzz-7",
@@ -296,7 +294,7 @@ fn interrupted_fleet_resumes_bit_identically() {
             &mut interrupted_members,
             |b| {
                 b.checkpoint(CheckpointPolicy::new(&dir, 1))
-                    .stop_flag(stop.clone())
+                    .control(stop.clone())
             },
             config,
             threads,
@@ -306,7 +304,7 @@ fn interrupted_fleet_resumes_bit_identically() {
         assert!(partial.result.merged_curve.len() < 4);
 
         // Resume with fresh members: all state comes from the snapshot.
-        let snapshot = latest_fleet_snapshot(&dir).expect("snapshot written");
+        let snapshot = CheckpointPolicy::latest_fleet_snapshot(&dir).expect("snapshot written");
         let mut resumed_members = make_members();
         let resumed = run_observed(
             &mut resumed_members,
@@ -341,7 +339,7 @@ fn resume_rejects_a_different_member_line_up() {
         .build()
         .expect("valid spec");
     run_fleet(&mut members, &spec).expect("fleet runs");
-    let snapshot = latest_fleet_snapshot(&dir).expect("snapshot written");
+    let snapshot = CheckpointPolicy::latest_fleet_snapshot(&dir).expect("snapshot written");
 
     // Same member count, different strategy in slot 1.
     let mut imposters = make_members();
@@ -385,7 +383,7 @@ fn corrupt_fleet_snapshots_are_rejected_not_trusted() {
         .build()
         .expect("valid spec");
     run_fleet(&mut members, &spec).expect("fleet runs");
-    let snapshot = latest_fleet_snapshot(&dir).expect("snapshot written");
+    let snapshot = CheckpointPolicy::latest_fleet_snapshot(&dir).expect("snapshot written");
 
     let mut bytes = std::fs::read(&snapshot).expect("read snapshot");
     let mid = bytes.len() / 2;

@@ -1,0 +1,235 @@
+//! Property tests for the `hfl-serve` wire-protocol layers: the
+//! HTTP/1.1 request parser (arbitrary fragmentation, hostile inputs),
+//! SSE frame reassembly under arbitrary split points, and the broadcast
+//! hub's subscriber-lag drop accounting.
+//!
+//! The vendored proptest stub only provides integer strategies, so all
+//! structured inputs (requests, payloads, chunk sizes) are derived from
+//! integer seeds through a splitmix generator.
+
+use std::io::{self, Read};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hfl_serve::http::{read_request, ParseError};
+use hfl_serve::hub::{EventHub, Recv};
+use hfl_serve::sse::{encode_frame, SseParser};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 — the seed-to-structure expander.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A reader that returns the payload in pseudo-random fragments of 1–7
+/// bytes — every parse must behave as if the stream arrived whole.
+struct Fragmented {
+    data: Vec<u8>,
+    pos: usize,
+    rng: Mix,
+}
+
+impl Fragmented {
+    fn new(data: Vec<u8>, seed: u64) -> Fragmented {
+        Fragmented {
+            data,
+            pos: 0,
+            rng: Mix(seed),
+        }
+    }
+}
+
+impl Read for Fragmented {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        let want = 1 + self.rng.below(7) as usize;
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+const METHODS: [&str; 4] = ["GET", "POST", "PUT", "DELETE"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A well-formed request survives any stream fragmentation: method,
+    /// path, query, headers and body all parse back exactly.
+    #[test]
+    fn request_round_trips_under_fragmentation(
+        seed in any::<u64>(),
+        body_len in 0usize..48,
+        headers in 0usize..6,
+    ) {
+        let mut rng = Mix(seed);
+        let method = METHODS[rng.below(4) as usize];
+        let path = format!("/jobs/{}/events", rng.below(1000));
+        let query = if rng.below(2) == 0 { String::new() } else { format!("tail={}", rng.below(2)) };
+        let target = if query.is_empty() { path.clone() } else { format!("{path}?{query}") };
+        let body: Vec<u8> = (0..body_len).map(|_| rng.next() as u8).collect();
+        let mut raw = format!("{method} {target} HTTP/1.1\r\n");
+        let mut expect_headers = Vec::new();
+        for i in 0..headers {
+            let value = format!("v{}", rng.below(100));
+            raw.push_str(&format!("X-Key-{i}: {value}\r\n"));
+            expect_headers.push((format!("x-key-{i}"), value));
+        }
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&body);
+
+        let req = read_request(&mut Fragmented::new(bytes, seed ^ 0xabcd)).expect("parses");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.query, query);
+        prop_assert_eq!(req.body, body);
+        for (name, value) in &expect_headers {
+            prop_assert_eq!(req.header(name), Some(value.as_str()));
+        }
+    }
+
+    /// Hostile bytes never panic the parser: every input either parses
+    /// or yields a typed error whose status is a client/server code.
+    #[test]
+    fn parser_survives_garbage(seed in any::<u64>(), len in 0usize..200) {
+        let mut rng = Mix(seed);
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        if rng.below(2) == 0 {
+            bytes.extend_from_slice(b"\r\n\r\n");
+        }
+        match read_request(&mut Fragmented::new(bytes, seed)) {
+            Ok(req) => prop_assert!(!req.method.is_empty()),
+            Err(err) => {
+                let status = err.status();
+                prop_assert!((400..=599).contains(&status), "{err}: {status}");
+            }
+        }
+    }
+
+    /// Mutating one byte of a valid request never panics (it may still
+    /// parse — e.g. a changed body byte — or fail with a typed error).
+    #[test]
+    fn single_byte_corruption_is_handled(seed in any::<u64>()) {
+        let base = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nX-A: b\r\n\r\nwxyz";
+        let mut rng = Mix(seed);
+        let mut bytes = base.to_vec();
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] = rng.next() as u8;
+        let _ = read_request(&mut Fragmented::new(bytes, seed));
+    }
+
+    /// SSE frames reassemble exactly under arbitrary fragmentation,
+    /// including payloads with embedded newlines and blank lines.
+    #[test]
+    fn sse_frames_survive_fragmentation(seed in any::<u64>(), frames in 1usize..6) {
+        let mut rng = Mix(seed);
+        let mut payloads = Vec::new();
+        let mut wire = String::new();
+        for i in 0..frames {
+            let lines = 1 + rng.below(3);
+            let payload = (0..lines)
+                .map(|l| {
+                    if rng.below(4) == 0 {
+                        String::new() // blank line inside the payload
+                    } else {
+                        format!("{{\"frame\":{i},\"line\":{l},\"v\":{}}}", rng.next())
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let event = if rng.below(3) == 0 { Some("end") } else { None };
+            wire.push_str(&encode_frame(event, &payload));
+            payloads.push((event.map(str::to_owned), payload));
+        }
+        let bytes = wire.as_bytes();
+        let mut parser = SseParser::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let n = (1 + rng.below(9) as usize).min(bytes.len() - pos);
+            got.extend(parser.push(&bytes[pos..pos + n]));
+            pos += n;
+        }
+        prop_assert_eq!(got.len(), payloads.len());
+        for (frame, (event, payload)) in got.iter().zip(&payloads) {
+            prop_assert_eq!(frame.event.as_deref(), event.as_deref());
+            prop_assert_eq!(&frame.data, payload);
+        }
+    }
+
+    /// Hub drop accounting: a subscriber that reads only after `n`
+    /// publishes into a capacity-`c` ring sees exactly
+    /// `max(0, n - c)` reported as lag and the last `min(n, c)` lines
+    /// in order, ending at sequence `n - 1`.
+    #[test]
+    fn hub_lag_accounts_for_every_drop(capacity in 1usize..9, published in 0u64..64) {
+        let hub = Arc::new(EventHub::new(capacity));
+        let mut sub = hub.subscribe();
+        for i in 0..published {
+            hub.publish(&format!("line-{i}"));
+        }
+        hub.close();
+        let expect_missed = published.saturating_sub(capacity as u64);
+        let mut missed = 0;
+        let mut seqs = Vec::new();
+        loop {
+            match sub.next(Duration::from_millis(50)) {
+                Recv::Line { seq, line } => {
+                    let expect = format!("line-{seq}");
+                    prop_assert_eq!(&*line, expect.as_str());
+                    seqs.push(seq);
+                }
+                Recv::Lagged { missed: m } => missed += m,
+                Recv::Closed => break,
+                Recv::TimedOut => prop_assert!(false, "publisher already closed"),
+            }
+        }
+        prop_assert_eq!(missed, expect_missed);
+        prop_assert_eq!(sub.total_dropped(), expect_missed);
+        prop_assert_eq!(seqs.len() as u64, published - expect_missed);
+        prop_assert_eq!(seqs.first().copied(), (published > 0).then_some(expect_missed));
+        prop_assert_eq!(seqs.last().copied(), published.checked_sub(1));
+        let contiguous = seqs.windows(2).all(|w| w[1] == w[0] + 1);
+        prop_assert!(contiguous);
+    }
+}
+
+/// Deterministic spot-checks that complement the properties above.
+#[test]
+fn parse_error_statuses_are_stable() {
+    let cases: [(&[u8], u16); 3] = [
+        (b"BAD\r\n\r\n", 400),
+        (
+            b"GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+            413,
+        ),
+        (b"GET / HTTP/1.1\r\nbroken\r\n\r\n", 400),
+    ];
+    for (raw, status) in cases {
+        let err = read_request(&mut Fragmented::new(raw.to_vec(), 1)).expect_err("must fail");
+        assert_eq!(err.status(), status, "{err}");
+    }
+    // Over-long heads get their own status.
+    let mut huge = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
+    huge.extend(std::iter::repeat_n(b'a', 20 * 1024));
+    huge.extend_from_slice(b"\r\n\r\n");
+    let err = read_request(&mut Fragmented::new(huge, 1)).expect_err("too large");
+    assert_eq!(err, ParseError::HeadTooLarge);
+    assert_eq!(err.status(), 431);
+}
