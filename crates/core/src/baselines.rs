@@ -22,7 +22,7 @@ use crate::persist::{read_program, read_rng, write_program, write_rng};
 use crate::tokens::head_sizes;
 
 /// A generated test-case body: assembly-level or raw words.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TestBody {
     /// Assembly-level instructions (DifuzzRTL/Cascade-style generators).
     Asm(Vec<Instruction>),

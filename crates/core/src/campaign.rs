@@ -56,7 +56,7 @@ use crate::baselines::{Feedback, Fuzzer, TestBody};
 use crate::control::StopHandle;
 use crate::corpus::Corpus;
 use crate::difftest::{Signature, SignatureSet};
-use crate::exec::{CaseOutcome, ExecPool, FaultPlan, FaultPolicy, Throughput};
+use crate::exec::{CaseOutcome, CoverageBatch, ExecPool, FaultPlan, FaultPolicy, Throughput};
 use crate::harness::Executor;
 use crate::obs::{Event, Histogram, Metrics, MetricsSnapshot, SinkHandle, DURATION_BUCKETS};
 
@@ -1243,9 +1243,13 @@ pub(crate) fn run_round(
     let outcomes = pool.run_batch_contained(&round);
     metrics.observe_duration("phase.execute.seconds", execute_started.elapsed());
     let batch = pool.last_batch();
+    // Pack the round's coverage bitmaps into one structure-of-arrays
+    // buffer so the cumulative union below streams contiguous rows
+    // instead of chasing per-case snapshots.
+    let coverage_rows = CoverageBatch::from_outcomes(&outcomes);
     let train_started = Instant::now();
     let mut difftest_seconds = 0.0f64;
-    for (body, outcome) in round.iter().zip(outcomes) {
+    for (slot, (body, outcome)) in round.iter().zip(outcomes).enumerate() {
         state.executed += 1;
         let result = match outcome {
             CaseOutcome::Completed(result) => result,
@@ -1284,10 +1288,9 @@ pub(crate) fn run_round(
         };
         state.instructions_executed += result.dut.steps;
         difftest_seconds += result.timing.difftest_seconds;
-        let before = state.cumulative.count();
-        let gained = state.cumulative.would_grow(&result.dut.coverage);
-        state.cumulative.union_with(&result.dut.coverage);
-        let gained_bits = (state.cumulative.count() - before) as u64;
+        let newly = state.cumulative.union_counting(coverage_rows.row(slot));
+        let gained = newly > 0;
+        let gained_bits = newly as u64;
         let coverage = result.dut.coverage.count() as f32 / map_len as f32;
         if gained {
             if let Some(harvest) = harvest.as_deref_mut() {
@@ -1346,6 +1349,12 @@ pub(crate) fn run_round(
     metrics.observe("phase.difftest.seconds", difftest_seconds);
     metrics.observe("phase.train.seconds", train_started.elapsed().as_secs_f64());
     metrics.inc("campaign.rounds", 1);
+    // Lifetime cache totals, set absolutely: which worker served a case
+    // is schedule-dependent above one thread, but hits + misses always
+    // equals the cases the pool has run.
+    let (predecode_hits, predecode_misses) = pool.predecode_stats();
+    metrics.restore_counter("sim.predecode.hits", predecode_hits);
+    metrics.restore_counter("sim.predecode.misses", predecode_misses);
     if sink.enabled() {
         // Occupancy first: `RoundEnd` closes the round, so a replayer
         // can resolve the batch's utilisation when it sees it.

@@ -402,6 +402,88 @@ pub struct BatchStats {
     pub occupancy: f64,
 }
 
+/// A round's per-case coverage bitmaps packed into one contiguous
+/// structure-of-arrays buffer: row `i` holds the coverage words of
+/// outcome `i`, and aborted cases contribute an all-zero row so indices
+/// line up with the outcome vector.
+///
+/// The campaign accumulates cumulative coverage by streaming these rows
+/// through [`CoverageSnapshot::union_counting`], which turns the old
+/// per-case `would_grow` + `union_with` + two `count` passes into one
+/// fused pass over a cache-friendly layout.
+///
+/// [`CoverageSnapshot::union_counting`]: hfl_dut::CoverageSnapshot::union_counting
+///
+/// # Examples
+///
+/// ```
+/// use hfl::baselines::TestBody;
+/// use hfl::exec::{CoverageBatch, ExecPool};
+/// use hfl::harness::Executor;
+/// use hfl_dut::CoreKind;
+/// use hfl_riscv::{Instruction, Opcode, Reg};
+///
+/// let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 1);
+/// let batch = vec![TestBody::Asm(vec![
+///     Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1),
+/// ])];
+/// let outcomes = pool.run_batch_contained(&batch);
+/// let rows = CoverageBatch::from_outcomes(&outcomes);
+/// assert_eq!(rows.rows(), 1);
+/// assert!(rows.row(0).iter().any(|w| *w != 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageBatch {
+    words_per_row: usize,
+    rows: usize,
+    bits: Vec<u64>,
+}
+
+impl CoverageBatch {
+    /// Packs the coverage bitmap of every completed outcome into one
+    /// buffer; aborted outcomes get an all-zero row. All snapshots of a
+    /// batch come from clones of one executor, so their widths agree.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[CaseOutcome]) -> CoverageBatch {
+        let words_per_row = outcomes
+            .iter()
+            .find_map(|o| o.completed())
+            .map_or(0, |r| r.dut.coverage.words().len());
+        let mut bits = vec![0u64; outcomes.len() * words_per_row];
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if let Some(result) = outcome.completed() {
+                let row = result.dut.coverage.words();
+                assert_eq!(row.len(), words_per_row, "snapshot width mismatch");
+                bits[i * words_per_row..(i + 1) * words_per_row].copy_from_slice(row);
+            }
+        }
+        CoverageBatch {
+            words_per_row,
+            rows: outcomes.len(),
+            bits,
+        }
+    }
+
+    /// Number of rows (one per submitted case, aborted included).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Coverage words of case `i` (all zero if it aborted).
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u64] {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Words per row (the snapshot width, or 0 if every case aborted).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+}
+
 /// A pool of cloned [`Executor`]s evaluating batches of test bodies.
 ///
 /// # Examples
@@ -616,6 +698,19 @@ impl ExecPool {
     #[must_use]
     pub fn last_batch(&self) -> BatchStats {
         self.last_batch
+    }
+
+    /// Summed predecode-cache `(hits, misses)` across all workers (the
+    /// campaign surfaces them as `sim.predecode.*` metrics). Which
+    /// worker serves which case is schedule-dependent above one thread,
+    /// but the totals are not: each body is prepared exactly once per
+    /// batch slot, so `hits + misses` equals cases run.
+    #[must_use]
+    pub fn predecode_stats(&self) -> (u64, u64) {
+        self.workers
+            .iter()
+            .map(Executor::predecode_stats)
+            .fold((0, 0), |(h, m), (wh, wm)| (h + wh, m + wm))
     }
 
     /// Throughput counters so far. `wall_seconds` is taken from the
@@ -899,5 +994,62 @@ mod tests {
         // Busy time is a subset of exec wall-time per worker, so occupancy
         // sits in (0, 1] up to timer granularity.
         assert!(t.pool_occupancy > 0.0 && t.pool_occupancy <= 1.05);
+    }
+
+    #[test]
+    fn coverage_batch_mirrors_per_case_snapshots() {
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        let batch: Vec<TestBody> = (0..6).map(|i| addi_body(i + 1)).collect();
+        let outcomes = pool.run_batch_contained(&batch);
+        let rows = CoverageBatch::from_outcomes(&outcomes);
+        assert_eq!(rows.rows(), outcomes.len());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let result = outcome.completed().expect("plain addi completes");
+            assert_eq!(rows.row(i), result.dut.coverage.words());
+            assert_eq!(rows.words_per_row(), result.dut.coverage.words().len());
+        }
+    }
+
+    #[test]
+    fn coverage_batch_zeroes_aborted_rows() {
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 1)
+            .with_fault_plan(FaultPlan::new().fail_at_persistent(2, FaultKind::Hang));
+        let batch: Vec<TestBody> = (0..3).map(|i| addi_body(i + 1)).collect();
+        let outcomes = pool.run_batch_contained(&batch);
+        assert!(outcomes[1].is_aborted());
+        let rows = CoverageBatch::from_outcomes(&outcomes);
+        assert!(rows.row(0).iter().any(|w| *w != 0));
+        assert!(rows.row(1).iter().all(|w| *w == 0), "aborted row is zero");
+        assert!(rows.row(2).iter().any(|w| *w != 0));
+    }
+
+    #[test]
+    fn coverage_batch_of_all_aborted_outcomes_is_empty_width() {
+        let outcomes = vec![
+            CaseOutcome::TimedOut { attempts: 1 },
+            CaseOutcome::Poisoned {
+                attempts: 2,
+                reason: String::from("x"),
+            },
+        ];
+        let rows = CoverageBatch::from_outcomes(&outcomes);
+        assert_eq!(rows.rows(), 2);
+        assert_eq!(rows.words_per_row(), 0);
+        assert!(rows.row(0).is_empty() && rows.row(1).is_empty());
+    }
+
+    #[test]
+    fn pool_predecode_stats_sum_hits_and_misses_across_workers() {
+        let mut pool = ExecPool::new(Executor::builder(CoreKind::Rocket).build(), 2);
+        // Two distinct bodies, each submitted twice per batch, twice.
+        let batch = vec![addi_body(1), addi_body(2), addi_body(1), addi_body(2)];
+        pool.run_batch(&batch);
+        pool.run_batch(&batch);
+        let (hits, misses) = pool.predecode_stats();
+        assert_eq!(hits + misses, 8, "one prepare per case run");
+        // Each worker lowers a body it has not seen at most once, so
+        // misses never exceed workers × distinct bodies.
+        assert!(misses <= 4);
+        assert!(hits >= 4);
     }
 }

@@ -8,6 +8,7 @@ use hfl_riscv::Instruction;
 
 use crate::baselines::TestBody;
 use crate::difftest::{compare, Mismatch};
+use crate::predecode::{PredecodeCache, PreparedCase};
 
 /// Default per-test step budget (generated tests are short; the budget
 /// exists to bound accidental loops).
@@ -90,6 +91,7 @@ impl ExecutorBuilder {
             dut: Dut::new(self.kind),
             max_steps: self.max_steps,
             quirks: self.quirks,
+            cache: PredecodeCache::default(),
         }
     }
 }
@@ -118,6 +120,9 @@ pub struct Executor {
     dut: Dut,
     max_steps: u64,
     quirks: Option<hfl_grm::cpu::Quirks>,
+    /// Worker-local predecode cache: lock-free, and invisible to results
+    /// (lookups compare full bodies, so stale hits cannot occur).
+    cache: PredecodeCache,
 }
 
 impl Executor {
@@ -145,39 +150,55 @@ impl Executor {
 
     /// Runs one test body — the single execution path every campaign and
     /// pool worker goes through, whichever representation the fuzzer
-    /// emitted.
+    /// emitted. The body's lowering (assemble + predecode) is served from
+    /// the executor's [`PredecodeCache`], so re-executions of the same
+    /// body (screening, minimisation, triage) skip it entirely.
     pub fn run(&mut self, body: &TestBody) -> CaseResult {
-        let program = match body {
-            TestBody::Asm(instructions) => Program::assemble(instructions),
-            TestBody::Words(words) => Program::assemble_raw(words),
-        };
-        self.run_program(&program)
+        let prepared = self.cache.prepare(body);
+        self.run_prepared(&prepared)
     }
 
     /// Runs a test-case body given as instructions.
     pub fn run_case(&mut self, body: &[Instruction]) -> CaseResult {
-        self.run_program(&Program::assemble(body))
+        self.run(&TestBody::Asm(body.to_vec()))
     }
 
     /// Runs a test-case body given as raw instruction words (for the
     /// binary-level baseline fuzzers).
     pub fn run_words(&mut self, body_words: &[u32]) -> CaseResult {
-        self.run_program(&Program::assemble_raw(body_words))
+        self.run(&TestBody::Words(body_words.to_vec()))
     }
 
-    /// Runs an assembled program on both sides and diffs the executions.
+    /// `(hits, misses)` of this executor's predecode cache since
+    /// construction.
+    #[must_use]
+    pub fn predecode_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Runs an assembled program on both sides and diffs the executions
+    /// (one-shot predecode, bypassing the cache).
     pub fn run_program(&mut self, program: &Program) -> CaseResult {
+        self.run_prepared(&PreparedCase::new(program.clone()))
+    }
+
+    /// Runs a prepared (assembled + predecoded) case on both sides and
+    /// diffs the executions.
+    pub fn run_prepared(&mut self, prepared: &PreparedCase) -> CaseResult {
+        let program: &Program = &prepared.program;
+        let image = &*prepared.image;
         let dut_started = std::time::Instant::now();
         let dut = match &self.quirks {
-            Some(q) => self
-                .dut
-                .run_program_with_quirks(program, self.max_steps, q.clone()),
-            None => self.dut.run_program(program, self.max_steps),
+            Some(q) => {
+                self.dut
+                    .run_predecoded_with_quirks(program, image, self.max_steps, q.clone())
+            }
+            None => self.dut.run_predecoded(program, image, self.max_steps),
         };
         let grm_started = std::time::Instant::now();
         let mut grm = Cpu::new();
         grm.load_program(program);
-        let grm_run = grm.run(self.max_steps);
+        let grm_run = grm.run_predecoded(image, self.max_steps);
         let grm_arch = grm.arch_snapshot();
         let grm_trace = std::mem::take(&mut grm.trace);
         let diff_started = std::time::Instant::now();

@@ -68,6 +68,7 @@ pub mod json;
 pub mod obs;
 pub mod persist;
 pub mod poc;
+pub mod predecode;
 pub mod predictor;
 pub mod tokens;
 pub mod triage;
@@ -80,7 +81,9 @@ pub use campaign::{
 pub use control::StopHandle;
 pub use corpus::{coverage_signature, Corpus, GlobalCorpus, GlobalCorpusStats, GlobalEntry};
 pub use difftest::{Mismatch, MismatchKind, Signature, SignatureSet};
-pub use exec::{BatchStats, CaseOutcome, ExecPool, FaultKind, FaultPlan, FaultPolicy, Throughput};
+pub use exec::{
+    BatchStats, CaseOutcome, CoverageBatch, ExecPool, FaultKind, FaultPlan, FaultPolicy, Throughput,
+};
 pub use fleet::{
     run_fleet, FleetConfig, FleetMember, FleetResult, FleetSample, FleetSpec, FleetSpecBuilder,
     MemberResult,
@@ -91,6 +94,7 @@ pub use harness::{CaseResult, CaseTiming, Executor, ExecutorBuilder};
 pub use obs::{
     Event, EventSink, JsonlSink, Metrics, MetricsSnapshot, NullSink, RingSink, SinkHandle,
 };
+pub use predecode::{PredecodeCache, PreparedCase};
 pub use predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
 pub use tokens::Tokens;
 pub use triage::{minimize, minimize_with_sink, Minimized};

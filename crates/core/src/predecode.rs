@@ -1,0 +1,285 @@
+//! The predecode cache: assemble + predecode each distinct case body
+//! once, however many times it is re-executed.
+//!
+//! Screening, minimisation, triage and difftest all re-run the same
+//! bodies — minimisation alone re-executes dozens of close variants of
+//! one case. [`PredecodeCache`] memoises the `TestBody → (Program,
+//! PredecodedProgram)` lowering behind a small LRU, so repeat executions
+//! skip both the assembler and the whole-window predecode and go straight
+//! to the fast dispatch path.
+//!
+//! The cache is deliberately *per-executor* (each `ExecPool` worker owns
+//! its own): no locks on the hot path, and — because a lookup compares
+//! the full body for equality, never just a hash — a mutated body can
+//! never hit a stale entry, keeping worker-local caching invisible to
+//! campaign determinism. Hit/miss counters feed the `sim.predecode.*`
+//! metrics.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use hfl_grm::{PredecodedProgram, Program};
+
+use crate::baselines::TestBody;
+
+/// Default number of cached bodies per executor. Minimisation works on
+/// one case at a time and rounds re-screen a handful of survivors, so a
+/// few dozen entries give near-perfect hit rates without measurable
+/// memory cost (an image is ~24 KiB).
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// A body lowered once: the assembled program plus its predecoded image,
+/// both shared so re-executions and the DUT/GRM pair clone pointers, not
+/// programs.
+#[derive(Debug, Clone)]
+pub struct PreparedCase {
+    /// The assembled program.
+    pub program: Arc<Program>,
+    /// The predecoded executable-window image of `program`.
+    pub image: Arc<PredecodedProgram>,
+}
+
+impl PreparedCase {
+    /// Lowers an assembled program into a prepared case.
+    #[must_use]
+    pub fn new(program: Program) -> PreparedCase {
+        let image = Arc::new(PredecodedProgram::new(&program));
+        PreparedCase {
+            program: Arc::new(program),
+            image,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Hash prefilter only — equality of `body` decides a hit.
+    key_hash: u64,
+    body: TestBody,
+    prepared: PreparedCase,
+    last_used: u64,
+}
+
+/// An LRU cache over body lowerings (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hfl::baselines::TestBody;
+/// use hfl::predecode::PredecodeCache;
+/// use hfl_riscv::{Instruction, Opcode, Reg};
+///
+/// let mut cache = PredecodeCache::new(8);
+/// let body = TestBody::Asm(vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 1)]);
+/// let first = cache.prepare(&body);
+/// let again = cache.prepare(&body);
+/// assert!(std::sync::Arc::ptr_eq(&first.image, &again.image));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredecodeCache {
+    capacity: usize,
+    slots: Vec<Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PredecodeCache {
+    fn default() -> Self {
+        PredecodeCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl PredecodeCache {
+    /// Creates a cache holding at most `capacity` bodies.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> PredecodeCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PredecodeCache {
+            capacity,
+            slots: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn key_hash(body: &TestBody) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        body.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Returns the lowering of `body`, assembling and predecoding it on
+    /// first sight and evicting the least-recently-used entry when full.
+    pub fn prepare(&mut self, body: &TestBody) -> PreparedCase {
+        let hash = Self::key_hash(body);
+        self.tick += 1;
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .find(|slot| slot.key_hash == hash && &slot.body == body)
+        {
+            slot.last_used = self.tick;
+            self.hits += 1;
+            return slot.prepared.clone();
+        }
+        self.misses += 1;
+        let program = match body {
+            TestBody::Asm(instructions) => Program::assemble(instructions),
+            TestBody::Words(words) => Program::assemble_raw(words),
+        };
+        let prepared = PreparedCase::new(program);
+        if self.slots.len() >= self.capacity {
+            let oldest = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0 implies a slot exists");
+            self.slots.swap_remove(oldest);
+        }
+        self.slots.push(Slot {
+            key_hash: hash,
+            body: body.clone(),
+            prepared: prepared.clone(),
+            last_used: self.tick,
+        });
+        prepared
+    }
+
+    /// Cached bodies currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lookups served from the cache since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to assemble + predecode since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfl_riscv::{Instruction, Opcode, Reg};
+    use proptest::prelude::*;
+
+    fn asm_body(imm: i64) -> TestBody {
+        TestBody::Asm(vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, imm)])
+    }
+
+    #[test]
+    fn repeat_lookups_hit_and_share_the_image() {
+        let mut cache = PredecodeCache::new(4);
+        let body = asm_body(7);
+        let first = cache.prepare(&body);
+        let second = cache.prepare(&body);
+        assert!(Arc::ptr_eq(&first.image, &second.image));
+        assert!(Arc::ptr_eq(&first.program, &second.program));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mutated_body_never_hits_a_stale_entry() {
+        let mut cache = PredecodeCache::new(4);
+        let original = asm_body(1);
+        let prepared = cache.prepare(&original);
+        // Mutate the body the way the fuzzer's mutator would: same shape,
+        // different operand. The cache must miss and re-lower.
+        let mutated = asm_body(2);
+        let reprepared = cache.prepare(&mutated);
+        assert!(!Arc::ptr_eq(&prepared.program, &reprepared.program));
+        assert_ne!(prepared.program.words, reprepared.program.words);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        // The words variant of the same instruction is a distinct key too.
+        let as_words = TestBody::Words(vec![
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 2).encode()
+        ]);
+        cache.prepare(&as_words);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_least_recently_used_entry() {
+        let mut cache = PredecodeCache::new(2);
+        let (a, b, c) = (asm_body(1), asm_body(2), asm_body(3));
+        cache.prepare(&a);
+        cache.prepare(&b);
+        cache.prepare(&a); // a is now more recent than b
+        cache.prepare(&c); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        cache.prepare(&a);
+        assert_eq!(cache.hits(), 2, "a survived the eviction");
+        cache.prepare(&b);
+        assert_eq!(cache.misses(), 4, "b was evicted and re-lowered");
+    }
+
+    #[test]
+    fn eviction_preserves_determinism_of_the_lowering() {
+        // A body lowered, evicted, and re-lowered yields a bit-identical
+        // program and image.
+        let mut cache = PredecodeCache::new(1);
+        let body = asm_body(5);
+        let first = cache.prepare(&body);
+        cache.prepare(&asm_body(6)); // evicts `body`
+        let relowered = cache.prepare(&body);
+        assert!(!Arc::ptr_eq(&first.image, &relowered.image));
+        assert_eq!(first.program.words, relowered.program.words);
+        assert_eq!(*first.image, *relowered.image);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut cache = PredecodeCache::new(3);
+        for imm in 0..32 {
+            cache.prepare(&asm_body(imm));
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(cache.misses(), 32);
+    }
+
+    proptest! {
+        #[test]
+        fn cache_is_transparent_for_any_word_body(seed in any::<u64>(), len in 0usize..16) {
+            // Whatever (possibly illegal) words the body holds, the cached
+            // lowering equals a fresh one.
+            let mut state = seed | 1;
+            let words: Vec<u32> = (0..len).map(|_| {
+                state = state.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(1);
+                (state >> 32) as u32
+            }).collect();
+            let body = TestBody::Words(words.clone());
+            let mut cache = PredecodeCache::new(2);
+            let via_cache = cache.prepare(&body);
+            let fresh = PreparedCase::new(Program::assemble_raw(&words));
+            prop_assert_eq!(&via_cache.program.words, &fresh.program.words);
+            prop_assert_eq!(&*via_cache.image, &*fresh.image);
+            let again = cache.prepare(&body);
+            prop_assert!(Arc::ptr_eq(&via_cache.image, &again.image));
+        }
+    }
+}

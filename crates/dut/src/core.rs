@@ -504,6 +504,43 @@ impl Dut {
         max_steps: u64,
         quirks: hfl_grm::cpu::Quirks,
     ) -> DutResult {
+        self.run_inner(program, None, max_steps, quirks)
+    }
+
+    /// Runs one test case dispatching over a predecoded image of
+    /// `program`, skipping the per-step fetch+decode. Coverage, trace and
+    /// architectural results are bit-identical to [`Dut::run_program`]:
+    /// the micro-architectural overlay consumes every [`StepInfo`] either
+    /// way (so unlike the GRM there is no superinstruction block path
+    /// here — the win is the fetch/decode elimination).
+    pub fn run_predecoded(
+        &mut self,
+        program: &Program,
+        image: &hfl_grm::PredecodedProgram,
+        max_steps: u64,
+    ) -> DutResult {
+        let quirks = bugs::quirks_for(self.config.kind);
+        self.run_predecoded_with_quirks(program, image, max_steps, quirks)
+    }
+
+    /// [`Dut::run_predecoded`] with an explicit defect configuration.
+    pub fn run_predecoded_with_quirks(
+        &mut self,
+        program: &Program,
+        image: &hfl_grm::PredecodedProgram,
+        max_steps: u64,
+        quirks: hfl_grm::cpu::Quirks,
+    ) -> DutResult {
+        self.run_inner(program, Some(image), max_steps, quirks)
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        image: Option<&hfl_grm::PredecodedProgram>,
+        max_steps: u64,
+        quirks: hfl_grm::cpu::Quirks,
+    ) -> DutResult {
         let mut cpu = Cpu::with_quirks(quirks);
         cpu.load_program(program);
         let mut micro = match self.micro.take() {
@@ -523,7 +560,10 @@ impl Dut {
                 halt = HaltReason::StepBudget;
                 break;
             }
-            let info = cpu.step();
+            let info = match image {
+                Some(image) => cpu.step_predecoded(image),
+                None => cpu.step(),
+            };
             if let StepOutcome::Halted(reason) = info.outcome {
                 halt = reason;
                 break;

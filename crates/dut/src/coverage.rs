@@ -263,6 +263,24 @@ impl CoverageSnapshot {
         self.bits.iter().zip(&other.bits).any(|(a, b)| b & !a != 0)
     }
 
+    /// Unions a raw bitmap row into this snapshot and returns the number
+    /// of newly-set bits — one fused pass over the words, equivalent to
+    /// `would_grow` + `union_with` + two `count()` calls. This is the
+    /// accumulation primitive for the batched (structure-of-arrays)
+    /// per-round coverage merge.
+    ///
+    /// # Panics
+    /// Panics if `row` has a different word count than this snapshot.
+    pub fn union_counting(&mut self, row: &[u64]) -> usize {
+        assert_eq!(self.bits.len(), row.len(), "snapshot size mismatch");
+        let mut newly = 0usize;
+        for (a, b) in self.bits.iter_mut().zip(row) {
+            newly += (b & !*a).count_ones() as usize;
+            *a |= b;
+        }
+        newly
+    }
+
     /// Iterates over hit point ids.
     pub fn iter_hits(&self) -> impl Iterator<Item = PointId> + '_ {
         (0..self.len)
@@ -491,6 +509,27 @@ mod tests {
             }
             // `would_grow` agrees with the union's count.
             prop_assert_eq!(a.would_grow(&b), u.count() > a.count());
+        }
+
+        #[test]
+        fn union_counting_equals_the_three_pass_computation(
+            len in 1usize..=100,
+            a0 in any::<u64>(), a1 in any::<u64>(),
+            b0 in any::<u64>(), b1 in any::<u64>(),
+        ) {
+            let a = snapshot(len, [a0, a1]);
+            let b = snapshot(len, [b0, b1]);
+            // Reference: the legacy would_grow/union_with/count sequence.
+            let before = a.count();
+            let gained = a.would_grow(&b);
+            let reference = union(&a, &b);
+            let gained_bits = reference.count() - before;
+            // Fused: one pass over the raw row.
+            let mut fused = a.clone();
+            let newly = fused.union_counting(b.words());
+            prop_assert_eq!(&fused, &reference);
+            prop_assert_eq!(newly, gained_bits);
+            prop_assert_eq!(newly > 0, gained);
         }
     }
 }

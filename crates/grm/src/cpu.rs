@@ -8,8 +8,12 @@ use crate::csrfile::{CounterWrite, CsrFile};
 use crate::fpu;
 use crate::mem::Memory;
 use crate::pmp::AccessKind;
+use crate::predecode::PredecodedProgram;
 use crate::program::Program;
 use crate::trace::{MemOp, Trace, TraceEntry, Trap};
+
+/// One dirty bit per word of the executable window (1024 words).
+const DIRTY_WORDS: usize = crate::predecode::WINDOW_WORDS / 64;
 
 /// Architectural behaviour deviations, used by the DUT to inject the
 /// paper's vulnerabilities (V1–V4) and the previously-known bug catalogue.
@@ -140,6 +144,12 @@ pub struct Cpu {
     pub trace_enabled: bool,
     halt_pc: u64,
     reservation: Option<u64>,
+    /// Dirty bits over the executable window: words overwritten by stores
+    /// since [`Cpu::load_program`] (self-modifying code). The predecoded
+    /// dispatch falls back to live fetch+decode for dirty words, since the
+    /// predecoded image no longer matches memory there.
+    dirty_code: [u64; DIRTY_WORDS],
+    dirty_code_any: bool,
 }
 
 impl Default for Cpu {
@@ -176,6 +186,8 @@ impl Cpu {
             trace_enabled: true,
             halt_pc: mem_map::CODE_BASE,
             reservation: None,
+            dirty_code: [0; DIRTY_WORDS],
+            dirty_code_any: false,
         }
     }
 
@@ -203,6 +215,8 @@ impl Cpu {
         }
         self.pc = mem_map::CODE_BASE;
         self.halt_pc = program.halt_pc;
+        self.dirty_code = [0; DIRTY_WORDS];
+        self.dirty_code_any = false;
     }
 
     /// The configured halt pc.
@@ -294,48 +308,95 @@ impl Cpu {
             }
         };
         info.word = word;
-        // Decode.
-        let inst = match decode(word) {
-            Ok(i) => i,
-            Err(_) => {
-                self.take_trap(
-                    &mut info,
-                    Trap {
-                        cause: cause::ILLEGAL_INSTRUCTION,
-                        tval: u64::from(word),
-                    },
-                );
-                return info;
-            }
+        self.dispatch(decode(word).ok(), info)
+    }
+
+    /// Executes one instruction, fetching and decoding from a predecoded
+    /// image instead of memory.
+    ///
+    /// Behaviour is bit-identical to [`Cpu::step`] provided `image` was
+    /// built from the program loaded into this (then-fresh) CPU: window
+    /// words overwritten by stores since [`Cpu::load_program`] are tracked
+    /// and re-fetched from live memory, and everything after the fetch
+    /// goes through the same dispatch code as `step`.
+    pub fn step_predecoded(&mut self, image: &PredecodedProgram) -> StepInfo {
+        let pc = self.pc;
+        let mut info = StepInfo {
+            pc,
+            word: 0,
+            inst: None,
+            outcome: StepOutcome::Retired,
+            branch: None,
+            mem: None,
+            rd_write: None,
+            fp_flags: 0,
+            fp_unboxed_input: false,
+        };
+        // Halt checks.
+        if pc == self.halt_pc {
+            info.outcome = StepOutcome::Halted(HaltReason::ReachedHaltPc);
+            return info;
+        }
+        let executable = (mem_map::CODE_BASE..mem_map::DATA_BASE).contains(&pc);
+        if !executable {
+            info.outcome = StepOutcome::Halted(HaltReason::OutOfCode(pc));
+            return info;
+        }
+        if !pc.is_multiple_of(4) {
+            self.take_trap(
+                &mut info,
+                Trap {
+                    cause: cause::MISALIGNED_FETCH,
+                    tval: pc,
+                },
+            );
+            return info;
+        }
+        if !self.check_pmp(pc, AccessKind::Fetch) {
+            self.take_trap(
+                &mut info,
+                Trap {
+                    cause: cause::FETCH_ACCESS,
+                    tval: pc,
+                },
+            );
+            return info;
+        }
+        let index = ((pc - mem_map::CODE_BASE) / 4) as usize;
+        if self.is_code_dirty(index) {
+            // Self-modified word: the image is stale here, fetch live.
+            // The window is always inside RAM, so the read cannot fault.
+            let word = self.mem.read_u32(pc).expect("window is in RAM");
+            info.word = word;
+            return self.dispatch(decode(word).ok(), info);
+        }
+        let op = image.op(index);
+        info.word = op.word;
+        self.dispatch(op.inst, info)
+    }
+
+    /// Shared tail of the step paths: execute the (possibly illegal)
+    /// decoded instruction, then retire, trap or halt.
+    fn dispatch(&mut self, inst: Option<Instruction>, mut info: StepInfo) -> StepInfo {
+        let Some(inst) = inst else {
+            let tval = u64::from(info.word);
+            self.take_trap(
+                &mut info,
+                Trap {
+                    cause: cause::ILLEGAL_INSTRUCTION,
+                    tval,
+                },
+            );
+            return info;
         };
         info.inst = Some(inst);
-        // Execute.
         let exec = self.execute(inst, &mut info);
         match exec {
             Exec::Next | Exec::Jump(_) => {
-                // The instruction retires: both counters advance. Trapped
-                // instructions do not retire, so they only cost a cycle
-                // (inside `take_trap`).
-                self.cycle = self.cycle.wrapping_add(1);
-                self.instret = self.instret.wrapping_add(1);
-                if self.quirks.minstret_double_counts_div
-                    && matches!(
-                        inst.opcode,
-                        Opcode::Div
-                            | Opcode::Divu
-                            | Opcode::Rem
-                            | Opcode::Remu
-                            | Opcode::Divw
-                            | Opcode::Divuw
-                            | Opcode::Remw
-                            | Opcode::Remuw
-                    )
-                {
-                    self.instret = self.instret.wrapping_add(1);
-                }
+                self.retire(inst.opcode);
                 self.pc = match exec {
                     Exec::Jump(target) => target,
-                    _ => pc + 4,
+                    _ => info.pc + 4,
                 };
             }
             Exec::Trap(trap) => {
@@ -350,6 +411,47 @@ impl Cpu {
         }
         self.record(&info);
         info
+    }
+
+    /// Advances the counters for a retiring instruction. Trapped
+    /// instructions do not retire, so they only cost a cycle (inside
+    /// `take_trap`).
+    fn retire(&mut self, opcode: Opcode) {
+        self.cycle = self.cycle.wrapping_add(1);
+        self.instret = self.instret.wrapping_add(1);
+        if self.quirks.minstret_double_counts_div
+            && matches!(
+                opcode,
+                Opcode::Div
+                    | Opcode::Divu
+                    | Opcode::Rem
+                    | Opcode::Remu
+                    | Opcode::Divw
+                    | Opcode::Divuw
+                    | Opcode::Remw
+                    | Opcode::Remuw
+            )
+        {
+            self.instret = self.instret.wrapping_add(1);
+        }
+    }
+
+    fn is_code_dirty(&self, index: usize) -> bool {
+        self.dirty_code_any && self.dirty_code[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Marks executable-window words overlapped by a store as dirty.
+    fn mark_code_dirty(&mut self, addr: u64, size: u8) {
+        let end = addr + u64::from(size);
+        if end <= mem_map::CODE_BASE || addr >= mem_map::DATA_BASE {
+            return;
+        }
+        let first = (addr.max(mem_map::CODE_BASE) - mem_map::CODE_BASE) / 4;
+        let last = (end.min(mem_map::DATA_BASE) - 1 - mem_map::CODE_BASE) / 4;
+        for word in first..=last {
+            self.dirty_code[(word / 64) as usize] |= 1 << (word % 64);
+        }
+        self.dirty_code_any = true;
     }
 
     fn record(&mut self, info: &StepInfo) {
@@ -409,6 +511,80 @@ impl Cpu {
                 _ => steps += 1,
             }
         }
+    }
+
+    /// Runs until halt or until `max_steps` instructions retire,
+    /// dispatching over `image` instead of per-step fetch+decode, with a
+    /// superinstruction fast path for straight-line blocks.
+    ///
+    /// Bit-identical to [`Cpu::run`] on the same freshly-loaded program
+    /// (see [`Cpu::step_predecoded`] for the conditions). The block fast
+    /// path only engages while no code word has been self-modified and no
+    /// PMP entry is armed — straight-line ops can change neither, so the
+    /// gate cannot go stale mid-block.
+    pub fn run_predecoded(&mut self, image: &PredecodedProgram, max_steps: u64) -> RunResult {
+        debug_assert_eq!(
+            image.halt_pc(),
+            self.halt_pc,
+            "image was built for a different program"
+        );
+        let mut steps = 0u64;
+        loop {
+            if steps >= max_steps {
+                return RunResult {
+                    reason: HaltReason::StepBudget,
+                    steps,
+                };
+            }
+            if !self.dirty_code_any && !self.csrs.pmp.any_active() {
+                let pc = self.pc;
+                if pc != self.halt_pc
+                    && (mem_map::CODE_BASE..mem_map::DATA_BASE).contains(&pc)
+                    && pc.is_multiple_of(4)
+                {
+                    let index = ((pc - mem_map::CODE_BASE) / 4) as usize;
+                    let run = u64::from(image.straight_len(index)).min(max_steps - steps);
+                    if run >= 2 {
+                        steps += self.run_straight(image, index, run);
+                        continue;
+                    }
+                }
+            }
+            let info = self.step_predecoded(image);
+            match info.outcome {
+                StepOutcome::Halted(reason) => return RunResult { reason, steps },
+                _ => steps += 1,
+            }
+        }
+    }
+
+    /// Retires `count` straight-line ops starting at window word `index`
+    /// without re-checking halt/fetch conditions between them. The caller
+    /// guarantees the run is within a straight-line block ([`
+    /// PredecodedProgram::straight_len`]), so every op decodes, executes
+    /// to a plain fall-through, and stays short of the halt pc.
+    fn run_straight(&mut self, image: &PredecodedProgram, index: usize, count: u64) -> u64 {
+        for i in 0..count as usize {
+            let op = image.op(index + i);
+            let inst = op.inst.expect("straight-line slots decode");
+            let mut info = StepInfo {
+                pc: self.pc,
+                word: op.word,
+                inst: Some(inst),
+                outcome: StepOutcome::Retired,
+                branch: None,
+                mem: None,
+                rd_write: None,
+                fp_flags: 0,
+                fp_unboxed_input: false,
+            };
+            let exec = self.execute(inst, &mut info);
+            debug_assert!(matches!(exec, Exec::Next), "straight-line ops fall through");
+            self.retire(inst.opcode);
+            self.pc += 4;
+            self.record(&info);
+        }
+        count
     }
 
     #[allow(clippy::too_many_lines)]
@@ -954,6 +1130,7 @@ impl Cpu {
         };
         match res {
             Ok(()) => {
+                self.mark_code_dirty(addr, size);
                 info.mem = Some(MemOp {
                     addr,
                     size,
@@ -1882,5 +2059,164 @@ mod bitmanip_tests {
         assert_eq!(cpu.x[11], 20);
         assert_eq!(cpu.x[12], 8);
         assert_eq!(cpu.x[13], 4);
+    }
+
+    /// Runs `body` through both dispatch paths under `quirks` and asserts
+    /// bit-identical results: halt reason, step count, registers, pc,
+    /// counters, CSRs and the full trace.
+    fn assert_predecoded_matches(body: &[Instruction], quirks: Quirks, max_steps: u64) {
+        let program = Program::assemble(body);
+        let image = PredecodedProgram::new(&program);
+
+        let mut legacy = Cpu::with_quirks(quirks.clone());
+        legacy.load_program(&program);
+        let legacy_result = legacy.run(max_steps);
+
+        let mut fast = Cpu::with_quirks(quirks);
+        fast.load_program(&program);
+        let fast_result = fast.run_predecoded(&image, max_steps);
+
+        assert_eq!(legacy_result, fast_result, "run result diverged");
+        assert_eq!(legacy.x, fast.x, "integer registers diverged");
+        assert_eq!(legacy.f, fast.f, "fp registers diverged");
+        assert_eq!(legacy.pc, fast.pc, "pc diverged");
+        assert_eq!(legacy.cycle, fast.cycle, "cycle diverged");
+        assert_eq!(legacy.instret, fast.instret, "instret diverged");
+        assert_eq!(legacy.csrs, fast.csrs, "CSR state diverged");
+        assert_eq!(legacy.trace.entries, fast.trace.entries, "trace diverged");
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_on_straight_line_code() {
+        let mut body = emit_li64(Reg::X10, 0xDEAD_BEEF_CAFE_F00D);
+        body.push(Instruction::r(Opcode::Mul, Reg::X11, Reg::X10, Reg::X10));
+        body.push(Instruction::r(Opcode::Div, Reg::X12, Reg::X11, Reg::X10));
+        body.push(Instruction::i(Opcode::Addiw, Reg::X13, Reg::X12, -9));
+        assert_predecoded_matches(&body, Quirks::default(), 100_000);
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_on_branches_and_traps() {
+        let body = [
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 3),
+            Instruction::b(Opcode::Bne, Reg::X10, Reg::X0, 8),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 111),
+            Instruction::nullary(Opcode::Ecall),
+            Instruction::nullary(Opcode::Sret), // illegal → trap
+            Instruction::i(Opcode::Lw, Reg::X12, Reg::X5, 1), // misaligned
+            Instruction::s(Opcode::Sd, Reg::X10, 16, Reg::X5),
+            Instruction::i(Opcode::Ld, Reg::X13, Reg::X5, 16),
+        ];
+        assert_predecoded_matches(&body, Quirks::default(), 100_000);
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_under_quirks() {
+        let quirks = Quirks {
+            minstret_double_counts_div: true,
+            addiw_no_sign_extend: true,
+            mulhsu_sign_bug: true,
+            ecall_reports_user_cause: true,
+            ..Quirks::default()
+        };
+        let mut body = emit_li64(Reg::X10, (-7i64) as u64);
+        body.push(Instruction::r(Opcode::Div, Reg::X11, Reg::X10, Reg::X10));
+        body.push(Instruction::r(Opcode::Mulhsu, Reg::X12, Reg::X10, Reg::X10));
+        body.push(Instruction::i(Opcode::Addiw, Reg::X13, Reg::X10, -1));
+        body.push(Instruction::nullary(Opcode::Ecall));
+        assert_predecoded_matches(&body, quirks, 100_000);
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_on_infinite_loop_budget() {
+        // A tight self-loop exhausts the budget identically in both paths.
+        let body = [Instruction::j(Opcode::Jal, Reg::X0, 0)];
+        assert_predecoded_matches(&body, Quirks::default(), 500);
+        // And a straight-line body longer than the budget stops mid-block.
+        let long: Vec<Instruction> = (0..64)
+            .map(|i| Instruction::i(Opcode::Addi, Reg::X10, Reg::X10, i))
+            .collect();
+        assert_predecoded_matches(&long, Quirks::default(), 20);
+    }
+
+    #[test]
+    fn predecoded_run_refetches_self_modified_code() {
+        // Overwrite a later code word (originally `addi x10, x0, 99`) with
+        // `addi x10, x0, 7` at runtime; both paths must execute the new
+        // word. 0x0070_0513 == addi x10, x0, 7.
+        let patch = Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 7).encode();
+        assert_eq!(patch, 0x0070_0513);
+        let body = [
+            Instruction::u(Opcode::Auipc, Reg::X6, 0), // x6 = this pc
+            Instruction::u(Opcode::Lui, Reg::X7, 0x700),
+            Instruction::i(Opcode::Addi, Reg::X7, Reg::X7, 0x513),
+            Instruction::s(Opcode::Sw, Reg::X7, 16, Reg::X6), // patch slot 4
+            Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 99), // patched
+        ];
+        assert_predecoded_matches(&body, Quirks::default(), 100_000);
+        // And confirm the patch actually took effect.
+        let program = Program::assemble(&body);
+        let image = PredecodedProgram::new(&program);
+        let mut cpu = Cpu::new();
+        cpu.load_program(&program);
+        cpu.run_predecoded(&image, 100_000);
+        assert_eq!(cpu.x[10], 7, "self-modified word must be refetched");
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_with_armed_pmp() {
+        // Arm a locked NAPOT entry over a data region, then touch it: the
+        // PMP fetch/load checks must behave identically (and the armed PMP
+        // must disable the block fast path without changing results).
+        let mut body = emit_li64(Reg::X10, (0x8000_4000u64 >> 2) | ((0x1000 >> 3) - 1));
+        body.push(Instruction::csr_reg(
+            Opcode::Csrrw,
+            Reg::X0,
+            Csr::PMPADDR0,
+            Reg::X10,
+        ));
+        body.extend(emit_li64(Reg::X11, 0x98)); // L | NAPOT, no perms
+        body.push(Instruction::csr_reg(
+            Opcode::Csrrw,
+            Reg::X0,
+            Csr::PMPCFG0,
+            Reg::X11,
+        ));
+        body.extend(emit_li64(Reg::X12, 0x8000_4008));
+        body.push(Instruction::i(Opcode::Ld, Reg::X13, Reg::X12, 0)); // denied
+        body.push(Instruction::i(Opcode::Addi, Reg::X14, Reg::X0, 1));
+        assert_predecoded_matches(&body, Quirks::default(), 100_000);
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_on_illegal_and_raw_words() {
+        // Raw garbage words trap as illegal instructions identically.
+        let program = Program::assemble_raw(&[0xFFFF_FFFF, 0x0000_0000, 0x0070_0513]);
+        let image = PredecodedProgram::new(&program);
+        let mut legacy = Cpu::new();
+        legacy.load_program(&program);
+        let legacy_result = legacy.run(1_000);
+        let mut fast = Cpu::new();
+        fast.load_program(&program);
+        let fast_result = fast.run_predecoded(&image, 1_000);
+        assert_eq!(legacy_result, fast_result);
+        assert_eq!(legacy.x, fast.x);
+        assert_eq!(legacy.trace.entries, fast.trace.entries);
+        assert_eq!(legacy.csrs, fast.csrs);
+    }
+
+    #[test]
+    fn predecoded_run_matches_legacy_on_v1_crash() {
+        // V1: a store into the executing cache line crashes the core. The
+        // crash happens before the write, so no dirty marking occurs.
+        let quirks = Quirks {
+            crash_on_store_to_fetch_line: Some(64),
+            ..Quirks::default()
+        };
+        let body = [
+            Instruction::u(Opcode::Auipc, Reg::X6, 0),
+            Instruction::s(Opcode::Sw, Reg::X0, 8, Reg::X6),
+        ];
+        assert_predecoded_matches(&body, quirks, 100_000);
     }
 }

@@ -15,7 +15,7 @@ pub struct IllegalCsr;
 /// supervisor CSRs — the cores are modelled machine-only — and raw
 /// addresses like the paper's `0x453`) raises an illegal-instruction trap,
 /// as the privileged spec requires.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrFile {
     /// `mstatus` (implemented bits only).
     pub mstatus: u64,

@@ -34,6 +34,7 @@ pub mod csrfile;
 pub mod fpu;
 pub mod mem;
 pub mod pmp;
+pub mod predecode;
 pub mod program;
 pub mod trace;
 
@@ -41,6 +42,7 @@ pub use cpu::{Cpu, HaltReason, RunResult};
 pub use csrfile::CsrFile;
 pub use mem::Memory;
 pub use pmp::Pmp;
+pub use predecode::PredecodedProgram;
 pub use program::Program;
 pub use trace::{ArchSnapshot, MemOp, Trace, TraceEntry, Trap};
 

@@ -46,8 +46,10 @@ impl core::fmt::Display for AccessFault {
 
 impl std::error::Error for AccessFault {}
 
-/// Deterministic background pattern for untouched bytes.
-fn background_byte(addr: u64) -> u8 {
+/// Deterministic background pattern for untouched bytes (shared with the
+/// predecoder, which lowers the whole executable window — including bytes
+/// no program word covers — ahead of execution).
+pub(crate) fn background_byte(addr: u64) -> u8 {
     // A cheap address hash: distinct per byte, stable across runs.
     let x = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ((x >> 56) ^ (x >> 32) ^ x) as u8

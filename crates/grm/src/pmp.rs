@@ -161,6 +161,16 @@ impl Pmp {
         }
     }
 
+    /// Whether any entry is enabled (mode other than OFF). In the reset
+    /// state this is `false`, and [`Pmp::allows`] then holds for every
+    /// address and access kind — the fast path the predecoded dispatch
+    /// uses to skip per-fetch PMP checks until a `pmpcfg` write arms an
+    /// entry.
+    #[must_use]
+    pub fn any_active(&self) -> bool {
+        (0..8).any(|i| self.mode(i) != PmpMode::Off)
+    }
+
     /// Finds the lowest-numbered entry matching `addr`, returning
     /// `(index, cfg byte)`.
     #[must_use]
@@ -201,6 +211,19 @@ mod tests {
     fn napot(base: u64, size: u64) -> u64 {
         assert!(size.is_power_of_two() && size >= 8);
         (base >> 2) | ((size >> 3) - 1)
+    }
+
+    #[test]
+    fn any_active_tracks_enabled_entries() {
+        let mut p = Pmp::new();
+        assert!(!p.any_active(), "reset state has every entry off");
+        for addr in [0, 0x8000_0000, u64::MAX] {
+            for kind in [AccessKind::Fetch, AccessKind::Load, AccessKind::Store] {
+                assert!(p.allows(addr, kind), "inactive PMP allows everything");
+            }
+        }
+        p.write_cfg0(0x18); // NAPOT, unlocked
+        assert!(p.any_active());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod format;
 pub mod imm;
 pub mod instruction;
 pub mod opcode;
+pub mod predecode;
 pub mod reg;
 pub mod vocab;
 
@@ -42,4 +43,5 @@ pub use format::{AddrKind, Format, ImmKind, OperandMask, OperandSpec, RegClass};
 pub use imm::legalize_imm;
 pub use instruction::Instruction;
 pub use opcode::{Extension, Opcode};
+pub use predecode::PredecodedOp;
 pub use reg::{FReg, Reg};

@@ -170,3 +170,71 @@ fn jsonl_log_replays_the_coverage_curve() {
     assert_eq!(result.metrics.counter("campaign.cases"), 40);
     assert_eq!(result.metrics.counter("campaign.rounds"), 10);
 }
+
+/// The predecode cache surfaces lifetime hit/miss counters on the
+/// metrics snapshot. At one thread the worker schedule is fixed, so the
+/// split itself is deterministic — and whatever the schedule, the totals
+/// must account for exactly one cache lookup per executed case.
+#[test]
+fn predecode_cache_metrics_ride_on_the_snapshot() {
+    let run = || {
+        let mut fuzzer = DifuzzRtlFuzzer::new(5, 12);
+        let spec = CampaignSpec::builder(CoreKind::Rocket, config())
+            .threads(1)
+            .build()
+            .expect("valid spec");
+        let result = run_campaign(&mut fuzzer, &spec).expect("campaign runs");
+        (
+            result.metrics.counter("sim.predecode.hits"),
+            result.metrics.counter("sim.predecode.misses"),
+        )
+    };
+    let (hits, misses) = run();
+    assert_eq!(hits + misses, 40, "one cache lookup per executed case");
+    assert!(misses >= 1, "first sight of a body must miss");
+    assert_eq!((hits, misses), run(), "split is deterministic at 1 thread");
+}
+
+/// Guard for interpreter changes: a pinned campaign spec must replay the
+/// checked-in golden non-timing JSONL stream byte for byte. The golden
+/// file was produced by the original per-step fetch+decode interpreters,
+/// so any engine swap (predecode, dispatch, batching) that perturbs a
+/// single event — coverage gained, retired counts, mismatch signatures —
+/// fails here before it can corrupt a campaign.
+///
+/// Regenerate deliberately with `HFL_UPDATE_GOLDEN=1 cargo test -p hfl
+/// --test observability golden_event_stream`.
+#[test]
+fn golden_event_stream_replays_byte_for_byte() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/campaign_events.jsonl"
+    );
+    let ring = Arc::new(RingSink::new(100_000));
+    let mut fuzzer = DifuzzRtlFuzzer::new(1311, 10);
+    let spec = CampaignSpec::builder(CoreKind::Cva6, CampaignConfig::quick(30).with_batch(6))
+        .threads(2)
+        .sink(SinkHandle::new(ring.clone()))
+        .build()
+        .expect("valid spec");
+    run_campaign(&mut fuzzer, &spec).expect("campaign runs");
+    let got: String = non_timing(&ring.events())
+        .iter()
+        .map(|e| e.to_json() + "\n")
+        .collect();
+    if std::env::var("HFL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).expect("write golden stream");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden stream exists (see test docs)");
+    let want_lines: Vec<&str> = want.lines().collect();
+    let got_lines: Vec<&str> = got.lines().collect();
+    assert_eq!(
+        got_lines.len(),
+        want_lines.len(),
+        "event count diverged from the golden stream"
+    );
+    for (i, (g, w)) in got_lines.iter().zip(&want_lines).enumerate() {
+        assert_eq!(g, w, "golden stream diverged at event {i}");
+    }
+}
