@@ -11,7 +11,10 @@
 //!     [--members difuzz:5,thehuzz:9] [--core rocket|boom|cva6] \
 //!     [--epochs N] [--cases-per-epoch N] [--batch N] [--threads N] \
 //!     [--log fleet.jsonl] [--checkpoint-dir DIR] [--checkpoint-every E] \
-//!     [--resume] [--compare]
+//!     [--resume] [--compare] \
+//!     [--distributed] [--worker-bin path/to/fleet_worker] \
+//!     [--fault-worker I --fault-die-epoch N] \
+//!     [--fault-worker I --fault-sleep-epoch N --fault-sleep-ms M]
 //! ```
 //!
 //! `--members` is a comma-separated list of `fuzzer:seed` pairs
@@ -20,41 +23,36 @@
 //! continues from `fleet.ckpt` there — the CI job kills the first run
 //! partway and diffs the resumed run's final line against an
 //! uninterrupted one.
+//!
+//! `--distributed` runs the fleet over the `hfl::wire` protocol instead
+//! of in process: with `--worker-bin` each member is a separate
+//! `fleet_worker` process (what the CI `fleet-dist-smoke` job SIGKILLs
+//! mid-epoch), without it protocol-identical worker threads. The final
+//! greppable line must be bit-identical either way. The `--fault-*`
+//! flags inject a first-launch crash or stall into one worker to
+//! exercise respawn and quorum/deadline epoch close.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use hfl::fleet::{run_fleet, FleetConfig, FleetMember, FleetSpec};
-use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl::fleet_dist::{
+    run_fleet_dist, DistConfig, ProcessLauncher, ThreadLauncher, WorkerFault, WorkerLauncher,
+};
 use hfl::obs::{read_jsonl, replay_fleet, JsonlSink, SinkHandle};
+use hfl::spec::{parse_core, FuzzerKind, MemberSpec};
+use hfl::FleetResult;
 use hfl_bench::{arg_num, arg_value};
 use hfl_dut::CoreKind;
-
-fn make_fuzzer(name: &str, seed: u64) -> Box<dyn Fuzzer> {
-    match name {
-        "difuzz" => Box::new(DifuzzRtlFuzzer::new(seed, 16)),
-        "thehuzz" => Box::new(TheHuzzFuzzer::new(seed, 16)),
-        "cascade" => Box::new(CascadeFuzzer::new(seed, 60)),
-        "hfl" => {
-            let mut cfg = HflConfig::small().with_seed(seed);
-            cfg.generator.hidden = 16;
-            cfg.predictor.hidden = 16;
-            cfg.test_len = 6;
-            Box::new(HflFuzzer::new(cfg))
-        }
-        other => fail(&format!("unknown fuzzer {other:?} in --members")),
-    }
-}
 
 fn fail(msg: &str) -> ! {
     eprintln!("fleet: FAIL: {msg}");
     std::process::exit(1);
 }
 
-/// Parses `--members difuzz:5,thehuzz:9` into `(fuzzer, seed)` pairs.
-fn parse_members(spec: &str) -> Vec<(String, u64)> {
+/// Parses `--members difuzz:5,thehuzz:9` into [`MemberSpec`]s on `core`.
+fn parse_members(spec: &str, core: CoreKind) -> Vec<MemberSpec> {
     spec.split(',')
         .map(|pair| {
             let Some((name, seed)) = pair.split_once(':') else {
@@ -63,20 +61,64 @@ fn parse_members(spec: &str) -> Vec<(String, u64)> {
             let seed = seed
                 .parse::<u64>()
                 .unwrap_or_else(|_| fail(&format!("--members seed {seed:?} is not a number")));
-            (name.to_owned(), seed)
+            let kind =
+                FuzzerKind::parse(name).unwrap_or_else(|err| fail(&format!("--members: {err}")));
+            MemberSpec::new(kind, seed, core)
         })
         .collect()
+}
+
+/// The `--fault-*` flags as a [`WorkerFault`] plus its target index.
+fn parse_fault(args: &[String]) -> Option<(usize, WorkerFault)> {
+    let worker: Option<usize> = arg_value(args, "--fault-worker").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("--fault-worker {v:?} is not an index")))
+    });
+    let fault = WorkerFault {
+        die_at_epoch: arg_value(args, "--fault-die-epoch").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("--fault-die-epoch {v:?} is not a number")))
+        }),
+        sleep_at_epoch: arg_value(args, "--fault-sleep-epoch").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("--fault-sleep-epoch {v:?} is not a number")))
+        }),
+        sleep_millis: arg_num(args, "--fault-sleep-ms", 2_000),
+    };
+    match (
+        worker,
+        fault.die_at_epoch.is_some() || fault.sleep_at_epoch.is_some(),
+    ) {
+        (Some(index), true) => Some((index, fault)),
+        (Some(_), false) => fail("--fault-worker needs --fault-die-epoch or --fault-sleep-epoch"),
+        (None, true) => fail("--fault-die-epoch/--fault-sleep-epoch need --fault-worker"),
+        (None, false) => None,
+    }
+}
+
+/// The fault flags a `fleet_worker` process re-parses on launch.
+fn fault_args(fault: &WorkerFault) -> Vec<String> {
+    let mut args = Vec::new();
+    if let Some(epoch) = fault.die_at_epoch {
+        args.push(String::from("--fault-die-epoch"));
+        args.push(epoch.to_string());
+    }
+    if let Some(epoch) = fault.sleep_at_epoch {
+        args.push(String::from("--fault-sleep-epoch"));
+        args.push(epoch.to_string());
+        args.push(String::from("--fault-sleep-ms"));
+        args.push(fault.sleep_millis.to_string());
+    }
+    args
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let members_spec =
         arg_value(&args, "--members").unwrap_or_else(|| "difuzz:7,cascade:1".to_owned());
-    let core = match arg_value(&args, "--core").as_deref() {
-        Some("boom") => CoreKind::Boom,
-        Some("cva6") => CoreKind::Cva6,
-        Some("rocket") | None => CoreKind::Rocket,
-        Some(other) => fail(&format!("--core {other}: unknown core")),
+    let core = match arg_value(&args, "--core") {
+        Some(name) => parse_core(&name).unwrap_or_else(|err| fail(&format!("--core: {err}"))),
+        None => CoreKind::Rocket,
     };
     let epochs: u64 = arg_num(&args, "--epochs", 4);
     let cases_per_epoch: u64 = arg_num(&args, "--cases-per-epoch", 24);
@@ -87,17 +129,17 @@ fn main() {
     let checkpoint_every: u64 = arg_num(&args, "--checkpoint-every", 1);
     let resume = args.iter().any(|a| a == "--resume");
     let compare = args.iter().any(|a| a == "--compare");
+    let worker_bin = arg_value(&args, "--worker-bin");
+    let distributed = args.iter().any(|a| a == "--distributed") || worker_bin.is_some();
+    let fault = parse_fault(&args);
+    if fault.is_some() && !distributed {
+        fail("--fault-worker needs --distributed");
+    }
 
-    let parsed = parse_members(&members_spec);
-    if parsed.is_empty() {
+    let specs = parse_members(&members_spec, core);
+    if specs.is_empty() {
         fail("--members is empty");
     }
-    let mut members: Vec<FleetMember> = parsed
-        .iter()
-        .map(|(name, seed)| {
-            FleetMember::new(format!("{name}-{seed}"), core, make_fuzzer(name, *seed))
-        })
-        .collect();
 
     let sink = match JsonlSink::create(&log) {
         Ok(sink) => SinkHandle::new(Arc::new(sink)),
@@ -119,9 +161,34 @@ fn main() {
     let spec = builder
         .build()
         .unwrap_or_else(|err| fail(&format!("invalid spec: {err}")));
-    let result = match run_fleet(&mut members, &spec) {
-        Ok(result) => result,
-        Err(err) => fail(&format!("fleet failed: {err}")),
+
+    let result: FleetResult = if distributed {
+        let mut launcher: Box<dyn WorkerLauncher> = match &worker_bin {
+            Some(bin) => {
+                let mut launcher = ProcessLauncher::new(bin);
+                if let Some((index, fault)) = &fault {
+                    launcher = launcher.with_first_launch_args(*index, fault_args(fault));
+                }
+                Box::new(launcher)
+            }
+            None => {
+                let mut launcher = ThreadLauncher::new();
+                if let Some((index, fault)) = &fault {
+                    launcher = launcher.with_fault(*index, *fault);
+                }
+                Box::new(launcher)
+            }
+        };
+        match run_fleet_dist(&specs, &spec, &DistConfig::default(), launcher.as_mut()) {
+            Ok(result) => result,
+            Err(err) => fail(&format!("distributed fleet failed: {err}")),
+        }
+    } else {
+        let mut members: Vec<FleetMember> = specs.iter().map(MemberSpec::build_member).collect();
+        match run_fleet(&mut members, &spec) {
+            Ok(result) => result,
+            Err(err) => fail(&format!("fleet failed: {err}")),
+        }
     };
     if let Some(err) = &result.sink_error {
         fail(&format!("telemetry sink failed: {err}"));
@@ -162,13 +229,17 @@ fn main() {
             ));
         }
     }
-    let per_member = replay.members.iter().filter(|m| m.member == 0).count();
-    if per_member != replay.epochs.len() {
-        fail(&format!(
-            "{} member-0 progress rows for {} epochs",
-            per_member,
-            replay.epochs.len()
-        ));
+    // A faulted worker may legitimately miss an epoch's progress row; only
+    // the healthy path insists on one row per member per epoch.
+    if fault.is_none() {
+        let per_member = replay.members.iter().filter(|m| m.member == 0).count();
+        if per_member != replay.epochs.len() {
+            fail(&format!(
+                "{} member-0 progress rows for {} epochs",
+                per_member,
+                replay.epochs.len()
+            ));
+        }
     }
     for name in [
         "fleet.sync.seconds",
@@ -185,8 +256,9 @@ fn main() {
         // Each member standalone, on the fleet's *total* budget.
         let total = epochs * cases_per_epoch;
         let mut best = (0usize, 0usize, 0usize, String::new());
-        for (name, seed) in &parsed {
-            let mut fuzzer = make_fuzzer(name, *seed);
+        for member in &specs {
+            let mut fuzzer = member.fuzzer.build(member.seed);
+            let name = member.display_name();
             let spec = CampaignSpec::builder(core, CampaignConfig::quick(total).with_batch(batch))
                 .threads(threads)
                 .build()
@@ -194,9 +266,9 @@ fn main() {
             let solo = run_campaign(fuzzer.as_mut(), &spec)
                 .unwrap_or_else(|err| fail(&format!("compare campaign failed: {err}")));
             let (c, l, f) = solo.final_counts();
-            println!("compare: {name}-{seed} solo on {total} cases: coverage ({c}, {l}, {f})");
+            println!("compare: {name} solo on {total} cases: coverage ({c}, {l}, {f})");
             if c + l + f > best.0 + best.1 + best.2 {
-                best = (c, l, f, format!("{name}-{seed}"));
+                best = (c, l, f, name);
             }
         }
         if mc + ml + mf < best.0 + best.1 + best.2 {
@@ -221,7 +293,8 @@ fn main() {
         result.corpus.stats().duplicates,
     );
     // Greppable by the CI resume-diff check: must be bit-identical across
-    // interrupted-and-resumed and uninterrupted runs.
+    // interrupted-and-resumed and uninterrupted runs, and across the
+    // in-process and distributed runtimes.
     println!(
         "final merged coverage ({mc}, {ml}, {mf}), {} unique signatures, {} cases",
         result

@@ -201,6 +201,8 @@ pub enum SpecError {
     /// A fleet's shared-corpus capacity was zero: every harvested case
     /// would be evicted on arrival.
     ZeroCorpusCapacity,
+    /// A fleet request named no members: nothing would run.
+    EmptyMembers,
 }
 
 impl fmt::Display for SpecError {
@@ -221,6 +223,7 @@ impl fmt::Display for SpecError {
             SpecError::ZeroCorpusCapacity => {
                 write!(f, "fleet shared-corpus capacity must be nonzero")
             }
+            SpecError::EmptyMembers => write!(f, "fleet \"members\" list is empty"),
         }
     }
 }
@@ -1195,11 +1198,16 @@ pub fn run_campaign(
 /// A case that grew its campaign's cumulative coverage, captured for the
 /// fleet's shared corpus: the decodable body plus the case's own (not
 /// cumulative) coverage snapshot, which is the dedup/distillation key.
-pub(crate) struct HarvestedCase {
+/// Public because it travels over the distributed fleet's wire protocol
+/// ([`crate::wire::Payload::EpochResult`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarvestedCase {
     /// 1-based case index within the harvesting member's campaign.
-    pub(crate) case: u64,
-    pub(crate) body: Vec<hfl_riscv::Instruction>,
-    pub(crate) coverage: CoverageSnapshot,
+    pub case: u64,
+    /// The decodable instructions of the test body.
+    pub body: Vec<hfl_riscv::Instruction>,
+    /// The case's own coverage snapshot.
+    pub coverage: CoverageSnapshot,
 }
 
 /// Runs exactly one campaign round against `pool`, advancing `state`:

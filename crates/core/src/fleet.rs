@@ -54,7 +54,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use hfl_dut::{CoreKind, CoverageKind, CoverageSnapshot};
+use hfl_dut::{CoreKind, CoverageKind, CoverageMap, CoverageSnapshot};
 use hfl_nn::persist::{
     corrupt, read_string, read_u32, read_u64, read_usize, write_string, write_u32, write_u64,
     write_usize, Codec, SnapshotReader, SnapshotWriter,
@@ -470,24 +470,28 @@ pub(crate) fn reallocate(total: u64, rates_milli: &[u64]) -> Vec<u64> {
 /// Computes the fleet's merged coverage sample: member cumulative
 /// bitmaps are unioned per core in member-index order (union is
 /// commutative and associative, so the grouping is only an
-/// implementation convenience), counted against the first pool of each
+/// implementation convenience), counted against the first map of each
 /// core, and signatures are deduplicated across all members.
-fn merged_sample(
+/// `cores[i]` and `maps[i]` describe member `i`; the distributed
+/// coordinator calls this with coordinator-side reference maps, the
+/// in-process fleet with its pools' maps — the result only depends on
+/// the member states.
+pub(crate) fn merged_sample(
     epoch: u64,
-    members: &[FleetMember],
+    cores: &[CoreKind],
     states: &[CampaignState],
-    pools: &[ExecPool],
+    maps: &[&CoverageMap],
 ) -> FleetSample {
     let mut groups: Vec<(CoreKind, usize, CoverageSnapshot)> = Vec::new();
-    for (index, member) in members.iter().enumerate() {
-        match groups.iter_mut().find(|(core, _, _)| *core == member.core) {
+    for (index, &core) in cores.iter().enumerate() {
+        match groups.iter_mut().find(|(c, _, _)| *c == core) {
             Some((_, _, union)) => union.union_with(&states[index].cumulative),
-            None => groups.push((member.core, index, states[index].cumulative.clone())),
+            None => groups.push((core, index, states[index].cumulative.clone())),
         }
     }
     let (mut condition, mut line, mut fsm) = (0usize, 0usize, 0usize);
-    for (_, pool_index, union) in &groups {
-        let map = pools[*pool_index].coverage_map();
+    for (_, map_index, union) in &groups {
+        let map = maps[*map_index];
         condition += union.count_of(map, CoverageKind::Condition);
         line += union.count_of(map, CoverageKind::Line);
         fsm += union.count_of(map, CoverageKind::Fsm);
@@ -506,13 +510,41 @@ fn merged_sample(
     }
 }
 
-/// Writes one atomic fleet snapshot (see `DESIGN.md` for the layout).
+/// A fleet member's identity as the checkpoint (and the wire protocol)
+/// sees it: core, display name and fuzzer name. The in-process fleet
+/// derives these from live [`FleetMember`]s, the distributed
+/// coordinator from `MemberSpec`s — both describe the same line-up, so
+/// their checkpoints are interchangeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MemberIdent {
+    pub(crate) core: CoreKind,
+    pub(crate) name: String,
+    pub(crate) fuzzer: String,
+}
+
+impl MemberIdent {
+    fn of(member: &FleetMember) -> MemberIdent {
+        MemberIdent {
+            core: member.core,
+            name: member.name.clone(),
+            fuzzer: member.fuzzer.name().to_owned(),
+        }
+    }
+}
+
+/// Writes one atomic fleet snapshot from already-serialised member
+/// parts (see `DESIGN.md` for the layout). `fuzzer_blobs[i]` is member
+/// `i`'s `Fuzzer::save_state` bytes — the distributed coordinator holds
+/// members in exactly this form, and the in-process fleet serialises
+/// its live fuzzers into it, so both paths produce byte-identical
+/// snapshots for the same fleet state.
 #[allow(clippy::too_many_arguments)]
-fn write_fleet_checkpoint(
+pub(crate) fn write_fleet_checkpoint_parts(
     policy: &CheckpointPolicy,
     spec: &FleetSpec,
-    members: &[FleetMember],
+    idents: &[MemberIdent],
     states: &[CampaignState],
+    fuzzer_blobs: &[Vec<u8>],
     corpus: &GlobalCorpus,
     budgets: &[u64],
     merged_curve: &[FleetSample],
@@ -528,11 +560,11 @@ fn write_fleet_checkpoint(
         write_u64(w, cfg.run.max_steps)?;
         write_u64(w, cfg.run.batch as u64)?;
         write_usize(w, spec.corpus_capacity())?;
-        write_usize(w, members.len())?;
-        for member in members {
-            write_u32(w, core_index(member.core))?;
-            write_string(w, &member.name)?;
-            write_string(w, member.fuzzer.name())?;
+        write_usize(w, idents.len())?;
+        for ident in idents {
+            write_u32(w, core_index(ident.core))?;
+            write_string(w, &ident.name)?;
+            write_string(w, &ident.fuzzer)?;
         }
         Ok(())
     })?;
@@ -557,15 +589,149 @@ fn write_fleet_checkpoint(
         }
         Ok(())
     })?;
-    for (index, (member, state)) in members.iter().zip(states).enumerate() {
+    for (index, (state, blob)) in states.iter().zip(fuzzer_blobs).enumerate() {
         snap.section(&format!("member{index}"), |w| {
             state.save(w)?;
-            member.fuzzer.save_state(w)
+            w.extend_from_slice(blob);
+            Ok(())
         })?;
     }
     snap.section("metrics", |w| write_metrics(w, &metrics.snapshot()))?;
     snap.write_atomic(&policy.fleet_snapshot_path())?;
     Ok(())
+}
+
+/// Writes one atomic fleet snapshot from live members.
+#[allow(clippy::too_many_arguments)]
+fn write_fleet_checkpoint(
+    policy: &CheckpointPolicy,
+    spec: &FleetSpec,
+    members: &[FleetMember],
+    states: &[CampaignState],
+    corpus: &GlobalCorpus,
+    budgets: &[u64],
+    merged_curve: &[FleetSample],
+    epoch: u64,
+    metrics: &Metrics,
+) -> Result<(), RunError> {
+    let idents: Vec<MemberIdent> = members.iter().map(MemberIdent::of).collect();
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(members.len());
+    for member in members {
+        let mut blob = Vec::new();
+        member.fuzzer.save_state(&mut blob)?;
+        blobs.push(blob);
+    }
+    write_fleet_checkpoint_parts(
+        policy,
+        spec,
+        &idents,
+        states,
+        &blobs,
+        corpus,
+        budgets,
+        merged_curve,
+        epoch,
+        metrics,
+    )
+}
+
+/// A fleet checkpoint's contents, decoded but with fuzzer state still
+/// serialised (the distributed coordinator ships those blobs to workers
+/// as-is; the in-process fleet feeds them to `Fuzzer::load_state`).
+pub(crate) struct RestoredFleet {
+    pub(crate) states: Vec<CampaignState>,
+    pub(crate) fuzzer_blobs: Vec<Vec<u8>>,
+    pub(crate) corpus: GlobalCorpus,
+    pub(crate) budgets: Vec<u64>,
+    pub(crate) merged_curve: Vec<FleetSample>,
+    pub(crate) epoch: u64,
+    pub(crate) metrics: Metrics,
+}
+
+/// Reads a fleet checkpoint, validating it against the spec and the
+/// expected member line-up.
+pub(crate) fn restore_fleet_checkpoint_parts(
+    path: &Path,
+    spec: &FleetSpec,
+    idents: &[MemberIdent],
+    map_lens: &[usize],
+) -> Result<RestoredFleet, RunError> {
+    let snap = SnapshotReader::read_path(path)?;
+    snap.expect_kind(FLEET_CHECKPOINT_KIND)?;
+    let cfg = spec.config();
+
+    let mut r = snap.section("spec")?;
+    if read_u64(&mut r)? != cfg.epochs
+        || read_u64(&mut r)? != cfg.cases_per_epoch
+        || read_u64(&mut r)? != cfg.run.max_steps
+        || read_u64(&mut r)? != cfg.run.batch as u64
+        || read_usize(&mut r, 1 << 24, "corpus capacity")? != spec.corpus_capacity()
+        || read_usize(&mut r, 1 << 16, "member count")? != idents.len()
+    {
+        return Err(corrupt("checkpoint was taken under a different fleet spec").into());
+    }
+    for ident in idents {
+        if read_u32(&mut r)? != core_index(ident.core)
+            || read_string(&mut r)? != ident.name
+            || read_string(&mut r)? != ident.fuzzer
+        {
+            return Err(corrupt(format!(
+                "checkpoint member line-up does not include {:?} ({})",
+                ident.name, ident.fuzzer
+            ))
+            .into());
+        }
+    }
+
+    let mut r = snap.section("progress")?;
+    let epoch = read_u64(&mut r)?;
+    let n = read_usize(&mut r, 1 << 16, "budget count")?;
+    if n != idents.len() {
+        return Err(corrupt("checkpoint budget vector does not match the members").into());
+    }
+    let budgets = (0..n)
+        .map(|_| read_u64(&mut r))
+        .collect::<Result<_, PersistError>>()?;
+
+    let mut r = snap.section("corpus")?;
+    let corpus = GlobalCorpus::load(&mut r)?;
+
+    let mut r = snap.section("merged")?;
+    let samples = read_usize(&mut r, 1 << 24, "merged curve length")?;
+    let merged_curve = (0..samples)
+        .map(|_| {
+            Ok(FleetSample {
+                epoch: read_u64(&mut r)?,
+                cases: read_u64(&mut r)?,
+                condition: read_u64(&mut r)? as usize,
+                line: read_u64(&mut r)? as usize,
+                fsm: read_u64(&mut r)? as usize,
+                unique_signatures: read_u64(&mut r)? as usize,
+            })
+        })
+        .collect::<Result<_, PersistError>>()?;
+
+    let mut states = Vec::with_capacity(idents.len());
+    let mut fuzzer_blobs = Vec::with_capacity(idents.len());
+    for (index, &map_len) in map_lens.iter().enumerate() {
+        let mut r = snap.section(&format!("member{index}"))?;
+        states.push(CampaignState::load(&mut r, map_len)?);
+        // The rest of the section is the fuzzer's own state, kept
+        // serialised until someone needs the live fuzzer.
+        fuzzer_blobs.push(r.to_vec());
+    }
+
+    let mut r = snap.section("metrics")?;
+    let metrics = read_metrics(&mut r)?;
+    Ok(RestoredFleet {
+        states,
+        fuzzer_blobs,
+        corpus,
+        budgets,
+        merged_curve,
+        epoch,
+        metrics,
+    })
 }
 
 /// Restores a fleet checkpoint into the members, states, corpus, budgets,
@@ -584,70 +750,19 @@ fn restore_fleet_checkpoint(
     epoch: &mut u64,
     metrics: &mut Metrics,
 ) -> Result<(), RunError> {
-    let snap = SnapshotReader::read_path(path)?;
-    snap.expect_kind(FLEET_CHECKPOINT_KIND)?;
-    let cfg = spec.config();
-
-    let mut r = snap.section("spec")?;
-    if read_u64(&mut r)? != cfg.epochs
-        || read_u64(&mut r)? != cfg.cases_per_epoch
-        || read_u64(&mut r)? != cfg.run.max_steps
-        || read_u64(&mut r)? != cfg.run.batch as u64
-        || read_usize(&mut r, 1 << 24, "corpus capacity")? != spec.corpus_capacity()
-        || read_usize(&mut r, 1 << 16, "member count")? != members.len()
-    {
-        return Err(corrupt("checkpoint was taken under a different fleet spec").into());
+    let idents: Vec<MemberIdent> = members.iter().map(MemberIdent::of).collect();
+    let restored = restore_fleet_checkpoint_parts(path, spec, &idents, map_lens)?;
+    for (member, blob) in members.iter_mut().zip(&restored.fuzzer_blobs) {
+        member.fuzzer.load_state(&mut blob.as_slice())?;
     }
-    for member in members.iter() {
-        if read_u32(&mut r)? != core_index(member.core)
-            || read_string(&mut r)? != member.name
-            || read_string(&mut r)? != member.fuzzer.name()
-        {
-            return Err(corrupt(format!(
-                "checkpoint member line-up does not include {:?} ({})",
-                member.name,
-                member.fuzzer.name()
-            ))
-            .into());
-        }
+    for (slot, state) in states.iter_mut().zip(restored.states) {
+        *slot = state;
     }
-
-    let mut r = snap.section("progress")?;
-    *epoch = read_u64(&mut r)?;
-    let n = read_usize(&mut r, 1 << 16, "budget count")?;
-    if n != members.len() {
-        return Err(corrupt("checkpoint budget vector does not match the members").into());
-    }
-    *budgets = (0..n)
-        .map(|_| read_u64(&mut r))
-        .collect::<Result<_, PersistError>>()?;
-
-    let mut r = snap.section("corpus")?;
-    *corpus = GlobalCorpus::load(&mut r)?;
-
-    let mut r = snap.section("merged")?;
-    let samples = read_usize(&mut r, 1 << 24, "merged curve length")?;
-    *merged_curve = (0..samples)
-        .map(|_| {
-            Ok(FleetSample {
-                epoch: read_u64(&mut r)?,
-                cases: read_u64(&mut r)?,
-                condition: read_u64(&mut r)? as usize,
-                line: read_u64(&mut r)? as usize,
-                fsm: read_u64(&mut r)? as usize,
-                unique_signatures: read_u64(&mut r)? as usize,
-            })
-        })
-        .collect::<Result<_, PersistError>>()?;
-
-    for (index, (member, state)) in members.iter_mut().zip(states.iter_mut()).enumerate() {
-        let mut r = snap.section(&format!("member{index}"))?;
-        *state = CampaignState::load(&mut r, map_lens[index])?;
-        member.fuzzer.load_state(&mut r)?;
-    }
-
-    let mut r = snap.section("metrics")?;
-    *metrics = read_metrics(&mut r)?;
+    *corpus = restored.corpus;
+    *budgets = restored.budgets;
+    *merged_curve = restored.merged_curve;
+    *epoch = restored.epoch;
+    *metrics = restored.metrics;
     Ok(())
 }
 
@@ -804,7 +919,9 @@ pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetR
             }
         }
 
-        let sample = merged_sample(epoch, members, &states, &pools);
+        let cores: Vec<CoreKind> = members.iter().map(|m| m.core).collect();
+        let maps: Vec<&CoverageMap> = pools.iter().map(ExecPool::coverage_map).collect();
+        let sample = merged_sample(epoch, &cores, &states, &maps);
         merged_curve.push(sample);
         if sink.enabled() {
             sink.emit(&Event::EpochEnd {
@@ -917,6 +1034,40 @@ mod tests {
         // Equal rates tie toward the lowest index on odd remainders.
         let even = reallocate(31, &[5, 5, 5]);
         assert_eq!(even, vec![11, 10, 10]);
+    }
+
+    #[test]
+    fn a_zero_rate_member_keeps_its_floor_forever() {
+        // A member that finds nothing for many consecutive epochs must
+        // still receive the per-member floor every epoch — the budget
+        // accounting can slow a cold member down but never starve it,
+        // because a zero next-epoch budget would divide by zero in the
+        // rate computation and permanently freeze the member's rate.
+        let total = 40u64;
+        let floor = (total / (4 * 4)).max(1);
+        let mut rates = vec![0u64, 0, 0, 0];
+        for _ in 0..50 {
+            let budgets = reallocate(total, &rates);
+            assert!(budgets[3] >= floor, "{budgets:?}");
+            assert_eq!(budgets.iter().sum::<u64>(), total);
+            // Members 0–2 keep producing, member 3 never does: feed the
+            // resulting rates back like run_fleet would.
+            rates = vec![
+                5000 * 1000 / budgets[0],
+                3000 * 1000 / budgets[1],
+                1000 * 1000 / budgets[2],
+                0,
+            ];
+        }
+    }
+
+    #[test]
+    fn the_floor_holds_even_when_budget_barely_covers_members() {
+        // total == members: everyone gets exactly 1 (the .max(1) floor),
+        // leaving no pool to apportion.
+        assert_eq!(reallocate(3, &[0, 9999, 0]), vec![1, 1, 1]);
+        // One member: the whole budget, whatever the rate.
+        assert_eq!(reallocate(17, &[0]), vec![17]);
     }
 
     #[test]

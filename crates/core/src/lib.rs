@@ -30,7 +30,15 @@
 //!   [`obs::Metrics`] registry snapshotted onto every `CampaignResult`,
 //! - [`fleet`]: the multi-campaign orchestrator — epoch-based ensemble
 //!   runs with a shared deduplicated corpus, deterministic per-core
-//!   coverage merging and marginal-rate budget scheduling.
+//!   coverage merging and marginal-rate budget scheduling,
+//! - [`spec`]: the one job-description surface — the versioned
+//!   [`spec::RunRequest`] with a single validation path shared by
+//!   `hfl-serve`, the bench bins and the distributed fleet,
+//! - [`wire`]/[`fleet_dist`]: the distributed fleet — a versioned,
+//!   checksummed frame protocol ([`wire::PROTOCOL_VERSION`]) and the
+//!   coordinator/worker runtime that runs fleet members as separate
+//!   processes with heartbeats, crash containment and asynchronous
+//!   quorum/deadline epochs.
 //!
 //! # Examples
 //!
@@ -61,6 +69,7 @@ pub mod difftest;
 pub mod encoder;
 pub mod exec;
 pub mod fleet;
+pub mod fleet_dist;
 pub mod fuzzer;
 pub mod generator;
 pub mod harness;
@@ -70,13 +79,15 @@ pub mod persist;
 pub mod poc;
 pub mod predecode;
 pub mod predictor;
+pub mod spec;
 pub mod tokens;
 pub mod triage;
+pub mod wire;
 
 pub use baselines::{Feedback, Fuzzer, TestBody};
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CampaignSpecBuilder,
-    CheckpointPolicy, CoverageSample, RunConfig, RunError, SpecError,
+    CheckpointPolicy, CoverageSample, HarvestedCase, RunConfig, RunError, SpecError,
 };
 pub use control::StopHandle;
 pub use corpus::{coverage_signature, Corpus, GlobalCorpus, GlobalCorpusStats, GlobalEntry};
@@ -88,6 +99,10 @@ pub use fleet::{
     run_fleet, FleetConfig, FleetMember, FleetResult, FleetSample, FleetSpec, FleetSpecBuilder,
     MemberResult,
 };
+pub use fleet_dist::{
+    run_fleet_dist, run_worker, DistConfig, ProcessLauncher, ThreadLauncher, WorkerFault,
+    WorkerLauncher,
+};
 pub use fuzzer::{HflConfig, HflFuzzer, HflStats};
 pub use generator::{GeneratorConfig, InstructionGenerator};
 pub use harness::{CaseResult, CaseTiming, Executor, ExecutorBuilder};
@@ -96,5 +111,9 @@ pub use obs::{
 };
 pub use predecode::{PredecodeCache, PreparedCase};
 pub use predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
+pub use spec::{
+    core_name, parse_core, CampaignRequest, FleetRequest, FuzzerKind, MemberSpec, RunRequest,
+};
 pub use tokens::Tokens;
 pub use triage::{minimize, minimize_with_sink, Minimized};
+pub use wire::{Frame, Payload, WireError, PROTOCOL_VERSION};

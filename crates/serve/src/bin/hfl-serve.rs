@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! cargo run --release -p hfl-serve --bin hfl-serve -- \
-//!     [--addr 127.0.0.1:7700] [--data-dir hfl-serve-data] [--workers 2]
+//!     [--addr 127.0.0.1:7700] [--data-dir hfl-serve-data] [--workers 2] \
+//!     [--worker-bin path/to/fleet_worker]
 //! ```
+//!
+//! With `--worker-bin`, fleet jobs spawn that binary as one worker
+//! process per member (the `hfl::wire` protocol); without it they run
+//! protocol-identical worker threads in the daemon process.
 //!
 //! SIGTERM or SIGINT triggers a graceful drain: running jobs stop at
 //! their next round/epoch boundary (each writing a final checkpoint),
@@ -40,10 +45,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: hfl-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N]\n\
+            "usage: hfl-serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] [--worker-bin BIN]\n\
              SIGTERM drains gracefully; restart with the same --data-dir to resume."
         );
         return;
+    }
+    if let Some(bin) = arg_value(&args, "--worker-bin") {
+        // Fleet jobs read this when choosing process vs thread workers.
+        std::env::set_var(hfl_serve::jobs::WORKER_BIN_ENV, bin);
     }
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| String::from("127.0.0.1:7700"));
     let data_dir = arg_value(&args, "--data-dir").unwrap_or_else(|| String::from("hfl-serve-data"));

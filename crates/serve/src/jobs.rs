@@ -1,9 +1,15 @@
 //! Job specs, the job table, and the worker pool that executes them.
 //!
 //! A [`JobSpec`] is the serializable description of one campaign or
-//! fleet run — the same flat-JSON dialect as the telemetry schema
-//! (`hfl::json`), POSTed to `/jobs` and persisted per job as
-//! `spec.json`. The [`JobTable`] owns every submitted job: a bounded
+//! fleet run — it *is* [`hfl::spec::RunRequest`], the one job surface
+//! shared with the bench binaries, serialised in the same flat-JSON
+//! dialect as the telemetry schema (`hfl::json`), POSTed to `/jobs`
+//! and persisted per job as `spec.json`. Validation happens once, in
+//! [`RunRequest::validate`], during parse. Fleet jobs execute on the
+//! distributed runtime ([`hfl::fleet_dist`]): worker processes when
+//! the daemon was given a worker binary (`--worker-bin` /
+//! `HFL_WORKER_BIN`), protocol-identical worker threads otherwise.
+//! The [`JobTable`] owns every submitted job: a bounded
 //! worker pool drains the queue, each running job streams its JSONL
 //! events both to `events.jsonl` on disk and to an in-memory
 //! [`EventHub`] for SSE subscribers, and a [`StopHandle`] per job wires
@@ -23,223 +29,43 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
-use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy, RunConfig};
-use hfl::fleet::{run_fleet, FleetConfig, FleetMember, FleetSpec};
-use hfl::fuzzer::{HflConfig, HflFuzzer};
+use hfl::baselines::Fuzzer;
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy};
+use hfl::fleet::{FleetConfig, FleetSpec};
+use hfl::fleet_dist::{
+    run_fleet_dist, DistConfig, ProcessLauncher, ThreadLauncher, WorkerLauncher,
+};
 use hfl::json::{Fields, ObjectWriter};
 use hfl::obs::{Event, EventSink, JsonlSink, SinkHandle};
+use hfl::spec::FuzzerKind;
 use hfl::StopHandle;
-use hfl_dut::CoreKind;
 
 use crate::hub::EventHub;
+
+pub use hfl::spec::{CampaignRequest, FleetRequest, MemberSpec, RunRequest};
+
+/// Environment variable naming the `fleet_worker` binary fleet jobs
+/// should spawn as worker processes (set by `--worker-bin`). Unset or
+/// empty, fleet jobs run protocol-identical worker threads instead.
+pub const WORKER_BIN_ENV: &str = "HFL_WORKER_BIN";
 
 /// Events retained per job for late SSE subscribers. Small campaigns
 /// fit entirely, so subscribing after completion still replays the full
 /// stream; beyond this, subscribers get explicit lag accounting.
 pub const DEFAULT_HUB_CAPACITY: usize = 64 * 1024;
 
-/// The serializable description of one job.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JobSpec {
-    /// A single-fuzzer campaign (`hfl::campaign::run_campaign`).
-    Campaign(CampaignJob),
-    /// A multi-member fleet (`hfl::fleet::run_fleet`).
-    Fleet(FleetJob),
-}
+/// The serializable description of one job: the crate-spanning
+/// [`RunRequest`]. `JobSpec::Campaign` / `JobSpec::Fleet` pattern
+/// matches, `kind()`, `to_json()` and `from_json()` all resolve to the
+/// shared type — the service adds no spec dialect of its own.
+pub type JobSpec = RunRequest;
 
-/// Spec fields for a campaign job.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CampaignJob {
-    /// Fuzzer name: `hfl`, `difuzz`, `thehuzz` or `cascade`.
-    pub fuzzer: String,
-    /// The fuzzer's RNG seed.
-    pub seed: u64,
-    /// The core to fuzz.
-    pub core: CoreKind,
-    /// Total case budget.
-    pub cases: u64,
-    /// Coverage-curve sampling stride (cases).
-    pub sample_every: u64,
-    /// Shared execution knobs (threads never affect outputs).
-    pub run: RunConfig,
-    /// Snapshot every this many rounds.
-    pub checkpoint_every: u64,
-}
-
-/// Spec fields for a fleet job.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FleetJob {
-    /// `(fuzzer, seed)` members, as in `--members difuzz:5,thehuzz:9`.
-    pub members: Vec<(String, u64)>,
-    /// The core every member fuzzes.
-    pub core: CoreKind,
-    /// Number of epochs.
-    pub epochs: u64,
-    /// Fleet-wide case budget per epoch.
-    pub cases_per_epoch: u64,
-    /// Shared execution knobs.
-    pub run: RunConfig,
-    /// Snapshot every this many epochs.
-    pub checkpoint_every: u64,
-}
-
-fn core_name(core: CoreKind) -> &'static str {
-    match core {
-        CoreKind::Rocket => "rocket",
-        CoreKind::Boom => "boom",
-        CoreKind::Cva6 => "cva6",
-    }
-}
-
-fn parse_core(name: &str) -> Result<CoreKind, String> {
-    match name {
-        "rocket" => Ok(CoreKind::Rocket),
-        "boom" => Ok(CoreKind::Boom),
-        "cva6" => Ok(CoreKind::Cva6),
-        other => Err(format!("unknown core {other:?}")),
-    }
-}
-
-/// The fuzzer-construction convention shared with the bench binaries:
-/// small models sized for CI.
+/// The fuzzer-construction convention shared with the bench binaries
+/// (small models sized for CI) — a thin wrapper over
+/// [`FuzzerKind::parse`] + [`FuzzerKind::build`], kept for callers that
+/// hold the strategy as a string.
 pub fn make_fuzzer(name: &str, seed: u64) -> Result<Box<dyn Fuzzer>, String> {
-    match name {
-        "difuzz" => Ok(Box::new(DifuzzRtlFuzzer::new(seed, 16))),
-        "thehuzz" => Ok(Box::new(TheHuzzFuzzer::new(seed, 16))),
-        "cascade" => Ok(Box::new(CascadeFuzzer::new(seed, 60))),
-        "hfl" => {
-            let mut cfg = HflConfig::small().with_seed(seed);
-            cfg.generator.hidden = 16;
-            cfg.predictor.hidden = 16;
-            cfg.test_len = 6;
-            Ok(Box::new(HflFuzzer::new(cfg)))
-        }
-        other => Err(format!("unknown fuzzer {other:?}")),
-    }
-}
-
-impl JobSpec {
-    /// `"campaign"` or `"fleet"`.
-    #[must_use]
-    pub fn kind(&self) -> &'static str {
-        match self {
-            JobSpec::Campaign(_) => "campaign",
-            JobSpec::Fleet(_) => "fleet",
-        }
-    }
-
-    /// Serialises the spec as one flat JSON object.
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        let mut w = ObjectWriter::with_type("job_spec");
-        w.str("kind", self.kind());
-        match self {
-            JobSpec::Campaign(job) => {
-                w.str("fuzzer", &job.fuzzer);
-                w.num("seed", job.seed);
-                w.str("core", core_name(job.core));
-                w.num("cases", job.cases);
-                w.num("sample_every", job.sample_every);
-                w.num("max_steps", job.run.max_steps);
-                w.num("batch", job.run.batch as u64);
-                w.num("threads", job.run.threads as u64);
-                w.num("checkpoint_every", job.checkpoint_every);
-            }
-            JobSpec::Fleet(job) => {
-                let members: Vec<String> = job
-                    .members
-                    .iter()
-                    .map(|(name, seed)| format!("{name}:{seed}"))
-                    .collect();
-                w.str("members", &members.join(","));
-                w.str("core", core_name(job.core));
-                w.num("epochs", job.epochs);
-                w.num("cases_per_epoch", job.cases_per_epoch);
-                w.num("max_steps", job.run.max_steps);
-                w.num("batch", job.run.batch as u64);
-                w.num("threads", job.run.threads as u64);
-                w.num("checkpoint_every", job.checkpoint_every);
-            }
-        }
-        w.finish()
-    }
-
-    /// Parses and validates a spec document. Every error message names
-    /// the offending field — these become HTTP 400 bodies.
-    pub fn from_json(line: &str) -> Result<JobSpec, String> {
-        let fields = Fields::parse(line).ok_or("body is not a flat JSON object")?;
-        if fields.str("type") != Some("job_spec") {
-            return Err(String::from("\"type\" must be \"job_spec\""));
-        }
-        let core = parse_core(fields.str("core").unwrap_or("rocket"))?;
-        let run = RunConfig::quick()
-            .with_max_steps(fields.u64("max_steps").unwrap_or(3_000))
-            .with_batch(fields.usize("batch").unwrap_or(1))
-            .with_threads(fields.usize("threads").unwrap_or(1));
-        run.validate().map_err(|e| e.to_string())?;
-        let checkpoint_every = fields.u64("checkpoint_every").unwrap_or(1).max(1);
-        match fields.str("kind") {
-            Some("campaign") => {
-                let fuzzer = fields
-                    .str("fuzzer")
-                    .ok_or("campaign spec needs \"fuzzer\"")?
-                    .to_owned();
-                make_fuzzer(&fuzzer, 0)?;
-                let cases = fields.u64("cases").ok_or("campaign spec needs \"cases\"")?;
-                if cases == 0 {
-                    return Err(String::from("\"cases\" must be positive"));
-                }
-                Ok(JobSpec::Campaign(CampaignJob {
-                    fuzzer,
-                    seed: fields.u64("seed").unwrap_or(1),
-                    core,
-                    cases,
-                    sample_every: fields.u64("sample_every").unwrap_or(cases).max(1),
-                    run,
-                    checkpoint_every,
-                }))
-            }
-            Some("fleet") => {
-                let members_spec = fields
-                    .str("members")
-                    .ok_or("fleet spec needs \"members\"")?;
-                let mut members = Vec::new();
-                for pair in members_spec.split(',') {
-                    let (name, seed) = pair
-                        .split_once(':')
-                        .ok_or_else(|| format!("member {pair:?} is not fuzzer:seed"))?;
-                    let seed: u64 = seed
-                        .parse()
-                        .map_err(|_| format!("member seed {seed:?} is not a number"))?;
-                    make_fuzzer(name, 0)?;
-                    members.push((name.to_owned(), seed));
-                }
-                if members.is_empty() {
-                    return Err(String::from("\"members\" is empty"));
-                }
-                let epochs = fields.u64("epochs").ok_or("fleet spec needs \"epochs\"")?;
-                let cases_per_epoch = fields
-                    .u64("cases_per_epoch")
-                    .ok_or("fleet spec needs \"cases_per_epoch\"")?;
-                if epochs == 0 || cases_per_epoch == 0 {
-                    return Err(String::from(
-                        "\"epochs\" and \"cases_per_epoch\" must be positive",
-                    ));
-                }
-                Ok(JobSpec::Fleet(FleetJob {
-                    members,
-                    core,
-                    epochs,
-                    cases_per_epoch,
-                    run,
-                    checkpoint_every,
-                }))
-            }
-            Some(other) => Err(format!("unknown job kind {other:?}")),
-            None => Err(String::from("spec needs \"kind\"")),
-        }
-    }
+    Ok(FuzzerKind::parse(name)?.build(seed))
 }
 
 /// Lifecycle of a job. Linear except that queued jobs can be cancelled
@@ -764,7 +590,7 @@ fn run_job(
                 builder = builder.resume_from(snapshot);
             }
             let spec = builder.build().map_err(|e| e.to_string())?;
-            let mut fuzzer = make_fuzzer(&job.fuzzer, job.seed)?;
+            let mut fuzzer = job.fuzzer.build(job.seed);
             let result = run_campaign(fuzzer.as_mut(), &spec).map_err(|e| e.to_string())?;
             let (condition, line, fsm) = result.final_counts();
             Ok(JobSummary {
@@ -789,12 +615,20 @@ fn run_job(
                 builder = builder.resume_from(snapshot);
             }
             let spec = builder.build().map_err(|e| e.to_string())?;
-            let mut members: Vec<FleetMember> = Vec::new();
-            for (name, seed) in &job.members {
-                let fuzzer = make_fuzzer(name, *seed)?;
-                members.push(FleetMember::new(format!("{name}-{seed}"), job.core, fuzzer));
-            }
-            let result = run_fleet(&mut members, &spec).map_err(|e| e.to_string())?;
+            // Fleet jobs always run on the distributed runtime; the
+            // launcher decides process vs thread workers. Healthy runs
+            // are bit-identical to the in-process fleet either way.
+            let mut launcher: Box<dyn WorkerLauncher> = match std::env::var(WORKER_BIN_ENV) {
+                Ok(bin) if !bin.is_empty() => Box::new(ProcessLauncher::new(bin)),
+                _ => Box::new(ThreadLauncher::new()),
+            };
+            let result = run_fleet_dist(
+                &job.members,
+                &spec,
+                &DistConfig::default(),
+                launcher.as_mut(),
+            )
+            .map_err(|e| e.to_string())?;
             let (condition, line, fsm) = result.final_counts();
             Ok(JobSummary {
                 completed: result.completed,
@@ -813,11 +647,13 @@ fn run_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hfl::campaign::RunConfig;
+    use hfl_dut::CoreKind;
 
     #[test]
     fn specs_round_trip_through_json() {
-        let campaign = JobSpec::Campaign(CampaignJob {
-            fuzzer: String::from("difuzz"),
+        let campaign = JobSpec::Campaign(CampaignRequest {
+            fuzzer: FuzzerKind::Difuzz,
             seed: 7,
             core: CoreKind::Rocket,
             cases: 40,
@@ -825,9 +661,11 @@ mod tests {
             run: RunConfig::quick().with_batch(4).with_threads(2),
             checkpoint_every: 2,
         });
-        let fleet = JobSpec::Fleet(FleetJob {
-            members: vec![(String::from("difuzz"), 5), (String::from("cascade"), 9)],
-            core: CoreKind::Boom,
+        let fleet = JobSpec::Fleet(FleetRequest {
+            members: vec![
+                MemberSpec::new(FuzzerKind::Difuzz, 5, CoreKind::Boom),
+                MemberSpec::new(FuzzerKind::Cascade, 9, CoreKind::Boom),
+            ],
             epochs: 3,
             cases_per_epoch: 24,
             run: RunConfig::quick(),
@@ -841,6 +679,8 @@ mod tests {
 
     #[test]
     fn invalid_specs_name_the_problem() {
+        // Error messages come from the one shared validation path
+        // (`RunRequest::validate` / `from_json` in `hfl::spec`).
         for (body, needle) in [
             ("nonsense", "flat JSON"),
             (r#"{"type":"other"}"#, "job_spec"),
@@ -856,7 +696,7 @@ mod tests {
             ),
             (
                 r#"{"type":"job_spec","kind":"campaign","fuzzer":"difuzz","cases":0}"#,
-                "positive",
+                "nonzero",
             ),
             (
                 r#"{"type":"job_spec","kind":"campaign","fuzzer":"difuzz","cases":5,"core":"z80"}"#,
@@ -866,6 +706,10 @@ mod tests {
             (
                 r#"{"type":"job_spec","kind":"fleet","members":"difuzz"}"#,
                 "fuzzer:seed",
+            ),
+            (
+                r#"{"type":"job_spec","kind":"fleet","members":"difuzz:5","epochs":0,"cases_per_epoch":9}"#,
+                "nonzero",
             ),
             (r#"{"type":"job_spec","kind":"warp"}"#, "unknown job kind"),
         ] {
