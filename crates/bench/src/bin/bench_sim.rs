@@ -15,14 +15,20 @@
 //!     [--tolerance 0.20]             # regression budget for --check
 //!     [--require-speedup 5.0]        # minimum predecode speedup on the GRM micro-bench
 //!     [--iters-scale 1.0]            # scale iteration counts (CI smoke: < 1)
+//!     [--mhart]                      # also time the two-hart system scheduler
 //! ```
+//!
+//! `--mhart` adds `mhart_scheduled_steps_per_sec` — discrete-event
+//! scheduler events processed per second on the two-hart machine
+//! (hart steps + timer firings + reference replay) — to the report and
+//! the JSON baseline.
 
 use std::time::Instant;
 
 use hfl::baselines::TestBody;
 use hfl::harness::Executor;
 use hfl_bench::{arg_num, arg_value};
-use hfl_dut::{CoreKind, Dut};
+use hfl_dut::{CoreKind, Dut, MhartMachine};
 use hfl_grm::cpu::Cpu;
 use hfl_grm::{PredecodedProgram, Program};
 use hfl_riscv::{Instruction, Opcode, Reg};
@@ -100,15 +106,21 @@ struct Baseline {
     dut_boom_steps_per_sec: f64,
     dut_cva6_steps_per_sec: f64,
     difftest_cases_per_sec: f64,
+    /// Two-hart scheduler events/sec; `None` unless `--mhart` was given.
+    mhart_scheduled_steps_per_sec: Option<f64>,
 }
 
 impl Baseline {
     fn to_json(self) -> String {
+        let mhart = self
+            .mhart_scheduled_steps_per_sec
+            .map(|v| format!(",\n  \"mhart_scheduled_steps_per_sec\": {v:.0}"))
+            .unwrap_or_default();
         format!(
             "{{\n  \"grm_legacy_steps_per_sec\": {:.0},\n  \
              \"grm_predecoded_steps_per_sec\": {:.0},\n  \"grm_speedup\": {:.3},\n  \
              \"dut_rocket_steps_per_sec\": {:.0},\n  \"dut_boom_steps_per_sec\": {:.0},\n  \
-             \"dut_cva6_steps_per_sec\": {:.0},\n  \"difftest_cases_per_sec\": {:.1}\n}}\n",
+             \"dut_cva6_steps_per_sec\": {:.0},\n  \"difftest_cases_per_sec\": {:.1}{mhart}\n}}\n",
             self.grm_legacy_steps_per_sec,
             self.grm_predecoded_steps_per_sec,
             self.grm_speedup,
@@ -132,6 +144,25 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
         })
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Scheduler events processed per second on the two-hart machine: runs
+/// the shared loop program on both harts (plus the timer device and the
+/// sequential reference replay) under a fixed interleaving seed.
+fn measure_mhart(scale: f64) -> f64 {
+    let budget = ((STEP_BUDGET as f64 * scale / 4.0).ceil() as u64).max(LOOP_BODY as u64 * 4);
+    let program = loop_program();
+    let mut machine = MhartMachine::new(hfl_grm::cpu::Quirks::default());
+    let mut scheduled = 0u64;
+    let spent = time_s(
+        || {
+            let result = machine.run(&program, 0xBE5C, budget);
+            scheduled = result.scheduled_steps;
+            std::hint::black_box(result);
+        },
+        5,
+    );
+    scheduled as f64 / spent
 }
 
 fn measure(scale: f64) -> Baseline {
@@ -192,6 +223,7 @@ fn measure(scale: f64) -> Baseline {
         dut_boom_steps_per_sec: dut_steps(CoreKind::Boom),
         dut_cva6_steps_per_sec: dut_steps(CoreKind::Cva6),
         difftest_cases_per_sec: cases as f64 / difftest_s,
+        mhart_scheduled_steps_per_sec: None,
     }
 }
 
@@ -201,7 +233,10 @@ fn main() {
     let tolerance: f64 = arg_num(&args, "--tolerance", 0.20);
     let require_speedup: f64 = arg_num(&args, "--require-speedup", 0.0);
 
-    let b = measure(scale);
+    let mut b = measure(scale);
+    if args.iter().any(|a| a == "--mhart") {
+        b.mhart_scheduled_steps_per_sec = Some(measure_mhart(scale));
+    }
     println!("simulator hot path ({LOOP_BODY}-op loop, {STEP_BUDGET} step budget):");
     println!(
         "  GRM steps/sec         {:>12.0} legacy / {:.0} predecoded ({:.2}x)",
@@ -214,6 +249,9 @@ fn main() {
     println!("  DUT steps/sec Boom    {:>12.0}", b.dut_boom_steps_per_sec);
     println!("  DUT steps/sec CVA6    {:>12.0}", b.dut_cva6_steps_per_sec);
     println!("  difftest cases/sec    {:>12.1}", b.difftest_cases_per_sec);
+    if let Some(v) = b.mhart_scheduled_steps_per_sec {
+        println!("  mhart sched steps/sec {v:>12.0}");
+    }
 
     let mut failed = false;
     if require_speedup > 0.0 && b.grm_speedup < require_speedup {

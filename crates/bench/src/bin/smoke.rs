@@ -9,7 +9,7 @@
 //!     [--batch N] [--threads N] [--log telemetry.jsonl] \
 //!     [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] [--resume] \
 //!     [--fault-case N] [--fault-kind panic|hang|ioerror] [--fault-sticky] \
-//!     [--max-retries N]
+//!     [--max-retries N] [--mhart] [--bug ID]
 //! ```
 //!
 //! With `--checkpoint-dir` the campaign snapshots into that directory
@@ -18,29 +18,75 @@
 //! first run partway and then reruns with `--resume`). The `--fault-*`
 //! flags inject a deterministic worker fault at the given global case
 //! index to exercise the containment path.
+//!
+//! `--mhart` runs the campaign against the two-hart system DUT, wrapping
+//! the chosen fuzzer in [`InterleaveFuzzer`] so every case carries an
+//! interleaving seed. `--bug C1` (implies `--mhart`) instead enables that
+//! concurrency defect and sweeps interleaving seeds over its trigger
+//! body; the run fails unless the campaign finds at least one PoC whose
+//! corpus name carries its `+seed` suffix.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use hfl::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::baselines::{
+    CascadeFuzzer, DifuzzRtlFuzzer, Feedback, Fuzzer, InterleaveFuzzer, TestBody, TheHuzzFuzzer,
+};
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy};
 use hfl::exec::{FaultKind, FaultPlan, FaultPolicy};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::obs::{read_jsonl, replay_rounds, Event, JsonlSink, SinkHandle};
+use hfl::poc::poc_body_for;
 use hfl_bench::{arg_num, arg_value};
 use hfl_dut::CoreKind;
+use hfl_nn::persist::{read_u64, write_u64, PersistError};
 
-fn make_fuzzer(name: &str, seed: u64) -> Box<dyn Fuzzer> {
+/// Replays interleaving seeds 0, 1, 2, ... over one concurrency defect's
+/// trigger body: the body is fixed, the schedule space is searched
+/// (`--bug`). Checkpointable so the crash-resume path also covers it.
+struct SeedSweepFuzzer {
+    bug_id: String,
+    next_seed: u64,
+}
+
+impl Fuzzer for SeedSweepFuzzer {
+    fn name(&self) -> &'static str {
+        "SeedSweep"
+    }
+    fn next_case(&mut self) -> TestBody {
+        let seed = self.next_seed;
+        self.next_seed += 1;
+        poc_body_for(&self.bug_id, seed)
+    }
+    fn feedback(&mut self, _body: &TestBody, _feedback: Feedback) {}
+    fn save_state(&self, mut w: &mut dyn std::io::Write) -> Result<(), PersistError> {
+        write_u64(&mut w, self.next_seed)
+    }
+    fn load_state(&mut self, mut r: &mut dyn std::io::Read) -> Result<(), PersistError> {
+        self.next_seed = read_u64(&mut r)?;
+        Ok(())
+    }
+}
+
+fn wrap(mhart: bool, seed: u64, inner: impl Fuzzer + 'static) -> Box<dyn Fuzzer> {
+    if mhart {
+        Box::new(InterleaveFuzzer::new(seed, inner))
+    } else {
+        Box::new(inner)
+    }
+}
+
+fn make_fuzzer(name: &str, seed: u64, mhart: bool) -> Box<dyn Fuzzer> {
     match name {
-        "difuzz" => Box::new(DifuzzRtlFuzzer::new(seed, 16)),
-        "thehuzz" => Box::new(TheHuzzFuzzer::new(seed, 16)),
-        "cascade" => Box::new(CascadeFuzzer::new(seed, 60)),
+        "difuzz" => wrap(mhart, seed, DifuzzRtlFuzzer::new(seed, 16)),
+        "thehuzz" => wrap(mhart, seed, TheHuzzFuzzer::new(seed, 16)),
+        "cascade" => wrap(mhart, seed, CascadeFuzzer::new(seed, 60)),
         _ => {
             let mut cfg = HflConfig::small().with_seed(seed);
             cfg.generator.hidden = 16;
             cfg.predictor.hidden = 16;
             cfg.test_len = 6;
-            Box::new(HflFuzzer::new(cfg))
+            wrap(mhart, seed, HflFuzzer::new(cfg))
         }
     }
 }
@@ -67,16 +113,37 @@ fn main() {
     });
     let fault_sticky = args.iter().any(|a| a == "--fault-sticky");
     let max_retries: u32 = arg_num(&args, "--max-retries", 1);
+    let bug = arg_value(&args, "--bug");
+    let mhart = args.iter().any(|a| a == "--mhart") || bug.is_some();
 
     let sink = match JsonlSink::create(&log) {
         Ok(sink) => SinkHandle::new(Arc::new(sink)),
         Err(err) => fail(&format!("{log}: {err}")),
     };
-    let mut fuzzer = make_fuzzer(&fuzzer_name, seed);
+    let mut fuzzer: Box<dyn Fuzzer> = match &bug {
+        // The sweep always starts at interleaving seed 0: the defect
+        // matrix guarantees every class is exposed within 0..64.
+        Some(id) => {
+            if !hfl_dut::bugs::find(id).is_some_and(|b| b.concurrency) {
+                fail(&format!("--bug {id}: not a catalogued concurrency defect"));
+            }
+            Box::new(SeedSweepFuzzer {
+                bug_id: id.clone(),
+                next_seed: 0,
+            })
+        }
+        None => make_fuzzer(&fuzzer_name, seed, mhart),
+    };
     let config = CampaignConfig::quick(cases).with_batch(batch);
     let mut builder = CampaignSpec::builder(CoreKind::Rocket, config)
+        .mhart(mhart)
         .threads(threads)
         .sink(sink);
+    if let Some(id) = &bug {
+        let mut quirks = hfl_grm::cpu::Quirks::default();
+        hfl_dut::bugs::enable(&mut quirks, id, CoreKind::Rocket);
+        builder = builder.quirks(quirks);
+    }
     if let Some(dir) = &checkpoint_dir {
         builder = builder.checkpoint(CheckpointPolicy::new(dir, checkpoint_every));
         if resume {
@@ -208,8 +275,34 @@ fn main() {
     if !phases.is_empty() {
         fail(&format!("missing phase metrics: {phases:?}"));
     }
+    if let Some(id) = &bug {
+        // The seed sweep must realise the race, and the PoC's corpus name
+        // must carry the interleaving seed it replays under.
+        if result.unique_signatures == 0 {
+            fail(&format!(
+                "--bug {id}: no PoC found in {cases} interleavings"
+            ));
+        }
+        let entries = result.trigger_corpus.entries();
+        let named = entries.iter().filter(|e| e.name.contains("+seed")).count();
+        if named != entries.len() {
+            fail(&format!(
+                "--bug {id}: {named}/{} PoC names carry their +seed suffix",
+                entries.len()
+            ));
+        }
+        println!(
+            "smoke: mhart: {id} exposed with {} signature(s), first PoC {:?}",
+            result.unique_signatures, entries[0].name
+        );
+    }
+    let label = match &bug {
+        Some(id) => format!("seed-sweep {id}"),
+        None if mhart => format!("mhart {fuzzer_name}"),
+        None => fuzzer_name.clone(),
+    };
     println!(
-        "smoke: OK: {} ({fuzzer_name}, seed {seed}): {} events, {} rounds, {matched} curve \
+        "smoke: OK: {} ({label}, seed {seed}): {} events, {} rounds, {matched} curve \
          samples reconstructed, final coverage ({c}, {l}, {f}), {} signatures",
         log,
         events.len(),

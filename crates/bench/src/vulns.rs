@@ -7,10 +7,11 @@
 //!    defect, recording how many test cases the loop needed to first
 //!    produce a mismatch.
 
+use hfl::baselines::InterleaveFuzzer;
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::harness::Executor;
-use hfl::poc::poc_for;
+use hfl::poc::{poc_body_for, poc_for};
 use hfl_dut::bugs::{enable, InjectedBug, CATALOG};
 use hfl_grm::cpu::Quirks;
 
@@ -58,19 +59,36 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
         .iter()
         .map(|bug| {
             let core = bug.cores[0];
-            // Directed detection via the PoC.
-            let mut executor = Executor::builder(core).build();
-            let result = executor.run_case(&poc_for(bug.id));
-            let poc_detected = !result.mismatches.is_empty();
-            let poc_mismatch = result.mismatches.first().map(ToString::to_string);
+            // Directed detection via the PoC. Concurrency defects only
+            // manifest on the two-hart configuration, where the PoC is a
+            // (body, interleaving-seed) pair — sweep the schedule space.
+            let (poc_detected, poc_mismatch) = if bug.concurrency {
+                let mut executor = Executor::builder(core).mhart(true).build();
+                (0..64u64)
+                    .find_map(|seed| {
+                        let result = executor.run(&poc_body_for(bug.id, seed));
+                        result
+                            .mismatches
+                            .first()
+                            .map(|m| (true, Some(m.to_string())))
+                    })
+                    .unwrap_or((false, None))
+            } else {
+                let mut executor = Executor::builder(core).build();
+                let result = executor.run_case(&poc_for(bug.id));
+                (
+                    !result.mismatches.is_empty(),
+                    result.mismatches.first().map(ToString::to_string),
+                )
+            };
 
-            // Fuzzing detection against a single-defect DUT.
+            // Fuzzing detection against a single-defect DUT (two-hart
+            // cases via the interleave wrapper for concurrency defects).
             let mut quirks = Quirks::default();
             enable(&mut quirks, bug.id, core);
             let mut hfl_cfg = HflConfig::small().with_seed(cfg.seed);
             hfl_cfg.generator.hidden = cfg.hidden;
             hfl_cfg.predictor.hidden = cfg.hidden;
-            let mut hfl = HflFuzzer::new(hfl_cfg);
             let spec = CampaignSpec::builder(
                 core,
                 CampaignConfig {
@@ -79,10 +97,17 @@ pub fn run_vuln_table(cfg: &VulnConfig) -> Vec<VulnRow> {
                     run: RunConfig::quick(),
                 },
             )
+            .mhart(bug.concurrency)
             .quirks(quirks)
             .build()
             .expect("valid campaign spec");
-            let campaign = run_campaign(&mut hfl, &spec).expect("campaign runs");
+            let campaign = if bug.concurrency {
+                let mut fuzzer = InterleaveFuzzer::new(cfg.seed, HflFuzzer::new(hfl_cfg));
+                run_campaign(&mut fuzzer, &spec).expect("campaign runs")
+            } else {
+                let mut fuzzer = HflFuzzer::new(hfl_cfg);
+                run_campaign(&mut fuzzer, &spec).expect("campaign runs")
+            };
             let fuzz_cases_to_detect = campaign.first_detection.iter().map(|(_, case)| *case).min();
 
             VulnRow {

@@ -10,8 +10,8 @@ use std::io::{Read, Write};
 
 use hfl_nn::ops::{sample_categorical, softmax};
 use hfl_nn::persist::{
-    read_f32, read_f32_array, read_u32, read_usize, write_f32, write_f32_array, write_u32,
-    write_usize, PersistError,
+    read_f32, read_f32_array, read_u32, read_u64, read_usize, write_f32, write_f32_array,
+    write_u32, write_u64, write_usize, PersistError,
 };
 use hfl_riscv::{Instruction, Opcode};
 use rand::rngs::StdRng;
@@ -28,6 +28,18 @@ pub enum TestBody {
     Asm(Vec<Instruction>),
     /// Raw instruction words (TheHuzz/ChatFuzz binary-level generators).
     Words(Vec<u32>),
+    /// A multi-hart SPMD case: one assembly body run on every hart of the
+    /// two-hart system DUT, under the interleaving selected by
+    /// `sched_seed`. The seed is part of the case identity (and thus of
+    /// the derived `PartialEq`/`Hash` the predecode cache keys on): two
+    /// cases with the same body but different seeds exercise different
+    /// schedules and must never alias.
+    Mhart {
+        /// The SPMD body (every hart runs it; `x30` carries the hart id).
+        body: Vec<Instruction>,
+        /// Interleaving seed for the system scheduler.
+        sched_seed: u64,
+    },
 }
 
 impl TestBody {
@@ -37,6 +49,7 @@ impl TestBody {
         match self {
             TestBody::Asm(v) => v.len(),
             TestBody::Words(v) => v.len(),
+            TestBody::Mhart { body, .. } => body.len(),
         }
     }
 
@@ -44,6 +57,28 @@ impl TestBody {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The interleaving seed, for multi-hart cases.
+    #[must_use]
+    pub fn sched_seed(&self) -> Option<u64> {
+        match self {
+            TestBody::Mhart { sched_seed, .. } => Some(*sched_seed),
+            _ => None,
+        }
+    }
+
+    /// The same case with a different interleaving seed; single-hart
+    /// bodies are returned unchanged.
+    #[must_use]
+    pub fn with_sched_seed(&self, seed: u64) -> TestBody {
+        match self {
+            TestBody::Mhart { body, .. } => TestBody::Mhart {
+                body: body.clone(),
+                sched_seed: seed,
+            },
+            other => other.clone(),
+        }
     }
 }
 
@@ -538,6 +573,119 @@ impl Fuzzer for ChatFuzzFuzzer {
     }
 }
 
+/// Lifts any single-hart fuzzer into the two-hart system configuration:
+/// each generated body is wrapped into a [`TestBody::Mhart`] case with an
+/// interleaving seed, making the schedule part of the fuzzer's search
+/// space. Seeds that produced coverage gains are pooled and re-drawn with
+/// small mutations — the concurrency analogue of corpus scheduling, since
+/// a near-miss interleaving is likelier to realise a race than a fresh
+/// uniform draw.
+#[derive(Debug)]
+pub struct InterleaveFuzzer<F> {
+    inner: F,
+    rng: StdRng,
+    /// Interleaving seeds whose cases grew cumulative coverage.
+    seed_pool: Vec<u64>,
+    max_pool: usize,
+    /// Inner bodies of emitted cases awaiting feedback, oldest first (the
+    /// campaign applies feedback in generation order; the inner fuzzer
+    /// must see its *own* representation, not the wrapped one).
+    pending: std::collections::VecDeque<TestBody>,
+}
+
+impl<F: Fuzzer> InterleaveFuzzer<F> {
+    /// Wraps `inner`, drawing interleaving seeds from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, inner: F) -> InterleaveFuzzer<F> {
+        InterleaveFuzzer {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            seed_pool: Vec::new(),
+            max_pool: 64,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Seeds currently pooled as interesting.
+    #[must_use]
+    pub fn pooled_seeds(&self) -> &[u64] {
+        &self.seed_pool
+    }
+
+    fn draw_seed(&mut self) -> u64 {
+        if !self.seed_pool.is_empty() && self.rng.gen_bool(0.5) {
+            // Mutate a pooled seed: nearby seeds permute few tie-breaks,
+            // so the schedule stays close to the one that paid off.
+            let base = self.seed_pool[self.rng.gen_range(0..self.seed_pool.len())];
+            base ^ (1u64 << self.rng.gen_range(0..8u32))
+        } else {
+            self.rng.gen()
+        }
+    }
+}
+
+impl<F: Fuzzer> Fuzzer for InterleaveFuzzer<F> {
+    fn name(&self) -> &'static str {
+        "Interleave"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        let inner_body = self.inner.next_case();
+        let sched_seed = self.draw_seed();
+        let body = crate::campaign::decodable_instructions(&inner_body);
+        self.pending.push_back(inner_body);
+        TestBody::Mhart { body, sched_seed }
+    }
+
+    fn feedback(&mut self, body: &TestBody, feedback: Feedback) {
+        if feedback.gained_coverage {
+            if let Some(seed) = body.sched_seed() {
+                if self.seed_pool.len() >= self.max_pool {
+                    self.seed_pool.remove(0);
+                }
+                self.seed_pool.push(seed);
+            }
+        }
+        if let Some(inner_body) = self.pending.pop_front() {
+            self.inner.feedback(&inner_body, feedback);
+        }
+    }
+
+    fn attach_sink(&mut self, sink: crate::obs::SinkHandle) {
+        self.inner.attach_sink(sink);
+    }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        if !self.pending.is_empty() {
+            return Err(PersistError::Unsupported(
+                "interleave checkpoint requires a round boundary",
+            ));
+        }
+        {
+            let w = &mut w;
+            write_rng(w, &self.rng)?;
+            write_usize(w, self.max_pool)?;
+            write_usize(w, self.seed_pool.len())?;
+            for seed in &self.seed_pool {
+                write_u64(w, *seed)?;
+            }
+        }
+        self.inner.save_state(w)
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        {
+            let r = &mut r;
+            self.rng = read_rng(r)?;
+            self.max_pool = read_usize(r, 1 << 20, "seed pool capacity")?;
+            let n = read_usize(r, 1 << 20, "seed pool size")?;
+            self.seed_pool = (0..n).map(|_| read_u64(r)).collect::<Result<_, _>>()?;
+        }
+        self.pending.clear();
+        self.inner.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +817,49 @@ mod tests {
         round_trip(TheHuzzFuzzer::new(7, 16), TheHuzzFuzzer::new(99, 4));
         round_trip(CascadeFuzzer::new(7, 40), CascadeFuzzer::new(99, 4));
         round_trip(ChatFuzzFuzzer::new(7, 16), ChatFuzzFuzzer::new(99, 4));
+    }
+
+    #[test]
+    fn interleave_wraps_any_inner_fuzzer_into_mhart_cases() {
+        let mut f = InterleaveFuzzer::new(11, DifuzzRtlFuzzer::new(1, 12));
+        let mut seeds = std::collections::HashSet::new();
+        for i in 0..20 {
+            let body = f.next_case();
+            let TestBody::Mhart { sched_seed, .. } = &body else {
+                panic!("interleave emits mhart cases, got {body:?}");
+            };
+            seeds.insert(*sched_seed);
+            f.feedback(&body, Feedback::scalar(i % 4 == 0, 0.2));
+        }
+        assert!(seeds.len() > 10, "seeds should be diverse: {}", seeds.len());
+        // Positive feedback pooled the case's interleaving seed.
+        assert!(!f.pooled_seeds().is_empty());
+        assert!(f.pending.is_empty(), "feedback drains the pending queue");
+        // Word-level inner fuzzers wrap through their decodable instructions.
+        let mut w = InterleaveFuzzer::new(11, TheHuzzFuzzer::new(1, 12));
+        assert!(matches!(w.next_case(), TestBody::Mhart { .. }));
+    }
+
+    #[test]
+    fn interleave_resumes_bit_identically_and_rejects_mid_round() {
+        let mut live = InterleaveFuzzer::new(7, DifuzzRtlFuzzer::new(3, 10));
+        drive(&mut live, 8);
+        let mut blob = Vec::new();
+        live.save_state(&mut (&mut blob as &mut dyn Write)).unwrap();
+        let mut resumed = InterleaveFuzzer::new(99, DifuzzRtlFuzzer::new(99, 4));
+        let mut cursor: &[u8] = &blob;
+        resumed.load_state(&mut cursor).unwrap();
+        for _ in 0..5 {
+            assert_eq!(live.next_case(), resumed.next_case());
+        }
+        // A pending (un-fed) case blocks checkpointing, like ChatFuzz.
+        let mut mid = InterleaveFuzzer::new(7, CascadeFuzzer::new(1, 10));
+        let _ = mid.next_case();
+        let mut blob = Vec::new();
+        assert!(matches!(
+            mid.save_state(&mut (&mut blob as &mut dyn Write)),
+            Err(PersistError::Unsupported(_))
+        ));
     }
 
     #[test]

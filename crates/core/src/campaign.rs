@@ -405,6 +405,7 @@ pub struct CampaignSpec {
     core: CoreKind,
     config: CampaignConfig,
     quirks: Option<hfl_grm::cpu::Quirks>,
+    mhart: bool,
     sink: SinkHandle,
     checkpoint: Option<CheckpointPolicy>,
     resume_from: Option<PathBuf>,
@@ -422,6 +423,7 @@ impl CampaignSpec {
             core,
             config,
             quirks: None,
+            mhart: false,
             sink: SinkHandle::null(),
             checkpoint: None,
             resume_from: None,
@@ -447,6 +449,12 @@ impl CampaignSpec {
     #[must_use]
     pub fn quirks(&self) -> Option<&hfl_grm::cpu::Quirks> {
         self.quirks.as_ref()
+    }
+
+    /// Whether the campaign runs the two-hart system configuration.
+    #[must_use]
+    pub fn is_mhart(&self) -> bool {
+        self.mhart
     }
 
     /// Worker threads in the execution pool.
@@ -517,6 +525,7 @@ pub struct CampaignSpecBuilder {
     core: CoreKind,
     config: CampaignConfig,
     quirks: Option<hfl_grm::cpu::Quirks>,
+    mhart: bool,
     sink: SinkHandle,
     checkpoint: Option<CheckpointPolicy>,
     resume_from: Option<PathBuf>,
@@ -530,6 +539,18 @@ impl CampaignSpecBuilder {
     #[must_use]
     pub fn quirks(mut self, quirks: hfl_grm::cpu::Quirks) -> CampaignSpecBuilder {
         self.quirks = Some(quirks);
+        self
+    }
+
+    /// Targets the two-hart system DUT instead of a single core: every
+    /// case runs on the [`hfl_dut::MhartMachine`] (shared memory, timer
+    /// device, interleaving selected by the body's `sched_seed`) and is
+    /// difftested against a clean reference replaying the committed
+    /// schedule. Concurrency defects (the `C*` catalogue entries) only
+    /// manifest in this mode.
+    #[must_use]
+    pub fn mhart(mut self, mhart: bool) -> CampaignSpecBuilder {
+        self.mhart = mhart;
         self
     }
 
@@ -611,6 +632,7 @@ impl CampaignSpecBuilder {
             core: self.core,
             config: self.config,
             quirks: self.quirks,
+            mhart: self.mhart,
             sink: self.sink,
             checkpoint: self.checkpoint,
             resume_from: self.resume_from,
@@ -877,9 +899,22 @@ pub(crate) fn core_index(core: CoreKind) -> u32 {
         .expect("every core is in ALL") as u32
 }
 
+/// Names a PoC corpus entry, appending the interleaving seed for
+/// multi-hart bodies: the corpus text format stores only decodable
+/// instructions, so the seed — without which a concurrency PoC does not
+/// replay — must ride in the name (`<base>+seed<hex>`).
+pub(crate) fn poc_name(base: impl Into<String>, body: &TestBody) -> String {
+    let base = base.into();
+    match body.sched_seed() {
+        Some(seed) => format!("{base}+seed{seed:x}"),
+        None => base,
+    }
+}
+
 pub(crate) fn decodable_instructions(body: &TestBody) -> Vec<hfl_riscv::Instruction> {
     match body {
         TestBody::Asm(v) => v.clone(),
+        TestBody::Mhart { body, .. } => body.clone(),
         TestBody::Words(words) => words
             .iter()
             .filter_map(|&w| hfl_riscv::decode(w).ok())
@@ -948,7 +983,12 @@ fn write_checkpoint(
     pool: &ExecPool,
     metrics: &Metrics,
     state: &CampaignState,
+    sink: &SinkHandle,
 ) -> Result<(), RunError> {
+    // Flush the telemetry log first so it never lags the snapshot: after
+    // a hard kill the on-disk log is then always a clean prefix of the
+    // uninterrupted stream that reaches at least the resume point.
+    sink.flush();
     std::fs::create_dir_all(policy.dir()).map_err(PersistError::Io)?;
     let cfg = spec.config();
     let (pool_batches, pool_cases) = pool.counters();
@@ -1114,7 +1154,9 @@ pub fn run_campaign(
     let sink = spec.sink();
     fuzzer.attach_sink(sink.clone());
     let mut metrics = Metrics::new();
-    let mut builder = Executor::builder(spec.core()).max_steps(cfg.run.max_steps);
+    let mut builder = Executor::builder(spec.core())
+        .max_steps(cfg.run.max_steps)
+        .mhart(spec.is_mhart());
     if let Some(quirks) = spec.quirks() {
         builder = builder.quirks(quirks.clone());
     }
@@ -1160,13 +1202,13 @@ pub fn run_campaign(
         if let Some(policy) = spec.checkpoint() {
             let periodic = state.round_index.is_multiple_of(policy.every_rounds());
             if (periodic || requested) && state.executed < cfg.cases {
-                write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state)?;
+                write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state, sink)?;
             }
         }
     }
     // Final (or graceful-shutdown) snapshot.
     if let Some(policy) = spec.checkpoint() {
-        write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state)?;
+        write_checkpoint(policy, spec, fuzzer, &pool, &metrics, &state, sink)?;
     }
 
     let mut sigs: Vec<Signature> = state.first_detection.iter().map(|(s, _)| *s).collect();
@@ -1278,7 +1320,7 @@ pub(crate) fn run_round(
                 // The offending body is a proof of concept: it crashed
                 // the worker, which is itself a finding.
                 state.quarantined.push(
-                    format!("case-{}", state.executed),
+                    poc_name(format!("case-{}", state.executed), body),
                     decodable_instructions(body),
                 );
                 abort_case(fuzzer, metrics, state, body);
@@ -1319,7 +1361,7 @@ pub(crate) fn run_round(
                     .first_detection
                     .push((mismatch.signature(), state.executed));
                 state.trigger_corpus.push(
-                    mismatch.signature().to_string(),
+                    poc_name(mismatch.signature().to_string(), body),
                     decodable_instructions(body),
                 );
             }

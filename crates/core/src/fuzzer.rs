@@ -707,7 +707,15 @@ impl Fuzzer for HflFuzzer {
             self.pending.clear();
             self.session = pending.undo_gen;
             self.value_session = pending.undo_value;
-            self.coverage_session = pending.undo_coverage;
+            // The snapshot predates the predictor when an earlier feedback
+            // of this very round lazily created it; restoring `None` next
+            // to a live predictor would poison every later screening call,
+            // so re-pair with a fresh session instead.
+            self.coverage_session = pending.undo_coverage.or_else(|| {
+                self.coverage_predictor
+                    .as_ref()
+                    .map(CoveragePredictor::start_session)
+            });
             let penalty = if self.cfg.normalize_rewards {
                 self.normalizer.normalize(0.0)
             } else {

@@ -1,7 +1,7 @@
 //! The execution harness: runs a test case on both the DUT and the GRM
 //! and performs differential testing.
 
-use hfl_dut::{CoreKind, Dut, DutResult};
+use hfl_dut::{CoreKind, Dut, DutResult, MhartMachine};
 use hfl_grm::cpu::HaltReason;
 use hfl_grm::{ArchSnapshot, Cpu, Program, Trace};
 use hfl_riscv::Instruction;
@@ -65,6 +65,7 @@ pub struct ExecutorBuilder {
     kind: CoreKind,
     max_steps: u64,
     quirks: Option<hfl_grm::cpu::Quirks>,
+    mhart: bool,
 }
 
 impl ExecutorBuilder {
@@ -84,11 +85,29 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Switches the executor to the two-hart system configuration
+    /// ([`hfl_dut::mhart`]): every case runs SPMD on both harts under the
+    /// interleaving its `sched_seed` selects (single-hart bodies run with
+    /// seed 0), and coverage comes from the system-level point database.
+    #[must_use]
+    pub fn mhart(mut self, mhart: bool) -> ExecutorBuilder {
+        self.mhart = mhart;
+        self
+    }
+
     /// Builds the executor.
     #[must_use]
     pub fn build(self) -> Executor {
+        let mhart = self.mhart.then(|| {
+            MhartMachine::new(
+                self.quirks
+                    .clone()
+                    .unwrap_or_else(|| hfl_dut::quirks_for(self.kind)),
+            )
+        });
         Executor {
             dut: Dut::new(self.kind),
+            mhart,
             max_steps: self.max_steps,
             quirks: self.quirks,
             cache: PredecodeCache::default(),
@@ -118,10 +137,13 @@ impl ExecutorBuilder {
 #[derive(Debug, Clone)]
 pub struct Executor {
     dut: Dut,
+    /// The two-hart system machine, when the executor runs in mhart mode.
+    mhart: Option<MhartMachine>,
     max_steps: u64,
     quirks: Option<hfl_grm::cpu::Quirks>,
     /// Worker-local predecode cache: lock-free, and invisible to results
-    /// (lookups compare full bodies, so stale hits cannot occur).
+    /// (lookups compare full bodies — including any `sched_seed` — so
+    /// stale hits cannot occur).
     cache: PredecodeCache,
 }
 
@@ -133,6 +155,7 @@ impl Executor {
             kind,
             max_steps: DEFAULT_MAX_STEPS,
             quirks: None,
+            mhart: false,
         }
     }
 
@@ -142,10 +165,19 @@ impl Executor {
         self.dut.kind()
     }
 
-    /// The DUT's coverage-point database.
+    /// Whether the executor runs the two-hart system configuration.
+    #[must_use]
+    pub fn is_mhart(&self) -> bool {
+        self.mhart.is_some()
+    }
+
+    /// The coverage-point database (the system-level one in mhart mode).
     #[must_use]
     pub fn coverage_map(&self) -> &hfl_dut::CoverageMap {
-        self.dut.coverage_map()
+        match &self.mhart {
+            Some(machine) => machine.coverage_map(),
+            None => self.dut.coverage_map(),
+        }
     }
 
     /// Runs one test body — the single execution path every campaign and
@@ -155,6 +187,9 @@ impl Executor {
     /// body (screening, minimisation, triage) skip it entirely.
     pub fn run(&mut self, body: &TestBody) -> CaseResult {
         let prepared = self.cache.prepare(body);
+        if self.mhart.is_some() {
+            return self.run_mhart(&prepared, body.sched_seed().unwrap_or(0));
+        }
         self.run_prepared(&prepared)
     }
 
@@ -180,6 +215,52 @@ impl Executor {
     /// (one-shot predecode, bypassing the cache).
     pub fn run_program(&mut self, program: &Program) -> CaseResult {
         self.run_prepared(&PreparedCase::new(program.clone()))
+    }
+
+    /// Runs one case on the two-hart system machine and folds the per-hart
+    /// outcomes into the single-hart [`CaseResult`] shape the rest of the
+    /// pipeline (pools, campaigns, coverage batching) consumes: hart 0
+    /// fills the scalar trace/state fields, coverage is the system-level
+    /// snapshot, and `mismatches` merges the per-hart difftests.
+    fn run_mhart(&mut self, prepared: &PreparedCase, sched_seed: u64) -> CaseResult {
+        let machine = self.mhart.as_mut().expect("mhart mode");
+        let dut_started = std::time::Instant::now();
+        let result = machine.run(&prepared.program, sched_seed, self.max_steps);
+        let diff_started = std::time::Instant::now();
+        let mut mismatches = Vec::new();
+        for (hart, (d, r)) in result.harts.iter().zip(&result.reference).enumerate() {
+            let mut found = compare(&r.trace, r.halt, &r.arch, &d.trace, d.halt, &d.arch);
+            for m in &mut found {
+                m.detail = format!("hart {hart}: {}", m.detail);
+            }
+            mismatches.extend(found);
+        }
+        let done = std::time::Instant::now();
+        let [dut0, _] = &result.harts[..] else {
+            unreachable!("two harts");
+        };
+        let [ref0, _] = &result.reference[..] else {
+            unreachable!("two harts");
+        };
+        CaseResult {
+            dut: DutResult {
+                halt: dut0.halt,
+                steps: result.harts.iter().map(|h| h.steps).sum(),
+                cycles: result.scheduled_steps,
+                trace: dut0.trace.clone(),
+                arch: dut0.arch.clone(),
+                coverage: result.coverage,
+            },
+            grm_trace: ref0.trace.clone(),
+            grm_halt: ref0.halt,
+            grm_arch: ref0.arch.clone(),
+            mismatches,
+            timing: CaseTiming {
+                dut_seconds: (diff_started - dut_started).as_secs_f64(),
+                grm_seconds: 0.0,
+                difftest_seconds: (done - diff_started).as_secs_f64(),
+            },
+        }
     }
 
     /// Runs a prepared (assembled + predecoded) case on both sides and

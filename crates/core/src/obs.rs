@@ -131,6 +131,10 @@ pub enum Event {
         from_len: u64,
         /// Body length after the reduction.
         to_len: u64,
+        /// Interleaving seed held fixed during minimisation (multi-hart
+        /// cases only): the minimised body reproduces only under this
+        /// schedule, so the PoC record must carry it.
+        sched_seed: Option<u64>,
     },
     /// A case was abandoned by fault containment: every attempt panicked
     /// (`reason` is the final panic message) or exceeded the fuel budget
@@ -335,10 +339,12 @@ impl Event {
                 executions,
                 from_len,
                 to_len,
+                sched_seed,
             } => {
                 w.num("executions", *executions);
                 w.num("from_len", *from_len);
                 w.num("to_len", *to_len);
+                w.hex_opt("sched_seed", *sched_seed);
             }
             Event::CaseAborted {
                 round,
@@ -486,6 +492,11 @@ impl Event {
                 executions: u("executions")?,
                 from_len: u("from_len")?,
                 to_len: u("to_len")?,
+                // Absent in logs written before multi-hart support.
+                sched_seed: match f("sched_seed") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(v) => Some(u64::from_str_radix(v.as_str()?, 16).ok()?),
+                },
             }),
             "case_aborted" => Some(Event::CaseAborted {
                 round: u("round")?,
@@ -1277,6 +1288,7 @@ mod tests {
                 executions: 5,
                 from_len: 9,
                 to_len: 5,
+                sched_seed: Some(0xA5),
             },
             Event::CaseAborted {
                 round: 1,

@@ -123,7 +123,68 @@ pub fn poc_for(bug_id: &str) -> Vec<Instruction> {
             Instruction::csr_reg(Opcode::Csrrw, Reg::X10, Csr::MHARTID, Reg::X5),
             Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 2),
         ],
+        // Concurrency PoCs: SPMD bodies for the two-hart system DUT
+        // (`TestBody::Mhart`). Both harts run the whole body; x30 (t5)
+        // carries the hart index, which is what makes the accesses race.
+        // A single interleaving seed need not trigger the defect — the
+        // campaign fuzzes seeds — so detection tests scan a seed range.
+        //
+        // C1: hart 0's lr/sc window races hart 1's plain store to the
+        // reserved word. With the reservation incorrectly surviving the
+        // remote store, the DUT's sc succeeds where the reference's fails.
+        "C1" => vec![
+            Instruction::r(Opcode::LrD, Reg::X10, Reg::X5, Reg::X0),
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X0, 55),
+            Instruction::NOP,
+            Instruction::NOP,
+            Instruction::NOP,
+            Instruction::r(Opcode::ScD, Reg::X12, Reg::X5, Reg::X11),
+            Instruction::s(Opcode::Sd, Reg::X30, 0, Reg::X5),
+        ],
+        // C2: each hart publishes a hart-dependent value then reads the
+        // shared word back. With remote stores serving stale data, the
+        // read returns old contents the sequential reference never sees.
+        "C2" => vec![
+            Instruction::i(Opcode::Addi, Reg::X11, Reg::X30, 1),
+            Instruction::s(Opcode::Sd, Reg::X11, 0, Reg::X5),
+            Instruction::NOP,
+            Instruction::i(Opcode::Ld, Reg::X12, Reg::X5, 0),
+            Instruction::NOP,
+            Instruction::i(Opcode::Ld, Reg::X13, Reg::X5, 0),
+        ],
+        // C3: enable machine-timer interrupts, then sit in a window of
+        // increments. Any delivered interrupt makes the handler read mepc
+        // — pc + 4 under the defect — so x31 and the resume point diverge
+        // from the reference immediately.
+        "C3" => {
+            let mut body = vec![
+                Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 0x80), // mie.MTIE
+                Instruction::csr_reg(Opcode::Csrrs, Reg::X0, Csr::MIE, Reg::X10),
+                Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 0x8), // mstatus.MIE
+                Instruction::csr_reg(Opcode::Csrrs, Reg::X0, Csr::MSTATUS, Reg::X10),
+            ];
+            body.extend((0..24).map(|_| Instruction::i(Opcode::Addi, Reg::X12, Reg::X12, 1)));
+            body.push(Instruction::csr_reg(
+                Opcode::Csrrs,
+                Reg::X13,
+                Csr::MEPC,
+                Reg::X0,
+            ));
+            body
+        }
         other => panic!("unknown bug id {other}"),
+    }
+}
+
+/// The directed PoC as a ready-to-run [`TestBody`]: concurrency bugs get
+/// a `Mhart` body (interleaving seed `sched_seed`, ignored otherwise),
+/// everything else the plain single-hart `Asm` body.
+#[must_use]
+pub fn poc_body_for(bug_id: &str, sched_seed: u64) -> crate::baselines::TestBody {
+    let body = poc_for(bug_id);
+    match hfl_dut::bugs::find(bug_id) {
+        Some(bug) if bug.concurrency => crate::baselines::TestBody::Mhart { body, sched_seed },
+        _ => crate::baselines::TestBody::Asm(body),
     }
 }
 
@@ -135,7 +196,7 @@ mod tests {
 
     #[test]
     fn every_catalogued_bug_has_a_triggering_poc() {
-        for bug in bugs::CATALOG {
+        for bug in bugs::CATALOG.iter().filter(|b| !b.concurrency) {
             let body = poc_for(bug.id);
             assert!(!body.is_empty());
             for &core in bug.cores {
@@ -147,6 +208,39 @@ mod tests {
                     bug.id
                 );
             }
+        }
+    }
+
+    #[test]
+    fn every_concurrency_bug_has_a_triggering_mhart_poc() {
+        use hfl_dut::CoreKind;
+        // A concurrency PoC triggers only under interleavings that realise
+        // the race, so scan a seed range; and it must stay silent for every
+        // seed on a clean two-hart configuration.
+        for bug in bugs::CATALOG.iter().filter(|b| b.concurrency) {
+            let mut quirks = hfl_grm::cpu::Quirks::default();
+            bugs::enable(&mut quirks, bug.id, CoreKind::Rocket);
+            let mut buggy = Executor::builder(CoreKind::Rocket)
+                .quirks(quirks)
+                .mhart(true)
+                .build();
+            let mut clean = Executor::builder(CoreKind::Rocket)
+                .quirks(hfl_grm::cpu::Quirks::default())
+                .mhart(true)
+                .build();
+            let mut caught = false;
+            for seed in 0..64u64 {
+                let body = poc_body_for(bug.id, seed);
+                caught |= !buggy.run(&body).mismatches.is_empty();
+                let silent = clean.run(&body);
+                assert!(
+                    silent.mismatches.is_empty(),
+                    "{} PoC mismatched on a clean config at seed {seed}: {:?}",
+                    bug.id,
+                    silent.mismatches
+                );
+            }
+            assert!(caught, "{}: no seed in 0..64 exposed the defect", bug.id);
         }
     }
 

@@ -132,6 +132,11 @@ impl PredecodeCache {
         let program = match body {
             TestBody::Asm(instructions) => Program::assemble(instructions),
             TestBody::Words(words) => Program::assemble_raw(words),
+            // The sched_seed does not change the lowering — it selects
+            // the runtime interleaving — but it *is* part of the cache
+            // key (derived TestBody equality/hash), so two cases that
+            // differ only in seed occupy distinct slots.
+            TestBody::Mhart { body, .. } => Program::assemble(body),
         };
         let prepared = PreparedCase::new(program);
         if self.slots.len() >= self.capacity {
@@ -220,6 +225,42 @@ mod tests {
         ]);
         cache.prepare(&as_words);
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn interleaving_seeds_never_alias_in_the_cache() {
+        // Satellite regression: two multi-hart cases that differ only in
+        // sched_seed are *different test cases* — they run the same image
+        // under different interleavings. The cache key must separate them;
+        // a stale hit here would silently replay the wrong schedule's
+        // identity through hit/miss accounting and batch dedup.
+        let mut cache = PredecodeCache::new(4);
+        let instructions = vec![Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 3)];
+        let a = TestBody::Mhart {
+            body: instructions.clone(),
+            sched_seed: 1,
+        };
+        let b = TestBody::Mhart {
+            body: instructions,
+            sched_seed: 2,
+        };
+        cache.prepare(&a);
+        cache.prepare(&b);
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.len()),
+            (0, 2, 2),
+            "distinct seeds must occupy distinct slots, never alias"
+        );
+        // Re-looking each seed up hits its own slot.
+        cache.prepare(&a);
+        cache.prepare(&b);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // The lowering itself is seed-independent: both slots share the
+        // same program bytes (the seed selects the runtime interleaving).
+        let pa = cache.prepare(&a);
+        let pb = cache.prepare(&b);
+        assert_eq!(pa.program.words, pb.program.words);
+        assert!(!Arc::ptr_eq(&pa.program, &pb.program));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use hfl_riscv::Instruction;
 
+use crate::baselines::TestBody;
 use crate::difftest::Signature;
 use crate::harness::Executor;
 use crate::obs::{Event, SinkHandle};
@@ -17,6 +18,11 @@ use crate::obs::{Event, SinkHandle};
 pub struct Minimized {
     /// The reduced body (still reproduces the signature).
     pub body: Vec<Instruction>,
+    /// The interleaving seed the case ran under, for multi-hart cases.
+    /// Minimisation holds it fixed — shrinking the body while letting the
+    /// schedule drift would detach the reproducer from its race — and
+    /// quarantined PoCs record it so replay re-selects the interleaving.
+    pub sched_seed: Option<u64>,
     /// Original body length.
     pub original_len: usize,
     /// Differential-test executions spent.
@@ -44,9 +50,9 @@ impl Minimized {
     }
 }
 
-fn reproduces(executor: &mut Executor, body: &[Instruction], signature: Signature) -> bool {
+fn reproduces(executor: &mut Executor, body: &TestBody, signature: Signature) -> bool {
     executor
-        .run_case(body)
+        .run(body)
         .mismatches
         .iter()
         .any(|m| m.signature() == signature)
@@ -82,16 +88,60 @@ pub fn minimize_with_sink(
     signature: Signature,
     sink: &SinkHandle,
 ) -> Option<Minimized> {
+    minimize_body_with_sink(executor, &TestBody::Asm(body.to_vec()), signature, sink)
+}
+
+/// Minimises any [`TestBody`] representation. For multi-hart cases the
+/// `sched_seed` is held fixed across every candidate — each shrunken body
+/// re-runs under the *same* interleaving, so the returned reproducer
+/// (body, seed) pair still triggers the race. `Words` bodies shrink over
+/// their decodable instructions.
+#[must_use]
+pub fn minimize_body(
+    executor: &mut Executor,
+    body: &TestBody,
+    signature: Signature,
+) -> Option<Minimized> {
+    minimize_body_with_sink(executor, body, signature, &SinkHandle::null())
+}
+
+/// [`minimize_body`] with telemetry (see [`minimize_with_sink`]).
+#[must_use]
+pub fn minimize_body_with_sink(
+    executor: &mut Executor,
+    body: &TestBody,
+    signature: Signature,
+    sink: &SinkHandle,
+) -> Option<Minimized> {
+    let sched_seed = body.sched_seed();
+    // Rebuilds a candidate instruction list into the original body's
+    // representation, preserving the interleaving seed.
+    let rebuild = |candidate: Vec<Instruction>| -> TestBody {
+        match sched_seed {
+            Some(seed) => TestBody::Mhart {
+                body: candidate,
+                sched_seed: seed,
+            },
+            None => TestBody::Asm(candidate),
+        }
+    };
+    let instructions = crate::campaign::decodable_instructions(body);
     let mut executions = 0u64;
-    let check = |executor: &mut Executor, candidate: &[Instruction], executions: &mut u64| {
+    let check = |executor: &mut Executor, candidate: &TestBody, executions: &mut u64| {
         *executions += 1;
         reproduces(executor, candidate, signature)
     };
     if !check(executor, body, &mut executions) {
         return None;
     }
-    let original_len = body.len();
-    let mut current = body.to_vec();
+    let rebuilt = rebuild(instructions.clone());
+    if rebuilt != *body && !check(executor, &rebuilt, &mut executions) {
+        // Words bodies only: re-encoding the decodable instructions lost
+        // the trigger, so there is no instruction-level case to shrink.
+        return None;
+    }
+    let original_len = instructions.len();
+    let mut current = instructions;
     let mut chunk = (current.len() / 2).max(1);
     while chunk >= 1 {
         let mut start = 0;
@@ -100,12 +150,15 @@ pub fn minimize_with_sink(
             let mut candidate = Vec::with_capacity(current.len() - (end - start));
             candidate.extend_from_slice(&current[..start]);
             candidate.extend_from_slice(&current[end..]);
-            if !candidate.is_empty() && check(executor, &candidate, &mut executions) {
+            if !candidate.is_empty()
+                && check(executor, &rebuild(candidate.clone()), &mut executions)
+            {
                 if sink.enabled() {
                     sink.emit(&Event::MinimizeStep {
                         executions,
                         from_len: current.len() as u64,
                         to_len: candidate.len() as u64,
+                        sched_seed,
                     });
                 }
                 current = candidate; // keep the reduction, retry same start
@@ -120,6 +173,7 @@ pub fn minimize_with_sink(
     }
     Some(Minimized {
         body: current,
+        sched_seed,
         original_len,
         executions,
     })
@@ -171,6 +225,7 @@ mod tests {
     fn reduction_is_well_defined_on_the_edge_cases() {
         let mk = |body_len: usize, original_len: usize| Minimized {
             body: vec![Instruction::NOP; body_len],
+            sched_seed: None,
             original_len,
             executions: 0,
         };
@@ -218,6 +273,7 @@ mod tests {
                 executions,
                 from_len,
                 to_len,
+                sched_seed: None,
             } = event
             else {
                 panic!("unexpected event {event:?}");
@@ -245,7 +301,7 @@ mod tests {
 
     #[test]
     fn minimizing_every_poc_keeps_it_reproducing() {
-        for bug in hfl_dut::CATALOG {
+        for bug in hfl_dut::CATALOG.iter().filter(|b| !b.concurrency) {
             let core = bug.cores[0];
             let mut executor = Executor::builder(core).build();
             let body = poc_for(bug.id);
@@ -262,5 +318,69 @@ mod tests {
                 bug.id
             );
         }
+    }
+
+    #[test]
+    fn minimizing_a_concurrency_poc_holds_the_interleaving_seed_fixed() {
+        // Pad the C1 reservation-race PoC with benign noise under a seed
+        // known to expose the race, then minimise: the reproducer must keep
+        // the same sched_seed and still trigger under it.
+        let bug = hfl_dut::bugs::find("C1").expect("C1 catalogued");
+        let mut quirks = hfl_grm::cpu::Quirks::default();
+        hfl_dut::bugs::enable(&mut quirks, bug.id, CoreKind::Rocket);
+        let mut executor = Executor::builder(CoreKind::Rocket)
+            .quirks(quirks)
+            .mhart(true)
+            .build();
+        let (seed, signature) = (0..64u64)
+            .find_map(|seed| {
+                let body = crate::poc::poc_body_for("C1", seed);
+                let result = executor.run(&body);
+                result.mismatches.first().map(|m| (seed, m.signature()))
+            })
+            .expect("some seed in 0..64 exposes C1");
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut padded: Vec<Instruction> = Vec::new();
+        for _ in 0..6 {
+            let inst = random_instruction(&mut rng);
+            if inst.opcode.is_memory_access() || inst.opcode.is_control_flow() {
+                continue;
+            }
+            padded.push(inst);
+        }
+        padded.extend(crate::poc::poc_for("C1"));
+        let body = TestBody::Mhart {
+            body: padded.clone(),
+            sched_seed: seed,
+        };
+        if executor
+            .run(&body)
+            .mismatches
+            .iter()
+            .all(|m| m.signature() != signature)
+        {
+            // The noise shifted the interleaving enough to mask the race
+            // under this seed; minimising an unpadded case still exercises
+            // the seed-pinning path.
+            let body = crate::poc::poc_body_for("C1", seed);
+            let minimized = minimize_body(&mut executor, &body, signature).expect("reproduces");
+            assert_eq!(minimized.sched_seed, Some(seed));
+            return;
+        }
+        let minimized = minimize_body(&mut executor, &body, signature).expect("reproduces");
+        assert_eq!(minimized.sched_seed, Some(seed), "seed recorded verbatim");
+        assert!(minimized.body.len() <= padded.len());
+        let replay = TestBody::Mhart {
+            body: minimized.body.clone(),
+            sched_seed: seed,
+        };
+        assert!(
+            executor
+                .run(&replay)
+                .mismatches
+                .iter()
+                .any(|m| m.signature() == signature),
+            "minimised case lost the race under its pinned seed"
+        );
     }
 }

@@ -24,6 +24,10 @@ pub struct InjectedBug {
     pub cores: &'static [CoreKind],
     /// Whether the paper reports this as a novel discovery.
     pub novel: bool,
+    /// Whether the defect only manifests under multi-hart execution
+    /// (detected by the [`crate::mhart`] system configuration, invisible
+    /// to single-hart difftest).
+    pub concurrency: bool,
     /// What goes wrong.
     pub description: &'static str,
 }
@@ -36,6 +40,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Cva6],
         novel: true,
+        concurrency: false,
         description: "a store targeting the cache line holding the currently \
                       executing instruction disrupts write-back coherency and \
                       crashes the core (denial of service)",
@@ -46,6 +51,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1220",
         cores: &[CoreKind::Cva6],
         novel: true,
+        concurrency: false,
         description: "after configuring a locked PMP rule, the first 128 bits \
                       (16 bytes) of the protected region remain accessible",
     },
@@ -55,6 +61,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Cva6],
         novel: true,
+        concurrency: false,
         description: "jumps to misaligned addresses do not raise the \
                       misaligned-fetch exception; execution silently continues \
                       at a truncated target",
@@ -65,6 +72,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Cva6],
         novel: true,
+        concurrency: false,
         description: "feq.s with an improperly NaN-boxed input fails to set \
                       the invalid-operation flag for signalling NaNs",
     },
@@ -74,6 +82,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Rocket],
         novel: false,
+        concurrency: false,
         description: "floating-point division by zero does not raise the DZ \
                       exception flag",
     },
@@ -83,6 +92,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Rocket],
         novel: false,
+        concurrency: false,
         description: "store-conditional succeeds without a valid load \
                       reservation, breaking atomic sequences",
     },
@@ -92,6 +102,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Rocket],
         novel: false,
+        concurrency: false,
         description: "accesses to unimplemented CSRs complete as no-ops \
                       instead of raising an illegal-instruction exception",
     },
@@ -101,6 +112,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Boom],
         novel: false,
+        concurrency: false,
         description: "fmin/fmax with exactly one NaN operand return NaN \
                       instead of the other operand",
     },
@@ -110,6 +122,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Boom],
         novel: false,
+        concurrency: false,
         description: "mulhsu treats its unsigned operand as signed, \
                       corrupting the upper product word",
     },
@@ -119,6 +132,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Boom],
         novel: false,
+        concurrency: false,
         description: "the retired-instruction counter advances twice for \
                       integer divide instructions",
     },
@@ -128,6 +142,7 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Cva6],
         novel: false,
+        concurrency: false,
         description: "misaligned-store traps report mtval = 0 instead of the \
                       faulting address",
     },
@@ -137,8 +152,42 @@ pub const CATALOG: &[InjectedBug] = &[
         cwe: "CWE-1281",
         cores: &[CoreKind::Cva6],
         novel: false,
+        concurrency: false,
         description: "writes to read-only CSRs are dropped instead of raising \
                       an illegal-instruction exception",
+    },
+    InjectedBug {
+        id: "C1",
+        name: "LR reservation survives remote store",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Rocket, CoreKind::Boom, CoreKind::Cva6],
+        novel: false,
+        concurrency: true,
+        description: "a load-reserved reservation is not invalidated when \
+                      another hart stores to the reserved address, so a racing \
+                      store-conditional succeeds and breaks the atomic sequence",
+    },
+    InjectedBug {
+        id: "C2",
+        name: "stale shared cache line",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Rocket, CoreKind::Boom, CoreKind::Cva6],
+        novel: false,
+        concurrency: true,
+        description: "remote stores become visible to the other hart only \
+                      after a long delay (a coherence miss keeps serving the \
+                      stale line), so cross-hart reads return old data",
+    },
+    InjectedBug {
+        id: "C3",
+        name: "interrupt saves mepc of the next instruction",
+        cwe: "CWE-1281",
+        cores: &[CoreKind::Rocket, CoreKind::Boom, CoreKind::Cva6],
+        novel: false,
+        concurrency: true,
+        description: "an asynchronous interrupt latches mepc = pc + 4 instead \
+                      of pc, so returning from the handler silently skips the \
+                      interrupted instruction",
     },
 ];
 
@@ -181,6 +230,9 @@ pub fn enable(q: &mut Quirks, id: &str, core: CoreKind) {
         "K6" => q.minstret_double_counts_div = true,
         "K7" => q.mtval_zero_on_misaligned_store = true,
         "K8" => q.readonly_csr_write_ignored = true,
+        "C1" => q.lr_reservation_survives_remote_store = true,
+        "C2" => q.stale_shared_line = true,
+        "C3" => q.interrupt_mepc_off_by_four = true,
         other => panic!("unknown bug id {other}"),
     }
 }
@@ -261,5 +313,44 @@ mod tests {
     #[should_panic(expected = "unknown bug id")]
     fn enable_rejects_unknown_ids() {
         enable(&mut Quirks::default(), "Z9", CoreKind::Rocket);
+    }
+
+    #[test]
+    fn concurrency_class_covers_all_cores() {
+        let conc: Vec<_> = CATALOG.iter().filter(|b| b.concurrency).collect();
+        assert_eq!(conc.len(), 3);
+        assert!(conc.iter().all(|b| b.id.starts_with('C')));
+        for core in CoreKind::ALL {
+            assert!(
+                conc.iter().all(|b| b.cores.contains(&core)),
+                "{core:?} must carry the concurrency defects"
+            );
+        }
+        // And only the C bugs are concurrency-flagged.
+        assert!(CATALOG
+            .iter()
+            .filter(|b| !b.id.starts_with('C'))
+            .all(|b| !b.concurrency));
+    }
+
+    #[test]
+    fn concurrency_quirks_enable_individually() {
+        type Probe = fn(&Quirks) -> bool;
+        let probes: [(&str, Probe); 3] = [
+            ("C1", |q| q.lr_reservation_survives_remote_store),
+            ("C2", |q| q.stale_shared_line),
+            ("C3", |q| q.interrupt_mepc_off_by_four),
+        ];
+        for (id, probe) in probes {
+            let mut q = Quirks::default();
+            enable(&mut q, id, CoreKind::Rocket);
+            assert!(probe(&q), "{id} must flip its quirk");
+        }
+        // quirks_for now includes the concurrency defects on every core.
+        for core in CoreKind::ALL {
+            let q = quirks_for(core);
+            assert!(q.lr_reservation_survives_remote_store && q.stale_shared_line);
+            assert!(q.interrupt_mepc_off_by_four);
+        }
     }
 }

@@ -11,7 +11,10 @@
 //! - [`coverage`] provides the line/condition/FSM coverage database an RTL
 //!   coverage tool would,
 //! - [`bugs`] injects the paper's four novel CVA6 vulnerabilities and the
-//!   previously-known defects on all three cores.
+//!   previously-known defects on all three cores,
+//! - [`mhart`] lifts the DUT to a two-hart system configuration on the
+//!   `hfl-sys` discrete-event scheduler, with a shared-memory bus and a
+//!   timer device, for concurrency-defect fuzzing.
 //!
 //! # Examples
 //!
@@ -33,11 +36,13 @@ pub mod bugs;
 pub mod cache;
 pub mod core;
 pub mod coverage;
+pub mod mhart;
 pub mod pipeline;
 
 pub use crate::core::{CoreConfig, Dut, DutResult};
 pub use bugs::{bugs_for, quirks_for, InjectedBug, CATALOG};
 pub use coverage::{CoverageKind, CoverageMap, CoverageSnapshot, PointId};
+pub use mhart::{CommitEvent, HartResult, MhartMachine, MhartResult};
 
 /// The three RISC-V cores the paper evaluates (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

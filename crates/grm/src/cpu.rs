@@ -57,6 +57,22 @@ pub struct Quirks {
     pub minstret_double_counts_div: bool,
     /// Known bug: `addiw` fails to sign-extend its 32-bit result.
     pub addiw_no_sign_extend: bool,
+    /// **C1** (multi-hart, CWE-1281): an `lr` reservation survives a
+    /// remote hart's store to the reserved address, so a racing `sc`
+    /// succeeds when it must fail. Inert in single-hart execution — it is
+    /// consulted only by [`Cpu::apply_remote_store`].
+    pub lr_reservation_survives_remote_store: bool,
+    /// **C2** (multi-hart, CWE-1281): remote stores propagate to this
+    /// hart's view of shared memory only after a long delay (a stale
+    /// shared cache line). Inert in single-hart execution — it is
+    /// consulted by the multi-hart machine's bus, never by `Cpu` itself.
+    pub stale_shared_line: bool,
+    /// **C3** (multi-hart, CWE-1281): an asynchronous interrupt saves
+    /// `mepc = pc + 4` instead of `pc`, silently skipping the interrupted
+    /// instruction on return (interrupt-window CSR corruption). Inert in
+    /// single-hart execution — only [`Cpu::take_interrupt`] consults it,
+    /// and nothing delivers interrupts outside the multi-hart machine.
+    pub interrupt_mepc_off_by_four: bool,
 }
 
 /// Why a run stopped.
@@ -493,6 +509,69 @@ impl Cpu {
         self.pc = self.csrs.mtvec;
         self.cycle = self.cycle.wrapping_add(1);
         self.record(info);
+    }
+
+    /// Current LR reservation address, if any. The multi-hart machine's
+    /// bus snoops this to model reservation invalidation.
+    #[must_use]
+    pub fn reservation(&self) -> Option<u64> {
+        self.reservation
+    }
+
+    /// Whether a machine timer interrupt is deliverable right now:
+    /// `mstatus.MIE` and `mie.MTIE` are both set.
+    #[must_use]
+    pub fn timer_interrupt_enabled(&self) -> bool {
+        (self.csrs.mstatus >> 3) & 1 == 1 && (self.csrs.mie >> 7) & 1 == 1
+    }
+
+    /// Delivers an asynchronous interrupt between instructions: saves the
+    /// resume pc in `mepc`, sets `mcause`/`mtval`, pushes the interrupt
+    /// enable stack (MPIE <- MIE, MIE <- 0, MPP <- M) and redirects to
+    /// `mtvec`. No trace entry is recorded — the interrupt is not an
+    /// instruction; its effects surface through the handler's own trace.
+    ///
+    /// Under [`Quirks::interrupt_mepc_off_by_four`] the saved `mepc`
+    /// points one instruction past the interrupted one (C3), so the
+    /// skip-and-resume handler skips an extra instruction on return.
+    pub fn take_interrupt(&mut self, cause: u64) {
+        let epc = self.pc & !0b11;
+        self.csrs.mepc = if self.quirks.interrupt_mepc_off_by_four {
+            epc.wrapping_add(4)
+        } else {
+            epc
+        };
+        self.csrs.mcause = cause;
+        self.csrs.mtval = 0;
+        // mstatus: MPIE <- MIE, MIE <- 0, MPP <- M (as take_trap).
+        let mie = (self.csrs.mstatus >> 3) & 1;
+        self.csrs.mstatus &= !(1 << 3 | 1 << 7);
+        self.csrs.mstatus |= mie << 7 | 0b11 << 11;
+        self.pc = self.csrs.mtvec;
+        self.cycle = self.cycle.wrapping_add(1);
+    }
+
+    /// Applies a store committed by a *remote* hart to this hart's view
+    /// of memory (the multi-hart machine's shared-memory bus calls this
+    /// at store-propagation time). Overwritten executable-window words
+    /// are marked dirty, and a reservation on the stored-to address is
+    /// invalidated — unless [`Quirks::lr_reservation_survives_remote_store`]
+    /// (C1) incorrectly keeps it alive. Stores outside RAM are dropped:
+    /// the remote hart already took its own access fault for them.
+    pub fn apply_remote_store(&mut self, addr: u64, size: u8, value: u64) {
+        let written = match size {
+            1 => self.mem.write_u8(addr, value as u8),
+            2 => self.mem.write_u16(addr, value as u16),
+            4 => self.mem.write_u32(addr, value as u32),
+            _ => self.mem.write_u64(addr, value),
+        };
+        if written.is_err() {
+            return;
+        }
+        self.mark_code_dirty(addr, size);
+        if !self.quirks.lr_reservation_survives_remote_store && self.reservation == Some(addr) {
+            self.reservation = None;
+        }
     }
 
     /// Runs until halt or until `max_steps` instructions retire.
@@ -2218,5 +2297,99 @@ mod bitmanip_tests {
             Instruction::s(Opcode::Sw, Reg::X0, 8, Reg::X6),
         ];
         assert_predecoded_matches(&body, quirks, 100_000);
+    }
+
+    #[test]
+    fn take_interrupt_mirrors_trap_entry() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&Program::assemble(&[Instruction::NOP]));
+        cpu.csrs.mstatus = 1 << 3; // MIE set
+        cpu.csrs.mie = 1 << 7; // MTIE set
+        assert!(cpu.timer_interrupt_enabled());
+        let pc_before = cpu.pc;
+        cpu.take_interrupt(crate::cause::MACHINE_TIMER_INTERRUPT);
+        assert_eq!(cpu.csrs.mepc, pc_before);
+        assert_eq!(cpu.csrs.mcause, crate::cause::MACHINE_TIMER_INTERRUPT);
+        assert_eq!(cpu.pc, cpu.csrs.mtvec);
+        // MPIE <- 1, MIE <- 0, MPP <- M.
+        assert_eq!((cpu.csrs.mstatus >> 7) & 1, 1);
+        assert_eq!((cpu.csrs.mstatus >> 3) & 1, 0);
+        assert_eq!((cpu.csrs.mstatus >> 11) & 0b11, 0b11);
+        assert!(!cpu.timer_interrupt_enabled(), "MIE cleared on entry");
+    }
+
+    #[test]
+    fn take_interrupt_mepc_quirk_saves_pc_plus_four() {
+        let mut cpu = Cpu::with_quirks(Quirks {
+            interrupt_mepc_off_by_four: true,
+            ..Quirks::default()
+        });
+        cpu.load_program(&Program::assemble(&[Instruction::NOP]));
+        let pc_before = cpu.pc;
+        cpu.take_interrupt(crate::cause::MACHINE_TIMER_INTERRUPT);
+        assert_eq!(cpu.csrs.mepc, pc_before.wrapping_add(4));
+    }
+
+    #[test]
+    fn remote_store_clears_matching_reservation() {
+        let addr = mem_map::DATA_BASE + 0x40;
+        let body = vec![
+            Instruction::i(Opcode::Addi, Reg::X5, Reg::X5, 0x40),
+            Instruction::r(Opcode::LrD, Reg::X10, Reg::X5, Reg::X0),
+        ];
+        let mut cpu = Cpu::new();
+        cpu.load_program(&Program::assemble(&body));
+        cpu.run(100);
+        assert_eq!(cpu.reservation(), Some(addr));
+
+        // A remote store elsewhere leaves the reservation alone.
+        cpu.apply_remote_store(addr + 8, 8, 0xAA);
+        assert_eq!(cpu.reservation(), Some(addr));
+        // A remote store to the reserved address clears it.
+        cpu.apply_remote_store(addr, 8, 0xBB);
+        assert_eq!(cpu.reservation(), None);
+        assert_eq!(cpu.mem.read_u64(addr), Ok(0xBB));
+    }
+
+    #[test]
+    fn remote_store_reservation_survives_under_c1_quirk() {
+        let addr = mem_map::DATA_BASE + 0x40;
+        let body = vec![
+            Instruction::i(Opcode::Addi, Reg::X5, Reg::X5, 0x40),
+            Instruction::r(Opcode::LrD, Reg::X10, Reg::X5, Reg::X0),
+        ];
+        let mut cpu = Cpu::with_quirks(Quirks {
+            lr_reservation_survives_remote_store: true,
+            ..Quirks::default()
+        });
+        cpu.load_program(&Program::assemble(&body));
+        cpu.run(100);
+        assert_eq!(cpu.reservation(), Some(addr));
+        cpu.apply_remote_store(addr, 8, 0xBB);
+        assert_eq!(cpu.reservation(), Some(addr), "C1: stale reservation kept");
+        assert_eq!(cpu.mem.read_u64(addr), Ok(0xBB), "data still propagates");
+    }
+
+    #[test]
+    fn remote_store_to_unmapped_memory_is_dropped() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&Program::assemble(&[Instruction::NOP]));
+        cpu.apply_remote_store(0x10, 8, 0xDEAD); // below RAM: no-op
+        assert!(cpu.mem.read_u64(0x10).is_err());
+    }
+
+    #[test]
+    fn remote_store_into_code_window_marks_dirty() {
+        let mut cpu = Cpu::new();
+        cpu.load_program(&Program::assemble(&[Instruction::NOP, Instruction::NOP]));
+        let target = cpu.pc + 4;
+        // Overwrite the second instruction with an addi via the bus; a
+        // predecoded run must notice the dirty word and re-fetch it.
+        let program = Program::assemble(&[Instruction::NOP, Instruction::NOP]);
+        let image = PredecodedProgram::new(&program);
+        let patch = Instruction::i(Opcode::Addi, Reg::X10, Reg::X0, 77).encode();
+        cpu.apply_remote_store(target, 4, u64::from(patch));
+        cpu.run_predecoded(&image, 100);
+        assert_eq!(cpu.x[10], 77, "remote code write visible to fetch");
     }
 }

@@ -66,4 +66,6 @@ pub mod cause {
     pub const STORE_ACCESS: u64 = 7;
     /// Environment call from M-mode.
     pub const ECALL_M: u64 = 11;
+    /// Machine timer interrupt (interrupt bit set in `mcause`).
+    pub const MACHINE_TIMER_INTERRUPT: u64 = (1 << 63) | 7;
 }

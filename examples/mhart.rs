@@ -1,0 +1,82 @@
+//! Concurrency-bug hunting on the two-hart system DUT: inject the C1
+//! LR/SC reservation race, fuzz interleaving seeds over its trigger body,
+//! then minimise the first PoC and print the divergence report.
+//!
+//! ```text
+//! cargo run --release --example mhart [seeds]
+//! ```
+
+use hfl::baselines::TestBody;
+use hfl::harness::Executor;
+use hfl::poc::poc_body_for;
+use hfl::triage::minimize_body;
+use hfl_dut::{bugs, CoreKind, MhartMachine};
+use hfl_grm::cpu::Quirks;
+use hfl_grm::Program;
+use hfl_riscv::asm::format_program;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let bug = bugs::find("C1").expect("C1 is catalogued");
+    println!("defect under test: {} — {}", bug.id, bug.name);
+
+    let mut quirks = Quirks::default();
+    bugs::enable(&mut quirks, bug.id, CoreKind::Rocket);
+    let mut executor = Executor::builder(CoreKind::Rocket)
+        .quirks(quirks.clone())
+        .mhart(true)
+        .build();
+
+    // The body is fixed; the search space is the interleaving seed. Only
+    // schedules that land hart 1's store inside hart 0's LR/SC window
+    // realise the race.
+    println!("fuzzing {seeds} interleaving seeds over the trigger body...");
+    let Some((seed, signature)) = (0..seeds).find_map(|seed| {
+        let result = executor.run(&poc_body_for(bug.id, seed));
+        result.mismatches.first().map(|m| (seed, m.signature()))
+    }) else {
+        println!("no interleaving in 0..{seeds} exposed the race; try more seeds");
+        return;
+    };
+    println!("seed {seed:#x} exposed the race (signature {signature})");
+
+    let body = poc_body_for(bug.id, seed);
+    let minimized = minimize_body(&mut executor, &body, signature).expect("PoC reproduces");
+    println!(
+        "minimised {} -> {} instructions ({:.0}% reduction, {} executions), sched_seed held at {:#x}",
+        minimized.original_len,
+        minimized.body.len(),
+        100.0 * minimized.reduction(),
+        minimized.executions,
+        minimized.sched_seed.expect("multi-hart case records its seed"),
+    );
+    print!("{}", format_program(&minimized.body));
+
+    // Divergence report: replay the minimised case on the raw machine and
+    // show where each hart left the reference's serialisation.
+    let replay = TestBody::Mhart {
+        body: minimized.body.clone(),
+        sched_seed: seed,
+    };
+    let case = executor.run(&replay);
+    for m in &case.mismatches {
+        println!("  -> {m}");
+    }
+    let mut machine = MhartMachine::new(quirks);
+    let result = machine.run(&Program::assemble(&minimized.body), seed, 10_000);
+    println!(
+        "schedule: {} committed events, {} scheduled steps, diverged = {}",
+        result.schedule.len(),
+        result.scheduled_steps,
+        result.diverged()
+    );
+    for (h, (dut, grm)) in result.harts.iter().zip(&result.reference).enumerate() {
+        println!(
+            "hart {h}: dut {} steps halt {:?} | reference {} steps halt {:?}",
+            dut.steps, dut.halt, grm.steps, grm.halt
+        );
+    }
+}
