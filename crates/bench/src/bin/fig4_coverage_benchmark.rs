@@ -1,6 +1,6 @@
 //! Regenerates **Fig. 4**: cumulative coverage vs test cases, HFL against
-//! Cascade, on RocketChip / Boom / CVA6 for condition, line and FSM
-//! coverage (nine panel pairs).
+//! Cascade and the GoldenFuzz generative baseline, on RocketChip / Boom /
+//! CVA6 for condition, line and FSM coverage (nine panel triples).
 //!
 //! ```text
 //! cargo run --release -p hfl-bench --bin fig4_coverage_benchmark -- \
@@ -37,8 +37,8 @@ fn main() {
     );
     let series = run_fig4(&cfg);
 
-    for pair in series.chunks(2) {
-        let (hfl, cascade) = (&pair[0], &pair[1]);
+    for group in series.chunks(3) {
+        let (hfl, cascade, golden) = (&group[0], &group[1], &group[2]);
         println!("\n==== {} ====", hfl.core);
         for kind in CoverageKind::ALL {
             let total = match kind {
@@ -52,9 +52,18 @@ fn main() {
                 CoverageKind::Fsm => s.fsm,
             };
             println!("  {kind} coverage (of {total} points):");
-            println!("    {:>8} {:>8} {:>8}", "cases", "HFL", "Cascade");
-            for (h, c) in hfl.curve.iter().zip(&cascade.curve) {
-                println!("    {:>8} {:>8} {:>8}", h.cases, pick(h), pick(c));
+            println!(
+                "    {:>8} {:>8} {:>8} {:>10}",
+                "cases", "HFL", "Cascade", "GoldenFuzz"
+            );
+            for ((h, c), g) in hfl.curve.iter().zip(&cascade.curve).zip(&golden.curve) {
+                println!(
+                    "    {:>8} {:>8} {:>8} {:>10}",
+                    h.cases,
+                    pick(h),
+                    pick(c),
+                    pick(g)
+                );
             }
             let (h_final, c_final) = (
                 hfl.curve.last().map_or(0, pick),
@@ -68,11 +77,14 @@ fn main() {
             println!("    -> {verdict} ({h_final} vs {c_final})");
         }
         println!(
-            "  mismatch signatures: HFL {} (from {} raw), Cascade {} (from {} raw)",
+            "  mismatch signatures: HFL {} (from {} raw), Cascade {} (from {} raw), \
+             GoldenFuzz {} (from {} raw)",
             hfl.unique_signatures,
             hfl.total_mismatches,
             cascade.unique_signatures,
-            cascade.total_mismatches
+            cascade.total_mismatches,
+            golden.unique_signatures,
+            golden.total_mismatches
         );
         println!(
             "  instructions executed: HFL {}, Cascade {} ({:.1}x more)",

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p hfl-bench --bin smoke -- \
-//!     [--seed N] [--fuzzer hfl|difuzz|thehuzz|cascade] [--cases N] \
+//!     [--seed N] [--fuzzer hfl|difuzz|thehuzz|cascade|scenario|goldenfuzz] \
+//!     [--cases N] \
 //!     [--batch N] [--threads N] [--log telemetry.jsonl] \
 //!     [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] [--resume] \
 //!     [--fault-case N] [--fault-kind panic|hang|ioerror] [--fault-sticky] \
@@ -30,13 +31,15 @@ use std::path::Path;
 use std::sync::Arc;
 
 use hfl::baselines::{
-    CascadeFuzzer, DifuzzRtlFuzzer, Feedback, Fuzzer, InterleaveFuzzer, TestBody, TheHuzzFuzzer,
+    CascadeFuzzer, DifuzzRtlFuzzer, Feedback, Fuzzer, GoldenFuzzFuzzer, InterleaveFuzzer, TestBody,
+    TheHuzzFuzzer,
 };
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignSpec, CheckpointPolicy};
 use hfl::exec::{FaultKind, FaultPlan, FaultPolicy};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl::obs::{read_jsonl, replay_rounds, Event, JsonlSink, SinkHandle};
 use hfl::poc::poc_body_for;
+use hfl::scenario::{ScenarioConfig, ScenarioFuzzer};
 use hfl_bench::{arg_num, arg_value};
 use hfl_dut::CoreKind;
 use hfl_nn::persist::{read_u64, write_u64, PersistError};
@@ -81,6 +84,13 @@ fn make_fuzzer(name: &str, seed: u64, mhart: bool) -> Box<dyn Fuzzer> {
         "difuzz" => wrap(mhart, seed, DifuzzRtlFuzzer::new(seed, 16)),
         "thehuzz" => wrap(mhart, seed, TheHuzzFuzzer::new(seed, 16)),
         "cascade" => wrap(mhart, seed, CascadeFuzzer::new(seed, 60)),
+        "goldenfuzz" => wrap(mhart, seed, GoldenFuzzFuzzer::new(seed, 16)),
+        "scenario" => {
+            let mut cfg = ScenarioConfig::small().with_seed(seed);
+            cfg.generator.hidden = 16;
+            cfg.case_len = 6;
+            wrap(mhart, seed, ScenarioFuzzer::new(cfg))
+        }
         _ => {
             let mut cfg = HflConfig::small().with_seed(seed);
             cfg.generator.hidden = 16;

@@ -1,9 +1,14 @@
-//! §VI in-text claim reproduction: HFL reaches the coverage the four
+//! §VI in-text claim reproduction: HFL reaches the coverage the
 //! baselines saturate at using a small fraction of their test cases (the
 //! paper reports <1 % against 100 k-case baseline runs on RocketChip
-//! condition coverage).
+//! condition coverage). Besides the paper's four baselines the table
+//! carries a GoldenFuzz row — the generative golden-reference baseline,
+//! which generates from an ISA transition model with no coverage
+//! feedback — to separate feedback learning from generative modelling.
 
-use hfl::baselines::{CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use hfl::baselines::{
+    CascadeFuzzer, ChatFuzzFuzzer, DifuzzRtlFuzzer, Fuzzer, GoldenFuzzFuzzer, TheHuzzFuzzer,
+};
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
@@ -87,6 +92,7 @@ pub fn run_efficiency(cfg: &EfficiencyConfig) -> (Vec<EfficiencyRow>, CampaignRe
         Box::new(TheHuzzFuzzer::new(cfg.seed, 20)),
         Box::new(ChatFuzzFuzzer::new(cfg.seed, 20)),
         Box::new(CascadeFuzzer::new(cfg.seed, 150)),
+        Box::new(GoldenFuzzFuzzer::new(cfg.seed, 20)),
     ];
     let rows = baselines
         .iter_mut()
@@ -127,9 +133,12 @@ mod tests {
             threads: 2,
         };
         let (rows, hfl) = run_efficiency(&cfg);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         let names: Vec<&str> = rows.iter().map(|r| r.fuzzer.as_str()).collect();
-        assert_eq!(names, ["DifuzzRTL", "TheHuzz", "ChatFuzz", "Cascade"]);
+        assert_eq!(
+            names,
+            ["DifuzzRTL", "TheHuzz", "ChatFuzz", "Cascade", "GoldenFuzz"]
+        );
         assert_eq!(hfl.fuzzer, "HFL");
         for row in &rows {
             assert!(row.final_condition > 0);

@@ -3,9 +3,13 @@
 //!
 //! The paper's Fig. 4 shows HFL out-covering Cascade on every
 //! (core, metric) pair except FSM coverage on RocketChip (a tie), with
-//! Cascade plateauing early while HFL keeps climbing.
+//! Cascade plateauing early while HFL keeps climbing. This harness also
+//! carries a third series per core: the GoldenFuzz generative baseline
+//! (candidates scored by a golden-reference transition model, no coverage
+//! feedback), which separates "learns from hardware feedback" from
+//! "models the ISA well" on the same axes.
 
-use hfl::baselines::CascadeFuzzer;
+use hfl::baselines::{CascadeFuzzer, GoldenFuzzFuzzer};
 use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, RunConfig};
 use hfl::fuzzer::{HflConfig, HflFuzzer};
 use hfl_dut::CoreKind;
@@ -57,8 +61,8 @@ impl Fig4Config {
 /// One (fuzzer, core) series of the figure.
 pub type Fig4Series = CampaignResult;
 
-/// Runs the sweep: for each core, one HFL campaign and one Cascade
-/// campaign under identical budgets and measurement.
+/// Runs the sweep: for each core, one HFL campaign, one Cascade campaign
+/// and one GoldenFuzz campaign under identical budgets and measurement.
 #[must_use]
 pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
     let campaign = CampaignConfig {
@@ -101,6 +105,18 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Series> {
             )
             .expect("campaign runs")
         }));
+        let golden_len = cfg.test_len;
+        jobs.push(Box::new(move || {
+            let mut golden = GoldenFuzzFuzzer::new(seed, golden_len);
+            run_campaign(
+                &mut golden,
+                &CampaignSpec::builder(core, c)
+                    .threads(threads)
+                    .build()
+                    .expect("valid campaign spec"),
+            )
+            .expect("campaign runs")
+        }));
     }
     crate::parallel::run_parallel(jobs)
 }
@@ -125,10 +141,12 @@ mod tests {
             batch: 1,
         };
         let series = run_fig4(&cfg);
-        assert_eq!(series.len(), 2);
+        assert_eq!(series.len(), 3);
         assert_eq!(series[0].fuzzer, "HFL");
         assert_eq!(series[1].fuzzer, "Cascade");
+        assert_eq!(series[2].fuzzer, "GoldenFuzz");
         assert_eq!(series[0].totals, series[1].totals, "same coverage universe");
+        assert_eq!(series[0].totals, series[2].totals, "same coverage universe");
         for s in &series {
             assert!(s.final_fraction(CoverageKind::Condition) > 0.0);
             assert!(!s.curve.is_empty());

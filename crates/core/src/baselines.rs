@@ -10,8 +10,8 @@ use std::io::{Read, Write};
 
 use hfl_nn::ops::{sample_categorical, softmax};
 use hfl_nn::persist::{
-    read_f32, read_f32_array, read_u32, read_u64, read_usize, write_f32, write_f32_array,
-    write_u32, write_u64, write_usize, PersistError,
+    read_f32, read_f32_array, read_u32, read_u64, read_u64_vec, read_usize, write_f32,
+    write_f32_array, write_u32, write_u64, write_u64_vec, write_usize, PersistError,
 };
 use hfl_riscv::{Instruction, Opcode};
 use rand::rngs::StdRng;
@@ -113,6 +113,52 @@ impl Feedback {
     }
 }
 
+/// A composition wrapper received a [`TestBody`] variant it cannot wrap
+/// without losing information (e.g. re-wrapping or flattening a
+/// [`TestBody::Mhart`] case would silently drop its interleaving seed).
+///
+/// Returned by [`Fuzzer::try_next_case`]/[`Fuzzer::try_next_round`]; the
+/// campaign runner surfaces it as a typed run error instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposeError {
+    /// The wrapper that refused the case.
+    pub wrapper: &'static str,
+    /// The inner fuzzer whose output could not be composed.
+    pub inner: &'static str,
+    /// What would have been lost.
+    pub detail: String,
+}
+
+impl ComposeError {
+    /// Creates a composition error. `wrapper` is the layer that refused
+    /// (a composing fuzzer, or the round engine itself), `inner` the
+    /// fuzzer whose output could not be used, `detail` what would have
+    /// been lost or violated.
+    pub fn new(
+        wrapper: &'static str,
+        inner: &'static str,
+        detail: impl Into<String>,
+    ) -> ComposeError {
+        ComposeError {
+            wrapper,
+            inner,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cannot compose a case from {}: {}",
+            self.wrapper, self.inner, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
 /// A baseline fuzzing strategy.
 pub trait Fuzzer {
     /// The fuzzer's display name (matching the paper's tables).
@@ -130,6 +176,30 @@ pub trait Fuzzer {
     /// as HFL's episode end, falls inside the round.
     fn next_round(&mut self, n: usize) -> Vec<TestBody> {
         (0..n.max(1)).map(|_| self.next_case()).collect()
+    }
+
+    /// Fallible form of [`Fuzzer::next_case`] for composition wrappers:
+    /// where `next_case` must degrade leniently (pass an unwrappable case
+    /// through unchanged), this surfaces the problem as a typed
+    /// [`ComposeError`] instead. Plain generators never fail.
+    ///
+    /// # Errors
+    /// [`ComposeError`] when a wrapper receives a [`TestBody`] variant it
+    /// cannot compose without dropping information.
+    fn try_next_case(&mut self) -> Result<TestBody, ComposeError> {
+        Ok(self.next_case())
+    }
+
+    /// Fallible form of [`Fuzzer::next_round`]. The default routes through
+    /// [`Fuzzer::next_round`] — not `n` repeated [`Fuzzer::try_next_case`]
+    /// calls — so fuzzers with bespoke round semantics (HFL's episode
+    /// chaining) keep them on the fallible path.
+    ///
+    /// # Errors
+    /// [`ComposeError`] when a wrapper receives a [`TestBody`] variant it
+    /// cannot compose without dropping information.
+    fn try_next_round(&mut self, n: usize) -> Result<Vec<TestBody>, ComposeError> {
+        Ok(self.next_round(n))
     }
 
     /// Receives coverage feedback for the oldest case that has not had
@@ -622,6 +692,30 @@ impl<F: Fuzzer> InterleaveFuzzer<F> {
             self.rng.gen()
         }
     }
+
+    /// Wraps one single-hart inner body into a scheduled case, queueing
+    /// the inner representation for feedback forwarding.
+    fn wrap(&mut self, inner_body: TestBody) -> TestBody {
+        let sched_seed = self.draw_seed();
+        let body = crate::campaign::decodable_instructions(&inner_body);
+        self.pending.push_back(inner_body);
+        TestBody::Mhart { body, sched_seed }
+    }
+
+    /// Strict composition: an inner body that is already multi-hart cannot
+    /// be re-wrapped — its interleaving seed is part of the case identity
+    /// and re-seeding would silently discard the schedule the inner fuzzer
+    /// chose — so it is reported as a [`ComposeError`].
+    fn compose_strict(&mut self, inner_body: TestBody) -> Result<TestBody, ComposeError> {
+        if matches!(inner_body, TestBody::Mhart { .. }) {
+            return Err(ComposeError::new(
+                "Interleave",
+                self.inner.name(),
+                "re-wrapping a multi-hart case would drop its interleaving seed",
+            ));
+        }
+        Ok(self.wrap(inner_body))
+    }
 }
 
 impl<F: Fuzzer> Fuzzer for InterleaveFuzzer<F> {
@@ -631,10 +725,29 @@ impl<F: Fuzzer> Fuzzer for InterleaveFuzzer<F> {
 
     fn next_case(&mut self) -> TestBody {
         let inner_body = self.inner.next_case();
-        let sched_seed = self.draw_seed();
-        let body = crate::campaign::decodable_instructions(&inner_body);
-        self.pending.push_back(inner_body);
-        TestBody::Mhart { body, sched_seed }
+        if matches!(inner_body, TestBody::Mhart { .. }) {
+            // Lenient path: the case already carries its own interleaving
+            // seed, so pass it through unchanged rather than re-wrapping
+            // (which would silently replace the schedule).
+            self.pending.push_back(inner_body.clone());
+            return inner_body;
+        }
+        self.wrap(inner_body)
+    }
+
+    fn try_next_case(&mut self) -> Result<TestBody, ComposeError> {
+        let inner_body = self.inner.try_next_case()?;
+        self.compose_strict(inner_body)
+    }
+
+    fn try_next_round(&mut self, n: usize) -> Result<Vec<TestBody>, ComposeError> {
+        // Route the round through the inner fuzzer so its round semantics
+        // (episode boundaries, batch shapes) survive the wrapping.
+        let round = self.inner.try_next_round(n)?;
+        round
+            .into_iter()
+            .map(|body| self.compose_strict(body))
+            .collect()
     }
 
     fn feedback(&mut self, body: &TestBody, feedback: Feedback) {
@@ -683,6 +796,285 @@ impl<F: Fuzzer> Fuzzer for InterleaveFuzzer<F> {
         }
         self.pending.clear();
         self.inner.load_state(r)
+    }
+}
+
+/// Lifts any fuzzer into a Cascade-style long-program regime: `stitch`
+/// consecutive inner cases are flattened into one long assembly program,
+/// so a short-case generator's output exercises the deep pipeline/cache
+/// states that only long straight-line runs reach. Feedback for the
+/// stitched case is forwarded to the inner fuzzer once per constituent.
+#[derive(Debug)]
+pub struct CascadeWrapFuzzer<F> {
+    inner: F,
+    stitch: usize,
+    /// One inner body drawn but not yet emitted (a multi-hart case that
+    /// interrupted a stitch on the lenient path leads the next case).
+    carry: Option<TestBody>,
+    /// Constituent inner bodies of emitted cases awaiting feedback,
+    /// oldest first.
+    pending: std::collections::VecDeque<Vec<TestBody>>,
+}
+
+impl<F: Fuzzer> CascadeWrapFuzzer<F> {
+    /// Wraps `inner`, stitching `stitch` consecutive cases per program.
+    ///
+    /// # Panics
+    /// Panics if `stitch` is zero.
+    #[must_use]
+    pub fn new(stitch: usize, inner: F) -> CascadeWrapFuzzer<F> {
+        assert!(stitch > 0, "stitch factor must be positive");
+        CascadeWrapFuzzer {
+            inner,
+            stitch,
+            carry: None,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn mhart_error(&self) -> ComposeError {
+        ComposeError::new(
+            "CascadeWrap",
+            self.inner.name(),
+            "flattening a multi-hart case would drop its interleaving seed",
+        )
+    }
+}
+
+impl<F: Fuzzer> Fuzzer for CascadeWrapFuzzer<F> {
+    fn name(&self) -> &'static str {
+        "CascadeWrap"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        let mut group = Vec::with_capacity(self.stitch);
+        let mut flat = Vec::new();
+        while group.len() < self.stitch {
+            let inner_body = match self.carry.take() {
+                Some(body) => body,
+                None => self.inner.next_case(),
+            };
+            if matches!(inner_body, TestBody::Mhart { .. }) {
+                // Lenient path: a multi-hart case cannot be flattened
+                // without dropping its interleaving seed.
+                if group.is_empty() {
+                    // Pass it through unchanged as its own case.
+                    self.pending.push_back(vec![inner_body.clone()]);
+                    return inner_body;
+                }
+                // Emit the partial stitch; the multi-hart case leads the
+                // next draw.
+                self.carry = Some(inner_body);
+                break;
+            }
+            flat.extend(crate::campaign::decodable_instructions(&inner_body));
+            group.push(inner_body);
+        }
+        self.pending.push_back(group);
+        TestBody::Asm(flat)
+    }
+
+    fn try_next_case(&mut self) -> Result<TestBody, ComposeError> {
+        let mut group = Vec::with_capacity(self.stitch);
+        let mut flat = Vec::new();
+        while group.len() < self.stitch {
+            let inner_body = match self.carry.take() {
+                Some(body) => body,
+                None => self.inner.try_next_case()?,
+            };
+            if matches!(inner_body, TestBody::Mhart { .. }) {
+                return Err(self.mhart_error());
+            }
+            flat.extend(crate::campaign::decodable_instructions(&inner_body));
+            group.push(inner_body);
+        }
+        self.pending.push_back(group);
+        Ok(TestBody::Asm(flat))
+    }
+
+    fn try_next_round(&mut self, n: usize) -> Result<Vec<TestBody>, ComposeError> {
+        (0..n.max(1)).map(|_| self.try_next_case()).collect()
+    }
+
+    fn feedback(&mut self, _body: &TestBody, feedback: Feedback) {
+        // The stitched case's reward is shared by every constituent: each
+        // contributed instructions to the program that earned it.
+        let Some(group) = self.pending.pop_front() else {
+            return;
+        };
+        for inner_body in &group {
+            self.inner.feedback(inner_body, feedback.clone());
+        }
+    }
+
+    fn attach_sink(&mut self, sink: crate::obs::SinkHandle) {
+        self.inner.attach_sink(sink);
+    }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        if !self.pending.is_empty() || self.carry.is_some() {
+            return Err(PersistError::Unsupported(
+                "cascade-wrap checkpoint requires a round boundary",
+            ));
+        }
+        write_usize(&mut w, self.stitch)?;
+        self.inner.save_state(w)
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        self.stitch = read_usize(&mut r, 1 << 20, "stitch factor")?;
+        self.carry = None;
+        self.pending.clear();
+        self.inner.load_state(r)
+    }
+}
+
+/// Number of architectural-transition classes [`GoldenFuzzFuzzer`] tracks.
+const GOLDEN_CLASSES: usize = 16;
+
+/// Maps one retired instruction to its architectural-transition class:
+/// trapping retirements are their own class, everything else is bucketed
+/// by the base-ISA major opcode (load/store/AMO/ALU/CSR/FP/branch/...).
+fn golden_class(word: u32, trapped: bool) -> usize {
+    if trapped {
+        return 0;
+    }
+    match word & 0x7f {
+        0x03 => 1,         // integer loads
+        0x23 => 2,         // integer stores
+        0x07 => 3,         // FP loads
+        0x27 => 4,         // FP stores
+        0x33 => 5,         // OP (incl. M)
+        0x3b => 6,         // OP-32
+        0x13 => 7,         // OP-IMM
+        0x1b => 8,         // OP-IMM-32
+        0x37 | 0x17 => 9,  // LUI / AUIPC
+        0x63 => 10,        // branches
+        0x6f | 0x67 => 11, // JAL / JALR
+        0x73 => 12,        // SYSTEM (CSR, ecall, xret)
+        0x53 => 13,        // FP compute
+        0x2f => 14,        // AMO
+        _ => 15,           // compressed / custom / garbage
+    }
+}
+
+/// **GoldenFuzz-like**: a generative golden-reference-guided baseline. No
+/// coverage feedback at all — instead candidates are dry-run on the GRM
+/// and scored by how *rare* the architectural state transitions they
+/// retire are, against a register-class/CSR transition table learned
+/// online from the GRM's own retire traces. The candidate retiring the
+/// most under-visited transition chain wins each draw, steering generation
+/// toward unusual architectural behaviour without touching the DUT.
+#[derive(Debug)]
+pub struct GoldenFuzzFuzzer {
+    rng: StdRng,
+    case_len: usize,
+    /// Candidates dry-run per emitted case.
+    candidates: usize,
+    /// GRM step budget per dry run.
+    max_steps: u64,
+    /// Flattened `GOLDEN_CLASSES × GOLDEN_CLASSES` transition counts of
+    /// retired instruction classes, learned from the winners' traces.
+    transitions: Vec<u64>,
+}
+
+impl GoldenFuzzFuzzer {
+    /// Creates the fuzzer with a seed and a target case length.
+    #[must_use]
+    pub fn new(seed: u64, case_len: usize) -> GoldenFuzzFuzzer {
+        GoldenFuzzFuzzer {
+            rng: StdRng::seed_from_u64(seed),
+            case_len,
+            candidates: 4,
+            max_steps: 256,
+            transitions: vec![0; GOLDEN_CLASSES * GOLDEN_CLASSES],
+        }
+    }
+
+    /// The learned transition-count table (row-major, `from × to`).
+    #[must_use]
+    pub fn transition_table(&self) -> &[u64] {
+        &self.transitions
+    }
+
+    /// Dry-runs a candidate on the GRM and returns the class sequence of
+    /// its retired instructions.
+    fn retire_classes(&self, body: &[Instruction]) -> Vec<usize> {
+        let program = hfl_grm::Program::assemble(body);
+        let mut cpu = hfl_grm::Cpu::new();
+        cpu.load_program(&program);
+        let _ = cpu.run(self.max_steps);
+        cpu.trace
+            .iter()
+            .map(|e| golden_class(e.word, e.trap.is_some()))
+            .collect()
+    }
+
+    /// Sum of inverse visit counts over the chain's consecutive
+    /// transitions: rare transitions score high, saturated ones near zero.
+    fn novelty(&self, classes: &[usize]) -> f64 {
+        classes
+            .windows(2)
+            .map(|w| 1.0 / (1.0 + self.transitions[w[0] * GOLDEN_CLASSES + w[1]] as f64))
+            .sum()
+    }
+}
+
+impl Fuzzer for GoldenFuzzFuzzer {
+    fn name(&self) -> &'static str {
+        "GoldenFuzz"
+    }
+
+    fn next_case(&mut self) -> TestBody {
+        let mut best: Option<(Vec<Instruction>, Vec<usize>)> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for _ in 0..self.candidates {
+            let len = self.rng.gen_range(self.case_len / 2..=self.case_len);
+            let body = random_body(&mut self.rng, len.max(1));
+            let classes = self.retire_classes(&body);
+            let score = self.novelty(&classes);
+            // Strict `>`: ties keep the earliest candidate, so selection
+            // is a pure function of the RNG stream and the table.
+            if score > best_score {
+                best_score = score;
+                best = Some((body, classes));
+            }
+        }
+        let (body, classes) = best.expect("at least one candidate is drawn");
+        for w in classes.windows(2) {
+            self.transitions[w[0] * GOLDEN_CLASSES + w[1]] += 1;
+        }
+        TestBody::Asm(body)
+    }
+
+    fn feedback(&mut self, _body: &TestBody, _feedback: Feedback) {
+        // Golden-reference-guided by design: DUT coverage never reaches
+        // the generator, only the GRM's own transition statistics do.
+    }
+
+    fn save_state(&self, mut w: &mut dyn Write) -> Result<(), PersistError> {
+        let w = &mut w;
+        write_rng(w, &self.rng)?;
+        write_usize(w, self.case_len)?;
+        write_usize(w, self.candidates)?;
+        write_u64(w, self.max_steps)?;
+        write_u64_vec(w, &self.transitions)
+    }
+
+    fn load_state(&mut self, mut r: &mut dyn Read) -> Result<(), PersistError> {
+        let r = &mut r;
+        self.rng = read_rng(r)?;
+        self.case_len = read_usize(r, 1 << 20, "case length")?;
+        self.candidates = read_usize(r, 1 << 10, "candidate count")?.max(1);
+        self.max_steps = read_u64(r)?;
+        let transitions = read_u64_vec(r)?;
+        if transitions.len() != GOLDEN_CLASSES * GOLDEN_CLASSES {
+            return Err(PersistError::Corrupt(
+                "golden transition table size mismatch".to_owned(),
+            ));
+        }
+        self.transitions = transitions;
+        Ok(())
     }
 }
 
@@ -744,7 +1136,7 @@ mod tests {
     fn cascade_programs_are_long_and_mostly_straight_line() {
         let mut f = CascadeFuzzer::new(3, 150);
         let TestBody::Asm(body) = f.next_case() else {
-            panic!("cascade emits asm")
+            unreachable!("cascade emits asm")
         };
         assert_eq!(body.len(), 150);
         let cf = body.iter().filter(|i| i.opcode.is_control_flow()).count();
@@ -826,7 +1218,7 @@ mod tests {
         for i in 0..20 {
             let body = f.next_case();
             let TestBody::Mhart { sched_seed, .. } = &body else {
-                panic!("interleave emits mhart cases, got {body:?}");
+                unreachable!("interleave emits mhart cases, got {body:?}");
             };
             seeds.insert(*sched_seed);
             f.feedback(&body, Feedback::scalar(i % 4 == 0, 0.2));
@@ -871,6 +1263,170 @@ mod tests {
             f.save_state(&mut (&mut blob as &mut dyn Write)),
             Err(PersistError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn interleave_passes_an_inner_mhart_case_through_with_its_seed() {
+        // Regression for the silent seed drop: an inner fuzzer that
+        // already emits multi-hart cases must keep its own sched_seed on
+        // the lenient path instead of being re-wrapped.
+        let mut f = InterleaveFuzzer::new(5, InterleaveFuzzer::new(6, CascadeFuzzer::new(1, 10)));
+        let body = f.next_case();
+        let TestBody::Mhart { sched_seed, .. } = &body else {
+            unreachable!("interleave emits mhart cases");
+        };
+        // The seed must come from the *inner* wrapper's RNG stream.
+        let mut inner_twin = InterleaveFuzzer::new(6, CascadeFuzzer::new(1, 10));
+        let expected = inner_twin.next_case();
+        assert_eq!(expected.sched_seed(), Some(*sched_seed));
+        // Feedback still drains both wrappers' pending queues.
+        f.feedback(&body, Feedback::scalar(true, 0.3));
+        assert!(f.pending.is_empty());
+    }
+
+    #[test]
+    fn strict_composition_rejects_mhart_inner_cases_in_both_orders() {
+        // Interleave(Interleave(x)): the outer wrapper would re-seed the
+        // inner schedule.
+        let mut outer_i =
+            InterleaveFuzzer::new(5, InterleaveFuzzer::new(6, CascadeFuzzer::new(1, 10)));
+        let err = outer_i.try_next_case().unwrap_err();
+        assert_eq!(err.wrapper, "Interleave");
+        assert_eq!(err.inner, "Interleave");
+        assert!(err.detail.contains("interleaving seed"), "{err}");
+        assert!(err.to_string().contains("Interleave"), "{err}");
+
+        // CascadeWrap(Interleave(x)): flattening would drop the schedule.
+        let mut outer_c =
+            CascadeWrapFuzzer::new(2, InterleaveFuzzer::new(6, CascadeFuzzer::new(1, 10)));
+        let err = outer_c.try_next_case().unwrap_err();
+        assert_eq!(err.wrapper, "CascadeWrap");
+        assert_eq!(err.inner, "Interleave");
+        assert!(outer_c.try_next_round(3).is_err());
+
+        // The opposite nesting is well-formed: Interleave(CascadeWrap(x))
+        // wraps flat stitched programs into scheduled cases.
+        let mut ok = InterleaveFuzzer::new(6, CascadeWrapFuzzer::new(2, CascadeFuzzer::new(1, 10)));
+        let round = ok.try_next_round(3).unwrap();
+        assert_eq!(round.len(), 3);
+        for body in &round {
+            assert!(matches!(body, TestBody::Mhart { .. }));
+            assert_eq!(body.len(), 20, "two stitched 10-instruction programs");
+        }
+    }
+
+    #[test]
+    fn plain_fuzzers_never_fail_the_fallible_paths() {
+        let mut f = DifuzzRtlFuzzer::new(3, 10);
+        let case = f.try_next_case().unwrap();
+        assert!(!case.is_empty());
+        let round = f.try_next_round(4).unwrap();
+        assert_eq!(round.len(), 4);
+    }
+
+    #[test]
+    fn cascade_wrap_stitches_consecutive_inner_cases() {
+        let mut f = CascadeWrapFuzzer::new(3, CascadeFuzzer::new(2, 10));
+        let mut twin = CascadeFuzzer::new(2, 10);
+        let TestBody::Asm(flat) = f.next_case() else {
+            unreachable!("cascade-wrap emits asm");
+        };
+        let mut expected = Vec::new();
+        for _ in 0..3 {
+            let TestBody::Asm(part) = twin.next_case() else {
+                unreachable!("cascade emits asm");
+            };
+            expected.extend(part);
+        }
+        assert_eq!(flat, expected);
+        // Feedback fans out to every constituent (3 pending inner bodies).
+        assert_eq!(f.pending.front().map(Vec::len), Some(3));
+        f.feedback(&TestBody::Asm(flat), Feedback::scalar(true, 0.4));
+        assert!(f.pending.is_empty());
+    }
+
+    #[test]
+    fn cascade_wrap_lenient_path_passes_mhart_through_unchanged() {
+        let mut f = CascadeWrapFuzzer::new(2, InterleaveFuzzer::new(6, CascadeFuzzer::new(1, 10)));
+        let body = f.next_case();
+        let mut twin = InterleaveFuzzer::new(6, CascadeFuzzer::new(1, 10));
+        assert_eq!(body, twin.next_case(), "seed preserved, no flattening");
+        f.feedback(&body, Feedback::scalar(false, 0.1));
+        assert!(f.pending.is_empty());
+    }
+
+    #[test]
+    fn cascade_wrap_resumes_bit_identically_and_rejects_mid_round() {
+        let mut live = CascadeWrapFuzzer::new(2, DifuzzRtlFuzzer::new(3, 10));
+        drive(&mut live, 6);
+        let mut blob = Vec::new();
+        live.save_state(&mut (&mut blob as &mut dyn Write)).unwrap();
+        let mut resumed = CascadeWrapFuzzer::new(9, DifuzzRtlFuzzer::new(99, 4));
+        let mut cursor: &[u8] = &blob;
+        resumed.load_state(&mut cursor).unwrap();
+        for _ in 0..4 {
+            assert_eq!(live.next_case(), resumed.next_case());
+        }
+        let mut mid = CascadeWrapFuzzer::new(2, CascadeFuzzer::new(1, 10));
+        let _ = mid.next_case();
+        let mut blob = Vec::new();
+        assert!(matches!(
+            mid.save_state(&mut (&mut blob as &mut dyn Write)),
+            Err(PersistError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn goldenfuzz_emits_cases_and_learns_transitions_without_feedback() {
+        let mut f = GoldenFuzzFuzzer::new(12, 16);
+        assert_eq!(f.name(), "GoldenFuzz");
+        for _ in 0..4 {
+            let body = f.next_case();
+            assert!(!body.is_empty());
+            assert!(matches!(body, TestBody::Asm(_)));
+        }
+        // The table learned from the winners' retire traces.
+        let visits: u64 = f.transition_table().iter().sum();
+        assert!(visits > 0, "dry runs must populate the transition table");
+        // Coverage feedback is ignored by design: the generator state is
+        // identical whether or not the DUT reports gains.
+        let mut fed = GoldenFuzzFuzzer::new(12, 16);
+        for _ in 0..4 {
+            let body = fed.next_case();
+            fed.feedback(&body, Feedback::scalar(true, 0.9));
+        }
+        assert_eq!(fed.transition_table(), f.transition_table());
+        assert_eq!(fed.next_case(), f.next_case());
+    }
+
+    #[test]
+    fn goldenfuzz_resumes_bit_identically() {
+        let mut live = GoldenFuzzFuzzer::new(7, 12);
+        drive(&mut live, 4);
+        let mut blob = Vec::new();
+        live.save_state(&mut (&mut blob as &mut dyn Write)).unwrap();
+        let mut resumed = GoldenFuzzFuzzer::new(99, 4);
+        let mut cursor: &[u8] = &blob;
+        resumed.load_state(&mut cursor).unwrap();
+        for _ in 0..3 {
+            assert_eq!(live.next_case(), resumed.next_case());
+        }
+    }
+
+    #[test]
+    fn golden_classes_bucket_major_opcodes_distinctly() {
+        use hfl_riscv::Reg;
+        let load = Instruction::i(Opcode::Lw, Reg::X1, Reg::X2, 0).encode();
+        let store = Instruction::s(Opcode::Sw, Reg::X1, 0, Reg::X2).encode();
+        let alu = Instruction::i(Opcode::Addi, Reg::X1, Reg::X0, 1).encode();
+        let classes: Vec<usize> = [load, store, alu]
+            .iter()
+            .map(|&w| golden_class(w, false))
+            .collect();
+        assert_eq!(classes, vec![1, 2, 7]);
+        // Trapping retirements are their own class regardless of opcode.
+        assert_eq!(golden_class(load, true), 0);
+        assert!(golden_class(0xFFFF_FFFF, false) < GOLDEN_CLASSES);
     }
 
     #[test]

@@ -52,7 +52,7 @@ use hfl_nn::persist::{
 };
 use hfl_nn::PersistError;
 
-use crate::baselines::{Feedback, Fuzzer, TestBody};
+use crate::baselines::{ComposeError, Feedback, Fuzzer, TestBody};
 use crate::control::StopHandle;
 use crate::corpus::Corpus;
 use crate::difftest::{Signature, SignatureSet};
@@ -325,6 +325,11 @@ pub enum RunError {
         /// The configured per-epoch case budget.
         cases_per_epoch: u64,
     },
+    /// The fuzzer could not compose a round: a composing wrapper refused
+    /// its inner fuzzer's output (see [`ComposeError`]), or a round came
+    /// back empty. A caller-side pairing mistake, not an environment
+    /// failure — the campaign state is untouched and resumable.
+    Compose(ComposeError),
 }
 
 impl RunError {
@@ -334,7 +339,10 @@ impl RunError {
     pub fn is_invalid_input(&self) -> bool {
         matches!(
             self,
-            RunError::Spec(_) | RunError::NoMembers | RunError::BudgetTooSmall { .. }
+            RunError::Spec(_)
+                | RunError::NoMembers
+                | RunError::BudgetTooSmall { .. }
+                | RunError::Compose(_)
         )
     }
 }
@@ -352,6 +360,7 @@ impl fmt::Display for RunError {
                 f,
                 "per-epoch budget of {cases_per_epoch} cases cannot cover {members} members"
             ),
+            RunError::Compose(e) => write!(f, "round composition failed: {e}"),
         }
     }
 }
@@ -361,6 +370,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Spec(e) => Some(e),
             RunError::Persist(e) => Some(e),
+            RunError::Compose(e) => Some(e),
             _ => None,
         }
     }
@@ -375,6 +385,12 @@ impl From<SpecError> for RunError {
 impl From<PersistError> for RunError {
     fn from(e: PersistError) -> Self {
         RunError::Persist(e)
+    }
+}
+
+impl From<ComposeError> for RunError {
+    fn from(e: ComposeError) -> Self {
+        RunError::Compose(e)
     }
 }
 
@@ -1142,9 +1158,10 @@ fn restore_checkpoint(
 ///
 /// # Errors
 /// Returns [`RunError`] when a checkpoint cannot be written (I/O, or the
-/// fuzzer does not support checkpointing) or a resume snapshot is
-/// corrupt or does not match the spec. The fuzzing loop itself never
-/// errors: faulty cases are contained and reported in the result.
+/// fuzzer does not support checkpointing), a resume snapshot is corrupt
+/// or does not match the spec, or the fuzzer cannot compose a round
+/// ([`RunError::Compose`] — a mis-paired fuzzer composition). Faulty
+/// *cases* never error: they are contained and reported in the result.
 pub fn run_campaign(
     fuzzer: &mut dyn Fuzzer,
     spec: &CampaignSpec,
@@ -1192,7 +1209,7 @@ pub fn run_campaign(
             &mut metrics,
             &mut state,
             None,
-        );
+        )?;
         // Periodic (and operator-requested) checkpoints land on round
         // boundaries, where every fuzzer's pending queues are empty — the
         // invariant that makes a resumed run bit-identical to an
@@ -1261,6 +1278,12 @@ pub struct HarvestedCase {
 /// `harvest` to capture coverage-gaining cases for the shared corpus).
 /// Stop checks and checkpoints live in the callers: a round is the
 /// atomic unit of progress.
+///
+/// # Errors
+/// Returns [`RunError::Compose`] when the fuzzer cannot compose the
+/// round ([`Fuzzer::try_next_round`]) or composes an empty one. No case
+/// has executed and no state has advanced when this happens, so the
+/// campaign remains checkpointable/resumable.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_round(
     fuzzer: &mut dyn Fuzzer,
@@ -1271,7 +1294,7 @@ pub(crate) fn run_round(
     metrics: &mut Metrics,
     state: &mut CampaignState,
     mut harvest: Option<&mut Vec<HarvestedCase>>,
-) {
+) -> Result<(), RunError> {
     let map_len = pool.coverage_map().len();
     let round_index = state.round_index;
     let want = (cfg.cases - state.executed).min(cfg.run.batch.max(1) as u64) as usize;
@@ -1282,12 +1305,16 @@ pub(crate) fn run_round(
         });
     }
     let generate_started = Instant::now();
-    let mut round = fuzzer.next_round(want);
+    let composed = fuzzer.try_next_round(want);
     metrics.observe_duration("phase.generate.seconds", generate_started.elapsed());
-    assert!(
-        !round.is_empty(),
-        "next_round must produce at least one case"
-    );
+    let mut round = composed?;
+    if round.is_empty() {
+        return Err(RunError::Compose(ComposeError::new(
+            "round engine",
+            fuzzer.name(),
+            "next_round produced no cases",
+        )));
+    }
     round.truncate(want);
     let execute_started = Instant::now();
     let outcomes = pool.run_batch_contained(&round);
@@ -1426,6 +1453,7 @@ pub(crate) fn run_round(
         });
     }
     state.round_index += 1;
+    Ok(())
 }
 
 /// Shared bookkeeping for an abandoned case: counters plus the feedback

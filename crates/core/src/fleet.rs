@@ -861,7 +861,7 @@ pub fn run_fleet(members: &mut [FleetMember], spec: &FleetSpec) -> Result<FleetR
                     &mut metrics,
                     state,
                     Some(&mut harvest),
-                );
+                )?;
             }
             let sync_started = Instant::now();
             for case in harvest {

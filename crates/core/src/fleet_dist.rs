@@ -388,6 +388,9 @@ pub fn run_worker(addr: &str, worker: u32, fault: Option<WorkerFault>) -> Result
                 };
                 let mut harvest: Vec<HarvestedCase> = Vec::new();
                 while st.executed < target {
+                    // A composition failure is a protocol-level fault of
+                    // this worker's member pairing: report it upstream
+                    // instead of panicking the process.
                     run_round(
                         fuzzer.as_mut(),
                         &mut pool,
@@ -397,7 +400,8 @@ pub fn run_worker(addr: &str, worker: u32, fault: Option<WorkerFault>) -> Result
                         &mut metrics,
                         &mut st,
                         Some(&mut harvest),
-                    );
+                    )
+                    .map_err(|e| WireError::Protocol(e.to_string()))?;
                 }
                 let mut state_blob = Vec::new();
                 st.save(&mut state_blob)?;

@@ -307,6 +307,55 @@ impl InstructionGenerator {
         (corrected, SampledAction { outputs, log_probs })
     }
 
+    /// Samples like [`sample_with_exploration`](Self::sample_with_exploration)
+    /// but with an additive logit bias on the opcode head — the scenario
+    /// head of the hierarchical policy: the high-level controller picks a
+    /// scenario, whose bias table tilts the opcode distribution toward
+    /// that scenario's instruction classes, while the LSTM policy below is
+    /// untouched. `None` delegates to the unbiased path and is
+    /// bit-identical to it (same RNG consumption). Log-probabilities are
+    /// recorded under the *biased* policy, so a PPO update sees the
+    /// distribution the action was actually drawn from.
+    pub fn sample_with_scenario_bias<R: Rng>(
+        &self,
+        hidden: &[f32],
+        epsilon: f32,
+        opcode_bias: Option<&[f32]>,
+        rng: &mut R,
+    ) -> (Corrected, SampledAction) {
+        let Some(bias) = opcode_bias else {
+            return self.sample_with_exploration(hidden, epsilon, rng);
+        };
+        let sizes = head_sizes();
+        let mut indices = [0usize; 7];
+        let mut log_probs = [0f32; 7];
+        for (k, head) in self.heads.iter().enumerate() {
+            let (mut logits, _) = head.forward(hidden);
+            if k == 0 {
+                for (l, b) in logits.iter_mut().zip(bias) {
+                    *l += b;
+                }
+            }
+            let scaled: Vec<f32> = logits.iter().map(|&l| l / self.cfg.temperature).collect();
+            let head_eps = if k == 0 {
+                (3.0 * epsilon).min(0.25)
+            } else {
+                epsilon
+            };
+            let idx = if head_eps > 0.0 && rng.gen::<f32>() < head_eps {
+                rng.gen_range(0..sizes[k])
+            } else {
+                let probs = softmax_with_temperature(&logits, self.cfg.temperature);
+                sample_categorical(&probs, rng)
+            };
+            indices[k] = idx;
+            log_probs[k] = log_prob(&scaled, idx);
+        }
+        let outputs = HeadOutputs { indices };
+        let corrected = correct(&outputs);
+        (corrected, SampledAction { outputs, log_probs })
+    }
+
     /// Commits a chosen instruction: its tokens become the next LSTM
     /// input, so the generator always conditions on what actually entered
     /// the test case.
@@ -566,6 +615,45 @@ mod tests {
             "only {} distinct opcodes",
             opcodes.len()
         );
+    }
+
+    #[test]
+    fn unbiased_scenario_sampling_matches_exploration_exactly() {
+        let (g, _) = small_gen(31);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut s = g.start_session();
+        let h = g.advance(&mut s);
+        for _ in 0..10 {
+            let (ca, aa) = g.sample_with_exploration(&h, 0.1, &mut rng_a);
+            let (cb, ab) = g.sample_with_scenario_bias(&h, 0.1, None, &mut rng_b);
+            assert_eq!(ca.instruction, cb.instruction);
+            assert_eq!(aa, ab);
+        }
+    }
+
+    #[test]
+    fn opcode_bias_tilts_the_sampled_distribution() {
+        let (g, mut rng) = small_gen(37);
+        let sizes = head_sizes();
+        let target = 3usize;
+        let mut bias = vec![0.0f32; sizes[0]];
+        bias[target] = 12.0; // dominate the logits
+        let mut s = g.start_session();
+        let h = g.advance(&mut s);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let (_, action) = g.sample_with_scenario_bias(&h, 0.0, Some(&bias), &mut rng);
+            if action.outputs.indices[0] == target {
+                hits += 1;
+            }
+            // The log-prob is recorded under the biased policy, so the
+            // dominant index must carry near-zero log-probability.
+            if action.outputs.indices[0] == target {
+                assert!(action.log_probs[0] > -0.1, "{}", action.log_probs[0]);
+            }
+        }
+        assert!(hits > 45, "bias should dominate: {hits}/50");
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   §V-B register-independent signature extraction,
 //! - [`baselines`]: DifuzzRTL/TheHuzz/Cascade/ChatFuzz analogues for the
 //!   §VI comparisons,
+//! - [`scenario`]: the hierarchical scenario policy — a UCB bandit over
+//!   semantic fuzzing scenarios steering the generator through
+//!   per-scenario opcode-logit biases refined online,
 //! - [`campaign`]: the shared measurement harness behind every figure,
 //! - [`exec`]: the batched parallel execution pool — cloned `(DUT, GRM)`
 //!   workers with order-preserving result merging, so thread count never
@@ -79,12 +82,13 @@ pub mod persist;
 pub mod poc;
 pub mod predecode;
 pub mod predictor;
+pub mod scenario;
 pub mod spec;
 pub mod tokens;
 pub mod triage;
 pub mod wire;
 
-pub use baselines::{Feedback, Fuzzer, TestBody};
+pub use baselines::{ComposeError, Feedback, Fuzzer, TestBody};
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CampaignSpecBuilder,
     CheckpointPolicy, CoverageSample, HarvestedCase, RunConfig, RunError, SpecError,
@@ -111,6 +115,7 @@ pub use obs::{
 };
 pub use predecode::{PredecodeCache, PreparedCase};
 pub use predictor::{CoveragePredictor, PredictorConfig, ValuePredictor};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioFuzzer};
 pub use spec::{
     core_name, parse_core, CampaignRequest, FleetRequest, FuzzerKind, MemberSpec, RunRequest,
 };

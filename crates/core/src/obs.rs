@@ -123,6 +123,21 @@ pub enum Event {
         /// Points the case actually hit.
         realized_hits: u64,
     },
+    /// One row of the scenario controller's marginal-coverage table: the
+    /// bandit's pull count and mean reward for one scenario arm at a
+    /// deterministic case-count checkpoint. The controller emits one row
+    /// per scenario, so consecutive rows with the same `case` form the
+    /// full per-scenario table.
+    ScenarioStats {
+        /// Case index at the time of the snapshot.
+        case: u64,
+        /// The scenario arm's canonical name.
+        scenario: String,
+        /// Times the controller selected this scenario.
+        pulls: u64,
+        /// Running mean of the marginal-coverage reward for this scenario.
+        mean_reward: f64,
+    },
     /// Triage minimisation accepted one reduction.
     MinimizeStep {
         /// Differential-test executions spent so far.
@@ -257,6 +272,7 @@ impl Event {
             Event::CaseExecuted { .. } => "case_executed",
             Event::PpoUpdate { .. } => "ppo_update",
             Event::PredictorEval { .. } => "predictor_eval",
+            Event::ScenarioStats { .. } => "scenario_stats",
             Event::MinimizeStep { .. } => "minimize_step",
             Event::CaseAborted { .. } => "case_aborted",
             Event::PoolOccupancy { .. } => "pool_occupancy",
@@ -334,6 +350,17 @@ impl Event {
                 w.float("accuracy", *accuracy);
                 w.num("predicted_hits", *predicted_hits);
                 w.num("realized_hits", *realized_hits);
+            }
+            Event::ScenarioStats {
+                case,
+                scenario,
+                pulls,
+                mean_reward,
+            } => {
+                w.num("case", *case);
+                w.str("scenario", scenario);
+                w.num("pulls", *pulls);
+                w.float("mean_reward", *mean_reward);
             }
             Event::MinimizeStep {
                 executions,
@@ -487,6 +514,12 @@ impl Event {
                 accuracy: x("accuracy")?,
                 predicted_hits: u("predicted_hits")?,
                 realized_hits: u("realized_hits")?,
+            }),
+            "scenario_stats" => Some(Event::ScenarioStats {
+                case: u("case")?,
+                scenario: f("scenario")?.as_str()?.to_owned(),
+                pulls: u("pulls")?,
+                mean_reward: x("mean_reward")?,
             }),
             "minimize_step" => Some(Event::MinimizeStep {
                 executions: u("executions")?,
@@ -1283,6 +1316,12 @@ mod tests {
                 accuracy: 0.9375,
                 predicted_hits: 12,
                 realized_hits: 14,
+            },
+            Event::ScenarioStats {
+                case: 2,
+                scenario: String::from("fp_nan"),
+                pulls: 7,
+                mean_reward: 0.25,
             },
             Event::MinimizeStep {
                 executions: 5,

@@ -176,15 +176,34 @@ pub fn poc_for(bug_id: &str) -> Vec<Instruction> {
     }
 }
 
-/// The directed PoC as a ready-to-run [`TestBody`]: concurrency bugs get
-/// a `Mhart` body (interleaving seed `sched_seed`, ignored otherwise),
-/// everything else the plain single-hart `Asm` body.
+/// The directed PoC as a ready-to-run [`TestBody`].
+///
+/// `sched_seed` is meaningful **only for concurrency bugs** (catalogue
+/// entries with `concurrency: true`), whose PoC is a `Mhart`
+/// (body, interleaving-seed) pair. Every other bug is a single-hart
+/// `Asm` body with no schedule dimension, and the seed is *not* part of
+/// the case: callers sweeping seeds over a non-concurrency bug would
+/// re-run the identical case while believing they searched a space, so
+/// passing a nonzero seed there is rejected in debug builds rather than
+/// silently dropped.
+///
+/// The distinction survives corpus capture: `Mhart` PoCs are named with
+/// a `+seed<hex>` suffix (the corpus text format stores only decodable
+/// instructions, so the seed rides in the name), `Asm` PoCs are not —
+/// see the name round-trip test below.
 #[must_use]
 pub fn poc_body_for(bug_id: &str, sched_seed: u64) -> crate::baselines::TestBody {
     let body = poc_for(bug_id);
     match hfl_dut::bugs::find(bug_id) {
         Some(bug) if bug.concurrency => crate::baselines::TestBody::Mhart { body, sched_seed },
-        _ => crate::baselines::TestBody::Asm(body),
+        _ => {
+            debug_assert_eq!(
+                sched_seed, 0,
+                "{bug_id} is not a concurrency bug: its PoC has no schedule \
+                 dimension, so a nonzero sched_seed would be silently dropped"
+            );
+            crate::baselines::TestBody::Asm(body)
+        }
     }
 }
 
@@ -277,6 +296,34 @@ mod tests {
     #[should_panic(expected = "unknown bug id")]
     fn unknown_id_panics() {
         let _ = poc_for("Z1");
+    }
+
+    #[test]
+    fn poc_names_round_trip_the_schedule_seed_for_both_body_kinds() {
+        use crate::campaign::poc_name;
+        // Concurrency PoC: the Mhart body's seed must survive the trip
+        // through the corpus name (the text format stores instructions
+        // only, so the name is the seed's sole carrier).
+        let mhart = poc_body_for("C1", 0x2a);
+        assert!(matches!(mhart, crate::baselines::TestBody::Mhart { .. }));
+        let name = poc_name("C1", &mhart);
+        let (base, seed_hex) = name.split_once("+seed").expect("Mhart name carries a seed");
+        assert_eq!(base, "C1");
+        assert_eq!(u64::from_str_radix(seed_hex, 16), Ok(0x2a));
+        // Single-hart PoC: no schedule dimension, no suffix — a replayer
+        // must not invent a seed for it.
+        let asm = poc_body_for("V1", 0);
+        assert!(matches!(asm, crate::baselines::TestBody::Asm(_)));
+        assert_eq!(poc_name("V1", &asm), "V1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a concurrency bug")]
+    #[cfg(debug_assertions)]
+    fn nonzero_seed_for_a_single_hart_bug_is_rejected() {
+        // V1's PoC has no interleaving dimension: a seed here would be
+        // dropped on the floor, so debug builds refuse it loudly.
+        let _ = poc_body_for("V1", 1);
     }
 
     #[test]

@@ -21,11 +21,12 @@
 //! CI-sized models previously duplicated in `hfl-serve` and the bench
 //! binaries).
 
-use crate::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, TheHuzzFuzzer};
+use crate::baselines::{CascadeFuzzer, DifuzzRtlFuzzer, Fuzzer, GoldenFuzzFuzzer, TheHuzzFuzzer};
 use crate::campaign::{RunConfig, SpecError};
 use crate::fleet::FleetMember;
 use crate::fuzzer::{HflConfig, HflFuzzer};
 use crate::json::{Fields, ObjectWriter};
+use crate::scenario::{ScenarioConfig, ScenarioFuzzer};
 use hfl_dut::CoreKind;
 
 /// The fuzzing strategies a spec can name. An enum rather than a free
@@ -40,19 +41,28 @@ pub enum FuzzerKind {
     Cascade,
     /// The paper's RL fuzzer.
     Hfl,
+    /// The hierarchical scenario policy (UCB bandit over semantic
+    /// scenarios steering the LSTM generator).
+    Scenario,
+    /// The generative golden-reference baseline (candidates scored by a
+    /// transition model learned from GRM retire traces, no coverage
+    /// feedback).
+    GoldenFuzz,
 }
 
 impl FuzzerKind {
     /// Every kind, in wire order.
-    pub const ALL: [FuzzerKind; 4] = [
+    pub const ALL: [FuzzerKind; 6] = [
         FuzzerKind::Difuzz,
         FuzzerKind::TheHuzz,
         FuzzerKind::Cascade,
         FuzzerKind::Hfl,
+        FuzzerKind::Scenario,
+        FuzzerKind::GoldenFuzz,
     ];
 
     /// Parses the spec-file name (`difuzz`, `thehuzz`, `cascade`,
-    /// `hfl`).
+    /// `hfl`, `scenario`, `goldenfuzz`).
     ///
     /// # Errors
     /// Names the unknown fuzzer (these become HTTP 400 bodies).
@@ -62,6 +72,8 @@ impl FuzzerKind {
             "thehuzz" => Ok(FuzzerKind::TheHuzz),
             "cascade" => Ok(FuzzerKind::Cascade),
             "hfl" => Ok(FuzzerKind::Hfl),
+            "scenario" => Ok(FuzzerKind::Scenario),
+            "goldenfuzz" => Ok(FuzzerKind::GoldenFuzz),
             other => Err(format!("unknown fuzzer {other:?}")),
         }
     }
@@ -74,6 +86,8 @@ impl FuzzerKind {
             FuzzerKind::TheHuzz => "thehuzz",
             FuzzerKind::Cascade => "cascade",
             FuzzerKind::Hfl => "hfl",
+            FuzzerKind::Scenario => "scenario",
+            FuzzerKind::GoldenFuzz => "goldenfuzz",
         }
     }
 
@@ -86,6 +100,8 @@ impl FuzzerKind {
             FuzzerKind::TheHuzz => "TheHuzz",
             FuzzerKind::Cascade => "Cascade",
             FuzzerKind::Hfl => "HFL",
+            FuzzerKind::Scenario => "Scenario",
+            FuzzerKind::GoldenFuzz => "GoldenFuzz",
         }
     }
 
@@ -106,6 +122,13 @@ impl FuzzerKind {
                 cfg.test_len = 6;
                 Box::new(HflFuzzer::new(cfg))
             }
+            FuzzerKind::Scenario => {
+                let mut cfg = ScenarioConfig::small().with_seed(seed);
+                cfg.generator.hidden = 16;
+                cfg.case_len = 6;
+                Box::new(ScenarioFuzzer::new(cfg))
+            }
+            FuzzerKind::GoldenFuzz => Box::new(GoldenFuzzFuzzer::new(seed, 16)),
         }
     }
 }

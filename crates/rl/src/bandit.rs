@@ -1,0 +1,215 @@
+//! UCB1 bandit controller over a small discrete arm set.
+//!
+//! The hierarchical scenario policy (HiFuzz-style) uses this as its
+//! high-level controller: each arm is a semantic scenario, the reward is
+//! the marginal-coverage indicator of the cases generated under it, and
+//! the controller balances exploiting the currently best scenario with
+//! re-probing the others.
+//!
+//! # Determinism contract
+//!
+//! Selection consumes **no randomness**: unpulled arms are taken in
+//! ascending index order, and the UCB argmax breaks ties toward the
+//! lowest index. The controller is therefore a pure function of its
+//! `(counts, means)` state, which travels verbatim through checkpoints
+//! ([`UcbBandit::counts`]/[`UcbBandit::means`] +
+//! [`UcbBandit::from_parts`]) so a resumed campaign replays the exact
+//! selection sequence of an uninterrupted one.
+
+/// A UCB1 controller: per-arm pull counts and running reward means.
+///
+/// # Examples
+///
+/// ```
+/// use hfl_rl::UcbBandit;
+///
+/// let mut bandit = UcbBandit::new(3, 1.4);
+/// // Unpulled arms go first, in index order.
+/// for expected in 0..3 {
+///     let arm = bandit.select();
+///     assert_eq!(arm, expected);
+///     bandit.update(arm, if arm == 1 { 1.0 } else { 0.0 });
+/// }
+/// // With every arm pulled once, the best mean wins.
+/// assert_eq!(bandit.select(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UcbBandit {
+    counts: Vec<u64>,
+    means: Vec<f64>,
+    /// Exploration constant `c` in `mean + c·sqrt(ln(total)/count)`.
+    c: f64,
+}
+
+impl UcbBandit {
+    /// Creates a controller over `arms` arms with exploration constant
+    /// `c` (the classic UCB1 uses `c = sqrt(2) ≈ 1.414`).
+    ///
+    /// # Panics
+    /// Panics if `arms` is zero.
+    #[must_use]
+    pub fn new(arms: usize, c: f64) -> UcbBandit {
+        assert!(arms > 0, "bandit needs at least one arm");
+        UcbBandit {
+            counts: vec![0; arms],
+            means: vec![0.0; arms],
+            c,
+        }
+    }
+
+    /// Rebuilds a controller from checkpointed parts.
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty or of unequal length.
+    #[must_use]
+    pub fn from_parts(counts: Vec<u64>, means: Vec<f64>, c: f64) -> UcbBandit {
+        assert!(!counts.is_empty(), "bandit needs at least one arm");
+        assert_eq!(counts.len(), means.len(), "counts/means length mismatch");
+        UcbBandit { counts, means, c }
+    }
+
+    /// Number of arms.
+    #[must_use]
+    pub fn arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-arm pull counts (checkpointing).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-arm running reward means (checkpointing).
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The exploration constant.
+    #[must_use]
+    pub fn exploration(&self) -> f64 {
+        self.c
+    }
+
+    /// Total pulls across all arms.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Picks the next arm: the lowest-index unpulled arm if any,
+    /// otherwise the arm maximising `mean + c·sqrt(ln(total)/count)`
+    /// (ties toward the lowest index). Consumes no randomness.
+    #[must_use]
+    pub fn select(&self) -> usize {
+        if let Some(arm) = self.counts.iter().position(|&n| n == 0) {
+            return arm;
+        }
+        let ln_total = (self.total() as f64).ln();
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (arm, (&n, &mean)) in self.counts.iter().zip(&self.means).enumerate() {
+            let score = mean + self.c * (ln_total / n as f64).sqrt();
+            if score > best_score {
+                best = arm;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    /// Records one reward observation for `arm`, updating its running
+    /// mean incrementally.
+    ///
+    /// # Panics
+    /// Panics if `arm` is out of range.
+    pub fn update(&mut self, arm: usize, reward: f64) {
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.means[arm] += (reward - self.means[arm]) / n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpulled_arms_are_taken_in_index_order() {
+        let mut bandit = UcbBandit::new(4, 1.4);
+        for expected in 0..4 {
+            assert_eq!(bandit.select(), expected);
+            bandit.update(expected, 0.5);
+        }
+    }
+
+    #[test]
+    fn best_mean_wins_once_all_arms_are_warm() {
+        let mut bandit = UcbBandit::new(3, 0.1);
+        for arm in 0..3 {
+            for _ in 0..50 {
+                bandit.update(arm, if arm == 2 { 0.9 } else { 0.1 });
+            }
+        }
+        assert_eq!(bandit.select(), 2);
+    }
+
+    #[test]
+    fn exploration_revisits_a_starved_arm() {
+        let mut bandit = UcbBandit::new(2, 2.0);
+        bandit.update(0, 0.6);
+        bandit.update(1, 0.5);
+        // Arm 0 leads on mean; keep rewarding it and the UCB width on
+        // arm 1 must eventually win a pull.
+        let mut revisited = false;
+        for _ in 0..200 {
+            let arm = bandit.select();
+            if arm == 1 {
+                revisited = true;
+                break;
+            }
+            bandit.update(arm, 0.6);
+        }
+        assert!(revisited, "UCB never re-probed the starved arm");
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_index() {
+        let mut bandit = UcbBandit::new(3, 1.4);
+        for arm in 0..3 {
+            bandit.update(arm, 0.5);
+        }
+        assert_eq!(bandit.select(), 0);
+    }
+
+    #[test]
+    fn selection_is_a_pure_function_of_state() {
+        let mut bandit = UcbBandit::new(5, 1.4);
+        for i in 0..40u64 {
+            let arm = bandit.select();
+            bandit.update(arm, (i % 3) as f64 / 2.0);
+        }
+        let rebuilt = UcbBandit::from_parts(
+            bandit.counts().to_vec(),
+            bandit.means().to_vec(),
+            bandit.exploration(),
+        );
+        assert_eq!(rebuilt, bandit);
+        for _ in 0..10 {
+            assert_eq!(rebuilt.select(), bandit.select());
+        }
+    }
+
+    #[test]
+    fn running_mean_matches_the_batch_mean() {
+        let mut bandit = UcbBandit::new(1, 1.0);
+        let rewards = [0.0, 1.0, 0.25, 0.75, 0.5];
+        for r in rewards {
+            bandit.update(0, r);
+        }
+        let batch = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        assert!((bandit.means()[0] - batch).abs() < 1e-12);
+        assert_eq!(bandit.counts()[0], rewards.len() as u64);
+    }
+}

@@ -14,8 +14,10 @@
 //!
 //! plus the reward normalisation §V-B describes ([`RewardNormalizer`]).
 
+pub mod bandit;
 pub mod ppo;
 pub mod reward;
 
+pub use bandit::UcbBandit;
 pub use ppo::{advantage, approx_kl, ppo_logit_grad, value_loss, PpoConfig};
 pub use reward::{RewardConfig, RewardNormalizer};

@@ -32,8 +32,19 @@ impl RewardConfig {
 
     /// Computes Eq. (1). `coverage` is the hardware-coverage fraction in
     /// `[0, 1]`; `new_best` grants the bonus.
+    ///
+    /// Callers compute the fraction as `hit / live_points`, and a rounding
+    /// excursion (or a miscounted universe) outside `[0, 1]` must not
+    /// inflate — or invert — the α term relative to the bonus scale, so
+    /// the coverage input saturates at the boundaries. NaN saturates to 0
+    /// (`f32::clamp` propagates NaN, which would poison the PPO update).
     #[must_use]
     pub fn reward(&self, coverage: f32, new_best: bool) -> f32 {
+        let coverage = if coverage.is_nan() {
+            0.0
+        } else {
+            coverage.clamp(0.0, 1.0)
+        };
         self.alpha * coverage + if new_best { self.r_bonus } else { 0.0 }
     }
 }
@@ -147,6 +158,23 @@ mod tests {
     fn higher_coverage_earns_more() {
         let cfg = RewardConfig::default();
         assert!(cfg.reward(0.8, false) > cfg.reward(0.3, false));
+    }
+
+    #[test]
+    fn coverage_saturates_at_the_boundaries() {
+        let cfg = RewardConfig::paper_default();
+        // In-range values are untouched.
+        assert_eq!(cfg.reward(0.0, false), cfg.alpha * 0.0);
+        assert_eq!(cfg.reward(1.0, false), cfg.alpha * 1.0);
+        // A rounding excursion above 1.0 must not out-scale the bonus.
+        assert_eq!(cfg.reward(1.0 + 1e-3, false), cfg.reward(1.0, false));
+        assert_eq!(cfg.reward(f32::INFINITY, true), cfg.reward(1.0, true));
+        // Below zero saturates instead of producing a negative α term.
+        assert_eq!(cfg.reward(-0.25, false), cfg.reward(0.0, false));
+        assert_eq!(cfg.reward(f32::NEG_INFINITY, false), 0.0);
+        // NaN input yields the bonus-only reward, never NaN.
+        assert_eq!(cfg.reward(f32::NAN, true), cfg.r_bonus);
+        assert_eq!(cfg.reward(f32::NAN, false), 0.0);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The hierarchical scenario policy under the campaign determinism
+//! contract: a scenario-bandit campaign interrupted at a round boundary
+//! and resumed from its snapshot must replay the uninterrupted run bit
+//! for bit — merged non-timing event stream, per-scenario stats rows and
+//! final coverage curve — at any thread count. The same contract is
+//! checked for the GoldenFuzz generative baseline (whose snapshot
+//! carries the learned transition table), and a property test pins that
+//! scenario selection is a pure function of the seed and the feedback
+//! sequence.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hfl::baselines::{Feedback, Fuzzer, GoldenFuzzFuzzer, TestBody};
+use hfl::campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignSpec, CheckpointPolicy};
+use hfl::obs::{Event, RingSink, SinkHandle};
+use hfl::scenario::{Scenario, ScenarioConfig, ScenarioFuzzer};
+use hfl::StopHandle;
+use hfl_dut::CoreKind;
+use hfl_nn::PersistError;
+use proptest::prelude::*;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hfl-scenario-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn non_timing(events: &[Event]) -> Vec<Event> {
+    events.iter().filter(|e| !e.is_timing()).cloned().collect()
+}
+
+fn tiny_scenario(seed: u64) -> ScenarioFuzzer {
+    let mut cfg = ScenarioConfig::small().with_seed(seed);
+    cfg.generator.hidden = 16;
+    cfg.case_len = 6;
+    cfg.stats_every = 8;
+    ScenarioFuzzer::new(cfg)
+}
+
+/// Delegates to an inner fuzzer and raises the campaign's stop flag
+/// after a fixed number of generation rounds (deterministic interrupt).
+struct StopAfterRounds<F> {
+    inner: F,
+    rounds_left: u32,
+    stop: StopHandle,
+}
+
+impl<F: Fuzzer> Fuzzer for StopAfterRounds<F> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn next_case(&mut self) -> TestBody {
+        self.inner.next_case()
+    }
+    fn next_round(&mut self, n: usize) -> Vec<TestBody> {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            if self.rounds_left == 0 {
+                self.stop.request_stop();
+            }
+        }
+        self.inner.next_round(n)
+    }
+    fn feedback(&mut self, body: &TestBody, feedback: Feedback) {
+        self.inner.feedback(body, feedback);
+    }
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.inner.attach_sink(sink);
+    }
+    fn save_state(&self, w: &mut dyn Write) -> Result<(), PersistError> {
+        self.inner.save_state(w)
+    }
+    fn load_state(&mut self, r: &mut dyn Read) -> Result<(), PersistError> {
+        self.inner.load_state(r)
+    }
+}
+
+struct Observed {
+    result: CampaignResult,
+    events: Vec<Event>,
+}
+
+fn run_observed(
+    fuzzer: &mut dyn Fuzzer,
+    configure: impl FnOnce(hfl::campaign::CampaignSpecBuilder) -> hfl::campaign::CampaignSpecBuilder,
+    config: CampaignConfig,
+    threads: usize,
+) -> Observed {
+    let ring = Arc::new(RingSink::new(1_000_000));
+    let builder = CampaignSpec::builder(CoreKind::Rocket, config)
+        .threads(threads)
+        .sink(SinkHandle::new(ring.clone()));
+    let spec = configure(builder).build().expect("valid spec");
+    let result = run_campaign(fuzzer, &spec).expect("campaign runs");
+    Observed {
+        result,
+        events: ring.events(),
+    }
+}
+
+/// Interrupts after `stop_rounds` rounds, resumes from the snapshot, and
+/// checks the merged non-timing stream and result against an
+/// uninterrupted reference.
+fn check_resume_matches<F: Fuzzer + 'static>(
+    tag: &str,
+    make_fuzzer: impl Fn() -> F,
+    config: CampaignConfig,
+    threads: usize,
+    stop_rounds: u32,
+) {
+    let dir = scratch_dir(tag);
+
+    let mut reference_fuzzer = make_fuzzer();
+    let reference = run_observed(&mut reference_fuzzer, |b| b, config, threads);
+    assert!(reference.result.completed);
+
+    let stop = StopHandle::new();
+    let mut interrupted_fuzzer = StopAfterRounds {
+        inner: make_fuzzer(),
+        rounds_left: stop_rounds,
+        stop: stop.clone(),
+    };
+    let partial = run_observed(
+        &mut interrupted_fuzzer,
+        |builder| {
+            builder
+                .checkpoint(CheckpointPolicy::new(&dir, 1))
+                .control(stop)
+        },
+        config,
+        threads,
+    );
+    assert!(!partial.result.completed, "{tag}: stop flag did not fire");
+
+    let snapshot = CheckpointPolicy::latest_snapshot(&dir).expect("snapshot written");
+    let mut resumed_fuzzer = make_fuzzer();
+    let resumed = run_observed(
+        &mut resumed_fuzzer,
+        |builder| builder.resume_from(snapshot),
+        config,
+        threads,
+    );
+    assert!(resumed.result.completed);
+
+    let mut merged = non_timing(&partial.events);
+    merged.extend(non_timing(&resumed.events));
+    assert_eq!(
+        non_timing(&reference.events),
+        merged,
+        "{tag}: merged event stream diverged at {threads} threads"
+    );
+    assert_eq!(reference.result.curve, resumed.result.curve, "{tag}: curve");
+    assert_eq!(reference.result.signatures, resumed.result.signatures);
+    assert_eq!(reference.result.cumulative, resumed.result.cumulative);
+    assert_eq!(
+        reference.result.instructions_executed,
+        resumed.result.instructions_executed
+    );
+    assert_eq!(
+        reference.result.trigger_corpus,
+        resumed.result.trigger_corpus
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scenario_resume_is_bit_identical_at_any_thread_count() {
+    // The snapshot must carry the full controller: RNG, generator
+    // weights, bandit counts/means and the refined bias tables. Any
+    // drift shows up as a diverging case stream or ScenarioStats row.
+    let config = CampaignConfig::quick(40).with_batch(4);
+    for threads in [1usize, 2, 8] {
+        check_resume_matches(
+            &format!("bandit-t{threads}"),
+            || tiny_scenario(13),
+            config,
+            threads,
+            4,
+        );
+    }
+}
+
+#[test]
+fn goldenfuzz_resume_is_bit_identical_at_any_thread_count() {
+    // GoldenFuzz's snapshot carries the learned transition table: a
+    // resume that reset it would score (and pick) different candidates.
+    let config = CampaignConfig::quick(40).with_batch(4);
+    for threads in [1usize, 2, 8] {
+        check_resume_matches(
+            &format!("golden-t{threads}"),
+            || GoldenFuzzFuzzer::new(23, 10),
+            config,
+            threads,
+            3,
+        );
+    }
+}
+
+#[test]
+fn scenario_campaign_emits_stats_rows_for_every_scenario() {
+    // The deterministic stats cadence (every `stats_every` feedbacks)
+    // must surface one row per arm, identically at any thread count.
+    let config = CampaignConfig::quick(32).with_batch(4);
+    let mut streams = Vec::new();
+    for threads in [1usize, 2] {
+        let mut fuzzer = tiny_scenario(5);
+        let observed = run_observed(&mut fuzzer, |b| b, config, threads);
+        let rows: Vec<(u64, String, u64)> = observed
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ScenarioStats {
+                    case,
+                    scenario,
+                    pulls,
+                    ..
+                } => Some((*case, scenario.clone(), *pulls)),
+                _ => None,
+            })
+            .collect();
+        for s in Scenario::ALL {
+            assert!(
+                rows.iter().any(|(_, name, _)| name == s.as_str()),
+                "no stats row for {s} at {threads} threads"
+            );
+        }
+        // The table is complete: pulls across one table sum to the cases
+        // fed so far (every case belongs to exactly one arm).
+        let first_case = rows.first().expect("at least one table").0;
+        let first_table: u64 = rows
+            .iter()
+            .filter(|(case, _, _)| *case == first_case)
+            .map(|(_, _, pulls)| pulls)
+            .sum();
+        assert_eq!(first_table, first_case, "pulls must partition the cases");
+        streams.push(rows);
+    }
+    assert_eq!(streams[0], streams[1], "stats diverged across threads");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scenario selection is a pure function of the seed and the
+    /// feedback sequence: two fuzzers driven identically pick the same
+    /// arms, emit the same cases and end with identical bandit state —
+    /// regardless of what the (deterministically replayed) rewards were.
+    #[test]
+    fn selection_is_deterministic_under_fixed_seed(
+        seed in 0u64..1024,
+        cases in 8usize..24,
+        reward_bits in any::<u64>(),
+    ) {
+        let mut a = tiny_scenario(seed);
+        let mut b = tiny_scenario(seed);
+        for i in 0..cases {
+            prop_assert_eq!(a.peek_scenario(), b.peek_scenario());
+            let (ca, cb) = (a.next_case(), b.next_case());
+            prop_assert_eq!(&ca, &cb);
+            let gained = (reward_bits >> (i % 64)) & 1 == 1;
+            a.feedback(&ca, Feedback::scalar(gained, 0.25));
+            b.feedback(&cb, Feedback::scalar(gained, 0.25));
+        }
+        prop_assert_eq!(a.bandit(), b.bandit());
+        // And the next selection after the drive is still aligned.
+        prop_assert_eq!(a.peek_scenario(), b.peek_scenario());
+    }
+}
